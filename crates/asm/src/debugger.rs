@@ -1,0 +1,519 @@
+//! A scriptable GDB-style debugger for the [`crate::emu::Machine`].
+//!
+//! Lab 5 has students "use GDB to decipher assembly functions": set
+//! breakpoints, single-step, inspect registers and memory, and read
+//! disassembly. This debugger exposes exactly that workflow, both as a
+//! typed API and as a GDB-flavoured command interpreter
+//! ([`Debugger::command`]: `break`, `run`, `continue`, `stepi`, `info
+//! registers`, `x/NXw addr`, `disas`, `print`), so tests and the binary
+//! maze example can drive it like a student at a terminal.
+
+use crate::emu::{Machine, MachineError};
+use crate::insn::{Instr, Reg};
+use crate::parser::Program;
+use std::collections::BTreeSet;
+
+/// Why the debugger returned control.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// Hit a breakpoint at the given address.
+    Breakpoint(u32),
+    /// A watched word changed: `(address, old, new)`.
+    Watchpoint(u32, u32, u32),
+    /// The program halted.
+    Halted,
+    /// Single-step completed.
+    Stepped,
+    /// Execution faulted.
+    Fault(MachineError),
+    /// Fuel exhausted without stopping.
+    FuelExhausted,
+}
+
+/// A debugger wrapping a machine and a loaded program.
+#[derive(Debug)]
+pub struct Debugger {
+    /// The machine under debug (public: tests poke at it directly).
+    pub machine: Machine,
+    program: Program,
+    breakpoints: BTreeSet<u32>,
+    /// Watched addresses and their last-seen word values.
+    watchpoints: Vec<(u32, u32)>,
+    /// Instruction fuel per `run`/`continue` (default 1M).
+    pub fuel: u64,
+}
+
+impl Debugger {
+    /// Loads `program` into a fresh machine under the debugger.
+    pub fn new(program: Program) -> Result<Debugger, MachineError> {
+        let mut machine = Machine::new();
+        machine.load(&program)?;
+        Ok(Debugger {
+            machine,
+            program,
+            breakpoints: BTreeSet::new(),
+            watchpoints: Vec::new(),
+            fuel: 1_000_000,
+        })
+    }
+
+    /// Sets a breakpoint at an address or label. Returns the resolved
+    /// address, or `None` if the label is unknown.
+    pub fn set_breakpoint(&mut self, loc: &str) -> Option<u32> {
+        let addr = self.resolve(loc)?;
+        self.breakpoints.insert(addr);
+        Some(addr)
+    }
+
+    /// Removes a breakpoint.
+    pub fn clear_breakpoint(&mut self, loc: &str) -> Option<u32> {
+        let addr = self.resolve(loc)?;
+        self.breakpoints.remove(&addr);
+        Some(addr)
+    }
+
+    /// Watches the 32-bit word at an address or label: `cont` stops when
+    /// its value changes (GDB's `watch *(int*)ADDR`).
+    pub fn set_watchpoint(&mut self, loc: &str) -> Option<u32> {
+        let addr = self.resolve(loc)?;
+        let current = self.machine.read_u32(addr).ok()?;
+        self.watchpoints.push((addr, current));
+        Some(addr)
+    }
+
+    /// Checks watchpoints; returns the first `(addr, old, new)` that fired
+    /// and refreshes stored values.
+    fn poll_watchpoints(&mut self) -> Option<(u32, u32, u32)> {
+        let mut fired = None;
+        for (addr, last) in self.watchpoints.iter_mut() {
+            if let Ok(now) = self.machine.read_u32(*addr) {
+                if now != *last && fired.is_none() {
+                    fired = Some((*addr, *last, now));
+                }
+                *last = now;
+            }
+        }
+        fired
+    }
+
+    /// Resolves a label name or `0x`-prefixed/decimal address.
+    pub fn resolve(&self, loc: &str) -> Option<u32> {
+        if let Some(addr) = self.program.symbols.get(loc) {
+            return Some(*addr);
+        }
+        let loc = loc.trim();
+        if let Some(hex) = loc.strip_prefix("0x").or_else(|| loc.strip_prefix("0X")) {
+            return u32::from_str_radix(hex, 16).ok();
+        }
+        loc.parse::<u32>().ok()
+    }
+
+    /// Single-steps one instruction.
+    pub fn stepi(&mut self) -> StopReason {
+        if self.machine.halted {
+            return StopReason::Halted;
+        }
+        match self.machine.step() {
+            Ok(_) => {
+                if self.machine.halted {
+                    StopReason::Halted
+                } else {
+                    StopReason::Stepped
+                }
+            }
+            Err(e) => StopReason::Fault(e),
+        }
+    }
+
+    /// Runs until a breakpoint, halt, fault, or fuel exhaustion.
+    ///
+    /// GDB semantics: if currently *stopped at* a breakpoint, the first
+    /// instruction executes before breakpoints are rechecked.
+    pub fn cont(&mut self) -> StopReason {
+        for _ in 0..self.fuel {
+            if self.machine.halted {
+                return StopReason::Halted;
+            }
+            match self.machine.step() {
+                Ok(_) => {}
+                Err(e) => return StopReason::Fault(e),
+            }
+            if self.machine.halted {
+                return StopReason::Halted;
+            }
+            if !self.watchpoints.is_empty() {
+                if let Some((addr, old, new)) = self.poll_watchpoints() {
+                    return StopReason::Watchpoint(addr, old, new);
+                }
+            }
+            if self.breakpoints.contains(&self.machine.eip) {
+                return StopReason::Breakpoint(self.machine.eip);
+            }
+        }
+        StopReason::FuelExhausted
+    }
+
+    /// The instruction at the current EIP (what `disas` points at).
+    pub fn current_instr(&self) -> Option<Instr> {
+        self.program
+            .listing
+            .iter()
+            .find(|(a, _)| *a == self.machine.eip)
+            .map(|(_, i)| *i)
+    }
+
+    /// Disassembles `count` instructions starting at the current EIP,
+    /// marking the current one with `=>` like GDB.
+    pub fn disas(&self, count: usize) -> String {
+        let mut out = String::new();
+        let start = self
+            .program
+            .listing
+            .iter()
+            .position(|(a, _)| *a == self.machine.eip)
+            .unwrap_or(0);
+        for (addr, instr) in self.program.listing.iter().skip(start).take(count) {
+            let marker = if *addr == self.machine.eip { "=>" } else { "  " };
+            let bp = if self.breakpoints.contains(addr) { "*" } else { " " };
+            out.push_str(&format!("{marker}{bp}{addr:#06x}:  {}\n", instr.att()));
+        }
+        out
+    }
+
+    /// Walks the `%ebp` frame chain and returns the call stack, innermost
+    /// first — GDB's `backtrace`, and the week the course spends on stack
+    /// frames made visible. Each entry is `(frame_base, return_address,
+    /// nearest_symbol)`. The walk stops at the initial frame (where
+    /// `%ebp == STACK_TOP`), on a non-monotonic chain, or after 64 frames.
+    pub fn backtrace(&self) -> Vec<(u32, u32, Option<String>)> {
+        let mut frames = Vec::new();
+        let mut ebp = self.machine.reg(Reg::Ebp);
+        for _ in 0..64 {
+            if ebp >= crate::emu::STACK_TOP || ebp == 0 {
+                break;
+            }
+            let saved_ebp = match self.machine.read_u32(ebp) {
+                Ok(v) => v,
+                Err(_) => break,
+            };
+            let ret = match self.machine.read_u32(ebp + 4) {
+                Ok(v) => v,
+                Err(_) => break,
+            };
+            frames.push((ebp, ret, self.symbol_before(ret)));
+            if saved_ebp <= ebp {
+                break; // corrupt or initial frame
+            }
+            ebp = saved_ebp;
+        }
+        frames
+    }
+
+    /// The nearest label at or before `addr` (how GDB prints `f+0x12`).
+    fn symbol_before(&self, addr: u32) -> Option<String> {
+        self.program
+            .symbols
+            .iter()
+            .filter(|(_, &a)| a <= addr)
+            .max_by_key(|(_, &a)| a)
+            .map(|(name, &a)| {
+                if addr == a {
+                    name.clone()
+                } else {
+                    format!("{name}+{:#x}", addr - a)
+                }
+            })
+    }
+
+    /// Examines `count` 32-bit words of memory at `addr` (GDB `x/Nxw`).
+    pub fn examine(&self, addr: u32, count: usize) -> Result<Vec<u32>, MachineError> {
+        (0..count)
+            .map(|i| self.machine.read_u32(addr + (i as u32) * 4))
+            .collect()
+    }
+
+    /// Interprets one GDB-flavoured command line and returns its output.
+    ///
+    /// Supported: `break LOC`, `delete LOC`, `run`/`continue`, `stepi [N]`,
+    /// `info registers`, `print $reg`, `x/N ADDR`, `disas [N]`.
+    pub fn command(&mut self, line: &str) -> String {
+        let mut parts = line.split_whitespace();
+        let first = parts.next().unwrap_or("");
+        // `x/N ADDR` arrives as one token; split it into `x` + `/N`.
+        let (cmd, xspec) = match first.strip_prefix("x/") {
+            Some(spec) => ("x", Some(format!("/{spec}"))),
+            None => (first, None),
+        };
+        match cmd {
+            "watch" | "w" => match parts.next().and_then(|loc| self.set_watchpoint(loc)) {
+                Some(a) => format!("Watchpoint on word at {a:#x}"),
+                None => "Bad watch location".to_string(),
+            },
+            "break" | "b" => match parts.next().and_then(|loc| self.set_breakpoint(loc)) {
+                Some(a) => format!("Breakpoint at {a:#x}"),
+                None => "Bad breakpoint location".to_string(),
+            },
+            "delete" | "d" => match parts.next().and_then(|loc| self.clear_breakpoint(loc)) {
+                Some(a) => format!("Deleted breakpoint at {a:#x}"),
+                None => "Bad breakpoint location".to_string(),
+            },
+            "run" | "r" | "continue" | "c" => format!("{:?}", self.cont()),
+            "stepi" | "si" => {
+                let n: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+                let mut last = StopReason::Stepped;
+                for _ in 0..n {
+                    last = self.stepi();
+                    if last != StopReason::Stepped {
+                        break;
+                    }
+                }
+                format!("{last:?}")
+            }
+            "info" => self.machine.dump_registers(),
+            "print" | "p" => {
+                let arg = parts.next().unwrap_or("");
+                match arg.strip_prefix('$').and_then(Reg::parse) {
+                    Some(r) => {
+                        let v = self.machine.reg(r);
+                        format!("{} = {:#x} ({})", arg, v, v as i32)
+                    }
+                    None => "Bad register".to_string(),
+                }
+            }
+            "x" => {
+                let spec_owned;
+                let (count, addr_str) = match xspec.as_deref().or_else(|| parts.next()) {
+                    Some(spec) if spec.starts_with('/') => {
+                        spec_owned = spec.to_string();
+                        let count = spec_owned[1..].parse().unwrap_or(1);
+                        (count, parts.next().unwrap_or(""))
+                    }
+                    Some(addr) => {
+                        spec_owned = addr.to_string();
+                        (1, spec_owned.as_str())
+                    }
+                    None => (1, ""),
+                };
+                match self.resolve(addr_str) {
+                    Some(addr) => match self.examine(addr, count) {
+                        Ok(words) => words
+                            .iter()
+                            .enumerate()
+                            .map(|(i, w)| format!("{:#06x}: {w:#010x}", addr + 4 * i as u32))
+                            .collect::<Vec<_>>()
+                            .join("\n"),
+                        Err(e) => format!("Cannot access memory: {e}"),
+                    },
+                    None => "Bad address".to_string(),
+                }
+            }
+            "bt" | "backtrace" => {
+                let bt = self.backtrace();
+                if bt.is_empty() {
+                    "No stack frames (before any prologue?)".to_string()
+                } else {
+                    bt.iter()
+                        .enumerate()
+                        .map(|(i, (ebp, ret, sym))| {
+                            let place = sym.clone().unwrap_or_else(|| format!("{ret:#x}"));
+                            format!("#{i}  frame at {ebp:#x}, return to {place}")
+                        })
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                }
+            }
+            "disas" => {
+                let n = parts.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+                self.disas(n)
+            }
+            "" => String::new(),
+            other => format!("Undefined command: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::assemble;
+
+    fn debugger(src: &str) -> Debugger {
+        Debugger::new(assemble(src).unwrap()).unwrap()
+    }
+
+    const LOOP_SRC: &str = r#"
+        main:
+            movl $0, %eax
+            movl $3, %ecx
+        top:
+            addl %ecx, %eax
+            decl %ecx
+            cmpl $0, %ecx
+            jne top
+        done:
+            hlt
+    "#;
+
+    #[test]
+    fn breakpoint_stops_each_iteration() {
+        let mut d = debugger(LOOP_SRC);
+        let top = d.set_breakpoint("top").unwrap();
+        let mut hits = 0;
+        loop {
+            match d.cont() {
+                StopReason::Breakpoint(a) => {
+                    assert_eq!(a, top);
+                    hits += 1;
+                }
+                StopReason::Halted => break,
+                other => panic!("unexpected stop {other:?}"),
+            }
+        }
+        // First arrival + 2 loop-backs = 3 stops at `top`.
+        assert_eq!(hits, 3);
+        assert_eq!(d.machine.reg(Reg::Eax), 6);
+    }
+
+    #[test]
+    fn stepping_walks_one_instruction() {
+        let mut d = debugger(LOOP_SRC);
+        assert_eq!(d.stepi(), StopReason::Stepped);
+        assert_eq!(d.machine.reg(Reg::Eax), 0);
+        assert_eq!(d.stepi(), StopReason::Stepped);
+        assert_eq!(d.machine.reg(Reg::Ecx), 3);
+    }
+
+    #[test]
+    fn resolve_labels_and_addresses() {
+        let d = debugger(LOOP_SRC);
+        assert!(d.resolve("top").is_some());
+        assert_eq!(d.resolve("0x1000"), Some(0x1000));
+        assert_eq!(d.resolve("4096"), Some(4096));
+        assert_eq!(d.resolve("nope"), None);
+    }
+
+    #[test]
+    fn disas_marks_current() {
+        let mut d = debugger(LOOP_SRC);
+        d.stepi();
+        let text = d.disas(3);
+        assert!(text.contains("=>"));
+        assert!(text.contains("movl $3, %ecx"));
+    }
+
+    #[test]
+    fn command_interface_session() {
+        // A whole Lab-5-style session through the string interface.
+        let mut d = debugger(LOOP_SRC);
+        assert!(d.command("break done").starts_with("Breakpoint"));
+        let out = d.command("continue");
+        assert!(out.contains("Breakpoint"), "{out}");
+        let regs = d.command("info registers");
+        assert!(regs.contains("%eax"));
+        let p = d.command("print $eax");
+        assert!(p.contains("= 0x6 (6)"), "{p}");
+        assert!(d.command("x/2 0x1000").contains("0x1000:"));
+        assert!(d.command("bogus").contains("Undefined"));
+        assert!(d.command("print $rax").contains("Bad register"));
+        let fin = d.command("continue");
+        assert!(fin.contains("Halted"));
+    }
+
+    #[test]
+    fn watchpoint_fires_on_store() {
+        let mut d = debugger(
+            r#"
+            movl $1, %ecx
+            movl $2, %ecx
+            movl $5, 0x2000
+            movl $3, %ecx
+            movl $9, 0x2000
+            hlt
+        "#,
+        );
+        d.set_watchpoint("0x2000").unwrap();
+        match d.cont() {
+            StopReason::Watchpoint(0x2000, 0, 5) => {}
+            other => panic!("first store missed: {other:?}"),
+        }
+        // Instructions before the store already ran.
+        assert_eq!(d.machine.reg(Reg::Ecx), 2);
+        match d.cont() {
+            StopReason::Watchpoint(0x2000, 5, 9) => {}
+            other => panic!("second store missed: {other:?}"),
+        }
+        assert!(matches!(d.cont(), StopReason::Halted));
+        assert!(d.command("watch 0x3000").contains("Watchpoint"));
+        assert!(d.command("watch nope").contains("Bad watch"));
+    }
+
+    #[test]
+    fn fault_surfaces_as_stop_reason() {
+        let mut d = debugger("movl $0xFFFFFFF0, %eax\nmovl (%eax), %ebx\nhlt\n");
+        match d.cont() {
+            StopReason::Fault(MachineError::Segfault { .. }) => {}
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut d = debugger("spin: jmp spin\n");
+        d.fuel = 10;
+        assert_eq!(d.cont(), StopReason::FuelExhausted);
+    }
+
+    #[test]
+    fn backtrace_walks_recursive_frames() {
+        // Three nested calls via tinyc's recursive factorial, stopped at
+        // the base case: the backtrace shows fn_fact frames.
+        let src = crate::tinyc::compile(
+            "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }\nint main() { return fact(4); }",
+        )
+        .unwrap();
+        let prog = assemble(&src).unwrap();
+        let mut d = Debugger::new(prog).unwrap();
+        d.set_breakpoint("fn_fact").unwrap();
+        // Stop at the 4th entry to fact (n == 1).
+        for _ in 0..4 {
+            assert!(matches!(d.cont(), StopReason::Breakpoint(_)));
+        }
+        // We are at fn_fact's first instruction; the frames on the stack
+        // belong to the three outer fact calls + main.
+        let bt = d.backtrace();
+        assert!(bt.len() >= 3, "expected >=3 frames, got {bt:?}");
+        let syms: Vec<String> = bt.iter().filter_map(|(_, _, s)| s.clone()).collect();
+        // Return addresses sit just after the recursive call, whose nearest
+        // label is one of fact's internal labels — still inside fact.
+        assert!(
+            syms.iter().filter(|s| s.contains("fact")).count() >= 2,
+            "outer fact frames visible: {syms:?}"
+        );
+        assert!(
+            syms.last().expect("outermost frame").contains("main"),
+            "outermost return is in main: {syms:?}"
+        );
+        let text = d.command("bt");
+        assert!(text.contains("#0"), "{text}");
+        assert!(text.contains("fact"), "{text}");
+        // Run to completion: result unchanged by inspection.
+        assert!(matches!(d.cont(), StopReason::Halted));
+        assert_eq!(d.machine.reg(Reg::Eax), 24);
+    }
+
+    #[test]
+    fn backtrace_empty_before_any_call() {
+        let mut d = debugger("movl $1, %eax\nhlt\n");
+        d.stepi();
+        assert!(d.backtrace().is_empty());
+        assert!(d.command("bt").contains("No stack frames"));
+    }
+
+    #[test]
+    fn examine_reads_stack_after_push() {
+        let mut d = debugger("pushl $0xABCD\nhlt\n");
+        d.stepi();
+        let esp = d.machine.reg(Reg::Esp);
+        assert_eq!(d.examine(esp, 1).unwrap(), vec![0xABCD]);
+    }
+}

@@ -1,0 +1,840 @@
+//! The IA-32-subset machine: registers, EFLAGS, memory, stack discipline,
+//! and a per-instruction cost model.
+//!
+//! Matches what CS 31 asks students to trace by hand: "stepping through
+//! their execution and the effects on registers and memory" (§III-A),
+//! including the dense function call/return material (`push`/`pop`/
+//! `call`/`ret`/`leave`, `%ebp` frames).
+//!
+//! The **cost model** (see [`Machine::cost_of`]) charges extra cycles for
+//! memory operands, stack traffic, and multiplies — enough structure to
+//! reproduce the course's "equivalent assembly sequences differ in
+//! efficiency" discussion (experiment **E10**) without pretending to be a
+//! cycle-accurate Pentium.
+
+use crate::insn::{DecodeError, Instr, Mem, Op, Operand, Reg};
+use crate::parser::{Program, CODE_BASE};
+use bits::arith;
+
+/// Bytes of machine memory (64 KiB).
+pub const MEM_SIZE: usize = 0x10000;
+/// Initial stack pointer (stack grows down from here).
+pub const STACK_TOP: u32 = 0xFF00;
+
+/// Runtime errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// Memory access outside `[0, MEM_SIZE)` — the course's segfault.
+    Segfault {
+        /// The faulting address.
+        addr: u32,
+        /// EIP of the faulting instruction.
+        eip: u32,
+    },
+    /// An instruction tried to write to an immediate operand.
+    WriteToImmediate(u32),
+    /// Instruction decoding failed (jumped into garbage).
+    IllegalInstruction(DecodeError, u32),
+    /// Ran out of fuel before `hlt`.
+    OutOfFuel,
+    /// A shift count operand was a memory reference (unsupported).
+    BadShiftCount(u32),
+    /// Program bytes don't fit below the stack.
+    ProgramTooLarge(usize),
+    /// `idivl`/`imodl` with a zero divisor — the course's SIGFPE.
+    DivideByZero(u32),
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::Segfault { addr, eip } => {
+                write!(f, "segmentation fault: address {addr:#x} at eip {eip:#x}")
+            }
+            MachineError::WriteToImmediate(eip) => {
+                write!(f, "write to immediate operand at eip {eip:#x}")
+            }
+            MachineError::IllegalInstruction(e, eip) => {
+                write!(f, "illegal instruction at eip {eip:#x}: {e}")
+            }
+            MachineError::OutOfFuel => write!(f, "program did not halt within fuel"),
+            MachineError::BadShiftCount(eip) => {
+                write!(f, "unsupported shift count operand at eip {eip:#x}")
+            }
+            MachineError::ProgramTooLarge(n) => write!(f, "program of {n} bytes too large"),
+            MachineError::DivideByZero(eip) => {
+                write!(f, "divide by zero (SIGFPE) at eip {eip:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// The machine state.
+#[derive(Clone)]
+pub struct Machine {
+    regs: [u32; 8],
+    /// Instruction pointer.
+    pub eip: u32,
+    /// Condition flags (ZF/SF/CF/OF).
+    pub flags: bits::Flags,
+    mem: Vec<u8>,
+    /// True after `hlt`.
+    pub halted: bool,
+    /// Values written by `outl` (the teaching I/O port).
+    pub output: Vec<i32>,
+    /// Instructions executed.
+    pub executed: u64,
+    /// Cost-model cycles consumed.
+    pub cycles: u64,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("eip", &format_args!("{:#x}", self.eip))
+            .field("regs", &self.regs)
+            .field("halted", &self.halted)
+            .field("executed", &self.executed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// A fresh machine with zeroed memory and `%esp = %ebp = STACK_TOP`.
+    pub fn new() -> Machine {
+        let mut m = Machine {
+            regs: [0; 8],
+            eip: CODE_BASE,
+            flags: bits::Flags::default(),
+            mem: vec![0; MEM_SIZE],
+            halted: false,
+            output: Vec::new(),
+            executed: 0,
+            cycles: 0,
+        };
+        m.regs[Reg::Esp.index() as usize] = STACK_TOP;
+        m.regs[Reg::Ebp.index() as usize] = STACK_TOP;
+        m
+    }
+
+    /// Loads an assembled program at [`CODE_BASE`] and jumps to its entry.
+    pub fn load(&mut self, program: &Program) -> Result<(), MachineError> {
+        let end = CODE_BASE as usize + program.bytes.len();
+        if end >= STACK_TOP as usize {
+            return Err(MachineError::ProgramTooLarge(program.bytes.len()));
+        }
+        self.mem[CODE_BASE as usize..end].copy_from_slice(&program.bytes);
+        self.eip = program.entry;
+        self.halted = false;
+        Ok(())
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        self.regs[r.index() as usize] = v;
+    }
+
+    /// Reads a 32-bit little-endian word.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, MachineError> {
+        let a = addr as usize;
+        if a + 4 > MEM_SIZE {
+            return Err(MachineError::Segfault { addr, eip: self.eip });
+        }
+        Ok(u32::from_le_bytes([
+            self.mem[a],
+            self.mem[a + 1],
+            self.mem[a + 2],
+            self.mem[a + 3],
+        ]))
+    }
+
+    /// Writes a 32-bit little-endian word.
+    pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), MachineError> {
+        let a = addr as usize;
+        if a + 4 > MEM_SIZE {
+            return Err(MachineError::Segfault { addr, eip: self.eip });
+        }
+        self.mem[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads one byte (used by the debugger's memory examiner).
+    pub fn read_u8(&self, addr: u32) -> Result<u8, MachineError> {
+        self.mem
+            .get(addr as usize)
+            .copied()
+            .ok_or(MachineError::Segfault { addr, eip: self.eip })
+    }
+
+    /// Computes a memory operand's effective address:
+    /// `disp + base + index*scale`, wrapping at 32 bits like the hardware.
+    pub fn effective_address(&self, m: &Mem) -> u32 {
+        let mut ea = m.disp as i64;
+        if let Some(b) = m.base {
+            ea += self.reg(b) as i64;
+        }
+        if let Some(i) = m.index {
+            ea += self.reg(i) as i64 * m.scale as i64;
+        }
+        ea as u32
+    }
+
+    fn read_operand(&self, o: &Operand) -> Result<u32, MachineError> {
+        match o {
+            Operand::Reg(r) => Ok(self.reg(*r)),
+            Operand::Imm(i) => Ok(*i as u32),
+            Operand::Mem(m) => self.read_u32(self.effective_address(m)),
+        }
+    }
+
+    fn write_operand(&mut self, o: &Operand, v: u32) -> Result<(), MachineError> {
+        match o {
+            Operand::Reg(r) => {
+                self.set_reg(*r, v);
+                Ok(())
+            }
+            Operand::Imm(_) => Err(MachineError::WriteToImmediate(self.eip)),
+            Operand::Mem(m) => self.write_u32(self.effective_address(m), v),
+        }
+    }
+
+    fn push(&mut self, v: u32) -> Result<(), MachineError> {
+        let esp = self.reg(Reg::Esp).wrapping_sub(4);
+        self.set_reg(Reg::Esp, esp);
+        self.write_u32(esp, v)
+    }
+
+    fn pop(&mut self) -> Result<u32, MachineError> {
+        let esp = self.reg(Reg::Esp);
+        let v = self.read_u32(esp)?;
+        self.set_reg(Reg::Esp, esp.wrapping_add(4));
+        Ok(v)
+    }
+
+    /// The cost model: base 1 cycle, +3 per memory operand, +3 for implicit
+    /// stack traffic, +4 for multiply, +1 for a taken branch.
+    pub fn cost_of(instr: &Instr, taken_branch: bool) -> u64 {
+        let mut c = 1;
+        for o in [instr.src, instr.dst].into_iter().flatten() {
+            if o.is_mem() {
+                c += 3;
+            }
+        }
+        match instr.op {
+            Op::Push | Op::Pop | Op::Ret | Op::Leave => c += 3,
+            Op::Call => c += 3,
+            Op::Imul => c += 4,
+            Op::Idiv | Op::Imod => c += 20, // division is famously slow
+            _ => {}
+        }
+        if taken_branch {
+            c += 1;
+        }
+        c
+    }
+
+    /// Executes one instruction. Returns the instruction executed.
+    pub fn step(&mut self) -> Result<Instr, MachineError> {
+        if self.halted {
+            return Ok(Instr::zero(Op::Hlt));
+        }
+        let at = self.eip;
+        let code_off = at as usize;
+        if code_off >= MEM_SIZE {
+            return Err(MachineError::Segfault { addr: at, eip: at });
+        }
+        let (instr, len) = Instr::decode(&self.mem, code_off)
+            .map_err(|e| MachineError::IllegalInstruction(e, at))?;
+        self.eip = at.wrapping_add(len as u32);
+        let mut taken = false;
+
+        let w = 32;
+        match instr.op {
+            Op::Nop => {}
+            Op::Hlt => self.halted = true,
+            Op::Mov => {
+                let v = self.read_operand(&instr.src.expect("mov has src"))?;
+                self.write_operand(&instr.dst.expect("mov has dst"), v)?;
+            }
+            Op::Lea => {
+                let ea = match instr.src {
+                    Some(Operand::Mem(m)) => self.effective_address(&m),
+                    _ => return Err(MachineError::IllegalInstruction(
+                        DecodeError::BadOperandKind(0, at as usize),
+                        at,
+                    )),
+                };
+                self.write_operand(&instr.dst.expect("lea has dst"), ea)?;
+            }
+            Op::Add | Op::Sub | Op::Cmp => {
+                let src = self.read_operand(&instr.src.expect("src"))? as u64;
+                let dst_op = instr.dst.expect("dst");
+                let dst = self.read_operand(&dst_op)? as u64;
+                let r = if instr.op == Op::Add {
+                    arith::add(w, dst, src).expect("width 32")
+                } else {
+                    arith::sub(w, dst, src).expect("width 32")
+                };
+                self.flags = r.flags;
+                if instr.op != Op::Cmp {
+                    self.write_operand(&dst_op, r.value as u32)?;
+                }
+            }
+            Op::And | Op::Or | Op::Xor | Op::Test => {
+                let src = self.read_operand(&instr.src.expect("src"))?;
+                let dst_op = instr.dst.expect("dst");
+                let dst = self.read_operand(&dst_op)?;
+                let v = match instr.op {
+                    Op::And | Op::Test => dst & src,
+                    Op::Or => dst | src,
+                    _ => dst ^ src,
+                };
+                self.flags = arith::Flags::from_result(w, v as u64);
+                if instr.op != Op::Test {
+                    self.write_operand(&dst_op, v)?;
+                }
+            }
+            Op::Imul => {
+                let src = self.read_operand(&instr.src.expect("src"))? as i32;
+                let dst_op = instr.dst.expect("dst");
+                let dst = self.read_operand(&dst_op)? as i32;
+                let wide = src as i64 * dst as i64;
+                let v = wide as i32;
+                let overflow = wide != v as i64;
+                self.flags = arith::Flags::from_result(w, v as u32 as u64);
+                self.flags.cf = overflow;
+                self.flags.of = overflow;
+                self.write_operand(&dst_op, v as u32)?;
+            }
+            Op::Idiv | Op::Imod => {
+                let src = self.read_operand(&instr.src.expect("src"))? as i32;
+                let dst_op = instr.dst.expect("dst");
+                let dst = self.read_operand(&dst_op)? as i32;
+                if src == 0 {
+                    return Err(MachineError::DivideByZero(at));
+                }
+                let v = if instr.op == Op::Idiv {
+                    dst.wrapping_div(src)
+                } else {
+                    dst.wrapping_rem(src)
+                };
+                // x86 leaves flags undefined after division; we define them
+                // from the result for determinism.
+                self.flags = arith::Flags::from_result(w, v as u32 as u64);
+                self.write_operand(&dst_op, v as u32)?;
+            }
+            Op::Shl | Op::Shr | Op::Sar => {
+                let count = match instr.src.expect("src") {
+                    Operand::Imm(i) => i as u32,
+                    Operand::Reg(r) => self.reg(r),
+                    Operand::Mem(_) => return Err(MachineError::BadShiftCount(at)),
+                } & 31;
+                let dst_op = instr.dst.expect("dst");
+                let dst = self.read_operand(&dst_op)?;
+                let (v, cf) = if count == 0 {
+                    (dst, self.flags.cf)
+                } else {
+                    match instr.op {
+                        Op::Shl => (dst << count, (dst >> (32 - count)) & 1 == 1),
+                        Op::Shr => (dst >> count, (dst >> (count - 1)) & 1 == 1),
+                        _ => (
+                            ((dst as i32) >> count) as u32,
+                            ((dst as i32) >> (count - 1)) & 1 == 1,
+                        ),
+                    }
+                };
+                self.flags = arith::Flags::from_result(w, v as u64);
+                self.flags.cf = cf;
+                self.write_operand(&dst_op, v)?;
+            }
+            Op::Inc | Op::Dec => {
+                let dst_op = instr.dst.expect("dst");
+                let dst = self.read_operand(&dst_op)? as u64;
+                let r = if instr.op == Op::Inc {
+                    arith::add(w, dst, 1).expect("width 32")
+                } else {
+                    arith::sub(w, dst, 1).expect("width 32")
+                };
+                // x86: inc/dec preserve CF.
+                let old_cf = self.flags.cf;
+                self.flags = r.flags;
+                self.flags.cf = old_cf;
+                self.write_operand(&dst_op, r.value as u32)?;
+            }
+            Op::Neg => {
+                let dst_op = instr.dst.expect("dst");
+                let dst = self.read_operand(&dst_op)? as u64;
+                let r = arith::sub(w, 0, dst).expect("width 32");
+                self.flags = r.flags;
+                self.flags.cf = dst != 0;
+                self.write_operand(&dst_op, r.value as u32)?;
+            }
+            Op::Not => {
+                let dst_op = instr.dst.expect("dst");
+                let dst = self.read_operand(&dst_op)?;
+                self.write_operand(&dst_op, !dst)?; // no flags, like x86
+            }
+            Op::Push => {
+                let v = self.read_operand(&instr.dst.expect("operand"))?;
+                self.push(v)?;
+            }
+            Op::Pop => {
+                let v = self.pop()?;
+                self.write_operand(&instr.dst.expect("operand"), v)?;
+            }
+            Op::Jmp => {
+                self.eip = self.read_operand(&instr.dst.expect("target"))?;
+                taken = true;
+            }
+            Op::Jcc => {
+                if instr.cond.expect("jcc cond").eval(self.flags) {
+                    self.eip = self.read_operand(&instr.dst.expect("target"))?;
+                    taken = true;
+                }
+            }
+            Op::Call => {
+                let target = self.read_operand(&instr.dst.expect("target"))?;
+                let ret = self.eip;
+                self.push(ret)?;
+                self.eip = target;
+                taken = true;
+            }
+            Op::Ret => {
+                self.eip = self.pop()?;
+                taken = true;
+            }
+            Op::Leave => {
+                let ebp = self.reg(Reg::Ebp);
+                self.set_reg(Reg::Esp, ebp);
+                let saved = self.pop()?;
+                self.set_reg(Reg::Ebp, saved);
+            }
+            Op::Out => {
+                let v = self.read_operand(&instr.dst.expect("operand"))?;
+                self.output.push(v as i32);
+            }
+        }
+
+        self.executed += 1;
+        self.cycles += Machine::cost_of(&instr, taken);
+        Ok(instr)
+    }
+
+    /// Runs until `hlt` or the fuel limit.
+    pub fn run(&mut self, fuel: u64) -> Result<(), MachineError> {
+        for _ in 0..fuel {
+            if self.halted {
+                return Ok(());
+            }
+            self.step()?;
+        }
+        if self.halted {
+            Ok(())
+        } else {
+            Err(MachineError::OutOfFuel)
+        }
+    }
+
+    /// Pretty-prints registers the way the course's GDB cheat-sheet does.
+    pub fn dump_registers(&self) -> String {
+        let mut s = String::new();
+        for r in Reg::all() {
+            s.push_str(&format!(
+                "{:<5} {:#010x}  {}\n",
+                r.att_name(),
+                self.reg(r),
+                self.reg(r) as i32
+            ));
+        }
+        s.push_str(&format!("eip   {:#010x}\n", self.eip));
+        s.push_str(&format!("flags {}\n", self.flags.pretty()));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::assemble;
+
+    fn run_src(src: &str) -> Machine {
+        let p = assemble(src).unwrap();
+        let mut m = Machine::new();
+        m.load(&p).unwrap();
+        m.run(100_000).unwrap();
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let m = run_src("movl $7, %eax\nsubl $7, %eax\nhlt\n");
+        assert_eq!(m.reg(Reg::Eax), 0);
+        assert!(m.flags.zf);
+    }
+
+    #[test]
+    fn loop_counts_down() {
+        let m = run_src(
+            r#"
+            movl $5, %ecx
+            movl $0, %eax
+            top:
+                addl %ecx, %eax
+                decl %ecx
+                cmpl $0, %ecx
+                jne top
+            hlt
+        "#,
+        );
+        assert_eq!(m.reg(Reg::Eax), 15);
+    }
+
+    #[test]
+    fn memory_store_load() {
+        let m = run_src(
+            r#"
+            movl $0x2000, %ebx
+            movl $77, (%ebx)
+            movl (%ebx), %ecx
+            movl 0x2000, %edx
+            hlt
+        "#,
+        );
+        assert_eq!(m.reg(Reg::Ecx), 77);
+        assert_eq!(m.reg(Reg::Edx), 77);
+    }
+
+    #[test]
+    fn indexed_addressing() {
+        let m = run_src(
+            r#"
+            movl $0x3000, %eax
+            movl $2, %ecx
+            movl $99, 8(%eax)        # a[2] for 4-byte elements
+            movl (%eax,%ecx,4), %ebx
+            hlt
+        "#,
+        );
+        assert_eq!(m.reg(Reg::Ebx), 99);
+    }
+
+    #[test]
+    fn lea_computes_without_touching_memory() {
+        let m = run_src(
+            r#"
+            movl $0x4000, %eax
+            movl $3, %ecx
+            leal 4(%eax,%ecx,4), %edx
+            hlt
+        "#,
+        );
+        assert_eq!(m.reg(Reg::Edx), 0x4000 + 4 + 12);
+    }
+
+    #[test]
+    fn push_pop_stack_discipline() {
+        let m = run_src(
+            r#"
+            movl $11, %eax
+            movl $22, %ebx
+            pushl %eax
+            pushl %ebx
+            popl %ecx
+            popl %edx
+            hlt
+        "#,
+        );
+        assert_eq!(m.reg(Reg::Ecx), 22);
+        assert_eq!(m.reg(Reg::Edx), 11);
+        assert_eq!(m.reg(Reg::Esp), STACK_TOP);
+    }
+
+    #[test]
+    fn call_ret_with_frame() {
+        // The full prologue/epilogue dance the course spends a week on.
+        let m = run_src(
+            r#"
+            main:
+                pushl $10          # argument
+                call double
+                addl $4, %esp      # caller cleans up
+                hlt
+            double:
+                pushl %ebp
+                movl %esp, %ebp
+                movl 8(%ebp), %eax # first arg
+                addl %eax, %eax
+                leave
+                ret
+        "#,
+        );
+        assert_eq!(m.reg(Reg::Eax), 20);
+        assert_eq!(m.reg(Reg::Esp), STACK_TOP, "stack balanced");
+    }
+
+    #[test]
+    fn signed_vs_unsigned_branches() {
+        // -1 vs 1: signed says less, unsigned says above.
+        let m = run_src(
+            r#"
+            movl $-1, %eax
+            cmpl $1, %eax      # compute eax - 1
+            jl signed_less
+            hlt
+            signed_less:
+                movl $111, %ebx
+                cmpl $1, %eax
+                ja unsigned_above
+                hlt
+            unsigned_above:
+                movl $222, %ecx
+                hlt
+        "#,
+        );
+        assert_eq!(m.reg(Reg::Ebx), 111);
+        assert_eq!(m.reg(Reg::Ecx), 222);
+    }
+
+    #[test]
+    fn shifts_and_sar_sign() {
+        let m = run_src(
+            r#"
+            movl $-8, %eax
+            sarl $1, %eax      # arithmetic: -4
+            movl $-8, %ebx
+            shrl $1, %ebx      # logical: big positive
+            movl $3, %ecx
+            shll $2, %ecx      # 12
+            hlt
+        "#,
+        );
+        assert_eq!(m.reg(Reg::Eax) as i32, -4);
+        assert_eq!(m.reg(Reg::Ebx), 0x7FFF_FFFC);
+        assert_eq!(m.reg(Reg::Ecx), 12);
+    }
+
+    #[test]
+    fn inc_preserves_carry() {
+        let m = run_src(
+            r#"
+            movl $0xFFFFFFFF, %eax
+            addl $1, %eax      # sets CF
+            incl %ebx          # must keep CF set
+            hlt
+        "#,
+        );
+        assert!(m.flags.cf);
+    }
+
+    #[test]
+    fn out_collects_values() {
+        let m = run_src("movl $1, %eax\noutl %eax\noutl $42\nhlt\n");
+        assert_eq!(m.output, vec![1, 42]);
+    }
+
+    #[test]
+    fn indirect_jump_and_call_through_register() {
+        // Function-pointer style: load a label address into a register and
+        // jump/call through it.
+        let p = assemble(
+            r#"
+            main:
+                movl $target, %eax      # not label syntax: use a push trick
+                hlt
+            target:
+                movl $7, %ebx
+                hlt
+        "#,
+        );
+        // `movl $target` is not supported (labels only in jmp/call), so the
+        // assembler must reject it...
+        assert!(p.is_err(), "labels are control-flow-only operands");
+
+        // ...but indirect control flow works by computing the address:
+        let prog = assemble(
+            r#"
+            main:
+                call get_target         # eax = address of target
+                jmp done
+            get_target:
+                movl $0x1000, %eax      # CODE_BASE; patched below
+                ret
+            done:
+                hlt
+        "#,
+        )
+        .unwrap();
+        let target = prog.symbols["done"];
+        let mut m = Machine::new();
+        m.load(&prog).unwrap();
+        m.run(100).unwrap();
+        // Now demonstrate register-indirect jmp directly: write a program
+        // whose jump target comes from %eax.
+        let prog2 = assemble(
+            r#"
+            main:
+                movl $99, %ecx
+                jmp %eax
+            never:
+                movl $0, %ecx
+                hlt
+        "#,
+        )
+        .unwrap();
+        let mut m2 = Machine::new();
+        m2.load(&prog2).unwrap();
+        m2.set_reg(Reg::Eax, target); // from the first program's symbols? use own:
+        // jump straight to hlt in prog2: reuse 'never'+skip... simplest:
+        // jump to the hlt at the end of 'never' block:
+        let hlt_addr = prog2.listing.last().unwrap().0;
+        m2.set_reg(Reg::Eax, hlt_addr);
+        m2.run(100).unwrap();
+        assert_eq!(m2.reg(Reg::Ecx), 99, "indirect jump skipped the clobber");
+    }
+
+    #[test]
+    fn segfault_reported() {
+        let p = assemble("movl $0xFFFFF000, %eax\nmovl (%eax), %ebx\nhlt\n").unwrap();
+        let mut m = Machine::new();
+        m.load(&p).unwrap();
+        match m.run(100) {
+            Err(MachineError::Segfault { addr, .. }) => assert_eq!(addr, 0xFFFF_F000),
+            other => panic!("expected segfault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn illegal_instruction_on_garbage_jump() {
+        let p = assemble("jmp $0x9000\nhlt\n").unwrap();
+        let mut m = Machine::new();
+        m.load(&p).unwrap();
+        // 0x9000 contains zeroed memory: opcode 0 = nop... so fill:
+        m.mem[0x9000] = 0xEE;
+        match m.run(100) {
+            Err(MachineError::IllegalInstruction(_, eip)) => assert_eq!(eip, 0x9000),
+            other => panic!("expected illegal instruction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cost_model_charges_memory() {
+        let reg_loop = run_src(
+            r#"
+            movl $100, %ecx
+            movl $0, %eax
+            t: addl $1, %eax
+               decl %ecx
+               cmpl $0, %ecx
+               jne t
+            hlt
+        "#,
+        );
+        let mem_loop = run_src(
+            r#"
+            movl $100, %ecx
+            movl $0, 0x2000
+            t: movl 0x2000, %eax
+               addl $1, %eax
+               movl %eax, 0x2000
+               decl %ecx
+               cmpl $0, %ecx
+               jne t
+            hlt
+        "#,
+        );
+        assert_eq!(reg_loop.reg(Reg::Eax), 100);
+        assert_eq!(mem_loop.read_u32(0x2000).unwrap(), 100);
+        assert!(
+            mem_loop.cycles > reg_loop.cycles * 2,
+            "memory version must be much slower: {} vs {}",
+            mem_loop.cycles,
+            reg_loop.cycles
+        );
+    }
+
+    #[test]
+    fn random_straight_line_programs_match_reference_interpreter() {
+        // Property-style differential test: 200 seeded random straight-line
+        // programs over 4 registers, executed on the Machine and on a
+        // 20-line i32 reference interpreter. Any drift in arithmetic,
+        // mnemonic tables, encoding, or operand handling shows up here.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let regs = ["%eax", "%ebx", "%ecx", "%edx"];
+        for seed in 0..200u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut src = String::new();
+            let mut model = [0i32; 4];
+            for (i, r) in regs.iter().enumerate() {
+                let v = rng.gen_range(-100..100);
+                src.push_str(&format!("movl ${v}, {r}\n"));
+                model[i] = v;
+            }
+            for _ in 0..12 {
+                let d = rng.gen_range(0..4);
+                let s_i = rng.gen_range(0..4);
+                match rng.gen_range(0..6) {
+                    0 => {
+                        src.push_str(&format!("addl {}, {}\n", regs[s_i], regs[d]));
+                        model[d] = model[d].wrapping_add(model[s_i]);
+                    }
+                    1 => {
+                        src.push_str(&format!("subl {}, {}\n", regs[s_i], regs[d]));
+                        model[d] = model[d].wrapping_sub(model[s_i]);
+                    }
+                    2 => {
+                        src.push_str(&format!("xorl {}, {}\n", regs[s_i], regs[d]));
+                        model[d] ^= model[s_i];
+                    }
+                    3 => {
+                        src.push_str(&format!("imull {}, {}\n", regs[s_i], regs[d]));
+                        model[d] = model[d].wrapping_mul(model[s_i]);
+                    }
+                    4 => {
+                        let k = rng.gen_range(1..4u32);
+                        src.push_str(&format!("shll ${k}, {}\n", regs[d]));
+                        model[d] = ((model[d] as u32) << k) as i32;
+                    }
+                    _ => {
+                        src.push_str(&format!("negl {}\n", regs[d]));
+                        model[d] = model[d].wrapping_neg();
+                    }
+                }
+            }
+            src.push_str("hlt\n");
+            let prog = assemble(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            let mut m = Machine::new();
+            m.load(&prog).unwrap();
+            m.run(1000).unwrap();
+            let got = [
+                m.reg(Reg::Eax) as i32,
+                m.reg(Reg::Ebx) as i32,
+                m.reg(Reg::Ecx) as i32,
+                m.reg(Reg::Edx) as i32,
+            ];
+            assert_eq!(got, model, "seed {seed} diverged:\n{src}");
+        }
+    }
+
+    #[test]
+    fn register_dump_format() {
+        let m = run_src("movl $-1, %eax\nhlt\n");
+        let dump = m.dump_registers();
+        assert!(dump.contains("%eax"));
+        assert!(dump.contains("0xffffffff"));
+        assert!(dump.contains("-1"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # asm — an IA-32-subset assembler, emulator, and GDB-style debugger
+//!
+//! CS 31 teaches "32-bit x86 assembly … because it represents a simplified
+//! form of the ISA of our lab machines and students can disassemble their
+//! own program binaries to the assembly code they learn" (§III-A *Assembly
+//! Programming*). This crate is that toolchain, built from scratch:
+//!
+//! * [`parser`] — AT&T-syntax source (the GAS dialect the course uses:
+//!   `movl $5, %eax`, `addl %ebx, %eax`, `movl 8(%ebp), %eax`, labels,
+//!   comments) parsed into typed instructions;
+//! * [`insn`] — the instruction set: the arithmetic/data-movement/control
+//!   subset the course covers, with a **byte-level variable-length
+//!   encoding** so programs really are assembled to binary and disassembled
+//!   back (the encoding is ours, not Intel's — see DESIGN.md §2: the
+//!   pedagogy needs the ISA contract, not Intel's bit layouts);
+//! * [`emu`] — the machine: eight 32-bit registers, EFLAGS (ZF/SF/CF/OF),
+//!   64 KiB of little-endian memory, a full call/return stack discipline
+//!   (`push`/`pop`/`call`/`ret`/`leave`), and a per-instruction **cost
+//!   model** for the course's "equivalent assembly sequences" efficiency
+//!   discussions (experiment **E10**);
+//! * [`debugger`] — a scriptable GDB: breakpoints, single-step, register
+//!   and memory inspection, disassembly — the Lab 5 workflow;
+//! * [`maze`] — the Lab 5 "binary maze": generated multi-floor puzzle
+//!   binaries that students (and our tests) solve with the debugger;
+//! * [`tinyc`] — a tiny C-subset compiler emitting AT&T assembly, closing
+//!   the "how C becomes instructions" loop of Lab 4;
+//! * [`linker`] — object units with symbols and relocations, linked into
+//!   runnable programs: the compile → assemble → link → load chain,
+//!   complete with undefined-reference and duplicate-symbol errors.
+//!
+//! ```
+//! use asm::{assemble, emu::Machine};
+//!
+//! let prog = assemble(r#"
+//!     movl $40, %eax
+//!     movl $2, %ebx
+//!     addl %ebx, %eax
+//!     hlt
+//! "#).unwrap();
+//! let mut m = Machine::new();
+//! m.load(&prog).unwrap();
+//! m.run(1000).unwrap();
+//! assert_eq!(m.reg(asm::Reg::Eax), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod debugger;
+pub mod emu;
+pub mod insn;
+pub mod linker;
+pub mod maze;
+pub mod parser;
+pub mod tinyc;
+
+pub use emu::{Machine, MachineError};
+pub use insn::{Cond, Instr, Mem, Op, Operand, Reg};
+pub use parser::{assemble, AsmError, Program};

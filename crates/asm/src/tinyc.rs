@@ -1,0 +1,828 @@
+//! `tinyc` — a tiny C-subset compiler emitting AT&T assembly.
+//!
+//! Lab 4 asks students to "translate C to IA-32 assembly that they compile
+//! and run"; lectures repeatedly translate "C code examples with if-else,
+//! loops, function call/return, and stack memory" (§III-A). This module
+//! mechanizes that translation for a C subset big enough to express the
+//! course's examples:
+//!
+//! * `int` variables (locals and parameters), integer literals;
+//! * `+ - * == != < <= > >=`, unary `-`, parentheses;
+//! * `=` assignment, `if`/`else`, `while`, `return`;
+//! * function definition and calls (cdecl: args pushed right-to-left,
+//!   caller cleans, result in `%eax`, `%ebp` frames);
+//! * `print(e);` compiles to the teaching `outl` instruction.
+//!
+//! The emitted assembly uses the same frame discipline the course hand-
+//! traces: prologue `pushl %ebp; movl %esp, %ebp; subl $locals, %esp`,
+//! parameters at `8(%ebp)`, `12(%ebp)`, …, locals at `-4(%ebp)`, ….
+
+#![allow(clippy::while_let_loop)] // precedence-climbing loops stay symmetric
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Compilation errors (lexing, parsing, or name resolution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Human-readable description with source position context.
+    pub message: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tinyc: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn bail<T>(message: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError { message: message.into() })
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Int,
+    If,
+    Else,
+    While,
+    Return,
+    Print,
+    Ident(String),
+    Num(i32),
+    Punct(&'static str),
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, CompileError> {
+    let mut toks = Vec::new();
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            let n = text
+                .parse::<i32>()
+                .map_err(|_| CompileError { message: format!("integer {text} too large") })?;
+            toks.push(Tok::Num(n));
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            let word: String = b[start..i].iter().collect();
+            toks.push(match word.as_str() {
+                "int" => Tok::Int,
+                "if" => Tok::If,
+                "else" => Tok::Else,
+                "while" => Tok::While,
+                "return" => Tok::Return,
+                "print" => Tok::Print,
+                _ => Tok::Ident(word),
+            });
+            continue;
+        }
+        // Two-char operators first.
+        let two: String = b[i..(i + 2).min(b.len())].iter().collect();
+        let two_ops = ["==", "!=", "<=", ">="];
+        if let Some(op) = two_ops.iter().find(|&&o| o == two) {
+            toks.push(Tok::Punct(op));
+            i += 2;
+            continue;
+        }
+        let one_ops = [
+            ("+", "+"),
+            ("-", "-"),
+            ("*", "*"),
+            ("/", "/"),
+            ("%", "%"),
+            ("=", "="),
+            ("<", "<"),
+            (">", ">"),
+            ("(", "("),
+            (")", ")"),
+            ("{", "{"),
+            ("}", "}"),
+            (";", ";"),
+            (",", ","),
+        ];
+        if let Some((_, op)) = one_ops.iter().find(|(c2, _)| c2.starts_with(c)) {
+            toks.push(Tok::Punct(op));
+            i += 1;
+            continue;
+        }
+        return bail(format!("unexpected character {c:?}"));
+    }
+    Ok(toks)
+}
+
+// ------------------------------------------------------------------ ast --
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Expr {
+    Num(i32),
+    Var(String),
+    Unary(Box<Expr>),
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+    Call(String, Vec<Expr>),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Stmt {
+    Declare(String, Option<Expr>),
+    Assign(String, Expr),
+    Return(Expr),
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    While(Expr, Vec<Stmt>),
+    Print(Expr),
+    Expr(Expr),
+}
+
+#[derive(Debug, Clone)]
+struct Function {
+    name: String,
+    params: Vec<String>,
+    body: Vec<Stmt>,
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CompileError> {
+        match self.next() {
+            Some(Tok::Punct(q)) if q == p => Ok(()),
+            other => bail(format!("expected {p:?}, found {other:?}")),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => bail(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Vec<Function>, CompileError> {
+        let mut fns = Vec::new();
+        while self.peek().is_some() {
+            fns.push(self.function()?);
+        }
+        if fns.is_empty() {
+            return bail("no functions");
+        }
+        Ok(fns)
+    }
+
+    fn function(&mut self) -> Result<Function, CompileError> {
+        match self.next() {
+            Some(Tok::Int) => {}
+            other => return bail(format!("expected 'int' return type, found {other:?}")),
+        }
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                match self.next() {
+                    Some(Tok::Int) => {}
+                    other => return bail(format!("expected 'int' param type, found {other:?}")),
+                }
+                params.push(self.ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.peek().is_none() {
+                return bail("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek() {
+            Some(Tok::Int) => {
+                self.pos += 1;
+                let name = self.ident()?;
+                let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+                self.expect_punct(";")?;
+                Ok(Stmt::Declare(name, init))
+            }
+            Some(Tok::Return) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Return(e))
+            }
+            Some(Tok::Print) => {
+                self.pos += 1;
+                self.expect_punct("(")?;
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Print(e))
+            }
+            Some(Tok::If) => {
+                self.pos += 1;
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let then = self.block()?;
+                let els = if matches!(self.peek(), Some(Tok::Else)) {
+                    self.pos += 1;
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Some(Tok::While) => {
+                self.pos += 1;
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Some(Tok::Ident(_)) => {
+                // assignment or expression statement
+                let save = self.pos;
+                let name = self.ident()?;
+                if self.eat_punct("=") {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Assign(name, e))
+                } else {
+                    self.pos = save;
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+            other => bail(format!("unexpected token {other:?} at statement start")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.equality()
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct(p @ ("==" | "!="))) => *p,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.relational()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn relational(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct(p @ ("<" | ">" | "<=" | ">="))) => *p,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.additive()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct(p @ ("+" | "-"))) => *p,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct(p @ ("*" | "/" | "%"))) => *p,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::Punct("(")) => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => bail(format!("unexpected token {other:?} in expression")),
+        }
+    }
+}
+
+// -------------------------------------------------------------- codegen --
+
+struct Codegen {
+    out: String,
+    /// variable → ebp offset
+    locals: HashMap<String, i32>,
+    next_local: i32,
+    label_counter: usize,
+    fn_name: String,
+}
+
+impl Codegen {
+    fn emit(&mut self, line: &str) {
+        let _ = writeln!(self.out, "    {line}");
+    }
+
+    fn label(&mut self, hint: &str) -> String {
+        self.label_counter += 1;
+        format!("{}_{hint}_{}", self.fn_name, self.label_counter)
+    }
+
+    fn var_offset(&self, name: &str) -> Result<i32, CompileError> {
+        self.locals
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError { message: format!("undefined variable {name:?}") })
+    }
+
+    /// Counts local slots needed (declarations) in a statement list.
+    fn count_locals(stmts: &[Stmt]) -> i32 {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Declare(..) => 1,
+                Stmt::If(_, a, b) => Codegen::count_locals(a) + Codegen::count_locals(b),
+                Stmt::While(_, b) => Codegen::count_locals(b),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Evaluates `e` into `%eax` (temporaries go through the real stack,
+    /// just like the unoptimized GCC output the course reads).
+    fn expr(&mut self, e: &Expr) -> Result<(), CompileError> {
+        match e {
+            Expr::Num(n) => self.emit(&format!("movl ${n}, %eax")),
+            Expr::Var(name) => {
+                let off = self.var_offset(name)?;
+                self.emit(&format!("movl {off}(%ebp), %eax"));
+            }
+            Expr::Unary(inner) => {
+                self.expr(inner)?;
+                self.emit("negl %eax");
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                self.expr(lhs)?;
+                self.emit("pushl %eax");
+                self.expr(rhs)?;
+                self.emit("movl %eax, %ecx");
+                self.emit("popl %eax");
+                match *op {
+                    "+" => self.emit("addl %ecx, %eax"),
+                    "-" => self.emit("subl %ecx, %eax"),
+                    "*" => self.emit("imull %ecx, %eax"),
+                    "/" => self.emit("idivl %ecx, %eax"),
+                    "%" => self.emit("imodl %ecx, %eax"),
+                    cmp => {
+                        // eax = (eax CMP ecx) ? 1 : 0, branchy like -O0.
+                        let t = self.label("true");
+                        let done = self.label("done");
+                        self.emit("cmpl %ecx, %eax");
+                        let jcc = match cmp {
+                            "==" => "je",
+                            "!=" => "jne",
+                            "<" => "jl",
+                            "<=" => "jle",
+                            ">" => "jg",
+                            ">=" => "jge",
+                            other => return bail(format!("bad operator {other:?}")),
+                        };
+                        self.emit(&format!("{jcc} {t}"));
+                        self.emit("movl $0, %eax");
+                        self.emit(&format!("jmp {done}"));
+                        let _ = writeln!(self.out, "{t}:");
+                        self.emit("movl $1, %eax");
+                        let _ = writeln!(self.out, "{done}:");
+                    }
+                }
+            }
+            Expr::Call(name, args) => {
+                // cdecl: push right-to-left, caller cleans.
+                for a in args.iter().rev() {
+                    self.expr(a)?;
+                    self.emit("pushl %eax");
+                }
+                self.emit(&format!("call fn_{name}"));
+                if !args.is_empty() {
+                    self.emit(&format!("addl ${}, %esp", 4 * args.len()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Declare(name, init) => {
+                self.next_local -= 4;
+                self.locals.insert(name.clone(), self.next_local);
+                if let Some(e) = init {
+                    self.expr(e)?;
+                    let off = self.next_local;
+                    self.emit(&format!("movl %eax, {off}(%ebp)"));
+                }
+            }
+            Stmt::Assign(name, e) => {
+                self.expr(e)?;
+                let off = self.var_offset(name)?;
+                self.emit(&format!("movl %eax, {off}(%ebp)"));
+            }
+            Stmt::Return(e) => {
+                self.expr(e)?;
+                self.emit("leave");
+                self.emit("ret");
+            }
+            Stmt::If(cond, then, els) => {
+                let else_l = self.label("else");
+                let end_l = self.label("endif");
+                self.expr(cond)?;
+                self.emit("cmpl $0, %eax");
+                self.emit(&format!("je {else_l}"));
+                for s in then {
+                    self.stmt(s)?;
+                }
+                self.emit(&format!("jmp {end_l}"));
+                let _ = writeln!(self.out, "{else_l}:");
+                for s in els {
+                    self.stmt(s)?;
+                }
+                let _ = writeln!(self.out, "{end_l}:");
+            }
+            Stmt::While(cond, body) => {
+                let top = self.label("while");
+                let end = self.label("endwhile");
+                let _ = writeln!(self.out, "{top}:");
+                self.expr(cond)?;
+                self.emit("cmpl $0, %eax");
+                self.emit(&format!("je {end}"));
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.emit(&format!("jmp {top}"));
+                let _ = writeln!(self.out, "{end}:");
+            }
+            Stmt::Print(e) => {
+                self.expr(e)?;
+                self.emit("outl %eax");
+            }
+            Stmt::Expr(e) => self.expr(e)?,
+        }
+        Ok(())
+    }
+}
+
+/// Compiles tinyc source to a *library unit*: function bodies only, no
+/// startup shim and no `main` requirement — for separate compilation and
+/// linking via [`crate::linker`]. Cross-unit calls work because every
+/// function gets the same `fn_<name>` label scheme.
+pub fn compile_unit(src: &str) -> Result<String, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let fns = p.program()?;
+    let mut out = String::from("# tinyc unit\n");
+    emit_functions(&fns, &mut out)?;
+    Ok(out)
+}
+
+fn emit_functions(fns: &[Function], out: &mut String) -> Result<(), CompileError> {
+    for f in fns {
+        let _ = writeln!(out, "fn_{}:", f.name);
+        let mut cg = Codegen {
+            out: String::new(),
+            locals: HashMap::new(),
+            next_local: 0,
+            label_counter: 0,
+            fn_name: f.name.clone(),
+        };
+        for (i, name) in f.params.iter().enumerate() {
+            cg.locals.insert(name.clone(), 8 + 4 * i as i32);
+        }
+        cg.emit("pushl %ebp");
+        cg.emit("movl %esp, %ebp");
+        let nlocals = Codegen::count_locals(&f.body);
+        if nlocals > 0 {
+            cg.emit(&format!("subl ${}, %esp", 4 * nlocals));
+        }
+        for s in &f.body {
+            cg.stmt(s)?;
+        }
+        // Implicit `return 0` for functions that fall off the end.
+        cg.emit("movl $0, %eax");
+        cg.emit("leave");
+        cg.emit("ret");
+        out.push_str(&cg.out);
+    }
+    Ok(())
+}
+
+/// Compiles tinyc source to AT&T assembly text.
+///
+/// The program must define `int main(...)`; the emitted code starts with a
+/// shim that calls `fn_main` and halts, so the result runs directly on the
+/// [`crate::emu::Machine`] with `main`'s return value left in `%eax`.
+pub fn compile(src: &str) -> Result<String, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let fns = p.program()?;
+    if !fns.iter().any(|f| f.name == "main") {
+        return bail("no main function");
+    }
+
+    let mut out = String::from("# tinyc output\n");
+    let _ = writeln!(out, "    call fn_main");
+    let _ = writeln!(out, "    hlt");
+    emit_functions(&fns, &mut out)?;
+    Ok(out)
+}
+
+/// Compiles and runs a tinyc program; returns `(main's return value,
+/// printed values)`.
+pub fn run(src: &str) -> Result<(i32, Vec<i32>), Box<dyn std::error::Error>> {
+    let asm_text = compile(src)?;
+    let program = crate::assemble(&asm_text)?;
+    let mut m = crate::Machine::new();
+    m.load(&program)?;
+    m.run(10_000_000)?;
+    Ok((m.reg(crate::Reg::Eax) as i32, m.output.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_expression() {
+        let (r, _) = run("int main() { return 2 + 3 * 4; }").unwrap();
+        assert_eq!(r, 14);
+        let (r, _) = run("int main() { return (2 + 3) * 4; }").unwrap();
+        assert_eq!(r, 20);
+        let (r, _) = run("int main() { return -5 + 2; }").unwrap();
+        assert_eq!(r, -3);
+    }
+
+    #[test]
+    fn division_and_modulo() {
+        let (r, _) = run("int main() { return 17 / 5; }").unwrap();
+        assert_eq!(r, 3);
+        let (r, _) = run("int main() { return 17 % 5; }").unwrap();
+        assert_eq!(r, 2);
+        let (r, _) = run("int main() { return -7 / 2; }").unwrap();
+        assert_eq!(r, -3, "C truncates toward zero");
+        let (r, _) = run("int main() { return -7 % 2; }").unwrap();
+        assert_eq!(r, -1);
+        // Precedence: / binds like *.
+        let (r, _) = run("int main() { return 1 + 6 / 2; }").unwrap();
+        assert_eq!(r, 4);
+        // Division by zero surfaces as the machine's SIGFPE.
+        assert!(run("int main() { return 1 / 0; }").is_err());
+    }
+
+    #[test]
+    fn euclid_gcd_with_modulo() {
+        let (r, _) = run(
+            r#"
+            int gcd(int a, int b) {
+                while (b != 0) {
+                    int t = b;
+                    b = a % b;
+                    a = t;
+                }
+                return a;
+            }
+            int main() { return gcd(1071, 462); }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(r, 21);
+    }
+
+    #[test]
+    fn locals_and_assignment() {
+        let (r, _) = run("int main() { int x = 10; int y; y = x * 3; return y - 1; }").unwrap();
+        assert_eq!(r, 29);
+    }
+
+    #[test]
+    fn if_else_both_arms() {
+        let src = |n: i32| {
+            format!("int main() {{ int x = {n}; if (x > 5) {{ return 1; }} else {{ return 2; }} }}")
+        };
+        assert_eq!(run(&src(9)).unwrap().0, 1);
+        assert_eq!(run(&src(3)).unwrap().0, 2);
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let (r, _) = run(
+            "int main() { int i = 1; int acc = 0; while (i <= 10) { acc = acc + i; i = i + 1; } return acc; }",
+        )
+        .unwrap();
+        assert_eq!(r, 55);
+    }
+
+    #[test]
+    fn function_calls_cdecl() {
+        let (r, _) = run(
+            r#"
+            int add(int a, int b) { return a + b; }
+            int main() { return add(40, 2); }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        let (r, _) = run(
+            r#"
+            int fact(int n) {
+                if (n <= 1) { return 1; }
+                return n * fact(n - 1);
+            }
+            int main() { return fact(6); }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(r, 720);
+    }
+
+    #[test]
+    fn print_writes_output() {
+        let (_, out) = run(
+            "int main() { int i = 0; while (i < 3) { print(i * 10); i = i + 1; } return 0; }",
+        )
+        .unwrap();
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        for (expr, expect) in [
+            ("1 == 1", 1),
+            ("1 != 1", 0),
+            ("2 < 3", 1),
+            ("3 < 2", 0),
+            ("2 <= 2", 1),
+            ("3 >= 4", 0),
+            ("-1 < 1", 1), // signed comparison via jl
+        ] {
+            let (r, _) = run(&format!("int main() {{ return {expr}; }}")).unwrap();
+            assert_eq!(r, expect, "{expr}");
+        }
+    }
+
+    #[test]
+    fn fall_off_end_returns_zero() {
+        let (r, _) = run("int main() { int x = 5; }").unwrap();
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(compile("int main() { return 1 }").is_err()); // missing ;
+        assert!(compile("int main() { return y; }").is_err()); // undefined var
+        assert!(compile("int f() { return 1; }").is_err()); // no main
+        assert!(compile("main() { }").is_err()); // missing type
+        assert!(compile("int main() { int x = 99999999999; }").is_err());
+        assert!(compile("int main() { @ }").is_err());
+        assert!(compile("int main() { if (1) { return 1; }").is_err()); // unterminated
+    }
+
+    #[test]
+    fn emitted_assembly_shows_frame_discipline() {
+        let asm_text = compile("int f(int a) { int b = a; return b; }\nint main(){ return f(7); }").unwrap();
+        assert!(asm_text.contains("pushl %ebp"));
+        assert!(asm_text.contains("movl %esp, %ebp"));
+        assert!(asm_text.contains("8(%ebp)"), "param access:\n{asm_text}");
+        assert!(asm_text.contains("-4(%ebp)"), "local access:\n{asm_text}");
+        assert!(asm_text.contains("leave"));
+    }
+
+    #[test]
+    fn nested_scopes_count_locals() {
+        let (r, _) = run(
+            r#"
+            int main() {
+                int total = 0;
+                int i = 0;
+                while (i < 3) {
+                    int sq = i * i;
+                    total = total + sq;
+                    i = i + 1;
+                }
+                return total;
+            }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(r, 5);
+    }
+}

@@ -1,0 +1,33 @@
+//! E6 — Amdahl curves and machine-model contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parallel::laws::amdahl_curve;
+use parallel::machine::{life_like_workload, simulate};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bench::e6_amdahl());
+
+    let mut g = c.benchmark_group("amdahl");
+    g.bench_function("curve_64_points", |b| {
+        let procs: Vec<usize> = (1..=64).collect();
+        b.iter(|| amdahl_curve(0.05, &procs))
+    });
+    for crit in [0u64, 20_000] {
+        g.bench_with_input(
+            BenchmarkId::new("machine_16t_10rounds", crit),
+            &crit,
+            |b, &crit| {
+                let wl = life_like_workload(16_000_000, 16, 10, crit);
+                b.iter(|| simulate(bench::classroom_machine(), &wl).expect("valid").speedup())
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E10 — equivalent assembly sequences under the emulator cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn cycles_of(src: &str) -> u64 {
+    let prog = asm::assemble(src).expect("assembles");
+    let mut m = asm::Machine::new();
+    m.load(&prog).expect("loads");
+    m.run(10_000_000).expect("halts");
+    m.cycles
+}
+
+const REG_LOOP: &str = r#"
+    movl $0, %eax
+    movl $1000, %ecx
+    t: addl $1, %eax
+       subl $1, %ecx
+       cmpl $0, %ecx
+       jne t
+    hlt
+"#;
+
+const MEM_LOOP: &str = r#"
+    movl $0, %eax
+    movl $1000, 0x2000
+    t: addl $1, %eax
+       movl 0x2000, %ecx
+       subl $1, %ecx
+       movl %ecx, 0x2000
+       cmpl $0, %ecx
+       jne t
+    hlt
+"#;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bench::e10_asm_sequences());
+
+    let mut g = c.benchmark_group("asm_sequences");
+    g.bench_function("register_loop_1000", |b| b.iter(|| cycles_of(REG_LOOP)));
+    g.bench_function("memory_loop_1000", |b| b.iter(|| cycles_of(MEM_LOOP)));
+    g.bench_function("assemble_only", |b| b.iter(|| asm::assemble(MEM_LOOP).expect("assembles").bytes.len()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E4 — the cache design space: associativity × replacement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memsim::cache::{Cache, CacheConfig, ReplacementPolicy};
+use memsim::patterns;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bench::e4_cache_designs());
+
+    let mut trace = patterns::working_set_trace(0, 6 << 10, 64, 6);
+    trace.extend(patterns::random_trace(1 << 20, 32 << 10, 2000, 99));
+
+    let mut g = c.benchmark_group("cache_designs");
+    for (name, sets, ways) in
+        [("dm", 64u64, 1u64), ("2way", 32, 2), ("4way", 16, 4), ("full", 1, 64)]
+    {
+        g.bench_with_input(BenchmarkId::new("lru", name), &(sets, ways), |b, &(sets, ways)| {
+            b.iter(|| {
+                let mut cache =
+                    Cache::new(CacheConfig::set_associative(sets, ways, 64)).expect("geometry");
+                cache.run_trace(&trace);
+                cache.stats().hits
+            })
+        });
+    }
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+        g.bench_with_input(
+            BenchmarkId::new("policy_4way", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut cfg = CacheConfig::set_associative(16, 4, 64);
+                    cfg.replacement = policy;
+                    let mut cache = Cache::new(cfg).expect("geometry");
+                    cache.run_trace(&trace);
+                    cache.stats().hits
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

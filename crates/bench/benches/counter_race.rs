@@ -1,0 +1,25 @@
+//! E8 — shared counter: racy vs atomic vs mutex cost per increment.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use parallel::counter::{run_atomic, run_mutexed, run_racy};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bench::e8_counter());
+
+    let per_thread = 50_000u64;
+    let threads = 4usize;
+    let total = per_thread * threads as u64;
+    let mut g = c.benchmark_group("counter");
+    g.throughput(Throughput::Elements(total));
+    g.bench_function("racy", |b| b.iter(|| run_racy(threads, per_thread).observed));
+    g.bench_function("atomic", |b| b.iter(|| run_atomic(threads, per_thread).observed));
+    g.bench_function("mutexed", |b| b.iter(|| run_mutexed(threads, per_thread).observed));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! F1 — Figure 1: cohort sampling and figure generation throughput, and
+//! the printed reproduction itself (Criterion prints it once up front).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use survey::cohort::CohortConfig;
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated figure once so `cargo bench` output contains
+    // the artifact the paper reports.
+    println!("{}", bench::f1_figure(2022));
+
+    let mut g = c.benchmark_group("fig1");
+    for students in [50usize, 300] {
+        g.bench_with_input(
+            BenchmarkId::new("generate", students),
+            &students,
+            |b, &students| {
+                let cfg = CohortConfig { students, ..Default::default() };
+                b.iter(|| survey::figure1::generate(cfg, 2022));
+            },
+        );
+    }
+    g.bench_function("check_claims", |b| {
+        let fig = survey::figure1::generate(CohortConfig::default(), 2022);
+        b.iter(|| fig.check_paper_claims());
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E1 — Lab 10: Game of Life parallel speedup.
+//!
+//! Prints the modeled 16-core speedup table (the paper's shape), then
+//! measures the real threaded engine at several thread counts. On this
+//! single-CPU container the wall-clock series is flat ≈1x — which is
+//! itself the correct measurement for the host; the model carries the
+//! paper's multicore claim (DESIGN.md §2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use life::{Boundary, Grid, Partition};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bench::e1_life_speedup());
+
+    let grid = Grid::random(128, 128, 0.3, 42, Boundary::Toroidal).expect("grid");
+    let rounds = 10;
+
+    let mut g = c.benchmark_group("life");
+    g.throughput(Throughput::Elements((grid.rows() * grid.cols() * rounds) as u64));
+    g.bench_function("serial_128x128x10", |b| {
+        b.iter(|| life::serial::run(grid.clone(), rounds))
+    });
+    for threads in [1usize, 2, 4, 8, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel_128x128x10", threads),
+            &threads,
+            |b, &t| b.iter(|| life::parallel::run(grid.clone(), rounds, t, Partition::Rows)),
+        );
+    }
+    g.bench_function("machine_model_sweep", |b| {
+        b.iter(|| {
+            life::machsim::speedup_table(512, 512, 100, &[1, 2, 4, 8, 16], bench::classroom_machine())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E2 — pipelining: multi-cycle vs 5-stage IPC.
+
+use circuits::cpu::{sum_1_to_n_program, Cpu};
+use circuits::pipeline::{self, PipelineConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bench::e2_pipeline());
+
+    let mut cpu = Cpu::new();
+    cpu.load_program(&sum_1_to_n_program(100)).expect("fits");
+    cpu.run(100_000).expect("halts");
+    let trace = cpu.trace.clone();
+
+    let mut g = c.benchmark_group("pipeline");
+    g.bench_function("multi_cycle_model", |b| b.iter(|| pipeline::multi_cycle(&trace)));
+    g.bench_function("pipelined_model_fwd", |b| {
+        b.iter(|| pipeline::pipelined(&trace, PipelineConfig::default()))
+    });
+    g.bench_function("pipelined_model_nofwd", |b| {
+        b.iter(|| {
+            pipeline::pipelined(&trace, PipelineConfig { forwarding: false, ..Default::default() })
+        })
+    });
+    g.bench_function("swat16_execution", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new();
+            cpu.load_program(&sum_1_to_n_program(100)).expect("fits");
+            cpu.run(100_000).expect("halts");
+            cpu.regs[1]
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

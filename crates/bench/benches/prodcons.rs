@@ -1,0 +1,32 @@
+//! E7 — bounded-buffer producer/consumer throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parallel::bounded::run_producer_consumer;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bench::e7_prodcons());
+
+    let items = 5_000u64;
+    let mut g = c.benchmark_group("prodcons");
+    g.throughput(Throughput::Elements(items));
+    for cap in [1usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("1p1c", cap), &cap, |b, &cap| {
+            b.iter(|| run_producer_consumer(1, 1, cap, items))
+        });
+    }
+    for (p, cns) in [(2usize, 2usize), (4, 4)] {
+        g.bench_with_input(
+            BenchmarkId::new("capacity16", format!("{p}p{cns}c")),
+            &(p, cns),
+            |b, &(p, cns)| b.iter(|| run_producer_consumer(p, cns, 16, items / p as u64)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

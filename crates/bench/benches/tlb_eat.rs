@@ -1,0 +1,30 @@
+//! E5 — TLB effective-access-time: analytic sweep + measured simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmem::eat::{eat_sweep, measure_eat, EatParams};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bench::e5_tlb_eat());
+
+    let p = EatParams::default();
+    let mut g = c.benchmark_group("tlb_eat");
+    g.bench_function("analytic_sweep", |b| {
+        let ratios: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        b.iter(|| eat_sweep(p, &ratios))
+    });
+    for locality in [20u32, 90] {
+        g.bench_with_input(
+            BenchmarkId::new("measured_10k", locality),
+            &locality,
+            |b, &loc| b.iter(|| measure_eat(p, 8, loc as f64 / 100.0, 10_000, 7)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E9 — page replacement policies under a two-process trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmem::replace::PagePolicy;
+use vmem::sim::{VmConfig, VmSystem};
+use vmem::AccessKind;
+
+fn workload(policy: PagePolicy, frames: usize) -> u64 {
+    let mut vm = VmSystem::new(VmConfig {
+        page_size: 256,
+        num_frames: frames,
+        pages_per_process: 16,
+        policy,
+        local_replacement: false,
+    });
+    let a = vm.spawn();
+    let b = vm.spawn();
+    for burst in 0..60u64 {
+        let pid = if burst % 2 == 0 { a } else { b };
+        for i in 0..10u64 {
+            let page = (burst + i) % 5 + if i % 7 == 6 { 8 } else { 0 };
+            vm.access(pid, page * 256 + (i * 13) % 256, AccessKind::Load).expect("valid");
+        }
+    }
+    vm.stats().faults
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bench::e9_vm_replacement());
+
+    let mut g = c.benchmark_group("vm_replacement");
+    for policy in [PagePolicy::Lru, PagePolicy::Fifo, PagePolicy::Clock] {
+        g.bench_with_input(
+            BenchmarkId::new("two_process_trace", format!("{policy:?}")),
+            &policy,
+            |b, &policy| b.iter(|| workload(policy, 4)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! `reproduce` — regenerates every table, figure, and quantitative claim
+//! of the paper (DESIGN.md §4).
+//!
+//! ```text
+//! cargo run -p bench --bin reproduce            # everything
+//! cargo run -p bench --bin reproduce -- e1 e3   # selected experiments
+//! cargo run -p bench --bin reproduce -- --list  # the experiment index
+//! ```
+
+use bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = all_experiments();
+
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        println!("experiments:");
+        for (id, _) in &experiments {
+            println!("  {id}");
+        }
+        return;
+    }
+
+    let selected: Vec<&bench::Experiment> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments.iter().collect()
+    } else {
+        let mut chosen = Vec::new();
+        for a in &args {
+            match experiments.iter().find(|(id, _)| id == a) {
+                Some(e) => chosen.push(e),
+                None => {
+                    eprintln!("unknown experiment {a:?}; try --list");
+                    std::process::exit(2);
+                }
+            }
+        }
+        chosen
+    };
+
+    for (id, run) in selected {
+        println!("================================================================");
+        println!("== {}", id.to_uppercase());
+        println!("================================================================");
+        println!("{}", run());
+    }
+}

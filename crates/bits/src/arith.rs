@@ -1,0 +1,272 @@
+//! Fixed-width binary arithmetic with condition flags.
+//!
+//! CS 31 teaches addition as a ripple of full adders and subtraction as
+//! "add the two's complement"; overflow is then *observed* through the carry
+//! (unsigned) and overflow (signed) flags. The [`add`]/[`sub`] entry points
+//! here compute exactly those semantics, and [`ripple_add`] performs the
+//! bit-serial derivation so tests can pin the two against each other — the
+//! same redundancy the course uses to build intuition.
+
+use crate::{check_width, mask, BitsError, Twos};
+
+/// Condition flags in the style of x86 EFLAGS (the subset CS 31 teaches).
+///
+/// Shared by the `circuits` ALU and the `asm` emulator.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Flags {
+    /// Zero flag: result is all zero bits.
+    pub zf: bool,
+    /// Sign flag: most significant bit of the result.
+    pub sf: bool,
+    /// Carry flag: unsigned overflow (carry/borrow out of the MSB).
+    pub cf: bool,
+    /// Overflow flag: signed (two's-complement) overflow.
+    pub of: bool,
+}
+
+impl Flags {
+    /// Computes ZF and SF from a result at `width`; CF and OF are cleared.
+    pub fn from_result(width: u32, result: u64) -> Flags {
+        let r = result & mask(width);
+        Flags {
+            zf: r == 0,
+            sf: (r >> (width - 1)) & 1 == 1,
+            cf: false,
+            of: false,
+        }
+    }
+
+    /// Renders like `[ZF SF cf of]` with set flags uppercase — the format used
+    /// in the course's homework solutions.
+    pub fn pretty(&self) -> String {
+        fn one(name: &str, set: bool) -> String {
+            if set {
+                name.to_uppercase()
+            } else {
+                name.to_lowercase()
+            }
+        }
+        format!(
+            "[{} {} {} {}]",
+            one("zf", self.zf),
+            one("sf", self.sf),
+            one("cf", self.cf),
+            one("of", self.of)
+        )
+    }
+}
+
+/// The result of a fixed-width add/sub: the truncated value plus flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddResult {
+    /// Result bits, truncated to the operation width.
+    pub value: u64,
+    /// Condition flags produced by the operation.
+    pub flags: Flags,
+}
+
+/// Adds two raw `width`-bit values, producing value and flags.
+///
+/// ```
+/// // 8-bit: 0xFF + 0x01 = 0x00 with carry out, no signed overflow
+/// let r = bits::arith::add(8, 0xFF, 0x01).unwrap();
+/// assert_eq!(r.value, 0);
+/// assert!(r.flags.cf && r.flags.zf && !r.flags.of);
+/// ```
+pub fn add(width: u32, a: u64, b: u64) -> Result<AddResult, BitsError> {
+    add_with_carry(width, a, b, false)
+}
+
+/// Adds with an incoming carry (the building block for multi-word adds).
+pub fn add_with_carry(width: u32, a: u64, b: u64, carry_in: bool) -> Result<AddResult, BitsError> {
+    check_width(width)?;
+    let m = mask(width);
+    let a = a & m;
+    let b = b & m;
+    let wide = a as u128 + b as u128 + carry_in as u128;
+    let value = (wide as u64) & m;
+    let cf = wide > m as u128;
+    // Signed overflow: operands share a sign and the result's sign differs.
+    let sa = (a >> (width - 1)) & 1;
+    let sb = (b >> (width - 1)) & 1;
+    let sr = (value >> (width - 1)) & 1;
+    let of = sa == sb && sr != sa;
+    let mut flags = Flags::from_result(width, value);
+    flags.cf = cf;
+    flags.of = of;
+    Ok(AddResult { value, flags })
+}
+
+/// Subtracts `b` from `a` at `width` bits: computed as `a + (~b) + 1`,
+/// exactly as the course derives it. CF here is the **borrow** convention
+/// (set when unsigned `a < b`), matching x86 `sub`.
+///
+/// ```
+/// let r = bits::arith::sub(8, 0x00, 0x01).unwrap();
+/// assert_eq!(r.value, 0xFF);
+/// assert!(r.flags.cf);        // borrow happened
+/// assert!(r.flags.sf);        // result is negative as signed
+/// ```
+pub fn sub(width: u32, a: u64, b: u64) -> Result<AddResult, BitsError> {
+    check_width(width)?;
+    let m = mask(width);
+    let not_b = (!b) & m;
+    let mut r = add_with_carry(width, a, not_b, true)?;
+    // x86 convention: CF after sub = borrow = NOT carry-out of (a + ~b + 1).
+    r.flags.cf = !r.flags.cf;
+    Ok(r)
+}
+
+/// Bit-serial ripple-carry addition: returns the per-bit carries alongside
+/// the result, mirroring the Lab 3 one-bit-adder construction.
+///
+/// `carries[i]` is the carry **into** bit `i`; `carries[width]` is the final
+/// carry out. The summed value always equals [`add`]'s (property-tested).
+pub fn ripple_add(width: u32, a: u64, b: u64) -> Result<(u64, Vec<bool>), BitsError> {
+    check_width(width)?;
+    let mut carries = vec![false; width as usize + 1];
+    let mut out = 0u64;
+    for i in 0..width {
+        let ai = (a >> i) & 1 == 1;
+        let bi = (b >> i) & 1 == 1;
+        let cin = carries[i as usize];
+        let sum = ai ^ bi ^ cin;
+        let cout = (ai & bi) | (ai & cin) | (bi & cin);
+        if sum {
+            out |= 1 << i;
+        }
+        carries[i as usize + 1] = cout;
+    }
+    Ok((out, carries))
+}
+
+/// True if the signed interpretation of `a + b` overflows at `width`.
+pub fn signed_add_overflows(width: u32, a: i64, b: i64) -> Result<bool, BitsError> {
+    let t = Twos::new(width)?;
+    let ra = t.encode_signed(a)?;
+    let rb = t.encode_signed(b)?;
+    Ok(add(width, ra, rb)?.flags.of)
+}
+
+/// True if the unsigned interpretation of `a + b` overflows (carries) at `width`.
+pub fn unsigned_add_overflows(width: u32, a: u64, b: u64) -> Result<bool, BitsError> {
+    let t = Twos::new(width)?;
+    let ra = t.encode_unsigned(a)?;
+    let rb = t.encode_unsigned(b)?;
+    Ok(add(width, ra, rb)?.flags.cf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_flag_cases_width8() {
+        // 127 + 1: signed overflow, no carry.
+        let r = add(8, 0x7F, 0x01).unwrap();
+        assert_eq!(r.value, 0x80);
+        assert!(r.flags.of && !r.flags.cf && r.flags.sf && !r.flags.zf);
+
+        // 255 + 1: carry, no signed overflow (-1 + 1 = 0).
+        let r = add(8, 0xFF, 0x01).unwrap();
+        assert_eq!(r.value, 0x00);
+        assert!(!r.flags.of && r.flags.cf && r.flags.zf);
+
+        // -128 + -1: both signed overflow and carry.
+        let r = add(8, 0x80, 0xFF).unwrap();
+        assert_eq!(r.value, 0x7F);
+        assert!(r.flags.of && r.flags.cf);
+    }
+
+    #[test]
+    fn sub_borrow_convention() {
+        let r = sub(8, 5, 3).unwrap();
+        assert_eq!(r.value, 2);
+        assert!(!r.flags.cf);
+
+        let r = sub(8, 3, 5).unwrap();
+        assert_eq!(r.value, 0xFE);
+        assert!(r.flags.cf && r.flags.sf);
+
+        // MIN - 1 overflows signed.
+        let r = sub(8, 0x80, 1).unwrap();
+        assert_eq!(r.value, 0x7F);
+        assert!(r.flags.of);
+
+        let r = sub(8, 7, 7).unwrap();
+        assert!(r.flags.zf && !r.flags.cf && !r.flags.of);
+    }
+
+    #[test]
+    fn ripple_add_carries() {
+        // 0b0110 + 0b0011 = 0b1001 with carries into bits 1 and 2... compute:
+        // bit0: 0+1 -> sum 1 carry 0; bit1: 1+1 -> sum 0 carry 1;
+        // bit2: 1+0+1 -> sum 0 carry 1; bit3: 0+0+1 -> sum 1 carry 0.
+        let (v, c) = ripple_add(4, 0b0110, 0b0011).unwrap();
+        assert_eq!(v, 0b1001);
+        assert_eq!(c, vec![false, false, true, true, false]);
+    }
+
+    #[test]
+    fn width64_edges() {
+        let r = add(64, u64::MAX, 1).unwrap();
+        assert_eq!(r.value, 0);
+        assert!(r.flags.cf && r.flags.zf);
+        let r = add(64, i64::MAX as u64, 1).unwrap();
+        assert!(r.flags.of && !r.flags.cf);
+    }
+
+    #[test]
+    fn overflow_predicates() {
+        assert!(signed_add_overflows(8, 127, 1).unwrap());
+        assert!(!signed_add_overflows(8, 127, -1).unwrap());
+        assert!(unsigned_add_overflows(8, 255, 1).unwrap());
+        assert!(!unsigned_add_overflows(8, 254, 1).unwrap());
+    }
+
+    #[test]
+    fn flags_pretty() {
+        let f = Flags { zf: true, sf: false, cf: true, of: false };
+        assert_eq!(f.pretty(), "[ZF sf CF of]");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_wrapping(w in 1u32..=64, a in any::<u64>(), b in any::<u64>()) {
+            let m = mask(w);
+            let r = add(w, a & m, b & m).unwrap();
+            prop_assert_eq!(r.value, (a & m).wrapping_add(b & m) & m);
+        }
+
+        #[test]
+        fn prop_ripple_equals_add(w in 1u32..=64, a in any::<u64>(), b in any::<u64>()) {
+            let m = mask(w);
+            let (v, carries) = ripple_add(w, a & m, b & m).unwrap();
+            let r = add(w, a & m, b & m).unwrap();
+            prop_assert_eq!(v, r.value);
+            prop_assert_eq!(carries[w as usize], r.flags.cf);
+        }
+
+        #[test]
+        fn prop_sub_is_signed_subtraction(w in 2u32..=63, a in any::<u64>(), b in any::<u64>()) {
+            let t = Twos::new(w).unwrap();
+            let (a, b) = (t.truncate(a), t.truncate(b));
+            let r = sub(w, a, b).unwrap();
+            let expect = t.decode_signed(a).wrapping_sub(t.decode_signed(b));
+            // compare modulo 2^w
+            prop_assert_eq!(r.value, t.truncate(expect as u64));
+            // CF is the unsigned borrow
+            prop_assert_eq!(r.flags.cf, t.decode_unsigned(a) < t.decode_unsigned(b));
+        }
+
+        #[test]
+        fn prop_of_means_real_overflow(w in 2u32..=63, a in any::<u64>(), b in any::<u64>()) {
+            let t = Twos::new(w).unwrap();
+            let (a, b) = (t.truncate(a), t.truncate(b));
+            let exact = t.decode_signed(a) as i128 + t.decode_signed(b) as i128;
+            let fits = exact >= t.min_signed() as i128 && exact <= t.max_signed() as i128;
+            prop_assert_eq!(add(w, a, b).unwrap().flags.of, !fits);
+        }
+    }
+}

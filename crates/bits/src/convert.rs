@@ -1,0 +1,223 @@
+//! Conversions between decimal, binary, and hexadecimal text and raw values.
+//!
+//! Lab 1's written half asks students to convert by hand; these routines are
+//! the authoritative answers, and the `cs31` crate's homework generator uses
+//! them to mint problems with solutions.
+
+use crate::{check_width, mask, BitsError, Twos};
+
+/// A number base used in course materials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Radix {
+    /// Base 2, rendered with the `0b` prefix.
+    Binary,
+    /// Base 10, no prefix.
+    Decimal,
+    /// Base 16, rendered with the `0x` prefix.
+    Hex,
+}
+
+impl Radix {
+    /// The numeric base.
+    pub fn base(&self) -> u32 {
+        match self {
+            Radix::Binary => 2,
+            Radix::Decimal => 10,
+            Radix::Hex => 16,
+        }
+    }
+
+    /// The conventional prefix (`0b`, ``, `0x`).
+    pub fn prefix(&self) -> &'static str {
+        match self {
+            Radix::Binary => "0b",
+            Radix::Decimal => "",
+            Radix::Hex => "0x",
+        }
+    }
+}
+
+/// Formats `raw` (masked to `width`) in the requested radix.
+///
+/// Binary and hex are zero-padded to the width (hex to `ceil(width/4)`
+/// digits), exactly as course handouts print bit patterns.
+///
+/// ```
+/// use bits::{format_radix, Radix};
+/// assert_eq!(format_radix(8, 0xAB, Radix::Binary).unwrap(), "0b10101011");
+/// assert_eq!(format_radix(8, 0xAB, Radix::Hex).unwrap(), "0xab");
+/// assert_eq!(format_radix(8, 0xAB, Radix::Decimal).unwrap(), "171");
+/// ```
+pub fn format_radix(width: u32, raw: u64, radix: Radix) -> Result<String, BitsError> {
+    check_width(width)?;
+    let v = raw & mask(width);
+    Ok(match radix {
+        Radix::Binary => format!("0b{v:0w$b}", w = width as usize),
+        Radix::Decimal => format!("{v}"),
+        Radix::Hex => format!("0x{v:0w$x}", w = width.div_ceil(4) as usize),
+    })
+}
+
+/// Formats the signed interpretation of `raw` at `width` in decimal.
+pub fn format_signed(width: u32, raw: u64) -> Result<String, BitsError> {
+    let t = Twos::new(width)?;
+    Ok(format!("{}", t.decode_signed(raw)))
+}
+
+/// Parses a string in any of the three radices, honoring `0b`/`0x` prefixes,
+/// optional leading `-` (two's-complement encoded at `width`), and `_`
+/// separators. Unprefixed strings parse in the radix given.
+///
+/// ```
+/// use bits::{parse_radix, Radix};
+/// assert_eq!(parse_radix(8, "0b1010_1011", Radix::Decimal).unwrap(), 0xAB);
+/// assert_eq!(parse_radix(8, "-1", Radix::Decimal).unwrap(), 0xFF);
+/// assert_eq!(parse_radix(8, "ff", Radix::Hex).unwrap(), 0xFF);
+/// ```
+pub fn parse_radix(width: u32, text: &str, default: Radix) -> Result<u64, BitsError> {
+    check_width(width)?;
+    let t = text.trim().replace('_', "");
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest.to_string()),
+        None => (false, t),
+    };
+    let (base, digits) = if let Some(d) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        (2, d.to_string())
+    } else if let Some(d) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        (16, d.to_string())
+    } else {
+        (default.base(), t)
+    };
+    if digits.is_empty() {
+        return Err(BitsError::Parse(format!("empty numeral in {text:?}")));
+    }
+    let magnitude = u64::from_str_radix(&digits, base)
+        .map_err(|e| BitsError::Parse(format!("{text:?}: {e}")))?;
+    let tw = Twos::new(width)?;
+    if neg {
+        let m = i64::try_from(magnitude).map_err(|_| BitsError::OutOfRange {
+            value: -(magnitude as i128),
+            width,
+        })?;
+        tw.encode_signed(-m)
+    } else {
+        tw.encode_unsigned(magnitude)
+    }
+}
+
+/// One step of the repeated-division decimal→binary method taught in class:
+/// returns the (quotient, remainder-bit) sequence, least significant first.
+///
+/// Useful for showing work: the remainders read bottom-up give the binary.
+pub fn division_steps(mut value: u64) -> Vec<(u64, u8)> {
+    let mut steps = Vec::new();
+    if value == 0 {
+        return vec![(0, 0)];
+    }
+    while value > 0 {
+        let q = value / 2;
+        let r = (value % 2) as u8;
+        steps.push((q, r));
+        value = q;
+    }
+    steps
+}
+
+/// Groups a binary string into nibbles and maps each to a hex digit —
+/// the by-hand bin→hex method. Returns `(nibbles, hex)`.
+pub fn nibble_grouping(width: u32, raw: u64) -> Result<(Vec<String>, String), BitsError> {
+    check_width(width)?;
+    let padded = width.div_ceil(4) * 4;
+    let bits: String = (0..padded)
+        .rev()
+        .map(|i| if (raw >> i) & 1 == 1 { '1' } else { '0' })
+        .collect();
+    let nibbles: Vec<String> = bits
+        .as_bytes()
+        .chunks(4)
+        .map(|c| String::from_utf8_lossy(c).into_owned())
+        .collect();
+    let hex: String = nibbles
+        .iter()
+        .map(|n| {
+            let v = u8::from_str_radix(n, 2).expect("nibble is binary");
+            std::char::from_digit(v as u32, 16).expect("nibble < 16")
+        })
+        .collect();
+    Ok((nibbles, hex))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(format_radix(4, 0b1010, Radix::Binary).unwrap(), "0b1010");
+        assert_eq!(format_radix(12, 0xABC, Radix::Hex).unwrap(), "0xabc");
+        assert_eq!(format_radix(10, 0x3FF, Radix::Hex).unwrap(), "0x3ff");
+        assert_eq!(format_signed(8, 0xFF).unwrap(), "-1");
+    }
+
+    #[test]
+    fn parses() {
+        assert_eq!(parse_radix(16, "0xFF_FF", Radix::Decimal).unwrap(), 0xFFFF);
+        assert_eq!(parse_radix(8, "0B101", Radix::Hex).unwrap(), 5);
+        assert_eq!(parse_radix(8, "-128", Radix::Decimal).unwrap(), 0x80);
+        assert!(parse_radix(8, "-129", Radix::Decimal).is_err());
+        assert!(parse_radix(8, "256", Radix::Decimal).is_err());
+        assert!(parse_radix(8, "", Radix::Decimal).is_err());
+        assert!(parse_radix(8, "0x", Radix::Decimal).is_err());
+        assert!(parse_radix(8, "12g", Radix::Decimal).is_err());
+    }
+
+    #[test]
+    fn division_method() {
+        // 13 = 0b1101: remainders 1,0,1,1 (LSB first).
+        let steps = division_steps(13);
+        let rems: Vec<u8> = steps.iter().map(|s| s.1).collect();
+        assert_eq!(rems, vec![1, 0, 1, 1]);
+        assert_eq!(division_steps(0), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn nibbles() {
+        let (groups, hex) = nibble_grouping(8, 0xA5).unwrap();
+        assert_eq!(groups, vec!["1010", "0101"]);
+        assert_eq!(hex, "a5");
+        // width not a multiple of 4 pads on the left
+        let (groups, hex) = nibble_grouping(6, 0b101101).unwrap();
+        assert_eq!(groups, vec!["0010", "1101"]);
+        assert_eq!(hex, "2d");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_format_parse_roundtrip(w in 1u32..=64, raw in any::<u64>()) {
+            let v = raw & mask(w);
+            for radix in [Radix::Binary, Radix::Decimal, Radix::Hex] {
+                let s = format_radix(w, v, radix).unwrap();
+                prop_assert_eq!(parse_radix(w, &s, radix).unwrap(), v);
+            }
+        }
+
+        #[test]
+        fn prop_division_steps_reconstruct(v in any::<u64>()) {
+            let steps = division_steps(v);
+            let mut acc = 0u128;
+            for (i, (_, r)) in steps.iter().enumerate() {
+                acc += (*r as u128) << i;
+            }
+            prop_assert_eq!(acc, v as u128);
+        }
+
+        #[test]
+        fn prop_nibble_hex_matches_format(w in 1u32..=64, raw in any::<u64>()) {
+            let v = raw & mask(w);
+            let (_, hex) = nibble_grouping(w, v).unwrap();
+            let direct = format_radix(w, v, Radix::Hex).unwrap();
+            prop_assert_eq!(format!("0x{hex}"), direct);
+        }
+    }
+}

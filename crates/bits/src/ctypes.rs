@@ -1,0 +1,276 @@
+//! A model of C's integer types as taught in CS 31.
+//!
+//! The course's Lab 1 part 2 has students probe properties of C variables
+//! (e.g. "the maximum value that can be stored in an `int`") with small C
+//! programs; this module encodes those facts for the ILP32-ish model the
+//! course machines expose, plus C's conversion (truncation / sign
+//! reinterpretation) rules so homework traces can be generated and checked.
+
+use crate::{BitsError, Twos};
+
+/// The C integer types covered in the course (IA-32 lab machine model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CInt {
+    /// `char` / `unsigned char`: 1 byte.
+    Char,
+    /// `short`: 2 bytes.
+    Short,
+    /// `int`: 4 bytes.
+    Int,
+    /// `long` on the 32-bit lab machines: 4 bytes.
+    Long,
+    /// `long long`: 8 bytes.
+    LongLong,
+}
+
+/// Signedness of a C integer type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Two's-complement signed.
+    Signed,
+    /// Unsigned.
+    Unsigned,
+}
+
+/// A concrete C integer type: base type + signedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CType {
+    /// The base integer type.
+    pub base: CInt,
+    /// Whether it is signed or unsigned.
+    pub sign: Sign,
+}
+
+impl CType {
+    /// Constructs a signed type.
+    pub fn signed(base: CInt) -> CType {
+        CType { base, sign: Sign::Signed }
+    }
+
+    /// Constructs an unsigned type.
+    pub fn unsigned(base: CInt) -> CType {
+        CType { base, sign: Sign::Unsigned }
+    }
+
+    /// Size in bytes on the course's 32-bit machine model.
+    pub fn size_bytes(&self) -> u32 {
+        match self.base {
+            CInt::Char => 1,
+            CInt::Short => 2,
+            CInt::Int | CInt::Long => 4,
+            CInt::LongLong => 8,
+        }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.size_bytes() * 8
+    }
+
+    /// The `Twos` interpretation for this type's width.
+    pub fn twos(&self) -> Twos {
+        Twos::new(self.width()).expect("C widths are valid")
+    }
+
+    /// Minimum representable value.
+    pub fn min(&self) -> i64 {
+        match self.sign {
+            Sign::Signed => self.twos().min_signed(),
+            Sign::Unsigned => 0,
+        }
+    }
+
+    /// Maximum representable value (as i128 so `unsigned long long` fits).
+    pub fn max(&self) -> i128 {
+        match self.sign {
+            Sign::Signed => self.twos().max_signed() as i128,
+            Sign::Unsigned => self.twos().max_unsigned() as i128,
+        }
+    }
+
+    /// The C declaration spelling, e.g. `unsigned short`.
+    pub fn c_name(&self) -> String {
+        let base = match self.base {
+            CInt::Char => "char",
+            CInt::Short => "short",
+            CInt::Int => "int",
+            CInt::Long => "long",
+            CInt::LongLong => "long long",
+        };
+        match self.sign {
+            Sign::Signed => base.to_string(),
+            Sign::Unsigned => format!("unsigned {base}"),
+        }
+    }
+
+    /// C assignment-conversion: reinterpret `raw` (bits of a value of type
+    /// `from`) as this type. Models truncation on narrowing and sign/zero
+    /// extension on widening — the rules the course demonstrates with
+    /// `char c = 255; int i = c;` style puzzles.
+    pub fn convert_from(&self, from: CType, raw: u64) -> u64 {
+        let src = from.twos();
+        if self.width() <= from.width() {
+            // Narrowing (or same width): keep low bits.
+            self.twos().truncate(raw)
+        } else {
+            match from.sign {
+                Sign::Signed => src
+                    .sign_extend(raw, self.width())
+                    .expect("widening conversion"),
+                Sign::Unsigned => src
+                    .zero_extend(raw, self.width())
+                    .expect("widening conversion"),
+            }
+        }
+    }
+
+    /// Reads the stored bits as this type's value (signed types may be
+    /// negative). This is what `printf("%d")` vs `%u` shows.
+    pub fn value_of(&self, raw: u64) -> i128 {
+        match self.sign {
+            Sign::Signed => self.twos().decode_signed(raw) as i128,
+            Sign::Unsigned => self.twos().decode_unsigned(raw) as i128,
+        }
+    }
+
+    /// Stores a mathematical value into this type, wrapping modulo 2^width
+    /// like C unsigned arithmetic (and like the implementation-defined signed
+    /// behaviour on the course machines). Returns the raw bits.
+    pub fn store_wrapping(&self, value: i128) -> u64 {
+        let w = self.width();
+        let modulus = if w == 64 { 0u128 } else { 1u128 << w };
+        let wrapped = if w == 64 {
+            value as u64
+        } else {
+            (value.rem_euclid(modulus as i128)) as u64
+        };
+        self.twos().truncate(wrapped)
+    }
+
+    /// Checked store: error if the value is outside the representable range.
+    pub fn store_checked(&self, value: i128) -> Result<u64, BitsError> {
+        if value < self.min() as i128 || value > self.max() {
+            return Err(BitsError::OutOfRange { value, width: self.width() });
+        }
+        Ok(self.store_wrapping(value))
+    }
+}
+
+/// All (base, sign) combinations, for table generation.
+pub fn all_types() -> Vec<CType> {
+    let mut v = Vec::new();
+    for base in [CInt::Char, CInt::Short, CInt::Int, CInt::Long, CInt::LongLong] {
+        v.push(CType::signed(base));
+        v.push(CType::unsigned(base));
+    }
+    v
+}
+
+/// Renders the sizes/ranges table the course shows in week 2.
+pub fn sizes_table() -> String {
+    let mut out = format!(
+        "{:<22} {:>5} {:>22} {:>22}\n",
+        "type", "bytes", "min", "max"
+    );
+    for t in all_types() {
+        out.push_str(&format!(
+            "{:<22} {:>5} {:>22} {:>22}\n",
+            t.c_name(),
+            t.size_bytes(),
+            t.min(),
+            t.max()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sizes_match_lab_machine() {
+        assert_eq!(CType::signed(CInt::Char).size_bytes(), 1);
+        assert_eq!(CType::signed(CInt::Short).size_bytes(), 2);
+        assert_eq!(CType::signed(CInt::Int).size_bytes(), 4);
+        assert_eq!(CType::signed(CInt::Long).size_bytes(), 4);
+        assert_eq!(CType::signed(CInt::LongLong).size_bytes(), 8);
+    }
+
+    #[test]
+    fn lab1_max_int_probe() {
+        let int = CType::signed(CInt::Int);
+        assert_eq!(int.max(), 2_147_483_647);
+        assert_eq!(int.min(), -2_147_483_648);
+        let uint = CType::unsigned(CInt::Int);
+        assert_eq!(uint.max(), 4_294_967_295);
+    }
+
+    #[test]
+    fn signed_char_puzzle() {
+        // char c = 255; as signed char, c holds -1.
+        let uc = CType::unsigned(CInt::Char);
+        let sc = CType::signed(CInt::Char);
+        let raw = uc.store_checked(255).unwrap();
+        assert_eq!(sc.value_of(raw), -1);
+        // int i = (signed char)0xFF; -> -1 via sign extension.
+        let int = CType::signed(CInt::Int);
+        let widened = int.convert_from(sc, raw);
+        assert_eq!(int.value_of(widened), -1);
+        // but from unsigned char it zero-extends to 255.
+        let widened = int.convert_from(uc, raw);
+        assert_eq!(int.value_of(widened), 255);
+    }
+
+    #[test]
+    fn narrowing_truncates() {
+        let int = CType::signed(CInt::Int);
+        let sc = CType::signed(CInt::Char);
+        // int 0x1_2345_0180 doesn't fit; char keeps 0x80 = -128.
+        let raw = int.store_wrapping(0x1234_5680);
+        let narrowed = sc.convert_from(int, raw);
+        assert_eq!(sc.value_of(narrowed), -128);
+    }
+
+    #[test]
+    fn wrapping_store() {
+        let uc = CType::unsigned(CInt::Char);
+        assert_eq!(uc.store_wrapping(256), 0);
+        assert_eq!(uc.store_wrapping(257), 1);
+        assert_eq!(uc.store_wrapping(-1), 255);
+        assert!(uc.store_checked(256).is_err());
+    }
+
+    #[test]
+    fn table_renders_all_ten() {
+        let t = sizes_table();
+        assert_eq!(t.lines().count(), 11); // header + 10 types
+        assert!(t.contains("unsigned long long"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_convert_same_width_preserves_bits(raw in any::<u64>()) {
+            let a = CType::signed(CInt::Int);
+            let b = CType::unsigned(CInt::Int);
+            let r = a.twos().truncate(raw);
+            prop_assert_eq!(b.convert_from(a, r), r);
+        }
+
+        #[test]
+        fn prop_store_value_roundtrip(v in -128i128..=127) {
+            let sc = CType::signed(CInt::Char);
+            let raw = sc.store_checked(v).unwrap();
+            prop_assert_eq!(sc.value_of(raw), v);
+        }
+
+        #[test]
+        fn prop_widen_preserves_value(v in any::<i32>()) {
+            let int = CType::signed(CInt::Int);
+            let ll = CType::signed(CInt::LongLong);
+            let raw = int.store_checked(v as i128).unwrap();
+            prop_assert_eq!(ll.value_of(ll.convert_from(int, raw)), v as i128);
+        }
+    }
+}

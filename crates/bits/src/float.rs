@@ -1,0 +1,177 @@
+//! IEEE-754 single-precision breakdown, at CS 31's introductory depth.
+//!
+//! The course "briefly discuss\[es\] floating point representation, but do\[es\]
+//! not expect students to be able to convert from binary to floating point."
+//! Accordingly this module *decomposes* and *classifies* float bit patterns
+//! (sign / exponent / fraction fields, bias, specials) rather than providing
+//! a full decimal conversion pipeline.
+
+/// The three fields of an IEEE-754 single-precision value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloatParts {
+    /// Sign bit (true = negative).
+    pub sign: bool,
+    /// Raw 8-bit exponent field (biased by 127).
+    pub exponent: u8,
+    /// Raw 23-bit fraction (mantissa) field.
+    pub fraction: u32,
+}
+
+/// Classification of a float bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloatClass {
+    /// Positive or negative zero.
+    Zero,
+    /// A subnormal (denormalized) value: exponent field all zeros.
+    Subnormal,
+    /// A normal value with an implicit leading 1.
+    Normal,
+    /// Positive or negative infinity.
+    Infinity,
+    /// Not-a-number.
+    NaN,
+}
+
+impl FloatParts {
+    /// Splits raw float bits into fields.
+    ///
+    /// ```
+    /// let p = bits::float::FloatParts::from_bits(1.0f32.to_bits());
+    /// assert!(!p.sign);
+    /// assert_eq!(p.exponent, 127);   // bias: stored 127 means 2^0
+    /// assert_eq!(p.fraction, 0);
+    /// ```
+    pub fn from_bits(bits: u32) -> FloatParts {
+        FloatParts {
+            sign: (bits >> 31) & 1 == 1,
+            exponent: ((bits >> 23) & 0xFF) as u8,
+            fraction: bits & 0x7F_FFFF,
+        }
+    }
+
+    /// Reassembles fields into raw bits (inverse of [`FloatParts::from_bits`]).
+    pub fn to_bits(&self) -> u32 {
+        ((self.sign as u32) << 31) | ((self.exponent as u32) << 23) | (self.fraction & 0x7F_FFFF)
+    }
+
+    /// The unbiased exponent for normal values (`stored - 127`).
+    pub fn unbiased_exponent(&self) -> i32 {
+        self.exponent as i32 - 127
+    }
+
+    /// Classifies the pattern.
+    pub fn classify(&self) -> FloatClass {
+        match (self.exponent, self.fraction) {
+            (0, 0) => FloatClass::Zero,
+            (0, _) => FloatClass::Subnormal,
+            (0xFF, 0) => FloatClass::Infinity,
+            (0xFF, _) => FloatClass::NaN,
+            _ => FloatClass::Normal,
+        }
+    }
+
+    /// The value as an `f32` (defers to the hardware — the course's "we use
+    /// floats, we don't hand-convert them" stance).
+    pub fn value(&self) -> f32 {
+        f32::from_bits(self.to_bits())
+    }
+
+    /// A lecture-slide style explanation of the pattern.
+    pub fn explain(&self) -> String {
+        let class = self.classify();
+        let sign = if self.sign { "-" } else { "+" };
+        match class {
+            FloatClass::Zero => format!("{sign}0 (exponent and fraction all zero)"),
+            FloatClass::Infinity => format!("{sign}infinity (exponent all ones, fraction zero)"),
+            FloatClass::NaN => "NaN (exponent all ones, fraction nonzero)".to_string(),
+            FloatClass::Subnormal => format!(
+                "{sign}subnormal: 0.{:023b} x 2^-126 (no implicit leading 1)",
+                self.fraction
+            ),
+            FloatClass::Normal => format!(
+                "{sign}1.{:023b} x 2^{} (stored exponent {} - bias 127)",
+                self.fraction,
+                self.unbiased_exponent(),
+                self.exponent
+            ),
+        }
+    }
+}
+
+/// Demonstrates the classic "0.1 + 0.2 != 0.3" precision lesson; returns the
+/// absolute error the hardware produces.
+pub fn tenth_plus_two_tenths_error() -> f64 {
+    ((0.1f64 + 0.2f64) - 0.3f64).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decompose_known_values() {
+        let one = FloatParts::from_bits(1.0f32.to_bits());
+        assert_eq!(one.classify(), FloatClass::Normal);
+        assert_eq!(one.unbiased_exponent(), 0);
+
+        let half = FloatParts::from_bits(0.5f32.to_bits());
+        assert_eq!(half.unbiased_exponent(), -1);
+
+        let neg2 = FloatParts::from_bits((-2.0f32).to_bits());
+        assert!(neg2.sign);
+        assert_eq!(neg2.unbiased_exponent(), 1);
+    }
+
+    #[test]
+    fn specials() {
+        assert_eq!(FloatParts::from_bits(0).classify(), FloatClass::Zero);
+        assert_eq!(
+            FloatParts::from_bits((-0.0f32).to_bits()).classify(),
+            FloatClass::Zero
+        );
+        assert_eq!(
+            FloatParts::from_bits(f32::INFINITY.to_bits()).classify(),
+            FloatClass::Infinity
+        );
+        assert_eq!(
+            FloatParts::from_bits(f32::NAN.to_bits()).classify(),
+            FloatClass::NaN
+        );
+        assert_eq!(
+            FloatParts::from_bits(1).classify(), // smallest subnormal
+            FloatClass::Subnormal
+        );
+    }
+
+    #[test]
+    fn explain_mentions_class() {
+        assert!(FloatParts::from_bits(f32::NAN.to_bits())
+            .explain()
+            .contains("NaN"));
+        assert!(FloatParts::from_bits(1.5f32.to_bits())
+            .explain()
+            .contains("2^0"));
+    }
+
+    #[test]
+    fn precision_lesson() {
+        assert!(tenth_plus_two_tenths_error() > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_join_roundtrip(bits in any::<u32>()) {
+            prop_assert_eq!(FloatParts::from_bits(bits).to_bits(), bits);
+        }
+
+        #[test]
+        fn prop_value_matches_hardware(bits in any::<u32>()) {
+            let p = FloatParts::from_bits(bits);
+            let v = p.value();
+            let h = f32::from_bits(bits);
+            // NaN != NaN, so compare bit patterns.
+            prop_assert_eq!(v.to_bits(), h.to_bits());
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! C struct layout: alignment, padding, and field offsets.
+//!
+//! The course introduces "composite data types (arrays, strings, and
+//! structs), their layout in memory" (§III-A *C programming*) and later
+//! ties layout to cache behaviour. This module computes the layout rules
+//! a C compiler applies on the course's 32-bit model — each field aligned
+//! to its own size, trailing padding to the largest alignment — so the
+//! "why is sizeof(struct) 12 and not 9?" exercise is checkable.
+
+use crate::ctypes::CType;
+
+/// A field in a struct definition.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name (for rendering).
+    pub name: String,
+    /// Element type.
+    pub ty: CType,
+    /// Array length (1 = scalar).
+    pub count: u32,
+}
+
+impl Field {
+    /// A scalar field.
+    pub fn scalar(name: &str, ty: CType) -> Field {
+        Field { name: name.to_string(), ty, count: 1 }
+    }
+
+    /// An array field.
+    pub fn array(name: &str, ty: CType, count: u32) -> Field {
+        Field { name: name.to_string(), ty, count }
+    }
+
+    /// Natural alignment (the element size on the course model).
+    pub fn alignment(&self) -> u32 {
+        self.ty.size_bytes()
+    }
+
+    /// Total data size (without padding).
+    pub fn size(&self) -> u32 {
+        self.ty.size_bytes() * self.count
+    }
+}
+
+/// A computed layout: per-field offsets plus padding accounting.
+#[derive(Debug, Clone)]
+pub struct StructLayout {
+    /// `(field, offset, padding_before)` in declaration order.
+    pub fields: Vec<(Field, u32, u32)>,
+    /// Total size including trailing padding.
+    pub size: u32,
+    /// Struct alignment (max field alignment).
+    pub alignment: u32,
+    /// Total bytes of padding (internal + trailing).
+    pub padding: u32,
+}
+
+/// Computes the layout of a struct with the given fields, using the
+/// each-field-aligned-to-its-size rule.
+pub fn layout_of(fields: &[Field]) -> StructLayout {
+    let mut out = Vec::with_capacity(fields.len());
+    let mut offset = 0u32;
+    let mut padding = 0u32;
+    let mut alignment = 1u32;
+    for f in fields {
+        let align = f.alignment().max(1);
+        alignment = alignment.max(align);
+        let pad = (align - offset % align) % align;
+        padding += pad;
+        offset += pad;
+        out.push((f.clone(), offset, pad));
+        offset += f.size();
+    }
+    // Trailing padding so arrays of the struct stay aligned.
+    let tail = (alignment - offset % alignment) % alignment;
+    padding += tail;
+    let size = offset + tail;
+    StructLayout { fields: out, size, alignment, padding }
+}
+
+impl StructLayout {
+    /// Renders the memory-diagram the course draws on the board.
+    pub fn diagram(&self) -> String {
+        let mut out = format!(
+            "struct: size {} bytes, alignment {}, padding {}\n",
+            self.size, self.alignment, self.padding
+        );
+        for (f, offset, pad) in &self.fields {
+            if *pad > 0 {
+                out.push_str(&format!("  [pad {pad} byte(s)]\n"));
+            }
+            let desc = if f.count == 1 {
+                format!("{} {}", f.ty.c_name(), f.name)
+            } else {
+                format!("{} {}[{}]", f.ty.c_name(), f.name, f.count)
+            };
+            out.push_str(&format!("  offset {offset:>3}: {desc} ({} bytes)\n", f.size()));
+        }
+        let used: u32 = self.fields.iter().map(|(f, _, _)| f.size()).sum();
+        if self.size > used + self.fields.iter().map(|(_, _, p)| p).sum::<u32>() {
+            out.push_str(&format!(
+                "  [trailing pad {} byte(s)]\n",
+                self.size - used - self.fields.iter().map(|(_, _, p)| p).sum::<u32>()
+            ));
+        }
+        out
+    }
+
+    /// The reordered-declaration exercise: the minimal size reachable by
+    /// sorting fields by descending alignment.
+    pub fn optimal_size(fields: &[Field]) -> u32 {
+        let mut sorted: Vec<Field> = fields.to_vec();
+        sorted.sort_by_key(|f| std::cmp::Reverse(f.alignment()));
+        layout_of(&sorted).size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctypes::{CInt, CType};
+
+    fn ch() -> CType {
+        CType::signed(CInt::Char)
+    }
+    fn int() -> CType {
+        CType::signed(CInt::Int)
+    }
+    fn short() -> CType {
+        CType::signed(CInt::Short)
+    }
+
+    #[test]
+    fn the_9_becomes_12_example() {
+        // struct { char c; int x; char d; } → 1 + (3 pad) + 4 + 1 + (3 tail) = 12
+        let l = layout_of(&[
+            Field::scalar("c", ch()),
+            Field::scalar("x", int()),
+            Field::scalar("d", ch()),
+        ]);
+        assert_eq!(l.size, 12);
+        assert_eq!(l.alignment, 4);
+        assert_eq!(l.padding, 6);
+        assert_eq!(l.fields[1].1, 4, "int lands at offset 4");
+        assert_eq!(l.fields[1].2, 3, "after 3 bytes of padding");
+    }
+
+    #[test]
+    fn reordering_shrinks_it() {
+        let fields = [
+            Field::scalar("c", ch()),
+            Field::scalar("x", int()),
+            Field::scalar("d", ch()),
+        ];
+        // int first, chars together: 4 + 1 + 1 + 2 tail = 8.
+        assert_eq!(StructLayout::optimal_size(&fields), 8);
+    }
+
+    #[test]
+    fn aligned_structs_have_no_padding() {
+        let l = layout_of(&[
+            Field::scalar("a", int()),
+            Field::scalar("b", int()),
+        ]);
+        assert_eq!(l.size, 8);
+        assert_eq!(l.padding, 0);
+    }
+
+    #[test]
+    fn shorts_pack_in_pairs() {
+        // struct { short a; short b; int c; } → 2+2+4 = 8, no padding.
+        let l = layout_of(&[
+            Field::scalar("a", short()),
+            Field::scalar("b", short()),
+            Field::scalar("c", int()),
+        ]);
+        assert_eq!(l.size, 8);
+        assert_eq!(l.padding, 0);
+        // But { short a; int c; short b; } → 2 +2pad +4 +2 +2tail = 12.
+        let l2 = layout_of(&[
+            Field::scalar("a", short()),
+            Field::scalar("c", int()),
+            Field::scalar("b", short()),
+        ]);
+        assert_eq!(l2.size, 12);
+    }
+
+    #[test]
+    fn arrays_and_long_long_alignment() {
+        // struct { char tag; long long v; char buf[3]; }
+        // 1 +7pad +8 +3 +5tail = 24 with 8-byte alignment.
+        let ll = CType::signed(CInt::LongLong);
+        let l = layout_of(&[
+            Field::scalar("tag", ch()),
+            Field::scalar("v", ll),
+            Field::array("buf", ch(), 3),
+        ]);
+        assert_eq!(l.alignment, 8);
+        assert_eq!(l.size, 24);
+    }
+
+    #[test]
+    fn diagram_shows_offsets_and_padding() {
+        let d = layout_of(&[
+            Field::scalar("c", ch()),
+            Field::scalar("x", int()),
+        ])
+        .diagram();
+        assert!(d.contains("offset   0: char c"));
+        assert!(d.contains("[pad 3 byte(s)]"));
+        assert!(d.contains("offset   4: int x"));
+    }
+
+    #[test]
+    fn empty_struct_degenerates() {
+        let l = layout_of(&[]);
+        assert_eq!(l.size, 0);
+        assert_eq!(l.alignment, 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! # bits — binary data representation
+//!
+//! The first "systems" module of CS 31 (§III-A *Binary Representation*): how C
+//! types are encoded as bits, two's-complement arithmetic, conversions between
+//! decimal, binary, and hexadecimal, and signed/unsigned overflow.
+//!
+//! Everything here operates on explicit **bit widths** (1..=64) so that the
+//! classroom questions ("what is the largest value an 8-bit signed char can
+//! hold?", "what happens to the carry flag when we add `0xFF + 0x01` at width
+//! 8?") have first-class library answers.
+//!
+//! The [`arith::Flags`] type defined here (ZF/SF/CF/OF) is shared by the
+//! `circuits` ALU and the `asm` emulator's EFLAGS, mirroring how the course
+//! threads condition codes through architecture, assembly, and C.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bits::twos::Twos;
+//! use bits::arith::add;
+//!
+//! let w = Twos::new(8).unwrap();             // 8-bit two's complement
+//! assert_eq!(w.decode_signed(0xFF), -1);     // 0xFF is -1 at width 8
+//! let r = add(8, 0x7F, 0x01).unwrap();       // 127 + 1 overflows signed
+//! assert!(r.flags.of);
+//! assert!(!r.flags.cf);                      // ...but not unsigned
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod convert;
+pub mod ctypes;
+pub mod float;
+pub mod layout;
+pub mod twos;
+
+pub use arith::{add, sub, AddResult, Flags};
+pub use convert::{format_radix, parse_radix, Radix};
+pub use twos::Twos;
+
+/// Errors produced by the `bits` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitsError {
+    /// A bit width outside the supported `1..=64` range was requested.
+    BadWidth(u32),
+    /// A value does not fit in the requested width.
+    OutOfRange {
+        /// The value that did not fit (printed in the error display).
+        value: i128,
+        /// The width it was supposed to fit in.
+        width: u32,
+    },
+    /// A string could not be parsed in the requested radix.
+    Parse(String),
+}
+
+impl std::fmt::Display for BitsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitsError::BadWidth(w) => write!(f, "unsupported bit width {w} (must be 1..=64)"),
+            BitsError::OutOfRange { value, width } => {
+                write!(f, "value {value} does not fit in {width} bits")
+            }
+            BitsError::Parse(s) => write!(f, "parse error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BitsError {}
+
+/// Returns the mask with the low `width` bits set. `width` must be `1..=64`.
+///
+/// ```
+/// assert_eq!(bits::mask(8), 0xFF);
+/// assert_eq!(bits::mask(64), u64::MAX);
+/// ```
+pub fn mask(width: u32) -> u64 {
+    debug_assert!((1..=64).contains(&width));
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Validates a width, returning it or [`BitsError::BadWidth`].
+pub fn check_width(width: u32) -> Result<u32, BitsError> {
+    if (1..=64).contains(&width) {
+        Ok(width)
+    } else {
+        Err(BitsError::BadWidth(width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_values() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(4), 0xF);
+        assert_eq!(mask(16), 0xFFFF);
+        assert_eq!(mask(32), 0xFFFF_FFFF);
+        assert_eq!(mask(63), u64::MAX >> 1);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn width_validation() {
+        assert!(check_width(0).is_err());
+        assert!(check_width(65).is_err());
+        assert_eq!(check_width(8), Ok(8));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(BitsError::BadWidth(0).to_string().contains("width 0"));
+        assert!(BitsError::OutOfRange { value: 300, width: 8 }
+            .to_string()
+            .contains("300"));
+    }
+}

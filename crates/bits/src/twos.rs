@@ -1,0 +1,279 @@
+//! Two's-complement encoding and decoding at arbitrary bit widths.
+//!
+//! CS 31 spends its first systems week on exactly these mechanics: what bit
+//! pattern represents `-1` in 8 bits, why negation is "flip the bits and add
+//! one", and what the representable ranges of signed and unsigned types are.
+
+use crate::{check_width, mask, BitsError};
+
+/// A two's-complement interpretation at a fixed bit width.
+///
+/// All raw values are carried in a `u64` whose bits above `width` are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Twos {
+    width: u32,
+}
+
+impl Twos {
+    /// Creates an interpretation at `width` bits (`1..=64`).
+    pub fn new(width: u32) -> Result<Self, BitsError> {
+        check_width(width)?;
+        Ok(Twos { width })
+    }
+
+    /// The bit width of this interpretation.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Smallest representable signed value (e.g. `-128` at width 8).
+    pub fn min_signed(&self) -> i64 {
+        if self.width == 64 {
+            i64::MIN
+        } else {
+            -(1i64 << (self.width - 1))
+        }
+    }
+
+    /// Largest representable signed value (e.g. `127` at width 8).
+    pub fn max_signed(&self) -> i64 {
+        if self.width == 64 {
+            i64::MAX
+        } else {
+            (1i64 << (self.width - 1)) - 1
+        }
+    }
+
+    /// Largest representable unsigned value (e.g. `255` at width 8).
+    pub fn max_unsigned(&self) -> u64 {
+        mask(self.width)
+    }
+
+    /// Truncates an arbitrary `u64` to this width (C-style narrowing).
+    pub fn truncate(&self, raw: u64) -> u64 {
+        raw & mask(self.width)
+    }
+
+    /// Encodes a signed value, failing if it is out of range.
+    ///
+    /// ```
+    /// let t = bits::Twos::new(8).unwrap();
+    /// assert_eq!(t.encode_signed(-1).unwrap(), 0xFF);
+    /// assert_eq!(t.encode_signed(-128).unwrap(), 0x80);
+    /// assert!(t.encode_signed(128).is_err());
+    /// ```
+    pub fn encode_signed(&self, value: i64) -> Result<u64, BitsError> {
+        if value < self.min_signed() || value > self.max_signed() {
+            return Err(BitsError::OutOfRange {
+                value: value as i128,
+                width: self.width,
+            });
+        }
+        Ok((value as u64) & mask(self.width))
+    }
+
+    /// Encodes an unsigned value, failing if it is out of range.
+    pub fn encode_unsigned(&self, value: u64) -> Result<u64, BitsError> {
+        if value > self.max_unsigned() {
+            return Err(BitsError::OutOfRange {
+                value: value as i128,
+                width: self.width,
+            });
+        }
+        Ok(value)
+    }
+
+    /// Decodes a raw bit pattern as a signed (two's-complement) value.
+    ///
+    /// ```
+    /// let t = bits::Twos::new(4).unwrap();
+    /// assert_eq!(t.decode_signed(0b1111), -1);
+    /// assert_eq!(t.decode_signed(0b1000), -8);
+    /// assert_eq!(t.decode_signed(0b0111), 7);
+    /// ```
+    pub fn decode_signed(&self, raw: u64) -> i64 {
+        let raw = self.truncate(raw);
+        if self.sign_bit(raw) {
+            // Subtract 2^width: the defining identity of two's complement.
+            if self.width == 64 {
+                raw as i64
+            } else {
+                (raw as i128 - (1i128 << self.width)) as i64
+            }
+        } else {
+            raw as i64
+        }
+    }
+
+    /// Decodes a raw bit pattern as an unsigned value (identity after masking).
+    pub fn decode_unsigned(&self, raw: u64) -> u64 {
+        self.truncate(raw)
+    }
+
+    /// True if the sign (most significant) bit of `raw` is set.
+    pub fn sign_bit(&self, raw: u64) -> bool {
+        (self.truncate(raw) >> (self.width - 1)) & 1 == 1
+    }
+
+    /// Two's-complement negation: flip the bits, add one (mod 2^width).
+    ///
+    /// Note `negate(MIN) == MIN` — the classic asymmetry of the encoding.
+    pub fn negate(&self, raw: u64) -> u64 {
+        self.truncate((!self.truncate(raw)).wrapping_add(1))
+    }
+
+    /// Sign-extends a value from this width to a wider width.
+    ///
+    /// ```
+    /// let t8 = bits::Twos::new(8).unwrap();
+    /// // 0xFF (-1 at width 8) sign-extends to 0xFFFF at width 16.
+    /// assert_eq!(t8.sign_extend(0xFF, 16).unwrap(), 0xFFFF);
+    /// assert_eq!(t8.sign_extend(0x7F, 16).unwrap(), 0x007F);
+    /// ```
+    pub fn sign_extend(&self, raw: u64, to_width: u32) -> Result<u64, BitsError> {
+        check_width(to_width)?;
+        if to_width < self.width {
+            return Err(BitsError::BadWidth(to_width));
+        }
+        let v = self.decode_signed(raw);
+        Twos::new(to_width)?.encode_signed(v)
+    }
+
+    /// Zero-extends a value from this width to a wider width (identity on bits).
+    pub fn zero_extend(&self, raw: u64, to_width: u32) -> Result<u64, BitsError> {
+        check_width(to_width)?;
+        if to_width < self.width {
+            return Err(BitsError::BadWidth(to_width));
+        }
+        Ok(self.truncate(raw))
+    }
+
+    /// The "weight" interpretation taught in class: the MSB contributes
+    /// `-2^(w-1)` and every other set bit contributes `+2^i`.
+    ///
+    /// This is an alternative derivation of [`Twos::decode_signed`]; the two
+    /// always agree (there is a unit test pinning that down).
+    pub fn decode_by_weights(&self, raw: u64) -> i64 {
+        let raw = self.truncate(raw);
+        let mut total: i64 = 0;
+        for i in 0..self.width {
+            if (raw >> i) & 1 == 1 {
+                let weight = 1i128 << i;
+                if i == self.width - 1 {
+                    total = (total as i128 - weight) as i64;
+                } else {
+                    total = (total as i128 + weight) as i64;
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ranges() {
+        let t8 = Twos::new(8).unwrap();
+        assert_eq!(t8.min_signed(), -128);
+        assert_eq!(t8.max_signed(), 127);
+        assert_eq!(t8.max_unsigned(), 255);
+
+        let t1 = Twos::new(1).unwrap();
+        assert_eq!(t1.min_signed(), -1);
+        assert_eq!(t1.max_signed(), 0);
+
+        let t64 = Twos::new(64).unwrap();
+        assert_eq!(t64.min_signed(), i64::MIN);
+        assert_eq!(t64.max_signed(), i64::MAX);
+        assert_eq!(t64.max_unsigned(), u64::MAX);
+    }
+
+    #[test]
+    fn encode_decode_signed_roundtrip_edges() {
+        for w in [1u32, 2, 7, 8, 16, 31, 32, 33, 63, 64] {
+            let t = Twos::new(w).unwrap();
+            for v in [t.min_signed(), t.max_signed(), 0] {
+                let raw = t.encode_signed(v).unwrap();
+                assert_eq!(t.decode_signed(raw), v, "width {w} value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let t8 = Twos::new(8).unwrap();
+        assert!(t8.encode_signed(128).is_err());
+        assert!(t8.encode_signed(-129).is_err());
+        assert!(t8.encode_unsigned(256).is_err());
+        assert_eq!(t8.encode_unsigned(255).unwrap(), 255);
+    }
+
+    #[test]
+    fn negate_is_flip_plus_one() {
+        let t8 = Twos::new(8).unwrap();
+        assert_eq!(t8.negate(1), 0xFF);
+        assert_eq!(t8.negate(0xFF), 1);
+        assert_eq!(t8.negate(0), 0);
+        // The famous asymmetry: -(-128) == -128 at width 8.
+        assert_eq!(t8.negate(0x80), 0x80);
+    }
+
+    #[test]
+    fn sign_extension() {
+        let t8 = Twos::new(8).unwrap();
+        assert_eq!(t8.sign_extend(0x80, 32).unwrap(), 0xFFFF_FF80);
+        assert_eq!(t8.sign_extend(0x7F, 32).unwrap(), 0x7F);
+        assert_eq!(t8.zero_extend(0x80, 32).unwrap(), 0x80);
+        assert!(t8.sign_extend(0, 4).is_err());
+    }
+
+    #[test]
+    fn width64_sign_extend_identity() {
+        let t = Twos::new(64).unwrap();
+        assert_eq!(t.sign_extend(u64::MAX, 64).unwrap(), u64::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_signed(w in 1u32..=64, v in any::<i64>()) {
+            let t = Twos::new(w).unwrap();
+            let clamped = v.clamp(t.min_signed(), t.max_signed());
+            let raw = t.encode_signed(clamped).unwrap();
+            prop_assert_eq!(t.decode_signed(raw), clamped);
+        }
+
+        #[test]
+        fn prop_weights_agree_with_decode(w in 1u32..=64, raw in any::<u64>()) {
+            let t = Twos::new(w).unwrap();
+            prop_assert_eq!(t.decode_by_weights(raw), t.decode_signed(raw));
+        }
+
+        #[test]
+        fn prop_negate_involution(w in 1u32..=64, raw in any::<u64>()) {
+            let t = Twos::new(w).unwrap();
+            let r = t.truncate(raw);
+            prop_assert_eq!(t.negate(t.negate(r)), r);
+        }
+
+        #[test]
+        fn prop_negate_negates_value(w in 2u32..=63, raw in any::<u64>()) {
+            let t = Twos::new(w).unwrap();
+            let v = t.decode_signed(raw);
+            // negation wraps only at MIN; everywhere else it is exact.
+            if v != t.min_signed() {
+                prop_assert_eq!(t.decode_signed(t.negate(raw)), -v);
+            }
+        }
+
+        #[test]
+        fn prop_sign_extend_preserves_value(w in 1u32..=32, to in 33u32..=64, raw in any::<u64>()) {
+            let t = Twos::new(w).unwrap();
+            let ext = t.sign_extend(raw, to).unwrap();
+            prop_assert_eq!(Twos::new(to).unwrap().decode_signed(ext), t.decode_signed(raw));
+        }
+    }
+}

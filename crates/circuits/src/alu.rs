@@ -1,0 +1,333 @@
+//! The Lab 3 ALU: eight operations, five status flags.
+//!
+//! Students "combine [small circuits] with additional logic to produce an
+//! ALU that supports eight operations and five status flags" (§III-B Lab 3).
+//! This module provides the ALU twice:
+//!
+//! * [`eval`] — the behavioral reference model (what the circuit *should*
+//!   compute), built on `bits::arith` semantics; and
+//! * [`build_alu`] — the structural gate-level construction, assembled from
+//!   the `components` library exactly as the lab does.
+//!
+//! Property tests pin the two against each other bit-for-bit and
+//! flag-for-flag: the structural circuit *is* correct by test, not by fiat.
+
+use crate::components::{
+    decoder, input_bus, is_zero, mux_bus, mux_n, ripple_adder, Bus,
+};
+use crate::netlist::{Circuit, GateKind, NodeId};
+use bits::arith;
+
+/// The eight ALU operations (3-bit op select, in this encoding order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `a + b`
+    Add = 0,
+    /// `a - b`
+    Sub = 1,
+    /// bitwise `a & b`
+    And = 2,
+    /// bitwise `a | b`
+    Or = 3,
+    /// bitwise `a ^ b`
+    Xor = 4,
+    /// bitwise `!a` (b ignored)
+    Not = 5,
+    /// logical shift left by one (b ignored)
+    Shl = 6,
+    /// logical shift right by one (b ignored)
+    Shr = 7,
+}
+
+impl AluOp {
+    /// All ops in select-code order.
+    pub fn all() -> [AluOp; 8] {
+        [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Not,
+            AluOp::Shl,
+            AluOp::Shr,
+        ]
+    }
+
+    /// The 3-bit select code.
+    pub fn code(&self) -> u64 {
+        *self as u64
+    }
+}
+
+/// The Lab 3 ALU's five status flags.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AluFlags {
+    /// Zero: result is all zeros.
+    pub zf: bool,
+    /// Sign: MSB of the result.
+    pub sf: bool,
+    /// Carry: carry/borrow out (adds/subs) or the shifted-out bit (shifts).
+    pub cf: bool,
+    /// Overflow: signed overflow (adds/subs only; 0 otherwise).
+    pub of: bool,
+    /// Parity: set when the result has an **even** number of 1 bits
+    /// (whole-width parity; documented deviation from x86's low-byte PF).
+    pub pf: bool,
+}
+
+/// Behavioral ALU: the reference semantics for [`build_alu`].
+pub fn eval(op: AluOp, width: u32, a: u64, b: u64) -> (u64, AluFlags) {
+    let m = bits::mask(width);
+    let (a, b) = (a & m, b & m);
+    let (value, cf, of) = match op {
+        AluOp::Add => {
+            let r = arith::add(width, a, b).expect("valid width");
+            (r.value, r.flags.cf, r.flags.of)
+        }
+        AluOp::Sub => {
+            let r = arith::sub(width, a, b).expect("valid width");
+            (r.value, r.flags.cf, r.flags.of)
+        }
+        AluOp::And => (a & b, false, false),
+        AluOp::Or => (a | b, false, false),
+        AluOp::Xor => (a ^ b, false, false),
+        AluOp::Not => ((!a) & m, false, false),
+        AluOp::Shl => ((a << 1) & m, (a >> (width - 1)) & 1 == 1, false),
+        AluOp::Shr => (a >> 1, a & 1 == 1, false),
+    };
+    let flags = AluFlags {
+        zf: value == 0,
+        sf: (value >> (width - 1)) & 1 == 1,
+        cf,
+        of,
+        pf: value.count_ones() % 2 == 0,
+    };
+    (value, flags)
+}
+
+/// Handles to a structural ALU's pins inside a [`Circuit`].
+#[derive(Debug, Clone)]
+pub struct AluPins {
+    /// Operand A input bus.
+    pub a: Bus,
+    /// Operand B input bus.
+    pub b: Bus,
+    /// 3-bit operation select bus.
+    pub op: Bus,
+    /// Result output bus.
+    pub result: Bus,
+    /// ZF output.
+    pub zf: NodeId,
+    /// SF output.
+    pub sf: NodeId,
+    /// CF output.
+    pub cf: NodeId,
+    /// OF output.
+    pub of: NodeId,
+    /// PF output.
+    pub pf: NodeId,
+}
+
+/// Builds the gate-level ALU at `width` bits and returns its pins.
+///
+/// The construction mirrors the lab: one shared ripple-carry adder serves
+/// both ADD and SUB (B is conditionally inverted and the carry-in forced
+/// high on SUB — "add the two's complement" in hardware), logic ops are
+/// per-bit gates, shifts are pure wiring, and an 8-way bus multiplexer
+/// driven by the decoded op-select picks the result.
+pub fn build_alu(c: &mut Circuit, width: usize) -> AluPins {
+    assert!((2..=32).contains(&width), "ALU width 2..=32");
+    let a = input_bus(c, "alu_a", width);
+    let b = input_bus(c, "alu_b", width);
+    let op = input_bus(c, "alu_op", 3);
+    let zero = c.add_const(false);
+
+    let lines = decoder(c, &op); // one-hot op lines
+    let sub_line = lines[AluOp::Sub as usize];
+
+    // Shared adder: b_eff = b XOR sub, carry_in = sub.
+    let b_eff: Bus = b
+        .iter()
+        .map(|&bit| c.add_gate(GateKind::Xor, &[bit, sub_line]))
+        .collect();
+    let adder = ripple_adder(c, &a, &b_eff, sub_line);
+
+    // Logic ops.
+    let and_bus: Bus = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| c.add_gate(GateKind::And, &[x, y]))
+        .collect();
+    let or_bus: Bus = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| c.add_gate(GateKind::Or, &[x, y]))
+        .collect();
+    let xor_bus: Bus = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| c.add_gate(GateKind::Xor, &[x, y]))
+        .collect();
+    let not_bus: Bus = a.iter().map(|&x| c.add_gate(GateKind::Not, &[x])).collect();
+
+    // Shifts are wiring: SHL drops in a 0 at bit 0, SHR at the MSB.
+    let mut shl_bus: Bus = vec![zero];
+    shl_bus.extend_from_slice(&a[..width - 1]);
+    let mut shr_bus: Bus = a[1..].to_vec();
+    shr_bus.push(zero);
+
+    let result = mux_bus(
+        c,
+        &op,
+        &[
+            &adder.sum, // Add
+            &adder.sum, // Sub (same adder, b inverted)
+            &and_bus,
+            &or_bus,
+            &xor_bus,
+            &not_bus,
+            &shl_bus,
+            &shr_bus,
+        ],
+    );
+
+    // Flags.
+    let zf = is_zero(c, &result);
+    let sf = result[width - 1];
+
+    // CF candidates per op (index = op code).
+    let raw_cf = adder.carry_out;
+    let ncf = c.add_gate(GateKind::Not, &[raw_cf]); // borrow = !carry on sub
+    let shl_out = a[width - 1];
+    let shr_out = a[0];
+    let cf = mux_n(
+        c,
+        &op,
+        &[raw_cf, ncf, zero, zero, zero, zero, shl_out, shr_out],
+    );
+
+    // OF = (carry_into_msb XOR carry_out) for add/sub, else 0.
+    let of_raw = c.add_gate(GateKind::Xor, &[adder.carry_into_msb, adder.carry_out]);
+    let is_addsub = c.add_gate(
+        GateKind::Or,
+        &[lines[AluOp::Add as usize], lines[AluOp::Sub as usize]],
+    );
+    let of = c.add_gate(GateKind::And, &[of_raw, is_addsub]);
+
+    // PF: even parity of the whole result = NOT (XOR of all bits).
+    let odd = c.add_gate(GateKind::Xor, &result);
+    let pf = c.add_gate(GateKind::Not, &[odd]);
+
+    c.name(zf, "alu_zf");
+    c.name(sf, "alu_sf");
+    c.name(cf, "alu_cf");
+    c.name(of, "alu_of");
+    c.name(pf, "alu_pf");
+
+    AluPins { a, b, op, result, zf, sf, cf, of, pf }
+}
+
+/// Drives a built ALU with concrete operands and reads out value + flags.
+/// A convenience for tests and the Lab 3 harness.
+pub fn run_alu(
+    c: &mut Circuit,
+    pins: &AluPins,
+    op: AluOp,
+    a: u64,
+    b: u64,
+) -> (u64, AluFlags) {
+    c.set_bus(&pins.a, a).expect("a bus");
+    c.set_bus(&pins.b, b).expect("b bus");
+    c.set_bus(&pins.op, op.code()).expect("op bus");
+    c.settle().expect("ALU is combinational");
+    (
+        c.get_bus(&pins.result),
+        AluFlags {
+            zf: c.get(pins.zf),
+            sf: c.get(pins.sf),
+            cf: c.get(pins.cf),
+            of: c.get(pins.of),
+            pf: c.get(pins.pf),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn behavioral_add_sub_flags() {
+        let (v, f) = eval(AluOp::Add, 8, 0x7F, 0x01);
+        assert_eq!(v, 0x80);
+        assert!(f.of && !f.cf && f.sf);
+        let (v, f) = eval(AluOp::Sub, 8, 3, 5);
+        assert_eq!(v, 0xFE);
+        assert!(f.cf && f.sf && !f.of);
+        let (v, f) = eval(AluOp::Sub, 8, 5, 5);
+        assert_eq!(v, 0);
+        assert!(f.zf && f.pf); // zero has even parity
+    }
+
+    #[test]
+    fn behavioral_shifts() {
+        let (v, f) = eval(AluOp::Shl, 8, 0x81, 0);
+        assert_eq!(v, 0x02);
+        assert!(f.cf, "MSB shifted out");
+        let (v, f) = eval(AluOp::Shr, 8, 0x81, 0);
+        assert_eq!(v, 0x40);
+        assert!(f.cf, "LSB shifted out");
+    }
+
+    #[test]
+    fn behavioral_logic() {
+        assert_eq!(eval(AluOp::And, 8, 0xF0, 0x3C).0, 0x30);
+        assert_eq!(eval(AluOp::Or, 8, 0xF0, 0x3C).0, 0xFC);
+        assert_eq!(eval(AluOp::Xor, 8, 0xF0, 0x3C).0, 0xCC);
+        assert_eq!(eval(AluOp::Not, 8, 0xF0, 0xAB).0, 0x0F);
+    }
+
+    #[test]
+    fn structural_exhaustive_width4() {
+        // Every op × every operand pair at width 4: 8 * 256 = 2048 cases.
+        let mut c = Circuit::new();
+        let pins = build_alu(&mut c, 4);
+        for op in AluOp::all() {
+            for a in 0..16u64 {
+                for b in 0..16u64 {
+                    let (sv, sf) = run_alu(&mut c, &pins, op, a, b);
+                    let (bv, bf) = eval(op, 4, a, b);
+                    assert_eq!(sv, bv, "{op:?} {a:#x},{b:#x} value");
+                    assert_eq!(sf, bf, "{op:?} {a:#x},{b:#x} flags");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_count_is_reported() {
+        let mut c = Circuit::new();
+        let _ = build_alu(&mut c, 8);
+        // The exact number isn't pinned; it must be substantial and stable
+        // enough that students can compare design variants.
+        assert!(c.gate_count() > 100, "got {}", c.gate_count());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_structural_matches_behavioral_width8(
+            opi in 0usize..8, a in 0u64..256, b in 0u64..256
+        ) {
+            let mut c = Circuit::new();
+            let pins = build_alu(&mut c, 8);
+            let op = AluOp::all()[opi];
+            let (sv, sf) = run_alu(&mut c, &pins, op, a, b);
+            let (bv, bf) = eval(op, 8, a, b);
+            prop_assert_eq!(sv, bv);
+            prop_assert_eq!(sf, bf);
+        }
+    }
+}

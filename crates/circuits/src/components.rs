@@ -1,0 +1,337 @@
+//! The component library students assemble in Lab 3: adders, a sign
+//! extender, multiplexers, decoders, and comparators — each built purely
+//! from the primitive gates of [`crate::netlist`], "building increasingly
+//! complex circuits from simpler ones" (§III-A).
+
+use crate::netlist::{Circuit, GateKind, NodeId};
+
+/// A bundle of nodes forming a multi-bit value, least significant bit first.
+pub type Bus = Vec<NodeId>;
+
+/// Sum and carry-out of a half adder.
+#[derive(Debug, Clone, Copy)]
+pub struct HalfAdder {
+    /// Sum bit (a XOR b).
+    pub sum: NodeId,
+    /// Carry-out bit (a AND b).
+    pub carry: NodeId,
+}
+
+/// Builds a half adder from XOR + AND.
+pub fn half_adder(c: &mut Circuit, a: NodeId, b: NodeId) -> HalfAdder {
+    HalfAdder {
+        sum: c.add_gate(GateKind::Xor, &[a, b]),
+        carry: c.add_gate(GateKind::And, &[a, b]),
+    }
+}
+
+/// Sum and carry-out of a full adder.
+#[derive(Debug, Clone, Copy)]
+pub struct FullAdder {
+    /// Sum bit.
+    pub sum: NodeId,
+    /// Carry-out bit.
+    pub carry: NodeId,
+}
+
+/// Builds a full adder from two half adders and an OR — the Lab 3 one-bit
+/// adder students combine into the ripple-carry chain.
+pub fn full_adder(c: &mut Circuit, a: NodeId, b: NodeId, cin: NodeId) -> FullAdder {
+    let h1 = half_adder(c, a, b);
+    let h2 = half_adder(c, h1.sum, cin);
+    let carry = c.add_gate(GateKind::Or, &[h1.carry, h2.carry]);
+    FullAdder { sum: h2.sum, carry }
+}
+
+/// An n-bit ripple-carry adder's outputs.
+#[derive(Debug, Clone)]
+pub struct RippleAdder {
+    /// Sum bus (LSB first), same width as the inputs.
+    pub sum: Bus,
+    /// Final carry out of the MSB.
+    pub carry_out: NodeId,
+    /// Carry *into* the MSB stage — needed for the overflow flag
+    /// (OF = carry_into_msb XOR carry_out).
+    pub carry_into_msb: NodeId,
+}
+
+/// Chains full adders into an n-bit ripple-carry adder.
+///
+/// # Panics
+/// If `a` and `b` differ in width or are empty.
+pub fn ripple_adder(c: &mut Circuit, a: &[NodeId], b: &[NodeId], cin: NodeId) -> RippleAdder {
+    assert_eq!(a.len(), b.len(), "adder operand widths differ");
+    assert!(!a.is_empty(), "adder needs at least one bit");
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    let mut carry_into_msb = cin;
+    for i in 0..a.len() {
+        if i == a.len() - 1 {
+            carry_into_msb = carry;
+        }
+        let fa = full_adder(c, a[i], b[i], carry);
+        sum.push(fa.sum);
+        carry = fa.carry;
+    }
+    RippleAdder { sum, carry_out: carry, carry_into_msb }
+}
+
+/// Builds a ripple-carry **subtractor** (`a - b`) by inverting `b` and
+/// forcing carry-in to 1: the circuit form of "add the two's complement".
+pub fn ripple_subtractor(c: &mut Circuit, a: &[NodeId], b: &[NodeId]) -> RippleAdder {
+    let one = c.add_const(true);
+    let nb: Bus = b.iter().map(|&bit| c.add_gate(GateKind::Not, &[bit])).collect();
+    ripple_adder(c, a, &nb, one)
+}
+
+/// Sign extender: replicates the MSB of `input` up to `out_width` bits —
+/// the first standalone circuit of Lab 3.
+pub fn sign_extender(c: &mut Circuit, input: &[NodeId], out_width: usize) -> Bus {
+    assert!(!input.is_empty() && out_width >= input.len());
+    let msb = *input.last().expect("nonempty");
+    let mut out: Bus = input.to_vec();
+    for _ in input.len()..out_width {
+        // A 1-input OR is a buffer; keeps the output a distinct node.
+        out.push(c.add_gate(GateKind::Or, &[msb]));
+    }
+    out
+}
+
+/// 2-to-1 multiplexer: `sel ? b : a`, from AND/OR/NOT.
+pub fn mux2(c: &mut Circuit, sel: NodeId, a: NodeId, b: NodeId) -> NodeId {
+    let nsel = c.add_gate(GateKind::Not, &[sel]);
+    let ta = c.add_gate(GateKind::And, &[a, nsel]);
+    let tb = c.add_gate(GateKind::And, &[b, sel]);
+    c.add_gate(GateKind::Or, &[ta, tb])
+}
+
+/// N-to-1 multiplexer over single bits, built as a tree of [`mux2`].
+/// `sel` is a bus (LSB first) with `inputs.len() == 2^sel.len()`.
+pub fn mux_n(c: &mut Circuit, sel: &[NodeId], inputs: &[NodeId]) -> NodeId {
+    assert_eq!(inputs.len(), 1 << sel.len(), "mux size mismatch");
+    if sel.is_empty() {
+        return inputs[0];
+    }
+    let half = inputs.len() / 2;
+    let low = mux_n(c, &sel[..sel.len() - 1], &inputs[..half]);
+    let high = mux_n(c, &sel[..sel.len() - 1], &inputs[half..]);
+    mux2(c, sel[sel.len() - 1], low, high)
+}
+
+/// Multiplexes whole buses: picks `inputs[sel]` where each input is a bus.
+pub fn mux_bus(c: &mut Circuit, sel: &[NodeId], inputs: &[&[NodeId]]) -> Bus {
+    assert_eq!(inputs.len(), 1 << sel.len(), "mux size mismatch");
+    let width = inputs[0].len();
+    assert!(inputs.iter().all(|b| b.len() == width), "bus widths differ");
+    (0..width)
+        .map(|bit| {
+            let column: Vec<NodeId> = inputs.iter().map(|b| b[bit]).collect();
+            mux_n(c, sel, &column)
+        })
+        .collect()
+}
+
+/// k-to-2^k decoder: output line `i` is high iff the select bus encodes `i`.
+pub fn decoder(c: &mut Circuit, sel: &[NodeId]) -> Bus {
+    let k = sel.len();
+    let nsel: Vec<NodeId> = sel.iter().map(|&s| c.add_gate(GateKind::Not, &[s])).collect();
+    (0..(1usize << k))
+        .map(|i| {
+            let terms: Vec<NodeId> = (0..k)
+                .map(|bit| if (i >> bit) & 1 == 1 { sel[bit] } else { nsel[bit] })
+                .collect();
+            c.add_gate(GateKind::And, &terms)
+        })
+        .collect()
+}
+
+/// Equality comparator: high iff buses `a` and `b` are bit-identical.
+pub fn equals(c: &mut Circuit, a: &[NodeId], b: &[NodeId]) -> NodeId {
+    assert_eq!(a.len(), b.len());
+    let diffs: Vec<NodeId> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| c.add_gate(GateKind::Xor, &[x, y]))
+        .collect();
+    let any_diff = c.add_gate(GateKind::Or, &diffs);
+    c.add_gate(GateKind::Not, &[any_diff])
+}
+
+/// Zero detector: high iff every bit of the bus is 0.
+pub fn is_zero(c: &mut Circuit, bus: &[NodeId]) -> NodeId {
+    let any = c.add_gate(GateKind::Or, bus);
+    c.add_gate(GateKind::Not, &[any])
+}
+
+/// Adds `width` named input pins as a bus.
+pub fn input_bus(c: &mut Circuit, prefix: &str, width: usize) -> Bus {
+    (0..width).map(|i| c.add_input(&format!("{prefix}{i}"))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bits::arith;
+    use proptest::prelude::*;
+
+    fn fresh() -> Circuit {
+        Circuit::new()
+    }
+
+    #[test]
+    fn half_and_full_adder_truth_tables() {
+        let mut c = fresh();
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let cin = c.add_input("cin");
+        let fa = full_adder(&mut c, a, b, cin);
+        for bits_in in 0..8u64 {
+            c.set_bus(&[a, b, cin], bits_in).unwrap();
+            c.settle().unwrap();
+            let ones = bits_in.count_ones();
+            assert_eq!(c.get(fa.sum), ones % 2 == 1, "sum for {bits_in:03b}");
+            assert_eq!(c.get(fa.carry), ones >= 2, "carry for {bits_in:03b}");
+        }
+    }
+
+    #[test]
+    fn ripple_adder_8bit_examples() {
+        let mut c = fresh();
+        let a = input_bus(&mut c, "a", 8);
+        let b = input_bus(&mut c, "b", 8);
+        let zero = c.add_const(false);
+        let add = ripple_adder(&mut c, &a, &b, zero);
+        for (x, y) in [(0u64, 0u64), (1, 1), (0x7F, 1), (0xFF, 1), (0xAA, 0x55)] {
+            c.set_bus(&a, x).unwrap();
+            c.set_bus(&b, y).unwrap();
+            c.settle().unwrap();
+            let expect = arith::add(8, x, y).unwrap();
+            assert_eq!(c.get_bus(&add.sum), expect.value, "{x:#x}+{y:#x}");
+            assert_eq!(c.get(add.carry_out), expect.flags.cf, "cf {x:#x}+{y:#x}");
+        }
+    }
+
+    #[test]
+    fn subtractor_matches_sub_semantics() {
+        let mut c = fresh();
+        let a = input_bus(&mut c, "a", 8);
+        let b = input_bus(&mut c, "b", 8);
+        let sub = ripple_subtractor(&mut c, &a, &b);
+        for (x, y) in [(5u64, 3u64), (3, 5), (0, 0), (0x80, 1), (0xFF, 0xFF)] {
+            c.set_bus(&a, x).unwrap();
+            c.set_bus(&b, y).unwrap();
+            c.settle().unwrap();
+            let expect = arith::sub(8, x, y).unwrap();
+            assert_eq!(c.get_bus(&sub.sum), expect.value, "{x:#x}-{y:#x}");
+            // Hardware carry-out is the *inverse* of the x86 borrow flag.
+            assert_eq!(!c.get(sub.carry_out), expect.flags.cf, "borrow {x:#x}-{y:#x}");
+        }
+    }
+
+    #[test]
+    fn sign_extender_replicates_msb() {
+        let mut c = fresh();
+        let a = input_bus(&mut c, "a", 4);
+        let ext = sign_extender(&mut c, &a, 8);
+        c.set_bus(&a, 0b1010).unwrap();
+        c.settle().unwrap();
+        assert_eq!(c.get_bus(&ext), 0xFA);
+        c.set_bus(&a, 0b0101).unwrap();
+        c.settle().unwrap();
+        assert_eq!(c.get_bus(&ext), 0x05);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut c = fresh();
+        let sel = input_bus(&mut c, "s", 2);
+        let ins = input_bus(&mut c, "i", 4);
+        let out = mux_n(&mut c, &sel, &ins);
+        c.set_bus(&ins, 0b0110).unwrap();
+        for s in 0..4u64 {
+            c.set_bus(&sel, s).unwrap();
+            c.settle().unwrap();
+            assert_eq!(c.get(out), (0b0110 >> s) & 1 == 1, "sel={s}");
+        }
+    }
+
+    #[test]
+    fn mux_bus_selects_whole_words() {
+        let mut c = fresh();
+        let sel = input_bus(&mut c, "s", 1);
+        let a = input_bus(&mut c, "a", 4);
+        let b = input_bus(&mut c, "b", 4);
+        let out = mux_bus(&mut c, &sel, &[&a, &b]);
+        c.set_bus(&a, 0x3).unwrap();
+        c.set_bus(&b, 0xC).unwrap();
+        c.set_bus(&sel, 0).unwrap();
+        c.settle().unwrap();
+        assert_eq!(c.get_bus(&out), 0x3);
+        c.set_bus(&sel, 1).unwrap();
+        c.settle().unwrap();
+        assert_eq!(c.get_bus(&out), 0xC);
+    }
+
+    #[test]
+    fn decoder_one_hot() {
+        let mut c = fresh();
+        let sel = input_bus(&mut c, "s", 3);
+        let lines = decoder(&mut c, &sel);
+        assert_eq!(lines.len(), 8);
+        for s in 0..8u64 {
+            c.set_bus(&sel, s).unwrap();
+            c.settle().unwrap();
+            let pattern = c.get_bus(&lines);
+            assert_eq!(pattern, 1 << s, "decoder sel={s}");
+        }
+    }
+
+    #[test]
+    fn comparator_and_zero() {
+        let mut c = fresh();
+        let a = input_bus(&mut c, "a", 4);
+        let b = input_bus(&mut c, "b", 4);
+        let eq = equals(&mut c, &a, &b);
+        let z = is_zero(&mut c, &a);
+        c.set_bus(&a, 7).unwrap();
+        c.set_bus(&b, 7).unwrap();
+        c.settle().unwrap();
+        assert!(c.get(eq) && !c.get(z));
+        c.set_bus(&b, 6).unwrap();
+        c.settle().unwrap();
+        assert!(!c.get(eq));
+        c.set_bus(&a, 0).unwrap();
+        c.settle().unwrap();
+        assert!(c.get(z));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ripple_adder_matches_arith(x in 0u64..256, y in 0u64..256) {
+            let mut c = fresh();
+            let a = input_bus(&mut c, "a", 8);
+            let b = input_bus(&mut c, "b", 8);
+            let zero = c.add_const(false);
+            let add = ripple_adder(&mut c, &a, &b, zero);
+            c.set_bus(&a, x).unwrap();
+            c.set_bus(&b, y).unwrap();
+            c.settle().unwrap();
+            let expect = arith::add(8, x, y).unwrap();
+            prop_assert_eq!(c.get_bus(&add.sum), expect.value);
+            prop_assert_eq!(c.get(add.carry_out), expect.flags.cf);
+            // OF = carry into MSB xor carry out of MSB.
+            let of = c.get(add.carry_into_msb) ^ c.get(add.carry_out);
+            prop_assert_eq!(of, expect.flags.of);
+        }
+
+        #[test]
+        fn prop_decoder_always_one_hot(s in 0u64..16) {
+            let mut c = fresh();
+            let sel = input_bus(&mut c, "s", 4);
+            let lines = decoder(&mut c, &sel);
+            c.set_bus(&sel, s).unwrap();
+            c.settle().unwrap();
+            prop_assert_eq!(c.get_bus(&lines), 1u64 << s);
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! A complete simple CPU — "we then add control circuitry, a program
+//! counter, and instruction registers to complete a simple CPU" (§III-A).
+//!
+//! The machine is **SWAT-16**, a 16-bit teaching ISA in the spirit of the
+//! Lab 3 Logisim CPU: 8 general registers, 256 words of memory, and a
+//! 4-bit opcode covering the 8 ALU operations plus load/store/immediate/
+//! branch/jump/halt. The executor is behavioral for speed, but every ALU
+//! result flows through [`crate::alu::eval`] — the same reference model the
+//! structural gate-level ALU is property-tested against, so the "vertical
+//! slice" from gates to running programs is closed by tests, not hand-waves.
+//!
+//! Each executed instruction is recorded in a [`TraceEntry`], which the
+//! [`crate::pipeline`] model consumes to compare single-cycle vs pipelined
+//! execution (experiment **E2**).
+
+use crate::alu::{eval, AluFlags, AluOp};
+
+/// Number of general-purpose registers.
+pub const NREGS: usize = 8;
+/// Words of memory (PC and addresses are 8-bit).
+pub const MEM_WORDS: usize = 256;
+
+/// A SWAT-16 instruction, decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Stop execution.
+    Halt,
+    /// `rd = rs <op> rt` for the 8 ALU operations (Not/Shl/Shr ignore `rt`).
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: u8,
+        /// First source register.
+        rs: u8,
+        /// Second source register.
+        rt: u8,
+    },
+    /// `rd = imm` (zero-extended 8-bit immediate).
+    LoadI {
+        /// Destination register.
+        rd: u8,
+        /// Immediate value.
+        imm: u8,
+    },
+    /// `rd = mem[rs]`.
+    Load {
+        /// Destination register.
+        rd: u8,
+        /// Register holding the address.
+        rs: u8,
+    },
+    /// `mem[rs] = rt`.
+    Store {
+        /// Register holding the address.
+        rs: u8,
+        /// Register holding the value.
+        rt: u8,
+    },
+    /// `pc = addr`.
+    Jmp {
+        /// Absolute target address.
+        addr: u8,
+    },
+    /// `if rs == 0 { pc = addr }`.
+    Beqz {
+        /// Register tested against zero.
+        rs: u8,
+        /// Absolute target address.
+        addr: u8,
+    },
+    /// `rd = rs`.
+    Mov {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs: u8,
+    },
+    /// No operation.
+    Nop,
+}
+
+/// Errors from encoding, decoding, or running SWAT-16 programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuError {
+    /// A register index ≥ [`NREGS`] was used.
+    BadRegister(u8),
+    /// Execution exceeded the supplied fuel without halting.
+    OutOfFuel,
+    /// Program larger than memory.
+    ProgramTooLarge(usize),
+}
+
+impl std::fmt::Display for CpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CpuError::BadRegister(r) => write!(f, "register r{r} out of range"),
+            CpuError::OutOfFuel => write!(f, "program did not halt within fuel"),
+            CpuError::ProgramTooLarge(n) => write!(f, "program of {n} words exceeds memory"),
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+fn check_reg(r: u8) -> Result<u8, CpuError> {
+    if (r as usize) < NREGS {
+        Ok(r)
+    } else {
+        Err(CpuError::BadRegister(r))
+    }
+}
+
+impl Instr {
+    /// Encodes to the 16-bit instruction word:
+    /// `[15:12] opcode | [11:9] rd | [8:6] rs | [5:3] rt` for register forms,
+    /// `[11:9] rd | [7:0] imm` for immediate forms.
+    pub fn encode(&self) -> Result<u16, CpuError> {
+        let r3 = |op: u16, rd: u8, rs: u8, rt: u8| -> Result<u16, CpuError> {
+            Ok(op << 12
+                | (check_reg(rd)? as u16) << 9
+                | (check_reg(rs)? as u16) << 6
+                | (check_reg(rt)? as u16) << 3)
+        };
+        match *self {
+            Instr::Halt => Ok(0),
+            Instr::Alu { op, rd, rs, rt } => {
+                let opcode = 1 + op as u16; // Add=1 .. Shr=8
+                r3(opcode, rd, rs, rt)
+            }
+            Instr::LoadI { rd, imm } => {
+                Ok(9 << 12 | (check_reg(rd)? as u16) << 9 | imm as u16)
+            }
+            Instr::Load { rd, rs } => r3(10, rd, rs, 0),
+            Instr::Store { rs, rt } => r3(11, 0, rs, rt),
+            Instr::Jmp { addr } => Ok(12 << 12 | addr as u16),
+            Instr::Beqz { rs, addr } => {
+                Ok(13 << 12 | (check_reg(rs)? as u16) << 9 | addr as u16)
+            }
+            Instr::Mov { rd, rs } => r3(14, rd, rs, 0),
+            Instr::Nop => Ok(15 << 12),
+        }
+    }
+
+    /// Decodes a 16-bit instruction word (total: every word decodes).
+    pub fn decode(word: u16) -> Instr {
+        let opcode = word >> 12;
+        let rd = ((word >> 9) & 7) as u8;
+        let rs = ((word >> 6) & 7) as u8;
+        let rt = ((word >> 3) & 7) as u8;
+        let imm = (word & 0xFF) as u8;
+        match opcode {
+            0 => Instr::Halt,
+            1..=8 => Instr::Alu { op: AluOp::all()[(opcode - 1) as usize], rd, rs, rt },
+            9 => Instr::LoadI { rd, imm },
+            10 => Instr::Load { rd, rs },
+            11 => Instr::Store { rs, rt },
+            12 => Instr::Jmp { addr: imm },
+            13 => Instr::Beqz { rs: rd, addr: imm },
+            14 => Instr::Mov { rd, rs },
+            _ => Instr::Nop,
+        }
+    }
+}
+
+/// What one executed instruction did — consumed by the pipeline model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// PC the instruction was fetched from.
+    pub pc: u8,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Destination register written, if any.
+    pub dest: Option<u8>,
+    /// Source registers read.
+    pub srcs: Vec<u8>,
+    /// True for memory loads (the load-use hazard case).
+    pub is_load: bool,
+    /// True for control-flow instructions.
+    pub is_branch: bool,
+    /// For branches: whether it was taken.
+    pub taken: bool,
+}
+
+/// The SWAT-16 machine state.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// General-purpose registers r0..r7.
+    pub regs: [u16; NREGS],
+    /// Program counter.
+    pub pc: u8,
+    /// Word-addressed memory.
+    pub mem: Vec<u16>,
+    /// Condition flags from the last ALU instruction.
+    pub flags: AluFlags,
+    /// True once HALT executes.
+    pub halted: bool,
+    /// Count of executed instructions.
+    pub executed: u64,
+    /// Execution trace (for the pipeline model and debugging).
+    pub trace: Vec<TraceEntry>,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Cpu::new()
+    }
+}
+
+impl Cpu {
+    /// A fresh machine: zeroed registers and memory.
+    pub fn new() -> Cpu {
+        Cpu {
+            regs: [0; NREGS],
+            pc: 0,
+            mem: vec![0; MEM_WORDS],
+            flags: AluFlags::default(),
+            halted: false,
+            executed: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Loads a program at address 0 and resets the PC.
+    pub fn load_program(&mut self, program: &[Instr]) -> Result<(), CpuError> {
+        if program.len() > MEM_WORDS {
+            return Err(CpuError::ProgramTooLarge(program.len()));
+        }
+        for (i, instr) in program.iter().enumerate() {
+            self.mem[i] = instr.encode()?;
+        }
+        self.pc = 0;
+        self.halted = false;
+        Ok(())
+    }
+
+    /// Fetch–decode–execute one instruction.
+    pub fn step(&mut self) {
+        if self.halted {
+            return;
+        }
+        let fetch_pc = self.pc;
+        let word = self.mem[fetch_pc as usize];
+        let instr = Instr::decode(word);
+        self.pc = self.pc.wrapping_add(1);
+
+        let mut entry = TraceEntry {
+            pc: fetch_pc,
+            instr,
+            dest: None,
+            srcs: vec![],
+            is_load: false,
+            is_branch: false,
+            taken: false,
+        };
+
+        match instr {
+            Instr::Halt => self.halted = true,
+            Instr::Nop => {}
+            Instr::Alu { op, rd, rs, rt } => {
+                let uses_rt = matches!(
+                    op,
+                    AluOp::Add | AluOp::Sub | AluOp::And | AluOp::Or | AluOp::Xor
+                );
+                let b = if uses_rt { self.regs[rt as usize] } else { 0 };
+                let (v, f) = eval(op, 16, self.regs[rs as usize] as u64, b as u64);
+                self.regs[rd as usize] = v as u16;
+                self.flags = f;
+                entry.dest = Some(rd);
+                entry.srcs = if uses_rt { vec![rs, rt] } else { vec![rs] };
+            }
+            Instr::LoadI { rd, imm } => {
+                self.regs[rd as usize] = imm as u16;
+                entry.dest = Some(rd);
+            }
+            Instr::Load { rd, rs } => {
+                let addr = (self.regs[rs as usize] & 0xFF) as usize;
+                self.regs[rd as usize] = self.mem[addr];
+                entry.dest = Some(rd);
+                entry.srcs = vec![rs];
+                entry.is_load = true;
+            }
+            Instr::Store { rs, rt } => {
+                let addr = (self.regs[rs as usize] & 0xFF) as usize;
+                self.mem[addr] = self.regs[rt as usize];
+                entry.srcs = vec![rs, rt];
+            }
+            Instr::Jmp { addr } => {
+                self.pc = addr;
+                entry.is_branch = true;
+                entry.taken = true;
+            }
+            Instr::Beqz { rs, addr } => {
+                entry.is_branch = true;
+                entry.srcs = vec![rs];
+                if self.regs[rs as usize] == 0 {
+                    self.pc = addr;
+                    entry.taken = true;
+                }
+            }
+            Instr::Mov { rd, rs } => {
+                self.regs[rd as usize] = self.regs[rs as usize];
+                entry.dest = Some(rd);
+                entry.srcs = vec![rs];
+            }
+        }
+        self.executed += 1;
+        self.trace.push(entry);
+    }
+
+    /// Runs until HALT or `fuel` instructions, whichever first.
+    pub fn run(&mut self, fuel: u64) -> Result<(), CpuError> {
+        for _ in 0..fuel {
+            if self.halted {
+                return Ok(());
+            }
+            self.step();
+        }
+        if self.halted {
+            Ok(())
+        } else {
+            Err(CpuError::OutOfFuel)
+        }
+    }
+}
+
+/// Builds the classic first program: sum the integers 1..=n (loop + branch).
+/// Returns the program; the result lands in r1.
+pub fn sum_1_to_n_program(n: u8) -> Vec<Instr> {
+    vec![
+        Instr::LoadI { rd: 1, imm: 0 },        // r1 = acc = 0
+        Instr::LoadI { rd: 2, imm: n },        // r2 = i = n
+        Instr::Beqz { rs: 2, addr: 7 },        // while i != 0
+        Instr::Alu { op: AluOp::Add, rd: 1, rs: 1, rt: 2 }, // acc += i
+        Instr::LoadI { rd: 3, imm: 1 },
+        Instr::Alu { op: AluOp::Sub, rd: 2, rs: 2, rt: 3 }, // i -= 1
+        Instr::Jmp { addr: 2 },
+        Instr::Halt,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_roundtrip_all_forms() {
+        let cases = vec![
+            Instr::Halt,
+            Instr::Nop,
+            Instr::Alu { op: AluOp::Add, rd: 1, rs: 2, rt: 3 },
+            Instr::Alu { op: AluOp::Shr, rd: 7, rs: 6, rt: 0 },
+            Instr::LoadI { rd: 5, imm: 0xAB },
+            Instr::Load { rd: 4, rs: 2 },
+            Instr::Store { rs: 1, rt: 7 },
+            Instr::Jmp { addr: 200 },
+            Instr::Beqz { rs: 3, addr: 17 },
+            Instr::Mov { rd: 0, rs: 7 },
+        ];
+        for i in cases {
+            let w = i.encode().unwrap();
+            // Store/ALU-without-rt normalize rt=0 on decode; compare via
+            // re-encode instead of structural equality where fields differ.
+            assert_eq!(Instr::decode(w).encode().unwrap(), w, "{i:?}");
+        }
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        assert_eq!(
+            Instr::Mov { rd: 8, rs: 0 }.encode().unwrap_err(),
+            CpuError::BadRegister(8)
+        );
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut cpu = Cpu::new();
+        cpu.load_program(&[
+            Instr::LoadI { rd: 1, imm: 40 },
+            Instr::LoadI { rd: 2, imm: 2 },
+            Instr::Alu { op: AluOp::Add, rd: 3, rs: 1, rt: 2 },
+            Instr::Halt,
+        ])
+        .unwrap();
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.regs[3], 42);
+        assert_eq!(cpu.executed, 4);
+    }
+
+    #[test]
+    fn loop_sums_1_to_10() {
+        let mut cpu = Cpu::new();
+        cpu.load_program(&sum_1_to_n_program(10)).unwrap();
+        cpu.run(1000).unwrap();
+        assert_eq!(cpu.regs[1], 55);
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let mut cpu = Cpu::new();
+        cpu.load_program(&[
+            Instr::LoadI { rd: 1, imm: 100 }, // address
+            Instr::LoadI { rd: 2, imm: 77 },  // value
+            Instr::Store { rs: 1, rt: 2 },
+            Instr::Load { rd: 3, rs: 1 },
+            Instr::Halt,
+        ])
+        .unwrap();
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.mem[100], 77);
+        assert_eq!(cpu.regs[3], 77);
+        let load = &cpu.trace[3];
+        assert!(load.is_load);
+        assert_eq!(load.dest, Some(3));
+    }
+
+    #[test]
+    fn infinite_loop_runs_out_of_fuel() {
+        let mut cpu = Cpu::new();
+        cpu.load_program(&[Instr::Jmp { addr: 0 }]).unwrap();
+        assert_eq!(cpu.run(50).unwrap_err(), CpuError::OutOfFuel);
+        assert_eq!(cpu.executed, 50);
+    }
+
+    #[test]
+    fn flags_follow_alu() {
+        let mut cpu = Cpu::new();
+        cpu.load_program(&[
+            Instr::LoadI { rd: 1, imm: 5 },
+            Instr::Alu { op: AluOp::Sub, rd: 2, rs: 1, rt: 1 },
+            Instr::Halt,
+        ])
+        .unwrap();
+        cpu.run(10).unwrap();
+        assert!(cpu.flags.zf);
+    }
+
+    #[test]
+    fn branch_trace_records_taken() {
+        let mut cpu = Cpu::new();
+        cpu.load_program(&sum_1_to_n_program(3)).unwrap();
+        cpu.run(100).unwrap();
+        let branches: Vec<&TraceEntry> =
+            cpu.trace.iter().filter(|t| t.is_branch).collect();
+        // 4 BEQZ evaluations (3 not taken, 1 taken) + 3 taken JMPs.
+        assert_eq!(branches.len(), 7);
+        assert_eq!(branches.iter().filter(|b| b.taken).count(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_total(word in any::<u16>()) {
+            // Every 16-bit pattern decodes without panicking, and decode ∘
+            // encode is idempotent.
+            let i = Instr::decode(word);
+            let w2 = i.encode().unwrap();
+            prop_assert_eq!(Instr::decode(w2), i);
+        }
+
+        #[test]
+        fn prop_sum_program_correct(n in 0u8..=30) {
+            let mut cpu = Cpu::new();
+            cpu.load_program(&sum_1_to_n_program(n)).unwrap();
+            cpu.run(10_000).unwrap();
+            let expect: u16 = (1..=n as u16).sum();
+            prop_assert_eq!(cpu.regs[1], expect);
+        }
+    }
+}

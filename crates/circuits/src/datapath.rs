@@ -1,0 +1,302 @@
+//! A **complete simple CPU, entirely from gates** — the endpoint of the
+//! course's architecture module: "we then add control circuitry, a
+//! program counter, and instruction registers to complete a simple CPU …
+//! a clock circuit drives the execution" (§III-A).
+//!
+//! [`build_acc_machine`] assembles an 8-bit accumulator machine inside a
+//! [`Circuit`]: a PC register, an instruction store (a constant/mux
+//! fabric — the gate-level stand-in for a program ROM), an opcode
+//! decoder as the control unit, a ripple-carry adder as the ALU, and a
+//! halt latch. One [`Circuit::tick`] is one clock cycle; there is no
+//! behavioral escape hatch anywhere in the loop.
+//!
+//! The ISA (2-bit opcode, 8-bit operand):
+//!
+//! | op | mnemonic    | semantics                           |
+//! |----|-------------|-------------------------------------|
+//! | 0  | `LOADI k`   | `acc = k`                           |
+//! | 1  | `ADDI k`    | `acc = acc + k` (wrapping; k may be a two's-complement negative) |
+//! | 2  | `JNZ t`     | `if acc != 0 { pc = t }`            |
+//! | 3  | `HALT`      | stop (PC and ACC freeze)            |
+
+use crate::components::{decoder, is_zero, mux2, mux_bus, ripple_adder, Bus};
+use crate::latch::register;
+use crate::netlist::{Circuit, GateKind, NodeId};
+
+/// One accumulator-machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccInstr {
+    /// `acc = imm`.
+    LoadI(u8),
+    /// `acc += imm` (two's-complement wrapping).
+    AddI(u8),
+    /// `if acc != 0 { pc = target }`.
+    Jnz(u8),
+    /// Stop the clock (PC and ACC hold forever).
+    Halt,
+}
+
+impl AccInstr {
+    /// Encodes to the 10-bit instruction word `[9:8] opcode | [7:0] operand`.
+    pub fn encode(&self) -> u16 {
+        match self {
+            AccInstr::LoadI(k) => *k as u16,
+            AccInstr::AddI(k) => (1 << 8) | *k as u16,
+            AccInstr::Jnz(t) => (2 << 8) | *t as u16,
+            AccInstr::Halt => 3 << 8,
+        }
+    }
+}
+
+/// The probe points of a built machine.
+#[derive(Debug, Clone)]
+pub struct AccMachine {
+    /// Program counter outputs.
+    pub pc: Bus,
+    /// Accumulator outputs.
+    pub acc: Bus,
+    /// High once `HALT` has executed.
+    pub halted: NodeId,
+    /// The current instruction word (for single-step inspection).
+    pub instr: Bus,
+}
+
+/// Builds the machine around `program` (1..=256 instructions).
+/// The program is baked into the constant/mux instruction fabric, the
+/// gate-level equivalent of burning a ROM.
+pub fn build_acc_machine(c: &mut Circuit, program: &[AccInstr]) -> AccMachine {
+    assert!(!program.is_empty() && program.len() <= 256, "1..=256 instructions");
+
+    // --- program counter (8-bit), accumulator (8-bit), halt flag --------
+    // Wires first: the datapath is one big feedback loop through the two
+    // registers, so forward references are needed everywhere.
+    let pc_wire: Bus = (0..8).map(|_| c.add_wire()).collect();
+    let acc_wire: Bus = (0..8).map(|_| c.add_wire()).collect();
+    let halted_wire = c.add_wire();
+
+    // --- instruction store: 10-bit word = mux over constants ------------
+    // Pad the program to a power of two with HALTs so the mux is full.
+    let slots = program.len().next_power_of_two();
+    let sel_bits = slots.trailing_zeros() as usize;
+    let zero = c.add_const(false);
+    let one = c.add_const(true);
+    let words: Vec<Bus> = (0..slots)
+        .map(|i| {
+            let word = program.get(i).copied().unwrap_or(AccInstr::Halt).encode();
+            (0..10)
+                .map(|b| if (word >> b) & 1 == 1 { one } else { zero })
+                .collect()
+        })
+        .collect();
+    let word_refs: Vec<&[NodeId]> = words.iter().map(|w| w.as_slice()).collect();
+    let sel: Bus = pc_wire[..sel_bits.clamp(1, 8)].to_vec();
+    let sel = if sel_bits == 0 { vec![] } else { sel };
+    let instr: Bus = if slots == 1 {
+        words[0].clone()
+    } else {
+        mux_bus(c, &sel, &word_refs)
+    };
+    let operand: Bus = instr[..8].to_vec();
+    let opcode: Bus = instr[8..10].to_vec();
+
+    // --- control unit: opcode decoder ------------------------------------
+    let lines = decoder(c, &opcode); // [LOADI, ADDI, JNZ, HALT]
+    let is_loadi = lines[0];
+    let is_addi = lines[1];
+    let is_jnz = lines[2];
+    let is_halt = lines[3];
+
+    // --- ALU: acc + operand ----------------------------------------------
+    let adder = ripple_adder(c, &acc_wire, &operand, zero);
+
+    // --- accumulator update ----------------------------------------------
+    // next_acc = LOADI ? operand : adder.sum; write when LOADI|ADDI and
+    // not halted.
+    let next_acc: Bus = operand
+        .iter()
+        .zip(&adder.sum)
+        .map(|(&imm, &sum)| mux2(c, is_loadi, sum, imm))
+        .collect();
+    let not_halted = c.add_gate(GateKind::Not, &[halted_wire]);
+    let acc_writes = c.add_gate(GateKind::Or, &[is_loadi, is_addi]);
+    let acc_we = c.add_gate(GateKind::And, &[acc_writes, not_halted]);
+    let acc_reg = register(c, &next_acc, acc_we);
+
+    // --- branch decision ---------------------------------------------------
+    let acc_zero = is_zero(c, &acc_reg.q);
+    let acc_nonzero = c.add_gate(GateKind::Not, &[acc_zero]);
+    let take_jump = c.add_gate(GateKind::And, &[is_jnz, acc_nonzero]);
+
+    // --- PC update: pc+1, or the jump target, frozen when halted ----------
+    let pc_inc_b: Bus = (0..8).map(|i| if i == 0 { one } else { zero }).collect();
+    let pc_plus_1 = ripple_adder(c, &pc_wire, &pc_inc_b, zero);
+    let next_pc: Bus = (0..8)
+        .map(|i| mux2(c, take_jump, pc_plus_1.sum[i], operand[i]))
+        .collect();
+    let pc_reg = register(c, &next_pc, not_halted);
+
+    // --- halt latch: once set, stays set ----------------------------------
+    let halt_next = c.add_gate(GateKind::Or, &[halted_wire, is_halt]);
+    let always = c.add_const(true);
+    let halt_reg = register(c, &[halt_next], always);
+    let halted = halt_reg.q[0];
+
+    // Close the feedback loops.
+    for (w, q) in pc_wire.iter().zip(&pc_reg.q) {
+        c.drive_wire(*w, *q).expect("fresh wire");
+    }
+    for (w, q) in acc_wire.iter().zip(&acc_reg.q) {
+        c.drive_wire(*w, *q).expect("fresh wire");
+    }
+    c.drive_wire(halted_wire, halted).expect("fresh wire");
+
+    AccMachine { pc: pc_reg.q, acc: acc_reg.q, halted, instr }
+}
+
+/// Clocks the machine until it halts or `max_cycles` elapse.
+/// Returns the cycle count, or `None` if it never halted.
+pub fn run_acc_machine(
+    c: &mut Circuit,
+    m: &AccMachine,
+    max_cycles: usize,
+) -> Option<usize> {
+    c.settle().expect("combinational fabric settles");
+    for cycle in 0..max_cycles {
+        if c.get(m.halted) {
+            return Some(cycle);
+        }
+        c.tick().expect("clocked step settles");
+    }
+    c.get(m.halted).then_some(max_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(prog: &[AccInstr]) -> (Circuit, AccMachine) {
+        let mut c = Circuit::new();
+        let m = build_acc_machine(&mut c, prog);
+        (c, m)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let (mut c, m) = machine(&[
+            AccInstr::LoadI(40),
+            AccInstr::AddI(2),
+            AccInstr::Halt,
+        ]);
+        let cycles = run_acc_machine(&mut c, &m, 20).expect("halts");
+        assert_eq!(c.get_bus(&m.acc), 42);
+        assert_eq!(cycles, 3, "one instruction per clock");
+    }
+
+    #[test]
+    fn negative_immediates_wrap() {
+        let (mut c, m) = machine(&[
+            AccInstr::LoadI(5),
+            AccInstr::AddI(0xFF), // -1
+            AccInstr::Halt,
+        ]);
+        run_acc_machine(&mut c, &m, 20).expect("halts");
+        assert_eq!(c.get_bus(&m.acc), 4);
+    }
+
+    #[test]
+    fn countdown_loop_executes_gate_by_gate() {
+        // LOADI 5; loop: ADDI -1; JNZ loop; HALT — 1 + 5*2 + 1 = 12 cycles.
+        let (mut c, m) = machine(&[
+            AccInstr::LoadI(5),
+            AccInstr::AddI(0xFF),
+            AccInstr::Jnz(1),
+            AccInstr::Halt,
+        ]);
+        let cycles = run_acc_machine(&mut c, &m, 100).expect("halts");
+        assert_eq!(c.get_bus(&m.acc), 0);
+        assert_eq!(cycles, 12);
+    }
+
+    #[test]
+    fn jnz_falls_through_on_zero() {
+        let (mut c, m) = machine(&[
+            AccInstr::LoadI(0),
+            AccInstr::Jnz(0), // must NOT loop forever
+            AccInstr::LoadI(9),
+            AccInstr::Halt,
+        ]);
+        run_acc_machine(&mut c, &m, 50).expect("halts");
+        assert_eq!(c.get_bus(&m.acc), 9);
+    }
+
+    #[test]
+    fn halt_freezes_everything() {
+        let (mut c, m) = machine(&[AccInstr::LoadI(7), AccInstr::Halt]);
+        run_acc_machine(&mut c, &m, 10).expect("halts");
+        let pc = c.get_bus(&m.pc);
+        let acc = c.get_bus(&m.acc);
+        // Extra clocks change nothing.
+        for _ in 0..5 {
+            c.tick().unwrap();
+        }
+        assert_eq!(c.get_bus(&m.pc), pc);
+        assert_eq!(c.get_bus(&m.acc), acc);
+        assert_eq!(acc, 7);
+    }
+
+    #[test]
+    fn runaway_program_reported() {
+        let (mut c, m) = machine(&[
+            AccInstr::LoadI(1),
+            AccInstr::Jnz(1), // spins forever (acc stays 1)
+        ]);
+        assert_eq!(run_acc_machine(&mut c, &m, 64), None);
+    }
+
+    #[test]
+    fn single_instruction_program() {
+        let (mut c, m) = machine(&[AccInstr::Halt]);
+        assert_eq!(run_acc_machine(&mut c, &m, 5), Some(1));
+    }
+
+    #[test]
+    fn gate_count_is_cpu_scale() {
+        let (c, _) = machine(&[
+            AccInstr::LoadI(5),
+            AccInstr::AddI(0xFF),
+            AccInstr::Jnz(1),
+            AccInstr::Halt,
+        ]);
+        // A whole CPU: hundreds of gates, like the Logisim artifact.
+        assert!(c.gate_count() > 200, "got {}", c.gate_count());
+    }
+
+    #[test]
+    fn matches_a_software_model_on_random_programs() {
+        // Cross-check the gate-level machine against a 10-line software
+        // interpreter over a family of straight-line programs.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let mut prog = vec![AccInstr::LoadI(rng.gen())];
+            for _ in 0..6 {
+                prog.push(AccInstr::AddI(rng.gen()));
+            }
+            prog.push(AccInstr::Halt);
+            // Software model.
+            let mut acc: u8 = 0;
+            for i in &prog {
+                match i {
+                    AccInstr::LoadI(k) => acc = *k,
+                    AccInstr::AddI(k) => acc = acc.wrapping_add(*k),
+                    _ => {}
+                }
+            }
+            // Gates.
+            let (mut c, m) = machine(&prog);
+            run_acc_machine(&mut c, &m, 50).expect("halts");
+            assert_eq!(c.get_bus(&m.acc) as u8, acc);
+        }
+    }
+}

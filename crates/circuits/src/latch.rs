@@ -1,0 +1,145 @@
+//! Storage circuits: the R-S latch, the gated D latch, and multi-bit
+//! registers — "how individual bits … store results" (§III-A).
+//!
+//! The latches are *structural* (cross-coupled NOR feedback through
+//! [`crate::netlist::Circuit::add_wire`]); registers use the netlist's edge-
+//! triggered DFF primitive plus a write-enable mux, which is how the Lab 3
+//! CPU's register file gates writes.
+
+use crate::components::{mux2, Bus};
+use crate::netlist::{Circuit, GateKind, NodeId};
+
+/// The Q / Q̄ outputs of an R-S latch.
+#[derive(Debug, Clone, Copy)]
+pub struct RsLatch {
+    /// Latched value.
+    pub q: NodeId,
+    /// Complement output.
+    pub qbar: NodeId,
+}
+
+/// Builds a cross-coupled NOR R-S latch.
+///
+/// `r` resets Q to 0, `s` sets Q to 1, both low holds. Driving both high is
+/// the "forbidden" input the course calls out; the latch then outputs 0 on
+/// both Q and Q̄ and which side wins on release is timing-dependent.
+pub fn rs_latch(c: &mut Circuit, r: NodeId, s: NodeId) -> RsLatch {
+    let qbar_wire = c.add_wire();
+    let q = c.add_gate(GateKind::Nor, &[r, qbar_wire]);
+    let qbar = c.add_gate(GateKind::Nor, &[s, q]);
+    c.drive_wire(qbar_wire, qbar).expect("fresh wire");
+    RsLatch { q, qbar }
+}
+
+/// Builds a gated D latch: when `enable` is high, Q follows `d`; when low,
+/// Q holds. Internally an R-S latch with S = D·EN, R = D̄·EN.
+pub fn gated_d_latch(c: &mut Circuit, d: NodeId, enable: NodeId) -> RsLatch {
+    let nd = c.add_gate(GateKind::Not, &[d]);
+    let s = c.add_gate(GateKind::And, &[d, enable]);
+    let r = c.add_gate(GateKind::And, &[nd, enable]);
+    rs_latch(c, r, s)
+}
+
+/// An n-bit register with write enable, built on edge-triggered DFFs.
+#[derive(Debug, Clone)]
+pub struct Register {
+    /// Current value outputs (LSB first).
+    pub q: Bus,
+}
+
+/// Builds an n-bit register: on each [`Circuit::tick`], if `write_enable`
+/// is high the register loads `d`, otherwise it recirculates its value.
+pub fn register(c: &mut Circuit, d: &[NodeId], write_enable: NodeId) -> Register {
+    let q: Bus = d
+        .iter()
+        .map(|&din| {
+            // Feedback: DFF input = mux(we, q, din); q forward-declared.
+            let q_wire = c.add_wire();
+            let next = mux2(c, write_enable, q_wire, din);
+            let q = c.add_dff(next);
+            c.drive_wire(q_wire, q).expect("fresh wire");
+            q
+        })
+        .collect();
+    Register { q }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::input_bus;
+
+    #[test]
+    fn rs_latch_set_hold_reset() {
+        let mut c = Circuit::new();
+        let r = c.add_input("r");
+        let s = c.add_input("s");
+        let l = rs_latch(&mut c, r, s);
+        c.set_input(s, true).unwrap();
+        c.settle().unwrap();
+        assert!(c.get(l.q) && !c.get(l.qbar));
+        c.set_input(s, false).unwrap();
+        c.settle().unwrap();
+        assert!(c.get(l.q), "hold keeps Q");
+        c.set_input(r, true).unwrap();
+        c.settle().unwrap();
+        assert!(!c.get(l.q) && c.get(l.qbar));
+    }
+
+    #[test]
+    fn rs_latch_forbidden_input() {
+        let mut c = Circuit::new();
+        let r = c.add_input("r");
+        let s = c.add_input("s");
+        let l = rs_latch(&mut c, r, s);
+        c.set_input(r, true).unwrap();
+        c.set_input(s, true).unwrap();
+        c.settle().unwrap();
+        assert!(!c.get(l.q) && !c.get(l.qbar), "both NORs pulled low");
+    }
+
+    #[test]
+    fn gated_d_latch_transparent_then_opaque() {
+        let mut c = Circuit::new();
+        let d = c.add_input("d");
+        let en = c.add_input("en");
+        let l = gated_d_latch(&mut c, d, en);
+        // Enabled: Q follows D.
+        c.set_input(en, true).unwrap();
+        c.set_input(d, true).unwrap();
+        c.settle().unwrap();
+        assert!(c.get(l.q));
+        c.set_input(d, false).unwrap();
+        c.settle().unwrap();
+        assert!(!c.get(l.q));
+        // Set 1 then close the gate: D changes must not leak through.
+        c.set_input(d, true).unwrap();
+        c.settle().unwrap();
+        c.set_input(en, false).unwrap();
+        c.settle().unwrap();
+        c.set_input(d, false).unwrap();
+        c.settle().unwrap();
+        assert!(c.get(l.q), "opaque latch holds");
+    }
+
+    #[test]
+    fn register_writes_only_when_enabled() {
+        let mut c = Circuit::new();
+        let d = input_bus(&mut c, "d", 4);
+        let we = c.add_input("we");
+        let reg = register(&mut c, &d, we);
+        c.set_bus(&d, 0b1011).unwrap();
+        c.set_input(we, false).unwrap();
+        c.tick().unwrap();
+        assert_eq!(c.get_bus(&reg.q), 0, "no write without enable");
+        c.set_input(we, true).unwrap();
+        c.tick().unwrap();
+        assert_eq!(c.get_bus(&reg.q), 0b1011);
+        // Holds across ticks with WE low even as D changes.
+        c.set_input(we, false).unwrap();
+        c.set_bus(&d, 0b0100).unwrap();
+        c.tick().unwrap();
+        c.tick().unwrap();
+        assert_eq!(c.get_bus(&reg.q), 0b1011);
+    }
+}

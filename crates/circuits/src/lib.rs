@@ -1,0 +1,47 @@
+//! # circuits — a gate-level digital logic simulator
+//!
+//! CS 31's architecture module (§III-A *Architecture*) has students build
+//! circuits "starting from basic AND, OR, and NOT logic gates … including
+//! arithmetic circuits like ripple carry adders, multiplexers, R-S latches,
+//! and gated D-latches", culminating in Lab 3's ALU (eight operations, five
+//! status flags) and a complete simple CPU in Logisim.
+//!
+//! This crate is the Logisim substitute (see DESIGN.md §2): a netlist
+//! simulator with combinational settling and clocked sequential elements,
+//! a component library mirroring the lab hand-outs, the Lab 3 ALU in both
+//! *structural* (gates) and *behavioral* form (tests pin them against each
+//! other), a register file, a complete simple CPU running the 16-bit
+//! "SWAT-16" teaching ISA, and the single-cycle vs pipelined execution model
+//! behind experiment **E2** ("pipelining … improved instructions per cycle").
+//!
+//! ```
+//! use circuits::netlist::{Circuit, GateKind};
+//!
+//! // Build XOR out of AND/OR/NOT, the week-one exercise.
+//! let mut c = Circuit::new();
+//! let a = c.add_input("a");
+//! let b = c.add_input("b");
+//! let na = c.add_gate(GateKind::Not, &[a]);
+//! let nb = c.add_gate(GateKind::Not, &[b]);
+//! let t1 = c.add_gate(GateKind::And, &[a, nb]);
+//! let t2 = c.add_gate(GateKind::And, &[na, b]);
+//! let xor = c.add_gate(GateKind::Or, &[t1, t2]);
+//! c.set_input(a, true).unwrap();
+//! c.settle().unwrap();
+//! assert!(c.get(xor));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alu;
+pub mod components;
+pub mod cpu;
+pub mod datapath;
+pub mod latch;
+pub mod netlist;
+pub mod pipeline;
+pub mod regfile;
+
+pub use alu::{AluFlags, AluOp};
+pub use netlist::{Circuit, CircuitError, GateKind, NodeId};

@@ -1,0 +1,526 @@
+//! The netlist simulator: nodes, gates, settling, and clocked stepping.
+//!
+//! Combinational logic is evaluated by **settling**: repeated sweeps over
+//! all gates until no signal changes, with a sweep bound that turns true
+//! combinational loops (e.g. an un-gated inverter ring) into a reported
+//! [`CircuitError::Unstable`] instead of a hang. Feedback through *stable*
+//! structures — the cross-coupled NOR pair of an R-S latch — settles fine,
+//! which is exactly the behaviour Logisim shows students.
+//!
+//! Sequential state lives in [`Circuit::add_dff`] nodes: on
+//! [`Circuit::tick`] every DFF samples its D input *simultaneously* (from
+//! the pre-tick settled values) and then the combinational fabric resettles,
+//! modelling a single rising clock edge.
+
+use std::collections::HashMap;
+
+/// Identifies a node (input, gate, or flip-flop output) in a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+/// The primitive gate kinds taught in week 5 of the course.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Logical AND of all inputs (≥1).
+    And,
+    /// Logical OR of all inputs (≥1).
+    Or,
+    /// Logical NOT (exactly 1 input).
+    Not,
+    /// NAND of all inputs.
+    Nand,
+    /// NOR of all inputs.
+    Nor,
+    /// XOR (odd parity) of all inputs.
+    Xor,
+}
+
+impl GateKind {
+    /// Applies the gate function to input values.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        match self {
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Not => !inputs[0],
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// An externally driven input pin.
+    Input,
+    /// A constant signal (convenient for tying select lines).
+    Const(bool),
+    /// A logic gate reading other nodes.
+    Gate { kind: GateKind, inputs: Vec<NodeId> },
+    /// A rising-edge D flip-flop: value updates only on [`Circuit::tick`].
+    Dff { d: NodeId },
+    /// A patchable buffer enabling feedback loops (R-S latches): created
+    /// undriven, later connected with [`Circuit::drive_wire`].
+    Wire { src: Option<NodeId> },
+}
+
+/// Errors from building or simulating a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate refers to a node id that does not exist.
+    DanglingWire(usize),
+    /// A gate was built with an invalid input count for its kind.
+    BadArity {
+        /// The gate kind at fault.
+        kind: GateKind,
+        /// How many inputs it was given.
+        got: usize,
+    },
+    /// Settling did not converge: a combinational oscillation
+    /// (e.g. a NOT gate feeding itself).
+    Unstable,
+    /// `set_input` called on a non-input node.
+    NotAnInput(usize),
+    /// A named node was not found.
+    NoSuchName(String),
+}
+
+impl std::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitError::DanglingWire(id) => write!(f, "wire references unknown node {id}"),
+            CircuitError::BadArity { kind, got } => {
+                write!(f, "gate {kind:?} given {got} inputs")
+            }
+            CircuitError::Unstable => write!(f, "circuit did not settle (combinational loop)"),
+            CircuitError::NotAnInput(id) => write!(f, "node {id} is not an input pin"),
+            CircuitError::NoSuchName(n) => write!(f, "no node named {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// A netlist of gates, inputs, constants, and D flip-flops.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    nodes: Vec<Node>,
+    values: Vec<bool>,
+    names: HashMap<String, NodeId>,
+    /// Count of settle sweeps performed by the most recent `settle()`,
+    /// exposed for the "gate delay" discussions in class.
+    last_sweeps: usize,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Circuit {
+        Circuit::default()
+    }
+
+    /// Number of nodes (inputs + constants + gates + flip-flops).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the circuit has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of gate nodes — the "transistor budget" students compare.
+    pub fn gate_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Gate { .. }))
+            .count()
+    }
+
+    /// Sweeps used by the last settle — a proxy for critical-path depth.
+    pub fn last_sweeps(&self) -> usize {
+        self.last_sweeps
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.values.push(false);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a named input pin (initially 0).
+    pub fn add_input(&mut self, name: &str) -> NodeId {
+        let id = self.push(Node::Input);
+        self.names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Adds an anonymous input pin.
+    pub fn add_input_anon(&mut self) -> NodeId {
+        self.push(Node::Input)
+    }
+
+    /// Adds a constant-valued node.
+    pub fn add_const(&mut self, value: bool) -> NodeId {
+        let id = self.push(Node::Const(value));
+        self.values[id.0] = value;
+        id
+    }
+
+    /// Adds a gate. Panics on invalid arity or dangling inputs in debug
+    /// builds; use [`Circuit::try_add_gate`] for checked construction.
+    pub fn add_gate(&mut self, kind: GateKind, inputs: &[NodeId]) -> NodeId {
+        self.try_add_gate(kind, inputs)
+            .expect("invalid gate construction")
+    }
+
+    /// Checked gate construction.
+    pub fn try_add_gate(&mut self, kind: GateKind, inputs: &[NodeId]) -> Result<NodeId, CircuitError> {
+        let arity_ok = match kind {
+            GateKind::Not => inputs.len() == 1,
+            _ => !inputs.is_empty(),
+        };
+        if !arity_ok {
+            return Err(CircuitError::BadArity { kind, got: inputs.len() });
+        }
+        for i in inputs {
+            if i.0 >= self.nodes.len() {
+                return Err(CircuitError::DanglingWire(i.0));
+            }
+        }
+        Ok(self.push(Node::Gate { kind, inputs: inputs.to_vec() }))
+    }
+
+    /// Adds a rising-edge D flip-flop whose D pin reads `d`.
+    /// The returned id is the Q output; initial state is 0.
+    pub fn add_dff(&mut self, d: NodeId) -> NodeId {
+        assert!(d.0 < self.nodes.len(), "dangling D input");
+        self.push(Node::Dff { d })
+    }
+
+    /// Adds an undriven wire — a forward reference for feedback loops.
+    /// Connect it later with [`Circuit::drive_wire`].
+    pub fn add_wire(&mut self) -> NodeId {
+        self.push(Node::Wire { src: None })
+    }
+
+    /// Connects a wire created by [`Circuit::add_wire`] to its source.
+    /// This is how cross-coupled (feedback) structures are built.
+    pub fn drive_wire(&mut self, wire: NodeId, src: NodeId) -> Result<(), CircuitError> {
+        if src.0 >= self.nodes.len() {
+            return Err(CircuitError::DanglingWire(src.0));
+        }
+        match self.nodes.get_mut(wire.0) {
+            Some(Node::Wire { src: slot }) => {
+                *slot = Some(src);
+                Ok(())
+            }
+            Some(_) => Err(CircuitError::NotAnInput(wire.0)),
+            None => Err(CircuitError::DanglingWire(wire.0)),
+        }
+    }
+
+    /// Names an existing node (for probing in tests and examples).
+    pub fn name(&mut self, id: NodeId, name: &str) {
+        self.names.insert(name.to_string(), id);
+    }
+
+    /// Looks up a node by name.
+    pub fn lookup(&self, name: &str) -> Result<NodeId, CircuitError> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| CircuitError::NoSuchName(name.to_string()))
+    }
+
+    /// Drives an input pin. Does not re-settle; call [`Circuit::settle`].
+    pub fn set_input(&mut self, id: NodeId, value: bool) -> Result<(), CircuitError> {
+        match self.nodes.get(id.0) {
+            Some(Node::Input) => {
+                self.values[id.0] = value;
+                Ok(())
+            }
+            Some(_) => Err(CircuitError::NotAnInput(id.0)),
+            None => Err(CircuitError::DanglingWire(id.0)),
+        }
+    }
+
+    /// Drives a bus of input pins from the low bits of `value` (LSB first).
+    pub fn set_bus(&mut self, bus: &[NodeId], value: u64) -> Result<(), CircuitError> {
+        for (i, &id) in bus.iter().enumerate() {
+            self.set_input(id, (value >> i) & 1 == 1)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the current value of a node (valid after settle/tick).
+    pub fn get(&self, id: NodeId) -> bool {
+        self.values[id.0]
+    }
+
+    /// Reads a bus of nodes as an integer (LSB first).
+    pub fn get_bus(&self, bus: &[NodeId]) -> u64 {
+        bus.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &id)| acc | ((self.get(id) as u64) << i))
+    }
+
+    /// Propagates signals until stable.
+    ///
+    /// The sweep bound is `nodes + 2`: any acyclic network settles within
+    /// one sweep per topological level, and stable feedback (latches)
+    /// settles in a handful; exceeding the bound means oscillation.
+    pub fn settle(&mut self) -> Result<(), CircuitError> {
+        let limit = self.nodes.len() + 2;
+        for sweep in 0..limit {
+            let mut changed = false;
+            for (i, node) in self.nodes.iter().enumerate() {
+                let v = match node {
+                    Node::Gate { kind, inputs } => {
+                        let in_vals: Vec<bool> =
+                            inputs.iter().map(|n| self.values[n.0]).collect();
+                        kind.eval(&in_vals)
+                    }
+                    Node::Wire { src: Some(s) } => self.values[s.0],
+                    Node::Const(v) => *v,
+                    _ => continue,
+                };
+                if v != self.values[i] {
+                    self.values[i] = v;
+                    changed = true;
+                }
+            }
+            if !changed {
+                self.last_sweeps = sweep + 1;
+                return Ok(());
+            }
+        }
+        Err(CircuitError::Unstable)
+    }
+
+    /// One rising clock edge: settle, latch every DFF simultaneously from
+    /// the settled values, then settle again.
+    pub fn tick(&mut self) -> Result<(), CircuitError> {
+        self.settle()?;
+        // Sample all D pins first (simultaneous edge), then commit.
+        let samples: Vec<(usize, bool)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n {
+                Node::Dff { d } => Some((i, self.values[d.0])),
+                _ => None,
+            })
+            .collect();
+        for (i, v) in samples {
+            self.values[i] = v;
+        }
+        self.settle()
+    }
+
+    /// Forces a flip-flop's state (for initializing registers in tests).
+    pub fn preset_dff(&mut self, q: NodeId, value: bool) {
+        assert!(matches!(self.nodes[q.0], Node::Dff { .. }), "not a DFF");
+        self.values[q.0] = value;
+    }
+
+    /// Enumerates a full truth table over the given input pins, returning
+    /// `(input_assignment, output_values)` rows — the homework-3 exercise
+    /// ("tracing through a circuit to produce its logic table").
+    ///
+    /// Inputs are treated LSB-first; panics if `inputs.len() > 20`.
+    pub fn truth_table(
+        &mut self,
+        inputs: &[NodeId],
+        outputs: &[NodeId],
+    ) -> Result<Vec<(u64, Vec<bool>)>, CircuitError> {
+        assert!(inputs.len() <= 20, "truth table too large");
+        let mut rows = Vec::with_capacity(1 << inputs.len());
+        for assignment in 0..(1u64 << inputs.len()) {
+            self.set_bus(inputs, assignment)?;
+            self.settle()?;
+            rows.push((assignment, outputs.iter().map(|&o| self.get(o)).collect()));
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gate_functions() {
+        assert!(GateKind::And.eval(&[true, true]));
+        assert!(!GateKind::And.eval(&[true, false]));
+        assert!(GateKind::Or.eval(&[false, true]));
+        assert!(!GateKind::Nor.eval(&[false, true]));
+        assert!(GateKind::Nand.eval(&[true, false]));
+        assert!(GateKind::Xor.eval(&[true, true, true]));
+        assert!(!GateKind::Xor.eval(&[true, true]));
+        assert!(GateKind::Not.eval(&[false]));
+    }
+
+    #[test]
+    fn build_and_settle_and_gate() {
+        let mut c = Circuit::new();
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, &[a, b]);
+        for (va, vb) in [(false, false), (true, false), (false, true), (true, true)] {
+            c.set_input(a, va).unwrap();
+            c.set_input(b, vb).unwrap();
+            c.settle().unwrap();
+            assert_eq!(c.get(g), va && vb);
+        }
+    }
+
+    #[test]
+    fn oscillator_detected() {
+        // A single inverter feeding itself through a wire: x = NOT x.
+        let mut c = Circuit::new();
+        let w = c.add_wire();
+        let n = c.add_gate(GateKind::Not, &[w]);
+        c.drive_wire(w, n).unwrap();
+        assert_eq!(c.settle().unwrap_err(), CircuitError::Unstable);
+    }
+
+    #[test]
+    fn rs_latch_feedback_settles_and_holds() {
+        // Cross-coupled NOR RS latch: Q = NOR(R, Qbar), Qbar = NOR(S, Q).
+        let mut c = Circuit::new();
+        let r = c.add_input("r");
+        let s = c.add_input("s");
+        let qbar_wire = c.add_wire();
+        let q = c.add_gate(GateKind::Nor, &[r, qbar_wire]);
+        let qbar = c.add_gate(GateKind::Nor, &[s, q]);
+        c.drive_wire(qbar_wire, qbar).unwrap();
+
+        // Set: S=1 R=0 -> Q=1.
+        c.set_input(s, true).unwrap();
+        c.settle().unwrap();
+        assert!(c.get(q));
+        // Hold: S=0 R=0 keeps Q=1 — this is the "memory" lecture moment.
+        c.set_input(s, false).unwrap();
+        c.settle().unwrap();
+        assert!(c.get(q));
+        // Reset: R=1 -> Q=0, and holds after release.
+        c.set_input(r, true).unwrap();
+        c.settle().unwrap();
+        assert!(!c.get(q));
+        c.set_input(r, false).unwrap();
+        c.settle().unwrap();
+        assert!(!c.get(q));
+    }
+
+    #[test]
+    fn wire_errors() {
+        let mut c = Circuit::new();
+        let a = c.add_input("a");
+        let w = c.add_wire();
+        assert!(c.drive_wire(a, w).is_err()); // not a wire
+        assert!(c.drive_wire(w, NodeId(99)).is_err()); // dangling src
+        assert!(c.drive_wire(NodeId(99), a).is_err());
+        // Undriven wire settles to 0 and doesn't block settling.
+        let g = c.add_gate(GateKind::Or, &[w, a]);
+        c.set_input(a, true).unwrap();
+        c.settle().unwrap();
+        assert!(c.get(g));
+    }
+
+    #[test]
+    fn dff_ticks() {
+        let mut c = Circuit::new();
+        let d = c.add_input("d");
+        let q = c.add_dff(d);
+        c.set_input(d, true).unwrap();
+        c.settle().unwrap();
+        assert!(!c.get(q), "DFF must not change before the edge");
+        c.tick().unwrap();
+        assert!(c.get(q));
+        c.set_input(d, false).unwrap();
+        c.tick().unwrap();
+        assert!(!c.get(q));
+    }
+
+    #[test]
+    fn dff_chain_shifts_one_per_tick() {
+        // A 3-stage shift register proves simultaneous sampling: a 1 at the
+        // head must take exactly 3 ticks to reach the tail.
+        let mut c = Circuit::new();
+        let d = c.add_input("d");
+        let q1 = c.add_dff(d);
+        let q2 = c.add_dff(q1);
+        let q3 = c.add_dff(q2);
+        c.set_input(d, true).unwrap();
+        c.tick().unwrap();
+        assert!((c.get(q1), c.get(q2), c.get(q3)) == (true, false, false));
+        c.set_input(d, false).unwrap();
+        c.tick().unwrap();
+        assert!((c.get(q1), c.get(q2), c.get(q3)) == (false, true, false));
+        c.tick().unwrap();
+        assert!((c.get(q1), c.get(q2), c.get(q3)) == (false, false, true));
+    }
+
+    #[test]
+    fn bus_roundtrip() {
+        let mut c = Circuit::new();
+        let bus: Vec<NodeId> = (0..8).map(|i| c.add_input(&format!("b{i}"))).collect();
+        c.set_bus(&bus, 0xA5).unwrap();
+        c.settle().unwrap();
+        assert_eq!(c.get_bus(&bus), 0xA5);
+    }
+
+    #[test]
+    fn truth_table_xor() {
+        let mut c = Circuit::new();
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let x = c.add_gate(GateKind::Xor, &[a, b]);
+        let rows = c.truth_table(&[a, b], &[x]).unwrap();
+        let outs: Vec<bool> = rows.iter().map(|r| r.1[0]).collect();
+        assert_eq!(outs, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn errors() {
+        let mut c = Circuit::new();
+        let a = c.add_input("a");
+        assert_eq!(
+            c.try_add_gate(GateKind::Not, &[a, a]).unwrap_err(),
+            CircuitError::BadArity { kind: GateKind::Not, got: 2 }
+        );
+        assert_eq!(
+            c.try_add_gate(GateKind::And, &[NodeId(99)]).unwrap_err(),
+            CircuitError::DanglingWire(99)
+        );
+        let g = c.add_gate(GateKind::Not, &[a]);
+        assert_eq!(c.set_input(g, true).unwrap_err(), CircuitError::NotAnInput(g.0));
+        assert!(c.lookup("nope").is_err());
+        assert!(c.lookup("a").is_ok());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_settled_gates_consistent(vals in proptest::collection::vec(any::<bool>(), 4)) {
+            // A random small combinational network: every gate's value must
+            // equal its function applied to its inputs after settle.
+            let mut c = Circuit::new();
+            let ins: Vec<NodeId> = (0..4).map(|i| c.add_input(&format!("i{i}"))).collect();
+            let g1 = c.add_gate(GateKind::And, &[ins[0], ins[1]]);
+            let g2 = c.add_gate(GateKind::Xor, &[g1, ins[2]]);
+            let g3 = c.add_gate(GateKind::Nor, &[g2, ins[3]]);
+            let g4 = c.add_gate(GateKind::Or, &[g1, g3]);
+            for (i, &v) in vals.iter().enumerate() {
+                c.set_input(ins[i], v).unwrap();
+            }
+            c.settle().unwrap();
+            let a = c.get(ins[0]); let b = c.get(ins[1]);
+            let x = c.get(ins[2]); let y = c.get(ins[3]);
+            prop_assert_eq!(c.get(g1), a && b);
+            prop_assert_eq!(c.get(g2), (a && b) ^ x);
+            prop_assert_eq!(c.get(g3), !(((a && b) ^ x) || y));
+            prop_assert_eq!(c.get(g4), (a && b) || !(((a && b) ^ x) || y));
+        }
+    }
+}

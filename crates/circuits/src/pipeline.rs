@@ -1,0 +1,277 @@
+//! Single-cycle vs pipelined execution — experiment **E2**.
+//!
+//! §III-A: "We discuss how pipelining makes efficient use of CPU circuitry
+//! resulting in an improved instructions per cycle rate." This module makes
+//! that claim measurable: it replays an executed instruction stream (a
+//! [`crate::cpu::Cpu`] trace, or a synthetic one) through
+//!
+//! * a **multi-cycle** model that takes all five stages serially per
+//!   instruction (5 cycles each — the pre-pipelining baseline the course
+//!   draws on the board), and
+//! * a classic **5-stage pipeline** (F D E M W) with configurable
+//!   forwarding and a 2-cycle taken-branch flush penalty,
+//!
+//! and reports total cycles and IPC for each.
+
+use crate::cpu::TraceEntry;
+
+/// Number of pipeline stages (F, D, E, M, W).
+pub const STAGES: u64 = 5;
+
+/// Pipeline configuration knobs discussed in lecture.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Forward ALU/memory results to dependent instructions.
+    /// Without forwarding a dependent instruction waits for write-back.
+    pub forwarding: bool,
+    /// Cycles squashed after a taken branch (flush of F and D).
+    pub taken_branch_penalty: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { forwarding: true, taken_branch_penalty: 2 }
+    }
+}
+
+/// The result of replaying a stream through an execution model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecReport {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Total cycles consumed.
+    pub cycles: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Stall (bubble) cycles inserted for hazards.
+    pub stall_cycles: u64,
+    /// Cycles lost to taken-branch flushes.
+    pub flush_cycles: u64,
+}
+
+/// The non-pipelined baseline: every instruction occupies the datapath for
+/// all [`STAGES`] cycles before the next fetch begins.
+pub fn multi_cycle(stream: &[TraceEntry]) -> ExecReport {
+    let n = stream.len() as u64;
+    let cycles = n * STAGES;
+    ExecReport {
+        instructions: n,
+        cycles,
+        ipc: if cycles == 0 { 0.0 } else { n as f64 / cycles as f64 },
+        stall_cycles: 0,
+        flush_cycles: 0,
+    }
+}
+
+/// Replays the stream through the 5-stage pipeline model.
+///
+/// Issue-cycle bookkeeping (instruction `i` fetches at `issue[i]`, occupies
+/// stage `k` at `issue[i] + k`):
+///
+/// * structural flow: `issue[i] >= issue[i-1] + 1`;
+/// * with forwarding, an ALU result is consumable by the next instruction's
+///   EX with no stall, while a **load-use** dependency costs one bubble;
+/// * without forwarding, consumers wait until the producer's write-back
+///   (register file writes in the first half-cycle, reads in the second),
+///   costing up to three bubbles;
+/// * a taken branch flushes the `taken_branch_penalty` younger fetches.
+pub fn pipelined(stream: &[TraceEntry], cfg: PipelineConfig) -> ExecReport {
+    let n = stream.len() as u64;
+    if n == 0 {
+        return ExecReport { instructions: 0, cycles: 0, ipc: 0.0, stall_cycles: 0, flush_cycles: 0 };
+    }
+
+    // ready[r] = earliest issue cycle at which a consumer of register r can
+    // issue without stalling.
+    let mut ready = [0u64; 64];
+    let mut issue_prev = 0u64;
+    let mut earliest_fetch = 0u64; // raised by branch flushes
+    let mut stall_cycles = 0u64;
+    let mut flush_cycles = 0u64;
+
+    for (i, entry) in stream.iter().enumerate() {
+        let mut issue = if i == 0 { 0 } else { issue_prev + 1 };
+        issue = issue.max(earliest_fetch);
+
+        // Data hazards: wait until all sources are ready.
+        let mut hazard_issue = issue;
+        for &src in &entry.srcs {
+            hazard_issue = hazard_issue.max(ready[src as usize]);
+        }
+        stall_cycles += hazard_issue - issue;
+        issue = hazard_issue;
+
+        // Publish this instruction's result availability.
+        if let Some(d) = entry.dest {
+            let avail = if cfg.forwarding {
+                if entry.is_load {
+                    // Load value exits MEM (stage 3): consumer EX must start
+                    // at issue+4 ⇒ consumer issues at issue+2 (one bubble).
+                    issue + 2
+                } else {
+                    // ALU result forwarded from EX: back-to-back is fine.
+                    issue + 1
+                }
+            } else {
+                // Consumer reads in D (stage 1) after producer W (stage 4),
+                // same-cycle write-then-read: consumer D >= producer W
+                // ⇒ consumer issue >= producer issue + 3.
+                issue + 3
+            };
+            ready[d as usize] = avail;
+        }
+
+        // Control hazard: a taken branch flushes younger fetches.
+        if entry.is_branch && entry.taken {
+            earliest_fetch = issue + 1 + cfg.taken_branch_penalty;
+            flush_cycles += cfg.taken_branch_penalty;
+        }
+
+        issue_prev = issue;
+    }
+
+    let cycles = issue_prev + STAGES;
+    ExecReport {
+        instructions: n,
+        cycles,
+        ipc: n as f64 / cycles as f64,
+        stall_cycles,
+        flush_cycles,
+    }
+}
+
+/// The headline E2 comparison for a stream: multi-cycle vs pipelined
+/// (with forwarding), plus the pipeline speedup factor.
+pub fn compare(stream: &[TraceEntry]) -> (ExecReport, ExecReport, f64) {
+    let base = multi_cycle(stream);
+    let pipe = pipelined(stream, PipelineConfig::default());
+    let speedup = if pipe.cycles == 0 {
+        0.0
+    } else {
+        base.cycles as f64 / pipe.cycles as f64
+    };
+    (base, pipe, speedup)
+}
+
+/// Builds a synthetic independent-ALU stream (no hazards): the ideal case
+/// where the pipeline approaches IPC = 1.
+pub fn independent_stream(n: usize) -> Vec<TraceEntry> {
+    use crate::cpu::Instr;
+    (0..n)
+        .map(|i| TraceEntry {
+            pc: (i % 256) as u8,
+            instr: Instr::Nop,
+            dest: Some((i % 4) as u8),
+            srcs: vec![((i % 4) + 4) as u8],
+            is_load: false,
+            is_branch: false,
+            taken: false,
+        })
+        .collect()
+}
+
+/// Builds a synthetic fully-dependent chain (each instruction reads the
+/// previous result): the worst case for a non-forwarding pipeline.
+pub fn dependent_stream(n: usize) -> Vec<TraceEntry> {
+    use crate::cpu::Instr;
+    (0..n)
+        .map(|i| TraceEntry {
+            pc: (i % 256) as u8,
+            instr: Instr::Nop,
+            dest: Some(1),
+            srcs: vec![1],
+            is_load: false,
+            is_branch: false,
+            taken: i == usize::MAX, // never
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{sum_1_to_n_program, Cpu};
+
+    #[test]
+    fn ideal_stream_approaches_ipc_1() {
+        let s = independent_stream(1000);
+        let r = pipelined(&s, PipelineConfig::default());
+        assert_eq!(r.cycles, 1000 + STAGES - 1);
+        assert!(r.ipc > 0.99);
+        assert_eq!(r.stall_cycles, 0);
+    }
+
+    #[test]
+    fn multi_cycle_is_5x_slower_on_ideal_stream() {
+        let s = independent_stream(1000);
+        let (base, pipe, speedup) = compare(&s);
+        assert_eq!(base.cycles, 5000);
+        assert!(speedup > 4.9, "speedup {speedup}");
+        assert!(pipe.ipc / base.ipc > 4.9);
+    }
+
+    #[test]
+    fn forwarding_eliminates_alu_stalls() {
+        let s = dependent_stream(100);
+        let fwd = pipelined(&s, PipelineConfig::default());
+        let nofwd = pipelined(&s, PipelineConfig { forwarding: false, ..Default::default() });
+        assert_eq!(fwd.stall_cycles, 0);
+        // Without forwarding each dependent pair costs 2 bubbles.
+        assert_eq!(nofwd.stall_cycles, 2 * 99);
+        assert!(nofwd.cycles > fwd.cycles);
+    }
+
+    #[test]
+    fn load_use_costs_one_bubble_with_forwarding() {
+        use crate::cpu::Instr;
+        let mut s = independent_stream(2);
+        s[0].is_load = true;
+        s[0].dest = Some(1);
+        s[1].srcs = vec![1];
+        s[1].instr = Instr::Nop;
+        let r = pipelined(&s, PipelineConfig::default());
+        assert_eq!(r.stall_cycles, 1);
+    }
+
+    #[test]
+    fn taken_branches_cost_flush_cycles() {
+        let mut s = independent_stream(10);
+        s[4].is_branch = true;
+        s[4].taken = true;
+        let r = pipelined(&s, PipelineConfig::default());
+        assert_eq!(r.flush_cycles, 2);
+        let ideal = pipelined(&independent_stream(10), PipelineConfig::default());
+        assert_eq!(r.cycles, ideal.cycles + 2);
+    }
+
+    #[test]
+    fn not_taken_branches_are_free() {
+        let mut s = independent_stream(10);
+        s[4].is_branch = true;
+        s[4].taken = false;
+        let r = pipelined(&s, PipelineConfig::default());
+        assert_eq!(r.flush_cycles, 0);
+    }
+
+    #[test]
+    fn real_cpu_trace_shows_pipeline_win() {
+        // E2 end-to-end: run a real loopy program and compare models.
+        let mut cpu = Cpu::new();
+        cpu.load_program(&sum_1_to_n_program(50)).unwrap();
+        cpu.run(10_000).unwrap();
+        let (base, pipe, speedup) = compare(&cpu.trace);
+        assert_eq!(base.instructions, pipe.instructions);
+        // Branches and dependences keep it under the ideal 5x, but the
+        // pipeline must still win clearly — the paper's qualitative claim.
+        assert!(speedup > 2.0, "speedup {speedup}");
+        assert!(speedup < 5.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn empty_stream() {
+        let r = pipelined(&[], PipelineConfig::default());
+        assert_eq!(r.cycles, 0);
+        let b = multi_cycle(&[]);
+        assert_eq!(b.cycles, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! A structural register file: decoder-gated writes, mux-selected reads —
+//! the storage half of the Lab 3 CPU datapath.
+
+use crate::components::{decoder, input_bus, mux_bus, Bus};
+use crate::latch::register;
+use crate::netlist::{Circuit, GateKind, NodeId};
+
+/// Pins of a structural register file with one write port and two read ports.
+#[derive(Debug, Clone)]
+pub struct RegFilePins {
+    /// Write-data input bus.
+    pub wdata: Bus,
+    /// Write register select bus (log2(n) bits).
+    pub wsel: Bus,
+    /// Global write enable.
+    pub wen: NodeId,
+    /// Read port A select bus.
+    pub asel: Bus,
+    /// Read port B select bus.
+    pub bsel: Bus,
+    /// Read port A data out.
+    pub adata: Bus,
+    /// Read port B data out.
+    pub bdata: Bus,
+    /// Direct views of each register's bits (for tests/visualization).
+    pub regs: Vec<Bus>,
+}
+
+/// Builds a register file with `nregs` registers (power of two) of `width`
+/// bits. Writes land on [`Circuit::tick`]; reads are combinational.
+pub fn build_regfile(c: &mut Circuit, nregs: usize, width: usize) -> RegFilePins {
+    assert!(nregs.is_power_of_two() && nregs >= 2, "nregs must be a power of two >= 2");
+    let selbits = nregs.trailing_zeros() as usize;
+
+    let wdata = input_bus(c, "rf_wdata", width);
+    let wsel = input_bus(c, "rf_wsel", selbits);
+    let wen = c.add_input("rf_wen");
+    let asel = input_bus(c, "rf_asel", selbits);
+    let bsel = input_bus(c, "rf_bsel", selbits);
+
+    // Decoder gates the global write enable to exactly one register.
+    let wlines = decoder(c, &wsel);
+    let regs: Vec<Bus> = (0..nregs)
+        .map(|i| {
+            let this_wen = c.add_gate(GateKind::And, &[wen, wlines[i]]);
+            register(c, &wdata, this_wen).q
+        })
+        .collect();
+
+    let reg_refs: Vec<&[NodeId]> = regs.iter().map(|b| b.as_slice()).collect();
+    let adata = mux_bus(c, &asel, &reg_refs);
+    let bdata = mux_bus(c, &bsel, &reg_refs);
+
+    RegFilePins { wdata, wsel, wen, asel, bsel, adata, bdata, regs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(c: &mut Circuit, p: &RegFilePins, reg: u64, val: u64) {
+        c.set_bus(&p.wsel, reg).unwrap();
+        c.set_bus(&p.wdata, val).unwrap();
+        c.set_input(p.wen, true).unwrap();
+        c.tick().unwrap();
+        c.set_input(p.wen, false).unwrap();
+        c.settle().unwrap();
+    }
+
+    #[test]
+    fn write_then_read_both_ports() {
+        let mut c = Circuit::new();
+        let p = build_regfile(&mut c, 4, 8);
+        write(&mut c, &p, 2, 0xAB);
+        write(&mut c, &p, 3, 0x5C);
+        c.set_bus(&p.asel, 2).unwrap();
+        c.set_bus(&p.bsel, 3).unwrap();
+        c.settle().unwrap();
+        assert_eq!(c.get_bus(&p.adata), 0xAB);
+        assert_eq!(c.get_bus(&p.bdata), 0x5C);
+        // Same register on both ports.
+        c.set_bus(&p.bsel, 2).unwrap();
+        c.settle().unwrap();
+        assert_eq!(c.get_bus(&p.bdata), 0xAB);
+    }
+
+    #[test]
+    fn write_disabled_does_nothing() {
+        let mut c = Circuit::new();
+        let p = build_regfile(&mut c, 4, 8);
+        write(&mut c, &p, 1, 0x11);
+        // wen low: ticking with new data must not write.
+        c.set_bus(&p.wsel, 1).unwrap();
+        c.set_bus(&p.wdata, 0xFF).unwrap();
+        c.tick().unwrap();
+        c.set_bus(&p.asel, 1).unwrap();
+        c.settle().unwrap();
+        assert_eq!(c.get_bus(&p.adata), 0x11);
+    }
+
+    #[test]
+    fn write_targets_only_selected_register() {
+        let mut c = Circuit::new();
+        let p = build_regfile(&mut c, 4, 8);
+        for r in 0..4 {
+            write(&mut c, &p, r, 0x10 + r);
+        }
+        write(&mut c, &p, 2, 0x99);
+        for r in 0..4u64 {
+            c.set_bus(&p.asel, r).unwrap();
+            c.settle().unwrap();
+            let expect = if r == 2 { 0x99 } else { 0x10 + r };
+            assert_eq!(c.get_bus(&p.adata), expect, "reg {r}");
+        }
+    }
+}

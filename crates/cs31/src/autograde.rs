@@ -1,0 +1,273 @@
+//! An autograder for assembly lab submissions.
+//!
+//! The course's labs are graded by running student code against test
+//! inputs; this module is that harness for the `asm` substrate: a
+//! submission is AT&T source with an agreed register/memory calling
+//! convention, graded against a rubric of test vectors on the emulator,
+//! with per-case diagnostics (including faults — a segfaulting submission
+//! gets a *useful* report, not a zero and a shrug).
+
+use asm::{assemble, Machine, MachineError, Reg};
+
+/// One test vector: initial registers/memory → expected registers/memory.
+#[derive(Debug, Clone, Default)]
+pub struct TestCase {
+    /// Human-readable name ("sorts a reversed array").
+    pub name: String,
+    /// Initial register values.
+    pub set_regs: Vec<(Reg, u32)>,
+    /// Initial memory words `(addr, value)`.
+    pub set_mem: Vec<(u32, u32)>,
+    /// Expected final register values.
+    pub expect_regs: Vec<(Reg, u32)>,
+    /// Expected final memory words.
+    pub expect_mem: Vec<(u32, u32)>,
+    /// Points this case is worth.
+    pub points: u32,
+}
+
+/// Outcome of one test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// All expectations met.
+    Pass,
+    /// Ran to completion but some value was wrong.
+    Wrong(String),
+    /// The submission crashed.
+    Fault(String),
+    /// It never halted within the fuel budget.
+    TimedOut,
+}
+
+/// One graded case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The case name.
+    pub name: String,
+    /// What happened.
+    pub outcome: CaseOutcome,
+    /// Points earned.
+    pub earned: u32,
+    /// Points possible.
+    pub possible: u32,
+}
+
+/// The full grade report.
+#[derive(Debug, Clone)]
+pub struct GradeReport {
+    /// Per-case results.
+    pub cases: Vec<CaseResult>,
+    /// Points earned.
+    pub earned: u32,
+    /// Points possible.
+    pub possible: u32,
+}
+
+impl GradeReport {
+    /// Fraction earned in \[0,1\].
+    pub fn fraction(&self) -> f64 {
+        if self.possible == 0 {
+            0.0
+        } else {
+            self.earned as f64 / self.possible as f64
+        }
+    }
+
+    /// Renders the report the student sees.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "grade: {}/{} ({:.0}%)\n",
+            self.earned,
+            self.possible,
+            self.fraction() * 100.0
+        );
+        for c in &self.cases {
+            let mark = match &c.outcome {
+                CaseOutcome::Pass => "PASS".to_string(),
+                CaseOutcome::Wrong(d) => format!("WRONG: {d}"),
+                CaseOutcome::Fault(d) => format!("FAULT: {d}"),
+                CaseOutcome::TimedOut => "TIMEOUT".to_string(),
+            };
+            out.push_str(&format!("  [{:>2}/{:>2}] {}: {mark}\n", c.earned, c.possible, c.name));
+        }
+        out
+    }
+}
+
+/// Grades `source` against `rubric`. Assembly errors fail every case
+/// (with the assembler's message), like a submission that doesn't build.
+pub fn grade(source: &str, rubric: &[TestCase], fuel: u64) -> GradeReport {
+    let program = match assemble(source) {
+        Ok(p) => p,
+        Err(e) => {
+            let cases = rubric
+                .iter()
+                .map(|t| CaseResult {
+                    name: t.name.clone(),
+                    outcome: CaseOutcome::Fault(format!("does not assemble: {e}")),
+                    earned: 0,
+                    possible: t.points,
+                })
+                .collect();
+            return GradeReport {
+                cases,
+                earned: 0,
+                possible: rubric.iter().map(|t| t.points).sum(),
+            };
+        }
+    };
+
+    let mut cases = Vec::with_capacity(rubric.len());
+    for t in rubric {
+        let mut m = Machine::new();
+        let outcome = (|| -> Result<CaseOutcome, MachineError> {
+            m.load(&program)?;
+            for &(r, v) in &t.set_regs {
+                m.set_reg(r, v);
+            }
+            for &(a, v) in &t.set_mem {
+                m.write_u32(a, v)?;
+            }
+            match m.run(fuel) {
+                Ok(()) => {}
+                Err(MachineError::OutOfFuel) => return Ok(CaseOutcome::TimedOut),
+                Err(e) => return Ok(CaseOutcome::Fault(e.to_string())),
+            }
+            for &(r, want) in &t.expect_regs {
+                let got = m.reg(r);
+                if got != want {
+                    return Ok(CaseOutcome::Wrong(format!(
+                        "{} = {} ({}), expected {} ({})",
+                        r.att_name(),
+                        got,
+                        got as i32,
+                        want,
+                        want as i32
+                    )));
+                }
+            }
+            for &(a, want) in &t.expect_mem {
+                let got = m.read_u32(a)?;
+                if got != want {
+                    return Ok(CaseOutcome::Wrong(format!(
+                        "mem[{a:#x}] = {got}, expected {want}"
+                    )));
+                }
+            }
+            Ok(CaseOutcome::Pass)
+        })()
+        .unwrap_or_else(|e| CaseOutcome::Fault(e.to_string()));
+
+        let earned = if outcome == CaseOutcome::Pass { t.points } else { 0 };
+        cases.push(CaseResult { name: t.name.clone(), outcome, earned, possible: t.points });
+    }
+    GradeReport {
+        earned: cases.iter().map(|c| c.earned).sum(),
+        possible: cases.iter().map(|c| c.possible).sum(),
+        cases,
+    }
+}
+
+/// The Lab 4 "sum an array" rubric: array base in `%esi`, length in
+/// `%ecx`, result expected in `%eax`.
+pub fn sum_array_rubric() -> Vec<TestCase> {
+    let build = |name: &str, values: &[i32]| -> TestCase {
+        let base = 0x3000u32;
+        TestCase {
+            name: name.to_string(),
+            set_regs: vec![(Reg::Esi, base), (Reg::Ecx, values.len() as u32)],
+            set_mem: values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (base + 4 * i as u32, *v as u32))
+                .collect(),
+            expect_regs: vec![(Reg::Eax, values.iter().sum::<i32>() as u32)],
+            expect_mem: vec![],
+            points: 5,
+        }
+    };
+    vec![
+        build("small positives", &[1, 2, 3]),
+        build("with negatives", &[10, -4, 7, -13]),
+        build("single element", &[42]),
+        build("larger array", &[3; 20]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+        main:
+            movl $0, %eax
+            movl $0, %edi
+            cmpl $0, %ecx
+            je done
+        loop:
+            addl (%esi,%edi,4), %eax
+            addl $1, %edi
+            cmpl %ecx, %edi
+            jne loop
+        done:
+            hlt
+    "#;
+
+    // Off-by-one: loops length-1 times.
+    const BUGGY: &str = r#"
+        main:
+            movl $0, %eax
+            movl $0, %edi
+            subl $1, %ecx
+            cmpl $0, %ecx
+            je done
+        loop:
+            addl (%esi,%edi,4), %eax
+            addl $1, %edi
+            cmpl %ecx, %edi
+            jne loop
+        done:
+            hlt
+    "#;
+
+    #[test]
+    fn correct_submission_gets_full_marks() {
+        let r = grade(GOOD, &sum_array_rubric(), 100_000);
+        assert_eq!(r.earned, r.possible, "{}", r.render());
+        assert!(r.render().contains("100%"));
+    }
+
+    #[test]
+    fn off_by_one_loses_points_with_diagnostics() {
+        let r = grade(BUGGY, &sum_array_rubric(), 100_000);
+        assert!(r.earned < r.possible);
+        assert!(r.fraction() < 1.0);
+        let text = r.render();
+        assert!(text.contains("WRONG"), "{text}");
+        assert!(text.contains("expected"), "{text}");
+    }
+
+    #[test]
+    fn non_assembling_submission_reports_build_error() {
+        let r = grade("this is not assembly", &sum_array_rubric(), 1000);
+        assert_eq!(r.earned, 0);
+        assert!(r.render().contains("does not assemble"));
+    }
+
+    #[test]
+    fn infinite_loop_times_out() {
+        let r = grade("spin: jmp spin\n", &sum_array_rubric(), 1000);
+        assert!(r.cases.iter().all(|c| c.outcome == CaseOutcome::TimedOut));
+    }
+
+    #[test]
+    fn segfault_reported_per_case() {
+        let r = grade(
+            "movl $0xFFFFFFF0, %eax\nmovl (%eax), %ebx\nhlt\n",
+            &sum_array_rubric(),
+            1000,
+        );
+        assert!(matches!(r.cases[0].outcome, CaseOutcome::Fault(_)));
+        assert!(r.render().contains("segmentation fault"));
+    }
+}

@@ -1,0 +1,206 @@
+//! The peer-instruction clicker bank (§II: "We present a carefully
+//! crafted question and first ask the students to answer it
+//! individually … then respond again … as a group").
+//!
+//! Every answer key is **computed by the simulators** at construction
+//! time, so the bank cannot drift out of sync with the library it
+//! teaches.
+
+/// A multiple-choice clicker question.
+#[derive(Debug, Clone)]
+pub struct ClickerQuestion {
+    /// Course module it belongs to.
+    pub module: &'static str,
+    /// The question text.
+    pub prompt: String,
+    /// The candidate answers.
+    pub choices: Vec<String>,
+    /// Index of the correct choice.
+    pub correct: usize,
+    /// The follow-up explanation for the full-class discussion.
+    pub explanation: String,
+}
+
+/// Builds the question bank (deterministic: all keys computed).
+pub fn question_bank() -> Vec<ClickerQuestion> {
+    let mut bank = Vec::new();
+
+    // Binary: what is 0xFF as a signed char?
+    {
+        let t = bits::Twos::new(8).expect("width 8");
+        let v = t.decode_signed(0xFF);
+        bank.push(ClickerQuestion {
+            module: "binary representation",
+            prompt: "A signed char holds the bits 0xFF. What value is it?".into(),
+            choices: vec!["255".into(), "-1".into(), "-127".into(), "undefined".into()],
+            correct: 1,
+            explanation: format!("two's complement: 0xFF at width 8 decodes to {v}"),
+        });
+        assert_eq!(v, -1);
+    }
+
+    // Binary: does 127 + 1 overflow?
+    {
+        let r = bits::arith::add(8, 127, 1).expect("width 8");
+        bank.push(ClickerQuestion {
+            module: "binary representation",
+            prompt: "At 8 bits, 127 + 1 sets which overflow indicator(s)?".into(),
+            choices: vec![
+                "carry (unsigned) only".into(),
+                "overflow (signed) only".into(),
+                "both".into(),
+                "neither".into(),
+            ],
+            correct: if r.flags.of && !r.flags.cf { 1 } else { 99 },
+            explanation: format!("computed flags: {}", r.flags.pretty()),
+        });
+    }
+
+    // Architecture: pipeline speedup on independent instructions.
+    {
+        let stream = circuits::pipeline::independent_stream(1000);
+        let (_, _, speedup) = circuits::pipeline::compare(&stream);
+        let rounded = speedup.round() as i64;
+        bank.push(ClickerQuestion {
+            module: "architecture",
+            prompt: "Relative to a 5-cycle multi-cycle design, an ideal 5-stage \
+                     pipeline on 1000 independent instructions speeds execution by about:"
+                .into(),
+            choices: vec!["2x".into(), "5x".into(), "10x".into(), "1000x".into()],
+            correct: if rounded == 5 { 1 } else { 99 },
+            explanation: format!("measured on the model: {speedup:.2}x"),
+        });
+    }
+
+    // Caching: which loop order wins?
+    {
+        use memsim::cache::{Cache, CacheConfig};
+        use memsim::patterns::{matrix_sum_trace, LoopOrder};
+        let mut row = Cache::new(CacheConfig::direct_mapped(64, 64)).expect("geometry");
+        row.run_trace(&matrix_sum_trace(0, 64, 64, 4, LoopOrder::RowMajor));
+        let mut col = Cache::new(CacheConfig::direct_mapped(64, 64)).expect("geometry");
+        col.run_trace(&matrix_sum_trace(0, 64, 64, 4, LoopOrder::ColumnMajor));
+        bank.push(ClickerQuestion {
+            module: "caching",
+            prompt: "Summing a large 2-D C array: which loop nest is faster?".into(),
+            choices: vec![
+                "for i { for j { a[i][j] } }".into(),
+                "for j { for i { a[i][j] } }".into(),
+                "identical".into(),
+            ],
+            correct: if row.stats().hit_rate() > col.stats().hit_rate() { 0 } else { 99 },
+            explanation: format!(
+                "hit rates: row-major {:.0}% vs column-major {:.0}%",
+                row.stats().hit_rate() * 100.0,
+                col.stats().hit_rate() * 100.0
+            ),
+        });
+    }
+
+    // OS: fork count.
+    {
+        use os::proc::{program, Op};
+        let mut k = os::Kernel::new(2);
+        k.register_program(
+            "q",
+            program(vec![Op::Fork, Op::Fork, Op::Print("hi".into()), Op::Exit(0)]),
+        );
+        k.spawn("q").expect("registered");
+        assert!(k.run_until_idle(10_000));
+        let n = k.output().len();
+        bank.push(ClickerQuestion {
+            module: "processes",
+            prompt: "fork(); fork(); printf(\"hi\\n\"); — how many lines print?".into(),
+            choices: vec!["1".into(), "2".into(), "3".into(), "4".into()],
+            correct: if n == 4 { 3 } else { 99 },
+            explanation: format!("the kernel simulator printed {n} lines"),
+        });
+    }
+
+    // Parallelism: Amdahl.
+    {
+        let s = parallel::laws::amdahl(0.5, 1_000_000);
+        bank.push(ClickerQuestion {
+            module: "parallelism",
+            prompt: "Half of a program is inherently serial. With infinitely many \
+                     cores, the best possible overall speedup is:"
+                .into(),
+            choices: vec!["2x".into(), "10x".into(), "half the cores".into(), "unbounded".into()],
+            correct: if (s - 2.0).abs() < 0.01 { 0 } else { 99 },
+            explanation: format!("Amdahl at f=0.5, p=10^6: {s:.3}x (limit 1/f = 2)"),
+        });
+    }
+
+    // Parallelism: lost updates direction.
+    {
+        let r = parallel::counter::run_racy(2, 2_000);
+        bank.push(ClickerQuestion {
+            module: "parallelism",
+            prompt: "Two threads each do `counter = counter + 1` 2000 times without \
+                     synchronization. The final value is:"
+                .into(),
+            choices: vec![
+                "always 4000".into(),
+                "at most 4000 (updates can be lost)".into(),
+                "more than 4000 (updates can duplicate)".into(),
+            ],
+            correct: if r.observed <= r.expected { 1 } else { 99 },
+            explanation: format!("this run observed {} of {}", r.observed, r.expected),
+        });
+    }
+
+    // VM: TLB benefit.
+    {
+        use vmem::eat::{analytic_eat, no_tlb_eat, EatParams};
+        let p = EatParams::default();
+        let with = analytic_eat(p, 0.98, 0.0);
+        let without = no_tlb_eat(p, 0.0);
+        bank.push(ClickerQuestion {
+            module: "virtual memory",
+            prompt: "With a 98%-hit TLB (1ns) over 100ns memory and a one-level page \
+                     table, effective access time is roughly:"
+                .into(),
+            choices: vec!["100 ns".into(), "103 ns".into(), "200 ns".into(), "2 ns".into()],
+            correct: if (with - 103.0).abs() < 1.0 { 1 } else { 99 },
+            explanation: format!("EAT with TLB ≈ {with:.0}ns; without: {without:.0}ns"),
+        });
+    }
+
+    bank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_is_substantial_and_keys_resolved() {
+        let bank = question_bank();
+        assert!(bank.len() >= 8);
+        for q in &bank {
+            assert!(
+                q.correct < q.choices.len(),
+                "{}: computed key failed (sentinel 99 leaked): {}",
+                q.module,
+                q.prompt
+            );
+            assert!(!q.explanation.is_empty());
+            assert!(q.choices.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn covers_all_major_modules() {
+        let bank = question_bank();
+        for module in [
+            "binary representation",
+            "architecture",
+            "caching",
+            "processes",
+            "parallelism",
+            "virtual memory",
+        ] {
+            assert!(bank.iter().any(|q| q.module == module), "missing {module}");
+        }
+    }
+}

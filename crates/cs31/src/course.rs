@@ -1,0 +1,149 @@
+//! The course design of §II–§III: themes, schedule, and structure.
+
+/// The three curricular themes of §II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CourseTheme {
+    /// "How a computer runs a program": the vertical slice from C through
+    /// binary, circuits, the CPU, and the OS.
+    HowAProgramRuns,
+    /// "Evaluating systems costs associated with running a program":
+    /// memory hierarchy, scheduling, synchronization overheads.
+    SystemsCosts,
+    /// "Taking advantage of the power of parallel computing": shared
+    /// memory parallelism, thinking in parallel.
+    ParallelComputing,
+}
+
+/// All three themes with their paper descriptions.
+pub fn themes() -> Vec<(CourseTheme, &'static str)> {
+    vec![
+        (
+            CourseTheme::HowAProgramRuns,
+            "a vertical slice through the computer: how high-level C is compiled to binary \
+             instructions executed on CPU circuitry, and the OS's role in running programs",
+        ),
+        (
+            CourseTheme::SystemsCosts,
+            "the performance effects of the memory hierarchy, OS scheduling for efficiency, \
+             and synchronization and parallelization overheads",
+        ),
+        (
+            CourseTheme::ParallelComputing,
+            "shared memory parallelism on multicore: race conditions, synchronization, \
+             deadlock, speed-up, producer-consumer, and pthreads programming",
+        ),
+    ]
+}
+
+/// A week of the typical schedule (§III-A order).
+#[derive(Debug, Clone)]
+pub struct Week {
+    /// Week number, 1-based.
+    pub number: u32,
+    /// Module title.
+    pub module: &'static str,
+    /// Which theme it mainly serves.
+    pub theme: CourseTheme,
+    /// The workspace crate exercised.
+    pub crate_name: &'static str,
+    /// Lab due around this week (by lab number), if any.
+    pub lab: Option<u32>,
+}
+
+/// The typical 14-week schedule: "CS 31 starts with binary data
+/// representation and then introduces C programming. Next, we introduce
+/// computer architecture and assembly. We then provide an overview of the
+/// memory hierarchy and the operating system. Finally, we cover shared
+/// memory parallelism, pthreads, and synchronization primitives."
+pub fn week_schedule() -> Vec<Week> {
+    use CourseTheme::*;
+    vec![
+        Week { number: 1, module: "intro + tools; binary data representation", theme: HowAProgramRuns, crate_name: "bits", lab: Some(0) },
+        Week { number: 2, module: "binary arithmetic; C programming basics", theme: HowAProgramRuns, crate_name: "bits", lab: Some(1) },
+        Week { number: 3, module: "C functions, arrays, strings, I/O", theme: HowAProgramRuns, crate_name: "cstring", lab: Some(2) },
+        Week { number: 4, module: "logic gates and circuits", theme: HowAProgramRuns, crate_name: "circuits", lab: None },
+        Week { number: 5, module: "ALU, register file, a simple CPU; pipelining", theme: HowAProgramRuns, crate_name: "circuits", lab: Some(3) },
+        Week { number: 6, module: "program memory, pointers, dynamic allocation", theme: HowAProgramRuns, crate_name: "cheap", lab: Some(4) },
+        Week { number: 7, module: "IA-32 assembly: arithmetic, control flow", theme: HowAProgramRuns, crate_name: "asm", lab: None },
+        Week { number: 8, module: "assembly: function call/return, the stack", theme: HowAProgramRuns, crate_name: "asm", lab: Some(5) },
+        Week { number: 9, module: "storage devices and the memory hierarchy", theme: SystemsCosts, crate_name: "memsim", lab: Some(6) },
+        Week { number: 10, module: "caching: direct-mapped and set-associative", theme: SystemsCosts, crate_name: "memsim", lab: Some(7) },
+        Week { number: 11, module: "the OS: processes, fork/exec/wait, signals", theme: HowAProgramRuns, crate_name: "os", lab: Some(8) },
+        Week { number: 12, module: "virtual memory: page tables, TLB", theme: SystemsCosts, crate_name: "vmem", lab: Some(9) },
+        Week { number: 13, module: "threads, races, synchronization primitives", theme: ParallelComputing, crate_name: "parallel", lab: None },
+        Week { number: 14, module: "parallel performance; producer/consumer", theme: ParallelComputing, crate_name: "life", lab: Some(10) },
+    ]
+}
+
+/// Course structure facts (§II "Course Structure").
+#[derive(Debug, Clone)]
+pub struct CourseStructure {
+    /// Graded weekly components.
+    pub weekly_lab_minutes: u32,
+    /// Count of course exams.
+    pub exams: u32,
+    /// Peer-instruction clicker rounds per class: individual then group.
+    pub clicker_rounds: u32,
+    /// Minutes of small-group discussion between clicker rounds.
+    pub discussion_minutes: u32,
+}
+
+/// The paper's stated structure.
+pub fn structure() -> CourseStructure {
+    CourseStructure {
+        weekly_lab_minutes: 90,
+        exams: 2,
+        clicker_rounds: 2,
+        discussion_minutes: 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_has_14_ordered_weeks() {
+        let s = week_schedule();
+        assert_eq!(s.len(), 14);
+        for (i, w) in s.iter().enumerate() {
+            assert_eq!(w.number as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn parallelism_comes_last_binary_first() {
+        // The paper's pedagogical ordering claim: parallelism "follows
+        // naturally" at the end; binary representation opens.
+        let s = week_schedule();
+        assert!(s[0].module.contains("binary"));
+        assert_eq!(s.last().unwrap().theme, CourseTheme::ParallelComputing);
+        let first_parallel = s.iter().position(|w| w.theme == CourseTheme::ParallelComputing).unwrap();
+        assert!(first_parallel >= 12, "parallelism is the final module");
+    }
+
+    #[test]
+    fn all_eleven_labs_scheduled() {
+        let s = week_schedule();
+        let mut labs: Vec<u32> = s.iter().filter_map(|w| w.lab).collect();
+        labs.sort_unstable();
+        assert_eq!(labs, vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn all_themes_represented() {
+        let s = week_schedule();
+        for (theme, _) in themes() {
+            assert!(s.iter().any(|w| w.theme == theme), "{theme:?} uncovered");
+        }
+    }
+
+    #[test]
+    fn structure_matches_paper() {
+        let st = structure();
+        assert_eq!(st.weekly_lab_minutes, 90);
+        assert_eq!(st.exams, 2);
+        assert_eq!(st.clicker_rounds, 2);
+        assert!(st.discussion_minutes >= 2 && st.discussion_minutes <= 3);
+    }
+}

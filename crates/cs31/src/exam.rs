@@ -1,0 +1,137 @@
+//! Exam assembly (§II: "two course exams"). A midterm covers the first
+//! half of the vertical slice (binary → C → circuits → assembly); a
+//! final adds memory, OS, and parallelism. Exams are composed from the
+//! homework generators plus clicker questions, so every answer key is
+//! simulator-computed.
+
+use crate::clicker::{question_bank, ClickerQuestion};
+use crate::homework::{self, Problem};
+
+/// Which exam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExamKind {
+    /// Covers weeks 1–8: binary, C, circuits, assembly.
+    Midterm,
+    /// Cumulative, weighted toward weeks 9–14: memory, OS, parallelism.
+    Final,
+}
+
+/// A generated exam.
+#[derive(Debug, Clone)]
+pub struct Exam {
+    /// Which exam this is.
+    pub kind: ExamKind,
+    /// Free-response problems (with solutions).
+    pub problems: Vec<Problem>,
+    /// Multiple-choice section.
+    pub multiple_choice: Vec<ClickerQuestion>,
+}
+
+/// Generates an exam for a seed. Deterministic; different seeds give
+/// different-but-isomorphic exams (the make-up exam property).
+pub fn generate(kind: ExamKind, seed: u64) -> Exam {
+    let problems: Vec<Problem> = match kind {
+        ExamKind::Midterm => vec![
+            homework::binary_arithmetic(seed),
+            homework::binary_arithmetic(seed ^ 0x1111),
+            homework::direct_mapped_trace(seed), // caching is introduced pre-midterm in some offerings
+        ],
+        ExamKind::Final => vec![
+            homework::binary_arithmetic(seed),
+            homework::direct_mapped_trace(seed),
+            homework::set_associative_trace(seed),
+            homework::vm_trace(seed),
+            homework::fork_puzzle(seed),
+            homework::threads_producer_consumer(seed),
+        ],
+    };
+    let modules: &[&str] = match kind {
+        ExamKind::Midterm => &["binary representation", "architecture"],
+        ExamKind::Final => &["caching", "processes", "virtual memory", "parallelism"],
+    };
+    let multiple_choice = question_bank()
+        .into_iter()
+        .filter(|q| modules.contains(&q.module))
+        .collect();
+    Exam { kind, problems, multiple_choice }
+}
+
+impl Exam {
+    /// Renders the exam paper (without solutions).
+    pub fn paper(&self) -> String {
+        let mut out = format!("CS 31 {:?} (generated)\n\n", self.kind);
+        for (i, p) in self.problems.iter().enumerate() {
+            out.push_str(&format!("Problem {} [{}]\n{}\n\n", i + 1, p.set, p.prompt));
+        }
+        for (i, q) in self.multiple_choice.iter().enumerate() {
+            out.push_str(&format!("MC {} [{}]\n{}\n", i + 1, q.module, q.prompt));
+            for (j, c) in q.choices.iter().enumerate() {
+                out.push_str(&format!("  ({}) {c}\n", (b'a' + j as u8) as char));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the answer key.
+    pub fn key(&self) -> String {
+        let mut out = format!("CS 31 {:?} — answer key\n\n", self.kind);
+        for (i, p) in self.problems.iter().enumerate() {
+            out.push_str(&format!("Problem {}:\n{}\n\n", i + 1, p.solution));
+        }
+        for (i, q) in self.multiple_choice.iter().enumerate() {
+            out.push_str(&format!(
+                "MC {}: ({})  {}\n",
+                i + 1,
+                (b'a' + q.correct as u8) as char,
+                q.explanation
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_exams_generate() {
+        let mid = generate(ExamKind::Midterm, 1);
+        let fin = generate(ExamKind::Final, 1);
+        assert!(mid.problems.len() >= 3);
+        assert!(fin.problems.len() >= 5, "the final is cumulative");
+        assert!(!mid.multiple_choice.is_empty());
+        assert!(!fin.multiple_choice.is_empty());
+    }
+
+    #[test]
+    fn final_covers_parallelism_midterm_does_not() {
+        let mid = generate(ExamKind::Midterm, 2);
+        let fin = generate(ExamKind::Final, 2);
+        assert!(fin.multiple_choice.iter().any(|q| q.module == "parallelism"));
+        assert!(mid.multiple_choice.iter().all(|q| q.module != "parallelism"));
+    }
+
+    #[test]
+    fn paper_hides_solutions_key_shows_them() {
+        let e = generate(ExamKind::Final, 3);
+        let paper = e.paper();
+        let key = e.key();
+        assert!(paper.contains("Problem 1"));
+        assert!(!paper.contains("answer key"));
+        assert!(key.contains("answer key"));
+        // The VM trace solution's FAULT markers appear only in the key.
+        assert!(key.contains("FAULT"));
+        assert!(!paper.contains("FAULT"));
+    }
+
+    #[test]
+    fn seeded_makeup_exams_differ() {
+        let a = generate(ExamKind::Final, 10);
+        let b = generate(ExamKind::Final, 11);
+        assert_ne!(a.paper(), b.paper(), "make-up exam must differ");
+        let a2 = generate(ExamKind::Final, 10);
+        assert_eq!(a.paper(), a2.paper(), "same seed, same exam");
+    }
+}

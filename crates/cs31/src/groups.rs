@@ -1,0 +1,179 @@
+//! Study-group assignment (§III-B *Written Homeworks*): "Assigning all
+//! students to small study groups was designed to foster more group
+//! interaction … their being assigned and required ensured that every
+//! student had at least one small group with which to collaborate."
+//!
+//! A seeded partitioner with the properties the paper's deployment
+//! needed: every student in exactly one group, group sizes within the
+//! target band (3–4 by default), deterministic per (roster, seed) so a
+//! semester's groups are stable, and reshuffleable by seed for the next
+//! homework cycle.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A group assignment: groups of student indices into the roster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupAssignment {
+    /// Groups, each a list of roster indices.
+    pub groups: Vec<Vec<usize>>,
+}
+
+/// Errors from group formation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// Fewer students than one minimal group.
+    TooFewStudents {
+        /// Students available.
+        students: usize,
+        /// Minimum group size requested.
+        min_size: usize,
+    },
+    /// Impossible size band (min 0 or min > max).
+    BadSizeBand,
+}
+
+impl std::fmt::Display for GroupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupError::TooFewStudents { students, min_size } => {
+                write!(f, "{students} student(s) cannot form a group of {min_size}")
+            }
+            GroupError::BadSizeBand => write!(f, "invalid group size band"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+/// Partitions `n_students` into groups of `min_size..=max_size`,
+/// shuffled by `seed`.
+///
+/// Strategy: as many `min_size` groups as possible, then distribute the
+/// remainder one-per-group (so sizes never exceed `min_size + 1`; with
+/// the default 3..=4 band that is exactly the paper's 3-or-4 shape).
+pub fn assign_groups(
+    n_students: usize,
+    min_size: usize,
+    max_size: usize,
+    seed: u64,
+) -> Result<GroupAssignment, GroupError> {
+    if min_size == 0 || min_size > max_size {
+        return Err(GroupError::BadSizeBand);
+    }
+    if n_students < min_size {
+        return Err(GroupError::TooFewStudents { students: n_students, min_size });
+    }
+    let mut order: Vec<usize> = (0..n_students).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let n_groups = n_students / min_size;
+    let remainder = n_students % min_size;
+    // The remainder spreads one student to each of the first `remainder`
+    // groups; that requires remainder <= n_groups * (max_size - min_size).
+    if remainder > n_groups * (max_size - min_size) {
+        return Err(GroupError::TooFewStudents { students: n_students, min_size });
+    }
+
+    let mut groups: Vec<Vec<usize>> = vec![Vec::with_capacity(max_size); n_groups];
+    let mut it = order.into_iter();
+    for g in groups.iter_mut() {
+        for _ in 0..min_size {
+            g.push(it.next().expect("counted"));
+        }
+    }
+    // Distribute the remainder round-robin within the max bound.
+    let mut gi = 0;
+    for s in it {
+        while groups[gi].len() >= max_size {
+            gi = (gi + 1) % groups.len();
+        }
+        groups[gi].push(s);
+        gi = (gi + 1) % groups.len();
+    }
+    Ok(GroupAssignment { groups })
+}
+
+impl GroupAssignment {
+    /// Which group a student is in.
+    pub fn group_of(&self, student: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&student))
+    }
+
+    /// True if `a` and `b` share a group.
+    pub fn together(&self, a: usize, b: usize) -> bool {
+        self.group_of(a).is_some() && self.group_of(a) == self.group_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sixty_students_in_threes_and_fours() {
+        // The course's scale: ~60 students per semester.
+        let a = assign_groups(60, 3, 4, 2022).unwrap();
+        assert_eq!(a.groups.len(), 20);
+        assert!(a.groups.iter().all(|g| g.len() == 3));
+        let a = assign_groups(62, 3, 4, 2022).unwrap();
+        assert!(a.groups.iter().all(|g| (3..=4).contains(&g.len())));
+        let total: usize = a.groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 62);
+    }
+
+    #[test]
+    fn deterministic_and_reshuffleable() {
+        let a = assign_groups(30, 3, 4, 1).unwrap();
+        let b = assign_groups(30, 3, 4, 1).unwrap();
+        assert_eq!(a, b);
+        let c = assign_groups(30, 3, 4, 2).unwrap();
+        assert_ne!(a, c, "new seed, new groups");
+    }
+
+    #[test]
+    fn membership_queries() {
+        let a = assign_groups(12, 3, 4, 7).unwrap();
+        for s in 0..12 {
+            assert!(a.group_of(s).is_some(), "student {s} homeless");
+        }
+        let g0 = &a.groups[0];
+        assert!(a.together(g0[0], g0[1]));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            assign_groups(2, 3, 4, 0),
+            Err(GroupError::TooFewStudents { .. })
+        ));
+        assert_eq!(assign_groups(10, 0, 4, 0), Err(GroupError::BadSizeBand));
+        assert_eq!(assign_groups(10, 5, 4, 0), Err(GroupError::BadSizeBand));
+        // 7 students, groups of exactly 3 (max=3): remainder 1 undistributable.
+        assert!(assign_groups(7, 3, 3, 0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_is_exact_when_feasible(n in 3usize..200, seed in any::<u64>()) {
+            // n is partitionable into 3s and 4s iff some k satisfies
+            // 3k <= n <= 4k, i.e. ceil(n/4) <= floor(n/3). (Only n=5 fails
+            // in this range besides tiny n.)
+            let feasible = n.div_ceil(4) <= n / 3;
+            match assign_groups(n, 3, 4, seed) {
+                Ok(a) => {
+                    prop_assert!(feasible, "n={n} should be infeasible");
+                    let mut all: Vec<usize> = a.groups.iter().flatten().copied().collect();
+                    all.sort_unstable();
+                    let expect: Vec<usize> = (0..n).collect();
+                    prop_assert_eq!(all, expect, "every student exactly once");
+                    prop_assert!(a.groups.iter().all(|g| (3..=4).contains(&g.len())));
+                }
+                Err(_) => prop_assert!(!feasible, "n={n} should be feasible"),
+            }
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Labs 0–10 (§III-B) as runnable artifacts.
+//!
+//! Each [`Lab`] carries a `demonstrate` function that *executes* the lab
+//! against the subsystem crates and returns a transcript. The
+//! demonstrations double as cross-crate integration checks: Lab 10
+//! literally re-runs Lab 6's serial engine to verify its parallel output,
+//! exactly as the assignment tells students to.
+
+use std::error::Error;
+
+/// Identifies a lab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum LabId {
+    Lab0,
+    Lab1,
+    Lab2,
+    Lab3,
+    Lab4,
+    Lab5,
+    Lab6,
+    Lab7,
+    Lab8,
+    Lab9,
+    Lab10,
+}
+
+/// A lab assignment descriptor.
+pub struct Lab {
+    /// Which lab.
+    pub id: LabId,
+    /// Title from §III-B.
+    pub title: &'static str,
+    /// One-line description from the paper.
+    pub description: &'static str,
+    /// Runs the lab's core exercise; returns a transcript.
+    pub demonstrate: fn() -> Result<String, Box<dyn Error>>,
+}
+
+impl std::fmt::Debug for Lab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lab")
+            .field("id", &self.id)
+            .field("title", &self.title)
+            .finish_non_exhaustive()
+    }
+}
+
+/// All eleven labs in order.
+pub fn all_labs() -> Vec<Lab> {
+    vec![
+        Lab {
+            id: LabId::Lab0,
+            title: "Tools for CS 31",
+            description: "basic Unix shell navigation warm-up",
+            demonstrate: lab0,
+        },
+        Lab {
+            id: LabId::Lab1,
+            title: "Data Representation and Arithmetic",
+            description: "binary/hex conversion and properties of C variables",
+            demonstrate: lab1,
+        },
+        Lab {
+            id: LabId::Lab2,
+            title: "C Programming Warm-up",
+            description: "implement a basic O(N^2) sorting algorithm",
+            demonstrate: lab2,
+        },
+        Lab {
+            id: LabId::Lab3,
+            title: "Building an ALU Circuit",
+            description: "sign extender + one-bit adder combined into an 8-op, 5-flag ALU",
+            demonstrate: lab3,
+        },
+        Lab {
+            id: LabId::Lab4,
+            title: "C Pointers and Assembly Code",
+            description: "array statistics with dynamic memory; short assembly functions",
+            demonstrate: lab4,
+        },
+        Lab {
+            id: LabId::Lab5,
+            title: "Binary Maze",
+            description: "decipher assembly floors with the debugger to find the inputs",
+            demonstrate: lab5,
+        },
+        Lab {
+            id: LabId::Lab6,
+            title: "Game of Life",
+            description: "serial simulation with grid file input and visualization",
+            demonstrate: lab6,
+        },
+        Lab {
+            id: LabId::Lab7,
+            title: "C String Library",
+            description: "implement and test common C string functions",
+            demonstrate: lab7,
+        },
+        Lab {
+            id: LabId::Lab8,
+            title: "Command Parser Library",
+            description: "tokenize command strings and detect background '&'",
+            demonstrate: lab8,
+        },
+        Lab {
+            id: LabId::Lab9,
+            title: "Unix Shell",
+            description: "foreground/background execution with history",
+            demonstrate: lab9,
+        },
+        Lab {
+            id: LabId::Lab10,
+            title: "Parallel Game of Life",
+            description: "pthreads-style parallelization with barriers and a stats mutex",
+            demonstrate: lab10,
+        },
+    ]
+}
+
+fn lab0() -> Result<String, Box<dyn Error>> {
+    // Unix-navigation warm-up: drive the simulated shell's parser the way
+    // the lab drives a real terminal.
+    let mut out = String::from("Lab 0: command-line warm-up\n");
+    for line in ["ls -l", "cat notes.txt", "top &"] {
+        let p = os::shell::parse_command(line)?;
+        out.push_str(&format!("{line:?} -> tokens {:?} bg={}\n", p.tokens, p.background));
+    }
+    Ok(out)
+}
+
+fn lab1() -> Result<String, Box<dyn Error>> {
+    use bits::ctypes::{CInt, CType};
+    use bits::{format_radix, Radix, Twos};
+    let mut out = String::from("Lab 1: data representation\n");
+    // Part 1: conversions.
+    let t = Twos::new(8)?;
+    let raw = t.encode_signed(-42)?;
+    out.push_str(&format!(
+        "-42 at width 8 = {} = {}\n",
+        format_radix(8, raw, Radix::Binary)?,
+        format_radix(8, raw, Radix::Hex)?
+    ));
+    // Part 2: properties of C variables (the max-int probe).
+    let int = CType::signed(CInt::Int);
+    out.push_str(&format!("INT_MAX probe: {}\n", int.max()));
+    out.push_str(&format!("INT_MAX + 1 wraps to {}\n", int.value_of(int.store_wrapping(int.max() + 1))));
+    if int.value_of(int.store_wrapping(int.max() + 1)) != int.min() as i128 {
+        return Err("overflow should wrap to INT_MIN".into());
+    }
+    Ok(out)
+}
+
+fn lab2() -> Result<String, Box<dyn Error>> {
+    // The O(N^2) sort, written in our IA-32 subset and run on the
+    // emulator: bubble sort over an array at 0x2000.
+    let n = 8u32;
+    let values: [i32; 8] = [42, -7, 19, 0, 99, -31, 5, 5];
+    let src = r#"
+        # bubble sort: array base in %esi, length in %ecx
+        main:
+            movl $0x2000, %esi
+            movl $8, %ecx
+        outer:
+            cmpl $1, %ecx
+            jle done
+            movl $0, %edi          # i = 0
+        inner:
+            movl %ecx, %edx
+            subl $1, %edx
+            cmpl %edx, %edi        # i < len-1 ?
+            jge outer_next
+            movl (%esi,%edi,4), %eax
+            leal 1(%edi), %ebx
+            movl (%esi,%ebx,4), %edx
+            cmpl %edx, %eax
+            jle no_swap            # a[i] <= a[i+1]
+            movl %edx, (%esi,%edi,4)
+            movl %eax, (%esi,%ebx,4)
+        no_swap:
+            addl $1, %edi
+            jmp inner
+        outer_next:
+            subl $1, %ecx
+            jmp outer
+        done:
+            hlt
+    "#;
+    let prog = asm::assemble(src)?;
+    let mut m = asm::Machine::new();
+    m.load(&prog)?;
+    for (i, v) in values.iter().enumerate() {
+        m.write_u32(0x2000 + 4 * i as u32, *v as u32)?;
+    }
+    m.run(1_000_000)?;
+    let mut sorted = Vec::new();
+    for i in 0..n {
+        sorted.push(m.read_u32(0x2000 + 4 * i)? as i32);
+    }
+    let mut expect = values.to_vec();
+    expect.sort_unstable();
+    if sorted != expect {
+        return Err(format!("sort failed: {sorted:?}").into());
+    }
+    Ok(format!(
+        "Lab 2: bubble sort on the emulator\ninput  {values:?}\nsorted {sorted:?}\n({} instructions executed)\n",
+        m.executed
+    ))
+}
+
+fn lab3() -> Result<String, Box<dyn Error>> {
+    use circuits::alu::{build_alu, run_alu, AluOp};
+    let mut c = circuits::Circuit::new();
+    let pins = build_alu(&mut c, 8);
+    let mut out = format!(
+        "Lab 3: structural ALU, {} gates, width 8\n",
+        c.gate_count()
+    );
+    for (op, a, b) in [
+        (AluOp::Add, 0x7Fu64, 0x01u64),
+        (AluOp::Sub, 5, 5),
+        (AluOp::And, 0xF0, 0x3C),
+        (AluOp::Shl, 0x81, 0),
+    ] {
+        let (v, f) = run_alu(&mut c, &pins, op, a, b);
+        out.push_str(&format!(
+            "{op:?} {a:#04x},{b:#04x} = {v:#04x}  zf={} sf={} cf={} of={} pf={}\n",
+            f.zf as u8, f.sf as u8, f.cf as u8, f.of as u8, f.pf as u8
+        ));
+        let (bv, bf) = circuits::alu::eval(op, 8, a, b);
+        if (v, f) != (bv, bf) {
+            return Err("structural ALU disagrees with behavioral model".into());
+        }
+    }
+    Ok(out)
+}
+
+fn lab4() -> Result<String, Box<dyn Error>> {
+    // Part 1: array statistics with dynamic allocation (simulated heap).
+    let data = [3i32, 17, -4, 8, 12];
+    let mut heap = cheap::SimHeap::new(4096);
+    let arr = heap.malloc(4 * data.len() as u32, "stats_array")?;
+    for (i, v) in data.iter().enumerate() {
+        let bytes = v.to_le_bytes();
+        heap.write_bytes(arr + 4 * i as u32, &bytes);
+    }
+    let mut vals = Vec::new();
+    for i in 0..data.len() {
+        let b = heap.read_bytes(arr + 4 * i as u32, 4);
+        vals.push(i32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+    }
+    let mean = vals.iter().sum::<i32>() as f64 / vals.len() as f64;
+    let max = *vals.iter().max().expect("nonempty");
+    heap.free(arr)?;
+    if !heap.errors().is_empty() {
+        return Err(format!("memcheck found errors: {:?}", heap.errors()).into());
+    }
+
+    // Part 2: a short assembly function (sum all values in an array).
+    let src = r#"
+        main:
+            movl $0x3000, %esi
+            movl $5, %ecx
+            movl $0, %eax
+            movl $0, %edi
+        loop:
+            addl (%esi,%edi,4), %eax
+            addl $1, %edi
+            cmpl %ecx, %edi
+            jne loop
+            hlt
+    "#;
+    let prog = asm::assemble(src)?;
+    let mut m = asm::Machine::new();
+    m.load(&prog)?;
+    for (i, v) in data.iter().enumerate() {
+        m.write_u32(0x3000 + 4 * i as u32, *v as u32)?;
+    }
+    m.run(10_000)?;
+    let asm_sum = m.reg(asm::Reg::Eax) as i32;
+    if asm_sum != vals.iter().sum::<i32>() {
+        return Err("assembly sum mismatch".into());
+    }
+    Ok(format!(
+        "Lab 4: stats over heap array: mean={mean:.1} max={max}; asm sum={asm_sum}; memcheck clean\n"
+    ))
+}
+
+fn lab5() -> Result<String, Box<dyn Error>> {
+    use asm::maze::{attempt, generate};
+    let maze = generate(2022, 5);
+    let mut wrong = maze.solution.clone();
+    wrong[0] ^= 1;
+    let exploded = !attempt(&maze, &wrong)?;
+    let escaped = attempt(&maze, &maze.solution)?;
+    if !exploded || !escaped {
+        return Err("maze semantics broken".into());
+    }
+    // A debugger session transcript, as a student would drive it.
+    let mut d = asm::debugger::Debugger::new(maze.program.clone())?;
+    let mut out = String::from("Lab 5: binary maze (5 floors)\n");
+    out.push_str(&d.command("disas 6"));
+    out.push_str(&format!("wrong input exploded: {exploded}\n"));
+    out.push_str(&format!("solution escaped: {escaped}\n"));
+    Ok(out)
+}
+
+fn lab6() -> Result<String, Box<dyn Error>> {
+    use life::{serial, Boundary, Grid};
+    let file = "8 8 12\n........\n..#.....\n...#....\n.###....\n........\n........\n........\n........\n";
+    let (grid, rounds) = Grid::from_file_format(file, Boundary::Toroidal)?;
+    let (after, history) = serial::run(grid, rounds);
+    let mut out = format!(
+        "Lab 6: Game of Life, {rounds} rounds from file; final population {}\n",
+        after.population()
+    );
+    out.push_str(&life::vis::ascii(&after));
+    if history.len() != rounds || after.population() != 5 {
+        return Err("glider should survive intact".into());
+    }
+    Ok(out)
+}
+
+fn lab7() -> Result<String, Box<dyn Error>> {
+    use cstring::{strcat, strcmp, strcpy, strlen};
+    let mut buf = [0u8; 32];
+    strcpy(&mut buf, b"systems\0")?;
+    strcat(&mut buf, b" rock\0")?;
+    let len = strlen(&buf)?;
+    if &buf[..len] != b"systems rock" || strcmp(&buf, b"systems rock\0")? != 0 {
+        return Err("string library misbehaved".into());
+    }
+    Ok(format!(
+        "Lab 7: strcpy+strcat produced {:?} (len {len})\n",
+        String::from_utf8_lossy(&buf[..len])
+    ))
+}
+
+fn lab8() -> Result<String, Box<dyn Error>> {
+    let mut out = String::from("Lab 8: command parser\n");
+    for line in ["ls -l /tmp", "make test &", "sleep 10&"] {
+        let p = os::shell::parse_command(line)?;
+        out.push_str(&format!("{line:?} -> {:?} bg={}\n", p.tokens, p.background));
+    }
+    if !os::shell::parse_command("sleep 10&")?.background {
+        return Err("glued ampersand must mean background".into());
+    }
+    Ok(out)
+}
+
+fn lab9() -> Result<String, Box<dyn Error>> {
+    use os::proc::{program, Op};
+    use os::shell::{Shell, ShellEvent};
+    let mut k = os::Kernel::new(2);
+    k.register_program("ls", program(vec![Op::Print("a.txt b.txt".into()), Op::Exit(0)]));
+    k.register_program(
+        "spin",
+        program(vec![Op::Compute(15), Op::Print("spin done".into()), Op::Exit(0)]),
+    );
+    let mut sh = Shell::new(k);
+    let mut out = String::from("Lab 9: shell session\n");
+    match sh.run_line("spin &") {
+        ShellEvent::Launched(pid) => out.push_str(&format!("[bg] started pid {pid}\n")),
+        other => return Err(format!("expected launch, got {other:?}").into()),
+    }
+    match sh.run_line("ls") {
+        ShellEvent::Finished(_, 0) => out.push_str("ls finished\n"),
+        other => return Err(format!("expected ls to finish, got {other:?}").into()),
+    }
+    // Prompt until the background job reaps.
+    for _ in 0..20 {
+        if sh.jobs().is_empty() {
+            break;
+        }
+        sh.run_line("ls");
+    }
+    if !sh.jobs().is_empty() {
+        return Err("background job never reaped".into());
+    }
+    out.push_str("background job reaped via SIGCHLD discipline\n");
+    match sh.run_line("history") {
+        ShellEvent::Builtin(h) => out.push_str(&format!("{h}\n")),
+        other => return Err(format!("expected history, got {other:?}").into()),
+    }
+    Ok(out)
+}
+
+fn lab10() -> Result<String, Box<dyn Error>> {
+    use life::machsim::{speedup_table};
+    use life::{grid::GLIDER, parallel, serial, Boundary, Grid, Partition};
+    let mut g = Grid::new(32, 32, Boundary::Toroidal)?;
+    g.stamp(4, 4, GLIDER);
+    g.stamp(20, 10, GLIDER);
+    let rounds = 16;
+    let (expect, _) = serial::run(g.clone(), rounds);
+    let got = parallel::run(g, rounds, 4, Partition::Rows);
+    if got.grid != expect {
+        return Err("parallel output diverged from serial".into());
+    }
+    let mut out = String::from("Lab 10: parallel Game of Life — matches serial output\n");
+    let machine = ::parallel::machine::MachineConfig {
+        cores: 16,
+        barrier_cost: 50,
+        lock_overhead: 10,
+        contention: 0.0,
+    };
+    out.push_str("modeled 16-core speedup (512x512, 100 rounds):\n");
+    for (t, s) in speedup_table(512, 512, 100, &[1, 2, 4, 8, 16], machine) {
+        out.push_str(&format!("  {t:>2} threads: {s:>5.2}x\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_labs_in_order() {
+        let labs = all_labs();
+        assert_eq!(labs.len(), 11);
+        for w in labs.windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
+    }
+
+    #[test]
+    fn every_lab_demonstrates_successfully() {
+        for lab in all_labs() {
+            let transcript = (lab.demonstrate)()
+                .unwrap_or_else(|e| panic!("{:?} ({}) failed: {e}", lab.id, lab.title));
+            assert!(!transcript.is_empty(), "{:?} empty transcript", lab.id);
+        }
+    }
+
+    #[test]
+    fn lab2_sorts_on_the_emulator() {
+        let t = lab2().unwrap();
+        assert!(t.contains("sorted [-31, -7, 0, 5, 5, 19, 42, 99]"), "{t}");
+    }
+
+    #[test]
+    fn lab10_reports_near_linear_model() {
+        let t = lab10().unwrap();
+        assert!(t.contains("matches serial"));
+        assert!(t.contains("16 threads:"), "{t}");
+    }
+
+    #[test]
+    fn lab5_transcript_shows_disassembly() {
+        let t = lab5().unwrap();
+        assert!(t.contains("movl"), "{t}");
+        assert!(t.contains("escaped: true"));
+    }
+}

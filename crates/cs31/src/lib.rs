@@ -1,0 +1,46 @@
+//! # cs31 — the course as a library
+//!
+//! The paper's primary contribution is a *course design*: CS 31,
+//! "Introduction to Computer Systems", a second course that introduces
+//! parallel computing on a CS1-only background (§II). This crate encodes
+//! that design on top of the subsystem crates:
+//!
+//! * [`course`] — the three curricular themes, the week-by-week module
+//!   schedule of §III, and the course structure (peer instruction,
+//!   weekly labs, written homeworks);
+//! * [`labs`] — Labs 0–10 as typed, *runnable* artifacts: each lab's
+//!   `demonstrate()` drives the real subsystem (the Lab 3 ALU is built
+//!   gate by gate, the Lab 5 maze is solved through the debugger, the
+//!   Lab 10 Life run checks itself against Lab 6's serial output);
+//! * [`homework`] — seeded generators for the weekly written homework
+//!   problems *with solutions computed by the simulators* (cache traces
+//!   solved by `memsim`, VM traces by `vmem`, fork puzzles by `os`);
+//! * [`exam`] — the two course exams composed from the generators
+//!   (midterm: the first half of the slice; final: cumulative);
+//! * [`clicker`] — a peer-instruction question bank whose answer keys
+//!   are computed, not transcribed.
+//!
+//! ```
+//! use cs31::labs::{all_labs, LabId};
+//!
+//! let labs = all_labs();
+//! assert_eq!(labs.len(), 11); // Lab 0 through Lab 10
+//! let lab10 = labs.iter().find(|l| l.id == LabId::Lab10).unwrap();
+//! let transcript = (lab10.demonstrate)().unwrap();
+//! assert!(transcript.contains("matches serial"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autograde;
+pub mod clicker;
+pub mod course;
+pub mod exam;
+pub mod groups;
+pub mod homework;
+pub mod labs;
+pub mod readings;
+
+pub use course::{themes, week_schedule, CourseTheme, Week};
+pub use labs::{all_labs, Lab, LabId};

@@ -1,0 +1,87 @@
+//! Readings: the course uses the free online *Dive into Systems* textbook
+//! "written by two of the co-authors and a collaborator from West Point"
+//! (§II), with graded reading quizzes before class. This module maps each
+//! week of the schedule to its DiS chapter and the quiz it gates.
+
+use crate::course::{week_schedule, Week};
+
+/// A reading assignment: textbook chapter + the clicker-quiz module that
+/// checks it.
+#[derive(Debug, Clone)]
+pub struct Reading {
+    /// Week it is due.
+    pub week: u32,
+    /// Dive into Systems chapter (number, title).
+    pub dis_chapter: (u32, &'static str),
+    /// The clicker module that supplies the reading-quiz questions.
+    pub quiz_module: &'static str,
+}
+
+/// The week → chapter map (Dive into Systems chapter numbering).
+pub fn reading_schedule() -> Vec<Reading> {
+    let chapter_for = |w: &Week| -> ((u32, &'static str), &'static str) {
+        match w.crate_name {
+            "bits" => ((4, "Binary and Data Representation"), "binary representation"),
+            "cstring" => ((2, "A Deeper Dive into C"), "binary representation"),
+            "cheap" => ((3, "C Debugging Tools (GDB and Valgrind)"), "binary representation"),
+            "circuits" => ((5, "What von Neumann Knew: Computer Architecture"), "architecture"),
+            "asm" => ((8, "32-bit x86 Assembly (IA32)"), "architecture"),
+            "memsim" => ((11, "Storage and the Memory Hierarchy"), "caching"),
+            "os" => ((13, "The Operating System"), "processes"),
+            "vmem" => ((13, "The Operating System"), "virtual memory"),
+            "parallel" | "life" => ((14, "Leveraging Shared Memory in the Multicore Era"), "parallelism"),
+            _ => ((1, "By the C, by the C, by the Beautiful C"), "binary representation"),
+        }
+    };
+    week_schedule()
+        .iter()
+        .map(|w| {
+            let (dis_chapter, quiz_module) = chapter_for(w);
+            Reading { week: w.number, dis_chapter, quiz_module }
+        })
+        .collect()
+}
+
+/// Builds a reading quiz for a week from the clicker bank (the "answerable
+/// by students who did the reading" design of §II).
+pub fn reading_quiz(week: u32) -> Vec<crate::clicker::ClickerQuestion> {
+    let Some(reading) = reading_schedule().into_iter().find(|r| r.week == week) else {
+        return Vec::new();
+    };
+    crate::clicker::question_bank()
+        .into_iter()
+        .filter(|q| q.module == reading.quiz_module)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_week_has_a_reading() {
+        let rs = reading_schedule();
+        assert_eq!(rs.len(), 14);
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(r.week as usize, i + 1);
+            assert!(r.dis_chapter.0 >= 1);
+        }
+    }
+
+    #[test]
+    fn chapters_follow_the_course_arc() {
+        let rs = reading_schedule();
+        // Binary first, parallelism (ch. 14) last.
+        assert_eq!(rs[0].dis_chapter.0, 4);
+        assert_eq!(rs.last().unwrap().dis_chapter.0, 14);
+        assert!(rs.last().unwrap().dis_chapter.1.contains("Multicore"));
+    }
+
+    #[test]
+    fn quizzes_exist_for_key_weeks() {
+        // Week 1 (binary) and week 14 (parallelism) both have quiz pools.
+        assert!(!reading_quiz(1).is_empty());
+        assert!(!reading_quiz(14).is_empty());
+        assert!(reading_quiz(99).is_empty());
+    }
+}

@@ -1,0 +1,411 @@
+//! C string semantics over byte buffers.
+//!
+//! Every function honours the NUL-termination contract. Where C would
+//! silently corrupt memory (destination too small, unterminated source),
+//! these return [`StrError`] — the check a student is supposed to
+//! internalize *before* writing the unchecked C version.
+
+/// Errors a careful C string implementation must guard against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrError {
+    /// The buffer contains no NUL terminator.
+    Unterminated,
+    /// The destination buffer is too small for the result (+ NUL).
+    DestinationTooSmall {
+        /// Bytes needed, including the terminator.
+        needed: usize,
+        /// Bytes available.
+        have: usize,
+    },
+}
+
+impl std::fmt::Display for StrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrError::Unterminated => write!(f, "string is not NUL-terminated"),
+            StrError::DestinationTooSmall { needed, have } => {
+                write!(f, "destination too small: need {needed} bytes, have {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrError {}
+
+/// `strlen`: bytes before the first NUL.
+pub fn strlen(s: &[u8]) -> Result<usize, StrError> {
+    s.iter().position(|&b| b == 0).ok_or(StrError::Unterminated)
+}
+
+/// `strcpy(dst, src)`: copies `src` (including NUL) into `dst`.
+/// Returns the copied length (excluding NUL).
+pub fn strcpy(dst: &mut [u8], src: &[u8]) -> Result<usize, StrError> {
+    let n = strlen(src)?;
+    if n + 1 > dst.len() {
+        return Err(StrError::DestinationTooSmall { needed: n + 1, have: dst.len() });
+    }
+    dst[..=n].copy_from_slice(&src[..=n]);
+    Ok(n)
+}
+
+/// `strncpy(dst, src, n)`: copies at most `n` bytes; pads with NULs if the
+/// source is shorter, and — C's famous trap — does **not** terminate if
+/// the source is `n` bytes or longer. Returns whether `dst` ended up
+/// NUL-terminated within the first `n` bytes.
+pub fn strncpy(dst: &mut [u8], src: &[u8], n: usize) -> Result<bool, StrError> {
+    if n > dst.len() {
+        return Err(StrError::DestinationTooSmall { needed: n, have: dst.len() });
+    }
+    let len = strlen(src)?;
+    for i in 0..n {
+        dst[i] = if i < len { src[i] } else { 0 };
+    }
+    Ok(len < n)
+}
+
+/// `strcat(dst, src)`: appends `src` to the string already in `dst`.
+pub fn strcat(dst: &mut [u8], src: &[u8]) -> Result<usize, StrError> {
+    let dlen = strlen(dst)?;
+    let slen = strlen(src)?;
+    let needed = dlen + slen + 1;
+    if needed > dst.len() {
+        return Err(StrError::DestinationTooSmall { needed, have: dst.len() });
+    }
+    dst[dlen..dlen + slen + 1].copy_from_slice(&src[..=slen]);
+    Ok(dlen + slen)
+}
+
+/// `strcmp`: <0, 0, >0 as C defines it (unsigned byte comparison).
+pub fn strcmp(a: &[u8], b: &[u8]) -> Result<i32, StrError> {
+    let la = strlen(a)?;
+    let lb = strlen(b)?;
+    let mut i = 0;
+    loop {
+        let ca = if i <= la { a[i] } else { 0 };
+        let cb = if i <= lb { b[i] } else { 0 };
+        if ca != cb {
+            return Ok(ca as i32 - cb as i32);
+        }
+        if ca == 0 {
+            return Ok(0);
+        }
+        i += 1;
+    }
+}
+
+/// `strncmp`: compare at most `n` bytes.
+pub fn strncmp(a: &[u8], b: &[u8], n: usize) -> Result<i32, StrError> {
+    let la = strlen(a)?;
+    let lb = strlen(b)?;
+    for i in 0..n {
+        let ca = if i <= la { a[i] } else { 0 };
+        let cb = if i <= lb { b[i] } else { 0 };
+        if ca != cb {
+            return Ok(ca as i32 - cb as i32);
+        }
+        if ca == 0 {
+            return Ok(0);
+        }
+    }
+    Ok(0)
+}
+
+/// `strchr`: index of the first occurrence of `c`, or `None`.
+/// Searching for NUL finds the terminator, as in C.
+pub fn strchr(s: &[u8], c: u8) -> Result<Option<usize>, StrError> {
+    let len = strlen(s)?;
+    Ok(s[..=len].iter().position(|&b| b == c))
+}
+
+/// `strrchr`: index of the last occurrence of `c`.
+pub fn strrchr(s: &[u8], c: u8) -> Result<Option<usize>, StrError> {
+    let len = strlen(s)?;
+    Ok(s[..=len].iter().rposition(|&b| b == c))
+}
+
+/// `strstr`: index of the first occurrence of `needle` in `haystack`.
+/// An empty needle matches at 0, as in C.
+pub fn strstr(haystack: &[u8], needle: &[u8]) -> Result<Option<usize>, StrError> {
+    let hl = strlen(haystack)?;
+    let nl = strlen(needle)?;
+    if nl == 0 {
+        return Ok(Some(0));
+    }
+    if nl > hl {
+        return Ok(None);
+    }
+    Ok((0..=hl - nl).find(|&i| haystack[i..i + nl] == needle[..nl]))
+}
+
+/// `atoi`: optional whitespace, optional sign, digits; stops at the first
+/// non-digit; wraps on overflow like the classic implementation.
+pub fn atoi(s: &[u8]) -> Result<i32, StrError> {
+    let len = strlen(s)?;
+    let s = &s[..len];
+    let mut i = 0;
+    while i < s.len() && (s[i] == b' ' || s[i] == b'\t' || s[i] == b'\n') {
+        i += 1;
+    }
+    let mut sign = 1i32;
+    if i < s.len() && (s[i] == b'+' || s[i] == b'-') {
+        if s[i] == b'-' {
+            sign = -1;
+        }
+        i += 1;
+    }
+    let mut acc: i32 = 0;
+    while i < s.len() && s[i].is_ascii_digit() {
+        acc = acc.wrapping_mul(10).wrapping_add((s[i] - b'0') as i32);
+        i += 1;
+    }
+    Ok(acc.wrapping_mul(sign))
+}
+
+/// `strspn`: length of the initial segment of `s` consisting only of
+/// bytes in `accept`.
+pub fn strspn(s: &[u8], accept: &[u8]) -> Result<usize, StrError> {
+    let len = strlen(s)?;
+    let alen = strlen(accept)?;
+    Ok(s[..len]
+        .iter()
+        .take_while(|b| accept[..alen].contains(b))
+        .count())
+}
+
+/// `strcspn`: length of the initial segment containing **no** bytes from
+/// `reject`.
+pub fn strcspn(s: &[u8], reject: &[u8]) -> Result<usize, StrError> {
+    let len = strlen(s)?;
+    let rlen = strlen(reject)?;
+    Ok(s[..len]
+        .iter()
+        .take_while(|b| !reject[..rlen].contains(b))
+        .count())
+}
+
+/// `strpbrk`: index of the first byte of `s` that appears in `set`.
+pub fn strpbrk(s: &[u8], set: &[u8]) -> Result<Option<usize>, StrError> {
+    let n = strcspn(s, set)?;
+    let len = strlen(s)?;
+    Ok(if n < len { Some(n) } else { None })
+}
+
+/// A `strtok`-style tokenizer. Unlike C's global-state `strtok`, the
+/// state lives in the value — the improvement every student proposes
+/// after being bitten.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    bytes: Vec<u8>,
+    pos: usize,
+    delims: Vec<u8>,
+}
+
+impl Tokenizer {
+    /// Tokenizes the string in `s` on the `delims` bytes.
+    pub fn new(s: &[u8], delims: &[u8]) -> Result<Tokenizer, StrError> {
+        let len = strlen(s)?;
+        Ok(Tokenizer { bytes: s[..len].to_vec(), pos: 0, delims: delims.to_vec() })
+    }
+
+    /// Next token, or `None` when exhausted.
+    pub fn next_token(&mut self) -> Option<Vec<u8>> {
+        while self.pos < self.bytes.len() && self.delims.contains(&self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let start = self.pos;
+        while self.pos < self.bytes.len() && !self.delims.contains(&self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        Some(self.bytes[start..self.pos].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn strlen_basic() {
+        assert_eq!(strlen(b"hello\0").unwrap(), 5);
+        assert_eq!(strlen(b"\0").unwrap(), 0);
+        assert_eq!(strlen(b"a\0b\0").unwrap(), 1, "stops at first NUL");
+        assert_eq!(strlen(b"no nul"), Err(StrError::Unterminated));
+    }
+
+    #[test]
+    fn strcpy_copies_and_checks() {
+        let mut dst = [0xFFu8; 8];
+        assert_eq!(strcpy(&mut dst, b"hi\0").unwrap(), 2);
+        assert_eq!(&dst[..3], b"hi\0");
+        let mut tiny = [0u8; 2];
+        assert_eq!(
+            strcpy(&mut tiny, b"hi\0").unwrap_err(),
+            StrError::DestinationTooSmall { needed: 3, have: 2 }
+        );
+    }
+
+    #[test]
+    fn strncpy_trap() {
+        // Source exactly n bytes: NOT terminated — the exam question.
+        let mut dst = [0xAAu8; 4];
+        let terminated = strncpy(&mut dst, b"abcd\0", 4).unwrap();
+        assert!(!terminated);
+        assert_eq!(&dst, b"abcd");
+        // Short source: padded with NULs.
+        let mut dst = [0xAAu8; 4];
+        let terminated = strncpy(&mut dst, b"a\0", 4).unwrap();
+        assert!(terminated);
+        assert_eq!(&dst, b"a\0\0\0");
+    }
+
+    #[test]
+    fn strcat_appends() {
+        let mut dst = [0u8; 16];
+        strcpy(&mut dst, b"foo\0").unwrap();
+        assert_eq!(strcat(&mut dst, b"bar\0").unwrap(), 6);
+        assert_eq!(&dst[..7], b"foobar\0");
+        let mut small = [0u8; 6];
+        strcpy(&mut small, b"foo\0").unwrap();
+        assert!(strcat(&mut small, b"bar\0").is_err());
+    }
+
+    #[test]
+    fn strcmp_ordering() {
+        assert_eq!(strcmp(b"abc\0", b"abc\0").unwrap(), 0);
+        assert!(strcmp(b"abc\0", b"abd\0").unwrap() < 0);
+        assert!(strcmp(b"abd\0", b"abc\0").unwrap() > 0);
+        assert!(strcmp(b"ab\0", b"abc\0").unwrap() < 0, "prefix is less");
+        assert!(strcmp(b"B\0", b"a\0").unwrap() < 0, "byte-value comparison");
+        assert_eq!(strncmp(b"abcX\0", b"abcY\0", 3).unwrap(), 0);
+        assert!(strncmp(b"abcX\0", b"abcY\0", 4).unwrap() < 0);
+    }
+
+    #[test]
+    fn chr_and_rchr() {
+        assert_eq!(strchr(b"hello\0", b'l').unwrap(), Some(2));
+        assert_eq!(strrchr(b"hello\0", b'l').unwrap(), Some(3));
+        assert_eq!(strchr(b"hello\0", b'z').unwrap(), None);
+        assert_eq!(strchr(b"hello\0", 0).unwrap(), Some(5), "finds the NUL");
+    }
+
+    #[test]
+    fn strstr_search() {
+        assert_eq!(strstr(b"the cat sat\0", b"cat\0").unwrap(), Some(4));
+        assert_eq!(strstr(b"the cat sat\0", b"dog\0").unwrap(), None);
+        assert_eq!(strstr(b"abc\0", b"\0").unwrap(), Some(0));
+        assert_eq!(strstr(b"ab\0", b"abc\0").unwrap(), None, "needle longer");
+        assert_eq!(strstr(b"aaab\0", b"aab\0").unwrap(), Some(1), "overlap");
+    }
+
+    #[test]
+    fn atoi_cases() {
+        assert_eq!(atoi(b"42\0").unwrap(), 42);
+        assert_eq!(atoi(b"  -17abc\0").unwrap(), -17);
+        assert_eq!(atoi(b"+9\0").unwrap(), 9);
+        assert_eq!(atoi(b"abc\0").unwrap(), 0);
+        assert_eq!(atoi(b"\0").unwrap(), 0);
+        assert_eq!(atoi(b"2147483647\0").unwrap(), i32::MAX);
+    }
+
+    #[test]
+    fn spn_cspn_pbrk() {
+        assert_eq!(strspn(b"12345abc\0", b"0123456789\0").unwrap(), 5);
+        assert_eq!(strspn(b"abc\0", b"0123456789\0").unwrap(), 0);
+        assert_eq!(strcspn(b"hello, world\0", b",!\0").unwrap(), 5);
+        assert_eq!(strcspn(b"hello\0", b",!\0").unwrap(), 5);
+        assert_eq!(strpbrk(b"key=value\0", b"=:\0").unwrap(), Some(3));
+        assert_eq!(strpbrk(b"plain\0", b"=:\0").unwrap(), None);
+        assert!(strspn(b"no nul", b"x\0").is_err());
+    }
+
+    #[test]
+    fn tokenizer_like_the_shell_parser() {
+        let mut t = Tokenizer::new(b"  ls  -l   /tmp \0", b" ").unwrap();
+        assert_eq!(t.next_token(), Some(b"ls".to_vec()));
+        assert_eq!(t.next_token(), Some(b"-l".to_vec()));
+        assert_eq!(t.next_token(), Some(b"/tmp".to_vec()));
+        assert_eq!(t.next_token(), None);
+        assert_eq!(t.next_token(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn tokenizer_multiple_delims() {
+        let mut t = Tokenizer::new(b"a,b;;c\0", b",;").unwrap();
+        assert_eq!(t.next_token(), Some(b"a".to_vec()));
+        assert_eq!(t.next_token(), Some(b"b".to_vec()));
+        assert_eq!(t.next_token(), Some(b"c".to_vec()));
+        assert_eq!(t.next_token(), None);
+    }
+
+    fn cstring_strategy() -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(1u8..=255, 0..24).prop_map(|mut v| {
+            v.push(0);
+            v
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_strlen_matches_rust(s in cstring_strategy()) {
+            prop_assert_eq!(strlen(&s).unwrap(), s.len() - 1);
+        }
+
+        #[test]
+        fn prop_strcpy_roundtrip(s in cstring_strategy()) {
+            let mut dst = vec![0xAAu8; s.len() + 4];
+            let n = strcpy(&mut dst, &s).unwrap();
+            prop_assert_eq!(n, s.len() - 1);
+            prop_assert_eq!(&dst[..s.len()], &s[..]);
+        }
+
+        #[test]
+        fn prop_strcmp_consistent_with_ord(a in cstring_strategy(), b in cstring_strategy()) {
+            let c = strcmp(&a, &b).unwrap();
+            let la = strlen(&a).unwrap();
+            let lb = strlen(&b).unwrap();
+            let ord = a[..la].cmp(&b[..lb]);
+            match ord {
+                std::cmp::Ordering::Less => prop_assert!(c < 0),
+                std::cmp::Ordering::Equal => prop_assert_eq!(c, 0),
+                std::cmp::Ordering::Greater => prop_assert!(c > 0),
+            }
+        }
+
+        #[test]
+        fn prop_strstr_agrees_with_windows(h in cstring_strategy(), n in cstring_strategy()) {
+            let found = strstr(&h, &n).unwrap();
+            let hl = strlen(&h).unwrap();
+            let nl = strlen(&n).unwrap();
+            let expect = if nl == 0 {
+                Some(0)
+            } else if nl > hl {
+                None
+            } else {
+                (0..=hl-nl).find(|&i| h[i..i+nl] == n[..nl])
+            };
+            prop_assert_eq!(found, expect);
+        }
+
+        #[test]
+        fn prop_atoi_matches_parse(v in any::<i32>()) {
+            let mut s = v.to_string().into_bytes();
+            s.push(0);
+            prop_assert_eq!(atoi(&s).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_tokenizer_rebuilds(parts in proptest::collection::vec("[a-z]{1,5}", 1..6)) {
+            let joined = format!(" {} \0", parts.join("  "));
+            let mut t = Tokenizer::new(joined.as_bytes(), b" ").unwrap();
+            let mut got = Vec::new();
+            while let Some(tok) = t.next_token() {
+                got.push(String::from_utf8(tok).unwrap());
+            }
+            prop_assert_eq!(got, parts);
+        }
+    }
+}

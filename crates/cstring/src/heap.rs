@@ -1,0 +1,118 @@
+//! C string workflows over the simulated heap — where the Lab 7 exercises
+//! meet the Valgrind pedagogy: a buggy `strcpy` into a too-small heap
+//! buffer shows up in the memcheck log, not as silent corruption.
+
+use crate::buf;
+use cheap::{CPtr, OutOfMemory, SimHeap};
+
+/// Reads a NUL-terminated string out of the heap (at most `max` bytes,
+/// guarding against runaway scans). Returns the bytes without the NUL.
+pub fn read_cstr(heap: &mut SimHeap, ptr: CPtr, max: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in 0..max {
+        let b = heap.read_u8(ptr + i);
+        if b == 0 {
+            return out;
+        }
+        out.push(b);
+    }
+    out
+}
+
+/// `strdup`: allocates `strlen(s)+1` bytes on the heap and copies `s` in.
+pub fn strdup(heap: &mut SimHeap, s: &[u8], tag: &str) -> Result<CPtr, OutOfMemory> {
+    let len = buf::strlen(s).expect("strdup source must be NUL-terminated");
+    let p = heap.malloc(len as u32 + 1, tag)?;
+    heap.write_bytes(p, &s[..=len]);
+    Ok(p)
+}
+
+/// Heap `strlen` on a heap string.
+pub fn h_strlen(heap: &mut SimHeap, ptr: CPtr) -> u32 {
+    read_cstr(heap, ptr, u32::MAX).len() as u32
+}
+
+/// Heap `strcat`: returns a *new* allocation holding `a + b` (the safe
+/// idiom the course teaches after showing the in-place footgun).
+pub fn h_concat(
+    heap: &mut SimHeap,
+    a: CPtr,
+    b: CPtr,
+    tag: &str,
+) -> Result<CPtr, OutOfMemory> {
+    let sa = read_cstr(heap, a, u32::MAX);
+    let sb = read_cstr(heap, b, u32::MAX);
+    let p = heap.malloc((sa.len() + sb.len() + 1) as u32, tag)?;
+    heap.write_bytes(p, &sa);
+    heap.write_bytes(p + sa.len() as u32, &sb);
+    heap.write_u8(p + (sa.len() + sb.len()) as u32, 0);
+    Ok(p)
+}
+
+/// The classic Lab 7 bug, preserved for demonstration: `strcpy` into a
+/// buffer sized `strlen(s)` (forgetting the NUL). Returns the pointer; the
+/// heap's error log will contain the one-byte overflow.
+pub fn buggy_strdup_no_nul_room(
+    heap: &mut SimHeap,
+    s: &[u8],
+    tag: &str,
+) -> Result<CPtr, OutOfMemory> {
+    let len = buf::strlen(s).expect("source must be NUL-terminated");
+    let p = heap.malloc(len as u32, tag)?; // BUG: no +1
+    heap.write_bytes(p, &s[..=len]); // writes len+1 bytes
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheap::MemErrorKind;
+
+    #[test]
+    fn strdup_roundtrip_clean() {
+        let mut h = SimHeap::new(4096);
+        let p = strdup(&mut h, b"systems\0", "dup").unwrap();
+        assert_eq!(read_cstr(&mut h, p, 100), b"systems");
+        assert_eq!(h_strlen(&mut h, p), 7);
+        assert!(h.errors().is_empty());
+        h.free(p).unwrap();
+        assert_eq!(h.report().leaked_bytes, 0);
+    }
+
+    #[test]
+    fn concat_builds_new_string() {
+        let mut h = SimHeap::new(4096);
+        let a = strdup(&mut h, b"foo\0", "a").unwrap();
+        let b = strdup(&mut h, b"bar\0", "b").unwrap();
+        let c = h_concat(&mut h, a, b, "c").unwrap();
+        assert_eq!(read_cstr(&mut h, c, 100), b"foobar");
+        assert!(h.errors().is_empty());
+    }
+
+    #[test]
+    fn the_missing_nul_bug_is_caught() {
+        let mut h = SimHeap::new(4096);
+        let p = buggy_strdup_no_nul_room(&mut h, b"oops\0", "buggy").unwrap();
+        assert_eq!(h.errors().len(), 1);
+        assert_eq!(h.errors()[0].kind, MemErrorKind::HeapOverflow);
+        assert_eq!(h.errors()[0].addr, p + 4);
+    }
+
+    #[test]
+    fn forgetting_free_leaks() {
+        let mut h = SimHeap::new(4096);
+        let _a = strdup(&mut h, b"kept\0", "kept").unwrap();
+        let r = h.report();
+        assert_eq!(r.leaked_bytes, 5);
+        assert!(r.summary().contains("kept"));
+    }
+
+    #[test]
+    fn empty_string() {
+        let mut h = SimHeap::new(4096);
+        let p = strdup(&mut h, b"\0", "empty").unwrap();
+        assert_eq!(h_strlen(&mut h, p), 0);
+        assert_eq!(read_cstr(&mut h, p, 10), b"");
+        assert!(h.errors().is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! # cstring — the C string library, reimplemented (Lab 7)
+//!
+//! "After observing many students struggle with C strings in upper-level
+//! courses, we added this lab … implement and write test cases for several
+//! common C string library functions (e.g., strcat, strcpy, etc.)"
+//! (§III-B Lab 7).
+//!
+//! Two layers:
+//!
+//! * [`buf`] — the functions over plain byte buffers with C's
+//!   NUL-termination contract, with explicit capacity checks so the
+//!   *library reports* the overflow a real `strcpy` would silently commit;
+//! * [`heap`] — the same workflows over [`cheap::SimHeap`] pointers
+//!   (`strdup`, a heap `strcat`, a tokenizer), where mistakes show up in
+//!   the memcheck error log exactly as Valgrind would show them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buf;
+pub mod heap;
+
+pub use buf::{atoi, strcat, strchr, strcmp, strcpy, strcspn, strlen, strncmp, strncpy, strpbrk, strrchr, strspn, strstr, StrError, Tokenizer};

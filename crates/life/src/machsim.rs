@@ -1,0 +1,142 @@
+//! Mapping a Life run onto the multicore machine model — the **E1**
+//! reproduction path on single-core hosts (see DESIGN.md §2).
+//!
+//! Each thread's round is `Work(cells_in_band × cost_per_cell)` followed
+//! by `Critical(stats_cost)` (the mutex-guarded stats merge) and a
+//! `Barrier` — precisely the segments the real
+//! [`crate::parallel::run`] executes, so the model and the threaded code
+//! share a shape by construction.
+
+use crate::grid::Partition;
+use crate::parallel::bands;
+use parallel::machine::{simulate, MachineConfig, MachineReport, Segment};
+
+/// Cost parameters translating grid work into machine-model units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifeCosts {
+    /// Work units per cell update (neighbor count + rule).
+    pub per_cell: u64,
+    /// Critical-section units per round (the stats merge).
+    pub stats_crit: u64,
+}
+
+impl Default for LifeCosts {
+    fn default() -> Self {
+        LifeCosts { per_cell: 10, stats_crit: 5 }
+    }
+}
+
+/// Builds machine segments for a `rows × cols` grid over `threads`
+/// threads and `rounds` rounds.
+pub fn life_segments(
+    rows: usize,
+    cols: usize,
+    rounds: usize,
+    threads: usize,
+    partition: Partition,
+    costs: LifeCosts,
+) -> Vec<Vec<Segment>> {
+    let my_bands = bands(rows, cols, threads, partition);
+    my_bands
+        .iter()
+        .map(|b| {
+            let cells = ((b.r1 - b.r0) * (b.c1 - b.c0)) as u64;
+            let mut segs = Vec::with_capacity(rounds * 3);
+            for r in 0..rounds {
+                segs.push(Segment::Work(cells * costs.per_cell));
+                segs.push(Segment::Critical(costs.stats_crit));
+                if r + 1 < rounds {
+                    segs.push(Segment::Barrier);
+                }
+            }
+            segs
+        })
+        .collect()
+}
+
+/// Simulates a Life run on the modeled machine.
+pub fn simulate_life(
+    rows: usize,
+    cols: usize,
+    rounds: usize,
+    threads: usize,
+    partition: Partition,
+    costs: LifeCosts,
+    machine: MachineConfig,
+) -> MachineReport {
+    let segs = life_segments(rows, cols, rounds, threads, partition, costs);
+    simulate(machine, &segs).expect("life workload is well-formed")
+}
+
+/// The E1 table: `(threads, modeled speedup)` for each entry of `threads`.
+pub fn speedup_table(
+    rows: usize,
+    cols: usize,
+    rounds: usize,
+    threads: &[usize],
+    machine: MachineConfig,
+) -> Vec<(usize, f64)> {
+    threads
+        .iter()
+        .map(|&t| {
+            let r = simulate_life(rows, cols, rounds, t, Partition::Rows, LifeCosts::default(), machine);
+            (t, r.speedup())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallel::laws::{classify, SpeedupClass};
+
+    fn sixteen_core() -> MachineConfig {
+        MachineConfig { cores: 16, barrier_cost: 50, lock_overhead: 10, contention: 0.0 }
+    }
+
+    #[test]
+    fn near_linear_to_16_threads_on_lab_grid() {
+        // 512x512, 100 rounds — the lab-scale measurement.
+        let table = speedup_table(512, 512, 100, &[1, 2, 4, 8, 16], sixteen_core());
+        for &(t, s) in &table[1..] {
+            assert_eq!(classify(s, t), SpeedupClass::NearLinear, "t={t} s={s:.2}");
+        }
+    }
+
+    #[test]
+    fn tiny_grids_do_not_scale() {
+        // 8x8 grid: barrier overhead swamps 16 threads — the "why is my
+        // tiny test case slower" office-hours question.
+        let r16 = simulate_life(
+            8, 8, 100, 16, Partition::Rows, LifeCosts::default(), sixteen_core(),
+        );
+        assert!(r16.speedup() < 8.0, "got {}", r16.speedup());
+    }
+
+    #[test]
+    fn row_and_column_partitions_balance_equally_when_divisible() {
+        let a = simulate_life(64, 64, 10, 16, Partition::Rows, LifeCosts::default(), sixteen_core());
+        let b = simulate_life(64, 64, 10, 16, Partition::Columns, LifeCosts::default(), sixteen_core());
+        assert!((a.parallel_time - b.parallel_time).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ragged_partition_is_slower_than_even() {
+        // 17 rows over 16 threads: one thread gets 2 rows → ~2x phase time.
+        let even = simulate_life(16, 64, 10, 16, Partition::Rows, LifeCosts::default(), sixteen_core());
+        let ragged = simulate_life(17, 64, 10, 16, Partition::Rows, LifeCosts::default(), sixteen_core());
+        assert!(ragged.parallel_time > even.parallel_time * 1.5);
+    }
+
+    #[test]
+    fn segments_match_band_sizes() {
+        let segs = life_segments(10, 10, 2, 3, Partition::Rows, LifeCosts::default());
+        assert_eq!(segs.len(), 3);
+        // Bands: 4,3,3 rows × 10 cols × 10 units.
+        assert_eq!(segs[0][0], Segment::Work(400));
+        assert_eq!(segs[1][0], Segment::Work(300));
+        // Per round: Work, Critical, Barrier (except last round).
+        assert_eq!(segs[0].len(), 5);
+        assert_eq!(segs[0][2], Segment::Barrier);
+    }
+}

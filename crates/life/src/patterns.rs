@@ -1,0 +1,304 @@
+//! Pattern tooling beyond the lab handout: the community-standard RLE
+//! format, period/translation detection, and famous larger patterns —
+//! the "explore further" direction strong students take Lab 6.
+
+use crate::grid::{Boundary, Grid, GridError};
+use std::collections::HashMap;
+
+/// Parses a Run-Length-Encoded Life pattern (the `.rle` files on the
+/// LifeWiki): header `x = W, y = H`, body of `<count><b|o|$>`, `!` ends.
+/// Comment lines (`#...`) are skipped. Returns live-cell offsets.
+pub fn parse_rle(text: &str) -> Result<Vec<(usize, usize)>, GridError> {
+    let mut cells = Vec::new();
+    let mut body = String::new();
+    let mut seen_header = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with("x") && !seen_header {
+            seen_header = true; // dimensions are advisory; we compute our own
+            continue;
+        }
+        body.push_str(line);
+    }
+    if body.is_empty() {
+        return Err(GridError::Parse("empty RLE body".into()));
+    }
+
+    let mut row = 0usize;
+    let mut col = 0usize;
+    let mut count = 0usize;
+    for ch in body.chars() {
+        match ch {
+            '0'..='9' => count = count * 10 + (ch as u8 - b'0') as usize,
+            'b' => {
+                col += count.max(1);
+                count = 0;
+            }
+            'o' => {
+                for _ in 0..count.max(1) {
+                    cells.push((row, col));
+                    col += 1;
+                }
+                count = 0;
+            }
+            '$' => {
+                row += count.max(1);
+                col = 0;
+                count = 0;
+            }
+            '!' => break,
+            c if c.is_whitespace() => {}
+            other => {
+                return Err(GridError::Parse(format!("bad RLE character {other:?}")));
+            }
+        }
+    }
+    if cells.is_empty() {
+        return Err(GridError::Parse("RLE pattern has no live cells".into()));
+    }
+    Ok(cells)
+}
+
+/// Renders live-cell offsets back to RLE (body only, normalized).
+pub fn to_rle(cells: &[(usize, usize)]) -> String {
+    if cells.is_empty() {
+        return "!".to_string();
+    }
+    let mut sorted: Vec<(usize, usize)> = cells.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let max_row = sorted.iter().map(|c| c.0).max().expect("nonempty");
+    let mut rows: Vec<Vec<usize>> = vec![Vec::new(); max_row + 1];
+    for (r, c) in sorted {
+        rows[r].push(c);
+    }
+    let mut out = String::new();
+    let emit = |out: &mut String, n: usize, ch: char| {
+        if n == 0 {
+            return;
+        }
+        if n > 1 {
+            out.push_str(&n.to_string());
+        }
+        out.push(ch);
+    };
+    for (i, cols) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push('$');
+        }
+        let mut at = 0usize;
+        let mut run = 0usize;
+        for &c in cols {
+            if c > at {
+                emit(&mut out, run, 'o');
+                run = 0;
+                emit(&mut out, c - at, 'b');
+                at = c;
+            }
+            run += 1;
+            at += 1;
+        }
+        emit(&mut out, run, 'o');
+    }
+    out.push('!');
+    out
+}
+
+/// What a bounded evolution search found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Evolution {
+    /// Returns exactly to the start state every `period` generations.
+    Oscillator {
+        /// The period (1 = still life).
+        period: usize,
+    },
+    /// Returns to a translated copy of itself: a spaceship.
+    Spaceship {
+        /// Generations per translation cycle.
+        period: usize,
+        /// Row displacement per cycle (toroidal).
+        dr: usize,
+        /// Column displacement per cycle (toroidal).
+        dc: usize,
+    },
+    /// Died out completely.
+    Dies {
+        /// Generation at which the grid emptied.
+        at: usize,
+    },
+    /// No repetition found within the search bound.
+    Aperiodic,
+}
+
+/// Classifies a grid's evolution within `max_generations` on its torus.
+pub fn classify_evolution(grid: &Grid, max_generations: usize) -> Evolution {
+    let start = grid.clone();
+    let start_cells = cells_of(&start);
+    let mut current = grid.clone();
+    let mut seen: HashMap<Vec<(usize, usize)>, usize> = HashMap::new();
+    for gen in 1..=max_generations {
+        let (next, _) = crate::serial::step(&current);
+        current = next;
+        if current.population() == 0 {
+            return Evolution::Dies { at: gen };
+        }
+        if current == start {
+            return Evolution::Oscillator { period: gen };
+        }
+        // Translated copy? Compare normalized shapes.
+        let cells = cells_of(&current);
+        if same_shape(&start_cells, &cells) {
+            let dr = (cells[0].0 + current.rows() - start_cells[0].0) % current.rows();
+            let dc = (cells[0].1 + current.cols() - start_cells[0].1) % current.cols();
+            if dr != 0 || dc != 0 {
+                return Evolution::Spaceship { period: gen, dr, dc };
+            }
+        }
+        let _ = seen.insert(cells, gen);
+    }
+    Evolution::Aperiodic
+}
+
+fn cells_of(g: &Grid) -> Vec<(usize, usize)> {
+    let mut v = Vec::new();
+    for r in 0..g.rows() {
+        for c in 0..g.cols() {
+            if g.get(r, c) {
+                v.push((r, c));
+            }
+        }
+    }
+    v
+}
+
+/// True if `b` is `a` translated on the torus (same cardinality + same
+/// pairwise structure relative to the first cell).
+fn same_shape(a: &[(usize, usize)], b: &[(usize, usize)]) -> bool {
+    if a.len() != b.len() || a.is_empty() {
+        return false;
+    }
+    let (ar, ac) = a[0];
+    let (br, bc) = b[0];
+    a.iter().zip(b).all(|(&(r1, c1), &(r2, c2))| {
+        // Equal offsets from the anchor (no wraparound handling needed as
+        // long as the pattern doesn't straddle the seam; callers use
+        // roomy grids).
+        (r1 as i64 - ar as i64, c1 as i64 - ac as i64)
+            == (r2 as i64 - br as i64, c2 as i64 - bc as i64)
+    })
+}
+
+/// The Gosper glider gun (period 30, emits a glider per period) in RLE.
+pub const GOSPER_GUN_RLE: &str = "\
+#N Gosper glider gun
+x = 36, y = 9
+24bo$22bobo$12b2o6b2o12b2o$11bo3bo4b2o12b2o$2o8bo5bo3b2o$2o8bo3bob2o4b
+obo$10bo5bo7bo$11bo3bo$12b2o!";
+
+/// Builds a grid containing a pattern with margins on all sides.
+pub fn grid_with_pattern(
+    cells: &[(usize, usize)],
+    margin: usize,
+    boundary: Boundary,
+) -> Result<Grid, GridError> {
+    let max_r = cells.iter().map(|c| c.0).max().unwrap_or(0);
+    let max_c = cells.iter().map(|c| c.1).max().unwrap_or(0);
+    let mut g = Grid::new(max_r + 2 * margin + 1, max_c + 2 * margin + 1, boundary)?;
+    for &(r, c) in cells {
+        g.set(r + margin, c + margin, true);
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{BLINKER, BLOCK, GLIDER, TOAD};
+
+    #[test]
+    fn rle_roundtrip_glider() {
+        let rle = to_rle(GLIDER);
+        let back = parse_rle(&format!("x = 3, y = 3\n{rle}")).unwrap();
+        let mut expect = GLIDER.to_vec();
+        expect.sort_unstable();
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn rle_parses_counts_and_rows() {
+        // "3o$bo!" = row of three, then one offset cell.
+        let cells = parse_rle("x = 3, y = 2\n3o$bo!").unwrap();
+        assert_eq!(cells, vec![(0, 0), (0, 1), (0, 2), (1, 1)]);
+        // Multi-digit count and multi-row skip.
+        let cells = parse_rle("x=12,y=3\n12o2$o!").unwrap();
+        assert_eq!(cells.len(), 13);
+        assert_eq!(cells[12], (2, 0));
+    }
+
+    #[test]
+    fn rle_errors() {
+        assert!(parse_rle("").is_err());
+        assert!(parse_rle("x = 1, y = 1\nzzz!").is_err());
+        assert!(parse_rle("x = 1, y = 1\n3b!").is_err(), "no live cells");
+    }
+
+    #[test]
+    fn classify_still_life_and_oscillators() {
+        let block = grid_with_pattern(BLOCK, 3, Boundary::Toroidal).unwrap();
+        assert_eq!(classify_evolution(&block, 10), Evolution::Oscillator { period: 1 });
+        let blinker = grid_with_pattern(BLINKER, 3, Boundary::Toroidal).unwrap();
+        assert_eq!(classify_evolution(&blinker, 10), Evolution::Oscillator { period: 2 });
+        let toad = grid_with_pattern(TOAD, 3, Boundary::Toroidal).unwrap();
+        assert_eq!(classify_evolution(&toad, 10), Evolution::Oscillator { period: 2 });
+    }
+
+    #[test]
+    fn classify_glider_as_spaceship() {
+        let g = grid_with_pattern(GLIDER, 6, Boundary::Toroidal).unwrap();
+        match classify_evolution(&g, 10) {
+            Evolution::Spaceship { period: 4, dr: 1, dc: 1 } => {}
+            other => panic!("glider misclassified: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_death() {
+        let mut g = Grid::new(8, 8, Boundary::Dead).unwrap();
+        g.set(1, 1, true);
+        g.set(5, 5, true);
+        assert_eq!(classify_evolution(&g, 10), Evolution::Dies { at: 1 });
+    }
+
+    #[test]
+    fn gosper_gun_parses_and_grows() {
+        let cells = parse_rle(GOSPER_GUN_RLE).unwrap();
+        assert_eq!(cells.len(), 36, "the gun has 36 cells");
+        // On a roomy DEAD-boundary grid the gun emits gliders: population
+        // grows past the initial 36 within 2 periods (gliders march off
+        // eventually, but by gen 60 two gliders are in flight).
+        let g = grid_with_pattern(&cells, 12, Boundary::Dead).unwrap();
+        let (after, _) = crate::serial::run(g, 60);
+        assert!(
+            after.population() > 40,
+            "gun should have emitted gliders: {}",
+            after.population()
+        );
+    }
+
+    #[test]
+    fn gun_is_period_30_modulo_emission() {
+        // The gun body itself returns every 30 generations; with gliders
+        // in flight the whole grid isn't periodic, so verify the classic
+        // emission rate instead: population rises by ~5 per 30 gens while
+        // gliders remain on-board.
+        let cells = parse_rle(GOSPER_GUN_RLE).unwrap();
+        let g = grid_with_pattern(&cells, 20, Boundary::Dead).unwrap();
+        let (g30, _) = crate::serial::run(g.clone(), 30);
+        let (g60, _) = crate::serial::run(g.clone(), 60);
+        assert_eq!(g30.population(), 36 + 5, "one glider after 30 gens");
+        assert_eq!(g60.population(), 36 + 10, "two gliders after 60 gens");
+    }
+}

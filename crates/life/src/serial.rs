@@ -1,0 +1,130 @@
+//! The Lab 6 sequential engine — the correctness reference the parallel
+//! version must match ("the assignment allows students to compare
+//! correctness to their prior sequential solution").
+
+use crate::grid::Grid;
+
+/// Per-round statistics (the shared state Lab 10 guards with a mutex).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Cells that went dead → alive this round.
+    pub births: u64,
+    /// Cells that went alive → dead this round.
+    pub deaths: u64,
+    /// Live cells after the round.
+    pub population: u64,
+}
+
+/// Advances the grid one generation, returning the new grid and stats.
+pub fn step(grid: &Grid) -> (Grid, RoundStats) {
+    let mut next = grid.clone();
+    let mut stats = RoundStats::default();
+    for r in 0..grid.rows() {
+        for c in 0..grid.cols() {
+            let alive = grid.get(r, c);
+            let will = Grid::rule(alive, grid.live_neighbors(r, c));
+            next.set(r, c, will);
+            match (alive, will) {
+                (false, true) => stats.births += 1,
+                (true, false) => stats.deaths += 1,
+                _ => {}
+            }
+        }
+    }
+    stats.population = next.population() as u64;
+    (next, stats)
+}
+
+/// Runs `rounds` generations; returns the final grid and per-round stats.
+pub fn run(mut grid: Grid, rounds: usize) -> (Grid, Vec<RoundStats>) {
+    let mut history = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let (next, stats) = step(&grid);
+        grid = next;
+        history.push(stats);
+    }
+    (grid, history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{Boundary, BLINKER, BLOCK, GLIDER, TOAD};
+
+    #[test]
+    fn block_is_still_life() {
+        let mut g = Grid::new(6, 6, Boundary::Toroidal).unwrap();
+        g.stamp(2, 2, BLOCK);
+        let (next, stats) = step(&g);
+        assert_eq!(next, g);
+        assert_eq!(stats.births, 0);
+        assert_eq!(stats.deaths, 0);
+        assert_eq!(stats.population, 4);
+    }
+
+    #[test]
+    fn blinker_oscillates_period_2() {
+        let mut g = Grid::new(5, 5, Boundary::Toroidal).unwrap();
+        g.stamp(2, 1, BLINKER); // horizontal at row 2
+        let (g1, s1) = step(&g);
+        assert_ne!(g1, g, "rotated to vertical");
+        assert_eq!(s1.population, 3);
+        assert_eq!(s1.births, 2);
+        assert_eq!(s1.deaths, 2);
+        let (g2, _) = step(&g1);
+        assert_eq!(g2, g, "period 2");
+    }
+
+    #[test]
+    fn toad_oscillates_period_2() {
+        let mut g = Grid::new(8, 8, Boundary::Toroidal).unwrap();
+        g.stamp(3, 2, TOAD);
+        let (g1, _) = step(&g);
+        let (g2, _) = step(&g1);
+        assert_eq!(g2, g);
+        assert_ne!(g1, g);
+    }
+
+    #[test]
+    fn glider_translates_by_1_1_every_4_rounds() {
+        let mut g = Grid::new(16, 16, Boundary::Toroidal).unwrap();
+        g.stamp(2, 2, GLIDER);
+        let (g4, _) = run(g.clone(), 4);
+        let mut expected = Grid::new(16, 16, Boundary::Toroidal).unwrap();
+        expected.stamp(3, 3, GLIDER);
+        assert_eq!(g4, expected);
+        assert_eq!(g4.population(), 5);
+    }
+
+    #[test]
+    fn empty_grid_stays_empty() {
+        let g = Grid::new(10, 10, Boundary::Dead).unwrap();
+        let (final_grid, history) = run(g, 5);
+        assert_eq!(final_grid.population(), 0);
+        assert!(history.iter().all(|s| s.population == 0 && s.births == 0));
+    }
+
+    #[test]
+    fn lone_cell_dies() {
+        let mut g = Grid::new(4, 4, Boundary::Dead).unwrap();
+        g.set(1, 1, true);
+        let (next, stats) = step(&g);
+        assert_eq!(next.population(), 0);
+        assert_eq!(stats.deaths, 1);
+    }
+
+    #[test]
+    fn glider_wraps_on_torus_but_dies_at_dead_edge_corner() {
+        // On a tiny toroidal grid the glider survives forever (wraps); with
+        // dead boundaries gliders perish or degrade at the wall.
+        let mut torus = Grid::new(8, 8, Boundary::Toroidal).unwrap();
+        torus.stamp(5, 5, GLIDER);
+        let (after, _) = run(torus, 40);
+        assert_eq!(after.population(), 5, "glider intact on torus");
+
+        let mut walled = Grid::new(8, 8, Boundary::Dead).unwrap();
+        walled.stamp(5, 5, GLIDER);
+        let (after, _) = run(walled, 40);
+        assert_ne!(after.population(), 5, "wall collision deformed it");
+    }
+}

@@ -1,0 +1,139 @@
+//! ParaVis-style visualization (ref. \[6\]): ASCII frames for terminals and PPM
+//! images, with per-thread regions in distinct colours — "visualizing the
+//! assignment in this way helps students to debug thread partitioning
+//! problems" (§III-B Lab 10).
+
+use crate::grid::{Grid, Partition};
+use crate::parallel::bands;
+
+/// Renders the grid as ASCII (`#` alive, `.` dead).
+pub fn ascii(grid: &Grid) -> String {
+    let mut out = String::with_capacity((grid.cols() + 1) * grid.rows());
+    for r in 0..grid.rows() {
+        for c in 0..grid.cols() {
+            out.push(if grid.get(r, c) { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders ASCII with live cells labelled by their owning thread
+/// (`0`–`9a`–`z`), dead cells as `.` — the partition-debugging view.
+pub fn ascii_threads(grid: &Grid, threads: usize, partition: Partition) -> String {
+    let my_bands = bands(grid.rows(), grid.cols(), threads, partition);
+    let owner = |r: usize, c: usize| -> usize {
+        my_bands
+            .iter()
+            .find(|b| r >= b.r0 && r < b.r1 && c >= b.c0 && c < b.c1)
+            .map(|b| b.thread)
+            .unwrap_or(0)
+    };
+    let glyph = |t: usize| -> char {
+        let digits = "0123456789abcdefghijklmnopqrstuvwxyz";
+        digits.chars().nth(t % digits.len()).expect("glyph exists")
+    };
+    let mut out = String::new();
+    for r in 0..grid.rows() {
+        for c in 0..grid.cols() {
+            out.push(if grid.get(r, c) { glyph(owner(r, c)) } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Distinct RGB colour for thread `t` (golden-angle hue walk).
+pub fn thread_color(t: usize) -> (u8, u8, u8) {
+    let hue = (t as f64 * 137.508) % 360.0;
+    hsv_to_rgb(hue, 0.75, 0.95)
+}
+
+fn hsv_to_rgb(h: f64, s: f64, v: f64) -> (u8, u8, u8) {
+    let c = v * s;
+    let hp = h / 60.0;
+    let x = c * (1.0 - (hp % 2.0 - 1.0).abs());
+    let (r, g, b) = match hp as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    let m = v - c;
+    (
+        ((r + m) * 255.0) as u8,
+        ((g + m) * 255.0) as u8,
+        ((b + m) * 255.0) as u8,
+    )
+}
+
+/// Writes a plain-text PPM (P3) frame: live cells in their owning
+/// thread's colour, dead cells near-black.
+pub fn ppm(grid: &Grid, threads: usize, partition: Partition) -> String {
+    let my_bands = bands(grid.rows(), grid.cols(), threads, partition);
+    let mut out = format!("P3\n{} {}\n255\n", grid.cols(), grid.rows());
+    for r in 0..grid.rows() {
+        for c in 0..grid.cols() {
+            let (cr, cg, cb) = if grid.get(r, c) {
+                let t = my_bands
+                    .iter()
+                    .find(|b| r >= b.r0 && r < b.r1 && c >= b.c0 && c < b.c1)
+                    .map(|b| b.thread)
+                    .unwrap_or(0);
+                thread_color(t)
+            } else {
+                (16, 16, 16)
+            };
+            out.push_str(&format!("{cr} {cg} {cb} "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{Boundary, BLOCK};
+
+    fn block_grid() -> Grid {
+        let mut g = Grid::new(4, 4, Boundary::Toroidal).unwrap();
+        g.stamp(1, 1, BLOCK);
+        g
+    }
+
+    #[test]
+    fn ascii_renders_shape() {
+        let a = ascii(&block_grid());
+        assert_eq!(a, "....\n.##.\n.##.\n....\n");
+    }
+
+    #[test]
+    fn thread_view_labels_by_band() {
+        // 4 rows, 2 threads, row partition: rows 0-1 thread 0, rows 2-3 thread 1.
+        let a = ascii_threads(&block_grid(), 2, Partition::Rows);
+        assert_eq!(a, "....\n.00.\n.11.\n....\n");
+        let b = ascii_threads(&block_grid(), 2, Partition::Columns);
+        assert_eq!(b, "....\n.01.\n.01.\n....\n");
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let p = ppm(&block_grid(), 2, Partition::Rows);
+        assert!(p.starts_with("P3\n4 4\n255\n"));
+        // 16 pixels × 3 components.
+        let nums: Vec<&str> = p.lines().skip(3).flat_map(|l| l.split_whitespace()).collect();
+        assert_eq!(nums.len(), 48);
+    }
+
+    #[test]
+    fn thread_colors_distinct() {
+        let colors: Vec<_> = (0..16).map(thread_color).collect();
+        let mut unique = colors.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 16, "16 distinct thread colours");
+    }
+}

@@ -1,0 +1,181 @@
+//! Address division: tag / index / offset.
+//!
+//! "We pay particular attention to how various cache parameters like the
+//! block size and number of lines affect address division into the tag,
+//! index, and offset" (§III-A *Caching*). [`AddressLayout`] is that
+//! division as a first-class value, with pretty-printing for homework
+//! solutions.
+
+use crate::MemSimError;
+
+/// How a cache geometry divides an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressLayout {
+    /// Bits of block offset (log2 of block size).
+    pub offset_bits: u32,
+    /// Bits of set index (log2 of the number of sets).
+    pub index_bits: u32,
+    /// Address width in bits (default 32 in course materials).
+    pub addr_bits: u32,
+}
+
+/// The three fields extracted from one address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitAddress {
+    /// Tag bits (the high bits).
+    pub tag: u64,
+    /// Set index.
+    pub index: u64,
+    /// Byte offset within the block.
+    pub offset: u64,
+}
+
+impl AddressLayout {
+    /// Builds a layout from cache geometry. Both parameters must be
+    /// nonzero powers of two.
+    pub fn new(num_sets: u64, block_size: u64) -> Result<AddressLayout, MemSimError> {
+        AddressLayout::with_addr_bits(num_sets, block_size, 32)
+    }
+
+    /// As [`AddressLayout::new`] with an explicit address width.
+    pub fn with_addr_bits(
+        num_sets: u64,
+        block_size: u64,
+        addr_bits: u32,
+    ) -> Result<AddressLayout, MemSimError> {
+        for (what, v) in [("num_sets", num_sets), ("block_size", block_size)] {
+            if v == 0 {
+                return Err(MemSimError::Zero(what));
+            }
+            if !v.is_power_of_two() {
+                return Err(MemSimError::NotPowerOfTwo { what, value: v });
+            }
+        }
+        Ok(AddressLayout {
+            offset_bits: block_size.trailing_zeros(),
+            index_bits: num_sets.trailing_zeros(),
+            addr_bits,
+        })
+    }
+
+    /// Tag width in bits.
+    pub fn tag_bits(&self) -> u32 {
+        self.addr_bits - self.index_bits - self.offset_bits
+    }
+
+    /// Splits an address into (tag, index, offset).
+    pub fn split(&self, addr: u64) -> SplitAddress {
+        let offset = addr & ((1u64 << self.offset_bits) - 1);
+        let index = (addr >> self.offset_bits) & ((1u64 << self.index_bits) - 1);
+        let index = if self.index_bits == 0 { 0 } else { index };
+        let tag = addr >> (self.offset_bits + self.index_bits);
+        SplitAddress { tag, index, offset }
+    }
+
+    /// Reassembles an address from fields (inverse of [`AddressLayout::split`]).
+    pub fn join(&self, s: SplitAddress) -> u64 {
+        (s.tag << (self.offset_bits + self.index_bits)) | (s.index << self.offset_bits) | s.offset
+    }
+
+    /// The block-aligned base address containing `addr`.
+    pub fn block_base(&self, addr: u64) -> u64 {
+        addr & !((1u64 << self.offset_bits) - 1)
+    }
+
+    /// Homework-style rendering: `tag[31:10] index[9:4] offset[3:0]`.
+    pub fn describe(&self) -> String {
+        let hi = self.addr_bits - 1;
+        let idx_hi = self.offset_bits + self.index_bits;
+        if self.index_bits == 0 {
+            format!(
+                "tag[{hi}:{idx_hi}] (no index: fully associative) offset[{}:0]",
+                self.offset_bits.saturating_sub(1)
+            )
+        } else {
+            format!(
+                "tag[{hi}:{idx_hi}] index[{}:{}] offset[{}:0]",
+                idx_hi - 1,
+                self.offset_bits,
+                self.offset_bits.saturating_sub(1)
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_homework_layout() {
+        // 64 sets, 16-byte blocks, 32-bit addresses: offset 4, index 6, tag 22.
+        let l = AddressLayout::new(64, 16).unwrap();
+        assert_eq!(l.offset_bits, 4);
+        assert_eq!(l.index_bits, 6);
+        assert_eq!(l.tag_bits(), 22);
+        let s = l.split(0x1234);
+        // 0x1234 = 0b1_0010_0011_0100: offset 0x4, index 0b100011=35, tag 4.
+        assert_eq!(s.offset, 0x4);
+        assert_eq!(s.index, 35);
+        assert_eq!(s.tag, 4);
+    }
+
+    #[test]
+    fn fully_associative_has_no_index() {
+        let l = AddressLayout::new(1, 64).unwrap();
+        assert_eq!(l.index_bits, 0);
+        assert_eq!(l.split(0xFFFF).index, 0);
+        assert!(l.describe().contains("fully associative"));
+    }
+
+    #[test]
+    fn describe_format() {
+        let l = AddressLayout::new(64, 16).unwrap();
+        assert_eq!(l.describe(), "tag[31:10] index[9:4] offset[3:0]");
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(matches!(
+            AddressLayout::new(0, 16),
+            Err(MemSimError::Zero("num_sets"))
+        ));
+        assert!(matches!(
+            AddressLayout::new(48, 16),
+            Err(MemSimError::NotPowerOfTwo { what: "num_sets", value: 48 })
+        ));
+        assert!(AddressLayout::new(64, 24).is_err());
+    }
+
+    #[test]
+    fn block_base_alignment() {
+        let l = AddressLayout::new(4, 16).unwrap();
+        assert_eq!(l.block_base(0x1234), 0x1230);
+        assert_eq!(l.block_base(0x1230), 0x1230);
+        assert_eq!(l.block_base(0x123F), 0x1230);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_join_roundtrip(
+            sets_pow in 0u32..10, block_pow in 0u32..8, addr in any::<u32>()
+        ) {
+            let l = AddressLayout::new(1 << sets_pow, 1 << block_pow).unwrap();
+            let s = l.split(addr as u64);
+            prop_assert_eq!(l.join(s), addr as u64);
+        }
+
+        #[test]
+        fn prop_same_block_same_index_tag(
+            sets_pow in 1u32..10, block_pow in 2u32..8, addr in any::<u32>()
+        ) {
+            let l = AddressLayout::new(1 << sets_pow, 1 << block_pow).unwrap();
+            let base = l.block_base(addr as u64);
+            let a = l.split(addr as u64);
+            let b = l.split(base);
+            prop_assert_eq!(a.tag, b.tag);
+            prop_assert_eq!(a.index, b.index);
+        }
+    }
+}

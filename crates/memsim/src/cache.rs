@@ -1,0 +1,619 @@
+//! The trace-driven cache simulator.
+//!
+//! Supports the whole design space the course explores: direct-mapped
+//! through fully associative, LRU (the policy the class "primarily
+//! concentrates on"), FIFO and Random for the brainstorming exercise,
+//! and the write-policy matrix (write-through/write-back × write-allocate/
+//! no-allocate). Every access returns a full [`AccessOutcome`] so homework
+//! tables fall straight out.
+
+use crate::addr::AddressLayout;
+use crate::trace::{AccessKind, AccessOutcome, TraceEvent};
+use crate::MemSimError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Replacement policies the course discusses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplacementPolicy {
+    /// Least recently used — "connects to the locality intuition".
+    Lru,
+    /// First-in first-out (insertion order).
+    Fifo,
+    /// Uniform random (seeded; deterministic per cache instance).
+    Random,
+}
+
+/// What stores do on a hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// Every store goes to memory immediately.
+    WriteThrough,
+    /// Stores dirty the line; memory is updated on eviction.
+    WriteBack,
+}
+
+/// What stores do on a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteAllocate {
+    /// Fetch the block into the cache, then write.
+    Allocate,
+    /// Write straight to memory; the cache is unchanged.
+    NoAllocate,
+}
+
+/// Cache geometry and policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub num_sets: u64,
+    /// Lines per set (associativity; 1 = direct-mapped).
+    pub ways: u64,
+    /// Block (line) size in bytes (power of two).
+    pub block_size: u64,
+    /// Replacement policy for associative sets.
+    pub replacement: ReplacementPolicy,
+    /// Store hit behaviour.
+    pub write_policy: WritePolicy,
+    /// Store miss behaviour.
+    pub write_allocate: WriteAllocate,
+    /// Hit latency in cycles (for AMAT; default 1).
+    pub hit_time: u64,
+    /// Miss penalty in cycles (time to reach the next level; default 100).
+    pub miss_penalty: u64,
+    /// Next-line prefetch: on a demand miss, also fetch the following
+    /// block (the simplest hardware prefetcher; exploits unit stride).
+    pub prefetch_next_line: bool,
+}
+
+impl CacheConfig {
+    /// A direct-mapped, write-back/allocate, LRU-irrelevant config — the
+    /// first design the course teaches.
+    pub fn direct_mapped(num_sets: u64, block_size: u64) -> CacheConfig {
+        CacheConfig {
+            num_sets,
+            ways: 1,
+            block_size,
+            replacement: ReplacementPolicy::Lru,
+            write_policy: WritePolicy::WriteBack,
+            write_allocate: WriteAllocate::Allocate,
+            hit_time: 1,
+            miss_penalty: 100,
+            prefetch_next_line: false,
+        }
+    }
+
+    /// An n-way set-associative LRU config ("primarily two-way" in class).
+    pub fn set_associative(num_sets: u64, ways: u64, block_size: u64) -> CacheConfig {
+        CacheConfig { num_sets, ways, ..CacheConfig::direct_mapped(num_sets, block_size) }
+    }
+
+    /// A fully associative config (one set holding `ways` lines).
+    pub fn fully_associative(ways: u64, block_size: u64) -> CacheConfig {
+        CacheConfig::set_associative(1, ways, block_size)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.num_sets * self.ways * self.block_size
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    /// LRU timestamp or FIFO insertion stamp.
+    stamp: u64,
+    /// Brought in by the prefetcher and not yet demanded.
+    prefetched: bool,
+}
+
+/// Aggregate statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Evictions of valid lines.
+    pub evictions: u64,
+    /// Dirty write-backs to memory.
+    pub writebacks: u64,
+    /// Accesses that reached memory (miss fills + write-through stores +
+    /// no-allocate store misses).
+    pub memory_accesses: u64,
+    /// Blocks fetched speculatively by the next-line prefetcher.
+    pub prefetches: u64,
+    /// Prefetched blocks that were later demanded (useful prefetches).
+    pub prefetch_hits: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Miss rate in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The cache simulator.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    /// Configuration (geometry + policies).
+    pub config: CacheConfig,
+    layout: AddressLayout,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+    rng: StdRng,
+}
+
+impl Cache {
+    /// Builds a cache, validating the geometry.
+    pub fn new(config: CacheConfig) -> Result<Cache, MemSimError> {
+        if config.ways == 0 {
+            return Err(MemSimError::Zero("ways"));
+        }
+        let layout = AddressLayout::new(config.num_sets, config.block_size)?;
+        Ok(Cache {
+            config,
+            layout,
+            sets: vec![vec![Line::default(); config.ways as usize]; config.num_sets as usize],
+            clock: 0,
+            stats: CacheStats::default(),
+            rng: StdRng::seed_from_u64(0x5CA1_AB1E),
+        })
+    }
+
+    /// The address layout this cache implies.
+    pub fn layout(&self) -> AddressLayout {
+        self.layout
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Average memory access time under the config's latency model.
+    pub fn amat(&self) -> f64 {
+        self.config.hit_time as f64 + self.stats.miss_rate() * self.config.miss_penalty as f64
+    }
+
+    /// Total simulated cycles for the accesses so far.
+    pub fn total_cycles(&self) -> u64 {
+        self.stats.accesses * self.config.hit_time + self.stats.misses * self.config.miss_penalty
+    }
+
+    /// Resets statistics (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Performs one access, updating state and stats.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessOutcome {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let split = self.layout.split(addr);
+        let set_idx = split.index as usize;
+        let replacement = self.config.replacement;
+        let write_policy = self.config.write_policy;
+        let write_allocate = self.config.write_allocate;
+
+        let mut outcome = AccessOutcome {
+            addr,
+            kind,
+            hit: false,
+            set: split.index,
+            tag: split.tag,
+            evicted: None,
+            wrote_back: false,
+            touched_memory: false,
+        };
+
+        // Hit path.
+        if let Some(way) = self.sets[set_idx]
+            .iter()
+            .position(|l| l.valid && l.tag == split.tag)
+        {
+            let clock = self.clock;
+            let line = &mut self.sets[set_idx][way];
+            outcome.hit = true;
+            self.stats.hits += 1;
+            if line.prefetched {
+                line.prefetched = false;
+                self.stats.prefetch_hits += 1;
+            }
+            if replacement == ReplacementPolicy::Lru {
+                line.stamp = clock;
+            }
+            if kind == AccessKind::Store {
+                match write_policy {
+                    WritePolicy::WriteBack => line.dirty = true,
+                    WritePolicy::WriteThrough => {
+                        outcome.touched_memory = true;
+                        self.stats.memory_accesses += 1;
+                    }
+                }
+            }
+            return outcome;
+        }
+
+        // Miss path.
+        self.stats.misses += 1;
+        let allocate = kind == AccessKind::Load || write_allocate == WriteAllocate::Allocate;
+        outcome.touched_memory = true;
+        self.stats.memory_accesses += 1;
+
+        if !allocate {
+            // Store miss, no-allocate: write straight through to memory.
+            return outcome;
+        }
+
+        // Choose a victim: an invalid way if any, else per policy.
+        let victim_way = if let Some(w) = self.sets[set_idx].iter().position(|l| !l.valid) {
+            w
+        } else {
+            match replacement {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                    // Both evict the smallest stamp; they differ in when the
+                    // stamp is refreshed (LRU on every touch, FIFO never).
+                    self.sets[set_idx]
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.stamp)
+                        .map(|(w, _)| w)
+                        .expect("sets are nonempty")
+                }
+                ReplacementPolicy::Random => {
+                    self.rng.gen_range(0..self.sets[set_idx].len())
+                }
+            }
+        };
+
+        let clock = self.clock;
+        let victim = &mut self.sets[set_idx][victim_way];
+        if victim.valid {
+            self.stats.evictions += 1;
+            outcome.evicted = Some(victim.tag);
+            if victim.dirty {
+                self.stats.writebacks += 1;
+                self.stats.memory_accesses += 1;
+                outcome.wrote_back = true;
+            }
+        }
+        *victim = Line {
+            valid: true,
+            dirty: kind == AccessKind::Store && write_policy == WritePolicy::WriteBack,
+            tag: split.tag,
+            stamp: clock,
+            prefetched: false,
+        };
+        if kind == AccessKind::Store && write_policy == WritePolicy::WriteThrough {
+            // Allocate + write-through: the store also goes to memory
+            // (already counted above as the miss fill; count the store too).
+            self.stats.memory_accesses += 1;
+        }
+        if self.config.prefetch_next_line {
+            self.prefetch_block(self.layout.block_base(addr) + self.config.block_size);
+        }
+        outcome
+    }
+
+    /// Speculatively fetches the block containing `addr` (no demand-access
+    /// accounting; evicts per policy like any fill).
+    fn prefetch_block(&mut self, addr: u64) {
+        let split = self.layout.split(addr);
+        let set_idx = split.index as usize;
+        if self.sets[set_idx].iter().any(|l| l.valid && l.tag == split.tag) {
+            return; // already resident
+        }
+        self.stats.prefetches += 1;
+        self.stats.memory_accesses += 1;
+        let victim_way = if let Some(w) = self.sets[set_idx].iter().position(|l| !l.valid) {
+            w
+        } else {
+            match self.config.replacement {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => self.sets[set_idx]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.stamp)
+                    .map(|(w, _)| w)
+                    .expect("sets are nonempty"),
+                ReplacementPolicy::Random => self.rng.gen_range(0..self.sets[set_idx].len()),
+            }
+        };
+        let clock = self.clock;
+        let victim = &mut self.sets[set_idx][victim_way];
+        if victim.valid {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.writebacks += 1;
+                self.stats.memory_accesses += 1;
+            }
+        }
+        *victim = Line { valid: true, dirty: false, tag: split.tag, stamp: clock, prefetched: true };
+    }
+
+    /// Renders the cache contents as the homework's state diagram:
+    /// one row per set, `V D tag` per way (`-` for invalid ways).
+    pub fn render_contents(&self) -> String {
+        let mut out = format!(
+            "cache state ({} sets x {} way(s), {}B blocks):\n",
+            self.config.num_sets, self.config.ways, self.config.block_size
+        );
+        for (i, set) in self.sets.iter().enumerate() {
+            out.push_str(&format!("  set {i:>3}:"));
+            for line in set {
+                if line.valid {
+                    out.push_str(&format!(
+                        "  [V{} tag {:#x}]",
+                        if line.dirty { " D" } else { "  " },
+                        line.tag
+                    ));
+                } else {
+                    out.push_str("  [------]");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Runs a whole trace, returning per-access outcomes.
+    pub fn run_trace(&mut self, trace: &[TraceEvent]) -> Vec<AccessOutcome> {
+        trace.iter().map(|e| self.access(e.addr, e.kind)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dm_cache() -> Cache {
+        // 4 sets × 16-byte blocks, direct-mapped: the whiteboard example.
+        Cache::new(CacheConfig::direct_mapped(4, 16)).unwrap()
+    }
+
+    #[test]
+    fn cold_miss_then_hit_then_spatial_hit() {
+        let mut c = dm_cache();
+        assert!(!c.access(0x100, AccessKind::Load).hit);
+        assert!(c.access(0x100, AccessKind::Load).hit);
+        assert!(c.access(0x10F, AccessKind::Load).hit, "same 16-byte block");
+        assert!(!c.access(0x110, AccessKind::Load).hit, "next block");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_thrashing() {
+        // Two addresses with the same index but different tags evict each
+        // other forever — the classic direct-mapped pathology.
+        let mut c = dm_cache();
+        let a = 0x000; // set 0
+        let b = 0x040; // 4 sets * 16B = 64 bytes apart: same set 0
+        for _ in 0..10 {
+            assert!(!c.access(a, AccessKind::Load).hit);
+            assert!(!c.access(b, AccessKind::Load).hit);
+        }
+        assert_eq!(c.stats().hits, 0);
+        // 20 accesses: the first fills an invalid line, the rest all evict.
+        assert_eq!(c.stats().evictions, 19);
+    }
+
+    #[test]
+    fn two_way_fixes_the_conflict() {
+        // Same trace, 2-way: both lines fit in set 0.
+        let mut c = Cache::new(CacheConfig::set_associative(2, 2, 16)).unwrap();
+        let a = 0x000;
+        let b = 0x040; // 2 sets * 16B = 32B stride... recompute: same set ⇔
+                       // (addr/16) % 2 equal: 0x000→set0, 0x040→set0. Yes.
+        c.access(a, AccessKind::Load);
+        c.access(b, AccessKind::Load);
+        for _ in 0..10 {
+            assert!(c.access(a, AccessKind::Load).hit);
+            assert!(c.access(b, AccessKind::Load).hit);
+        }
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 1 set, 2 ways, 16B blocks. Touch A, B, A, then C: B must go.
+        let mut c = Cache::new(CacheConfig::fully_associative(2, 16)).unwrap();
+        let (a, b, cc) = (0x00, 0x10, 0x20);
+        c.access(a, AccessKind::Load);
+        c.access(b, AccessKind::Load);
+        c.access(a, AccessKind::Load); // refresh A
+        let out = c.access(cc, AccessKind::Load);
+        assert_eq!(out.evicted, Some(c.layout().split(b).tag));
+        assert!(c.access(a, AccessKind::Load).hit, "A survived");
+        assert!(!c.access(b, AccessKind::Load).hit, "B was evicted");
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        // Same sequence under FIFO: A is oldest, so A goes despite refresh.
+        let mut cfg = CacheConfig::fully_associative(2, 16);
+        cfg.replacement = ReplacementPolicy::Fifo;
+        let mut c = Cache::new(cfg).unwrap();
+        let (a, b, cc) = (0x00, 0x10, 0x20);
+        c.access(a, AccessKind::Load);
+        c.access(b, AccessKind::Load);
+        c.access(a, AccessKind::Load);
+        let out = c.access(cc, AccessKind::Load);
+        assert_eq!(out.evicted, Some(c.layout().split(a).tag));
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic_per_instance() {
+        let mut cfg = CacheConfig::fully_associative(4, 16);
+        cfg.replacement = ReplacementPolicy::Random;
+        let trace: Vec<TraceEvent> = (0..200).map(|i| TraceEvent::load(i * 16)).collect();
+        let mut c1 = Cache::new(cfg).unwrap();
+        let mut c2 = Cache::new(cfg).unwrap();
+        let o1 = c1.run_trace(&trace);
+        let o2 = c2.run_trace(&trace);
+        assert_eq!(o1, o2, "seeded RNG ⇒ reproducible runs");
+    }
+
+    #[test]
+    fn write_back_defers_memory_traffic() {
+        let mut c = dm_cache(); // write-back, allocate
+        c.access(0x100, AccessKind::Store); // miss, fill, dirty
+        c.access(0x100, AccessKind::Store); // hit, dirty (no memory)
+        assert_eq!(c.stats().memory_accesses, 1, "only the fill");
+        // Evict the dirty line: +1 writeback +1 fill.
+        let out = c.access(0x140, AccessKind::Load);
+        assert!(out.wrote_back);
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().memory_accesses, 3);
+    }
+
+    #[test]
+    fn write_through_always_touches_memory() {
+        let mut cfg = CacheConfig::direct_mapped(4, 16);
+        cfg.write_policy = WritePolicy::WriteThrough;
+        let mut c = Cache::new(cfg).unwrap();
+        c.access(0x100, AccessKind::Store); // miss: fill + store = 2
+        c.access(0x100, AccessKind::Store); // hit: store = 1
+        c.access(0x100, AccessKind::Store);
+        assert_eq!(c.stats().memory_accesses, 4);
+        assert_eq!(c.stats().writebacks, 0, "write-through has no dirty lines");
+    }
+
+    #[test]
+    fn no_allocate_store_miss_bypasses() {
+        let mut cfg = CacheConfig::direct_mapped(4, 16);
+        cfg.write_allocate = WriteAllocate::NoAllocate;
+        let mut c = Cache::new(cfg).unwrap();
+        let out = c.access(0x100, AccessKind::Store);
+        assert!(!out.hit && out.touched_memory);
+        // The block was NOT brought in.
+        assert!(!c.access(0x100, AccessKind::Load).hit);
+    }
+
+    #[test]
+    fn amat_formula() {
+        let mut c = dm_cache(); // hit 1, penalty 100
+        c.access(0x0, AccessKind::Load); // miss
+        c.access(0x0, AccessKind::Load); // hit
+        // miss rate 0.5 → AMAT = 1 + 0.5*100 = 51
+        assert!((c.amat() - 51.0).abs() < 1e-9);
+        assert_eq!(c.total_cycles(), 2 + 100);
+    }
+
+    #[test]
+    fn capacity_and_validation() {
+        assert_eq!(CacheConfig::set_associative(64, 4, 64).capacity(), 16384);
+        assert!(Cache::new(CacheConfig::direct_mapped(3, 16)).is_err());
+        let mut cfg = CacheConfig::direct_mapped(4, 16);
+        cfg.ways = 0;
+        assert!(matches!(Cache::new(cfg), Err(MemSimError::Zero("ways"))));
+    }
+
+    #[test]
+    fn prefetcher_halves_sequential_misses() {
+        let trace: Vec<TraceEvent> = (0..128u64).map(|i| TraceEvent::load(i * 64)).collect();
+        let mut plain = Cache::new(CacheConfig::direct_mapped(64, 64)).unwrap();
+        plain.run_trace(&trace);
+        let mut cfg = CacheConfig::direct_mapped(64, 64);
+        cfg.prefetch_next_line = true;
+        let mut pf = Cache::new(cfg).unwrap();
+        pf.run_trace(&trace);
+        assert_eq!(plain.stats().misses, 128, "cold sequential: all miss");
+        assert_eq!(pf.stats().misses, 64, "next-line hides every other miss");
+        assert!(pf.stats().prefetch_hits >= 63, "{:?}", pf.stats());
+    }
+
+    #[test]
+    fn prefetcher_useless_on_random_far_strides() {
+        // Stride of 3 blocks: the prefetched next line is never demanded.
+        let trace: Vec<TraceEvent> = (0..64u64).map(|i| TraceEvent::load(i * 192)).collect();
+        let mut cfg = CacheConfig::set_associative(16, 4, 64);
+        cfg.prefetch_next_line = true;
+        let mut c = Cache::new(cfg).unwrap();
+        c.run_trace(&trace);
+        assert_eq!(c.stats().prefetch_hits, 0, "nothing useful");
+        assert_eq!(c.stats().prefetches, 64, "but plenty of wasted traffic");
+    }
+
+    #[test]
+    fn prefetch_does_not_perturb_demand_accounting() {
+        let mut cfg = CacheConfig::direct_mapped(8, 64);
+        cfg.prefetch_next_line = true;
+        let mut c = Cache::new(cfg).unwrap();
+        c.access(0, AccessKind::Load);
+        let s = c.stats();
+        assert_eq!(s.accesses, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.prefetches, 1);
+        assert_eq!(s.memory_accesses, 2, "demand fill + prefetch fill");
+    }
+
+    #[test]
+    fn contents_diagram_shows_valid_and_dirty() {
+        let mut c = Cache::new(CacheConfig::direct_mapped(4, 16)).unwrap();
+        c.access(0x00, AccessKind::Load);
+        c.access(0x10, AccessKind::Store);
+        let d = c.render_contents();
+        assert!(d.contains("set   0:  [V   tag 0x0]"), "{d}");
+        assert!(d.contains("set   1:  [V D tag 0x0]"), "{d}");
+        assert!(d.contains("set   2:  [------]"), "{d}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_stats_consistent(addrs in proptest::collection::vec(0u64..0x4000, 1..200)) {
+            let mut c = Cache::new(CacheConfig::set_associative(8, 2, 16)).unwrap();
+            for a in &addrs {
+                let kind = if a % 3 == 0 { AccessKind::Store } else { AccessKind::Load };
+                c.access(*a, kind);
+            }
+            let s = c.stats();
+            prop_assert_eq!(s.hits + s.misses, s.accesses);
+            prop_assert!(s.evictions <= s.misses);
+            prop_assert!(s.writebacks <= s.evictions);
+        }
+
+        #[test]
+        fn prop_repeat_access_always_hits(addr in 0u64..0x10000) {
+            let mut c = Cache::new(CacheConfig::set_associative(16, 2, 32)).unwrap();
+            c.access(addr, AccessKind::Load);
+            prop_assert!(c.access(addr, AccessKind::Load).hit);
+        }
+
+        #[test]
+        fn prop_bigger_cache_never_worse_on_loads(
+            addrs in proptest::collection::vec(0u64..0x2000, 1..300)
+        ) {
+            // LRU caches have the inclusion property: more ways at the same
+            // sets never lose hits on a load-only trace.
+            let mut small = Cache::new(CacheConfig::set_associative(1, 2, 16)).unwrap();
+            let mut big = Cache::new(CacheConfig::set_associative(1, 8, 16)).unwrap();
+            for a in &addrs {
+                small.access(*a, AccessKind::Load);
+                big.access(*a, AccessKind::Load);
+            }
+            prop_assert!(big.stats().hits >= small.stats().hits);
+        }
+    }
+}

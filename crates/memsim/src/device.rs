@@ -1,0 +1,206 @@
+//! Storage device models and the memory-hierarchy table.
+//!
+//! The course "motivate\[s\] our analysis of the memory hierarchy by
+//! describing the wide variety in performance characteristics (e.g.,
+//! access latency, storage density, and cost) across storage devices"
+//! and has students classify devices as primary or secondary (§III-A).
+
+/// Primary (CPU-addressable) vs secondary (OS-mediated) storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageClass {
+    /// Accessed directly by CPU instructions over the memory bus.
+    Primary,
+    /// Accessed through operating system calls.
+    Secondary,
+}
+
+/// A storage technology with course-scale characteristic numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Human name ("DRAM", "SSD", …).
+    pub name: &'static str,
+    /// Typical access latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Typical capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Rough cost in dollars per gigabyte.
+    pub dollars_per_gb: f64,
+    /// Primary or secondary.
+    pub class: StorageClass,
+}
+
+impl Device {
+    /// Bytes per dollar — the density/cost tradeoff in one number.
+    pub fn bytes_per_dollar(&self) -> f64 {
+        if self.dollars_per_gb == 0.0 {
+            f64::INFINITY
+        } else {
+            (1u64 << 30) as f64 / self.dollars_per_gb
+        }
+    }
+}
+
+/// The hierarchy from fast/small/expensive to slow/big/cheap — the
+/// triangle diagram every systems course draws.
+pub fn hierarchy() -> Vec<Device> {
+    vec![
+        Device {
+            name: "registers",
+            latency_ns: 0.3,
+            capacity_bytes: 8 * 4,
+            dollars_per_gb: f64::INFINITY,
+            class: StorageClass::Primary,
+        },
+        Device {
+            name: "L1 cache (SRAM)",
+            latency_ns: 1.0,
+            capacity_bytes: 64 << 10,
+            dollars_per_gb: 5000.0,
+            class: StorageClass::Primary,
+        },
+        Device {
+            name: "L2 cache (SRAM)",
+            latency_ns: 4.0,
+            capacity_bytes: 1 << 20,
+            dollars_per_gb: 2000.0,
+            class: StorageClass::Primary,
+        },
+        Device {
+            name: "main memory (DRAM)",
+            latency_ns: 100.0,
+            capacity_bytes: 16u64 << 30,
+            dollars_per_gb: 5.0,
+            class: StorageClass::Primary,
+        },
+        Device {
+            name: "SSD (flash)",
+            latency_ns: 100_000.0,
+            capacity_bytes: 1u64 << 40,
+            dollars_per_gb: 0.1,
+            class: StorageClass::Secondary,
+        },
+        Device {
+            name: "hard disk",
+            latency_ns: 10_000_000.0,
+            capacity_bytes: 8u64 << 40,
+            dollars_per_gb: 0.02,
+            class: StorageClass::Secondary,
+        },
+    ]
+}
+
+/// Renders the hierarchy as the lecture's comparison table.
+pub fn hierarchy_table() -> String {
+    let mut out = format!(
+        "{:<20} {:>14} {:>14} {:>10} {:<10}\n",
+        "device", "latency (ns)", "capacity", "$/GB", "class"
+    );
+    for d in hierarchy() {
+        let class = match d.class {
+            StorageClass::Primary => "primary",
+            StorageClass::Secondary => "secondary",
+        };
+        out.push_str(&format!(
+            "{:<20} {:>14} {:>14} {:>10} {:<10}\n",
+            d.name,
+            format_sig(d.latency_ns),
+            human_bytes(d.capacity_bytes),
+            if d.dollars_per_gb.is_infinite() {
+                "-".to_string()
+            } else {
+                format!("{:.2}", d.dollars_per_gb)
+            },
+            class
+        ));
+    }
+    out
+}
+
+fn format_sig(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.0}", v)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders byte counts with binary units (KiB/MiB/GiB/TiB).
+pub fn human_bytes(b: u64) -> String {
+    const UNITS: [(&str, u64); 4] =
+        [("TiB", 1 << 40), ("GiB", 1 << 30), ("MiB", 1 << 20), ("KiB", 1 << 10)];
+    for (unit, size) in UNITS {
+        if b >= size {
+            return format!("{} {unit}", b / size);
+        }
+    }
+    format!("{b} B")
+}
+
+/// The "latency if a register access took one second" scaling exercise —
+/// the analogy the course uses to make the gulf visceral.
+pub fn humanized_latency_seconds(device: &Device) -> f64 {
+    let register_ns = 0.3;
+    device.latency_ns / register_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_is_ordered() {
+        let h = hierarchy();
+        assert!(h.len() >= 5);
+        for pair in h.windows(2) {
+            assert!(
+                pair[0].latency_ns < pair[1].latency_ns,
+                "latency must increase down the hierarchy"
+            );
+            assert!(
+                pair[0].capacity_bytes <= pair[1].capacity_bytes,
+                "capacity must grow down the hierarchy"
+            );
+        }
+    }
+
+    #[test]
+    fn classification_matches_course() {
+        let h = hierarchy();
+        let dram = h.iter().find(|d| d.name.contains("DRAM")).unwrap();
+        assert_eq!(dram.class, StorageClass::Primary);
+        let ssd = h.iter().find(|d| d.name.contains("SSD")).unwrap();
+        assert_eq!(ssd.class, StorageClass::Secondary);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = hierarchy_table();
+        assert_eq!(t.lines().count(), hierarchy().len() + 1);
+        assert!(t.contains("hard disk"));
+        assert!(t.contains("secondary"));
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(64 << 10), "64 KiB");
+        assert_eq!(human_bytes(16u64 << 30), "16 GiB");
+        assert_eq!(human_bytes(8u64 << 40), "8 TiB");
+    }
+
+    #[test]
+    fn disk_is_tens_of_millions_of_register_times() {
+        let h = hierarchy();
+        let disk = h.last().unwrap();
+        let ratio = humanized_latency_seconds(disk);
+        assert!(ratio > 1e7, "the gulf the course dramatizes: {ratio}");
+    }
+
+    #[test]
+    fn bytes_per_dollar_monotone_down_hierarchy() {
+        let h = hierarchy();
+        let dram = h.iter().find(|d| d.name.contains("DRAM")).unwrap();
+        let disk = h.last().unwrap();
+        assert!(disk.bytes_per_dollar() > dram.bytes_per_dollar());
+    }
+}

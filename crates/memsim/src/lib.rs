@@ -1,0 +1,75 @@
+//! # memsim — the memory hierarchy and cache simulator
+//!
+//! Covers CS 31's *Memory Hierarchy* and *Caching* modules (§III-A): storage
+//! device characteristics, locality, direct-mapped and set-associative
+//! caches, address division into tag/index/offset, replacement and write
+//! policies, and the classic nested-loop stride exercise.
+//!
+//! * [`device`] — the storage technologies table that motivates the
+//!   hierarchy (registers → SRAM → DRAM → SSD → disk);
+//! * [`addr`] — address splitting: "how various cache parameters like the
+//!   block size and number of lines affect address division into the tag,
+//!   index, and offset" — the course's named source of student confusion;
+//! * [`cache`] — the trace-driven simulator: any associativity from
+//!   direct-mapped to fully associative, LRU/FIFO/Random replacement,
+//!   write-through/write-back × allocate/no-allocate;
+//! * [`multilevel`] — L1+L2 stacks and average memory access time;
+//! * [`optimal`] — Belady's OPT and the compulsory/capacity/conflict
+//!   miss taxonomy (the "how good could any policy be" extension);
+//! * [`patterns`] — workload generators: row-major vs column-major
+//!   2-D traversals (experiment **E3**), sequential, strided, random;
+//! * [`trace`] — homework-style per-access hit/miss/evict tables
+//!   (the HW 7/8 "tracing accesses" exercises).
+//!
+//! ```
+//! use memsim::cache::{Cache, CacheConfig};
+//! use memsim::trace::AccessKind;
+//!
+//! // 64-set direct-mapped cache with 16-byte blocks (1 KiB).
+//! let mut c = Cache::new(CacheConfig::direct_mapped(64, 16)).unwrap();
+//! assert!(!c.access(0x1234, AccessKind::Load).hit);  // cold miss
+//! assert!(c.access(0x1234, AccessKind::Load).hit);   // now cached
+//! assert!(c.access(0x1238, AccessKind::Load).hit);   // same block
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cache;
+pub mod device;
+pub mod multilevel;
+pub mod optimal;
+pub mod patterns;
+pub mod trace;
+
+pub use addr::AddressLayout;
+pub use cache::{Cache, CacheConfig, ReplacementPolicy, WriteAllocate, WritePolicy};
+pub use trace::{AccessKind, TraceEvent};
+
+/// Errors from configuring simulators in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemSimError {
+    /// A size parameter must be a power of two.
+    NotPowerOfTwo {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// A parameter was zero.
+    Zero(&'static str),
+}
+
+impl std::fmt::Display for MemSimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemSimError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            MemSimError::Zero(what) => write!(f, "{what} must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for MemSimError {}

@@ -1,0 +1,160 @@
+//! Multi-level cache hierarchies and average memory access time.
+//!
+//! The course wraps caching by "linking back to our initial introduction
+//! for the memory hierarchy and the ways in which data storage locations
+//! impact system performance" (§III-A). This module stacks two simulated
+//! caches in front of a fixed-latency memory and reports per-level stats
+//! and the end-to-end AMAT.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::trace::{AccessKind, TraceEvent};
+use crate::MemSimError;
+
+/// A two-level cache hierarchy over main memory.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Level-1 cache.
+    pub l1: Cache,
+    /// Level-2 cache.
+    pub l2: Cache,
+    /// Main-memory latency in cycles.
+    pub memory_latency: u64,
+    cycles: u64,
+    accesses: u64,
+}
+
+impl Hierarchy {
+    /// Builds an L1/L2 stack. Conventionally `l1` is small and fast,
+    /// `l2` larger and slower (their `hit_time`s encode that).
+    pub fn new(
+        l1: CacheConfig,
+        l2: CacheConfig,
+        memory_latency: u64,
+    ) -> Result<Hierarchy, MemSimError> {
+        Ok(Hierarchy {
+            l1: Cache::new(l1)?,
+            l2: Cache::new(l2)?,
+            memory_latency,
+            cycles: 0,
+            accesses: 0,
+        })
+    }
+
+    /// One access through the stack; returns the cycles it cost.
+    ///
+    /// L2 is only consulted on an L1 miss; memory only on an L2 miss —
+    /// the "where is the data *now*" question the course keeps asking.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> u64 {
+        self.accesses += 1;
+        let mut cost = self.l1.config.hit_time;
+        let l1_out = self.l1.access(addr, kind);
+        if !l1_out.hit {
+            cost += self.l2.config.hit_time;
+            let l2_out = self.l2.access(addr, kind);
+            if !l2_out.hit {
+                cost += self.memory_latency;
+            }
+        }
+        self.cycles += cost;
+        cost
+    }
+
+    /// Runs a trace; returns total cycles.
+    pub fn run_trace(&mut self, trace: &[TraceEvent]) -> u64 {
+        trace.iter().map(|e| self.access(e.addr, e.kind)).sum()
+    }
+
+    /// Measured average memory access time (cycles per access).
+    pub fn measured_amat(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.accesses as f64
+        }
+    }
+
+    /// The analytic AMAT from the standard recurrence:
+    /// `t1 + m1*(t2 + m2*tmem)` using measured miss rates.
+    pub fn analytic_amat(&self) -> f64 {
+        let m1 = self.l1.stats().miss_rate();
+        let m2 = self.l2.stats().miss_rate();
+        self.l1.config.hit_time as f64
+            + m1 * (self.l2.config.hit_time as f64 + m2 * self.memory_latency as f64)
+    }
+
+    /// Per-level stats `(l1, l2)`.
+    pub fn stats(&self) -> (CacheStats, CacheStats) {
+        (self.l1.stats(), self.l2.stats())
+    }
+}
+
+/// A convenient course-scale default: 4 KiB 2-way L1 (1 cycle),
+/// 64 KiB 8-way L2 (10 cycles), 100-cycle memory.
+pub fn classroom_hierarchy() -> Hierarchy {
+    let mut l1 = CacheConfig::set_associative(32, 2, 64);
+    l1.hit_time = 1;
+    let mut l2 = CacheConfig::set_associative(128, 8, 64);
+    l2.hit_time = 10;
+    Hierarchy::new(l1, l2, 100).expect("classroom geometry is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+
+    #[test]
+    fn l2_catches_l1_capacity_misses() {
+        let mut h = classroom_hierarchy();
+        // Working set: 16 KiB — too big for the 4 KiB L1, fits the 64 KiB L2.
+        let trace = patterns::working_set_trace(0, 16 << 10, 64, 5);
+        h.run_trace(&trace);
+        let (l1, l2) = h.stats();
+        assert!(l1.miss_rate() > 0.9, "L1 thrashes: {}", l1.miss_rate());
+        // After the cold sweep, L2 serves everything.
+        assert!(l2.hit_rate() > 0.7, "L2 rescues: {}", l2.hit_rate());
+    }
+
+    #[test]
+    fn small_working_set_stays_in_l1() {
+        let mut h = classroom_hierarchy();
+        let trace = patterns::working_set_trace(0, 2 << 10, 64, 100);
+        h.run_trace(&trace);
+        let (l1, _) = h.stats();
+        assert!(l1.hit_rate() > 0.9);
+        // AMAT close to the L1 hit time.
+        assert!(h.measured_amat() < 3.0, "{}", h.measured_amat());
+    }
+
+    #[test]
+    fn measured_close_to_analytic() {
+        let mut h = classroom_hierarchy();
+        let trace = patterns::random_trace(0, 128 << 10, 5000, 42);
+        h.run_trace(&trace);
+        let measured = h.measured_amat();
+        let analytic = h.analytic_amat();
+        let rel = (measured - analytic).abs() / analytic;
+        assert!(rel < 0.05, "measured {measured} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn cost_per_access_levels() {
+        let mut h = classroom_hierarchy();
+        let c1 = h.access(0x0, AccessKind::Load); // cold: L1+L2+mem
+        assert_eq!(c1, 1 + 10 + 100);
+        let c2 = h.access(0x0, AccessKind::Load); // L1 hit
+        assert_eq!(c2, 1);
+        // Evict from L1 only (64 sets apart... use L1-conflicting address):
+        // L1 has 32 sets * 64B: stride 2048 conflicts in L1.
+        h.access(2048, AccessKind::Load);
+        h.access(4096, AccessKind::Load);
+        let c3 = h.access(0x0, AccessKind::Load); // L1 miss (2-way lost it), L2 hit
+        assert_eq!(c3, 1 + 10);
+    }
+
+    #[test]
+    fn empty_hierarchy_amat_zero() {
+        let h = classroom_hierarchy();
+        assert_eq!(h.measured_amat(), 0.0);
+    }
+}

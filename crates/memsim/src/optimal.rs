@@ -1,0 +1,200 @@
+//! Belady's OPT and the three-C miss classification — the "brainstorm
+//! better policies" extension of the caching module.
+//!
+//! When the class is asked to invent replacement policies, the natural
+//! question is "how good could any policy be?" [`opt_misses`] answers it
+//! with the clairvoyant optimum (evict the block reused furthest in the
+//! future). [`classify_misses`] then splits a real cache's misses into
+//! the **compulsory / capacity / conflict** taxonomy by differencing
+//! against an infinite cache and a fully associative LRU cache of equal
+//! capacity.
+
+use crate::cache::{Cache, CacheConfig};
+use crate::trace::TraceEvent;
+use std::collections::{HashMap, HashSet};
+
+/// Counts misses for a **fully associative** cache of `blocks` lines with
+/// Belady's optimal replacement, over `trace` (loads and stores treated
+/// alike). Offline: it sees the whole trace.
+pub fn opt_misses(trace: &[TraceEvent], blocks: usize, block_size: u64) -> u64 {
+    assert!(blocks > 0 && block_size.is_power_of_two());
+    let mask = !(block_size - 1);
+    let lines: Vec<u64> = trace.iter().map(|e| e.addr & mask).collect();
+
+    // next_use[i] = index of the next access to the same block after i.
+    let mut next_use = vec![usize::MAX; lines.len()];
+    let mut last_seen: HashMap<u64, usize> = HashMap::new();
+    for (i, &b) in lines.iter().enumerate().rev() {
+        next_use[i] = last_seen.get(&b).copied().unwrap_or(usize::MAX);
+        last_seen.insert(b, i);
+    }
+
+    let mut resident: HashMap<u64, usize> = HashMap::new(); // block → its next use
+    let mut misses = 0u64;
+    for (i, &b) in lines.iter().enumerate() {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = resident.entry(b) {
+            e.insert(next_use[i]);
+            continue;
+        }
+        misses += 1;
+        if resident.len() == blocks {
+            // Evict the block whose next use is furthest away.
+            let victim = *resident
+                .iter()
+                .max_by_key(|(_, &nu)| nu)
+                .map(|(blk, _)| blk)
+                .expect("cache full");
+            resident.remove(&victim);
+        }
+        resident.insert(b, next_use[i]);
+    }
+    misses
+}
+
+/// The three-C breakdown of a cache configuration's misses on a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissClassification {
+    /// Total misses of the actual cache.
+    pub total: u64,
+    /// First-touch misses (an infinite cache would still miss these).
+    pub compulsory: u64,
+    /// Extra misses a fully associative LRU cache of the same capacity
+    /// incurs beyond compulsory.
+    pub capacity: u64,
+    /// The remainder: misses caused by the actual cache's limited
+    /// associativity. Can be "negative" in corner cases (LRU is not
+    /// optimal), clamped at zero with the overshoot folded into capacity.
+    pub conflict: u64,
+}
+
+/// Classifies a configuration's misses on a trace into the three Cs.
+pub fn classify_misses(config: CacheConfig, trace: &[TraceEvent]) -> MissClassification {
+    // Actual cache.
+    let mut actual = Cache::new(config).expect("valid config");
+    actual.run_trace(trace);
+    let total = actual.stats().misses;
+
+    // Compulsory: distinct blocks.
+    let mask = !(config.block_size - 1);
+    let distinct: HashSet<u64> = trace.iter().map(|e| e.addr & mask).collect();
+    let compulsory = distinct.len() as u64;
+
+    // Capacity: fully associative LRU of equal capacity.
+    let total_blocks = config.num_sets * config.ways;
+    let mut full = Cache::new(CacheConfig::fully_associative(total_blocks, config.block_size))
+        .expect("valid config");
+    full.run_trace(trace);
+    let full_misses = full.stats().misses;
+
+    // LRU is not optimal, so the fully associative reference can
+    // occasionally miss MORE than the actual cache; fold that overshoot
+    // into capacity so the parts always sum to the total.
+    let (capacity, conflict) = if total >= full_misses {
+        (full_misses - compulsory, total - full_misses)
+    } else {
+        (total.saturating_sub(compulsory), 0)
+    };
+    MissClassification { total, compulsory, capacity, conflict }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ReplacementPolicy;
+    use crate::patterns;
+    use crate::trace::TraceEvent;
+    use proptest::prelude::*;
+
+    #[test]
+    fn opt_on_the_textbook_sequence() {
+        // Blocks A B C D A B E A B C D E with 3 frames: OPT misses = 7
+        // (the classic Belady example, usually shown with pages).
+        let seq = [0u64, 1, 2, 3, 0, 1, 4, 0, 1, 2, 3, 4];
+        let trace: Vec<TraceEvent> = seq.iter().map(|&b| TraceEvent::load(b * 64)).collect();
+        assert_eq!(opt_misses(&trace, 3, 64), 7);
+    }
+
+    #[test]
+    fn opt_beats_lru_on_looping_scan() {
+        // A loop one block bigger than the cache: LRU misses everything,
+        // OPT keeps most of the loop resident.
+        let trace = patterns::working_set_trace(0, 5 * 64, 64, 10); // 5 blocks, 4-line caches
+        let mut lru = Cache::new(CacheConfig::fully_associative(4, 64)).unwrap();
+        lru.run_trace(&trace);
+        let opt = opt_misses(&trace, 4, 64);
+        assert!(lru.stats().misses > 2 * opt, "LRU {} vs OPT {opt}", lru.stats().misses);
+    }
+
+    #[test]
+    fn opt_lower_bounds_every_policy() {
+        let trace = patterns::random_trace(0, 64 * 64, 400, 5);
+        let opt = opt_misses(&trace, 16, 64);
+        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+            let mut cfg = CacheConfig::fully_associative(16, 64);
+            cfg.replacement = policy;
+            let mut c = Cache::new(cfg).unwrap();
+            c.run_trace(&trace);
+            assert!(c.stats().misses >= opt, "{policy:?} beat OPT?!");
+        }
+    }
+
+    #[test]
+    fn classification_sums_and_attributes() {
+        // A direct-mapped cache on the A/B aliasing pattern: nearly all
+        // non-compulsory misses are conflict misses.
+        let mut trace = Vec::new();
+        for _ in 0..5 {
+            for i in 0..8u64 {
+                trace.push(TraceEvent::load(i * 64));
+                trace.push(TraceEvent::load(0x1000 + i * 64)); // aliases in DM
+            }
+        }
+        let c = classify_misses(CacheConfig::direct_mapped(64, 64), &trace);
+        assert_eq!(c.total, c.compulsory + c.capacity + c.conflict);
+        assert_eq!(c.compulsory, 16);
+        assert_eq!(c.capacity, 0, "16 blocks fit a 64-line cache");
+        assert!(c.conflict >= 60, "aliasing must show as conflict: {c:?}");
+    }
+
+    #[test]
+    fn capacity_misses_when_working_set_exceeds_cache() {
+        // 128 blocks streamed repeatedly through a 64-line cache, fully
+        // associative: no conflicts possible, pure capacity.
+        let trace = patterns::working_set_trace(0, 128 * 64, 64, 4);
+        let c = classify_misses(CacheConfig::fully_associative(64, 64), &trace);
+        assert_eq!(c.conflict, 0);
+        assert_eq!(c.compulsory, 128);
+        assert!(c.capacity > 0);
+    }
+
+    #[test]
+    fn infinite_reuse_has_only_compulsory() {
+        let trace = patterns::working_set_trace(0, 16 * 64, 64, 10);
+        let c = classify_misses(CacheConfig::set_associative(16, 4, 64), &trace);
+        assert_eq!(c.total, 16);
+        assert_eq!(c.capacity + c.conflict, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_opt_never_worse_than_lru(
+            addrs in proptest::collection::vec(0u64..(32 * 64), 1..300)
+        ) {
+            let trace: Vec<TraceEvent> = addrs.iter().map(|&a| TraceEvent::load(a)).collect();
+            let opt = opt_misses(&trace, 8, 64);
+            let mut lru = Cache::new(CacheConfig::fully_associative(8, 64)).unwrap();
+            lru.run_trace(&trace);
+            prop_assert!(opt <= lru.stats().misses);
+        }
+
+        #[test]
+        fn prop_classification_parts_sum(
+            addrs in proptest::collection::vec(0u64..(64 * 64), 1..200)
+        ) {
+            let trace: Vec<TraceEvent> = addrs.iter().map(|&a| TraceEvent::load(a)).collect();
+            let c = classify_misses(CacheConfig::direct_mapped(16, 64), &trace);
+            prop_assert_eq!(c.total, c.compulsory + c.capacity + c.conflict);
+            prop_assert!(c.compulsory >= 1);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Access-pattern generators — the workloads behind the course's locality
+//! exercises, including the nested-loop stride comparison (experiment
+//! **E3**): "two code blocks containing nested for loops access memory in
+//! different stride patterns … analyze their relative performance with
+//! cache behavior in mind" (§III-A *Caching*).
+
+use crate::trace::{AccessKind, TraceEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Iteration order over a 2-D array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopOrder {
+    /// `for i { for j { a[i][j] } }` — unit stride, cache friendly in C.
+    RowMajor,
+    /// `for j { for i { a[i][j] } }` — stride = row length, cache hostile.
+    ColumnMajor,
+}
+
+/// Generates the load trace of summing an `rows × cols` matrix of
+/// `elem_size`-byte elements stored row-major at `base`, traversed in the
+/// given loop order.
+pub fn matrix_sum_trace(
+    base: u64,
+    rows: usize,
+    cols: usize,
+    elem_size: u64,
+    order: LoopOrder,
+) -> Vec<TraceEvent> {
+    let mut t = Vec::with_capacity(rows * cols);
+    let addr = |i: usize, j: usize| base + ((i * cols + j) as u64) * elem_size;
+    match order {
+        LoopOrder::RowMajor => {
+            for i in 0..rows {
+                for j in 0..cols {
+                    t.push(TraceEvent::load(addr(i, j)));
+                }
+            }
+        }
+        LoopOrder::ColumnMajor => {
+            for j in 0..cols {
+                for i in 0..rows {
+                    t.push(TraceEvent::load(addr(i, j)));
+                }
+            }
+        }
+    }
+    t
+}
+
+/// The three classic matrix-multiply loop orders. For `C = A x B` with
+/// row-major storage, the innermost loop's stride pattern differs per
+/// order — the advanced follow-up to the two-loop exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatMulOrder {
+    /// i-j-k: C row-wise, A row-wise, B column-wise (the naive order).
+    Ijk,
+    /// k-i-j: B row-wise in the inner loop — the cache-friendly rewrite.
+    Kij,
+    /// j-k-i: everything column-wise — the worst order.
+    Jki,
+}
+
+/// Generates the memory trace of an `n x n` matrix multiply
+/// (`elem_size`-byte elements; A at `base_a`, B at `base_b`, C at
+/// `base_c`) in the given loop order, with the value that is invariant in
+/// the inner loop held in a register (as any compiler does): `ijk` keeps
+/// the C sum registered, `kij` keeps A(i,k), `jki` keeps B(k,j).
+pub fn matmul_trace(
+    n: usize,
+    elem_size: u64,
+    base_a: u64,
+    base_b: u64,
+    base_c: u64,
+    order: MatMulOrder,
+) -> Vec<TraceEvent> {
+    let a = |i: usize, j: usize| base_a + ((i * n + j) as u64) * elem_size;
+    let b = |i: usize, j: usize| base_b + ((i * n + j) as u64) * elem_size;
+    let cc = |i: usize, j: usize| base_c + ((i * n + j) as u64) * elem_size;
+    let mut t = Vec::with_capacity(n * n * (n * 2 + 2));
+    match order {
+        MatMulOrder::Ijk => {
+            for i in 0..n {
+                for j in 0..n {
+                    t.push(TraceEvent::load(cc(i, j))); // sum = C[i][j]
+                    for k in 0..n {
+                        t.push(TraceEvent::load(a(i, k)));
+                        t.push(TraceEvent::load(b(k, j)));
+                    }
+                    t.push(TraceEvent { addr: cc(i, j), kind: AccessKind::Store });
+                }
+            }
+        }
+        MatMulOrder::Kij => {
+            for k in 0..n {
+                for i in 0..n {
+                    t.push(TraceEvent::load(a(i, k))); // r = A[i][k]
+                    for j in 0..n {
+                        t.push(TraceEvent::load(b(k, j)));
+                        t.push(TraceEvent::load(cc(i, j)));
+                        t.push(TraceEvent { addr: cc(i, j), kind: AccessKind::Store });
+                    }
+                }
+            }
+        }
+        MatMulOrder::Jki => {
+            for j in 0..n {
+                for k in 0..n {
+                    t.push(TraceEvent::load(b(k, j))); // r = B[k][j]
+                    for i in 0..n {
+                        t.push(TraceEvent::load(a(i, k)));
+                        t.push(TraceEvent::load(cc(i, j)));
+                        t.push(TraceEvent { addr: cc(i, j), kind: AccessKind::Store });
+                    }
+                }
+            }
+        }
+    }
+    t
+}
+
+/// A pure sequential sweep: `count` loads of `stride` bytes apart.
+pub fn strided_trace(base: u64, count: usize, stride: u64) -> Vec<TraceEvent> {
+    (0..count)
+        .map(|i| TraceEvent::load(base + i as u64 * stride))
+        .collect()
+}
+
+/// Uniform-random loads in `[base, base + span)`, seeded for determinism.
+pub fn random_trace(base: u64, span: u64, count: usize, seed: u64) -> Vec<TraceEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| TraceEvent::load(base + rng.gen_range(0..span)))
+        .collect()
+}
+
+/// A loop over a small working set repeated `reps` times — pure temporal
+/// locality (the "library books on your desk" exercise).
+pub fn working_set_trace(base: u64, set_bytes: u64, stride: u64, reps: usize) -> Vec<TraceEvent> {
+    let per_rep = (set_bytes / stride) as usize;
+    let mut t = Vec::with_capacity(per_rep * reps);
+    for _ in 0..reps {
+        for i in 0..per_rep {
+            t.push(TraceEvent::load(base + i as u64 * stride));
+        }
+    }
+    t
+}
+
+/// A read-modify-write sweep (load + store per element) — the trace shape
+/// of `a[i]++`, exercising dirty lines and write-backs.
+pub fn rmw_trace(base: u64, count: usize, stride: u64) -> Vec<TraceEvent> {
+    let mut t = Vec::with_capacity(count * 2);
+    for i in 0..count {
+        let addr = base + i as u64 * stride;
+        t.push(TraceEvent::load(addr));
+        t.push(TraceEvent { addr, kind: AccessKind::Store });
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{Cache, CacheConfig};
+
+    #[test]
+    fn matrix_traces_cover_same_addresses() {
+        let row = matrix_sum_trace(0, 8, 8, 4, LoopOrder::RowMajor);
+        let col = matrix_sum_trace(0, 8, 8, 4, LoopOrder::ColumnMajor);
+        assert_eq!(row.len(), 64);
+        let mut ra: Vec<u64> = row.iter().map(|e| e.addr).collect();
+        let mut ca: Vec<u64> = col.iter().map(|e| e.addr).collect();
+        ra.sort_unstable();
+        ca.sort_unstable();
+        assert_eq!(ra, ca, "same footprint, different order");
+        assert_ne!(
+            row.iter().map(|e| e.addr).collect::<Vec<_>>(),
+            col.iter().map(|e| e.addr).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn row_major_is_unit_stride() {
+        let row = matrix_sum_trace(100, 4, 4, 4, LoopOrder::RowMajor);
+        for pair in row.windows(2) {
+            let delta = pair[1].addr as i64 - pair[0].addr as i64;
+            // within a row: +4; row wrap is also +4 in row-major layout
+            assert_eq!(delta, 4);
+        }
+    }
+
+    #[test]
+    fn e3_stride_beats_column_order() {
+        // The headline E3 shape: a big matrix through a small cache —
+        // row-major hit rate ≈ 1 - 1/elems_per_block, column-major ≈ 0.
+        let rows = 64;
+        let cols = 64;
+        let mk = || Cache::new(CacheConfig::direct_mapped(64, 64)).unwrap(); // 4 KiB
+        let mut c_row = mk();
+        c_row.run_trace(&matrix_sum_trace(0, rows, cols, 4, LoopOrder::RowMajor));
+        let mut c_col = mk();
+        c_col.run_trace(&matrix_sum_trace(0, rows, cols, 4, LoopOrder::ColumnMajor));
+        let hr = c_row.stats().hit_rate();
+        let hc = c_col.stats().hit_rate();
+        assert!(hr > 0.9, "row-major hit rate {hr}");
+        assert!(hc < 0.1, "column-major hit rate {hc}");
+    }
+
+    #[test]
+    fn matmul_orders_rank_as_taught() {
+        // 64x64 doubles (32 KiB per matrix) through a 4 KiB cache, so no
+        // matrix fits: kij > ijk > jki hit rates, the textbook ranking.
+        let n = 64;
+        let rate = |order| {
+            let mut c = Cache::new(CacheConfig::set_associative(32, 2, 64)).unwrap();
+            c.run_trace(&matmul_trace(n, 8, 0, 0x10000, 0x20000, order));
+            c.stats().hit_rate()
+        };
+        let ijk = rate(MatMulOrder::Ijk);
+        let kij = rate(MatMulOrder::Kij);
+        let jki = rate(MatMulOrder::Jki);
+        assert!(kij > ijk, "kij {kij:.3} beats ijk {ijk:.3}");
+        assert!(ijk > jki, "ijk {ijk:.3} beats jki {jki:.3}");
+    }
+
+    #[test]
+    fn matmul_footprint_identical_across_orders() {
+        let collect = |o| {
+            let mut v: Vec<u64> = matmul_trace(6, 8, 0, 0x1000, 0x2000, o)
+                .iter()
+                .map(|e| e.addr)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        assert_eq!(collect(MatMulOrder::Ijk), collect(MatMulOrder::Kij));
+        assert_eq!(collect(MatMulOrder::Ijk), collect(MatMulOrder::Jki));
+    }
+
+    #[test]
+    fn strided_and_random() {
+        let s = strided_trace(0, 10, 64);
+        assert_eq!(s[9].addr, 9 * 64);
+        let r1 = random_trace(0, 4096, 50, 7);
+        let r2 = random_trace(0, 4096, 50, 7);
+        assert_eq!(r1, r2, "seeded determinism");
+        assert!(r1.iter().all(|e| e.addr < 4096));
+    }
+
+    #[test]
+    fn working_set_gets_temporal_hits() {
+        let trace = working_set_trace(0, 256, 4, 10);
+        let mut c = Cache::new(CacheConfig::direct_mapped(64, 64)).unwrap();
+        c.run_trace(&trace);
+        // 256B set in a 4KiB cache: only the first sweep misses.
+        let s = c.stats();
+        assert_eq!(s.misses, 4, "4 blocks of 64B cover 256B");
+        assert_eq!(s.hits, s.accesses - 4);
+    }
+
+    #[test]
+    fn rmw_alternates_and_dirties() {
+        let trace = rmw_trace(0, 4, 64);
+        assert_eq!(trace.len(), 8);
+        assert_eq!(trace[0].kind, AccessKind::Load);
+        assert_eq!(trace[1].kind, AccessKind::Store);
+        let mut c = Cache::new(CacheConfig::direct_mapped(2, 64)).unwrap();
+        c.run_trace(&trace);
+        // Every store hits the line its load just brought in.
+        assert_eq!(c.stats().hits, 4);
+        // Cache has 2 sets * 64B: 4 distinct blocks → 2 dirty evictions.
+        assert_eq!(c.stats().writebacks, 2);
+    }
+}

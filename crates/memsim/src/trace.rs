@@ -1,0 +1,125 @@
+//! Memory access traces and homework-style trace tables.
+
+/// Load or store — the course's traces are "a mix of loads and stores".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read (CPU load).
+    Load,
+    /// A write (CPU store).
+    Store,
+}
+
+/// One address reference in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Byte address.
+    pub addr: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl TraceEvent {
+    /// A load event.
+    pub fn load(addr: u64) -> TraceEvent {
+        TraceEvent { addr, kind: AccessKind::Load }
+    }
+
+    /// A store event.
+    pub fn store(addr: u64) -> TraceEvent {
+        TraceEvent { addr, kind: AccessKind::Store }
+    }
+}
+
+/// What one cache access did — a row of the homework trace table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The address referenced.
+    pub addr: u64,
+    /// The access kind.
+    pub kind: AccessKind,
+    /// Whether it hit.
+    pub hit: bool,
+    /// Set index the access mapped to.
+    pub set: u64,
+    /// Tag of the access.
+    pub tag: u64,
+    /// A valid line was evicted to make room.
+    pub evicted: Option<u64>,
+    /// The eviction wrote back a dirty block.
+    pub wrote_back: bool,
+    /// The access went to (or through to) main memory.
+    pub touched_memory: bool,
+}
+
+/// Renders outcomes as the table students fill in for HW 7/8.
+pub fn trace_table(outcomes: &[AccessOutcome]) -> String {
+    let mut out = format!(
+        "{:<4} {:<10} {:<6} {:>4} {:>8} {:<6} {:<10}\n",
+        "#", "address", "kind", "set", "tag", "h/m", "evict"
+    );
+    for (i, o) in outcomes.iter().enumerate() {
+        let kind = match o.kind {
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        };
+        let hm = if o.hit { "hit" } else { "MISS" };
+        let ev = match o.evicted {
+            Some(tag) if o.wrote_back => format!("tag {tag:#x} (dirty)"),
+            Some(tag) => format!("tag {tag:#x}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{:<4} {:<10} {:<6} {:>4} {:>8} {:<6} {:<10}\n",
+            i,
+            format!("{:#x}", o.addr),
+            kind,
+            o.set,
+            format!("{:#x}", o.tag),
+            hm,
+            ev
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_constructors() {
+        assert_eq!(TraceEvent::load(4).kind, AccessKind::Load);
+        assert_eq!(TraceEvent::store(4).kind, AccessKind::Store);
+    }
+
+    #[test]
+    fn table_renders() {
+        let rows = vec![
+            AccessOutcome {
+                addr: 0x10,
+                kind: AccessKind::Load,
+                hit: false,
+                set: 1,
+                tag: 0,
+                evicted: None,
+                wrote_back: false,
+                touched_memory: true,
+            },
+            AccessOutcome {
+                addr: 0x10,
+                kind: AccessKind::Store,
+                hit: true,
+                set: 1,
+                tag: 0,
+                evicted: Some(7),
+                wrote_back: true,
+                touched_memory: false,
+            },
+        ];
+        let t = trace_table(&rows);
+        assert!(t.contains("MISS"));
+        assert!(t.contains("hit"));
+        assert!(t.contains("(dirty)"));
+        assert_eq!(t.lines().count(), 3);
+    }
+}

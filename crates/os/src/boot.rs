@@ -1,0 +1,96 @@
+//! The boot sequence, "demystif\[ying\] what an OS is … a bit about how an
+//! OS boots onto the hardware and initializes itself to be prepared to
+//! run programs" (§III-A *Operating Systems*) — as a typed state machine
+//! whose transitions carry the lecture narrative.
+
+/// Stages of bringing a machine from power-on to a running system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BootStage {
+    /// Power applied; CPU starts at the reset vector.
+    PowerOn,
+    /// Firmware (BIOS/UEFI) runs self-test and finds a boot device.
+    Firmware,
+    /// The bootloader loads the kernel image into memory.
+    Bootloader,
+    /// The kernel initializes: trap table, memory management, scheduler.
+    KernelInit,
+    /// The first user process (`init`, PID 1) is created.
+    InitProcess,
+    /// Steady state: login/shell; the OS is a service provider now.
+    Running,
+}
+
+impl BootStage {
+    /// What happens during this stage (the lecture beat).
+    pub fn narration(&self) -> &'static str {
+        match self {
+            BootStage::PowerOn => {
+                "CPU begins fetching at a fixed reset address in firmware ROM"
+            }
+            BootStage::Firmware => {
+                "firmware self-tests hardware and locates a bootable device"
+            }
+            BootStage::Bootloader => {
+                "bootloader copies the kernel image from disk into RAM and jumps to it"
+            }
+            BootStage::KernelInit => {
+                "kernel installs its trap table, initializes memory management and the scheduler"
+            }
+            BootStage::InitProcess => {
+                "the kernel hand-crafts PID 1 (init), the ancestor of every process"
+            }
+            BootStage::Running => {
+                "init spawns login/shell; from now on everything happens via processes and system calls"
+            }
+        }
+    }
+
+    /// The next stage, or `None` once running.
+    pub fn next(&self) -> Option<BootStage> {
+        match self {
+            BootStage::PowerOn => Some(BootStage::Firmware),
+            BootStage::Firmware => Some(BootStage::Bootloader),
+            BootStage::Bootloader => Some(BootStage::KernelInit),
+            BootStage::KernelInit => Some(BootStage::InitProcess),
+            BootStage::InitProcess => Some(BootStage::Running),
+            BootStage::Running => None,
+        }
+    }
+}
+
+/// Runs the whole boot sequence, returning the narration transcript.
+pub fn boot_transcript() -> Vec<(BootStage, &'static str)> {
+    let mut out = Vec::new();
+    let mut stage = BootStage::PowerOn;
+    loop {
+        out.push((stage, stage.narration()));
+        match stage.next() {
+            Some(s) => stage = s,
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_reaches_running_in_order() {
+        let t = boot_transcript();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.first().unwrap().0, BootStage::PowerOn);
+        assert_eq!(t.last().unwrap().0, BootStage::Running);
+        // Strictly ordered.
+        for w in t.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn narration_mentions_init() {
+        assert!(BootStage::InitProcess.narration().contains("PID 1"));
+        assert!(BootStage::Running.next().is_none());
+    }
+}

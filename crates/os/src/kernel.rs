@@ -1,0 +1,988 @@
+//! The kernel: PCBs, the process hierarchy, fork/exec/exit/wait, zombies
+//! and orphans, signal delivery, and a round-robin time-sharing scheduler
+//! with a recorded execution timeline.
+
+use crate::proc::{Handler, KillTarget, Op, Pid, ProcState, Sig};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// PID of `init`, the root of the hierarchy and adopter of orphans.
+pub const INIT: Pid = 1;
+
+/// Kernel API errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Unknown program name in `spawn`/`exec`.
+    NoSuchProgram(String),
+    /// Unknown or dead process.
+    NoSuchProcess(Pid),
+    /// `run_until_idle` exhausted its fuel (livelock/deadlock in scripts).
+    OutOfFuel,
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::NoSuchProgram(n) => write!(f, "no such program {n:?}"),
+            KernelError::NoSuchProcess(p) => write!(f, "no such process {p}"),
+            KernelError::OutOfFuel => write!(f, "kernel ran out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// A process control block.
+#[derive(Debug, Clone)]
+pub struct Pcb {
+    /// Process id.
+    pub pid: Pid,
+    /// Parent process id.
+    pub ppid: Pid,
+    /// The script being executed.
+    pub ops: Vec<Op>,
+    /// Program counter into `ops`.
+    pub pc: usize,
+    /// Lifecycle state.
+    pub state: ProcState,
+    /// Exit code once a zombie.
+    pub exit_code: Option<i32>,
+    /// True in the child between a fork and the next fork.
+    pub is_fork_child: bool,
+    /// The most recently forked child (for `KillTarget::LastChild`).
+    pub last_child: Option<Pid>,
+    /// Registered signal handlers.
+    pub handlers: HashMap<Sig, Handler>,
+    /// Undelivered signals.
+    pub pending: VecDeque<Sig>,
+    /// Remaining units of an in-progress `Compute`.
+    compute_left: u32,
+    /// Tick at which a `Sleep` completes (process is Blocked until then).
+    wake_at: Option<u64>,
+}
+
+/// A reap record: `(parent, child, exit_code)`.
+pub type ReapRecord = (Pid, Pid, i32);
+
+/// The simulated kernel.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    procs: BTreeMap<Pid, Pcb>,
+    ready: VecDeque<Pid>,
+    programs: HashMap<String, Vec<Op>>,
+    output: Vec<(Pid, String)>,
+    /// Current simulated time (ticks).
+    pub time: u64,
+    quantum: u32,
+    slice_used: u32,
+    current: Option<Pid>,
+    last_run: Option<Pid>,
+    context_switches: u64,
+    timeline: Vec<(u64, Pid)>,
+    next_pid: Pid,
+    reaps: Vec<ReapRecord>,
+}
+
+impl Kernel {
+    /// A kernel with the given scheduling quantum (ticks per slice).
+    /// PID 1 (`init`) exists from boot and adopts orphans.
+    pub fn new(quantum: u32) -> Kernel {
+        assert!(quantum > 0, "quantum must be positive");
+        let mut procs = BTreeMap::new();
+        procs.insert(
+            INIT,
+            Pcb {
+                pid: INIT,
+                ppid: 0,
+                ops: vec![],
+                pc: 0,
+                state: ProcState::Blocked, // init sits in wait() forever
+                exit_code: None,
+                is_fork_child: false,
+                last_child: None,
+                handlers: HashMap::new(),
+                pending: VecDeque::new(),
+                compute_left: 0,
+                wake_at: None,
+            },
+        );
+        Kernel {
+            procs,
+            ready: VecDeque::new(),
+            programs: HashMap::new(),
+            output: Vec::new(),
+            time: 0,
+            quantum,
+            slice_used: 0,
+            current: None,
+            last_run: None,
+            context_switches: 0,
+            timeline: Vec::new(),
+            next_pid: 2,
+            reaps: Vec::new(),
+        }
+    }
+
+    /// Registers a named program (the "filesystem" of executables).
+    pub fn register_program(&mut self, name: &str, ops: Vec<Op>) {
+        self.programs.insert(name.to_string(), ops);
+    }
+
+    /// Spawns a program as a child of `init`.
+    pub fn spawn(&mut self, program: &str) -> Result<Pid, KernelError> {
+        self.spawn_child_of(INIT, program)
+    }
+
+    /// Spawns a program as a child of an existing process (what the shell
+    /// uses so its jobs are *its* children).
+    pub fn spawn_child_of(&mut self, parent: Pid, program: &str) -> Result<Pid, KernelError> {
+        if !self.procs.contains_key(&parent) {
+            return Err(KernelError::NoSuchProcess(parent));
+        }
+        let ops = self
+            .programs
+            .get(program)
+            .cloned()
+            .ok_or_else(|| KernelError::NoSuchProgram(program.to_string()))?;
+        let pid = self.alloc_pid();
+        self.procs.insert(
+            pid,
+            Pcb {
+                pid,
+                ppid: parent,
+                ops,
+                pc: 0,
+                state: ProcState::Ready,
+                exit_code: None,
+                is_fork_child: false,
+                last_child: None,
+                handlers: HashMap::new(),
+                pending: VecDeque::new(),
+                compute_left: 0,
+                wake_at: None,
+            },
+        );
+        if let Some(p) = self.procs.get_mut(&parent) {
+            p.last_child = Some(pid);
+        }
+        self.ready.push_back(pid);
+        Ok(pid)
+    }
+
+    /// Registers an externally driven process (the interactive shell):
+    /// it exists in the hierarchy but is never scheduled.
+    pub fn register_external(&mut self) -> Pid {
+        let pid = self.alloc_pid();
+        self.procs.insert(
+            pid,
+            Pcb {
+                pid,
+                ppid: INIT,
+                ops: vec![],
+                pc: 0,
+                state: ProcState::Blocked,
+                exit_code: None,
+                is_fork_child: false,
+                last_child: None,
+                handlers: HashMap::new(),
+                pending: VecDeque::new(),
+                compute_left: 0,
+                wake_at: None,
+            },
+        );
+        pid
+    }
+
+    fn alloc_pid(&mut self) -> Pid {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        pid
+    }
+
+    /// All output lines emitted so far, in emission order.
+    pub fn output(&self) -> &[(Pid, String)] {
+        &self.output
+    }
+
+    /// Context switches performed.
+    pub fn context_switches(&self) -> u64 {
+        self.context_switches
+    }
+
+    /// The scheduling timeline: which PID ran at each tick.
+    pub fn timeline(&self) -> &[(u64, Pid)] {
+        &self.timeline
+    }
+
+    /// Reaps recorded so far.
+    pub fn reaps(&self) -> &[ReapRecord] {
+        &self.reaps
+    }
+
+    /// Looks up a PCB.
+    pub fn process(&self, pid: Pid) -> Result<&Pcb, KernelError> {
+        self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    /// Live (non-reaped) PIDs.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Sends a signal to a process (the external `kill` command).
+    pub fn send_signal(&mut self, pid: Pid, sig: Sig) -> Result<(), KernelError> {
+        let p = self.procs.get_mut(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+        if p.state != ProcState::Zombie {
+            p.pending.push_back(sig);
+            // Signals wake blocked (scheduled) processes so handlers run;
+            // externally driven processes (empty script) stay parked.
+            if p.state == ProcState::Blocked && !p.ops.is_empty() {
+                p.state = ProcState::Ready;
+                self.ready.push_back(pid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reaps one zombie child of `parent`, if any. Returns `(child, code)`.
+    pub fn reap_one(&mut self, parent: Pid) -> Option<(Pid, i32)> {
+        let zombie = self
+            .procs
+            .values()
+            .find(|p| p.ppid == parent && p.state == ProcState::Zombie)
+            .map(|p| p.pid)?;
+        let code = self.procs[&zombie].exit_code.unwrap_or(0);
+        self.procs.remove(&zombie);
+        self.reaps.push((parent, zombie, code));
+        Some((zombie, code))
+    }
+
+    fn has_children(&self, pid: Pid) -> bool {
+        self.procs.values().any(|p| p.ppid == pid)
+    }
+
+    /// Terminates `pid` with `code`: zombie state, SIGCHLD to the parent,
+    /// orphan reparenting to init, auto-reap if the parent is init.
+    fn terminate(&mut self, pid: Pid, code: i32) {
+        let ppid = match self.procs.get_mut(&pid) {
+            Some(p) => {
+                p.state = ProcState::Zombie;
+                p.exit_code = Some(code);
+                p.pending.clear();
+                p.ppid
+            }
+            None => return,
+        };
+        // Orphans go to init (and any zombie orphans are reaped by init).
+        let orphans: Vec<Pid> = self
+            .procs
+            .values()
+            .filter(|p| p.ppid == pid)
+            .map(|p| p.pid)
+            .collect();
+        for o in orphans {
+            if let Some(p) = self.procs.get_mut(&o) {
+                p.ppid = INIT;
+                if p.state == ProcState::Zombie {
+                    self.reap_one(INIT);
+                }
+            }
+        }
+        if self.current == Some(pid) {
+            self.current = None;
+            self.slice_used = 0;
+        }
+        // Notify the parent.
+        if ppid == INIT || !self.procs.contains_key(&ppid) {
+            self.reap_one(INIT);
+            return;
+        }
+        let parent_waiting = {
+            let parent = self.procs.get_mut(&ppid).expect("parent exists");
+            parent.pending.push_back(Sig::Chld);
+            // Blocked *in a Wait op* — externally driven processes (the
+            // shell) have empty scripts and reap explicitly instead.
+            parent.state == ProcState::Blocked && !parent.ops.is_empty()
+        };
+        if parent_waiting {
+            // Parent is in wait(): reap on its behalf and unblock it past
+            // the Wait op.
+            self.reap_one(ppid);
+            let parent = self.procs.get_mut(&ppid).expect("parent exists");
+            // Drop the Chld we just queued: wait() consumed the event.
+            parent.pending.pop_back();
+            parent.pc += 1;
+            parent.state = ProcState::Ready;
+            self.ready.push_back(ppid);
+        }
+    }
+
+    /// Delivers pending signals to `pid`. Returns false if it died.
+    fn deliver_signals(&mut self, pid: Pid) -> bool {
+        loop {
+            let (sig, handler) = {
+                let p = match self.procs.get_mut(&pid) {
+                    Some(p) => p,
+                    None => return false,
+                };
+                match p.pending.pop_front() {
+                    Some(s) => {
+                        let h = p
+                            .handlers
+                            .get(&s)
+                            .cloned()
+                            .unwrap_or(Handler::Default);
+                        (s, h)
+                    }
+                    None => return true,
+                }
+            };
+            match handler {
+                Handler::Ignore => {}
+                Handler::Default => match sig {
+                    Sig::Chld | Sig::Usr1 => {} // default: ignore
+                    Sig::Int | Sig::Term => {
+                        self.terminate(pid, 128 + 2);
+                        return false;
+                    }
+                },
+                Handler::Print(msg) => {
+                    self.output.push((pid, format!("[signal {sig:?}] {msg}")));
+                }
+                Handler::Reap => {
+                    self.reap_one(pid);
+                }
+            }
+        }
+    }
+
+    /// True if any process can still make progress.
+    pub fn has_runnable(&self) -> bool {
+        self.current.is_some() || !self.ready.is_empty()
+    }
+
+    /// Wakes sleepers whose timer has expired.
+    fn wake_sleepers(&mut self) {
+        let now = self.time;
+        let due: Vec<Pid> = self
+            .procs
+            .values()
+            .filter(|p| {
+                p.state == ProcState::Blocked && p.wake_at.is_some_and(|w| w <= now)
+            })
+            .map(|p| p.pid)
+            .collect();
+        for pid in due {
+            let p = self.procs.get_mut(&pid).expect("just listed");
+            p.wake_at = None;
+            p.state = ProcState::Ready;
+            self.ready.push_back(pid);
+        }
+    }
+
+    /// True if any process is asleep on the timer.
+    fn has_sleepers(&self) -> bool {
+        self.procs
+            .values()
+            .any(|p| p.state == ProcState::Blocked && p.wake_at.is_some())
+    }
+
+    /// Advances the machine by one tick. Returns false when idle.
+    pub fn step(&mut self) -> bool {
+        self.wake_sleepers();
+        // Pick a process if the CPU is free.
+        if self.current.is_none() {
+            match self.ready.pop_front() {
+                Some(pid) => {
+                    if self.last_run.is_some() && self.last_run != Some(pid) {
+                        self.context_switches += 1;
+                    }
+                    self.current = Some(pid);
+                    self.slice_used = 0;
+                    if let Some(p) = self.procs.get_mut(&pid) {
+                        p.state = ProcState::Running;
+                    }
+                }
+                None => {
+                    if self.has_sleepers() {
+                        // CPU idle, clock still runs (everyone is in I/O).
+                        self.time += 1;
+                        return true;
+                    }
+                    return false;
+                }
+            }
+        }
+        let pid = self.current.expect("just set");
+        self.last_run = Some(pid);
+
+        if !self.deliver_signals(pid) {
+            return true; // died to a signal; tick consumed
+        }
+
+        self.time += 1;
+        self.timeline.push((self.time, pid));
+        self.slice_used += 1;
+
+        self.execute_op(pid);
+
+        // Quantum expiry: preempt if still running.
+        if self.current == Some(pid) && self.slice_used >= self.quantum {
+            let p = self.procs.get_mut(&pid).expect("running process");
+            p.state = ProcState::Ready;
+            self.ready.push_back(pid);
+            self.current = None;
+            self.slice_used = 0;
+        }
+        true
+    }
+
+    fn execute_op(&mut self, pid: Pid) {
+        let op = {
+            let p = self.procs.get(&pid).expect("current process");
+            p.ops.get(p.pc).cloned()
+        };
+        let op = match op {
+            Some(op) => op,
+            None => {
+                // Fell off the end: implicit exit(0).
+                self.terminate(pid, 0);
+                return;
+            }
+        };
+        match op {
+            Op::Compute(n) => {
+                let p = self.procs.get_mut(&pid).expect("current");
+                if p.compute_left == 0 {
+                    p.compute_left = n;
+                }
+                p.compute_left -= 1;
+                if p.compute_left == 0 {
+                    p.pc += 1;
+                }
+            }
+            Op::Print(msg) => {
+                self.output.push((pid, msg));
+                self.procs.get_mut(&pid).expect("current").pc += 1;
+            }
+            Op::Fork => {
+                let child_pid = self.alloc_pid();
+                let child = {
+                    let p = self.procs.get_mut(&pid).expect("current");
+                    p.pc += 1;
+                    p.is_fork_child = false;
+                    p.last_child = Some(child_pid);
+                    Pcb {
+                        pid: child_pid,
+                        ppid: pid,
+                        ops: p.ops.clone(),
+                        pc: p.pc,
+                        state: ProcState::Ready,
+                        exit_code: None,
+                        is_fork_child: true,
+                        last_child: None,
+                        handlers: p.handlers.clone(),
+                        pending: VecDeque::new(),
+                        compute_left: 0,
+                        wake_at: None,
+                    }
+                };
+                self.procs.insert(child_pid, child);
+                self.ready.push_back(child_pid);
+            }
+            Op::JumpIfChild(t) => {
+                let p = self.procs.get_mut(&pid).expect("current");
+                p.pc = if p.is_fork_child { t } else { p.pc + 1 };
+            }
+            Op::Jump(t) => {
+                self.procs.get_mut(&pid).expect("current").pc = t;
+            }
+            Op::Exec(name) => match self.programs.get(&name).cloned() {
+                Some(ops) => {
+                    let p = self.procs.get_mut(&pid).expect("current");
+                    p.ops = ops;
+                    p.pc = 0;
+                    p.compute_left = 0;
+                    // exec resets handlers, like the real thing.
+                    p.handlers.clear();
+                }
+                None => {
+                    self.output.push((pid, format!("exec: {name}: not found")));
+                    self.terminate(pid, 127);
+                }
+            },
+            Op::Exit(code) => self.terminate(pid, code),
+            Op::Wait => {
+                if let Some((_child, _code)) = self.reap_one(pid) {
+                    self.procs.get_mut(&pid).expect("current").pc += 1;
+                } else if self.has_children(pid) {
+                    let p = self.procs.get_mut(&pid).expect("current");
+                    p.state = ProcState::Blocked;
+                    self.current = None;
+                    self.slice_used = 0;
+                } else {
+                    // No children: wait returns immediately (-1 in C).
+                    self.procs.get_mut(&pid).expect("current").pc += 1;
+                }
+            }
+            Op::OnSignal(sig, handler) => {
+                let p = self.procs.get_mut(&pid).expect("current");
+                p.handlers.insert(sig, handler);
+                p.pc += 1;
+            }
+            Op::Kill(target, sig) => {
+                let target_pid = {
+                    let p = self.procs.get(&pid).expect("current");
+                    match target {
+                        KillTarget::LastChild => p.last_child,
+                        KillTarget::Parent => Some(p.ppid),
+                        KillTarget::Me => Some(pid),
+                    }
+                };
+                self.procs.get_mut(&pid).expect("current").pc += 1;
+                if let Some(t) = target_pid {
+                    let _ = self.send_signal(t, sig);
+                }
+            }
+            Op::Yield => {
+                let p = self.procs.get_mut(&pid).expect("current");
+                p.pc += 1;
+                p.state = ProcState::Ready;
+                self.ready.push_back(pid);
+                self.current = None;
+                self.slice_used = 0;
+            }
+            Op::Sleep(n) => {
+                let wake = self.time + n as u64;
+                let p = self.procs.get_mut(&pid).expect("current");
+                p.pc += 1;
+                p.state = ProcState::Blocked;
+                p.wake_at = Some(wake);
+                self.current = None;
+                self.slice_used = 0;
+            }
+        }
+    }
+
+    /// Runs until no process is runnable, bounded by `fuel` ticks.
+    pub fn run_until_idle(&mut self, fuel: u64) -> bool {
+        for _ in 0..fuel {
+            if !self.step() {
+                return true;
+            }
+        }
+        !self.has_runnable()
+    }
+
+    /// Renders the timeline as an ASCII Gantt chart — one row per PID,
+    /// one column per tick — the timesharing picture from lecture.
+    pub fn gantt(&self) -> String {
+        if self.timeline.is_empty() {
+            return String::from("(no execution yet)\n");
+        }
+        let mut pids: Vec<Pid> = self.timeline.iter().map(|(_, p)| *p).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        let end = self.timeline.last().expect("nonempty").0;
+        let mut out = String::new();
+        for pid in pids {
+            let mut row = format!("pid {pid:>3} |");
+            let mut ran = vec![false; end as usize + 1];
+            for &(t, p) in &self.timeline {
+                if p == pid {
+                    ran[t as usize] = true;
+                }
+            }
+            for &cell in ran.iter().take(end as usize + 1).skip(1) {
+                row.push(if cell { '#' } else { '.' });
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out.push_str(&format!("        +{} ticks, {} switches\n", end, self.context_switches));
+        out
+    }
+
+    /// Renders the process hierarchy as an indented tree (the homework's
+    /// "draw the process hierarchy").
+    pub fn process_tree(&self) -> String {
+        let mut out = String::new();
+        self.tree_walk(INIT, 0, &mut out);
+        out
+    }
+
+    fn tree_walk(&self, pid: Pid, depth: usize, out: &mut String) {
+        if let Some(p) = self.procs.get(&pid) {
+            let state = match p.state {
+                ProcState::Ready => "ready",
+                ProcState::Running => "running",
+                ProcState::Blocked => "blocked",
+                ProcState::Zombie => "zombie",
+            };
+            out.push_str(&format!("{}pid {} [{}]\n", "  ".repeat(depth), pid, state));
+            let mut kids: Vec<Pid> = self
+                .procs
+                .values()
+                .filter(|c| c.ppid == pid && c.pid != pid)
+                .map(|c| c.pid)
+                .collect();
+            kids.sort_unstable();
+            for k in kids {
+                self.tree_walk(k, depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proc::{double_fork, fork_print_wait, program};
+
+    fn kernel_with(name: &str, ops: Vec<Op>) -> Kernel {
+        let mut k = Kernel::new(3);
+        k.register_program(name, ops);
+        k
+    }
+
+    #[test]
+    fn single_process_prints_and_exits() {
+        let mut k = kernel_with(
+            "p",
+            program(vec![Op::Print("a".into()), Op::Print("b".into()), Op::Exit(0)]),
+        );
+        let pid = k.spawn("p").unwrap();
+        assert!(k.run_until_idle(100));
+        assert_eq!(k.output(), &[(pid, "a".into()), (pid, "b".into())]);
+        // Exited child of init is auto-reaped.
+        assert!(k.process(pid).is_err());
+    }
+
+    #[test]
+    fn fork_print_wait_produces_both_lines() {
+        let mut k = kernel_with("f", fork_print_wait());
+        let parent = k.spawn("f").unwrap();
+        assert!(k.run_until_idle(1000));
+        let lines: Vec<&str> = k.output().iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.contains(&"parent"));
+        assert!(lines.contains(&"child"));
+        // The child was reaped by the parent, not init.
+        assert!(k.reaps().iter().any(|(p, _, _)| *p == parent));
+    }
+
+    #[test]
+    fn double_fork_makes_four_printers() {
+        let mut k = kernel_with("d", double_fork());
+        k.spawn("d").unwrap();
+        assert!(k.run_until_idle(1000));
+        let hellos = k.output().iter().filter(|(_, s)| s == "hello").count();
+        assert_eq!(hellos, 4, "fork-fork quadruples");
+    }
+
+    #[test]
+    fn zombie_until_reaped() {
+        // Child exits; parent computes before waiting → child is a zombie
+        // in the interim.
+        let mut k = kernel_with(
+            "z",
+            program(vec![
+                Op::Fork,
+                Op::JumpIfChild(5),
+                Op::Compute(8),
+                Op::Wait,
+                Op::Exit(0),
+                Op::Exit(7), // child exits immediately
+            ]),
+        );
+        let parent = k.spawn("z").unwrap();
+        // Run a few ticks: child should be done, parent still computing.
+        for _ in 0..8 {
+            k.step();
+        }
+        let zombies: Vec<Pid> = k
+            .pids()
+            .into_iter()
+            .filter(|p| k.process(*p).map(|x| x.state) == Ok(ProcState::Zombie))
+            .collect();
+        assert_eq!(zombies.len(), 1, "child is a zombie awaiting reap");
+        assert!(k.process_tree().contains("zombie"));
+        assert!(k.run_until_idle(1000));
+        let reap = k.reaps().iter().find(|(p, _, _)| *p == parent).unwrap();
+        assert_eq!(reap.2, 7, "exit code delivered through wait");
+    }
+
+    #[test]
+    fn wait_blocks_until_child_exits() {
+        // Parent waits immediately; child computes for a while.
+        let mut k = kernel_with(
+            "w",
+            program(vec![
+                Op::Fork,
+                Op::JumpIfChild(4),
+                Op::Wait,
+                Op::Exit(0),
+                Op::Compute(10),
+                Op::Exit(3),
+            ]),
+        );
+        let parent = k.spawn("w").unwrap();
+        for _ in 0..3 {
+            k.step();
+        }
+        assert_eq!(k.process(parent).unwrap().state, ProcState::Blocked);
+        assert!(k.run_until_idle(1000));
+        assert!(k.reaps().iter().any(|(p, c, code)| *p == parent && *c != parent && *code == 3));
+    }
+
+    #[test]
+    fn orphan_reparented_to_init() {
+        // Parent forks then exits instantly; the computing child becomes
+        // an orphan, is adopted by init, and auto-reaped on exit.
+        let mut k = kernel_with(
+            "o",
+            program(vec![
+                Op::Fork,
+                Op::JumpIfChild(3),
+                Op::Exit(0),
+                Op::Compute(5),
+                Op::Exit(0),
+            ]),
+        );
+        k.spawn("o").unwrap();
+        assert!(k.run_until_idle(1000));
+        // Everything is cleaned up: only init remains.
+        assert_eq!(k.pids(), vec![INIT]);
+    }
+
+    #[test]
+    fn round_robin_interleaves_output() {
+        let mut k = Kernel::new(1); // quantum 1: strict alternation
+        k.register_program(
+            "a",
+            program(vec![
+                Op::Print("a1".into()),
+                Op::Print("a2".into()),
+                Op::Exit(0),
+            ]),
+        );
+        k.register_program(
+            "b",
+            program(vec![
+                Op::Print("b1".into()),
+                Op::Print("b2".into()),
+                Op::Exit(0),
+            ]),
+        );
+        k.spawn("a").unwrap();
+        k.spawn("b").unwrap();
+        assert!(k.run_until_idle(100));
+        let lines: Vec<&str> = k.output().iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(lines, vec!["a1", "b1", "a2", "b2"], "quantum-1 interleaving");
+        assert!(k.context_switches() >= 3);
+    }
+
+    #[test]
+    fn bigger_quantum_runs_longer_stretches() {
+        let run = |q: u32| {
+            let mut k = Kernel::new(q);
+            k.register_program("c", program(vec![Op::Compute(6), Op::Exit(0)]));
+            k.spawn("c").unwrap();
+            k.spawn("c").unwrap();
+            k.run_until_idle(1000);
+            k.context_switches()
+        };
+        assert!(run(1) > run(6), "larger quanta → fewer switches");
+    }
+
+    #[test]
+    fn exec_replaces_program() {
+        let mut k = Kernel::new(3);
+        k.register_program("ls", program(vec![Op::Print("files!".into()), Op::Exit(0)]));
+        k.register_program(
+            "launcher",
+            program(vec![Op::Print("launching".into()), Op::Exec("ls".into())]),
+        );
+        k.spawn("launcher").unwrap();
+        assert!(k.run_until_idle(100));
+        let lines: Vec<&str> = k.output().iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(lines, vec!["launching", "files!"]);
+    }
+
+    #[test]
+    fn exec_missing_program_fails_like_127() {
+        let mut k = kernel_with("bad", program(vec![Op::Exec("nope".into())]));
+        k.spawn("bad").unwrap();
+        assert!(k.run_until_idle(100));
+        assert!(k.output()[0].1.contains("not found"));
+    }
+
+    #[test]
+    fn sigint_kills_sigterm_handled() {
+        let mut k = Kernel::new(3);
+        k.register_program(
+            "tough",
+            program(vec![
+                Op::OnSignal(Sig::Term, Handler::Print("not today".into())),
+                Op::Compute(3),
+                Op::Exit(0),
+            ]),
+        );
+        let pid = k.spawn("tough").unwrap();
+        k.step(); // install handler
+        k.send_signal(pid, Sig::Term).unwrap();
+        assert!(k.run_until_idle(100));
+        assert!(k.output().iter().any(|(_, s)| s.contains("not today")));
+
+        let mut k2 = Kernel::new(3);
+        k2.register_program("soft", program(vec![Op::Compute(10), Op::Exit(0)]));
+        let pid2 = k2.spawn("soft").unwrap();
+        k2.step();
+        k2.send_signal(pid2, Sig::Int).unwrap();
+        assert!(k2.run_until_idle(100));
+        assert!(k2.reaps().iter().any(|(_, c, code)| *c == pid2 && *code == 130));
+    }
+
+    #[test]
+    fn sigchld_handler_reaps() {
+        // Parent installs a Reap handler, forks, and loops computing; the
+        // child's exit triggers asynchronous reaping (Lab 9's mechanism).
+        let mut k = Kernel::new(2);
+        k.register_program(
+            "bg",
+            program(vec![
+                Op::OnSignal(Sig::Chld, Handler::Reap),
+                Op::Fork,
+                Op::JumpIfChild(5),
+                Op::Compute(10),
+                Op::Exit(0),
+                Op::Exit(9),
+            ]),
+        );
+        let parent = k.spawn("bg").unwrap();
+        assert!(k.run_until_idle(1000));
+        assert!(
+            k.reaps().iter().any(|(p, _, code)| *p == parent && *code == 9),
+            "handler reaped the child: {:?}",
+            k.reaps()
+        );
+    }
+
+    #[test]
+    fn kill_last_child() {
+        let mut k = Kernel::new(2);
+        k.register_program(
+            "killer",
+            program(vec![
+                Op::Fork,
+                Op::JumpIfChild(5),
+                Op::Kill(KillTarget::LastChild, Sig::Term),
+                Op::Wait,
+                Op::Exit(0),
+                Op::Compute(1000), // child would run forever
+                Op::Exit(0),
+            ]),
+        );
+        let parent = k.spawn("killer").unwrap();
+        assert!(k.run_until_idle(5000), "parent's kill ends the child");
+        assert!(k.reaps().iter().any(|(p, _, _)| *p == parent));
+    }
+
+    #[test]
+    fn process_tree_shape() {
+        let mut k = kernel_with(
+            "t",
+            program(vec![Op::Fork, Op::Compute(5), Op::Exit(0)]),
+        );
+        k.spawn("t").unwrap();
+        k.step();
+        k.step(); // fork happened
+        let tree = k.process_tree();
+        assert!(tree.starts_with("pid 1"));
+        let depth2 = tree.lines().filter(|l| l.starts_with("    pid")).count();
+        assert_eq!(depth2, 1, "grandchild under the spawned process:\n{tree}");
+    }
+
+    #[test]
+    fn errors() {
+        let mut k = Kernel::new(1);
+        assert!(matches!(k.spawn("ghost"), Err(KernelError::NoSuchProgram(_))));
+        assert!(matches!(
+            k.send_signal(999, Sig::Int),
+            Err(KernelError::NoSuchProcess(999))
+        ));
+        assert!(matches!(k.process(42), Err(KernelError::NoSuchProcess(42))));
+    }
+
+    #[test]
+    fn sleep_frees_the_cpu_for_others() {
+        // An I/O-bound process (compute 1, sleep 6, repeat) overlaps with
+        // a CPU-bound one: total time ≈ the CPU-bound process's work, not
+        // the sum — the overlap lesson from the scheduling lecture.
+        let mut k = Kernel::new(2);
+        k.register_program(
+            "io",
+            program(vec![
+                Op::Compute(1),
+                Op::Sleep(6),
+                Op::Compute(1),
+                Op::Sleep(6),
+                Op::Compute(1),
+                Op::Exit(0),
+            ]),
+        );
+        k.register_program("cpu", program(vec![Op::Compute(20), Op::Exit(0)]));
+        k.spawn("io").unwrap();
+        k.spawn("cpu").unwrap();
+        assert!(k.run_until_idle(10_000));
+        // Serialized it would be ~(3+12) + 20 + exits ≈ 37+; overlapped
+        // the sleeps hide under the CPU burst.
+        assert!(k.time < 30, "I/O waits overlapped with compute: {} ticks", k.time);
+    }
+
+    #[test]
+    fn pure_sleeper_advances_the_clock() {
+        let mut k = Kernel::new(2);
+        k.register_program("nap", program(vec![Op::Sleep(10), Op::Print("up".into()), Op::Exit(0)]));
+        k.spawn("nap").unwrap();
+        assert!(k.run_until_idle(1000));
+        assert_eq!(k.output().len(), 1);
+        assert!(k.time >= 10, "the clock ran during the nap: {}", k.time);
+    }
+
+    #[test]
+    fn sleeper_can_still_be_killed() {
+        let mut k = Kernel::new(2);
+        k.register_program("nap", program(vec![Op::Sleep(1000), Op::Exit(0)]));
+        let pid = k.spawn("nap").unwrap();
+        k.step(); // enter the sleep
+        k.send_signal(pid, Sig::Term).unwrap();
+        assert!(k.run_until_idle(100));
+        assert!(k.reaps().iter().any(|(_, c, code)| *c == pid && *code == 130));
+    }
+
+    #[test]
+    fn gantt_renders_interleaving() {
+        let mut k = Kernel::new(2);
+        k.register_program("c", program(vec![Op::Compute(4), Op::Exit(0)]));
+        k.spawn("c").unwrap();
+        k.spawn("c").unwrap();
+        k.run_until_idle(100);
+        let g = k.gantt();
+        assert!(g.contains("pid   2"), "{g}");
+        assert!(g.contains("pid   3"), "{g}");
+        assert!(g.contains('#'));
+        assert!(g.contains("switches"));
+        // Quantum 2: pid 2's row starts with ##.. (two on, two off).
+        let row2 = g.lines().find(|l| l.contains("pid   2")).unwrap();
+        assert!(row2.contains("##.."), "{g}");
+        assert_eq!(Kernel::new(1).gantt(), "(no execution yet)\n");
+    }
+
+    #[test]
+    fn timeline_records_every_tick() {
+        let mut k = kernel_with("p", program(vec![Op::Compute(5), Op::Exit(0)]));
+        k.spawn("p").unwrap();
+        k.run_until_idle(100);
+        assert_eq!(k.timeline().len() as u64, k.time);
+    }
+}

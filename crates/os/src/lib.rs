@@ -1,0 +1,46 @@
+//! # os — a simulated Unix-like kernel, scheduler, and shell
+//!
+//! CS 31's operating-systems module (§III-A) "primarily focuses on
+//! mechanisms and key abstractions": the process abstraction, `fork` and
+//! the process hierarchy, `exit`/`wait`/`exec`, concurrency through
+//! multiprogramming and context switching, and asynchronous signals
+//! (primarily SIGCHLD). Labs 8 and 9 build a command parser and a Unix
+//! shell with foreground/background jobs on top.
+//!
+//! This crate simulates all of it:
+//!
+//! * [`proc`] — processes as deterministic instruction scripts
+//!   ([`proc::Op`]), so the course's "trace this fork code, list the
+//!   possible outputs" homework is executable;
+//! * [`kernel`] — the kernel proper: PCBs, fork/exec/exit/wait(pid),
+//!   zombies and orphan reparenting, signals and handlers, a round-robin
+//!   time-sharing scheduler with a recorded timeline;
+//! * [`shell`] — the Lab 8 parser (tokenizer, `&` detection, history) and
+//!   the Lab 9 shell (foreground/background jobs, SIGCHLD-driven reaping);
+//! * [`boot`] — the "how an OS boots onto the hardware" narrative as a
+//!   typed state machine.
+//!
+//! ```
+//! use os::kernel::Kernel;
+//! use os::proc::{program, Op};
+//!
+//! let mut k = Kernel::new(2);
+//! k.register_program("hello", program(vec![
+//!     Op::Print("hello".into()),
+//!     Op::Exit(0),
+//! ]));
+//! let pid = k.spawn("hello").unwrap();
+//! k.run_until_idle(1000);
+//! assert_eq!(k.output(), &[(pid, "hello".to_string())]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boot;
+pub mod kernel;
+pub mod proc;
+pub mod shell;
+
+pub use kernel::{Kernel, KernelError};
+pub use proc::{Op, Pid, ProcState, Sig};

@@ -1,0 +1,150 @@
+//! Process types: PIDs, states, signals, and the deterministic
+//! instruction scripts processes execute.
+//!
+//! The course's homework asks students to "trace through C code examples
+//! with fork, exit, wait, draw \[the\] process hierarchy, \[and\] identify
+//! possible outputs from concurrent processes". [`Op`] is that C-example
+//! vocabulary: a process is a list of ops, `Fork` duplicates the script
+//! and program counter (child and parent then diverge via
+//! [`Op::JumpIfChild`], exactly like branching on `fork()`'s return
+//! value), and `Print` output interleavings depend on scheduling.
+
+/// Process identifier. PID 1 is `init`.
+pub type Pid = u32;
+
+/// The signals the course covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sig {
+    /// Child terminated (delivered automatically by the kernel).
+    Chld,
+    /// Interrupt (Ctrl-C).
+    Int,
+    /// Termination request.
+    Term,
+    /// User-defined signal 1 (for handler demos).
+    Usr1,
+}
+
+/// What a registered handler does when its signal is delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Handler {
+    /// Restore the default action.
+    Default,
+    /// Ignore the signal.
+    Ignore,
+    /// Print a message and continue (the classic demo handler).
+    Print(String),
+    /// Reap one zombie child if present (the SIGCHLD handler of Lab 9).
+    Reap,
+}
+
+/// One step of a process script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Burn `n` time units of CPU.
+    Compute(u32),
+    /// Emit a line of output (tagged with the emitting PID).
+    Print(String),
+    /// `fork()`: duplicate this process. The child resumes at the next op
+    /// with its fork-child flag set.
+    Fork,
+    /// Jump to the op at `target` if this process is the child of the most
+    /// recent fork (i.e. `fork()` returned 0).
+    JumpIfChild(usize),
+    /// Unconditional jump.
+    Jump(usize),
+    /// Replace this process's script with the named program (`exec`).
+    Exec(String),
+    /// `exit(code)`: terminate, becoming a zombie until reaped.
+    Exit(i32),
+    /// `wait()`: block until any child terminates; reap it.
+    Wait,
+    /// Register a handler for a signal.
+    OnSignal(Sig, Handler),
+    /// Send a signal to another process (by hierarchy role).
+    Kill(KillTarget, Sig),
+    /// Yield the CPU voluntarily (end of time slice).
+    Yield,
+    /// Block for `n` ticks of simulated I/O (disk/network wait): the CPU
+    /// is free for other processes meanwhile — the I/O-bound process
+    /// model from the scheduling discussion.
+    Sleep(u32),
+}
+
+/// Whom `Op::Kill` targets (scripts can't know concrete PIDs up front).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillTarget {
+    /// The most recently forked live child.
+    LastChild,
+    /// The parent process.
+    Parent,
+    /// This process itself.
+    Me,
+}
+
+/// Process lifecycle states, as drawn in lecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Runnable, waiting for the CPU.
+    Ready,
+    /// Currently on the CPU.
+    Running,
+    /// Blocked in `wait()` for a child to exit.
+    Blocked,
+    /// Exited but not yet reaped by its parent.
+    Zombie,
+}
+
+/// Convenience constructor for a program script.
+pub fn program(ops: Vec<Op>) -> Vec<Op> {
+    ops
+}
+
+/// The classic lecture example: fork, both sides print, parent waits.
+///
+/// ```c
+/// pid = fork();
+/// if (pid == 0) { printf("child\n"); exit(0); }
+/// printf("parent\n"); wait(NULL);
+/// ```
+pub fn fork_print_wait() -> Vec<Op> {
+    vec![
+        Op::Fork,
+        Op::JumpIfChild(4),
+        Op::Print("parent".into()),
+        Op::Jump(6),
+        Op::Print("child".into()),
+        Op::Exit(0),
+        Op::Wait,
+        Op::Exit(0),
+    ]
+}
+
+/// The double-fork exam favorite: how many processes? (Four.)
+pub fn double_fork() -> Vec<Op> {
+    vec![
+        Op::Fork,
+        Op::Fork,
+        Op::Print("hello".into()),
+        Op::Exit(0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_construction() {
+        let p = fork_print_wait();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p[0], Op::Fork);
+        assert!(matches!(p[1], Op::JumpIfChild(4)));
+    }
+
+    #[test]
+    fn states_are_distinct() {
+        assert_ne!(ProcState::Ready, ProcState::Zombie);
+        assert_ne!(ProcState::Running, ProcState::Blocked);
+    }
+}

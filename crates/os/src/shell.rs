@@ -1,0 +1,438 @@
+//! The Lab 8 command parser and the Lab 9 Unix shell.
+//!
+//! Lab 8: "The parser must tokenize a string and detect the presence of an
+//! ampersand character (indicating that the command should be run in the
+//! background)." Lab 9: "students build a shell that executes commands in
+//! the foreground and background. They use fork and execvp to start child
+//! processes and waitpid to reap terminated processes. We also require
+//! students to implement a simplified history mechanism."
+
+use crate::kernel::{Kernel, KernelError};
+use crate::proc::Pid;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedCommand {
+    /// The tokens (command name + arguments).
+    pub tokens: Vec<String>,
+    /// `&` present: run in the background.
+    pub background: bool,
+}
+
+/// Parser errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Nothing but whitespace.
+    Empty,
+    /// `&` somewhere other than the end.
+    StrayAmpersand,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty command"),
+            ParseError::StrayAmpersand => write!(f, "'&' must end the command"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenizes a command line and detects a trailing `&` — the Lab 8
+/// library. `&` may be attached to the last token (`sleep 5&`).
+pub fn parse_command(line: &str) -> Result<ParsedCommand, ParseError> {
+    let mut tokens: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+    if tokens.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let mut background = false;
+    // Detach a trailing '&' glued to the final token.
+    if let Some(last) = tokens.last_mut() {
+        if last != "&" && last.ends_with('&') {
+            last.truncate(last.len() - 1);
+            tokens.push("&".to_string());
+            if tokens[tokens.len() - 2].is_empty() {
+                tokens.remove(tokens.len() - 2);
+            }
+        }
+    }
+    if let Some(pos) = tokens.iter().position(|t| t == "&") {
+        if pos != tokens.len() - 1 {
+            return Err(ParseError::StrayAmpersand);
+        }
+        background = true;
+        tokens.pop();
+        if tokens.is_empty() {
+            return Err(ParseError::Empty);
+        }
+    }
+    Ok(ParsedCommand { tokens, background })
+}
+
+/// A shell session over a [`Kernel`].
+#[derive(Debug)]
+pub struct Shell {
+    /// The kernel this shell drives.
+    pub kernel: Kernel,
+    /// The shell's own PID in the hierarchy (jobs are its children).
+    pub pid: Pid,
+    history: Vec<String>,
+    /// Live background jobs: `(pid, command)`.
+    jobs: Vec<(Pid, String)>,
+    /// Completed jobs: `(pid, command, exit_code)`.
+    pub completed: Vec<(Pid, String, i32)>,
+}
+
+/// What one shell line produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShellEvent {
+    /// Foreground job ran to completion with this exit code.
+    Finished(Pid, i32),
+    /// Background job launched.
+    Launched(Pid),
+    /// A builtin produced output.
+    Builtin(String),
+    /// Parse or spawn error, rendered.
+    Error(String),
+}
+
+impl Shell {
+    /// Wraps a kernel, registering the shell in the process hierarchy.
+    pub fn new(mut kernel: Kernel) -> Shell {
+        let pid = kernel.register_external();
+        Shell { kernel, pid, history: Vec::new(), jobs: Vec::new(), completed: Vec::new() }
+    }
+
+    /// The history list (most recent last), 1-indexed for `!n`.
+    pub fn history(&self) -> &[String] {
+        &self.history
+    }
+
+    /// Current background jobs.
+    pub fn jobs(&self) -> &[(Pid, String)] {
+        &self.jobs
+    }
+
+    /// Expands `!!` and `!n` against history.
+    fn expand_history(&self, line: &str) -> Result<String, String> {
+        let line = line.trim();
+        if line == "!!" {
+            return self
+                .history
+                .last()
+                .cloned()
+                .ok_or_else(|| "history is empty".to_string());
+        }
+        if let Some(num) = line.strip_prefix('!') {
+            if let Ok(n) = num.trim().parse::<usize>() {
+                return self
+                    .history
+                    .get(n.wrapping_sub(1))
+                    .cloned()
+                    .ok_or_else(|| format!("no history entry {n}"));
+            }
+        }
+        Ok(line.to_string())
+    }
+
+    /// Reaps any zombie children (run on every prompt, like Lab 9's
+    /// SIGCHLD handler loop).
+    pub fn reap_background(&mut self) -> Vec<(Pid, String, i32)> {
+        let mut done = Vec::new();
+        while let Some((child, code)) = self.kernel.reap_one(self.pid) {
+            let cmd = self
+                .jobs
+                .iter()
+                .find(|(p, _)| *p == child)
+                .map(|(_, c)| c.clone())
+                .unwrap_or_default();
+            self.jobs.retain(|(p, _)| *p != child);
+            done.push((child, cmd, code));
+        }
+        self.completed.extend(done.clone());
+        done
+    }
+
+    /// Executes one command line, like a prompt interaction.
+    pub fn run_line(&mut self, line: &str) -> ShellEvent {
+        // Reap finished background jobs first (the Lab 9 discipline).
+        self.reap_background();
+
+        let line = match self.expand_history(line) {
+            Ok(l) => l,
+            Err(e) => return ShellEvent::Error(e),
+        };
+
+        let parsed = match parse_command(&line) {
+            Ok(p) => p,
+            Err(e) => return ShellEvent::Error(e.to_string()),
+        };
+        self.history.push(line.clone());
+
+        // Builtins.
+        match parsed.tokens[0].as_str() {
+            "history" => {
+                let text = self
+                    .history
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| format!("{:>3}  {c}", i + 1))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                return ShellEvent::Builtin(text);
+            }
+            "ps" => {
+                return ShellEvent::Builtin(self.kernel.process_tree());
+            }
+            "kill" => {
+                let target = parsed
+                    .tokens
+                    .get(1)
+                    .and_then(|t| t.parse::<Pid>().ok());
+                return match target {
+                    Some(pid) => match self.kernel.send_signal(pid, crate::proc::Sig::Term) {
+                        Ok(()) => {
+                            // Let the signal land (the victim must run once).
+                            for _ in 0..50 {
+                                if !self.kernel.step() {
+                                    break;
+                                }
+                            }
+                            self.reap_background();
+                            ShellEvent::Builtin(format!("sent SIGTERM to {pid}"))
+                        }
+                        Err(e) => ShellEvent::Error(e.to_string()),
+                    },
+                    None => ShellEvent::Error("usage: kill PID".to_string()),
+                };
+            }
+            "jobs" => {
+                let text = self
+                    .jobs
+                    .iter()
+                    .map(|(p, c)| format!("[{p}] {c}"))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                return ShellEvent::Builtin(text);
+            }
+            _ => {}
+        }
+
+        // fork + exec the named program.
+        let child = match self.kernel.spawn_child_of(self.pid, &parsed.tokens[0]) {
+            Ok(pid) => pid,
+            Err(KernelError::NoSuchProgram(name)) => {
+                return ShellEvent::Error(format!("{name}: command not found"))
+            }
+            Err(e) => return ShellEvent::Error(e.to_string()),
+        };
+
+        if parsed.background {
+            self.jobs.push((child, line));
+            ShellEvent::Launched(child)
+        } else {
+            // Foreground: waitpid(child) — run the kernel until it exits.
+            let code = loop {
+                if let Some(p) = self.kernel.reap_one(self.pid) {
+                    if p.0 == child {
+                        break p.1;
+                    }
+                    // A background job finished while we waited.
+                    let cmd = self
+                        .jobs
+                        .iter()
+                        .find(|(j, _)| *j == p.0)
+                        .map(|(_, c)| c.clone())
+                        .unwrap_or_default();
+                    self.jobs.retain(|(j, _)| *j != p.0);
+                    self.completed.push((p.0, cmd, p.1));
+                    continue;
+                }
+                if !self.kernel.step() {
+                    break -1; // deadlock safety: child never exits
+                }
+            };
+            ShellEvent::Finished(child, code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proc::{program, Op};
+
+    fn demo_kernel() -> Kernel {
+        let mut k = Kernel::new(2);
+        k.register_program(
+            "ls",
+            program(vec![Op::Print("file_a  file_b".into()), Op::Exit(0)]),
+        );
+        k.register_program(
+            "sleepy",
+            program(vec![Op::Compute(20), Op::Print("done napping".into()), Op::Exit(0)]),
+        );
+        k.register_program("false", program(vec![Op::Exit(1)]));
+        k
+    }
+
+    #[test]
+    fn parser_basic() {
+        let p = parse_command("ls -l /tmp").unwrap();
+        assert_eq!(p.tokens, vec!["ls", "-l", "/tmp"]);
+        assert!(!p.background);
+    }
+
+    #[test]
+    fn parser_ampersand_forms() {
+        assert!(parse_command("sleep 5 &").unwrap().background);
+        let glued = parse_command("sleep 5&").unwrap();
+        assert!(glued.background);
+        assert_eq!(glued.tokens, vec!["sleep", "5"]);
+        assert!(!parse_command("ls").unwrap().background);
+    }
+
+    #[test]
+    fn parser_errors() {
+        assert_eq!(parse_command("   "), Err(ParseError::Empty));
+        assert_eq!(parse_command("&"), Err(ParseError::Empty));
+        assert_eq!(parse_command("a & b"), Err(ParseError::StrayAmpersand));
+    }
+
+    #[test]
+    fn foreground_runs_to_completion() {
+        let mut sh = Shell::new(demo_kernel());
+        match sh.run_line("ls") {
+            ShellEvent::Finished(_, 0) => {}
+            other => panic!("expected Finished(_, 0), got {other:?}"),
+        }
+        assert!(sh
+            .kernel
+            .output()
+            .iter()
+            .any(|(_, s)| s.contains("file_a")));
+    }
+
+    #[test]
+    fn exit_codes_propagate() {
+        let mut sh = Shell::new(demo_kernel());
+        match sh.run_line("false") {
+            ShellEvent::Finished(_, 1) => {}
+            other => panic!("expected exit 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn background_job_runs_while_foreground_works() {
+        let mut sh = Shell::new(demo_kernel());
+        let bg = match sh.run_line("sleepy &") {
+            ShellEvent::Launched(pid) => pid,
+            other => panic!("expected Launched, got {other:?}"),
+        };
+        assert_eq!(sh.jobs().len(), 1);
+        // Foreground command: the kernel runs both (time-sharing).
+        sh.run_line("ls");
+        // Keep prompting until the background job is reaped.
+        for _ in 0..50 {
+            if sh.jobs().is_empty() {
+                break;
+            }
+            sh.run_line("ls");
+        }
+        assert!(sh.jobs().is_empty(), "background job eventually reaped");
+        assert!(sh.completed.iter().any(|(p, _, _)| *p == bg));
+        assert!(sh
+            .kernel
+            .output()
+            .iter()
+            .any(|(_, s)| s == "done napping"));
+    }
+
+    #[test]
+    fn command_not_found() {
+        let mut sh = Shell::new(demo_kernel());
+        match sh.run_line("vim") {
+            ShellEvent::Error(e) => assert!(e.contains("command not found")),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn history_builtin_and_expansion() {
+        let mut sh = Shell::new(demo_kernel());
+        sh.run_line("ls");
+        sh.run_line("false");
+        match sh.run_line("history") {
+            ShellEvent::Builtin(text) => {
+                assert!(text.contains("1  ls"));
+                assert!(text.contains("2  false"));
+            }
+            other => panic!("expected builtin, got {other:?}"),
+        }
+        // !1 re-runs ls.
+        match sh.run_line("!1") {
+            ShellEvent::Finished(_, 0) => {}
+            other => panic!("expected rerun of ls, got {other:?}"),
+        }
+        // !! re-runs the last command (ls again).
+        match sh.run_line("!!") {
+            ShellEvent::Finished(_, 0) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(sh.history().last().unwrap(), "ls");
+    }
+
+    #[test]
+    fn history_errors() {
+        let mut sh = Shell::new(demo_kernel());
+        assert!(matches!(sh.run_line("!!"), ShellEvent::Error(_)));
+        assert!(matches!(sh.run_line("!99"), ShellEvent::Error(_)));
+    }
+
+    #[test]
+    fn ps_shows_the_hierarchy() {
+        let mut sh = Shell::new(demo_kernel());
+        sh.run_line("sleepy &");
+        match sh.run_line("ps") {
+            ShellEvent::Builtin(tree) => {
+                assert!(tree.contains("pid 1"), "{tree}");
+                assert!(tree.lines().count() >= 3, "init + shell + job:\n{tree}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn kill_terminates_a_background_job() {
+        let mut k = demo_kernel();
+        k.register_program(
+            "forever",
+            crate::proc::program(vec![Op::Compute(1_000_000), Op::Exit(0)]),
+        );
+        let mut sh = Shell::new(k);
+        let pid = match sh.run_line("forever &") {
+            ShellEvent::Launched(p) => p,
+            other => panic!("{other:?}"),
+        };
+        match sh.run_line(&format!("kill {pid}")) {
+            ShellEvent::Builtin(msg) => assert!(msg.contains("SIGTERM")),
+            other => panic!("{other:?}"),
+        }
+        // The job is gone from the job table after reaping.
+        sh.reap_background();
+        assert!(sh.jobs().is_empty(), "killed job reaped");
+        assert!(matches!(sh.run_line("kill 9999"), ShellEvent::Error(_)));
+        assert!(matches!(sh.run_line("kill"), ShellEvent::Error(_)));
+    }
+
+    #[test]
+    fn jobs_builtin_lists_running() {
+        let mut sh = Shell::new(demo_kernel());
+        sh.run_line("sleepy &");
+        match sh.run_line("jobs") {
+            ShellEvent::Builtin(text) => assert!(text.contains("sleepy"), "{text}"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

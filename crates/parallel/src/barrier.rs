@@ -1,0 +1,189 @@
+//! Barriers, built two ways.
+//!
+//! Lab 10's parallel Game of Life "use\[s\] barriers to synchronize threads
+//! between rounds". We implement the primitive rather than import it:
+//!
+//! * [`Barrier`] — the classic `Mutex` + `Condvar` barrier with a
+//!   **generation counter**, the construction *Rust Atomics and Locks*
+//!   recommends to avoid the wrap-around wake bug;
+//! * [`SpinBarrier`] — a sense-reversing atomic barrier, the version a
+//!   parallel-architecture course shows for core-count-scale spinning.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A reusable Condvar barrier for a fixed party count.
+#[derive(Debug)]
+pub struct Barrier {
+    state: Mutex<BarrierState>,
+    cvar: Condvar,
+    parties: usize,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    waiting: usize,
+    generation: u64,
+}
+
+impl Barrier {
+    /// A barrier for `parties` threads.
+    ///
+    /// # Panics
+    /// If `parties == 0`.
+    pub fn new(parties: usize) -> Barrier {
+        assert!(parties > 0, "barrier needs at least one party");
+        Barrier {
+            state: Mutex::new(BarrierState { waiting: 0, generation: 0 }),
+            cvar: Condvar::new(),
+            parties,
+        }
+    }
+
+    /// Number of parties that must arrive.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Blocks until all parties arrive. Returns `true` for exactly one
+    /// "leader" thread per round (like pthreads' SERIAL_THREAD return).
+    pub fn wait(&self) -> bool {
+        let mut st = self.state.lock().expect("barrier mutex poisoned");
+        let gen = st.generation;
+        st.waiting += 1;
+        if st.waiting == self.parties {
+            // Last arrival: open the next generation and wake everyone.
+            st.waiting = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cvar.notify_all();
+            true
+        } else {
+            // Wait for the generation to advance (spurious-wakeup safe).
+            while st.generation == gen {
+                st = self.cvar.wait(st).expect("barrier mutex poisoned");
+            }
+            false
+        }
+    }
+}
+
+/// A sense-reversing spin barrier.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    count: AtomicUsize,
+    sense: AtomicBool,
+    parties: usize,
+}
+
+impl SpinBarrier {
+    /// A spin barrier for `parties` threads.
+    pub fn new(parties: usize) -> SpinBarrier {
+        assert!(parties > 0, "barrier needs at least one party");
+        SpinBarrier {
+            count: AtomicUsize::new(parties),
+            sense: AtomicBool::new(false),
+            parties,
+        }
+    }
+
+    /// Spins until all parties arrive. Returns `true` for the leader.
+    pub fn wait(&self) -> bool {
+        let my_sense = !self.sense.load(Ordering::Acquire);
+        if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last arrival resets and flips the sense, releasing spinners.
+            self.count.store(self.parties, Ordering::Release);
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                std::hint::spin_loop();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::thread;
+
+    /// Drives N threads through R rounds, asserting no thread enters round
+    /// r+1 before every thread finished round r.
+    fn exercise_rounds(wait: impl Fn() -> bool + Sync, parties: usize, rounds: usize) {
+        let arrived: Vec<AtomicU64> = (0..rounds).map(|_| AtomicU64::new(0)).collect();
+        thread::scope(|s| {
+            for _ in 0..parties {
+                s.spawn(|| {
+                    for (r, slot) in arrived.iter().enumerate() {
+                        slot.fetch_add(1, Ordering::SeqCst);
+                        wait();
+                        // After the barrier, every party must have arrived.
+                        assert_eq!(
+                            slot.load(Ordering::SeqCst),
+                            parties as u64,
+                            "round {r} barrier leaked"
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn condvar_barrier_synchronizes_rounds() {
+        let b = Barrier::new(4);
+        exercise_rounds(|| b.wait(), 4, 25);
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes_rounds() {
+        let b = SpinBarrier::new(4);
+        exercise_rounds(|| b.wait(), 4, 25);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_round() {
+        let b = Barrier::new(3);
+        let leaders = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let b = Barrier::new(1);
+        for _ in 0..100 {
+            assert!(b.wait(), "sole thread is always the leader");
+        }
+        let sb = SpinBarrier::new(1);
+        for _ in 0..100 {
+            assert!(sb.wait());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_rejected() {
+        let _ = Barrier::new(0);
+    }
+
+    #[test]
+    fn reusable_many_generations() {
+        // Regression guard for the generation counter: far more rounds
+        // than parties.
+        let b = Barrier::new(2);
+        exercise_rounds(|| b.wait(), 2, 500);
+    }
+}

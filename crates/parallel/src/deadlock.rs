@@ -1,0 +1,280 @@
+//! Deadlock: creating it, detecting it, and the fix the course teaches.
+//!
+//! "Once we introduce synchronization, we discuss the potential for
+//! deadlock" (§III-A). This module makes the discussion executable:
+//!
+//! * [`DiningTable`] — the two-lock (and N-lock dining-philosophers)
+//!   structure with **both** acquisition disciplines: the deadlock-prone
+//!   "grab your left fork, then your right" and the global-lock-ordering
+//!   fix;
+//! * a **wait-for-graph** model ([`WaitForGraph`]) with cycle detection —
+//!   how a kernel (or a student on a whiteboard) proves a state is
+//!   deadlocked;
+//! * [`run_philosophers`] — a real-thread run that avoids *actually*
+//!   hanging the test suite by using `try_lock` + backoff when asked to
+//!   demonstrate the unsafe discipline, while counting how often the
+//!   circular-wait condition was entered.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A wait-for graph: edge `a → b` means "thread a waits for a resource
+/// held by thread b".
+#[derive(Debug, Default, Clone)]
+pub struct WaitForGraph {
+    edges: HashMap<usize, Vec<usize>>,
+}
+
+impl WaitForGraph {
+    /// An empty graph.
+    pub fn new() -> WaitForGraph {
+        WaitForGraph::default()
+    }
+
+    /// Adds a wait edge.
+    pub fn add_wait(&mut self, waiter: usize, holder: usize) {
+        self.edges.entry(waiter).or_default().push(holder);
+    }
+
+    /// Removes all wait edges from `waiter` (it acquired or gave up).
+    pub fn clear_waits(&mut self, waiter: usize) {
+        self.edges.remove(&waiter);
+    }
+
+    /// Detects a cycle (deadlock); returns one cycle's nodes if present.
+    ///
+    /// The four Coffman conditions are taught as theory; the cycle in the
+    /// wait-for graph is the *observable* one.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks: HashMap<usize, Mark> = HashMap::new();
+        let nodes: Vec<usize> = self.edges.keys().copied().collect();
+
+        fn dfs(
+            g: &HashMap<usize, Vec<usize>>,
+            marks: &mut HashMap<usize, Mark>,
+            stack: &mut Vec<usize>,
+            node: usize,
+        ) -> Option<Vec<usize>> {
+            marks.insert(node, Mark::Grey);
+            stack.push(node);
+            for &next in g.get(&node).into_iter().flatten() {
+                match marks.get(&next).copied().unwrap_or(Mark::White) {
+                    Mark::Grey => {
+                        // Found the cycle: slice the stack from `next`.
+                        let start = stack.iter().position(|&n| n == next).expect("on stack");
+                        return Some(stack[start..].to_vec());
+                    }
+                    Mark::White => {
+                        if let Some(c) = dfs(g, marks, stack, next) {
+                            return Some(c);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+            stack.pop();
+            marks.insert(node, Mark::Black);
+            None
+        }
+
+        for n in nodes {
+            if marks.get(&n).copied().unwrap_or(Mark::White) == Mark::White {
+                let mut stack = Vec::new();
+                if let Some(c) = dfs(&self.edges, &mut marks, &mut stack, n) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Fork-acquisition discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// Everyone grabs left then right — circular wait is possible.
+    LeftThenRight,
+    /// Global lock ordering (always lower-numbered fork first) — the fix.
+    OrderedByIndex,
+}
+
+/// The dining table: N philosophers, N forks.
+#[derive(Debug)]
+pub struct DiningTable {
+    forks: Vec<Mutex<()>>,
+}
+
+impl DiningTable {
+    /// A table for `n` philosophers (n ≥ 2).
+    pub fn new(n: usize) -> DiningTable {
+        assert!(n >= 2, "need at least two philosophers");
+        DiningTable { forks: (0..n).map(|_| Mutex::new(())).collect() }
+    }
+
+    /// Which forks philosopher `p` needs, in the order the discipline
+    /// dictates.
+    pub fn fork_order(&self, p: usize, discipline: Discipline) -> (usize, usize) {
+        let n = self.forks.len();
+        let left = p;
+        let right = (p + 1) % n;
+        match discipline {
+            Discipline::LeftThenRight => (left, right),
+            Discipline::OrderedByIndex => (left.min(right), left.max(right)),
+        }
+    }
+}
+
+/// Result of a philosophers run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhilosopherReport {
+    /// Total meals eaten across all philosophers.
+    pub meals: u64,
+    /// Times a philosopher held one fork and found the other taken —
+    /// the circular-wait condition knocking.
+    pub contention_events: u64,
+    /// Whether every philosopher ate every meal it attempted.
+    pub completed: bool,
+}
+
+/// Runs `n` philosophers for `meals_each` meals under a discipline.
+///
+/// Under [`Discipline::OrderedByIndex`] plain blocking locks are used:
+/// deadlock is impossible (no circular wait), so the run always
+/// completes. Under [`Discipline::LeftThenRight`] the second fork is
+/// taken with `try_lock` + release-and-retry so the *demonstration*
+/// cannot hang the test suite — every failed `try_lock` while holding
+/// the first fork is counted as a contention (would-block) event, which
+/// is exactly the state that deadlocks with blocking locks.
+pub fn run_philosophers(n: usize, meals_each: u64, discipline: Discipline) -> PhilosopherReport {
+    let table = DiningTable::new(n);
+    let meals = AtomicU64::new(0);
+    let contention = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for p in 0..n {
+            let table = &table;
+            let meals = &meals;
+            let contention = &contention;
+            s.spawn(move || {
+                let (first, second) = table.fork_order(p, discipline);
+                for _ in 0..meals_each {
+                    match discipline {
+                        Discipline::OrderedByIndex => {
+                            let _f1 = table.forks[first].lock().expect("fork poisoned");
+                            let _f2 = table.forks[second].lock().expect("fork poisoned");
+                            meals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Discipline::LeftThenRight => loop {
+                            let f1 = table.forks[first].lock().expect("fork poisoned");
+                            match table.forks[second].try_lock() {
+                                Ok(_f2) => {
+                                    meals.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(_) => {
+                                    // Holding one, wanting another: the
+                                    // deadlock ingredient. Back off.
+                                    contention.fetch_add(1, Ordering::Relaxed);
+                                    drop(f1);
+                                    std::thread::yield_now();
+                                }
+                            }
+                        },
+                    }
+                }
+            });
+        }
+    });
+
+    let eaten = meals.into_inner();
+    PhilosopherReport {
+        meals: eaten,
+        contention_events: contention.into_inner(),
+        completed: eaten == n as u64 * meals_each,
+    }
+}
+
+/// The classic two-thread, two-lock deadlock as a wait-for graph — the
+/// whiteboard example, checkable.
+pub fn classic_two_lock_deadlock() -> WaitForGraph {
+    let mut g = WaitForGraph::new();
+    // T0 holds L0 and waits for L1 (held by T1);
+    // T1 holds L1 and waits for L0 (held by T0).
+    g.add_wait(0, 1);
+    g.add_wait(1, 0);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_lock_cycle_detected() {
+        let g = classic_two_lock_deadlock();
+        let cycle = g.find_cycle().expect("deadlock exists");
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&0) && cycle.contains(&1));
+    }
+
+    #[test]
+    fn acyclic_graph_is_clean() {
+        let mut g = WaitForGraph::new();
+        g.add_wait(0, 1);
+        g.add_wait(1, 2);
+        g.add_wait(3, 2);
+        assert!(g.find_cycle().is_none());
+        // Adding the back edge closes the loop.
+        g.add_wait(2, 0);
+        assert!(g.find_cycle().is_some());
+        // Releasing the wait breaks it again.
+        g.clear_waits(2);
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn longer_cycle_found() {
+        let mut g = WaitForGraph::new();
+        for i in 0..5usize {
+            g.add_wait(i, (i + 1) % 5);
+        }
+        let c = g.find_cycle().expect("5-cycle");
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn ordered_discipline_always_completes() {
+        let r = run_philosophers(5, 100, Discipline::OrderedByIndex);
+        assert!(r.completed);
+        assert_eq!(r.meals, 500);
+        assert_eq!(r.contention_events, 0, "blocking locks, no retry loop");
+    }
+
+    #[test]
+    fn unsafe_discipline_completes_only_via_backoff() {
+        // With try_lock+backoff the run finishes; the contention counter
+        // records how often the circular-wait ingredient occurred.
+        let r = run_philosophers(5, 200, Discipline::LeftThenRight);
+        assert!(r.completed, "backoff avoids the hang");
+        assert_eq!(r.meals, 1000);
+        // Not asserting contention > 0: on an unloaded single core the
+        // philosophers may serialize cleanly. The *graph* tests prove the
+        // deadlock structurally; this run proves liveness of the fix.
+    }
+
+    #[test]
+    fn fork_orders() {
+        let t = DiningTable::new(5);
+        // Philosopher 4 wraps: left=4, right=0.
+        assert_eq!(t.fork_order(4, Discipline::LeftThenRight), (4, 0));
+        assert_eq!(t.fork_order(4, Discipline::OrderedByIndex), (0, 4));
+        assert_eq!(t.fork_order(2, Discipline::OrderedByIndex), (2, 3));
+    }
+}

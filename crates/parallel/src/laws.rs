@@ -1,0 +1,143 @@
+//! Speedup, efficiency, Amdahl's law, Gustafson's law — experiment **E6**.
+//!
+//! "We introduce speedup and mention how resource contention can reduce
+//! observed speedup from theoretical ideal linear speedup … We introduce
+//! the concept of Amdahl's law, but defer a deeper dive" (§III-A).
+
+/// Speedup: `t_serial / t_parallel`.
+pub fn speedup(t_serial: f64, t_parallel: f64) -> f64 {
+    assert!(t_serial > 0.0 && t_parallel > 0.0, "times must be positive");
+    t_serial / t_parallel
+}
+
+/// Efficiency: speedup divided by processor count.
+pub fn efficiency(t_serial: f64, t_parallel: f64, p: usize) -> f64 {
+    assert!(p > 0);
+    speedup(t_serial, t_parallel) / p as f64
+}
+
+/// Amdahl's law: with serial fraction `f` on `p` processors,
+/// `S(p) = 1 / (f + (1-f)/p)`.
+pub fn amdahl(serial_fraction: f64, p: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&serial_fraction), "fraction in [0,1]");
+    assert!(p > 0);
+    1.0 / (serial_fraction + (1.0 - serial_fraction) / p as f64)
+}
+
+/// Amdahl's asymptote: `1/f` as `p → ∞` (infinite for `f = 0`).
+pub fn amdahl_limit(serial_fraction: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&serial_fraction));
+    if serial_fraction == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / serial_fraction
+    }
+}
+
+/// Gustafson's law (scaled speedup): `S(p) = p - f·(p-1)`.
+pub fn gustafson(serial_fraction: f64, p: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&serial_fraction));
+    assert!(p > 0);
+    p as f64 - serial_fraction * (p as f64 - 1.0)
+}
+
+/// An Amdahl sweep over processor counts (the E6 curve data).
+pub fn amdahl_curve(serial_fraction: f64, procs: &[usize]) -> Vec<(usize, f64)> {
+    procs.iter().map(|&p| (p, amdahl(serial_fraction, p))).collect()
+}
+
+/// Classifies an observed speedup the way the course discusses results:
+/// near-linear, sublinear, or the suspicious superlinear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeedupClass {
+    /// Within 90% of ideal linear.
+    NearLinear,
+    /// Positive but clearly below linear.
+    Sublinear,
+    /// Above linear (cache effects or a measurement bug).
+    Superlinear,
+    /// At or below 1: parallelism did not help.
+    None,
+}
+
+/// Classifies `observed` speedup on `p` processors.
+pub fn classify(observed: f64, p: usize) -> SpeedupClass {
+    let p = p as f64;
+    if observed <= 1.0 {
+        SpeedupClass::None
+    } else if observed > p + 1e-9 {
+        SpeedupClass::Superlinear
+    } else if observed >= 0.9 * p {
+        SpeedupClass::NearLinear
+    } else {
+        SpeedupClass::Sublinear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn amdahl_classic_numbers() {
+        // f=0.05, p=20: S = 1/(0.05 + 0.95/20) ≈ 10.26
+        let s = amdahl(0.05, 20);
+        assert!((s - 10.256).abs() < 0.01, "{s}");
+        // Fully parallel: exactly linear.
+        assert!((amdahl(0.0, 16) - 16.0).abs() < 1e-12);
+        // Fully serial: no speedup ever.
+        assert!((amdahl(1.0, 1024) - 1.0).abs() < 1e-12);
+        assert!((amdahl_limit(0.05) - 20.0).abs() < 1e-12);
+        assert!(amdahl_limit(0.0).is_infinite());
+    }
+
+    #[test]
+    fn gustafson_beats_amdahl_for_scaled_work() {
+        for p in [2usize, 8, 64] {
+            assert!(gustafson(0.1, p) > amdahl(0.1, p), "p={p}");
+        }
+        assert!((gustafson(0.0, 32) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_efficiency() {
+        assert!((speedup(10.0, 2.5) - 4.0).abs() < 1e-12);
+        assert!((efficiency(10.0, 2.5, 8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify(15.5, 16), SpeedupClass::NearLinear);
+        assert_eq!(classify(8.0, 16), SpeedupClass::Sublinear);
+        assert_eq!(classify(17.0, 16), SpeedupClass::Superlinear);
+        assert_eq!(classify(0.9, 16), SpeedupClass::None);
+    }
+
+    #[test]
+    fn curve_shape() {
+        let c = amdahl_curve(0.1, &[1, 2, 4, 8, 16, 32]);
+        assert_eq!(c[0], (1, 1.0));
+        for w in c.windows(2) {
+            assert!(w[1].1 > w[0].1, "monotone increasing");
+        }
+        assert!(c.last().unwrap().1 < amdahl_limit(0.1));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_amdahl_bounded(f in 0.0f64..=1.0, p in 1usize..1000) {
+            let s = amdahl(f, p);
+            prop_assert!(s >= 1.0 - 1e-12);
+            prop_assert!(s <= p as f64 + 1e-9);
+            if f > 0.0 {
+                prop_assert!(s <= amdahl_limit(f) + 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_amdahl_monotone_in_p(f in 0.01f64..=0.99, p in 1usize..500) {
+            prop_assert!(amdahl(f, p + 1) >= amdahl(f, p) - 1e-12);
+        }
+    }
+}

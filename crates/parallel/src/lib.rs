@@ -1,0 +1,52 @@
+//! # parallel — the shared-memory parallelism runtime
+//!
+//! The paper's third theme: "taking advantage of the power of parallel
+//! computing … race conditions, synchronization, deadlock, speed-up, the
+//! producer-consumer problem, and designing and implementing parallel
+//! programs in pthreads" (§II). This crate is the pthreads module of the
+//! course rebuilt in Rust, with every primitive implemented from `std`
+//! parts (per *Rust Atomics and Locks*) rather than imported:
+//!
+//! * [`barrier`] — a Condvar barrier with generation counts, plus a
+//!   sense-reversing spin barrier — the synchronization Lab 10 requires;
+//! * [`semaphore`] — a counting semaphore from `Mutex` + `Condvar`;
+//! * [`bounded`] — the producer/consumer bounded buffer (experiment
+//!   **E7**), the course's culminating synchronization exercise;
+//! * [`deadlock`] — the dining-philosophers structure under both lock
+//!   disciplines, plus a wait-for-graph cycle detector ("the potential
+//!   for deadlock", §III-A);
+//! * [`counter`] — the shared-counter data-race demonstration
+//!   (experiment **E8**): a *memory-safe* lost-update anomaly via
+//!   non-atomic read-modify-write over relaxed atomics, against
+//!   `fetch_add` and mutex versions;
+//! * [`laws`] — speedup, efficiency, Amdahl, Gustafson (experiment **E6**);
+//! * [`par`] — data-parallel `par_for`/`par_map`/`par_reduce` over scoped
+//!   threads with static and dynamic (work-stealing-lite) chunking;
+//! * [`machine`] — the deterministic multicore **machine model** used to
+//!   reproduce the paper's speedup claims on any host (this container has
+//!   one CPU; see DESIGN.md §2 for why the model preserves the paper's
+//!   measured shapes).
+//!
+//! ```
+//! // Amdahl's law: 5% serial caps speedup at 20x.
+//! let s = parallel::laws::amdahl(0.05, 1_000_000);
+//! assert!(s < 20.0 && s > 19.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod bounded;
+pub mod counter;
+pub mod deadlock;
+pub mod laws;
+pub mod machine;
+pub mod par;
+pub mod rwlock;
+pub mod semaphore;
+
+pub use barrier::{Barrier, SpinBarrier};
+pub use bounded::BoundedBuffer;
+pub use rwlock::RwLock;
+pub use semaphore::Semaphore;

@@ -1,0 +1,384 @@
+//! The deterministic multicore machine model — the substrate behind
+//! experiment **E1**'s speedup curves.
+//!
+//! The paper's Lab 10 has students "measure near linear speedup up to 16
+//! threads on multicore machines". This container exposes **one** CPU, so
+//! wall-clock speedup is physically capped; per the substitution rule
+//! (DESIGN.md §2) we reproduce the *measured shape* with a discrete model
+//! that executes the same program structure: per-thread work segments,
+//! mutex-serialized critical sections, and barrier rounds on `P` cores,
+//! with an optional memory-contention inflation.
+//!
+//! The model is deliberately simple enough to reason about in an intro
+//! course: per barrier-delimited phase,
+//!
+//! ```text
+//! phase_time = max( makespan(per-thread demand over cores),
+//!                   Σ critical-section time )            + barrier_cost
+//! ```
+//!
+//! where demand inflates by `1 + contention·(active_cores − 1)`. Near-
+//! linear speedup, the saturation knee at `threads > cores`, and the
+//! synchronization bend all fall out of those three terms.
+
+/// One step of a simulated thread's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// Pure compute for this many work units.
+    Work(u64),
+    /// A critical section of this many units (serialized machine-wide).
+    Critical(u64),
+    /// A barrier crossing (all threads must line up on barrier counts).
+    Barrier,
+}
+
+/// Machine parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Cost charged per barrier crossing.
+    pub barrier_cost: u64,
+    /// Overhead per critical-section entry (lock acquire/release).
+    pub lock_overhead: u64,
+    /// Work inflation per additional active core (memory contention):
+    /// effective work = work × (1 + contention × (active − 1)).
+    pub contention: f64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig { cores: 16, barrier_cost: 50, lock_overhead: 10, contention: 0.0 }
+    }
+}
+
+/// Errors from malformed workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineModelError {
+    /// Threads disagree on the number of barrier crossings.
+    BarrierMismatch {
+        /// Barrier count of thread 0.
+        expected: usize,
+        /// The offending thread index.
+        thread: usize,
+        /// Its barrier count.
+        got: usize,
+    },
+    /// No threads supplied.
+    Empty,
+    /// Zero cores configured.
+    NoCores,
+}
+
+impl std::fmt::Display for MachineModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineModelError::BarrierMismatch { expected, thread, got } => write!(
+                f,
+                "thread {thread} crosses {got} barriers; thread 0 crosses {expected}"
+            ),
+            MachineModelError::Empty => write!(f, "no threads in workload"),
+            MachineModelError::NoCores => write!(f, "machine has no cores"),
+        }
+    }
+}
+
+impl std::error::Error for MachineModelError {}
+
+/// Per-phase accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseReport {
+    /// Makespan of compute demand over the cores.
+    pub compute_time: f64,
+    /// Total serialized critical time (the lock floor).
+    pub critical_floor: f64,
+    /// The phase's contribution to total time (incl. barrier cost).
+    pub phase_time: f64,
+}
+
+/// The simulation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineReport {
+    /// Modeled parallel execution time.
+    pub parallel_time: f64,
+    /// Modeled one-thread serial time of the same total work
+    /// (no barriers, no lock overhead, no contention).
+    pub serial_time: f64,
+    /// Threads simulated.
+    pub threads: usize,
+    /// Per-phase breakdown.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl MachineReport {
+    /// Modeled speedup: serial time over parallel time.
+    pub fn speedup(&self) -> f64 {
+        self.serial_time / self.parallel_time
+    }
+
+    /// Modeled efficiency: speedup / threads.
+    pub fn efficiency(&self) -> f64 {
+        self.speedup() / self.threads as f64
+    }
+}
+
+/// Longest-processing-time greedy makespan of `demands` over `cores`.
+fn lpt_makespan(demands: &[f64], cores: usize) -> f64 {
+    let mut sorted: Vec<f64> = demands.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite demands"));
+    let mut loads = vec![0.0f64; cores.min(demands.len()).max(1)];
+    for d in sorted {
+        let min = loads
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).expect("finite loads"))
+            .expect("nonempty loads");
+        *min += d;
+    }
+    loads.into_iter().fold(0.0, f64::max)
+}
+
+/// Simulates a workload on the machine.
+pub fn simulate(
+    cfg: MachineConfig,
+    threads: &[Vec<Segment>],
+) -> Result<MachineReport, MachineModelError> {
+    if cfg.cores == 0 {
+        return Err(MachineModelError::NoCores);
+    }
+    if threads.is_empty() {
+        return Err(MachineModelError::Empty);
+    }
+
+    // Split every thread's segments into barrier-delimited phases.
+    let split = |segs: &[Segment]| -> Vec<(u64, u64, usize)> {
+        // (work, critical_units, critical_entries) per phase
+        let mut phases = vec![(0u64, 0u64, 0usize)];
+        for s in segs {
+            match s {
+                Segment::Work(w) => phases.last_mut().expect("nonempty").0 += w,
+                Segment::Critical(c) => {
+                    let last = phases.last_mut().expect("nonempty");
+                    last.1 += c;
+                    last.2 += 1;
+                }
+                Segment::Barrier => phases.push((0, 0, 0)),
+            }
+        }
+        phases
+    };
+
+    let per_thread: Vec<Vec<(u64, u64, usize)>> = threads.iter().map(|t| split(t)).collect();
+    let nphases = per_thread[0].len();
+    for (i, t) in per_thread.iter().enumerate() {
+        if t.len() != nphases {
+            return Err(MachineModelError::BarrierMismatch {
+                expected: nphases - 1,
+                thread: i,
+                got: t.len() - 1,
+            });
+        }
+    }
+
+    let active = threads.len().min(cfg.cores);
+    let inflation = 1.0 + cfg.contention * (active.saturating_sub(1)) as f64;
+
+    let mut phases = Vec::with_capacity(nphases);
+    let mut total = 0.0;
+    for k in 0..nphases {
+        let demands: Vec<f64> = per_thread
+            .iter()
+            .map(|t| {
+                let (w, c, entries) = t[k];
+                w as f64 * inflation + c as f64 + (entries as u64 * cfg.lock_overhead) as f64
+            })
+            .collect();
+        let compute_time = lpt_makespan(&demands, cfg.cores);
+        let critical_floor: f64 = per_thread
+            .iter()
+            .map(|t| t[k].1 as f64 + (t[k].2 as u64 * cfg.lock_overhead) as f64)
+            .sum();
+        let barrier = if k + 1 < nphases { cfg.barrier_cost as f64 } else { 0.0 };
+        let phase_time = compute_time.max(critical_floor) + barrier;
+        total += phase_time;
+        phases.push(PhaseReport { compute_time, critical_floor, phase_time });
+    }
+
+    // Serial reference: all work and critical units on one core, no
+    // overheads (the sequential Lab 6 program has no locks or barriers).
+    let serial_time: f64 = threads
+        .iter()
+        .flatten()
+        .map(|s| match s {
+            Segment::Work(w) => *w as f64,
+            Segment::Critical(c) => *c as f64,
+            Segment::Barrier => 0.0,
+        })
+        .sum();
+
+    Ok(MachineReport { parallel_time: total, serial_time, threads: threads.len(), phases })
+}
+
+/// Builds the Lab 10 workload shape: `total_work` units split evenly over
+/// `threads`, in `rounds` barrier-separated rounds, each thread also
+/// entering one `crit_per_round`-unit critical section per round (the
+/// mutex-guarded shared statistics update).
+pub fn life_like_workload(
+    total_work: u64,
+    threads: usize,
+    rounds: usize,
+    crit_per_round: u64,
+) -> Vec<Vec<Segment>> {
+    assert!(threads > 0 && rounds > 0);
+    let per_thread_round = total_work / threads as u64 / rounds as u64;
+    (0..threads)
+        .map(|_| {
+            let mut segs = Vec::with_capacity(rounds * 3);
+            for r in 0..rounds {
+                segs.push(Segment::Work(per_thread_round));
+                if crit_per_round > 0 {
+                    segs.push(Segment::Critical(crit_per_round));
+                }
+                if r + 1 < rounds {
+                    segs.push(Segment::Barrier);
+                }
+            }
+            segs
+        })
+        .collect()
+}
+
+/// The E1 sweep: modeled speedup for each thread count in `threads`.
+pub fn speedup_sweep(
+    cfg: MachineConfig,
+    total_work: u64,
+    rounds: usize,
+    crit_per_round: u64,
+    threads: &[usize],
+) -> Vec<(usize, f64)> {
+    threads
+        .iter()
+        .map(|&t| {
+            let wl = life_like_workload(total_work, t, rounds, crit_per_round);
+            let r = simulate(cfg, &wl).expect("uniform workload is well-formed");
+            (t, r.speedup())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{classify, SpeedupClass};
+
+    fn paper_machine() -> MachineConfig {
+        MachineConfig { cores: 16, barrier_cost: 50, lock_overhead: 10, contention: 0.0 }
+    }
+
+    #[test]
+    fn near_linear_speedup_to_16_threads() {
+        // The paper's headline classroom observation.
+        let sweep = speedup_sweep(paper_machine(), 16_000_000, 100, 5, &[1, 2, 4, 8, 16]);
+        for &(t, s) in &sweep {
+            assert_eq!(
+                classify(s, t),
+                if t == 1 { SpeedupClass::None } else { SpeedupClass::NearLinear },
+                "threads={t} speedup={s}"
+            );
+        }
+        let s16 = sweep.last().unwrap().1;
+        assert!(s16 > 14.4 && s16 <= 16.0, "16-thread speedup {s16}");
+    }
+
+    #[test]
+    fn saturates_beyond_core_count() {
+        let sweep = speedup_sweep(paper_machine(), 16_000_000, 50, 0, &[16, 32, 64]);
+        let s16 = sweep[0].1;
+        for &(t, s) in &sweep[1..] {
+            assert!(s <= s16 * 1.01, "threads={t}: no speedup beyond 16 cores");
+        }
+    }
+
+    #[test]
+    fn critical_sections_bend_the_curve() {
+        // Growing the per-round critical share must cut 16-thread speedup.
+        let mut prev = f64::INFINITY;
+        for crit in [0u64, 1_000, 10_000, 40_000] {
+            let wl = life_like_workload(16_000_000, 16, 10, crit);
+            let s = simulate(paper_machine(), &wl).unwrap().speedup();
+            assert!(s < prev, "crit={crit}: {s} !< {prev}");
+            prev = s;
+        }
+        // At extreme contention the lock floor dominates: sublinear.
+        assert!(classify(prev, 16) == SpeedupClass::Sublinear);
+    }
+
+    #[test]
+    fn memory_contention_degrades_speedup() {
+        let wl = life_like_workload(16_000_000, 16, 10, 0);
+        let free = simulate(paper_machine(), &wl).unwrap().speedup();
+        let contended = simulate(
+            MachineConfig { contention: 0.02, ..paper_machine() },
+            &wl,
+        )
+        .unwrap()
+        .speedup();
+        assert!(contended < free * 0.9, "{contended} vs {free}");
+    }
+
+    #[test]
+    fn barrier_cost_matters_more_with_more_rounds() {
+        let few = life_like_workload(1_000_000, 16, 2, 0);
+        let many = life_like_workload(1_000_000, 16, 200, 0);
+        let s_few = simulate(paper_machine(), &few).unwrap().speedup();
+        let s_many = simulate(paper_machine(), &many).unwrap().speedup();
+        assert!(s_many < s_few, "more barriers, more overhead");
+    }
+
+    #[test]
+    fn imbalance_hurts() {
+        // One thread gets 4x the work of the others.
+        let mut wl = life_like_workload(1_600_000, 16, 1, 0);
+        wl[0] = vec![Segment::Work(400_000)];
+        let s = simulate(paper_machine(), &wl).unwrap().speedup();
+        let balanced = simulate(paper_machine(), &life_like_workload(1_600_000, 16, 1, 0))
+            .unwrap()
+            .speedup();
+        assert!(s < balanced * 0.6, "imbalanced {s} vs balanced {balanced}");
+    }
+
+    #[test]
+    fn serial_reference_is_total_work() {
+        let wl = life_like_workload(1000, 4, 1, 0);
+        let r = simulate(paper_machine(), &wl).unwrap();
+        assert!((r.serial_time - 1000.0).abs() < 1.0);
+        assert_eq!(r.threads, 4);
+        assert_eq!(r.phases.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            simulate(paper_machine(), &[]).unwrap_err(),
+            MachineModelError::Empty
+        );
+        assert_eq!(
+            simulate(MachineConfig { cores: 0, ..paper_machine() }, &[vec![]]).unwrap_err(),
+            MachineModelError::NoCores
+        );
+        let ragged = vec![
+            vec![Segment::Work(1), Segment::Barrier, Segment::Work(1)],
+            vec![Segment::Work(1)],
+        ];
+        assert!(matches!(
+            simulate(paper_machine(), &ragged).unwrap_err(),
+            MachineModelError::BarrierMismatch { thread: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn lpt_makespan_basics() {
+        assert_eq!(lpt_makespan(&[4.0, 3.0, 2.0, 1.0], 2), 5.0);
+        assert_eq!(lpt_makespan(&[10.0], 8), 10.0);
+        assert_eq!(lpt_makespan(&[1.0, 1.0, 1.0, 1.0], 4), 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Data-parallel loops over scoped threads: the rayon idiom, implemented
+//! from scratch on `std::thread::scope` so the course's "divide the data
+//! among threads" lesson is visible in the code rather than hidden in a
+//! library.
+//!
+//! * [`par_for_chunks`] — static partitioning: each thread owns one
+//!   contiguous chunk (how Lab 10 partitions the Life grid);
+//! * [`par_map`] — map over a slice into a new `Vec`;
+//! * [`par_reduce`] — tree-free two-phase reduction (local then combine);
+//! * [`par_for_dynamic`] — an atomic work-index loop (dynamic chunking),
+//!   the load-balancing upgrade discussed for irregular work.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Splits `data` into `threads` near-equal contiguous chunks and applies
+/// `f(chunk_index, chunk)` to each in parallel, in place.
+///
+/// With `threads == 1` this degenerates to a plain call — the property
+/// tests rely on that equivalence.
+pub fn par_for_chunks<T, F>(data: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    if data.is_empty() {
+        return;
+    }
+    let threads = threads.min(data.len());
+    let chunk = data.len().div_ceil(threads);
+    thread::scope(|s| {
+        for (i, piece) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || f(i, piece));
+        }
+    });
+}
+
+/// Parallel map: applies `f` to each element, preserving order.
+pub fn par_map<T, U, F>(data: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    assert!(threads > 0);
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.min(data.len());
+    let chunk = data.len().div_ceil(threads);
+    let mut out: Vec<Option<U>> = (0..data.len()).map(|_| None).collect();
+    thread::scope(|s| {
+        for (ins, outs) in data.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            s.spawn(move || {
+                for (i, o) in ins.iter().zip(outs.iter_mut()) {
+                    *o = Some(f(i));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("every slot written")).collect()
+}
+
+/// Parallel reduction: per-thread local fold, then a serial combine of
+/// the partials — the "sum across threads then join" Lab 10 shape.
+pub fn par_reduce<T, A, F, G>(data: &[T], threads: usize, identity: A, fold: F, combine: G) -> A
+where
+    T: Sync,
+    A: Send + Clone,
+    F: Fn(A, &T) -> A + Sync,
+    G: Fn(A, A) -> A,
+{
+    assert!(threads > 0);
+    if data.is_empty() {
+        return identity;
+    }
+    let threads = threads.min(data.len());
+    let chunk = data.len().div_ceil(threads);
+    let mut partials: Vec<A> = Vec::with_capacity(threads);
+    thread::scope(|s| {
+        let handles: Vec<_> = data
+            .chunks(chunk)
+            .map(|piece| {
+                let fold = &fold;
+                let id = identity.clone();
+                s.spawn(move || piece.iter().fold(id, fold))
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("reduce worker panicked"));
+        }
+    });
+    partials.into_iter().fold(identity, combine)
+}
+
+/// Dynamic scheduling: threads pull `grain`-sized index ranges from a
+/// shared atomic counter until the range `0..n` is exhausted, calling
+/// `f(start..end)` for each claimed range.
+pub fn par_for_dynamic<F>(n: usize, threads: usize, grain: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    assert!(threads > 0 && grain > 0);
+    let next = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let start = next.fetch_add(grain, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                f(start..(start + grain).min(n));
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        let mut data = vec![0u32; 103];
+        par_for_chunks(&mut data, 4, |_, chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn chunk_indices_are_distinct() {
+        let mut data = vec![0usize; 40];
+        par_for_chunks(&mut data, 4, |i, chunk| {
+            for x in chunk {
+                *x = i;
+            }
+        });
+        // 40/4 = 10 per chunk, in order.
+        for (pos, &owner) in data.iter().enumerate() {
+            assert_eq!(owner, pos / 10);
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let data: Vec<i64> = (0..1000).collect();
+        let sq = par_map(&data, 8, |x| x * x);
+        for (i, v) in sq.iter().enumerate() {
+            assert_eq!(*v, (i * i) as i64);
+        }
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let data: Vec<u64> = (1..=10_000).collect();
+        let sum = par_reduce(&data, 8, 0u64, |a, &x| a + x, |a, b| a + b);
+        assert_eq!(sum, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn dynamic_covers_all_indices_exactly_once() {
+        let n = 997; // prime: ragged last chunk
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        par_for_dynamic(n, 4, 16, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let mut empty: Vec<u8> = vec![];
+        par_for_chunks(&mut empty, 4, |_, _| panic!("no chunks for empty"));
+        assert!(par_map(&empty, 4, |x| *x).is_empty());
+        assert_eq!(par_reduce(&empty, 4, 7u8, |a, &x| a + x, |a, b| a + b), 7);
+        // More threads than elements.
+        let mut tiny = vec![1u8, 2];
+        par_for_chunks(&mut tiny, 16, |_, c| {
+            for x in c {
+                *x *= 10;
+            }
+        });
+        assert_eq!(tiny, vec![10, 20]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_par_map_equals_serial(data in proptest::collection::vec(any::<i32>(), 0..200),
+                                      threads in 1usize..8) {
+            let serial: Vec<i64> = data.iter().map(|&x| x as i64 * 3 - 1).collect();
+            let par = par_map(&data, threads, |&x| x as i64 * 3 - 1);
+            prop_assert_eq!(par, serial);
+        }
+
+        #[test]
+        fn prop_par_reduce_equals_serial(data in proptest::collection::vec(0u64..1000, 0..200),
+                                         threads in 1usize..8) {
+            let serial: u64 = data.iter().sum();
+            let par = par_reduce(&data, threads, 0u64, |a, &x| a + x, |a, b| a + b);
+            prop_assert_eq!(par, serial);
+        }
+
+        #[test]
+        fn prop_thread_count_does_not_change_result(
+            data in proptest::collection::vec(any::<u8>(), 1..100)
+        ) {
+            let mut a = data.clone();
+            let mut b = data.clone();
+            par_for_chunks(&mut a, 1, |_, c| c.iter_mut().for_each(|x| *x = x.wrapping_mul(7)));
+            par_for_chunks(&mut b, 7, |_, c| c.iter_mut().for_each(|x| *x = x.wrapping_mul(7)));
+            prop_assert_eq!(a, b);
+        }
+    }
+}

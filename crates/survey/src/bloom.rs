@@ -1,0 +1,85 @@
+//! The five-point rating scale from §IV, "based on Bloom's taxonomy".
+
+/// A survey rating: the paper's exact level definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BloomLevel {
+    /// 0: "do not recognize the topic/concept".
+    DontRecognize = 0,
+    /// 1: "recognize the topic/concept/term".
+    Recognize = 1,
+    /// 2: "could define it".
+    Define = 2,
+    /// 3: "could analyze/understand this topic/concept in a solution
+    /// that was given to me".
+    Analyze = 3,
+    /// 4: "could apply this topic/concept to a problem".
+    Apply = 4,
+}
+
+impl BloomLevel {
+    /// All levels in ascending order.
+    pub fn all() -> [BloomLevel; 5] {
+        [
+            BloomLevel::DontRecognize,
+            BloomLevel::Recognize,
+            BloomLevel::Define,
+            BloomLevel::Analyze,
+            BloomLevel::Apply,
+        ]
+    }
+
+    /// Numeric value 0–4.
+    pub fn score(&self) -> u8 {
+        *self as u8
+    }
+
+    /// From a (clamped) numeric value.
+    pub fn from_score(s: i32) -> BloomLevel {
+        match s.clamp(0, 4) {
+            0 => BloomLevel::DontRecognize,
+            1 => BloomLevel::Recognize,
+            2 => BloomLevel::Define,
+            3 => BloomLevel::Analyze,
+            _ => BloomLevel::Apply,
+        }
+    }
+
+    /// The paper's wording for the level.
+    pub fn description(&self) -> &'static str {
+        match self {
+            BloomLevel::DontRecognize => "do not recognize the topic/concept",
+            BloomLevel::Recognize => "recognize the topic/concept/term",
+            BloomLevel::Define => "could define it",
+            BloomLevel::Analyze => {
+                "could analyze/understand this topic/concept in a solution that was given to me"
+            }
+            BloomLevel::Apply => "could apply this topic/concept to a problem",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_roundtrip() {
+        for l in BloomLevel::all() {
+            assert_eq!(BloomLevel::from_score(l.score() as i32), l);
+        }
+        assert_eq!(BloomLevel::from_score(-3), BloomLevel::DontRecognize);
+        assert_eq!(BloomLevel::from_score(99), BloomLevel::Apply);
+    }
+
+    #[test]
+    fn ordering_follows_depth() {
+        assert!(BloomLevel::Apply > BloomLevel::Analyze);
+        assert!(BloomLevel::Recognize > BloomLevel::DontRecognize);
+    }
+
+    #[test]
+    fn descriptions_match_paper() {
+        assert!(BloomLevel::Apply.description().contains("apply"));
+        assert!(BloomLevel::Define.description().contains("define"));
+    }
+}

@@ -1,0 +1,158 @@
+//! The generative model of the surveyed population.
+//!
+//! §IV's population: students in two upper-level courses (CS 87 Parallel
+//! & Distributed Computing, CS 43 Networking) who took CS 31 "up to two
+//! years" earlier. The model:
+//!
+//! * a student's **aptitude** offset (individual variation),
+//! * a topic's **emphasis** sets the expected depth right after CS 31
+//!   (`base = 1 + 3·emphasis`: a just-introduced topic lands at
+//!   "recognize", a heavily drilled one approaches "apply"),
+//! * **retention decay** subtracts up to `decay_per_year × years`,
+//!   (§IV: "it is likely that their current understanding is lower than
+//!   it would have been immediately after completing the course"),
+//! * integer noise, then clamping to the 0–4 scale.
+
+use crate::bloom::BloomLevel;
+use crate::topics::Topic;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cohort model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CohortConfig {
+    /// Students surveyed.
+    pub students: usize,
+    /// Max years since CS 31 (paper: "up to two years").
+    pub max_years_since: f64,
+    /// Rating decay per year since the course.
+    pub decay_per_year: f64,
+    /// Std-dev-ish half-width of individual aptitude (uniform).
+    pub aptitude_spread: f64,
+    /// Per-response noise half-width (uniform).
+    pub noise: f64,
+}
+
+impl Default for CohortConfig {
+    fn default() -> Self {
+        CohortConfig {
+            students: 50, // two course sections' worth of survey responses
+            max_years_since: 2.0,
+            decay_per_year: 0.35,
+            aptitude_spread: 0.6,
+            noise: 0.5,
+        }
+    }
+}
+
+/// One student's ratings across all topics (same row order as the input
+/// topic slice).
+pub type StudentRatings = Vec<BloomLevel>;
+
+/// Samples the cohort: `ratings[s][t]` is student `s`'s rating of
+/// topic `t`. Deterministic per seed.
+pub fn sample(config: CohortConfig, topics: &[Topic], seed: u64) -> Vec<StudentRatings> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..config.students)
+        .map(|_| {
+            let aptitude = rng.gen_range(-config.aptitude_spread..=config.aptitude_spread);
+            let years = rng.gen_range(0.0..=config.max_years_since);
+            topics
+                .iter()
+                .map(|t| {
+                    let base = 1.0 + 3.0 * t.emphasis;
+                    let decayed = base - config.decay_per_year * years + aptitude;
+                    let noisy = decayed + rng.gen_range(-config.noise..=config.noise);
+                    BloomLevel::from_score(noisy.round() as i32)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Mean score for one topic column.
+pub fn mean(ratings: &[StudentRatings], topic_idx: usize) -> f64 {
+    if ratings.is_empty() {
+        return 0.0;
+    }
+    ratings.iter().map(|r| r[topic_idx].score() as f64).sum::<f64>() / ratings.len() as f64
+}
+
+/// Median score for one topic column.
+pub fn median(ratings: &[StudentRatings], topic_idx: usize) -> f64 {
+    if ratings.is_empty() {
+        return 0.0;
+    }
+    let mut col: Vec<u8> = ratings.iter().map(|r| r[topic_idx].score()).collect();
+    col.sort_unstable();
+    let n = col.len();
+    if n % 2 == 1 {
+        col[n / 2] as f64
+    } else {
+        (col[n / 2 - 1] as f64 + col[n / 2] as f64) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topics::figure1_topics;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let ts = figure1_topics();
+        let a = sample(CohortConfig::default(), &ts, 7);
+        let b = sample(CohortConfig::default(), &ts, 7);
+        assert_eq!(a, b);
+        let c = sample(CohortConfig::default(), &ts, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let ts = figure1_topics();
+        let r = sample(CohortConfig { students: 13, ..Default::default() }, &ts, 1);
+        assert_eq!(r.len(), 13);
+        assert!(r.iter().all(|row| row.len() == ts.len()));
+    }
+
+    #[test]
+    fn higher_emphasis_higher_mean() {
+        let ts = figure1_topics();
+        let r = sample(CohortConfig::default(), &ts, 42);
+        // C programming (0.95) must outscore Amdahl (0.35).
+        let c_idx = ts.iter().position(|t| t.label == "C programming").unwrap();
+        let a_idx = ts.iter().position(|t| t.label == "Amdahl's law").unwrap();
+        assert!(mean(&r, c_idx) > mean(&r, a_idx) + 1.0);
+    }
+
+    #[test]
+    fn decay_lowers_scores() {
+        let ts = figure1_topics();
+        let fresh = sample(
+            CohortConfig { max_years_since: 0.0, ..Default::default() },
+            &ts,
+            3,
+        );
+        let stale = sample(
+            CohortConfig { max_years_since: 2.0, decay_per_year: 0.8, ..Default::default() },
+            &ts,
+            3,
+        );
+        let avg = |r: &[StudentRatings]| -> f64 {
+            (0..ts.len()).map(|i| mean(r, i)).sum::<f64>() / ts.len() as f64
+        };
+        assert!(avg(&fresh) > avg(&stale));
+    }
+
+    #[test]
+    fn mean_median_edge_cases() {
+        assert_eq!(mean(&[], 0), 0.0);
+        assert_eq!(median(&[], 0), 0.0);
+        let one = vec![vec![BloomLevel::Analyze]];
+        assert_eq!(mean(&one, 0), 3.0);
+        assert_eq!(median(&one, 0), 3.0);
+        let two = vec![vec![BloomLevel::Define], vec![BloomLevel::Analyze]];
+        assert_eq!(median(&two, 0), 2.5);
+    }
+}

@@ -1,0 +1,167 @@
+//! Figure 1, regenerated: per-topic mean and median ratings with an
+//! ASCII rendering, validated against every qualitative claim §IV makes.
+
+use crate::cohort::{self, CohortConfig};
+use crate::topics::{figure1_topics, heavily_emphasized, Topic};
+
+/// One bar of the figure.
+#[derive(Debug, Clone)]
+pub struct TopicResult {
+    /// The topic.
+    pub topic: Topic,
+    /// Mean rating (0–4).
+    pub mean: f64,
+    /// Median rating (0–4).
+    pub median: f64,
+}
+
+/// The regenerated figure.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// Per-topic results, in figure order.
+    pub results: Vec<TopicResult>,
+    /// Students sampled.
+    pub students: usize,
+}
+
+/// Generates the figure from the cohort model.
+pub fn generate(config: CohortConfig, seed: u64) -> Figure1 {
+    let topics = figure1_topics();
+    let ratings = cohort::sample(config, &topics, seed);
+    let results = topics
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TopicResult {
+            topic: t.clone(),
+            mean: cohort::mean(&ratings, i),
+            median: cohort::median(&ratings, i),
+        })
+        .collect();
+    Figure1 { results, students: config.students }
+}
+
+impl Figure1 {
+    /// The §IV claims, checked. Returns a list of violated claims
+    /// (empty = the regenerated figure matches the paper's reading).
+    pub fn check_paper_claims(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let heavy = heavily_emphasized();
+
+        // "students recognized all of these topics" — every mean ≥ 1.
+        for r in &self.results {
+            if r.mean < 1.0 {
+                violations.push(format!(
+                    "{}: mean {:.2} below 'recognize'",
+                    r.topic.label, r.mean
+                ));
+            }
+        }
+        // "they feel comfortable explaining most of these topics" —
+        // a majority of topics at or above 'could define' (2).
+        let comfortable = self.results.iter().filter(|r| r.mean >= 2.0).count();
+        if comfortable * 2 <= self.results.len() {
+            violations.push(format!(
+                "only {comfortable}/{} topics at 'define' or above",
+                self.results.len()
+            ));
+        }
+        // Heavily emphasized topics "rate their understanding at deeper
+        // levels": every heavy topic above the average of the rest.
+        let (heavy_sum, heavy_n, light_sum, light_n) = self.results.iter().fold(
+            (0.0, 0usize, 0.0, 0usize),
+            |(hs, hn, ls, ln), r| {
+                if heavy.contains(&r.topic.id) {
+                    (hs + r.mean, hn + 1, ls, ln)
+                } else {
+                    (hs, hn, ls + r.mean, ln + 1)
+                }
+            },
+        );
+        let heavy_avg = heavy_sum / heavy_n.max(1) as f64;
+        let light_avg = light_sum / light_n.max(1) as f64;
+        if heavy_avg <= light_avg {
+            violations.push(format!(
+                "heavy-topic average {heavy_avg:.2} not above others {light_avg:.2}"
+            ));
+        }
+        // "Expected results are not all 4s": no topic pinned at apply.
+        if self.results.iter().any(|r| r.mean > 3.9) {
+            violations.push("some topic mean is ~4: first-exposure course shouldn't max out".into());
+        }
+        violations
+    }
+
+    /// ASCII rendering in the figure's spirit: one bar per topic.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 1 (regenerated, n={}): self-rated understanding, 0-4 Bloom scale\n\n",
+            self.students
+        );
+        let width = 40usize;
+        for r in &self.results {
+            let bar = (r.mean / 4.0 * width as f64).round() as usize;
+            let med = ((r.median / 4.0 * width as f64).round() as usize).min(width);
+            let mut line: Vec<char> = std::iter::repeat_n('#', bar)
+                .chain(std::iter::repeat_n(' ', width.saturating_sub(bar)))
+                .collect();
+            if med < line.len() {
+                line[med] = '|'; // median marker
+            }
+            out.push_str(&format!(
+                "{:<24} {} mean {:.2} / median {:.1}\n",
+                r.topic.label,
+                line.iter().collect::<String>(),
+                r.mean,
+                r.median
+            ));
+        }
+        out.push_str("\n('#' bar = mean, '|' = median)\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regenerated_figure_satisfies_all_paper_claims() {
+        // The headline F1 check, across several seeds (not a lucky draw).
+        for seed in [1u64, 2, 3, 42, 2022] {
+            let fig = generate(CohortConfig::default(), seed);
+            let violations = fig.check_paper_claims();
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn render_contains_every_topic() {
+        let fig = generate(CohortConfig::default(), 7);
+        let text = fig.render();
+        for r in &fig.results {
+            assert!(text.contains(r.topic.label), "missing {}", r.topic.label);
+        }
+        assert!(text.contains("Bloom"));
+    }
+
+    #[test]
+    fn means_in_scale_range() {
+        let fig = generate(CohortConfig::default(), 11);
+        for r in &fig.results {
+            assert!((0.0..=4.0).contains(&r.mean));
+            assert!((0.0..=4.0).contains(&r.median));
+        }
+    }
+
+    #[test]
+    fn pathological_decay_breaks_claims() {
+        // Sanity that the checker can fail: total forgetting should
+        // violate "recognized all of these topics".
+        let cfg = CohortConfig { decay_per_year: 3.0, max_years_since: 2.0, ..Default::default() };
+        let fig = generate(cfg, 5);
+        assert!(
+            !fig.check_paper_claims().is_empty(),
+            "checker must detect a broken cohort"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # survey — the paper's evaluation, reproduced
+//!
+//! §IV evaluates CS 31 with (a) **Table I**, the TCPP curriculum topics
+//! the course covers, and (b) **Figure 1**, upper-level students' self-
+//! rated understanding of PDC topics on a five-point Bloom's-taxonomy
+//! scale (0 = don't recognize … 4 = could apply).
+//!
+//! We reproduce both:
+//!
+//! * [`tcpp`] — Table I as data, extended with the module of this
+//!   workspace that realizes each topic (the reproduction's coverage
+//!   proof);
+//! * [`bloom`] — the five-point scale with the paper's level wording;
+//! * [`topics`] — the Figure 1 topic list with a course-emphasis weight
+//!   derived from §III's description of what CS 31 stresses;
+//! * [`cohort`] — a generative model of the surveyed population
+//!   (~60 students/semester × 5 offerings, "up to two years since CS 31"
+//!   retention decay), sampled with a seeded RNG;
+//! * [`figure1`] — mean + median per topic, rendered like the figure, and
+//!   checked against every qualitative claim §IV makes about it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod cohort;
+pub mod figure1;
+pub mod prepost;
+pub mod tcpp;
+pub mod topics;
+
+pub use bloom::BloomLevel;
+pub use topics::{Topic, TopicId};

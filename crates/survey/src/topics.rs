@@ -1,0 +1,131 @@
+//! The Figure 1 topic list, with course-emphasis weights.
+//!
+//! §IV: "For topics that CS 31 emphasizes heavily, such as the memory
+//! hierarchy, C programming, and some of the fundamentals of shared
+//! memory programming including race conditions, synchronization, and
+//! pthread programming, they rate their understanding at deeper levels."
+//! The `emphasis` weight (0–1) encodes §III's coverage depth per topic;
+//! the cohort model turns it into ratings.
+
+/// Identifier for a surveyed topic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TopicId {
+    /// C programming (a full-course thread).
+    CProgramming,
+    /// The memory hierarchy.
+    MemoryHierarchy,
+    /// Caching (direct-mapped / set-associative mechanics).
+    Caching,
+    /// The process abstraction, fork/exec/wait.
+    Processes,
+    /// Virtual memory and address translation.
+    VirtualMemory,
+    /// Signals and handlers.
+    Signals,
+    /// Threads and the pthreads API.
+    PthreadProgramming,
+    /// Race conditions.
+    RaceConditions,
+    /// Synchronization primitives (mutex/barrier/condvar).
+    Synchronization,
+    /// Deadlock.
+    Deadlock,
+    /// Producer/consumer (bounded buffer).
+    ProducerConsumer,
+    /// Speedup and scalability.
+    Speedup,
+    /// Amdahl's law.
+    AmdahlsLaw,
+    /// Concurrency (multiprogramming, context switching).
+    Concurrency,
+    /// Multicore architecture.
+    MulticoreArch,
+    /// Assembly / ISA.
+    Assembly,
+}
+
+/// A surveyed topic with metadata.
+#[derive(Debug, Clone)]
+pub struct Topic {
+    /// Which topic.
+    pub id: TopicId,
+    /// Label as it would appear on the figure's axis.
+    pub label: &'static str,
+    /// Course emphasis in \[0,1\]: how heavily §III says CS 31 covers it.
+    pub emphasis: f64,
+}
+
+/// The Figure 1 topic set with emphasis weights from §III.
+///
+/// Heavily emphasized (≥ 0.8): the topics §IV names as rated deepest.
+/// Introduced-but-deferred (≤ 0.45): the ones the course explicitly
+/// defers ("we introduce the concept of Amdahl's law, but defer a deeper
+/// dive"; deadlock gets one discussion; signals are "a feel for how").
+pub fn figure1_topics() -> Vec<Topic> {
+    use TopicId::*;
+    vec![
+        Topic { id: CProgramming, label: "C programming", emphasis: 0.95 },
+        Topic { id: MemoryHierarchy, label: "memory hierarchy", emphasis: 0.9 },
+        Topic { id: Caching, label: "caching", emphasis: 0.8 },
+        Topic { id: PthreadProgramming, label: "pthread programming", emphasis: 0.85 },
+        Topic { id: RaceConditions, label: "race conditions", emphasis: 0.85 },
+        Topic { id: Synchronization, label: "synchronization", emphasis: 0.85 },
+        Topic { id: Processes, label: "processes", emphasis: 0.75 },
+        Topic { id: Concurrency, label: "concurrency", emphasis: 0.75 },
+        Topic { id: MulticoreArch, label: "multicore architecture", emphasis: 0.7 },
+        Topic { id: VirtualMemory, label: "virtual memory", emphasis: 0.7 },
+        Topic { id: Assembly, label: "assembly", emphasis: 0.7 },
+        Topic { id: ProducerConsumer, label: "producer/consumer", emphasis: 0.65 },
+        Topic { id: Speedup, label: "speedup", emphasis: 0.6 },
+        Topic { id: Signals, label: "signals", emphasis: 0.45 },
+        Topic { id: Deadlock, label: "deadlock", emphasis: 0.45 },
+        Topic { id: AmdahlsLaw, label: "Amdahl's law", emphasis: 0.35 },
+    ]
+}
+
+/// The subset §IV singles out as "emphasize\[d\] heavily".
+pub fn heavily_emphasized() -> Vec<TopicId> {
+    use TopicId::*;
+    vec![MemoryHierarchy, CProgramming, RaceConditions, Synchronization, PthreadProgramming]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_set_is_nontrivial_and_unique() {
+        let ts = figure1_topics();
+        assert!(ts.len() >= 14, "Figure 1 rates a broad topic set");
+        let mut ids: Vec<TopicId> = ts.iter().map(|t| t.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), ts.len(), "no duplicate topics");
+        assert!(ts.iter().all(|t| (0.0..=1.0).contains(&t.emphasis)));
+    }
+
+    #[test]
+    fn heavy_topics_have_top_emphasis() {
+        let ts = figure1_topics();
+        let heavy = heavily_emphasized();
+        let heavy_min = ts
+            .iter()
+            .filter(|t| heavy.contains(&t.id))
+            .map(|t| t.emphasis)
+            .fold(f64::INFINITY, f64::min);
+        let light_max = ts
+            .iter()
+            .filter(|t| !heavy.contains(&t.id))
+            .map(|t| t.emphasis)
+            .fold(0.0, f64::max);
+        assert!(heavy_min >= 0.8);
+        assert!(heavy_min > light_max - 0.2, "heavy topics near the top");
+    }
+
+    #[test]
+    fn deferred_topics_are_light() {
+        let ts = figure1_topics();
+        let amdahl = ts.iter().find(|t| t.id == TopicId::AmdahlsLaw).unwrap();
+        assert!(amdahl.emphasis < 0.5, "explicitly deferred in §III");
+    }
+}

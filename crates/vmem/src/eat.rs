@@ -1,0 +1,199 @@
+//! Effective memory access time — experiment **E5**.
+//!
+//! The analytic model the course teaches on the board, plus a measured
+//! variant that drives a real [`crate::sim::VmSystem`] + [`crate::tlb::Tlb`]
+//! with a locality-controlled trace and compares the observed EAT to the
+//! formula's prediction.
+
+use crate::replace::PagePolicy;
+use crate::sim::{VmConfig, VmSystem};
+use crate::tlb::Tlb;
+use crate::AccessKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Latency parameters (in nanoseconds, course-scale).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EatParams {
+    /// TLB lookup time.
+    pub tlb_ns: f64,
+    /// One memory access (also the cost of reading one page-table entry
+    /// in a single-level table).
+    pub mem_ns: f64,
+    /// Page-fault service time (disk), usually milliseconds.
+    pub fault_ns: f64,
+}
+
+impl Default for EatParams {
+    fn default() -> Self {
+        // The classic lecture numbers: 1ns TLB, 100ns memory, 8ms fault.
+        EatParams { tlb_ns: 1.0, mem_ns: 100.0, fault_ns: 8_000_000.0 }
+    }
+}
+
+/// The analytic EAT with TLB hit ratio `h` and page-fault rate `p`:
+///
+/// `EAT = tlb + mem + (1-h)·mem + p·fault`
+///
+/// (TLB hit: one memory access after the lookup; TLB miss adds a
+/// single-level page-table walk of one more memory access; a fault adds
+/// disk service.)
+pub fn analytic_eat(params: EatParams, tlb_hit_ratio: f64, fault_rate: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&tlb_hit_ratio));
+    assert!((0.0..=1.0).contains(&fault_rate));
+    params.tlb_ns
+        + params.mem_ns
+        + (1.0 - tlb_hit_ratio) * params.mem_ns
+        + fault_rate * params.fault_ns
+}
+
+/// The no-TLB baseline: every access pays the full page-table walk.
+pub fn no_tlb_eat(params: EatParams, fault_rate: f64) -> f64 {
+    2.0 * params.mem_ns + fault_rate * params.fault_ns
+}
+
+/// Sweep of `analytic_eat` over TLB hit ratios (the E5 series).
+pub fn eat_sweep(params: EatParams, ratios: &[f64]) -> Vec<(f64, f64)> {
+    ratios
+        .iter()
+        .map(|&h| (h, analytic_eat(params, h, 0.0)))
+        .collect()
+}
+
+/// Result of a measured EAT run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredEat {
+    /// Observed TLB hit ratio.
+    pub tlb_hit_ratio: f64,
+    /// Observed page-fault rate.
+    pub fault_rate: f64,
+    /// Average ns per access from summed costs.
+    pub measured_ns: f64,
+    /// What the formula predicts for the observed ratios.
+    pub predicted_ns: f64,
+}
+
+/// Drives a VM + TLB with a trace whose locality is controlled by
+/// `locality` in \[0,1\]: with probability `locality` the access re-touches a
+/// recent page, otherwise it jumps uniformly. Returns measured vs
+/// predicted EAT.
+pub fn measure_eat(
+    params: EatParams,
+    tlb_entries: usize,
+    locality: f64,
+    accesses: usize,
+    seed: u64,
+) -> MeasuredEat {
+    assert!((0.0..=1.0).contains(&locality));
+    let pages = 64u64;
+    let mut vm = VmSystem::new(VmConfig {
+        page_size: 4096,
+        num_frames: pages as usize, // enough frames: isolate TLB effects
+        pages_per_process: pages,
+        policy: PagePolicy::Lru,
+        local_replacement: false,
+    });
+    let pid = vm.spawn();
+    let mut tlb = Tlb::new(tlb_entries, false);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut recent: Vec<u64> = vec![0];
+    let mut total_ns = 0.0;
+
+    for _ in 0..accesses {
+        let page = if rng.gen_bool(locality) {
+            recent[rng.gen_range(0..recent.len())]
+        } else {
+            let p = rng.gen_range(0..pages);
+            recent.push(p);
+            if recent.len() > 4 {
+                recent.remove(0);
+            }
+            p
+        };
+        let vaddr = page * 4096 + rng.gen_range(0..4096);
+        total_ns += params.tlb_ns;
+        let hit = tlb.lookup(page).is_some();
+        let t = vm.access(pid, vaddr, AccessKind::Load).expect("valid access");
+        if !hit {
+            total_ns += params.mem_ns; // page-table walk
+            tlb.insert(page, (t.paddr / 4096) as usize);
+        }
+        if t.fault {
+            total_ns += params.fault_ns;
+        }
+        total_ns += params.mem_ns; // the access itself
+    }
+
+    let tlb_hit_ratio = tlb.stats().hit_ratio();
+    let fault_rate = vm.stats().fault_rate();
+    MeasuredEat {
+        tlb_hit_ratio,
+        fault_rate,
+        measured_ns: total_ns / accesses as f64,
+        predicted_ns: analytic_eat(params, tlb_hit_ratio, fault_rate),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lecture_numbers() {
+        let p = EatParams::default();
+        // 98% TLB hit, no faults: 1 + 100 + 0.02*100 = 103ns.
+        let eat = analytic_eat(p, 0.98, 0.0);
+        assert!((eat - 103.0).abs() < 1e-9);
+        // No TLB: 200ns. The TLB nearly halves effective access time.
+        assert!((no_tlb_eat(p, 0.0) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faults_dominate_everything() {
+        let p = EatParams::default();
+        // Even 1-in-100k faults adds 80ns — the "disk is catastrophic" point.
+        let eat = analytic_eat(p, 1.0, 1e-5);
+        assert!(eat > 180.0);
+    }
+
+    #[test]
+    fn sweep_is_monotone_decreasing() {
+        let p = EatParams::default();
+        let pts = eat_sweep(p, &[0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]);
+        for w in pts.windows(2) {
+            assert!(w[1].1 < w[0].1, "EAT falls as hit ratio rises");
+        }
+        assert!((pts.last().unwrap().1 - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_matches_prediction() {
+        let p = EatParams { fault_ns: 10_000.0, ..EatParams::default() };
+        let m = measure_eat(p, 8, 0.9, 20_000, 7);
+        let rel = (m.measured_ns - m.predicted_ns).abs() / m.predicted_ns;
+        assert!(rel < 0.02, "measured {} predicted {}", m.measured_ns, m.predicted_ns);
+    }
+
+    #[test]
+    fn higher_locality_better_tlb_ratio() {
+        let p = EatParams::default();
+        let low = measure_eat(p, 8, 0.2, 10_000, 3);
+        let high = measure_eat(p, 8, 0.95, 10_000, 3);
+        assert!(high.tlb_hit_ratio > low.tlb_hit_ratio + 0.2);
+        assert!(high.measured_ns < low.measured_ns);
+    }
+
+    #[test]
+    fn bigger_tlb_helps_until_working_set_fits() {
+        let p = EatParams::default();
+        let small = measure_eat(p, 2, 0.7, 10_000, 11);
+        let big = measure_eat(p, 64, 0.7, 10_000, 11);
+        assert!(big.tlb_hit_ratio >= small.tlb_hit_ratio);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_ratio_panics() {
+        analytic_eat(EatParams::default(), 1.5, 0.0);
+    }
+}

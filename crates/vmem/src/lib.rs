@@ -1,0 +1,77 @@
+//! # vmem — single-level paged virtual memory
+//!
+//! CS 31's second main OS abstraction (§III-A *Operating Systems*):
+//! "single-level paged virtual memory … virtual-to-physical address
+//! translation using a page table … page table mappings change on a
+//! context switch, page faults and page fault handling, LRU replacement,
+//! effective memory access time, and TLB caching of address translations."
+//!
+//! * [`sim`] — the multi-process VM system: page tables, demand paging,
+//!   frame allocation, page-fault handling, context switches, and the
+//!   homework VM1/VM2 trace tables (experiment **E9**);
+//! * [`replace`] — LRU / FIFO / Clock page replacement;
+//! * [`tlb`] — a small LRU translation cache with flush-on-switch or
+//!   ASID-tagged operation;
+//! * [`eat`] — the effective-access-time model behind experiment **E5**
+//!   ("TLB caching of address translations to speed-up effective memory
+//!   access time").
+//!
+//! ```
+//! use vmem::sim::{VmConfig, VmSystem};
+//! use vmem::AccessKind;
+//!
+//! let mut vm = VmSystem::new(VmConfig { page_size: 4096, num_frames: 4, ..VmConfig::default() });
+//! let p = vm.spawn();
+//! let r = vm.access(p, 0x1000, AccessKind::Load).unwrap();
+//! assert!(r.fault, "first touch demand-faults");
+//! let r = vm.access(p, 0x1004, AccessKind::Load).unwrap();
+//! assert!(!r.fault, "same page now resident");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eat;
+pub mod replace;
+pub mod sim;
+pub mod tables;
+pub mod tlb;
+
+/// Load or store (stores dirty pages; dirty evictions cost a disk write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Read access.
+    Load,
+    /// Write access.
+    Store,
+}
+
+/// Errors from the VM simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Unknown process id.
+    NoSuchProcess(u32),
+    /// Virtual address beyond the process's address-space size.
+    BadVirtualAddress {
+        /// The offending address.
+        vaddr: u64,
+        /// The address-space limit.
+        limit: u64,
+    },
+    /// Configuration problem (sizes must be nonzero powers of two).
+    BadConfig(String),
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::NoSuchProcess(p) => write!(f, "no such process {p}"),
+            VmError::BadVirtualAddress { vaddr, limit } => {
+                write!(f, "virtual address {vaddr:#x} beyond limit {limit:#x}")
+            }
+            VmError::BadConfig(s) => write!(f, "bad VM config: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

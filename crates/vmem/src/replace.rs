@@ -1,0 +1,155 @@
+//! Page replacement policies: LRU (the one the course teaches), FIFO
+//! (the obvious brainstorm), and Clock (the "how LRU is approximated in
+//! real kernels" teaser for the upper-level OS course).
+
+/// Which frame to evict when memory is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PagePolicy {
+    /// Evict the least recently used frame.
+    Lru,
+    /// Evict the oldest-loaded frame.
+    Fifo,
+    /// Second-chance clock sweep over reference bits.
+    Clock,
+}
+
+/// Replacement state tracked per physical frame.
+#[derive(Debug, Clone)]
+pub struct Replacer {
+    policy: PagePolicy,
+    /// Last-touch timestamp per frame (LRU).
+    last_used: Vec<u64>,
+    /// Load timestamp per frame (FIFO).
+    loaded_at: Vec<u64>,
+    /// Reference bit per frame (Clock).
+    referenced: Vec<bool>,
+    /// Clock hand position.
+    hand: usize,
+    clock: u64,
+}
+
+impl Replacer {
+    /// State for `num_frames` frames under `policy`.
+    pub fn new(policy: PagePolicy, num_frames: usize) -> Replacer {
+        Replacer {
+            policy,
+            last_used: vec![0; num_frames],
+            loaded_at: vec![0; num_frames],
+            referenced: vec![false; num_frames],
+            hand: 0,
+            clock: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> PagePolicy {
+        self.policy
+    }
+
+    /// Records that `frame` was touched by an access.
+    pub fn touch(&mut self, frame: usize) {
+        self.clock += 1;
+        self.last_used[frame] = self.clock;
+        self.referenced[frame] = true;
+    }
+
+    /// Records that `frame` was (re)loaded with a new page.
+    pub fn load(&mut self, frame: usize) {
+        self.clock += 1;
+        self.loaded_at[frame] = self.clock;
+        self.last_used[frame] = self.clock;
+        self.referenced[frame] = true;
+    }
+
+    /// Chooses a victim among `candidates` (frame indices).
+    ///
+    /// # Panics
+    /// If `candidates` is empty.
+    pub fn pick_victim(&mut self, candidates: &[usize]) -> usize {
+        assert!(!candidates.is_empty(), "no eviction candidates");
+        match self.policy {
+            PagePolicy::Lru => *candidates
+                .iter()
+                .min_by_key(|&&f| self.last_used[f])
+                .expect("nonempty"),
+            PagePolicy::Fifo => *candidates
+                .iter()
+                .min_by_key(|&&f| self.loaded_at[f])
+                .expect("nonempty"),
+            PagePolicy::Clock => {
+                // Sweep: clear reference bits until one is found clear.
+                let n = self.referenced.len();
+                for _ in 0..2 * n + 1 {
+                    let f = self.hand;
+                    self.hand = (self.hand + 1) % n;
+                    if !candidates.contains(&f) {
+                        continue;
+                    }
+                    if self.referenced[f] {
+                        self.referenced[f] = false; // second chance
+                    } else {
+                        return f;
+                    }
+                }
+                // Everyone was referenced twice over: take the hand's slot.
+                *candidates.first().expect("nonempty")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_picks_least_recent() {
+        let mut r = Replacer::new(PagePolicy::Lru, 3);
+        r.load(0);
+        r.load(1);
+        r.load(2);
+        r.touch(0); // 1 is now least recent
+        assert_eq!(r.pick_victim(&[0, 1, 2]), 1);
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut r = Replacer::new(PagePolicy::Fifo, 3);
+        r.load(0);
+        r.load(1);
+        r.load(2);
+        r.touch(0);
+        r.touch(0);
+        assert_eq!(r.pick_victim(&[0, 1, 2]), 0, "0 is oldest despite touches");
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let mut r = Replacer::new(PagePolicy::Clock, 3);
+        r.load(0);
+        r.load(1);
+        r.load(2);
+        // All referenced: the sweep clears 0,1,2 then returns 0.
+        assert_eq!(r.pick_victim(&[0, 1, 2]), 0);
+        // Now 1,2 are cleared; touching 1 re-references it → victim is 2.
+        r.touch(1);
+        assert_eq!(r.pick_victim(&[1, 2]), 2);
+    }
+
+    #[test]
+    fn victim_restricted_to_candidates() {
+        let mut r = Replacer::new(PagePolicy::Lru, 4);
+        for f in 0..4 {
+            r.load(f);
+        }
+        // Frame 0 is LRU overall but not a candidate.
+        assert_eq!(r.pick_victim(&[2, 3]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no eviction candidates")]
+    fn empty_candidates_panics() {
+        let mut r = Replacer::new(PagePolicy::Lru, 1);
+        r.pick_victim(&[]);
+    }
+}

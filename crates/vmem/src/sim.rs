@@ -1,0 +1,481 @@
+//! The multi-process virtual memory system: page tables, demand paging,
+//! page-fault handling, replacement, and context switches — the machinery
+//! of homeworks VM1 ("tracing through a single process's memory accesses
+//! using a page table") and VM2 ("two process' memory accesses, with
+//! context switching and LRU replacement"), and experiment **E9**.
+
+use crate::replace::{PagePolicy, Replacer};
+use crate::{AccessKind, VmError};
+use std::collections::HashMap;
+
+/// VM system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Page (and frame) size in bytes; power of two.
+    pub page_size: u64,
+    /// Physical frames available.
+    pub num_frames: usize,
+    /// Virtual pages per process address space.
+    pub pages_per_process: u64,
+    /// Replacement policy.
+    pub policy: PagePolicy,
+    /// Evict only the faulting process's own pages (local) vs any (global).
+    pub local_replacement: bool,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            page_size: 4096,
+            num_frames: 8,
+            pages_per_process: 64,
+            policy: PagePolicy::Lru,
+            local_replacement: false,
+        }
+    }
+}
+
+/// A page table entry, as drawn on the course whiteboard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Pte {
+    /// Valid (resident) bit.
+    pub valid: bool,
+    /// Physical frame number when valid.
+    pub frame: usize,
+    /// Dirty bit (needs disk write on eviction).
+    pub dirty: bool,
+    /// The page has been touched since load (for inspection).
+    pub referenced: bool,
+}
+
+/// What one access did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The virtual address translated.
+    pub vaddr: u64,
+    /// Virtual page number.
+    pub vpn: u64,
+    /// The physical address it mapped to.
+    pub paddr: u64,
+    /// A page fault occurred (page was not resident).
+    pub fault: bool,
+    /// A resident page was evicted to make room: `(pid, vpn)`.
+    pub evicted: Option<(u32, u64)>,
+    /// The eviction had to write a dirty page to disk.
+    pub wrote_disk: bool,
+    /// A context switch happened (different pid than last access).
+    pub switched: bool,
+}
+
+/// Aggregate statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Page faults (including cold faults).
+    pub faults: u64,
+    /// Evictions of resident pages.
+    pub evictions: u64,
+    /// Dirty pages written to disk.
+    pub disk_writes: u64,
+    /// Pages read from disk (equal to faults under demand paging).
+    pub disk_reads: u64,
+    /// Context switches observed.
+    pub context_switches: u64,
+}
+
+impl VmStats {
+    /// Fault rate in \[0,1\].
+    pub fn fault_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.faults as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FrameInfo {
+    pid: u32,
+    vpn: u64,
+}
+
+/// The VM system: page tables per process, a frame table, a replacer.
+#[derive(Debug, Clone)]
+pub struct VmSystem {
+    /// Configuration (immutable after construction).
+    pub config: VmConfig,
+    tables: HashMap<u32, Vec<Pte>>,
+    frames: Vec<Option<FrameInfo>>,
+    replacer: Replacer,
+    next_pid: u32,
+    last_pid: Option<u32>,
+    stats: VmStats,
+}
+
+impl VmSystem {
+    /// Builds the system.
+    ///
+    /// # Panics
+    /// If `page_size` is not a power of two or `num_frames == 0`.
+    pub fn new(config: VmConfig) -> VmSystem {
+        assert!(config.page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(config.num_frames > 0, "need at least one frame");
+        VmSystem {
+            config,
+            tables: HashMap::new(),
+            frames: vec![None; config.num_frames],
+            replacer: Replacer::new(config.policy, config.num_frames),
+            next_pid: 1,
+            last_pid: None,
+            stats: VmStats::default(),
+        }
+    }
+
+    /// Creates a process with an empty (all-invalid) page table.
+    pub fn spawn(&mut self) -> u32 {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.tables
+            .insert(pid, vec![Pte::default(); self.config.pages_per_process as usize]);
+        pid
+    }
+
+    /// Terminates a process, freeing its frames.
+    pub fn exit(&mut self, pid: u32) -> Result<(), VmError> {
+        self.tables.remove(&pid).ok_or(VmError::NoSuchProcess(pid))?;
+        for slot in self.frames.iter_mut() {
+            if matches!(slot, Some(fi) if fi.pid == pid) {
+                *slot = None;
+            }
+        }
+        if self.last_pid == Some(pid) {
+            self.last_pid = None;
+        }
+        Ok(())
+    }
+
+    /// A process's page table (for homework table rendering).
+    pub fn page_table(&self, pid: u32) -> Result<&[Pte], VmError> {
+        self.tables
+            .get(&pid)
+            .map(|v| v.as_slice())
+            .ok_or(VmError::NoSuchProcess(pid))
+    }
+
+    /// The current frame contents: `frame -> Some((pid, vpn))`.
+    pub fn frame_table(&self) -> Vec<Option<(u32, u64)>> {
+        self.frames
+            .iter()
+            .map(|s| s.map(|fi| (fi.pid, fi.vpn)))
+            .collect()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> VmStats {
+        self.stats
+    }
+
+    /// One memory access by `pid` at `vaddr`.
+    pub fn access(
+        &mut self,
+        pid: u32,
+        vaddr: u64,
+        kind: AccessKind,
+    ) -> Result<Translation, VmError> {
+        if !self.tables.contains_key(&pid) {
+            return Err(VmError::NoSuchProcess(pid));
+        }
+        let limit = self.config.pages_per_process * self.config.page_size;
+        if vaddr >= limit {
+            return Err(VmError::BadVirtualAddress { vaddr, limit });
+        }
+
+        self.stats.accesses += 1;
+        let switched = self.last_pid.is_some() && self.last_pid != Some(pid);
+        if switched {
+            self.stats.context_switches += 1;
+        }
+        self.last_pid = Some(pid);
+
+        let vpn = vaddr / self.config.page_size;
+        let offset = vaddr % self.config.page_size;
+
+        let pte = self.tables[&pid][vpn as usize];
+        let mut result = Translation {
+            vaddr,
+            vpn,
+            paddr: 0,
+            fault: false,
+            evicted: None,
+            wrote_disk: false,
+            switched,
+        };
+
+        let frame = if pte.valid {
+            pte.frame
+        } else {
+            // Page fault: find a frame (free, else evict per policy).
+            result.fault = true;
+            self.stats.faults += 1;
+            self.stats.disk_reads += 1;
+            let frame = match self.frames.iter().position(|f| f.is_none()) {
+                Some(free) => free,
+                None => {
+                    let candidates: Vec<usize> = self
+                        .frames
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| {
+                            if self.config.local_replacement {
+                                matches!(f, Some(fi) if fi.pid == pid)
+                            } else {
+                                f.is_some()
+                            }
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    // Local replacement can strand a process with no frames;
+                    // fall back to global in that case (documented policy).
+                    let candidates = if candidates.is_empty() {
+                        (0..self.frames.len()).collect()
+                    } else {
+                        candidates
+                    };
+                    let victim_frame = self.replacer.pick_victim(&candidates);
+                    let victim = self.frames[victim_frame].expect("victim frame occupied");
+                    // Invalidate the victim's PTE; write back if dirty.
+                    let vpte = &mut self
+                        .tables
+                        .get_mut(&victim.pid)
+                        .expect("victim process exists")[victim.vpn as usize];
+                    if vpte.dirty {
+                        self.stats.disk_writes += 1;
+                        result.wrote_disk = true;
+                    }
+                    *vpte = Pte::default();
+                    self.stats.evictions += 1;
+                    result.evicted = Some((victim.pid, victim.vpn));
+                    victim_frame
+                }
+            };
+            self.frames[frame] = Some(FrameInfo { pid, vpn });
+            self.replacer.load(frame);
+            let pte = &mut self.tables.get_mut(&pid).expect("checked")[vpn as usize];
+            *pte = Pte { valid: true, frame, dirty: false, referenced: false };
+            frame
+        };
+
+        self.replacer.touch(frame);
+        let pte = &mut self.tables.get_mut(&pid).expect("checked")[vpn as usize];
+        pte.referenced = true;
+        if kind == AccessKind::Store {
+            pte.dirty = true;
+        }
+        result.paddr = frame as u64 * self.config.page_size + offset;
+        Ok(result)
+    }
+
+    /// Renders the homework-style page-table + frame-table snapshot.
+    pub fn snapshot(&self, pid: u32) -> Result<String, VmError> {
+        let table = self.page_table(pid)?;
+        let mut out = format!("page table for pid {pid}:\n");
+        out.push_str(&format!(
+            "{:<6} {:<6} {:<6} {:<6} {:<6}\n",
+            "vpn", "valid", "frame", "dirty", "ref"
+        ));
+        for (vpn, pte) in table.iter().enumerate() {
+            if pte.valid || pte.dirty || pte.referenced {
+                out.push_str(&format!(
+                    "{:<6} {:<6} {:<6} {:<6} {:<6}\n",
+                    vpn,
+                    pte.valid as u8,
+                    if pte.valid { pte.frame.to_string() } else { "-".into() },
+                    pte.dirty as u8,
+                    pte.referenced as u8
+                ));
+            }
+        }
+        out.push_str("frames: ");
+        for (i, f) in self.frame_table().iter().enumerate() {
+            match f {
+                Some((p, v)) => out.push_str(&format!("[{i}: pid{p}/vp{v}] ")),
+                None => out.push_str(&format!("[{i}: free] ")),
+            }
+        }
+        out.push('\n');
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_vm(frames: usize, policy: PagePolicy) -> VmSystem {
+        VmSystem::new(VmConfig {
+            page_size: 256,
+            num_frames: frames,
+            pages_per_process: 16,
+            policy,
+            local_replacement: false,
+        })
+    }
+
+    #[test]
+    fn demand_paging_faults_once_per_page() {
+        let mut vm = small_vm(4, PagePolicy::Lru);
+        let p = vm.spawn();
+        assert!(vm.access(p, 0, AccessKind::Load).unwrap().fault);
+        assert!(!vm.access(p, 100, AccessKind::Load).unwrap().fault);
+        assert!(vm.access(p, 256, AccessKind::Load).unwrap().fault);
+        assert_eq!(vm.stats().faults, 2);
+    }
+
+    #[test]
+    fn translation_addresses() {
+        let mut vm = small_vm(4, PagePolicy::Lru);
+        let p = vm.spawn();
+        let t = vm.access(p, 0x135, AccessKind::Load).unwrap(); // page 1 off 0x35
+        assert_eq!(t.vpn, 1);
+        // First fault grabs frame 0.
+        assert_eq!(t.paddr, 0x35);
+        let t2 = vm.access(p, 0x245, AccessKind::Load).unwrap(); // page 2 → frame 1
+        assert_eq!(t2.paddr, 256 + 0x45);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut vm = small_vm(2, PagePolicy::Lru);
+        let p = vm.spawn();
+        vm.access(p, 0, AccessKind::Load).unwrap(); // page 0
+        vm.access(p, 256, AccessKind::Load).unwrap(); // page 1
+        vm.access(p, 0, AccessKind::Load).unwrap(); // touch page 0
+        let t = vm.access(p, 2 * 256, AccessKind::Load).unwrap(); // evicts page 1
+        assert_eq!(t.evicted, Some((p, 1)));
+        assert!(!vm.access(p, 0, AccessKind::Load).unwrap().fault);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_disk() {
+        let mut vm = small_vm(1, PagePolicy::Lru);
+        let p = vm.spawn();
+        vm.access(p, 0, AccessKind::Store).unwrap(); // dirty page 0
+        let t = vm.access(p, 256, AccessKind::Load).unwrap(); // evict dirty
+        assert!(t.wrote_disk);
+        assert_eq!(vm.stats().disk_writes, 1);
+        // Clean eviction writes nothing.
+        let t = vm.access(p, 512, AccessKind::Load).unwrap();
+        assert!(!t.wrote_disk);
+        assert_eq!(vm.stats().disk_writes, 1);
+    }
+
+    #[test]
+    fn context_switch_counted_and_tables_isolated() {
+        let mut vm = small_vm(4, PagePolicy::Lru);
+        let a = vm.spawn();
+        let b = vm.spawn();
+        vm.access(a, 0, AccessKind::Load).unwrap();
+        let t = vm.access(b, 0, AccessKind::Load).unwrap();
+        assert!(t.switched);
+        assert!(t.fault, "same vaddr, different address space");
+        // Both processes map vpn 0 to different frames.
+        let fa = vm.page_table(a).unwrap()[0].frame;
+        let fb = vm.page_table(b).unwrap()[0].frame;
+        assert_ne!(fa, fb);
+        assert_eq!(vm.stats().context_switches, 1);
+    }
+
+    #[test]
+    fn exit_frees_frames() {
+        let mut vm = small_vm(2, PagePolicy::Lru);
+        let a = vm.spawn();
+        vm.access(a, 0, AccessKind::Load).unwrap();
+        vm.access(a, 256, AccessKind::Load).unwrap();
+        vm.exit(a).unwrap();
+        assert!(vm.frame_table().iter().all(|f| f.is_none()));
+        assert!(vm.access(a, 0, AccessKind::Load).is_err());
+        assert!(vm.exit(a).is_err());
+    }
+
+    #[test]
+    fn bad_address_rejected() {
+        let mut vm = small_vm(2, PagePolicy::Lru);
+        let p = vm.spawn();
+        let limit = 16 * 256;
+        assert_eq!(
+            vm.access(p, limit, AccessKind::Load).unwrap_err(),
+            VmError::BadVirtualAddress { vaddr: limit, limit }
+        );
+    }
+
+    #[test]
+    fn snapshot_renders() {
+        let mut vm = small_vm(2, PagePolicy::Lru);
+        let p = vm.spawn();
+        vm.access(p, 0, AccessKind::Store).unwrap();
+        let s = vm.snapshot(p).unwrap();
+        assert!(s.contains("page table for pid 1"));
+        assert!(s.contains("frames:"));
+        assert!(s.contains("pid1/vp0"));
+    }
+
+    #[test]
+    fn fifo_vs_lru_differ_on_loop_with_refresh() {
+        // Access pattern 0,1,0,2,0,3,... with 2 frames: LRU keeps page 0
+        // resident (it's always recently used); FIFO evicts it regularly.
+        let run = |policy| {
+            let mut vm = small_vm(2, policy);
+            let p = vm.spawn();
+            for i in 1..=8u64 {
+                vm.access(p, 0, AccessKind::Load).unwrap();
+                vm.access(p, i * 256, AccessKind::Load).unwrap();
+            }
+            vm.stats().faults
+        };
+        let lru = run(PagePolicy::Lru);
+        let fifo = run(PagePolicy::Fifo);
+        assert!(lru < fifo, "LRU {lru} vs FIFO {fifo}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_resident_set_never_exceeds_frames(
+            accesses in proptest::collection::vec((0u64..16, any::<bool>()), 1..100)
+        ) {
+            let mut vm = small_vm(3, PagePolicy::Lru);
+            let p = vm.spawn();
+            for (page, store) in accesses {
+                let kind = if store { AccessKind::Store } else { AccessKind::Load };
+                vm.access(p, page * 256, kind).unwrap();
+                let resident = vm.page_table(p).unwrap().iter().filter(|e| e.valid).count();
+                prop_assert!(resident <= 3);
+                // Frame table and page table agree.
+                for (f, owner) in vm.frame_table().iter().enumerate() {
+                    if let Some((pid, vpn)) = owner {
+                        let pte = vm.page_table(*pid).unwrap()[*vpn as usize];
+                        prop_assert!(pte.valid);
+                        prop_assert_eq!(pte.frame, f);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_faults_bounded_by_distinct_pages_when_fits(
+            pages in proptest::collection::vec(0u64..4, 1..200)
+        ) {
+            // Working set of ≤4 pages in 4 frames: one fault per distinct page.
+            let mut vm = small_vm(4, PagePolicy::Lru);
+            let p = vm.spawn();
+            let mut distinct = std::collections::HashSet::new();
+            for pg in &pages {
+                vm.access(p, pg * 256, AccessKind::Load).unwrap();
+                distinct.insert(*pg);
+            }
+            prop_assert_eq!(vm.stats().faults, distinct.len() as u64);
+        }
+    }
+}

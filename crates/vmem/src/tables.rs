@@ -1,0 +1,140 @@
+//! Page-table *space* analysis: flat single-level vs two-level tables.
+//!
+//! CS 31 teaches single-level paging and "leave\[s\] more advanced virtual
+//! memory topics … to our upper-level OS class" (§III-A). This module is
+//! the bridge the instructor sketches in the last five minutes: how much
+//! RAM the flat table costs, and how a two-level table pays only for the
+//! address-space regions actually in use — computed exactly, so the
+//! motivating numbers on the slide are reproducible.
+
+/// Parameters of a paged address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagingGeometry {
+    /// Virtual address bits (32 in the course model).
+    pub vaddr_bits: u32,
+    /// Page size in bytes (power of two).
+    pub page_size: u64,
+    /// Bytes per page-table entry.
+    pub pte_size: u64,
+}
+
+impl PagingGeometry {
+    /// The course's 32-bit / 4 KiB / 4-byte-PTE model.
+    pub fn classroom() -> PagingGeometry {
+        PagingGeometry { vaddr_bits: 32, page_size: 4096, pte_size: 4 }
+    }
+
+    /// Virtual pages in the address space.
+    pub fn virtual_pages(&self) -> u64 {
+        1u64 << (self.vaddr_bits - self.page_size.trailing_zeros())
+    }
+
+    /// Bytes of a flat single-level table (every page gets a PTE).
+    pub fn flat_table_bytes(&self) -> u64 {
+        self.virtual_pages() * self.pte_size
+    }
+
+    /// Entries per level in an even two-level split.
+    pub fn two_level_fanout(&self) -> u64 {
+        let index_bits = self.vaddr_bits - self.page_size.trailing_zeros();
+        1u64 << (index_bits / 2)
+    }
+
+    /// Bytes of a two-level table for a process actually using
+    /// `used_pages` pages spread across `used_regions` contiguous regions
+    /// (e.g. text+heap and stack = 2 regions).
+    ///
+    /// Cost = one top-level table + one second-level table per region
+    /// touched (regions smaller than a second-level span still pay a
+    /// whole table — the granularity lesson).
+    pub fn two_level_bytes(&self, used_pages: u64, used_regions: u64) -> u64 {
+        let fanout = self.two_level_fanout();
+        let pages_per_leaf = self.virtual_pages() / fanout;
+        // Leaves needed: at least ceil(pages/leaf-span) and at least one
+        // per region.
+        let by_pages = used_pages.div_ceil(pages_per_leaf);
+        let leaves = by_pages.max(used_regions).min(fanout);
+        let top = fanout * self.pte_size;
+        let leaf_bytes = pages_per_leaf * self.pte_size;
+        top + leaves * leaf_bytes
+    }
+
+    /// The slide's punchline: flat vs two-level for a small process.
+    pub fn comparison_table(&self) -> String {
+        let mut out = format!(
+            "page-table space, {}-bit VA, {} B pages, {} B PTEs\n\n",
+            self.vaddr_bits, self.page_size, self.pte_size
+        );
+        out.push_str(&format!(
+            "flat single-level table: {} bytes ({} MiB) per process, always\n\n",
+            self.flat_table_bytes(),
+            self.flat_table_bytes() >> 20
+        ));
+        out.push_str(&format!(
+            "{:>12} {:>10} {:>16} {:>10}\n",
+            "used pages", "regions", "two-level bytes", "vs flat"
+        ));
+        for (pages, regions) in [(16u64, 2u64), (256, 2), (4096, 3), (1 << 20, 4)] {
+            let b = self.two_level_bytes(pages, regions);
+            out.push_str(&format!(
+                "{pages:>12} {regions:>10} {b:>16} {:>9.1}%\n",
+                100.0 * b as f64 / self.flat_table_bytes() as f64
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classroom_flat_table_is_4mib() {
+        let g = PagingGeometry::classroom();
+        assert_eq!(g.virtual_pages(), 1 << 20);
+        assert_eq!(g.flat_table_bytes(), 4 << 20, "the famous 4 MiB per process");
+    }
+
+    #[test]
+    fn two_level_tiny_process_pays_kilobytes() {
+        let g = PagingGeometry::classroom();
+        // fanout 1024, 1024 pages per leaf, 4 KiB per table.
+        assert_eq!(g.two_level_fanout(), 1024);
+        // 16 pages in 2 regions: top (4 KiB) + 2 leaves (8 KiB) = 12 KiB.
+        assert_eq!(g.two_level_bytes(16, 2), 12 << 10);
+        // vs 4 MiB flat: ~0.3%.
+        assert!(g.two_level_bytes(16, 2) * 100 < g.flat_table_bytes());
+    }
+
+    #[test]
+    fn two_level_full_space_costs_more_than_flat() {
+        // The tradeoff's other side: a fully used address space pays the
+        // flat table PLUS the top level.
+        let g = PagingGeometry::classroom();
+        let full = g.two_level_bytes(g.virtual_pages(), 1);
+        assert_eq!(full, g.flat_table_bytes() + 4096);
+    }
+
+    #[test]
+    fn comparison_table_renders() {
+        let t = PagingGeometry::classroom().comparison_table();
+        assert!(t.contains("4 MiB"));
+        assert!(t.contains("vs flat"));
+        assert!(t.lines().count() >= 8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_two_level_bounds(pages in 1u64..(1 << 20), regions in 1u64..8) {
+            let g = PagingGeometry::classroom();
+            let b = g.two_level_bytes(pages, regions);
+            // Never less than top + one leaf; never more than flat + top.
+            prop_assert!(b >= 8192);
+            prop_assert!(b <= g.flat_table_bytes() + 4096);
+            // Monotone in pages.
+            prop_assert!(g.two_level_bytes(pages, regions) <= g.two_level_bytes((pages * 2).min(1<<20), regions));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The TLB: a small, fully associative, LRU cache of address translations.
+//!
+//! "TLB caching of address translations to speed-up effective memory
+//! access time" (§III-A). Entries are tagged `(asid, vpn)`; the simulator
+//! supports both flush-on-context-switch (what the course draws) and
+//! ASID-tagged operation (the "why real hardware tags entries" follow-up).
+
+/// One TLB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TlbEntry {
+    asid: u32,
+    vpn: u64,
+    frame: usize,
+    stamp: u64,
+}
+
+/// TLB statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Entries invalidated by flushes.
+    pub flushed: u64,
+}
+
+impl TlbStats {
+    /// Hit ratio in \[0,1\].
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// A fully associative LRU TLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<TlbEntry>,
+    capacity: usize,
+    /// Tag entries with ASIDs (no flush needed on switch) or flush on
+    /// every context switch.
+    pub use_asid: bool,
+    clock: u64,
+    stats: TlbStats,
+    current_asid: u32,
+}
+
+impl Tlb {
+    /// A TLB holding `capacity` translations.
+    pub fn new(capacity: usize, use_asid: bool) -> Tlb {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            use_asid,
+            clock: 0,
+            stats: TlbStats::default(),
+            current_asid: 0,
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Notifies the TLB of a context switch to `asid`.
+    /// Without ASIDs this flushes everything — the cost the course notes.
+    pub fn context_switch(&mut self, asid: u32) {
+        if self.current_asid == asid {
+            return;
+        }
+        self.current_asid = asid;
+        if !self.use_asid {
+            self.stats.flushed += self.entries.len() as u64;
+            self.entries.clear();
+        }
+    }
+
+    /// Looks up `vpn` for the current address space.
+    pub fn lookup(&mut self, vpn: u64) -> Option<usize> {
+        self.stats.lookups += 1;
+        self.clock += 1;
+        let asid = self.current_asid;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.vpn == vpn && (e.asid == asid))
+        {
+            e.stamp = self.clock;
+            self.stats.hits += 1;
+            return Some(e.frame);
+        }
+        None
+    }
+
+    /// Installs a translation after a page-table walk.
+    pub fn insert(&mut self, vpn: u64, frame: usize) {
+        self.clock += 1;
+        let asid = self.current_asid;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.vpn == vpn && e.asid == asid) {
+            e.frame = frame;
+            e.stamp = self.clock;
+            return;
+        }
+        let entry = TlbEntry { asid, vpn, frame, stamp: self.clock };
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            let lru = self
+                .entries
+                .iter_mut()
+                .min_by_key(|e| e.stamp)
+                .expect("nonempty at capacity");
+            *lru = entry;
+        }
+    }
+
+    /// Invalidates one translation (page evicted by the VM system).
+    pub fn invalidate(&mut self, asid: u32, vpn: u64) {
+        self.entries.retain(|e| !(e.asid == asid && e.vpn == vpn));
+    }
+
+    /// Current number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_insert_hit() {
+        let mut t = Tlb::new(4, false);
+        assert_eq!(t.lookup(5), None);
+        t.insert(5, 2);
+        assert_eq!(t.lookup(5), Some(2));
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().lookups, 2);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut t = Tlb::new(2, false);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        t.lookup(1); // refresh 1
+        t.insert(3, 30); // evicts 2
+        assert_eq!(t.lookup(1), Some(10));
+        assert_eq!(t.lookup(2), None);
+        assert_eq!(t.lookup(3), Some(30));
+    }
+
+    #[test]
+    fn flush_on_switch_without_asid() {
+        let mut t = Tlb::new(4, false);
+        t.insert(1, 10);
+        t.context_switch(7);
+        assert!(t.is_empty());
+        assert_eq!(t.stats().flushed, 1);
+        assert_eq!(t.lookup(1), None);
+    }
+
+    #[test]
+    fn asid_avoids_flush_and_isolates() {
+        let mut t = Tlb::new(4, true);
+        t.insert(1, 10); // asid 0
+        t.context_switch(7);
+        assert_eq!(t.len(), 1, "no flush with ASIDs");
+        assert_eq!(t.lookup(1), None, "but asid 7 can't see asid 0's entry");
+        t.insert(1, 99);
+        assert_eq!(t.lookup(1), Some(99));
+        t.context_switch(0);
+        assert_eq!(t.lookup(1), Some(10), "original survives the round trip");
+    }
+
+    #[test]
+    fn same_asid_switch_is_noop() {
+        let mut t = Tlb::new(4, false);
+        t.insert(1, 10);
+        t.context_switch(0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_only_target() {
+        let mut t = Tlb::new(4, false);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        t.invalidate(0, 1);
+        assert_eq!(t.lookup(1), None);
+        assert_eq!(t.lookup(2), Some(20));
+    }
+
+    #[test]
+    fn insert_updates_existing() {
+        let mut t = Tlb::new(2, false);
+        t.insert(1, 10);
+        t.insert(1, 11);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(1), Some(11));
+    }
+}

@@ -1,0 +1,60 @@
+//! The course itself: schedule, themes, all eleven labs demonstrated,
+//! a generated homework set with solutions, and a clicker question.
+//!
+//! ```text
+//! cargo run --example course_tour [seed]
+//! ```
+
+use cs31_repro::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(31);
+
+    println!("== CS 31: the three themes ==");
+    for (theme, desc) in cs31::themes() {
+        println!("- {theme:?}: {desc}");
+    }
+
+    println!("\n== 14-week schedule ==");
+    for w in cs31::week_schedule() {
+        let lab = w.lab.map(|l| format!("Lab {l}")).unwrap_or_default();
+        println!("  wk {:>2}: {:<50} [{}] {}", w.number, w.module, w.crate_name, lab);
+    }
+
+    println!("\n== running all eleven labs ==");
+    for lab in cs31::all_labs() {
+        let transcript = (lab.demonstrate)()?;
+        println!("--- {:?}: {} ---", lab.id, lab.title);
+        for line in transcript.lines().take(6) {
+            println!("  {line}");
+        }
+        if transcript.lines().count() > 6 {
+            println!("  ...");
+        }
+    }
+
+    println!("\n== a generated homework (seed {seed}) ==");
+    for (name, generate) in cs31::homework::generators().into_iter().take(3) {
+        let p = generate(seed);
+        println!("--- {name} ({}) ---", p.set);
+        println!("{}", p.prompt);
+        println!("solution:\n{}\n", p.solution);
+    }
+
+    println!("== a clicker question ==");
+    let bank = cs31::clicker::question_bank();
+    let q = &bank[seed as usize % bank.len()];
+    println!("[{}] {}", q.module, q.prompt);
+    for (i, choice) in q.choices.iter().enumerate() {
+        println!("  ({}) {choice}", (b'a' + i as u8) as char);
+    }
+    println!(
+        "answer: ({})  — {}",
+        (b'a' + q.correct as u8) as char,
+        q.explanation
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Instructor kit: generate a midterm and final (paper + key), a homework
+//! study-group assignment, and a make-up variant — everything seeded, all
+//! answer keys computed by the simulators.
+//!
+//! ```text
+//! cargo run --example exam_kit [seed]
+//! ```
+
+use cs31_repro::*;
+use cs31::exam::{generate, ExamKind};
+use cs31::groups::assign_groups;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2022);
+
+    println!("==================== MIDTERM (seed {seed}) ====================\n");
+    let midterm = generate(ExamKind::Midterm, seed);
+    println!("{}", midterm.paper());
+
+    println!("==================== MIDTERM KEY ====================\n");
+    println!("{}", midterm.key());
+
+    println!("==================== FINAL (first page only) ====================\n");
+    let fin = generate(ExamKind::Final, seed);
+    for line in fin.paper().lines().take(20) {
+        println!("{line}");
+    }
+    println!("... ({} problems, {} MC questions total)\n", fin.problems.len(), fin.multiple_choice.len());
+
+    // The make-up exam: same blueprint, different numbers.
+    let makeup = generate(ExamKind::Final, seed + 1);
+    assert_ne!(fin.paper(), makeup.paper());
+    println!("make-up final generated (seed {}): different numbers, same blueprint\n", seed + 1);
+
+    // Study groups for the homework cycle (the COVID-semester practice
+    // the paper reports keeping).
+    println!("==================== STUDY GROUPS (60 students) ====================\n");
+    let assignment = assign_groups(60, 3, 4, seed)?;
+    for (i, g) in assignment.groups.iter().enumerate().take(6) {
+        println!("group {:>2}: students {:?}", i + 1, g);
+    }
+    println!("... {} groups total, every student in exactly one", assignment.groups.len());
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Lab 5: the binary maze, played like a student at the GDB prompt.
+//!
+//! Generates a seeded maze, reads its disassembly, recovers the floor-0
+//! secret from the `cmpl` immediate (the technique the lab teaches),
+//! demonstrates an explosion on wrong input, then escapes with the full
+//! solution.
+//!
+//! ```text
+//! cargo run --example maze_solver [seed]
+//! ```
+
+use cs31_repro::*;
+use asm::debugger::Debugger;
+use asm::maze::{attempt, generate, EXPLODED};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(31);
+    let maze = generate(seed, 6);
+    println!("maze seed {seed}, {} floors\n", maze.solution.len());
+
+    // The student's first move: disassemble around the entry.
+    let mut dbg = Debugger::new(maze.program.clone())?;
+    println!("== disas (top of floor 0) ==");
+    print!("{}", dbg.command("disas 8"));
+
+    // Floor 0 is always a constant-compare floor for seed-stable demos:
+    // single-step until the cmpl and read its immediate out of the
+    // instruction — "deciphering assembly" in miniature.
+    let mut secret0 = None;
+    for _ in 0..64 {
+        if let Some(i) = dbg.current_instr() {
+            if i.op == asm::Op::Cmp {
+                if let Some(asm::Operand::Imm(k)) = i.src {
+                    secret0 = Some(k);
+                    break;
+                }
+            }
+        }
+        dbg.stepi();
+    }
+    let secret0 = secret0.ok_or("no cmpl found on floor 0")?;
+    println!("\nrecovered floor-0 secret from the cmpl immediate: {secret0}");
+    assert_eq!(secret0, maze.solution[0], "debugger read the right constant");
+
+    // Wrong input: watch it explode.
+    let mut wrong = maze.solution.clone();
+    wrong[2] = wrong[2].wrapping_add(7);
+    let escaped = attempt(&maze, &wrong)?;
+    println!("\nattempt with a wrong floor-2 input: escaped = {escaped} (eax=0x{EXPLODED:X} path)");
+    assert!(!escaped);
+
+    // The full solution: out of the maze.
+    let escaped = attempt(&maze, &maze.solution)?;
+    println!("attempt with the recovered solution: escaped = {escaped}");
+    assert!(escaped);
+    println!("\nsolution inputs: {:?}", maze.solution);
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! The Valgrind lecture, as a program: run three buggy "C" snippets on
+//! the simulated heap and read their memcheck reports — the leak, the
+//! off-by-one strcpy, and the use-after-free.
+//!
+//! ```text
+//! cargo run --example memcheck
+//! ```
+
+use cs31_repro::*;
+use cheap::SimHeap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Bug 1: the leak — malloc without free.
+    println!("== program 1: forgets to free ==");
+    let mut h = SimHeap::new(4096);
+    let _names = h.malloc(64, "names")?;
+    let scratch = h.malloc(16, "scratch")?;
+    h.free(scratch)?;
+    print!("{}", h.report().summary());
+
+    // Bug 2: strcpy into a buffer without room for the NUL.
+    println!("\n== program 2: off-by-one strcpy ==");
+    let mut h = SimHeap::new(4096);
+    let p = cstring::heap::buggy_strdup_no_nul_room(&mut h, b"metadata\0", "title")?;
+    println!("(wrote 9 bytes into an 8-byte block at {p:#x})");
+    print!("{}", h.report().summary());
+
+    // Bug 3: use-after-free.
+    println!("\n== program 3: use after free ==");
+    let mut h = SimHeap::new(4096);
+    let p = cstring::heap::strdup(&mut h, b"config\0", "config")?;
+    h.free(p)?;
+    let stale = cstring::heap::read_cstr(&mut h, p, 16); // reads freed memory
+    println!("(stale read returned {:?})", String::from_utf8_lossy(&stale));
+    print!("{}", h.report().summary());
+
+    // The clean version, for contrast.
+    println!("\n== the fixed program ==");
+    let mut h = SimHeap::new(4096);
+    let a = cstring::heap::strdup(&mut h, b"hello \0", "a")?;
+    let b = cstring::heap::strdup(&mut h, b"world\0", "b")?;
+    let joined = cstring::heap::h_concat(&mut h, a, b, "joined")?;
+    println!(
+        "joined: {:?}",
+        String::from_utf8_lossy(&cstring::heap::read_cstr(&mut h, joined, 64))
+    );
+    for p in [a, b, joined] {
+        h.free(p)?;
+    }
+    print!("{}", h.report().summary());
+    assert!(h.report().errors.is_empty());
+    Ok(())
+}

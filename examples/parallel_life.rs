@@ -1,0 +1,87 @@
+//! Labs 6 + 10: Game of Life from a grid file, serial then parallel,
+//! with the ParaVis-style thread-region view and the speedup study.
+//!
+//! ```text
+//! cargo run --example parallel_life
+//! ```
+
+use cs31_repro::*;
+use life::{Boundary, Grid, Partition};
+
+const GRID_FILE: &str = "\
+16 32 40
+................................
+..##............................
+..##.....................##.....
+.........................##.....
+.....#..........................
+......#.........................
+....###.........................
+................................
+................................
+.............#..................
+..............#.................
+............###.................
+................................
+....................###.........
+................................
+................................
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (grid, rounds) = Grid::from_file_format(GRID_FILE, Boundary::Toroidal)?;
+    println!(
+        "loaded {}x{} grid, {} live cells, {rounds} rounds\n",
+        grid.rows(),
+        grid.cols(),
+        grid.population()
+    );
+
+    // Lab 6: serial run.
+    let (serial_final, history) = life::serial::run(grid.clone(), rounds);
+    println!("== serial (Lab 6) final state ==");
+    print!("{}", life::vis::ascii(&serial_final));
+    let last = history.last().expect("rounds > 0");
+    println!(
+        "round {rounds}: births {} deaths {} population {}\n",
+        last.births, last.deaths, last.population
+    );
+
+    // Lab 10: parallel runs, both partitions.
+    for partition in [Partition::Rows, Partition::Columns] {
+        let par = life::parallel::run(grid.clone(), rounds, 4, partition);
+        println!(
+            "parallel 4 threads {partition:?}: matches serial = {}",
+            par.grid == serial_final
+        );
+        assert_eq!(par.grid, serial_final);
+    }
+
+    // The ParaVis view: who owns which region (live cells labeled by
+    // owning thread).
+    println!("\n== thread-region view (4 threads, row bands) ==");
+    print!(
+        "{}",
+        life::vis::ascii_threads(&serial_final, 4, Partition::Rows)
+    );
+
+    // Write a PPM frame like the lab's visualizer window.
+    let ppm = life::vis::ppm(&serial_final, 4, Partition::Rows);
+    let path = std::env::temp_dir().join("life_threads.ppm");
+    std::fs::write(&path, ppm)?;
+    println!("\nwrote colour frame to {}", path.display());
+
+    // The speedup study on the modeled 16-core machine.
+    println!("\n== modeled speedup, 512x512 x 100 rounds, 16 cores ==");
+    let machine = parallel::machine::MachineConfig {
+        cores: 16,
+        barrier_cost: 50,
+        lock_overhead: 10,
+        contention: 0.0,
+    };
+    for (t, s) in life::machsim::speedup_table(512, 512, 100, &[1, 2, 4, 8, 16, 32], machine) {
+        let class = parallel::laws::classify(s, t);
+        println!("  {t:>2} threads: {s:>5.2}x  ({class:?})");
+    }
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Quickstart: a tour up the CS 31 vertical slice in one sitting —
+//! bits → gates → ALU → assembly → cache → virtual memory → processes →
+//! threads. Each stop prints a small artifact from the corresponding
+//! crate.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cs31_repro::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== 1. bits: two's complement ==");
+    let t = bits::Twos::new(8)?;
+    println!(
+        "  -42 at 8 bits = {} ({})",
+        bits::format_radix(8, t.encode_signed(-42)?, bits::Radix::Binary)?,
+        bits::format_radix(8, t.encode_signed(-42)?, bits::Radix::Hex)?
+    );
+
+    println!("== 2. circuits: the Lab 3 ALU, gate by gate ==");
+    let mut c = circuits::Circuit::new();
+    let pins = circuits::alu::build_alu(&mut c, 8);
+    let (v, f) = circuits::alu::run_alu(&mut c, &pins, circuits::AluOp::Add, 0x7F, 0x01);
+    println!(
+        "  {} gates; ADD 0x7f,0x01 = {v:#04x} (signed overflow: {})",
+        c.gate_count(),
+        f.of
+    );
+
+    println!("== 3. asm: assemble, run, inspect ==");
+    let prog = asm::assemble("movl $6, %eax\nimull $7, %eax\nhlt\n")?;
+    let mut m = asm::Machine::new();
+    m.load(&prog)?;
+    m.run(100)?;
+    println!("  6 * 7 = {} in {} model cycles", m.reg(asm::Reg::Eax), m.cycles);
+
+    println!("== 4. memsim: loop order vs the cache ==");
+    use memsim::patterns::{matrix_sum_trace, LoopOrder};
+    for (name, order) in [("row-major", LoopOrder::RowMajor), ("col-major", LoopOrder::ColumnMajor)] {
+        let mut cache = memsim::Cache::new(memsim::CacheConfig::direct_mapped(64, 64))?;
+        cache.run_trace(&matrix_sum_trace(0, 64, 64, 4, order));
+        println!("  {name}: {:.0}% hits", cache.stats().hit_rate() * 100.0);
+    }
+
+    println!("== 5. vmem: a page fault and the TLB ==");
+    let mut vm = vmem::sim::VmSystem::new(vmem::sim::VmConfig::default());
+    let pid = vm.spawn();
+    let tr = vm.access(pid, 0x1234, vmem::AccessKind::Load)?;
+    println!("  first touch of page {}: fault={} -> paddr {:#x}", tr.vpn, tr.fault, tr.paddr);
+    let eat = vmem::eat::analytic_eat(vmem::eat::EatParams::default(), 0.98, 0.0);
+    println!("  EAT with a 98% TLB: {eat:.0} ns (vs 200 ns without)");
+
+    println!("== 6. os: fork, wait, and a shell ==");
+    let mut k = os::Kernel::new(2);
+    k.register_program("hello", os::proc::program(vec![
+        os::Op::Print("hello from a child process".into()),
+        os::Op::Exit(0),
+    ]));
+    let mut sh = os::shell::Shell::new(k);
+    sh.run_line("hello");
+    for (pid, line) in sh.kernel.output() {
+        println!("  [pid {pid}] {line}");
+    }
+
+    println!("== 7. parallel: Lab 10's Game of Life ==");
+    let mut g = life::Grid::new(32, 32, life::Boundary::Toroidal)?;
+    g.stamp(4, 4, life::grid::GLIDER);
+    let (serial, _) = life::serial::run(g.clone(), 12);
+    let par = life::parallel::run(g, 12, 4, life::Partition::Rows);
+    println!("  4-thread run matches serial: {}", par.grid == serial);
+    let table = life::machsim::speedup_table(
+        512,
+        512,
+        100,
+        &[1, 4, 16],
+        parallel::machine::MachineConfig {
+            cores: 16,
+            barrier_cost: 50,
+            lock_overhead: 10,
+            contention: 0.0,
+        },
+    );
+    for (t, s) in table {
+        println!("  modeled speedup @ {t:>2} threads: {s:.2}x");
+    }
+
+    println!("\nDone. Deeper dives: the other examples and `cargo run -p bench --bin reproduce`.");
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Labs 8 + 9: a scripted session against the simulated kernel's shell —
+//! foreground and background jobs, job control, history expansion, and
+//! the process-hierarchy view the homework asks students to draw.
+//!
+//! ```text
+//! cargo run --example shell_session
+//! ```
+
+use cs31_repro::*;
+use os::proc::{program, Handler, Op, Sig};
+use os::shell::{Shell, ShellEvent};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut k = os::Kernel::new(2);
+    k.register_program(
+        "ls",
+        program(vec![Op::Print("Makefile  life.c  maze.s".into()), Op::Exit(0)]),
+    );
+    k.register_program(
+        "compile",
+        program(vec![
+            Op::Print("compiling...".into()),
+            Op::Compute(30),
+            Op::Print("build finished".into()),
+            Op::Exit(0),
+        ]),
+    );
+    k.register_program(
+        "daemon",
+        program(vec![
+            Op::OnSignal(Sig::Term, Handler::Print("shutting down".into())),
+            Op::Compute(10),
+            Op::Exit(0),
+        ]),
+    );
+    k.register_program("false", program(vec![Op::Exit(1)]));
+
+    let mut sh = Shell::new(k);
+    let script = [
+        "ls",
+        "compile &",
+        "jobs",
+        "false",
+        "ls",
+        "!1", // history expansion: rerun ls
+        "history",
+    ];
+
+    for line in script {
+        println!("$ {line}");
+        match sh.run_line(line) {
+            ShellEvent::Finished(pid, code) => {
+                // Print anything the job emitted.
+                for (p, msg) in sh.kernel.output().iter().filter(|(p, _)| *p == pid) {
+                    println!("{msg}  [pid {p}]");
+                }
+                println!("(exit {code})");
+            }
+            ShellEvent::Launched(pid) => println!("[bg] pid {pid}"),
+            ShellEvent::Builtin(text) => println!("{text}"),
+            ShellEvent::Error(e) => println!("sh: {e}"),
+        }
+        println!();
+    }
+
+    // Drain the background build at the prompt, Lab 9 style.
+    while !sh.jobs().is_empty() {
+        for (pid, cmd, code) in sh.reap_background() {
+            println!("[done] pid {pid} ({cmd}) exit {code}");
+        }
+        if !sh.jobs().is_empty() {
+            sh.kernel.step();
+        }
+    }
+
+    println!("\n== full kernel output (pid-tagged) ==");
+    for (pid, line) in sh.kernel.output() {
+        println!("  [{pid}] {line}");
+    }
+
+    println!("\n== process hierarchy at exit ==");
+    print!("{}", sh.kernel.process_tree());
+    println!(
+        "\ncontext switches: {}, kernel time: {} ticks",
+        sh.kernel.context_switches(),
+        sh.kernel.time
+    );
+    Ok(())
+}

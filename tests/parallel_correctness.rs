@@ -1,0 +1,146 @@
+//! Integration: the parallelism stack under stress — Lab 10 correctness
+//! at scale, bounded-buffer pipelines, and barrier/semaphore interplay
+//! across crates.
+
+use life::{Boundary, Grid, Partition};
+use parallel::{Barrier, BoundedBuffer};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[test]
+fn life_parallel_matches_serial_on_a_large_grid() {
+    let g = Grid::random(96, 80, 0.35, 2024, Boundary::Toroidal).unwrap();
+    let (expect, expect_stats) = life::serial::run(g.clone(), 25);
+    for (threads, partition) in [(2, Partition::Rows), (5, Partition::Columns), (16, Partition::Rows)] {
+        let got = life::parallel::run(g.clone(), 25, threads, partition);
+        assert_eq!(got.grid, expect, "t={threads} {partition:?}");
+        assert_eq!(got.history, expect_stats);
+    }
+}
+
+#[test]
+fn life_dead_boundary_parallel_matches_serial() {
+    let g = Grid::random(40, 64, 0.45, 7, Boundary::Dead).unwrap();
+    let (expect, _) = life::serial::run(g.clone(), 15);
+    let got = life::parallel::run(g, 15, 6, Partition::Columns);
+    assert_eq!(got.grid, expect);
+}
+
+/// A two-stage pipeline built from two bounded buffers: producers →
+/// squarers → accumulators. Every value must flow through exactly once.
+#[test]
+fn bounded_buffer_pipeline_two_stages() {
+    let stage1: BoundedBuffer<u64> = BoundedBuffer::new(8);
+    let stage2: BoundedBuffer<u64> = BoundedBuffer::new(8);
+    let total = AtomicU64::new(0);
+    let n = 2_000u64;
+
+    std::thread::scope(|s| {
+        // Producer.
+        s.spawn(|| {
+            for i in 1..=n {
+                stage1.put(i).unwrap();
+            }
+            stage1.close();
+        });
+        // Two middle workers square values.
+        for _ in 0..2 {
+            let stage1 = &stage1;
+            let stage2 = &stage2;
+            s.spawn(move || {
+                while let Some(v) = stage1.take() {
+                    stage2.put(v * v).unwrap();
+                }
+            });
+        }
+        // The consumer knows the item count, so it can stop (and close
+        // stage2) without a separate completion latch.
+        let total = &total;
+        let stage2 = &stage2;
+        s.spawn(move || {
+            let mut got = 0;
+            while got < n {
+                if let Some(v) = stage2.take() {
+                    total.fetch_add(v, Ordering::Relaxed);
+                    got += 1;
+                }
+            }
+            stage2.close();
+        });
+    });
+
+    let expect: u64 = (1..=n).map(|i| i * i).sum();
+    assert_eq!(total.load(Ordering::Relaxed), expect);
+}
+
+/// Barrier + shared stats (the Lab 10 skeleton) in isolation: per-round
+/// sums computed by 8 threads must equal the serial sums.
+#[test]
+fn barrier_round_structure_computes_correct_partial_sums() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 20;
+    let barrier = Barrier::new(THREADS);
+    let round_sums: Vec<AtomicU64> = (0..ROUNDS).map(|_| AtomicU64::new(0)).collect();
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let barrier = &barrier;
+            let round_sums = &round_sums;
+            s.spawn(move || {
+                for (r, slot) in round_sums.iter().enumerate() {
+                    // Each thread contributes f(t, r); the barrier makes the
+                    // round sum complete before anyone proceeds.
+                    slot.fetch_add((t as u64 + 1) * (r as u64 + 1), Ordering::SeqCst);
+                    barrier.wait();
+                    let expected: u64 = (1..=THREADS as u64).map(|x| x * (r as u64 + 1)).sum();
+                    assert_eq!(slot.load(Ordering::SeqCst), expected, "round {r}");
+                }
+            });
+        }
+    });
+}
+
+/// The machine model's speedup never exceeds its two hard ceilings:
+/// linear in the processor count, and the lock-serialization floor
+/// (parallel time can't drop below the total serialized critical time).
+/// Unlike a naive Amdahl bound, the model correctly lets one thread's
+/// critical section overlap other threads' *compute*.
+#[test]
+fn machine_model_respects_hard_speedup_ceilings() {
+    use parallel::machine::{life_like_workload, simulate, MachineConfig};
+    let cfg = MachineConfig { cores: 16, barrier_cost: 0, lock_overhead: 0, contention: 0.0 };
+    for crit in [0u64, 10_000, 50_000] {
+        for threads in [2usize, 4, 8, 16] {
+            let total_work = 16_000_000u64;
+            let rounds = 10;
+            let wl = life_like_workload(total_work, threads, rounds, crit);
+            let r = simulate(cfg, &wl).expect("well-formed");
+            let total_crit = (crit * threads as u64 * rounds as u64) as f64;
+            let lock_floor_bound = if total_crit > 0.0 {
+                r.serial_time / total_crit
+            } else {
+                f64::INFINITY
+            };
+            let bound = (threads as f64).min(lock_floor_bound);
+            assert!(
+                r.speedup() <= bound + 1e-6,
+                "crit={crit} t={threads}: model {:.2} > ceiling {:.2}",
+                r.speedup(),
+                bound
+            );
+        }
+    }
+}
+
+/// Different seeds, grids and partitions — a broad sweep of the Lab 10
+/// equivalence (complements the per-crate proptest).
+#[test]
+fn life_equivalence_sweep() {
+    for seed in [1u64, 99, 777] {
+        let g = Grid::random(33, 17, 0.5, seed, Boundary::Toroidal).unwrap();
+        let (expect, _) = life::serial::run(g.clone(), 11);
+        for threads in [3, 9] {
+            let got = life::parallel::run(g.clone(), 11, threads, Partition::Rows);
+            assert_eq!(got.grid, expect, "seed {seed} t {threads}");
+        }
+    }
+}

