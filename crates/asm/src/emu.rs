@@ -784,8 +784,8 @@ mod tests {
                 model[i] = v;
             }
             for _ in 0..12 {
-                let d = rng.gen_range(0..4);
-                let s_i = rng.gen_range(0..4);
+                let d = rng.gen_range(0..4usize);
+                let s_i = rng.gen_range(0..4usize);
                 match rng.gen_range(0..6) {
                     0 => {
                         src.push_str(&format!("addl {}, {}\n", regs[s_i], regs[d]));

@@ -198,7 +198,7 @@ pub fn link(units: &[ObjectUnit]) -> Result<Program, LinkError> {
         let a = unit_instr_addrs[ui]
             .get(idx)
             .copied()
-            .unwrap_or_else(|| addr); // end-of-unit labels
+            .unwrap_or(addr); // end-of-unit labels
         symbols.insert(sym.clone(), a);
     }
     for (ui, u) in units.iter().enumerate() {

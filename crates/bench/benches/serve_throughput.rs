@@ -1,0 +1,83 @@
+//! E11 — serve subsystem throughput: pool reuse vs spawn-per-call, and
+//! the cost of a request on the warm vs cold cache path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serve::server::ExperimentFn;
+use serve::{CourseServer, Request, ServerConfig, ThreadPool};
+
+/// A small-but-real per-element workload (branchy integer mixing), so
+/// the spawn/join overhead is visible next to it but not the whole bar.
+fn mix(x: &u64) -> u64 {
+    let mut v = *x;
+    for _ in 0..64 {
+        v = v.wrapping_mul(6364136223846793005).rotate_left(17) ^ 0x9e3779b97f4a7c15;
+    }
+    v
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bench::e11_serve());
+
+    let data: Vec<u64> = (0..4096).collect();
+    let mut g = c.benchmark_group("par_map_hosting");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(data.len() as u64));
+    for threads in [2usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("spawn_per_call", threads),
+            &threads,
+            |b, &threads| b.iter(|| parallel::par::par_map(&data, threads, mix)),
+        );
+        let pool = ThreadPool::new(threads);
+        g.bench_with_input(BenchmarkId::new("pool_backed", threads), &threads, |b, _| {
+            b.iter(|| serve::par::par_map(&pool, &data, mix))
+        });
+    }
+    g.finish();
+
+    // Request latency through the full server stack: the warm path
+    // answers one resident key from the cache; the cold path is forced
+    // to recompute every iteration (see the eviction trick below).
+    let mut g = c.benchmark_group("server_request");
+    g.sample_size(10);
+    let warm = CourseServer::with_experiments(
+        ServerConfig::default(),
+        Vec::<(String, ExperimentFn)>::new(),
+    );
+    let req = Request::Homework { generator: "binary_arithmetic".to_string(), seed: 31 };
+    warm.submit(req.clone()).expect("accepted").wait();
+    g.bench_function("warm_cache_hit", |b| {
+        b.iter(|| {
+            let resp = warm.submit(req.clone()).expect("accepted").wait();
+            assert!(resp.cached, "warm request must not recompute");
+            resp
+        })
+    });
+    // Cold path: capacity-1 cache, two alternating keys — every lookup
+    // evicts the other key, so every request truly recomputes.
+    let cold = CourseServer::new(ServerConfig {
+        cache_shards: 1,
+        cache_capacity_per_shard: 1,
+        ..ServerConfig::default()
+    });
+    let a = Request::Homework { generator: "binary_arithmetic".to_string(), seed: 1 };
+    let b_req = Request::Homework { generator: "binary_arithmetic".to_string(), seed: 2 };
+    let mut flip = false;
+    g.bench_function("cold_cache_miss", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let req = if flip { a.clone() } else { b_req.clone() };
+            cold.submit(req).expect("accepted").wait()
+        })
+    });
+    g.finish();
+    warm.shutdown();
+    cold.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

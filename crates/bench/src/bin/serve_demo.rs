@@ -1,0 +1,121 @@
+//! `serve_demo` — N client threads hammering the course job server.
+//!
+//! ```text
+//! cargo run -p bench --bin serve_demo             # 8 clients x 32 requests
+//! cargo run -p bench --bin serve_demo -- 4 100    # 4 clients x 100 requests
+//! ```
+//!
+//! Each client submits a deterministic mix of grade / homework /
+//! reproduce requests, honouring the server's backpressure (on a
+//! `Busy` rejection it sleeps the hinted backoff and retries). At the
+//! end the server is drained and the request/cache/pool counters are
+//! printed — the live-system counterpart of experiment E11.
+
+use serve::server::{CourseServer, ExperimentFn, Request, SubmitError};
+use serve::ServerConfig;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const SUBMISSION: &str = "
+main:
+    movl $0, %eax
+    movl $0, %edi
+    cmpl $0, %ecx
+    je done
+loop:
+    addl (%esi,%edi,4), %eax
+    addl $1, %edi
+    cmpl %ecx, %edi
+    jne loop
+done:
+    hlt
+";
+
+/// The i-th request a client sends: a rotating workload mix with a
+/// deliberately small key space, so the cache earns its keep.
+fn request_for(client: u64, i: u64) -> Request {
+    match i % 4 {
+        0 => Request::Grade { submission: SUBMISSION.to_string() },
+        1 => Request::Homework {
+            generator: "binary_arithmetic".to_string(),
+            seed: (client + i) % 8,
+        },
+        2 => Request::Homework { generator: "fork_puzzle".to_string(), seed: i % 4 },
+        _ => Request::Reproduce { id: "e5".to_string() },
+    }
+}
+
+fn main() {
+    let args: Vec<u64> =
+        std::env::args().skip(1).map(|a| a.parse().expect("usage: serve_demo [clients] [requests]")).collect();
+    let clients = *args.first().unwrap_or(&8);
+    let per_client = *args.get(1).unwrap_or(&32);
+
+    // A small queue relative to the offered load, so backpressure is
+    // actually exercised and the retry loop matters.
+    let server = CourseServer::with_experiments(
+        ServerConfig { workers: 4, queue_capacity: 8, ..ServerConfig::default() },
+        vec![("e5".to_string(), bench::e5_tlb_eat as ExperimentFn)],
+    );
+
+    println!("serve_demo: {clients} clients x {per_client} requests, 4 workers, queue 8\n");
+    let start = Instant::now();
+    let mut total_retries = 0u64;
+    let mut total_cached = 0u64;
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let server = &server;
+                s.spawn(move || {
+                    let mut retries = 0u64;
+                    let mut cached = 0u64;
+                    for i in 0..per_client {
+                        let req = request_for(client, i);
+                        let ticket = loop {
+                            match server.submit(req.clone()) {
+                                Ok(t) => break t,
+                                Err(SubmitError::Busy(r)) => {
+                                    retries += 1;
+                                    thread::sleep(Duration::from_millis(r.retry_after_ms));
+                                }
+                                Err(SubmitError::ShuttingDown(_)) => {
+                                    unreachable!("demo shuts down only after clients finish")
+                                }
+                            }
+                        };
+                        let resp = ticket.wait();
+                        assert!(resp.ok, "request failed: {}", resp.body);
+                        cached += resp.cached as u64;
+                    }
+                    (retries, cached)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (retries, cached) = h.join().expect("client thread");
+            total_retries += retries;
+            total_cached += cached;
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let st = server.stats();
+    let total = clients * per_client;
+    println!("{:<28} {:>10}", "requests served", total);
+    println!("{:<28} {:>10}", "answered from cache", total_cached);
+    println!("{:<28} {:>10}", "busy rejections (retried)", total_retries);
+    println!("{:<28} {:>10.0}", "requests/sec", total as f64 / elapsed);
+    println!();
+    println!("{:<28} {:>10}", "server accepted", st.accepted);
+    println!("{:<28} {:>10}", "server completed", st.completed);
+    println!("{:<28} {:>10}", "cache hits / misses", format!("{}/{}", st.cache.hits, st.cache.misses));
+    println!("{:<28} {:>10}", "cache evictions", st.cache.evictions);
+    println!("{:<28} {:>10}", "pool jobs finished", st.pool.finished);
+    println!("{:<28} {:>10}", "pool queue high-water", st.pool.queue_high_water);
+    assert_eq!(st.accepted, st.completed, "drain must complete every accepted request");
+    println!("\nper-worker:");
+    for (i, w) in st.pool.per_worker.iter().enumerate() {
+        println!("  worker {i}: started={} finished={} panicked={}", w.started, w.finished, w.panicked);
+    }
+}

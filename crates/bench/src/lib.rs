@@ -435,6 +435,102 @@ pub fn e10_asm_sequences() -> String {
     out
 }
 
+/// E11 — the `serve` subsystem: concurrent clients against the
+/// thread-pool job server, showing compute-once caching, explicit
+/// backpressure, and a drain-everything shutdown.
+pub fn e11_serve() -> String {
+    use serve::{CourseServer, Request, ServerConfig};
+    use std::thread;
+
+    let mut out = String::from(
+        "E11: course job server (4 workers, 4 client threads, real workloads)\n\n",
+    );
+    // The server can run reproduce experiments too; register one so the
+    // Reproduce arm exercises a real registry entry. (e11 itself stays
+    // out — a server running the experiment that drives the server
+    // would recurse.)
+    let server = CourseServer::with_experiments(
+        ServerConfig { workers: 4, queue_capacity: 64, ..ServerConfig::default() },
+        vec![("e5".to_string(), e5_tlb_eat as serve::server::ExperimentFn)],
+    );
+
+    // Two identical rounds of 4 clients x 6 distinct homework variants:
+    // round 1 computes all 24, round 2 must be answered purely from the
+    // result cache.
+    let round = |label: &str, out: &mut String| {
+        let mut served = 0usize;
+        let mut from_cache = 0usize;
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|client| {
+                    let server = &server;
+                    s.spawn(move || {
+                        let mut cached = 0usize;
+                        for seed in 0..6u64 {
+                            let resp = server
+                                .submit(Request::Homework {
+                                    generator: "binary_arithmetic".into(),
+                                    seed: client * 100 + seed,
+                                })
+                                .expect("queue sized for every client")
+                                .wait();
+                            assert!(resp.ok);
+                            cached += resp.cached as usize;
+                        }
+                        cached
+                    })
+                })
+                .collect();
+            for h in handles {
+                from_cache += h.join().expect("client thread");
+                served += 6;
+            }
+        });
+        out.push_str(&format!(
+            "{label:<22} {served:>8} served {from_cache:>8} from cache\n"
+        ));
+    };
+    round("round 1 (cold cache)", &mut out);
+    round("round 2 (warm cache)", &mut out);
+
+    // One of each remaining workload through the same server.
+    let grade = server
+        .submit(Request::Grade { submission: "movl $0, %eax\nhlt\n".into() })
+        .expect("accepted")
+        .wait();
+    let repro = server
+        .submit(Request::Reproduce { id: "e5".into() })
+        .expect("accepted")
+        .wait();
+    out.push_str(&format!(
+        "\ngrade request graded an empty-sum submission: ok={} ({} bytes)\n",
+        grade.ok,
+        grade.body.len()
+    ));
+    out.push_str(&format!(
+        "reproduce request re-ran E5 through the server: ok={} ({} bytes)\n",
+        repro.ok,
+        repro.body.len()
+    ));
+
+    server.shutdown();
+    let st = server.stats();
+    out.push_str(&format!(
+        "\n{:>10} {:>10} {:>10} {:>10} {:>10} {:>12}\n",
+        "accepted", "completed", "rejected", "hits", "misses", "q high-water"
+    ));
+    out.push_str(&format!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>12}\n",
+        st.accepted, st.completed, st.rejected, st.cache.hits, st.cache.misses,
+        st.pool.queue_high_water
+    ));
+    out.push_str(
+        "\n(shutdown drained every accepted request: completed == accepted;\n\
+         round 2 recomputed nothing — the compute-once cache answered)\n",
+    );
+    out
+}
+
 /// An experiment id and its runner.
 pub type Experiment = (&'static str, fn() -> String);
 
@@ -456,6 +552,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e8", e8_counter),
         ("e9", e9_vm_replacement),
         ("e10", e10_asm_sequences),
+        ("e11", e11_serve),
     ];
     v.extend(ablations::all_ablations());
     v
@@ -512,5 +609,14 @@ mod tests {
     fn e10_sequences_agree_and_differ_in_cost() {
         let out = e10_asm_sequences();
         assert!(out.contains("register loop beats memory loop"), "{out}");
+    }
+
+    #[test]
+    fn e11_warm_round_is_fully_cached_and_drains() {
+        let out = e11_serve();
+        let warm = out.lines().find(|l| l.starts_with("round 2")).expect("warm round line");
+        assert!(warm.contains("24 served"), "{out}");
+        assert!(warm.contains("24 from cache"), "{out}");
+        assert!(out.contains("completed == accepted"), "{out}");
     }
 }

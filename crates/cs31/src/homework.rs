@@ -119,7 +119,7 @@ pub fn direct_mapped_trace(seed: u64) -> Problem {
     // 8 accesses over a small footprint so conflicts happen.
     let trace: Vec<TraceEvent> = (0..8)
         .map(|_| {
-            let addr = rng.gen_range(0..8u64) * 16 + rng.gen_range(0..16);
+            let addr = rng.gen_range(0..8u64) * 16 + rng.gen_range(0..16u64);
             if rng.gen_bool(0.3) {
                 TraceEvent::store(addr)
             } else {
@@ -186,7 +186,7 @@ pub fn vm_trace(seed: u64) -> Problem {
     let pid = vm.spawn();
     let accesses: Vec<(u64, AccessKind)> = (0..8)
         .map(|_| {
-            let vaddr = rng.gen_range(0..6u64) * 256 + rng.gen_range(0..256);
+            let vaddr = rng.gen_range(0..6u64) * 256 + rng.gen_range(0..256u64);
             let kind = if rng.gen_bool(0.25) { AccessKind::Store } else { AccessKind::Load };
             (vaddr, kind)
         })

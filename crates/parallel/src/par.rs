@@ -9,6 +9,16 @@
 //! * [`par_reduce`] — tree-free two-phase reduction (local then combine);
 //! * [`par_for_dynamic`] — an atomic work-index loop (dynamic chunking),
 //!   the load-balancing upgrade discussed for irregular work.
+//!
+//! All four entry points guarantee **serial equivalence at
+//! `threads == 1`** (see each function's docs) — the property tests
+//! lean on it, and it is the course's "same answer, just faster"
+//! contract for data parallelism.
+//!
+//! Each call here spawns and joins scoped threads; when the same data
+//! shape is processed repeatedly (a server handling many requests), the
+//! pool-backed variants in `serve::par` amortize that cost by reusing
+//! long-lived workers.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
@@ -38,6 +48,10 @@ where
 }
 
 /// Parallel map: applies `f` to each element, preserving order.
+///
+/// With `threads == 1` this is serially equivalent to
+/// `data.iter().map(f).collect()`: one chunk, visited in order by one
+/// thread.
 pub fn par_map<T, U, F>(data: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
@@ -61,11 +75,21 @@ where
             });
         }
     });
-    out.into_iter().map(|o| o.expect("every slot written")).collect()
+    // Every slot was written: the chunked output regions partition
+    // `out` exactly as the input chunks partition `data`, and the
+    // scope joined every writer. One flat unwrap pass keeps the safe
+    // Vec<Option<U>> idiom without per-element expect plumbing.
+    out.into_iter().map(Option::unwrap).collect()
 }
 
 /// Parallel reduction: per-thread local fold, then a serial combine of
 /// the partials — the "sum across threads then join" Lab 10 shape.
+///
+/// With `threads == 1` this is serially equivalent to
+/// `combine(identity, data.iter().fold(identity, fold))`, which equals
+/// the plain serial fold whenever `identity` is a true identity for
+/// `combine` — the law thread-count independence rests on (see
+/// `laws::par_reduce` property tests).
 pub fn par_reduce<T, A, F, G>(data: &[T], threads: usize, identity: A, fold: F, combine: G) -> A
 where
     T: Sync,
@@ -99,6 +123,10 @@ where
 /// Dynamic scheduling: threads pull `grain`-sized index ranges from a
 /// shared atomic counter until the range `0..n` is exhausted, calling
 /// `f(start..end)` for each claimed range.
+///
+/// With `threads == 1` the single worker claims ranges in ascending
+/// order, so the call is serially equivalent to
+/// `for r in (0..n).step_by(grain) { f(r..min(r + grain, n)) }`.
 pub fn par_for_dynamic<F>(n: usize, threads: usize, grain: usize, f: F)
 where
     F: Fn(std::ops::Range<usize>) + Sync,

@@ -1,0 +1,47 @@
+//! # serve — the thread-pool job server for course workloads
+//!
+//! The course ends where servers begin: Lab 10's pthreads lesson
+//! ("divide the work, synchronize, join") is exactly the skeleton of a
+//! request-serving system. This crate grows that lesson into the
+//! repo's first serving subsystem, shaped after the cs431/cs492
+//! "hello server" homework (`thread_pool.rs` + `cache.rs`) and built
+//! only from this workspace's own primitives and `std`:
+//!
+//! * [`pool`] — a long-lived [`pool::ThreadPool`] with panic-isolating
+//!   workers, [`pool::ThreadPool::wait_empty`], drain-on-drop, and
+//!   per-worker + aggregate counters;
+//! * [`cache`] — a sharded compute-once [`cache::Cache`]
+//!   (`get_or_insert_with` runs the closure exactly once per key;
+//!   distinct keys never block each other) with per-shard LRU
+//!   eviction and hit/miss/eviction stats;
+//! * [`server`] — the [`server::CourseServer`] front end: bounded
+//!   admission with reject-and-retry-hint backpressure, result caching
+//!   by request key, and graceful drain-everything shutdown over the
+//!   course's real workloads (grade / homework / reproduce);
+//! * [`par`] — pool-backed `par_map` / `par_for_chunks` / `par_reduce`
+//!   so repeated data-parallel calls reuse workers instead of spawning
+//!   threads per call.
+//!
+//! ```
+//! use serve::server::{CourseServer, Request, ServerConfig};
+//!
+//! let server = CourseServer::new(ServerConfig::default());
+//! let ticket = server
+//!     .submit(Request::Homework { generator: "binary_arithmetic".into(), seed: 31 })
+//!     .expect("admitted");
+//! let response = ticket.wait();
+//! assert!(response.ok);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod par;
+pub mod pool;
+pub mod server;
+
+pub use cache::Cache;
+pub use pool::ThreadPool;
+pub use server::{CourseServer, Request, Response, ServerConfig};

@@ -1,0 +1,250 @@
+//! Pool-backed data-parallel loops: the `parallel::par` entry points
+//! re-hosted on a long-lived [`ThreadPool`] so *repeated* calls reuse
+//! workers instead of paying a spawn/join per call — the difference the
+//! `serve_throughput` bench measures.
+//!
+//! `parallel::par_*` borrow their input because `std::thread::scope`
+//! proves the threads die before the borrow does. A shared pool's
+//! workers outlive any one call, so jobs must be `'static`: these
+//! variants take owned chunks (`T: Clone`) and hand results back
+//! through per-call latches. Same answers, different lifetime deal —
+//! every function here is drop-in result-compatible with its
+//! `parallel::par` counterpart (including the `threads == 1`-style
+//! serial equivalence: one chunk means the closure runs on one worker
+//! in submission order).
+
+use crate::pool::ThreadPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A count-down latch: the per-call join point replacing
+/// `thread::scope`'s implicit joins.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch { remaining: Mutex::new(count), done: Condvar::new() }
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        while *left > 0 {
+            left = self.done.wait(left).expect("latch poisoned");
+        }
+    }
+}
+
+/// Splits `0..len` into at most `pieces` near-equal contiguous ranges.
+fn chunk_ranges(len: usize, pieces: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces.clamp(1, len);
+    let chunk = len.div_ceil(pieces);
+    (0..len).step_by(chunk).map(|start| start..(start + chunk).min(len)).collect()
+}
+
+/// Runs chunked jobs on the pool and collects per-chunk outputs in
+/// chunk order, propagating the first panic after all chunks finish.
+fn run_chunks<U: Send + 'static>(
+    pool: &ThreadPool,
+    jobs: Vec<Box<dyn FnOnce() -> U + Send + 'static>>,
+) -> Vec<U> {
+    let n = jobs.len();
+    let latch = Arc::new(Latch::new(n));
+    let slots: Arc<Vec<Mutex<Option<std::thread::Result<U>>>>> =
+        Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+    for (i, job) in jobs.into_iter().enumerate() {
+        let latch = Arc::clone(&latch);
+        let slots = Arc::clone(&slots);
+        if let Err(rejected) = pool.execute(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(job));
+            *slots[i].lock().expect("chunk slot poisoned") = Some(outcome);
+            latch.count_down();
+        }) {
+            // Pool shutting down: run the whole wrapped job inline so
+            // the slot is filled and the latch still opens — no chunk
+            // is ever lost.
+            (rejected.0)();
+        }
+    }
+    latch.wait();
+    // Read through the locks rather than unwrapping the Arc: a worker
+    // may still be dropping its clone for an instant after the final
+    // count_down.
+    slots
+        .iter()
+        .map(|slot| {
+            let outcome = slot
+                .lock()
+                .expect("chunk slot poisoned")
+                .take()
+                .expect("latch opened before a chunk stored its result");
+            match outcome {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        })
+        .collect()
+}
+
+/// Pool-backed `parallel::par_map`: applies `f` to every element,
+/// preserving order. With one chunk (or `data.len() <= 1`) this is
+/// serially equivalent to `data.iter().map(f).collect()`.
+pub fn par_map<T, U, F>(pool: &ThreadPool, data: &[T], f: F) -> Vec<U>
+where
+    T: Clone + Send + 'static,
+    U: Send + 'static,
+    F: Fn(&T) -> U + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let jobs: Vec<Box<dyn FnOnce() -> Vec<U> + Send>> = chunk_ranges(data.len(), pool.workers())
+        .into_iter()
+        .map(|range| {
+            let chunk: Vec<T> = data[range].to_vec();
+            let f = Arc::clone(&f);
+            Box::new(move || chunk.iter().map(|x| f(x)).collect()) as Box<_>
+        })
+        .collect();
+    run_chunks(pool, jobs).into_iter().flatten().collect()
+}
+
+/// Pool-backed `parallel::par_for_chunks`: applies `f(chunk_index,
+/// chunk)` to near-equal contiguous chunks of `data`, returning the
+/// mutated vector (owned, because pool jobs cannot borrow the caller's
+/// stack). Chunk boundaries match `parallel::par_for_chunks` with
+/// `threads = pool.workers()`.
+pub fn par_for_chunks<T, F>(pool: &ThreadPool, data: Vec<T>, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize, &mut [T]) + Send + Sync + 'static,
+{
+    if data.is_empty() {
+        return data;
+    }
+    let f = Arc::new(f);
+    let len = data.len();
+    let mut rest = data;
+    let mut pieces: Vec<Vec<T>> = Vec::new();
+    for range in chunk_ranges(len, pool.workers()).into_iter().rev() {
+        pieces.push(rest.split_off(range.start));
+    }
+    pieces.reverse();
+    let jobs: Vec<Box<dyn FnOnce() -> Vec<T> + Send>> = pieces
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut piece)| {
+            let f = Arc::clone(&f);
+            Box::new(move || {
+                f(i, &mut piece);
+                piece
+            }) as Box<_>
+        })
+        .collect();
+    run_chunks(pool, jobs).into_iter().flatten().collect()
+}
+
+/// Pool-backed `parallel::par_reduce`: per-chunk local fold, then a
+/// serial combine of the partials in chunk order. Requires the same
+/// identity/associativity laws as `parallel::par_reduce` for
+/// thread-count independence; with one chunk it degenerates to
+/// `combine(identity, data.iter().fold(identity, fold))`.
+pub fn par_reduce<T, A, F, G>(pool: &ThreadPool, data: &[T], identity: A, fold: F, combine: G) -> A
+where
+    T: Clone + Send + 'static,
+    A: Send + Clone + 'static,
+    F: Fn(A, &T) -> A + Send + Sync + 'static,
+    G: Fn(A, A) -> A,
+{
+    if data.is_empty() {
+        return identity;
+    }
+    let fold = Arc::new(fold);
+    let jobs: Vec<Box<dyn FnOnce() -> A + Send>> = chunk_ranges(data.len(), pool.workers())
+        .into_iter()
+        .map(|range| {
+            let chunk: Vec<T> = data[range].to_vec();
+            let fold = Arc::clone(&fold);
+            let id = identity.clone();
+            Box::new(move || chunk.iter().fold(id, |acc, x| fold(acc, x))) as Box<_>
+        })
+        .collect();
+    run_chunks(pool, jobs).into_iter().fold(identity, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_and_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<i64> = (0..1000).collect();
+        let got = par_map(&pool, &data, |x| x * x);
+        let want: Vec<i64> = data.iter().map(|x| x * x).collect();
+        assert_eq!(got, want);
+        // Repeated calls reuse the same workers.
+        for _ in 0..10 {
+            assert_eq!(par_map(&pool, &data, |x| x + 1).len(), 1000);
+        }
+        assert_eq!(pool.stats().panicked, 0);
+    }
+
+    #[test]
+    fn par_for_chunks_matches_scoped_version() {
+        let pool = ThreadPool::new(3);
+        let data: Vec<u8> = (0..=255).collect();
+        let from_pool = par_for_chunks(&pool, data.clone(), |_, chunk| {
+            for x in chunk {
+                *x = x.wrapping_mul(7);
+            }
+        });
+        let mut from_scope = data;
+        parallel::par::par_for_chunks(&mut from_scope, 3, |_, chunk| {
+            for x in chunk {
+                *x = x.wrapping_mul(7);
+            }
+        });
+        assert_eq!(from_pool, from_scope);
+    }
+
+    #[test]
+    fn par_reduce_sums() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<u64> = (1..=10_000).collect();
+        let total = par_reduce(&pool, &data, 0u64, |a, &x| a + x, |a, b| a + b);
+        assert_eq!(total, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn empty_inputs_degenerate() {
+        let pool = ThreadPool::new(2);
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&pool, &empty, |x| *x).is_empty());
+        assert!(par_for_chunks(&pool, empty.clone(), |_, _| panic!("no chunks")).is_empty());
+        assert_eq!(par_reduce(&pool, &empty, 9u32, |a, &x| a + x, |a, b| a + b), 9);
+    }
+
+    #[test]
+    fn panicking_closure_propagates_without_wedging_the_pool() {
+        let pool = ThreadPool::new(2);
+        let data: Vec<u32> = (0..100).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&pool, &data, |&x| if x == 50 { panic!("element 50") } else { x })
+        }));
+        assert!(result.is_err(), "panic must reach the caller");
+        // The pool survives and keeps working.
+        assert_eq!(par_map(&pool, &data, |&x| x + 1)[0], 1);
+    }
+}

@@ -1,0 +1,367 @@
+//! The long-lived worker pool: the cs431 "hello server" `ThreadPool`
+//! grown up — panic-isolating workers, `wait_empty`, join-on-drop with
+//! drain semantics, and per-worker plus aggregate counters as the
+//! subsystem's first observability hooks.
+//!
+//! Built from the same parts the course teaches (one `Mutex`, one
+//! `Condvar`, a `VecDeque` — the bounded-buffer idiom of
+//! `parallel::bounded` minus the capacity bound, because admission
+//! control lives a layer up in [`crate::server`]).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// A queued unit of work.
+struct Job(Box<dyn FnOnce() + Send + 'static>);
+
+/// Error returned when a job is submitted to a pool that has begun
+/// shutting down: the job is handed back so nothing is silently lost.
+pub struct PoolClosed<F>(pub F);
+
+impl<F> std::fmt::Debug for PoolClosed<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoolClosed(..)")
+    }
+}
+
+/// Counters for one worker thread.
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    started: AtomicU64,
+    finished: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// A point-in-time snapshot of one worker's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker has begun executing.
+    pub started: u64,
+    /// Jobs this worker has completed (including panicked ones).
+    pub finished: u64,
+    /// Jobs that panicked on this worker.
+    pub panicked: u64,
+}
+
+/// A point-in-time snapshot of the pool's aggregate counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Jobs accepted by [`ThreadPool::execute`] so far.
+    pub submitted: u64,
+    /// Jobs begun across all workers.
+    pub started: u64,
+    /// Jobs completed across all workers (including panicked ones).
+    pub finished: u64,
+    /// Jobs that panicked across all workers.
+    pub panicked: u64,
+    /// Deepest the queue has ever been (admission-pressure signal).
+    pub queue_high_water: usize,
+    /// Jobs currently queued but not yet claimed.
+    pub queue_depth: usize,
+    /// Per-worker breakdown, indexed by worker id.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+/// Shared state between the pool handle and its workers.
+struct PoolInner {
+    queue: Mutex<QueueState>,
+    /// Signals workers that a job (or closure of the queue) is available.
+    available: Condvar,
+    /// Signals `wait_empty` that `pending` may have reached zero.
+    empty: Condvar,
+    /// Jobs submitted but not yet finished (queued + running).
+    pending: Mutex<usize>,
+    submitted: AtomicU64,
+    queue_high_water: AtomicUsize,
+    per_worker: Vec<WorkerCounters>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl PoolInner {
+    /// Marks one submitted job as fully finished and wakes `wait_empty`
+    /// if that was the last one.
+    fn finish_one(&self) {
+        let mut pending = self.pending.lock().expect("pool mutex poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.empty.notify_all();
+        }
+    }
+}
+
+/// A fixed-size pool of long-lived worker threads executing submitted
+/// jobs in FIFO order.
+///
+/// * a job that **panics** is contained: the worker survives, the panic
+///   is counted, and every other job runs normally;
+/// * **`Drop` drains**: jobs still queued when the pool is dropped are
+///   executed before the workers join — an accepted job is never
+///   silently discarded;
+/// * [`ThreadPool::wait_empty`] blocks until no job is queued *or*
+///   running — the quiesce point graceful shutdown builds on.
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("workers", &self.workers.len()).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `workers` threads.
+    ///
+    /// # Panics
+    /// If `workers == 0`.
+    pub fn new(workers: usize) -> ThreadPool {
+        assert!(workers > 0, "thread pool needs at least one worker");
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
+            available: Condvar::new(),
+            empty: Condvar::new(),
+            pending: Mutex::new(0),
+            submitted: AtomicU64::new(0),
+            queue_high_water: AtomicUsize::new(0),
+            per_worker: (0..workers).map(|_| WorkerCounters::default()).collect(),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("serve-worker-{id}"))
+                    .spawn(move || worker_loop(id, &inner))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        ThreadPool { inner, workers: handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.per_worker.len()
+    }
+
+    /// Submits a job. Returns the job back as `Err(PoolClosed)` if the
+    /// pool has begun shutting down (deterministic rejection — the
+    /// caller decides what losing the job means).
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), PoolClosed<F>> {
+        // Count the job as pending *before* it becomes visible to
+        // workers so `wait_empty` can never observe a running job that
+        // it did not wait for.
+        {
+            let mut pending = self.inner.pending.lock().expect("pool mutex poisoned");
+            *pending += 1;
+        }
+        let mut q = self.inner.queue.lock().expect("pool mutex poisoned");
+        if q.closed {
+            drop(q);
+            self.inner.finish_one();
+            return Err(PoolClosed(job));
+        }
+        q.jobs.push_back(Job(Box::new(job)));
+        let depth = q.jobs.len();
+        drop(q);
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until every submitted job has finished and the queue is
+    /// empty. Returns immediately if nothing is pending.
+    ///
+    /// "Empty" means *no job queued and no job running*: the pending
+    /// count a job joins at submit time and leaves only after its
+    /// closure returns (or panics).
+    pub fn wait_empty(&self) {
+        let mut pending = self.inner.pending.lock().expect("pool mutex poisoned");
+        while *pending > 0 {
+            pending = self.inner.empty.wait(pending).expect("pool mutex poisoned");
+        }
+    }
+
+    /// A snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        let per_worker: Vec<WorkerStats> = self
+            .inner
+            .per_worker
+            .iter()
+            .map(|w| WorkerStats {
+                started: w.started.load(Ordering::Relaxed),
+                finished: w.finished.load(Ordering::Relaxed),
+                panicked: w.panicked.load(Ordering::Relaxed),
+            })
+            .collect();
+        PoolStats {
+            workers: per_worker.len(),
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            started: per_worker.iter().map(|w| w.started).sum(),
+            finished: per_worker.iter().map(|w| w.finished).sum(),
+            panicked: per_worker.iter().map(|w| w.panicked).sum(),
+            queue_high_water: self.inner.queue_high_water.load(Ordering::Relaxed),
+            queue_depth: self.inner.queue.lock().expect("pool mutex poisoned").jobs.len(),
+            per_worker,
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    /// Closes the queue and joins every worker. Queued jobs are
+    /// **drained** (executed), not discarded; new submissions are
+    /// rejected from this point on.
+    fn drop(&mut self) {
+        {
+            let mut q = self.inner.queue.lock().expect("pool mutex poisoned");
+            q.closed = true;
+        }
+        self.inner.available.notify_all();
+        for handle in self.workers.drain(..) {
+            // A panicking *job* is caught inside the worker; a worker
+            // thread itself dying is a bug worth propagating.
+            handle.join().expect("pool worker crashed outside a job");
+        }
+    }
+}
+
+/// The worker body: claim, run (panic-contained), count, repeat; exit
+/// once the queue is closed *and* drained.
+fn worker_loop(id: usize, inner: &PoolInner) {
+    let counters = &inner.per_worker[id];
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().expect("pool mutex poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.closed {
+                    break None;
+                }
+                q = inner.available.wait(q).expect("pool mutex poisoned");
+            }
+        };
+        let Some(job) = job else { return };
+        counters.started.fetch_add(1, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(job.0));
+        if outcome.is_err() {
+            counters.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        counters.finished.fetch_add(1, Ordering::Relaxed);
+        inner.finish_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs_and_counts_them() {
+        let pool = ThreadPool::new(4);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            pool.execute(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("pool accepts while alive");
+        }
+        pool.wait_empty();
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 100);
+        assert_eq!(stats.finished, 100);
+        assert_eq!(stats.panicked, 0);
+        assert_eq!(stats.queue_depth, 0);
+        assert!(stats.queue_high_water >= 1);
+        assert_eq!(stats.per_worker.len(), 4);
+        assert_eq!(stats.per_worker.iter().map(|w| w.finished).sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let hits = Arc::new(AtomicU64::new(0));
+        {
+            // One worker and a slow first job force the rest to queue.
+            let pool = ThreadPool::new(1);
+            for _ in 0..50 {
+                let hits = Arc::clone(&hits);
+                pool.execute(move || {
+                    std::thread::sleep(Duration::from_micros(100));
+                    hits.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+            }
+            // Drop immediately: everything queued must still run.
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 50, "drop discarded queued jobs");
+    }
+
+    #[test]
+    fn panicking_job_never_wedges_a_worker() {
+        let pool = ThreadPool::new(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for i in 0..40 {
+            let hits = Arc::clone(&hits);
+            pool.execute(move || {
+                if i % 4 == 0 {
+                    panic!("job {i} exploded");
+                }
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.wait_empty();
+        let stats = pool.stats();
+        assert_eq!(stats.panicked, 10);
+        assert_eq!(stats.finished, 40, "panicked jobs still count as finished");
+        assert_eq!(hits.load(Ordering::Relaxed), 30);
+        // The pool is still fully operational afterwards.
+        let hits2 = Arc::clone(&hits);
+        pool.execute(move || {
+            hits2.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        pool.wait_empty();
+        assert_eq!(hits.load(Ordering::Relaxed), 31);
+    }
+
+    #[test]
+    fn wait_empty_returns_only_at_depth_zero() {
+        let pool = ThreadPool::new(2);
+        let running = Arc::new(AtomicU64::new(0));
+        for _ in 0..20 {
+            let running = Arc::clone(&running);
+            pool.execute(move || {
+                running.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(1));
+                running.fetch_sub(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.wait_empty();
+        assert_eq!(running.load(Ordering::SeqCst), 0, "wait_empty returned with jobs running");
+        assert_eq!(pool.stats().queue_depth, 0);
+        assert_eq!(pool.stats().finished, 20);
+    }
+
+    #[test]
+    fn wait_empty_on_idle_pool_is_instant() {
+        let pool = ThreadPool::new(3);
+        pool.wait_empty(); // must not block
+        assert_eq!(pool.stats().submitted, 0);
+    }
+}

@@ -1,0 +1,504 @@
+//! The course server: the pool and the cache composed into a
+//! request/response front end for the course's real workloads — grading
+//! an assembly submission (`cs31::autograde`), generating a homework
+//! variant (`cs31::homework`), and running a registered `reproduce`
+//! experiment — with a bounded admission queue (explicit backpressure,
+//! reject-with-retry-hint), result caching by request key, and graceful
+//! shutdown that drains every accepted request.
+
+use crate::cache::{Cache, CacheStats};
+use crate::pool::{PoolStats, ThreadPool};
+use cs31::autograde;
+use cs31::homework;
+use parallel::Semaphore;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A course workload. The enum *is* the cache key: two requests are
+/// the same work iff they compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Request {
+    /// Grade an assembly submission against the Lab 4 sum-array rubric.
+    Grade {
+        /// AT&T-syntax submission source.
+        submission: String,
+    },
+    /// Generate one homework problem variant.
+    Homework {
+        /// Generator name from `cs31::homework::generators()`.
+        generator: String,
+        /// Variant seed.
+        seed: u64,
+    },
+    /// Run a registered experiment (the `reproduce` ids, when wired via
+    /// [`ServerConfig::experiments`]).
+    Reproduce {
+        /// Experiment id, e.g. `"e6"`.
+        id: String,
+    },
+}
+
+/// What the server hands back for a completed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// `false` when the handler failed (unknown id, handler panic);
+    /// the body then carries the error text.
+    pub ok: bool,
+    /// Rendered result (grade report, problem text, experiment table).
+    pub body: String,
+    /// `true` when the result came from the cache without re-running
+    /// the workload.
+    pub cached: bool,
+}
+
+/// Admission rejection: the queue is full. Carries an honest
+/// backpressure signal instead of blocking the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejected {
+    /// Requests currently admitted (queued + running).
+    pub in_flight: usize,
+    /// Suggested client backoff before retrying.
+    pub retry_after_ms: u64,
+}
+
+/// Error for [`CourseServer::submit`] after shutdown began.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShuttingDown;
+
+/// Sizing knobs for [`CourseServer::new`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Admission bound: maximum requests queued or running at once.
+    pub queue_capacity: usize,
+    /// Result-cache shards.
+    pub cache_shards: usize,
+    /// LRU capacity per cache shard.
+    pub cache_capacity_per_shard: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_shards: 8,
+            cache_capacity_per_shard: 32,
+        }
+    }
+}
+
+/// An experiment runner, as exported by `bench::all_experiments`.
+pub type ExperimentFn = fn() -> String;
+
+/// A one-shot handle to a submitted request's eventual [`Response`].
+pub struct Ticket {
+    promise: Arc<Promise>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").field("resolved", &self.try_get().is_some()).finish()
+    }
+}
+
+struct Promise {
+    state: Mutex<Option<Response>>,
+    done: Condvar,
+}
+
+impl Ticket {
+    /// Blocks until the request completes and returns its response.
+    /// Every accepted request is eventually completed — including
+    /// through pool drop — so this cannot hang on a live server.
+    pub fn wait(&self) -> Response {
+        let mut st = self.promise.state.lock().expect("ticket mutex poisoned");
+        loop {
+            if let Some(resp) = st.as_ref() {
+                return resp.clone();
+            }
+            st = self.promise.done.wait(st).expect("ticket mutex poisoned");
+        }
+    }
+
+    /// Non-blocking poll.
+    pub fn try_get(&self) -> Option<Response> {
+        self.promise.state.lock().expect("ticket mutex poisoned").clone()
+    }
+}
+
+/// Aggregate request counters plus the pool and cache snapshots.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Requests admitted past backpressure.
+    pub accepted: u64,
+    /// Requests rejected by the admission bound.
+    pub rejected: u64,
+    /// Requests whose ticket has been completed.
+    pub completed: u64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Worker-pool counters.
+    pub pool: PoolStats,
+}
+
+struct ServerInner {
+    cache: Cache<Request, Response>,
+    experiments: Vec<(String, ExperimentFn)>,
+    admission: Semaphore,
+    queue_capacity: usize,
+    workers: usize,
+    accepting: AtomicBool,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl ServerInner {
+    /// Runs the workload for `req` (no caching at this layer).
+    fn handle(&self, req: &Request) -> Response {
+        match req {
+            Request::Grade { submission } => {
+                let report =
+                    autograde::grade(submission, &autograde::sum_array_rubric(), 200_000);
+                Response { ok: true, body: report.render(), cached: false }
+            }
+            Request::Homework { generator, seed } => {
+                match homework::generators().into_iter().find(|(name, _)| name == generator) {
+                    Some((_, gen)) => {
+                        let p = gen(*seed);
+                        Response {
+                            ok: true,
+                            body: format!(
+                                "[{}]\n{}\n--- solution ---\n{}",
+                                p.set, p.prompt, p.solution
+                            ),
+                            cached: false,
+                        }
+                    }
+                    None => Response {
+                        ok: false,
+                        body: format!("unknown homework generator {generator:?}"),
+                        cached: false,
+                    },
+                }
+            }
+            Request::Reproduce { id } => {
+                match self.experiments.iter().find(|(eid, _)| eid == id) {
+                    Some((_, run)) => Response { ok: true, body: run(), cached: false },
+                    None => Response {
+                        ok: false,
+                        body: format!("unknown experiment id {id:?} (is it registered?)"),
+                        cached: false,
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// The thread-pool job server for course workloads.
+///
+/// Lifecycle: [`CourseServer::submit`] either admits a request (you get
+/// a [`Ticket`]) or rejects it with a retry hint — it never blocks the
+/// caller. Admitted requests run on the worker pool, consult the
+/// result cache (compute-once per distinct request), and complete
+/// their ticket even if the handler panics. [`CourseServer::shutdown`]
+/// stops admission and drains in-flight work; dropping the server
+/// without calling it drains too (pool drop joins after draining).
+pub struct CourseServer {
+    inner: Arc<ServerInner>,
+    pool: ThreadPool,
+}
+
+impl std::fmt::Debug for CourseServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CourseServer")
+            .field("workers", &self.inner.workers)
+            .field("queue_capacity", &self.inner.queue_capacity)
+            .finish()
+    }
+}
+
+impl CourseServer {
+    /// Builds a server with no experiments registered (Grade and
+    /// Homework requests work; Reproduce requests answer `ok: false`).
+    pub fn new(config: ServerConfig) -> CourseServer {
+        CourseServer::with_experiments(config, Vec::new())
+    }
+
+    /// Builds a server that can also run the given experiment registry
+    /// (pass `bench::all_experiments()`-shaped pairs).
+    pub fn with_experiments(
+        config: ServerConfig,
+        experiments: Vec<(String, ExperimentFn)>,
+    ) -> CourseServer {
+        assert!(config.workers > 0, "server needs at least one worker");
+        assert!(config.queue_capacity > 0, "server needs queue capacity >= 1");
+        let inner = Arc::new(ServerInner {
+            cache: Cache::new(config.cache_shards, config.cache_capacity_per_shard),
+            experiments,
+            admission: Semaphore::new(config.queue_capacity),
+            queue_capacity: config.queue_capacity,
+            workers: config.workers,
+            accepting: AtomicBool::new(true),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        });
+        CourseServer { inner, pool: ThreadPool::new(config.workers) }
+    }
+
+    /// Submits a request without blocking.
+    ///
+    /// * `Ok(ticket)` — admitted; the ticket resolves exactly once.
+    /// * `Err(SubmitError::Busy(_))` — the admission queue is full;
+    ///   retry after the hinted backoff.
+    /// * `Err(SubmitError::ShuttingDown(_))` — shutdown has begun.
+    pub fn submit(&self, req: Request) -> Result<Ticket, SubmitError> {
+        if !self.inner.accepting.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown(ShuttingDown));
+        }
+        if !self.inner.admission.try_acquire() {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            let in_flight = self.inner.queue_capacity - self.inner.admission.available();
+            // Rough honest hint: one worker-sweep of the backlog.
+            let retry_after_ms =
+                ((in_flight as u64).saturating_mul(2) / self.inner.workers as u64).max(1);
+            return Err(SubmitError::Busy(Rejected { in_flight, retry_after_ms }));
+        }
+        self.inner.accepted.fetch_add(1, Ordering::Relaxed);
+
+        let promise = Arc::new(Promise { state: Mutex::new(None), done: Condvar::new() });
+        let ticket = Ticket { promise: Arc::clone(&promise) };
+        let inner = Arc::clone(&self.inner);
+        let submit_result = self.pool.execute(move || {
+            let ran_here = Arc::new(AtomicBool::new(false));
+            let ran_flag = Arc::clone(&ran_here);
+            let inner_for_job = Arc::clone(&inner);
+            let req_for_job = req.clone();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                inner_for_job.cache.get_or_insert_with(req_for_job, |r| {
+                    ran_flag.store(true, Ordering::SeqCst);
+                    inner_for_job.handle(&r)
+                })
+            }));
+            let response = match outcome {
+                Ok(mut resp) => {
+                    resp.cached = !ran_here.load(Ordering::SeqCst);
+                    resp
+                }
+                Err(_) => Response {
+                    ok: false,
+                    body: "request handler panicked; see server logs".to_string(),
+                    cached: false,
+                },
+            };
+            {
+                let mut st = promise.state.lock().expect("ticket mutex poisoned");
+                *st = Some(response);
+            }
+            promise.done.notify_all();
+            inner.completed.fetch_add(1, Ordering::Relaxed);
+            inner.admission.release();
+        });
+        match submit_result {
+            Ok(()) => Ok(ticket),
+            Err(_) => {
+                // The pool refused (shutdown raced us): undo admission
+                // and tell the caller honestly.
+                self.inner.accepted.fetch_sub(1, Ordering::Relaxed);
+                self.inner.admission.release();
+                Err(SubmitError::ShuttingDown(ShuttingDown))
+            }
+        }
+    }
+
+    /// Stops admission, then blocks until every accepted request has
+    /// completed its ticket. The server can still report [`stats`] and
+    /// resolve outstanding tickets afterwards; new submissions fail
+    /// with [`SubmitError::ShuttingDown`].
+    ///
+    /// [`stats`]: CourseServer::stats
+    pub fn shutdown(&self) {
+        self.inner.accepting.store(false, Ordering::SeqCst);
+        self.pool.wait_empty();
+    }
+
+    /// A snapshot of request, cache, and pool counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.inner.accepted.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            cache: self.inner.cache.stats(),
+            pool: self.pool.stats(),
+        }
+    }
+}
+
+/// Why [`CourseServer::submit`] declined a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission queue full — backpressure, retry later.
+    Busy(Rejected),
+    /// The server is shutting down; do not retry.
+    ShuttingDown(ShuttingDown),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_SUBMISSION: &str = r"
+        main:
+            movl $0, %eax
+            movl $0, %edi
+            cmpl $0, %ecx
+            je done
+        loop:
+            addl (%esi,%edi,4), %eax
+            addl $1, %edi
+            cmpl %ecx, %edi
+            jne loop
+        done:
+            hlt
+    ";
+
+    #[test]
+    fn grades_a_real_submission_and_caches_the_result() {
+        let server = CourseServer::new(ServerConfig::default());
+        let req = Request::Grade { submission: GOOD_SUBMISSION.to_string() };
+        let first = server.submit(req.clone()).expect("accepted").wait();
+        assert!(first.ok);
+        assert!(first.body.contains("100%"), "unexpected grade: {}", first.body);
+        assert!(!first.cached);
+        let second = server.submit(req).expect("accepted").wait();
+        assert!(second.cached, "warm request should hit the cache");
+        assert_eq!(second.body, first.body);
+    }
+
+    #[test]
+    fn homework_requests_use_real_generators() {
+        let server = CourseServer::new(ServerConfig::default());
+        let ok = server
+            .submit(Request::Homework { generator: "binary_arithmetic".into(), seed: 7 })
+            .expect("accepted")
+            .wait();
+        assert!(ok.ok);
+        assert!(ok.body.contains("solution"), "missing solution: {}", ok.body);
+        let bad = server
+            .submit(Request::Homework { generator: "no_such_generator".into(), seed: 7 })
+            .expect("accepted")
+            .wait();
+        assert!(!bad.ok);
+    }
+
+    #[test]
+    fn reproduce_requests_need_a_registry() {
+        let bare = CourseServer::new(ServerConfig::default());
+        let miss = bare.submit(Request::Reproduce { id: "e6".into() }).unwrap().wait();
+        assert!(!miss.ok);
+
+        fn fake_experiment() -> String {
+            "E-fake: table".to_string()
+        }
+        let wired = CourseServer::with_experiments(
+            ServerConfig::default(),
+            vec![("e-fake".to_string(), fake_experiment as ExperimentFn)],
+        );
+        let hit = wired.submit(Request::Reproduce { id: "e-fake".into() }).unwrap().wait();
+        assert!(hit.ok);
+        assert_eq!(hit.body, "E-fake: table");
+    }
+
+    fn slow_experiment() -> String {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        "slow table".to_string()
+    }
+
+    #[test]
+    fn backpressure_rejects_with_retry_hint_instead_of_blocking() {
+        // Two distinct slow requests fill the 1 worker + 1 queue slot;
+        // admission is only released on completion, so the third submit
+        // lands inside the 100ms compute window and must be rejected.
+        let server = CourseServer::with_experiments(
+            ServerConfig { workers: 1, queue_capacity: 2, ..ServerConfig::default() },
+            vec![
+                ("slow-a".to_string(), slow_experiment as ExperimentFn),
+                ("slow-b".to_string(), slow_experiment as ExperimentFn),
+            ],
+        );
+        let tickets: Vec<Ticket> = ["slow-a", "slow-b"]
+            .iter()
+            .map(|id| {
+                server
+                    .submit(Request::Reproduce { id: (*id).into() })
+                    .expect("first requests fit the queue")
+            })
+            .collect();
+        let rejected = match server.submit(Request::Reproduce { id: "slow-a".into() }) {
+            Err(SubmitError::Busy(r)) => r,
+            other => panic!("expected Busy rejection, got {other:?}"),
+        };
+        assert!(rejected.retry_after_ms >= 1);
+        assert!(rejected.in_flight >= 1);
+        assert_eq!(server.stats().rejected, 1);
+        for t in tickets {
+            assert!(t.wait().ok);
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_every_accepted_request() {
+        let server = CourseServer::new(ServerConfig {
+            workers: 2,
+            queue_capacity: 32,
+            ..ServerConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..20)
+            .map(|seed| {
+                server
+                    .submit(Request::Homework { generator: "fork_puzzle".into(), seed })
+                    .expect("accepted")
+            })
+            .collect();
+        server.shutdown();
+        // After shutdown: no new work...
+        assert!(matches!(
+            server.submit(Request::Homework { generator: "fork_puzzle".into(), seed: 999 }),
+            Err(SubmitError::ShuttingDown(_))
+        ));
+        // ...and every accepted ticket is already resolved.
+        for t in &tickets {
+            let resp = t.try_get().expect("shutdown returned before a ticket resolved");
+            assert!(resp.ok);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, 20);
+        assert_eq!(stats.accepted, 20);
+    }
+
+    #[test]
+    fn handler_panic_resolves_the_ticket_with_an_error() {
+        fn bomb() -> String {
+            panic!("experiment exploded")
+        }
+        let server = CourseServer::with_experiments(
+            ServerConfig::default(),
+            vec![("boom".to_string(), bomb as ExperimentFn)],
+        );
+        let resp = server.submit(Request::Reproduce { id: "boom".into() }).unwrap().wait();
+        assert!(!resp.ok);
+        assert!(resp.body.contains("panicked"));
+        // Server still serves other requests afterwards.
+        let ok = server
+            .submit(Request::Homework { generator: "binary_arithmetic".into(), seed: 1 })
+            .unwrap()
+            .wait();
+        assert!(ok.ok);
+        assert_eq!(server.stats().pool.panicked, 0, "panic was contained before the pool");
+    }
+}

@@ -110,7 +110,7 @@ pub fn measure_eat(
             }
             p
         };
-        let vaddr = page * 4096 + rng.gen_range(0..4096);
+        let vaddr = page * 4096 + rng.gen_range(0..4096u64);
         total_ns += params.tlb_ns;
         let hit = tlb.lookup(page).is_some();
         let t = vm.access(pid, vaddr, AccessKind::Load).expect("valid access");

@@ -1,0 +1,142 @@
+//! Integration: the `serve` subsystem end to end — concurrent clients
+//! against the full server stack (pool + cache + admission), the
+//! compute-once guarantee observed from outside the crate, and the
+//! graceful-shutdown contract that no accepted request is ever dropped.
+
+use serve::server::SubmitError;
+use serve::{CourseServer, Request, ServerConfig, ThreadPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn concurrent_clients_share_one_compute_per_key() {
+    // 8 clients all ask for the same 4 homework variants; the cache
+    // stats must show exactly 4 computes no matter the interleaving.
+    let server = Arc::new(CourseServer::new(ServerConfig {
+        workers: 4,
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    }));
+    thread::scope(|s| {
+        for _ in 0..8 {
+            let server = Arc::clone(&server);
+            s.spawn(move || {
+                for seed in 0..4u64 {
+                    let resp = server
+                        .submit(Request::Homework { generator: "fork_puzzle".into(), seed })
+                        .expect("queue sized for the full load")
+                        .wait();
+                    assert!(resp.ok, "{}", resp.body);
+                }
+            });
+        }
+    });
+    let st = server.stats();
+    assert_eq!(st.cache.misses, 4, "each distinct request computes exactly once");
+    assert_eq!(st.cache.hits, 8 * 4 - 4);
+    assert_eq!(st.accepted, 32);
+    assert_eq!(st.completed, 32);
+    assert_eq!(st.pool.panicked, 0);
+}
+
+#[test]
+fn shutdown_never_drops_an_accepted_request() {
+    // Clients race shutdown: whatever was accepted before admission
+    // closed must resolve; whatever was refused must say ShuttingDown
+    // or Busy — never hang, never vanish.
+    let server = Arc::new(CourseServer::new(ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        ..ServerConfig::default()
+    }));
+    let accepted = Arc::new(AtomicU64::new(0));
+    let resolved = Arc::new(AtomicU64::new(0));
+    thread::scope(|s| {
+        for client in 0..4u64 {
+            let server = Arc::clone(&server);
+            let accepted = Arc::clone(&accepted);
+            let resolved = Arc::clone(&resolved);
+            s.spawn(move || {
+                for i in 0..50u64 {
+                    match server.submit(Request::Homework {
+                        generator: "binary_arithmetic".into(),
+                        seed: client * 1000 + i,
+                    }) {
+                        Ok(ticket) => {
+                            accepted.fetch_add(1, Ordering::SeqCst);
+                            assert!(ticket.wait().ok);
+                            resolved.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(SubmitError::Busy(r)) => {
+                            assert!(r.retry_after_ms >= 1);
+                        }
+                        Err(SubmitError::ShuttingDown(_)) => return,
+                    }
+                }
+            });
+        }
+        // Let some requests land, then pull the plug mid-stream.
+        thread::sleep(std::time::Duration::from_millis(5));
+        server.shutdown();
+    });
+    assert_eq!(
+        accepted.load(Ordering::SeqCst),
+        resolved.load(Ordering::SeqCst),
+        "an accepted ticket did not resolve"
+    );
+    let st = server.stats();
+    assert_eq!(st.accepted, st.completed, "server drained everything it admitted");
+}
+
+#[test]
+fn pool_backed_par_matches_scoped_par_across_crates() {
+    // The serve::par variants must agree with parallel::par on real
+    // data, and keep agreeing across many reuses of the same pool.
+    let pool = ThreadPool::new(4);
+    let data: Vec<u64> = (0..10_000).collect();
+    for round in 0..5u64 {
+        let scoped = parallel::par::par_map(&data, 4, |&x| x.wrapping_mul(round + 1));
+        let pooled = serve::par::par_map(&pool, &data, move |&x| x.wrapping_mul(round + 1));
+        assert_eq!(scoped, pooled);
+
+        let scoped_sum =
+            parallel::par::par_reduce(&data, 4, 0u64, |a, &x| a ^ x.rotate_left(round as u32), |a, b| a ^ b);
+        let pooled_sum =
+            serve::par::par_reduce(&pool, &data, 0u64, move |a, &x| a ^ x.rotate_left(round as u32), |a, b| a ^ b);
+        assert_eq!(scoped_sum, pooled_sum);
+    }
+    // One pool served all ten calls: spawn-per-call would have needed
+    // 40 threads; the pool's workers just kept taking jobs.
+    let st = pool.stats();
+    assert_eq!(st.workers, 4);
+    assert!(st.finished >= 10);
+    assert_eq!(st.panicked, 0);
+}
+
+#[test]
+fn server_grades_like_the_autograder_itself() {
+    // The server is a front end, not a fork: its grade for a submission
+    // must byte-for-byte match calling cs31::autograde directly.
+    let submission = "
+        main:
+            movl $0, %eax
+            movl $0, %edi
+            cmpl $0, %ecx
+            je done
+        loop:
+            addl (%esi,%edi,4), %eax
+            addl $1, %edi
+            cmpl %ecx, %edi
+            jne loop
+        done:
+            hlt
+    ";
+    let direct =
+        cs31::autograde::grade(submission, &cs31::autograde::sum_array_rubric(), 200_000).render();
+    let server = CourseServer::new(ServerConfig::default());
+    let via_server =
+        server.submit(Request::Grade { submission: submission.into() }).unwrap().wait();
+    assert!(via_server.ok);
+    assert_eq!(via_server.body, direct);
+}
