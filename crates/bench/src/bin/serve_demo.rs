@@ -1,8 +1,9 @@
 //! `serve_demo` — N client threads hammering the course job server.
 //!
 //! ```text
-//! cargo run -p bench --bin serve_demo             # 8 clients x 32 requests
-//! cargo run -p bench --bin serve_demo -- 4 100    # 4 clients x 100 requests
+//! cargo run -p bench --bin serve_demo                  # 8 clients x 32 requests
+//! cargo run -p bench --bin serve_demo -- 4 100         # 4 clients x 100 requests
+//! cargo run -p bench --bin serve_demo -- 4 100 fifo    # shared-FIFO baseline pool
 //! ```
 //!
 //! Each client submits a deterministic mix of grade / homework /
@@ -11,6 +12,7 @@
 //! end the server is drained and the request/cache/pool counters are
 //! printed — the live-system counterpart of experiment E11.
 
+use serve::pool::Scheduler;
 use serve::server::{CourseServer, ExperimentFn, Request, SubmitError};
 use serve::ServerConfig;
 use std::thread;
@@ -46,19 +48,26 @@ fn request_for(client: u64, i: u64) -> Request {
 }
 
 fn main() {
-    let args: Vec<u64> =
-        std::env::args().skip(1).map(|a| a.parse().expect("usage: serve_demo [clients] [requests]")).collect();
-    let clients = *args.first().unwrap_or(&8);
-    let per_client = *args.get(1).unwrap_or(&32);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: serve_demo [clients] [requests] [steal|fifo]";
+    let clients: u64 = args.first().map_or(8, |a| a.parse().expect(usage));
+    let per_client: u64 = args.get(1).map_or(32, |a| a.parse().expect(usage));
+    let scheduler = match args.get(2).map(String::as_str) {
+        None | Some("steal") => Scheduler::WorkStealing,
+        Some("fifo") => Scheduler::SharedFifo,
+        Some(_) => panic!("{usage}"),
+    };
 
     // A small queue relative to the offered load, so backpressure is
     // actually exercised and the retry loop matters.
     let server = CourseServer::with_experiments(
-        ServerConfig { workers: 4, queue_capacity: 8, ..ServerConfig::default() },
+        ServerConfig { workers: 4, queue_capacity: 8, scheduler, ..ServerConfig::default() },
         vec![("e5".to_string(), bench::e5_tlb_eat as ExperimentFn)],
     );
 
-    println!("serve_demo: {clients} clients x {per_client} requests, 4 workers, queue 8\n");
+    println!(
+        "serve_demo: {clients} clients x {per_client} requests, 4 workers ({scheduler}), queue 8\n"
+    );
     let start = Instant::now();
     let mut total_retries = 0u64;
     let mut total_cached = 0u64;
@@ -113,9 +122,21 @@ fn main() {
     println!("{:<28} {:>10}", "cache evictions", st.cache.evictions);
     println!("{:<28} {:>10}", "pool jobs finished", st.pool.finished);
     println!("{:<28} {:>10}", "pool queue high-water", st.pool.queue_high_water);
+    println!(
+        "{:<28} {:>10}",
+        "pool local pops / steals",
+        format!("{}/{}", st.pool.local_hits, st.pool.steals)
+    );
     assert_eq!(st.accepted, st.completed, "drain must complete every accepted request");
-    println!("\nper-worker:");
+    println!("\nper-worker load balance:");
+    println!(
+        "  {:>6} {:>8} {:>9} {:>7} {:>7} {:>11} {:>6}",
+        "worker", "finished", "panicked", "local", "steals", "stolen-from", "q-max"
+    );
     for (i, w) in st.pool.per_worker.iter().enumerate() {
-        println!("  worker {i}: started={} finished={} panicked={}", w.started, w.finished, w.panicked);
+        println!(
+            "  {i:>6} {:>8} {:>9} {:>7} {:>7} {:>11} {:>6}",
+            w.finished, w.panicked, w.local_hits, w.steals, w.stolen_from, w.queue_high_water
+        );
     }
 }

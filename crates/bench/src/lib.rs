@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod stealing;
 
 use parallel::machine::MachineConfig;
 
@@ -531,6 +532,87 @@ pub fn e11_serve() -> String {
     out
 }
 
+/// E12 — work stealing vs the shared-FIFO baseline on a heavy-tail
+/// burst stream (sleep-modeled service times; see `stealing` module
+/// docs and DESIGN.md for why the mix is shaped this way).
+pub fn e12_stealing() -> String {
+    use stealing::{compare, heavy_tail_params, ragged_par_map};
+    use serve::pool::{Scheduler, ThreadPool};
+    use std::time::Duration;
+
+    let p = heavy_tail_params();
+    let mut out = format!(
+        "E12: scheduler topology under a heavy-tail overload stream\n\
+         ({} workers; {} cycles of [{} short({:?}), {:?} lead, {} heavy({:?}),\n\
+         {:?} soak] — sustained ~1.9x overload — then one {:?} heavy at\n\
+         stream end; sleep-modeled service times)\n\n",
+        p.workers,
+        p.cycles,
+        p.shorts_per_cycle,
+        p.short,
+        p.short_lead,
+        p.heavies_per_cycle,
+        p.heavy,
+        p.heavy_soak,
+        p.final_heavy
+    );
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>6}\n",
+        "scheduler", "makespan", "p50 short", "p99 short", "max short", "local", "steals", "q-max"
+    ));
+    let (fifo, steal) = compare(p);
+    for o in [&fifo, &steal] {
+        out.push_str(&format!(
+            "{:<14} {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8} {:>8} {:>6}\n",
+            o.scheduler.to_string(),
+            o.makespan.as_secs_f64() * 1e3,
+            o.p50_short.as_secs_f64() * 1e3,
+            o.p99_short.as_secs_f64() * 1e3,
+            o.max_short.as_secs_f64() * 1e3,
+            o.local_hits,
+            o.steals,
+            o.queue_high_water
+        ));
+    }
+    out.push_str(&format!(
+        "\nstealing vs FIFO: makespan {:.2}x, p99 short-job latency {:.2}x\n\
+         ({} steals prove idle workers drained their neighbors' backlogs)\n",
+        fifo.makespan.as_secs_f64() / steal.makespan.as_secs_f64().max(1e-9),
+        fifo.p99_short.as_secs_f64() / steal.p99_short.as_secs_f64().max(1e-9),
+        steal.steals
+    ));
+
+    // Part B: the ragged par workload — coarse one-chunk-per-worker
+    // static split vs oversubscribed grained chunks on the stealing
+    // pool (the pool-hosted `par_for_dynamic` lesson).
+    let n = 48;
+    let unit = Duration::from_micros(120);
+    out.push_str(&format!(
+        "\nragged par_map (triangular cost, {n} elements, {} workers):\n",
+        p.workers
+    ));
+    out.push_str(&format!("{:<34} {:>10}\n", "chunking", "wall"));
+    let pool = ThreadPool::with_scheduler(p.workers, Scheduler::WorkStealing);
+    let coarse = ragged_par_map(&pool, n, n.div_ceil(p.workers), unit);
+    let grained = ragged_par_map(&pool, n, 2, unit);
+    out.push_str(&format!(
+        "{:<34} {:>8.1}ms\n",
+        "static (1 chunk/worker)",
+        coarse.as_secs_f64() * 1e3
+    ));
+    out.push_str(&format!(
+        "{:<34} {:>8.1}ms\n",
+        "grained (stealing balances)",
+        grained.as_secs_f64() * 1e3
+    ));
+    out.push_str(
+        "(the coarse split ties makespan to the worker that drew the heavy\n\
+         tail; small chunks let idle workers steal the remainder — the same\n\
+         lesson as parallel::par_for_dynamic, now on the long-lived pool)\n",
+    );
+    out
+}
+
 /// An experiment id and its runner.
 pub type Experiment = (&'static str, fn() -> String);
 
@@ -553,6 +635,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e9", e9_vm_replacement),
         ("e10", e10_asm_sequences),
         ("e11", e11_serve),
+        ("e12", e12_stealing),
     ];
     v.extend(ablations::all_ablations());
     v
@@ -609,6 +692,26 @@ mod tests {
     fn e10_sequences_agree_and_differ_in_cost() {
         let out = e10_asm_sequences();
         assert!(out.contains("register loop beats memory loop"), "{out}");
+    }
+
+    #[test]
+    fn e12_stealing_beats_fifo_on_makespan_and_p99() {
+        // Wall-clock timing on a busy host is noisy; the structural win
+        // is large, so best-of-3 suffices to shrug off scheduler jitter.
+        let mut last = String::new();
+        for _ in 0..3 {
+            let (fifo, steal) = stealing::compare(stealing::heavy_tail_params());
+            assert!(steal.steals > 0, "stealing run recorded no steals");
+            assert!(steal.local_hits > 0, "stealing run recorded no local pops");
+            if steal.makespan < fifo.makespan && steal.p99_short < fifo.p99_short {
+                return;
+            }
+            last = format!(
+                "fifo: makespan {:?} p99 {:?}; steal: makespan {:?} p99 {:?}",
+                fifo.makespan, fifo.p99_short, steal.makespan, steal.p99_short
+            );
+        }
+        panic!("stealing never beat FIFO on both metrics in 3 attempts: {last}");
     }
 
     #[test]

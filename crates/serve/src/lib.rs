@@ -20,7 +20,17 @@
 //!   course's real workloads (grade / homework / reproduce);
 //! * [`par`] — pool-backed `par_map` / `par_for_chunks` / `par_reduce`
 //!   so repeated data-parallel calls reuse workers instead of spawning
-//!   threads per call.
+//!   threads per call, with grained variants that oversubscribe the
+//!   pool so stealing balances ragged chunk costs;
+//! * [`fault`] — seeded [`fault::FaultPlan`] injection (panic/stall at
+//!   chosen handler points) for testing server invariants under
+//!   adversarial schedules.
+//!
+//! Since PR 2 the pool schedules with per-worker deques plus work
+//! stealing ([`pool::Scheduler::WorkStealing`], the default); the old
+//! single shared queue survives as [`pool::Scheduler::SharedFifo`] for
+//! baseline comparisons. See `DESIGN.md` for the deque/steal protocol
+//! and the parking discipline's no-lost-wakeup argument.
 //!
 //! ```
 //! use serve::server::{CourseServer, Request, ServerConfig};
@@ -38,10 +48,12 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod fault;
 pub mod par;
 pub mod pool;
 pub mod server;
 
 pub use cache::Cache;
-pub use pool::ThreadPool;
+pub use fault::{FaultPlan, FaultPoint};
+pub use pool::{Scheduler, ThreadPool};
 pub use server::{CourseServer, Request, Response, ServerConfig};

@@ -12,6 +12,21 @@
 //! `parallel::par` counterpart (including the `threads == 1`-style
 //! serial equivalence: one chunk means the closure runs on one worker
 //! in submission order).
+//!
+//! ## Ragged-chunk balancing
+//!
+//! [`par_map`] and [`par_reduce`] now split the input into
+//! [`OVERSUBSCRIPTION`]× more chunks than the pool has workers. On the
+//! work-stealing scheduler this is the pool-hosted equivalent of
+//! `parallel::par_for_dynamic`: when per-element cost is ragged, a
+//! worker stuck in a heavy chunk keeps it while idle workers steal the
+//! chunks queued behind it, instead of everyone waiting on the slowest
+//! static share. The `_grain` variants ([`par_map_grain`],
+//! [`par_reduce_grain`], [`par_for_chunks_grain`]) expose the chunk
+//! size directly for callers (and property tests) that want to sweep
+//! it. Results are chunk-order deterministic either way, so every
+//! split of the same input returns identical output for lawful
+//! (associative, identity-respecting) folds.
 
 use crate::pool::ThreadPool;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -45,14 +60,21 @@ impl Latch {
     }
 }
 
-/// Splits `0..len` into at most `pieces` near-equal contiguous ranges.
-fn chunk_ranges(len: usize, pieces: usize) -> Vec<std::ops::Range<usize>> {
-    if len == 0 {
-        return Vec::new();
-    }
-    let pieces = pieces.clamp(1, len);
-    let chunk = len.div_ceil(pieces);
-    (0..len).step_by(chunk).map(|start| start..(start + chunk).min(len)).collect()
+/// How many chunks per worker the default entry points create, so the
+/// stealing scheduler has spare chunks to balance ragged work with.
+pub const OVERSUBSCRIPTION: usize = 4;
+
+/// Splits `0..len` into contiguous ranges of at most `grain` elements —
+/// the same decomposition `parallel::par_for_dynamic` hands out from
+/// its shared counter, here materialised as one pool job per range.
+fn grain_ranges(len: usize, grain: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(grain > 0, "grain must be positive");
+    (0..len).step_by(grain).map(|start| start..(start + grain).min(len)).collect()
+}
+
+/// The default grain: `OVERSUBSCRIPTION` chunks per worker.
+fn default_grain(len: usize, workers: usize) -> usize {
+    len.div_ceil(workers * OVERSUBSCRIPTION).max(1)
 }
 
 /// Runs chunked jobs on the pool and collects per-chunk outputs in
@@ -100,16 +122,35 @@ fn run_chunks<U: Send + 'static>(
 }
 
 /// Pool-backed `parallel::par_map`: applies `f` to every element,
-/// preserving order. With one chunk (or `data.len() <= 1`) this is
-/// serially equivalent to `data.iter().map(f).collect()`.
+/// preserving order. Splits into [`OVERSUBSCRIPTION`] chunks per
+/// worker so the stealing scheduler can balance ragged per-element
+/// cost. With one chunk (or `data.len() <= 1`) this is serially
+/// equivalent to `data.iter().map(f).collect()` — and because results
+/// are reassembled in chunk order, every grain returns the same
+/// vector.
 pub fn par_map<T, U, F>(pool: &ThreadPool, data: &[T], f: F) -> Vec<U>
 where
     T: Clone + Send + 'static,
     U: Send + 'static,
     F: Fn(&T) -> U + Send + Sync + 'static,
 {
+    par_map_grain(pool, data, default_grain(data.len(), pool.workers()), f)
+}
+
+/// [`par_map`] with an explicit chunk size: at most `grain` elements
+/// per pool job, the dynamic-scheduling knob of
+/// `parallel::par_for_dynamic`.
+///
+/// # Panics
+/// If `grain == 0`.
+pub fn par_map_grain<T, U, F>(pool: &ThreadPool, data: &[T], grain: usize, f: F) -> Vec<U>
+where
+    T: Clone + Send + 'static,
+    U: Send + 'static,
+    F: Fn(&T) -> U + Send + Sync + 'static,
+{
     let f = Arc::new(f);
-    let jobs: Vec<Box<dyn FnOnce() -> Vec<U> + Send>> = chunk_ranges(data.len(), pool.workers())
+    let jobs: Vec<Box<dyn FnOnce() -> Vec<U> + Send>> = grain_ranges(data.len(), grain)
         .into_iter()
         .map(|range| {
             let chunk: Vec<T> = data[range].to_vec();
@@ -130,6 +171,24 @@ where
     T: Send + 'static,
     F: Fn(usize, &mut [T]) + Send + Sync + 'static,
 {
+    let workers = pool.workers();
+    let chunk = data.len().div_ceil(workers.clamp(1, data.len().max(1)));
+    par_for_chunks_grain(pool, data, chunk.max(1), f)
+}
+
+/// [`par_for_chunks`] with an explicit chunk size: `f(chunk_index,
+/// chunk)` over contiguous chunks of at most `grain` elements. Finer
+/// grains give the stealing scheduler more chunks to balance when the
+/// per-chunk cost is ragged (the Game of Life lab's uneven rows).
+///
+/// # Panics
+/// If `grain == 0`.
+pub fn par_for_chunks_grain<T, F>(pool: &ThreadPool, data: Vec<T>, grain: usize, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize, &mut [T]) + Send + Sync + 'static,
+{
+    assert!(grain > 0, "grain must be positive");
     if data.is_empty() {
         return data;
     }
@@ -137,7 +196,7 @@ where
     let len = data.len();
     let mut rest = data;
     let mut pieces: Vec<Vec<T>> = Vec::new();
-    for range in chunk_ranges(len, pool.workers()).into_iter().rev() {
+    for range in grain_ranges(len, grain).into_iter().rev() {
         pieces.push(rest.split_off(range.start));
     }
     pieces.reverse();
@@ -156,10 +215,11 @@ where
 }
 
 /// Pool-backed `parallel::par_reduce`: per-chunk local fold, then a
-/// serial combine of the partials in chunk order. Requires the same
-/// identity/associativity laws as `parallel::par_reduce` for
-/// thread-count independence; with one chunk it degenerates to
-/// `combine(identity, data.iter().fold(identity, fold))`.
+/// serial combine of the partials in chunk order. Splits into
+/// [`OVERSUBSCRIPTION`] chunks per worker for ragged-cost balancing.
+/// Requires the same identity/associativity laws as
+/// `parallel::par_reduce` for split independence; with one chunk it
+/// degenerates to `combine(identity, data.iter().fold(identity, fold))`.
 pub fn par_reduce<T, A, F, G>(pool: &ThreadPool, data: &[T], identity: A, fold: F, combine: G) -> A
 where
     T: Clone + Send + 'static,
@@ -167,11 +227,35 @@ where
     F: Fn(A, &T) -> A + Send + Sync + 'static,
     G: Fn(A, A) -> A,
 {
+    let grain = default_grain(data.len(), pool.workers());
+    par_reduce_grain(pool, data, grain, identity, fold, combine)
+}
+
+/// [`par_reduce`] with an explicit chunk size: at most `grain`
+/// elements fold locally per pool job before the chunk-order combine.
+///
+/// # Panics
+/// If `grain == 0`.
+pub fn par_reduce_grain<T, A, F, G>(
+    pool: &ThreadPool,
+    data: &[T],
+    grain: usize,
+    identity: A,
+    fold: F,
+    combine: G,
+) -> A
+where
+    T: Clone + Send + 'static,
+    A: Send + Clone + 'static,
+    F: Fn(A, &T) -> A + Send + Sync + 'static,
+    G: Fn(A, A) -> A,
+{
+    assert!(grain > 0, "grain must be positive");
     if data.is_empty() {
         return identity;
     }
     let fold = Arc::new(fold);
-    let jobs: Vec<Box<dyn FnOnce() -> A + Send>> = chunk_ranges(data.len(), pool.workers())
+    let jobs: Vec<Box<dyn FnOnce() -> A + Send>> = grain_ranges(data.len(), grain)
         .into_iter()
         .map(|range| {
             let chunk: Vec<T> = data[range].to_vec();
@@ -234,6 +318,55 @@ mod tests {
         assert!(par_map(&pool, &empty, |x| *x).is_empty());
         assert!(par_for_chunks(&pool, empty.clone(), |_, _| panic!("no chunks")).is_empty());
         assert_eq!(par_reduce(&pool, &empty, 9u32, |a, &x| a + x, |a, b| a + b), 9);
+    }
+
+    #[test]
+    fn every_grain_returns_the_same_answers() {
+        let pool = ThreadPool::new(3);
+        let data: Vec<i64> = (0..500).collect();
+        let want_map: Vec<i64> = data.iter().map(|x| x * 3 - 1).collect();
+        let want_sum: i64 = data.iter().sum();
+        for grain in [1, 2, 7, 100, 499, 500, 10_000] {
+            assert_eq!(par_map_grain(&pool, &data, grain, |x| x * 3 - 1), want_map);
+            assert_eq!(
+                par_reduce_grain(&pool, &data, grain, 0i64, |a, &x| a + x, |a, b| a + b),
+                want_sum,
+                "grain {grain}"
+            );
+        }
+    }
+
+    #[test]
+    fn grained_for_chunks_covers_every_element_once_with_distinct_indices() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<usize> = vec![0; 103];
+        let out = par_for_chunks_grain(&pool, data, 10, |i, chunk| {
+            for x in chunk {
+                *x = i + 1;
+            }
+        });
+        assert_eq!(out.len(), 103);
+        // 103 elements at grain 10 → chunks of 10,10,…,3 with indices 0..=10.
+        for (pos, &owner) in out.iter().enumerate() {
+            assert_eq!(owner, pos / 10 + 1, "element {pos} written by wrong chunk");
+        }
+    }
+
+    #[test]
+    fn default_chunking_oversubscribes_the_pool() {
+        // 2 workers, plenty of data: the default split must hand the
+        // scheduler more chunks than workers, or there is nothing for
+        // an idle worker to steal when costs are ragged.
+        let pool = ThreadPool::new(2);
+        let data: Vec<u64> = (0..1000).collect();
+        let before = pool.stats().finished;
+        let _ = par_map(&pool, &data, |&x| x);
+        let after = pool.stats().finished;
+        assert_eq!(
+            (after - before) as usize,
+            2 * OVERSUBSCRIPTION,
+            "default par_map should submit OVERSUBSCRIPTION jobs per worker"
+        );
     }
 
     #[test]

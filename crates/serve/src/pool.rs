@@ -1,16 +1,50 @@
 //! The long-lived worker pool: the cs431 "hello server" `ThreadPool`
 //! grown up — panic-isolating workers, `wait_empty`, join-on-drop with
-//! drain semantics, and per-worker plus aggregate counters as the
-//! subsystem's first observability hooks.
+//! drain semantics, per-worker plus aggregate counters, and (since the
+//! scheduler rework) **per-worker deques with work stealing** instead
+//! of one shared FIFO, so a slow job never head-of-line-blocks the
+//! short jobs queued behind it.
 //!
-//! Built from the same parts the course teaches (one `Mutex`, one
-//! `Condvar`, a `VecDeque` — the bounded-buffer idiom of
-//! `parallel::bounded` minus the capacity bound, because admission
-//! control lives a layer up in [`crate::server`]).
+//! ## The deque/steal protocol
+//!
+//! Every worker owns a deque (`Mutex<VecDeque<Job>>` — safe Rust, no
+//! lock-free tricks):
+//!
+//! * **push**: a submission from a worker thread of this pool lands on
+//!   that worker's own deque; an external submission is placed
+//!   round-robin. Both push at the **back**.
+//! * **local pop** is **LIFO** (back): a worker runs the newest job it
+//!   owns first — the freshest, cache-warmest work, and the discipline
+//!   that keeps short interactive jobs from waiting behind a backlog.
+//! * **steal** is **FIFO** (front): when a worker's own deque is empty
+//!   it sweeps victims by rotation (`id+1, id+2, …`) and takes the
+//!   **oldest** job from the first non-empty deque — the job that has
+//!   waited longest, which also prevents starvation under LIFO.
+//! * **parking**: only after a full failed sweep does a worker park on
+//!   the shared condvar. There is no busy-spin; the sleeper-counted
+//!   wake protocol below makes lost wakeups impossible.
+//!
+//! The old single shared FIFO survives as
+//! [`Scheduler::SharedFifo`] — the measured baseline the
+//! `serve_stealing` bench and experiment E12 compare against.
+//!
+//! ## Why the parking protocol is lost-wakeup-free
+//!
+//! The pool keeps two `SeqCst` atomics: `queued` (jobs pushed but not
+//! yet claimed) and `sleepers` (workers inside the parking critical
+//! section). A worker parks only by: lock park mutex → increment
+//! `sleepers` → re-check `queued == 0` → wait. A submitter publishes
+//! by: push job → increment `queued` → if `sleepers > 0`, lock the
+//! park mutex and notify. In the SeqCst total order either the
+//! submitter sees the sleeper (and notifies under the mutex, so the
+//! wakeup cannot slip between the worker's check and its wait), or the
+//! worker's `queued` re-check happens after the increment and it never
+//! sleeps. Either way the job is claimed.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
@@ -27,12 +61,38 @@ impl<F> std::fmt::Debug for PoolClosed<F> {
     }
 }
 
+/// Which queue topology the pool schedules jobs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// One shared FIFO queue all workers pop from — the original pool
+    /// design, kept as the measured baseline for the stealing
+    /// scheduler (bench `serve_stealing`, experiment E12).
+    SharedFifo,
+    /// Per-worker deques: LIFO local pop, FIFO rotation steal, park
+    /// after a failed sweep. The default.
+    #[default]
+    WorkStealing,
+}
+
+impl std::fmt::Display for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scheduler::SharedFifo => f.write_str("shared-fifo"),
+            Scheduler::WorkStealing => f.write_str("work-stealing"),
+        }
+    }
+}
+
 /// Counters for one worker thread.
 #[derive(Debug, Default)]
 struct WorkerCounters {
     started: AtomicU64,
     finished: AtomicU64,
     panicked: AtomicU64,
+    local_hits: AtomicU64,
+    steals: AtomicU64,
+    stolen_from: AtomicU64,
+    deque_high_water: AtomicUsize,
 }
 
 /// A point-in-time snapshot of one worker's counters.
@@ -44,6 +104,16 @@ pub struct WorkerStats {
     pub finished: u64,
     /// Jobs that panicked on this worker.
     pub panicked: u64,
+    /// Jobs this worker claimed from its own deque (LIFO pops; for the
+    /// shared-FIFO scheduler, every claim counts here).
+    pub local_hits: u64,
+    /// Jobs this worker stole from another worker's deque.
+    pub steals: u64,
+    /// Jobs other workers stole from this worker's deque.
+    pub stolen_from: u64,
+    /// Deepest this worker's own deque has ever been (always 0 under
+    /// the shared-FIFO scheduler, which has no per-worker deques).
+    pub queue_high_water: usize,
 }
 
 /// A point-in-time snapshot of the pool's aggregate counters.
@@ -51,6 +121,8 @@ pub struct WorkerStats {
 pub struct PoolStats {
     /// Worker thread count.
     pub workers: usize,
+    /// Queue topology the pool runs.
+    pub scheduler: Scheduler,
     /// Jobs accepted by [`ThreadPool::execute`] so far.
     pub submitted: u64,
     /// Jobs begun across all workers.
@@ -59,7 +131,12 @@ pub struct PoolStats {
     pub finished: u64,
     /// Jobs that panicked across all workers.
     pub panicked: u64,
-    /// Deepest the queue has ever been (admission-pressure signal).
+    /// Jobs claimed from the claimer's own deque across all workers.
+    pub local_hits: u64,
+    /// Jobs stolen across all workers (0 under shared-FIFO).
+    pub steals: u64,
+    /// Deepest the total queued backlog has ever been
+    /// (admission-pressure signal, summed across deques).
     pub queue_high_water: usize,
     /// Jobs currently queued but not yet claimed.
     pub queue_depth: usize,
@@ -67,26 +144,47 @@ pub struct PoolStats {
     pub per_worker: Vec<WorkerStats>,
 }
 
+thread_local! {
+    /// `(pool token, worker id)` for pool worker threads, so a job that
+    /// submits into its own pool pushes onto its own deque.
+    static WORKER_IDENTITY: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
 /// Shared state between the pool handle and its workers.
 struct PoolInner {
-    queue: Mutex<QueueState>,
-    /// Signals workers that a job (or closure of the queue) is available.
+    scheduler: Scheduler,
+    /// `WorkStealing`: one deque per worker. `SharedFifo`: a single
+    /// shared queue in slot 0.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs pushed but not yet claimed, across all deques.
+    queued: AtomicUsize,
+    /// Set (under the park mutex) when the pool begins shutting down.
+    closed: AtomicBool,
+    /// Workers inside the parking critical section.
+    sleepers: AtomicUsize,
+    /// Guards parking; never held while running a job.
+    park: Mutex<()>,
+    /// Signals parked workers that a job (or closure) is available.
     available: Condvar,
     /// Signals `wait_empty` that `pending` may have reached zero.
     empty: Condvar,
-    /// Jobs submitted but not yet finished (queued + running).
+    /// Jobs submitted but not yet finished (queued + running). This is
+    /// what `wait_empty` waits on: with stealing, "every deque empty"
+    /// is *not* "idle" — a stolen job may still be running.
     pending: Mutex<usize>,
+    /// Round-robin placement cursor for external submissions.
+    next_deque: AtomicUsize,
     submitted: AtomicU64,
     queue_high_water: AtomicUsize,
     per_worker: Vec<WorkerCounters>,
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
-    closed: bool,
-}
-
 impl PoolInner {
+    /// A token identifying this pool instance for worker-local pushes.
+    fn token(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
     /// Marks one submitted job as fully finished and wakes `wait_empty`
     /// if that was the last one.
     fn finish_one(&self) {
@@ -96,18 +194,113 @@ impl PoolInner {
             self.empty.notify_all();
         }
     }
+
+    /// Places `job` on a deque and wakes a parked worker if any exists.
+    fn push(self: &Arc<Self>, job: Job) {
+        let target = match self.scheduler {
+            Scheduler::SharedFifo => 0,
+            Scheduler::WorkStealing => {
+                // A worker of *this* pool pushes to its own deque
+                // (LIFO locality); external submitters round-robin.
+                let own = WORKER_IDENTITY.with(|w| match w.get() {
+                    Some((token, id)) if token == self.token() => Some(id),
+                    _ => None,
+                });
+                own.unwrap_or_else(|| {
+                    self.next_deque.fetch_add(1, Ordering::Relaxed) % self.deques.len()
+                })
+            }
+        };
+        // `queued` moves only inside a deque critical section, so a
+        // worker that observes `queued > 0` and then locks the deques
+        // is guaranteed to find the job — no underflow when a thief
+        // races the submitter, no busy-spin on a not-yet-visible push.
+        let (depth, total) = {
+            let mut q = self.deques[target].lock().expect("pool mutex poisoned");
+            q.push_back(job);
+            (q.len(), self.queued.fetch_add(1, Ordering::SeqCst) + 1)
+        };
+        if self.scheduler == Scheduler::WorkStealing {
+            self.per_worker[target].deque_high_water.fetch_max(depth, Ordering::Relaxed);
+        }
+        self.queue_high_water.fetch_max(total, Ordering::Relaxed);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.park.lock().expect("pool mutex poisoned");
+            self.available.notify_one();
+        }
+    }
+
+    /// One claim attempt for worker `id`: local pop, then (stealing
+    /// only) a full rotation sweep. Returns `None` after a failed
+    /// sweep — the caller then parks.
+    fn claim(&self, id: usize) -> Option<Job> {
+        match self.scheduler {
+            Scheduler::SharedFifo => {
+                let job = {
+                    let mut q = self.deques[0].lock().expect("pool mutex poisoned");
+                    let job = q.pop_front();
+                    if job.is_some() {
+                        self.queued.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    job
+                };
+                if job.is_some() {
+                    self.per_worker[id].local_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                job
+            }
+            Scheduler::WorkStealing => {
+                // Newest-first from our own deque.
+                let local = {
+                    let mut q = self.deques[id].lock().expect("pool mutex poisoned");
+                    let job = q.pop_back();
+                    if job.is_some() {
+                        self.queued.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    job
+                };
+                if let Some(job) = local {
+                    self.per_worker[id].local_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(job);
+                }
+                // Oldest-first from victims, by rotation.
+                let n = self.deques.len();
+                for k in 1..n {
+                    let victim = (id + k) % n;
+                    let stolen = {
+                        let mut q = self.deques[victim].lock().expect("pool mutex poisoned");
+                        let job = q.pop_front();
+                        if job.is_some() {
+                            self.queued.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        job
+                    };
+                    if let Some(job) = stolen {
+                        self.per_worker[id].steals.fetch_add(1, Ordering::Relaxed);
+                        self.per_worker[victim].stolen_from.fetch_add(1, Ordering::Relaxed);
+                        return Some(job);
+                    }
+                }
+                None
+            }
+        }
+    }
 }
 
 /// A fixed-size pool of long-lived worker threads executing submitted
-/// jobs in FIFO order.
+/// jobs.
 ///
+/// * the default [`Scheduler::WorkStealing`] topology gives every
+///   worker its own deque (LIFO local pop, FIFO rotation steal) so one
+///   slow job cannot head-of-line-block short jobs behind it;
 /// * a job that **panics** is contained: the worker survives, the panic
 ///   is counted, and every other job runs normally;
 /// * **`Drop` drains**: jobs still queued when the pool is dropped are
 ///   executed before the workers join — an accepted job is never
 ///   silently discarded;
 /// * [`ThreadPool::wait_empty`] blocks until no job is queued *or*
-///   running — the quiesce point graceful shutdown builds on.
+///   running (stolen-but-unfinished jobs included) — the quiesce point
+///   graceful shutdown builds on.
 pub struct ThreadPool {
     inner: Arc<PoolInner>,
     workers: Vec<thread::JoinHandle<()>>,
@@ -115,22 +308,45 @@ pub struct ThreadPool {
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool").field("workers", &self.workers.len()).finish()
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers.len())
+            .field("scheduler", &self.inner.scheduler)
+            .finish()
     }
 }
 
 impl ThreadPool {
-    /// Spawns a pool with `workers` threads.
+    /// Spawns a pool with `workers` threads and the default
+    /// work-stealing scheduler.
     ///
     /// # Panics
     /// If `workers == 0`.
     pub fn new(workers: usize) -> ThreadPool {
+        ThreadPool::with_scheduler(workers, Scheduler::default())
+    }
+
+    /// Spawns a pool with `workers` threads and an explicit queue
+    /// topology (the shared-FIFO baseline is kept for measurement).
+    ///
+    /// # Panics
+    /// If `workers == 0`.
+    pub fn with_scheduler(workers: usize, scheduler: Scheduler) -> ThreadPool {
         assert!(workers > 0, "thread pool needs at least one worker");
+        let deque_count = match scheduler {
+            Scheduler::SharedFifo => 1,
+            Scheduler::WorkStealing => workers,
+        };
         let inner = Arc::new(PoolInner {
-            queue: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
+            scheduler,
+            deques: (0..deque_count).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            park: Mutex::new(()),
             available: Condvar::new(),
             empty: Condvar::new(),
             pending: Mutex::new(0),
+            next_deque: AtomicUsize::new(0),
             submitted: AtomicU64::new(0),
             queue_high_water: AtomicUsize::new(0),
             per_worker: (0..workers).map(|_| WorkerCounters::default()).collect(),
@@ -152,6 +368,11 @@ impl ThreadPool {
         self.inner.per_worker.len()
     }
 
+    /// The queue topology this pool runs.
+    pub fn scheduler(&self) -> Scheduler {
+        self.inner.scheduler
+    }
+
     /// Submits a job. Returns the job back as `Err(PoolClosed)` if the
     /// pool has begun shutting down (deterministic rejection — the
     /// caller decides what losing the job means).
@@ -163,27 +384,23 @@ impl ThreadPool {
             let mut pending = self.inner.pending.lock().expect("pool mutex poisoned");
             *pending += 1;
         }
-        let mut q = self.inner.queue.lock().expect("pool mutex poisoned");
-        if q.closed {
-            drop(q);
+        if self.inner.closed.load(Ordering::SeqCst) {
             self.inner.finish_one();
             return Err(PoolClosed(job));
         }
-        q.jobs.push_back(Job(Box::new(job)));
-        let depth = q.jobs.len();
-        drop(q);
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
-        self.inner.queue_high_water.fetch_max(depth, Ordering::Relaxed);
-        self.inner.available.notify_one();
+        self.inner.push(Job(Box::new(job)));
         Ok(())
     }
 
-    /// Blocks until every submitted job has finished and the queue is
+    /// Blocks until every submitted job has finished and every queue is
     /// empty. Returns immediately if nothing is pending.
     ///
     /// "Empty" means *no job queued and no job running*: the pending
     /// count a job joins at submit time and leaves only after its
-    /// closure returns (or panics).
+    /// closure returns (or panics). With work stealing this is the only
+    /// correct definition — a stolen job leaves every deque empty while
+    /// it is still running on the thief.
     pub fn wait_empty(&self) {
         let mut pending = self.inner.pending.lock().expect("pool mutex poisoned");
         while *pending > 0 {
@@ -201,29 +418,36 @@ impl ThreadPool {
                 started: w.started.load(Ordering::Relaxed),
                 finished: w.finished.load(Ordering::Relaxed),
                 panicked: w.panicked.load(Ordering::Relaxed),
+                local_hits: w.local_hits.load(Ordering::Relaxed),
+                steals: w.steals.load(Ordering::Relaxed),
+                stolen_from: w.stolen_from.load(Ordering::Relaxed),
+                queue_high_water: w.deque_high_water.load(Ordering::Relaxed),
             })
             .collect();
         PoolStats {
             workers: per_worker.len(),
+            scheduler: self.inner.scheduler,
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             started: per_worker.iter().map(|w| w.started).sum(),
             finished: per_worker.iter().map(|w| w.finished).sum(),
             panicked: per_worker.iter().map(|w| w.panicked).sum(),
+            local_hits: per_worker.iter().map(|w| w.local_hits).sum(),
+            steals: per_worker.iter().map(|w| w.steals).sum(),
             queue_high_water: self.inner.queue_high_water.load(Ordering::Relaxed),
-            queue_depth: self.inner.queue.lock().expect("pool mutex poisoned").jobs.len(),
+            queue_depth: self.inner.queued.load(Ordering::SeqCst),
             per_worker,
         }
     }
 }
 
 impl Drop for ThreadPool {
-    /// Closes the queue and joins every worker. Queued jobs are
+    /// Closes the queues and joins every worker. Queued jobs are
     /// **drained** (executed), not discarded; new submissions are
     /// rejected from this point on.
     fn drop(&mut self) {
         {
-            let mut q = self.inner.queue.lock().expect("pool mutex poisoned");
-            q.closed = true;
+            let _guard = self.inner.park.lock().expect("pool mutex poisoned");
+            self.inner.closed.store(true, Ordering::SeqCst);
         }
         self.inner.available.notify_all();
         for handle in self.workers.drain(..) {
@@ -234,31 +458,40 @@ impl Drop for ThreadPool {
     }
 }
 
-/// The worker body: claim, run (panic-contained), count, repeat; exit
-/// once the queue is closed *and* drained.
-fn worker_loop(id: usize, inner: &PoolInner) {
+/// The worker body: claim (local pop, then steal sweep), run
+/// (panic-contained), count, repeat; park after a failed sweep; exit
+/// once the pool is closed *and* every deque is drained.
+fn worker_loop(id: usize, inner: &Arc<PoolInner>) {
+    WORKER_IDENTITY.with(|w| w.set(Some((inner.token(), id))));
     let counters = &inner.per_worker[id];
     loop {
-        let job = {
-            let mut q = inner.queue.lock().expect("pool mutex poisoned");
-            loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    break Some(job);
+        match inner.claim(id) {
+            Some(job) => {
+                counters.started.fetch_add(1, Ordering::Relaxed);
+                let outcome = catch_unwind(AssertUnwindSafe(job.0));
+                if outcome.is_err() {
+                    counters.panicked.fetch_add(1, Ordering::Relaxed);
                 }
-                if q.closed {
-                    break None;
-                }
-                q = inner.available.wait(q).expect("pool mutex poisoned");
+                counters.finished.fetch_add(1, Ordering::Relaxed);
+                inner.finish_one();
             }
-        };
-        let Some(job) = job else { return };
-        counters.started.fetch_add(1, Ordering::Relaxed);
-        let outcome = catch_unwind(AssertUnwindSafe(job.0));
-        if outcome.is_err() {
-            counters.panicked.fetch_add(1, Ordering::Relaxed);
+            None => {
+                // Full sweep failed: park. The sleepers/queued protocol
+                // (see module docs) makes this lost-wakeup-free.
+                let guard = inner.park.lock().expect("pool mutex poisoned");
+                inner.sleepers.fetch_add(1, Ordering::SeqCst);
+                if inner.queued.load(Ordering::SeqCst) > 0 {
+                    inner.sleepers.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                if inner.closed.load(Ordering::SeqCst) {
+                    inner.sleepers.fetch_sub(1, Ordering::SeqCst);
+                    return;
+                }
+                let _guard = inner.available.wait(guard).expect("pool mutex poisoned");
+                inner.sleepers.fetch_sub(1, Ordering::SeqCst);
+            }
         }
-        counters.finished.fetch_add(1, Ordering::Relaxed);
-        inner.finish_one();
     }
 }
 
@@ -266,48 +499,57 @@ fn worker_loop(id: usize, inner: &PoolInner) {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
+
+    const BOTH: [Scheduler; 2] = [Scheduler::SharedFifo, Scheduler::WorkStealing];
 
     #[test]
-    fn runs_jobs_and_counts_them() {
-        let pool = ThreadPool::new(4);
-        let hits = Arc::new(AtomicU64::new(0));
-        for _ in 0..100 {
-            let hits = Arc::clone(&hits);
-            pool.execute(move || {
-                hits.fetch_add(1, Ordering::Relaxed);
-            })
-            .expect("pool accepts while alive");
+    fn runs_jobs_and_counts_them_under_both_schedulers() {
+        for scheduler in BOTH {
+            let pool = ThreadPool::with_scheduler(4, scheduler);
+            let hits = Arc::new(AtomicU64::new(0));
+            for _ in 0..100 {
+                let hits = Arc::clone(&hits);
+                pool.execute(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                })
+                .expect("pool accepts while alive");
+            }
+            pool.wait_empty();
+            assert_eq!(hits.load(Ordering::Relaxed), 100, "{scheduler}");
+            let stats = pool.stats();
+            assert_eq!(stats.scheduler, scheduler);
+            assert_eq!(stats.submitted, 100);
+            assert_eq!(stats.finished, 100);
+            assert_eq!(stats.panicked, 0);
+            assert_eq!(stats.queue_depth, 0);
+            assert!(stats.queue_high_water >= 1);
+            assert_eq!(stats.per_worker.len(), 4);
+            assert_eq!(stats.per_worker.iter().map(|w| w.finished).sum::<u64>(), 100);
+            // Every claim is either a local hit or a steal.
+            assert_eq!(stats.local_hits + stats.steals, 100);
         }
-        pool.wait_empty();
-        assert_eq!(hits.load(Ordering::Relaxed), 100);
-        let stats = pool.stats();
-        assert_eq!(stats.submitted, 100);
-        assert_eq!(stats.finished, 100);
-        assert_eq!(stats.panicked, 0);
-        assert_eq!(stats.queue_depth, 0);
-        assert!(stats.queue_high_water >= 1);
-        assert_eq!(stats.per_worker.len(), 4);
-        assert_eq!(stats.per_worker.iter().map(|w| w.finished).sum::<u64>(), 100);
     }
 
     #[test]
-    fn drop_drains_queued_jobs() {
-        let hits = Arc::new(AtomicU64::new(0));
-        {
-            // One worker and a slow first job force the rest to queue.
-            let pool = ThreadPool::new(1);
-            for _ in 0..50 {
-                let hits = Arc::clone(&hits);
-                pool.execute(move || {
-                    std::thread::sleep(Duration::from_micros(100));
-                    hits.fetch_add(1, Ordering::Relaxed);
-                })
-                .unwrap();
+    fn drop_drains_queued_jobs_under_both_schedulers() {
+        for scheduler in BOTH {
+            let hits = Arc::new(AtomicU64::new(0));
+            {
+                // One worker and a slow first job force the rest to queue.
+                let pool = ThreadPool::with_scheduler(1, scheduler);
+                for _ in 0..50 {
+                    let hits = Arc::clone(&hits);
+                    pool.execute(move || {
+                        std::thread::sleep(Duration::from_micros(100));
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .unwrap();
+                }
+                // Drop immediately: everything queued must still run.
             }
-            // Drop immediately: everything queued must still run.
+            assert_eq!(hits.load(Ordering::Relaxed), 50, "{scheduler} drop lost jobs");
         }
-        assert_eq!(hits.load(Ordering::Relaxed), 50, "drop discarded queued jobs");
     }
 
     #[test]
@@ -340,6 +582,72 @@ mod tests {
     }
 
     #[test]
+    fn idle_workers_steal_a_blocked_workers_backlog() {
+        // 4 workers; worker deques are fed round-robin, and one job
+        // blocks its worker for a long time. The shorts placed behind
+        // the blocker (and behind everyone else) must be finished by
+        // thieves long before the blocker completes.
+        let pool = ThreadPool::with_scheduler(4, Scheduler::WorkStealing);
+        let release = Arc::new(AtomicBool::new(false));
+        let shorts_done = Arc::new(AtomicU64::new(0));
+        {
+            let release = Arc::clone(&release);
+            pool.execute(move || {
+                while !release.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            })
+            .unwrap();
+        }
+        for _ in 0..40 {
+            let shorts_done = Arc::clone(&shorts_done);
+            pool.execute(move || {
+                shorts_done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        // All 40 shorts must complete while the blocker still runs:
+        // 10 of them sit behind the blocker and can only move if stolen.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while shorts_done.load(Ordering::SeqCst) < 40 {
+            assert!(Instant::now() < deadline, "shorts stuck behind a blocked worker");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = pool.stats();
+        assert!(stats.steals > 0, "balancing required steals: {stats:?}");
+        release.store(true, Ordering::SeqCst);
+        pool.wait_empty();
+        let stats = pool.stats();
+        assert_eq!(stats.finished, 41);
+        assert_eq!(
+            stats.per_worker.iter().map(|w| w.stolen_from).sum::<u64>(),
+            stats.steals,
+            "every steal has a victim"
+        );
+    }
+
+    #[test]
+    fn wait_empty_waits_for_stolen_but_running_jobs() {
+        // Every deque goes empty the moment the job is claimed; only
+        // the pending count knows the job is still running. wait_empty
+        // must block on it.
+        let pool = ThreadPool::with_scheduler(2, Scheduler::WorkStealing);
+        let finished = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&finished);
+        pool.execute(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            flag.store(true, Ordering::SeqCst);
+        })
+        .unwrap();
+        pool.wait_empty();
+        assert!(
+            finished.load(Ordering::SeqCst),
+            "wait_empty returned while a claimed job was still running"
+        );
+        assert_eq!(pool.stats().queue_depth, 0);
+    }
+
+    #[test]
     fn wait_empty_returns_only_at_depth_zero() {
         let pool = ThreadPool::new(2);
         let running = Arc::new(AtomicU64::new(0));
@@ -363,5 +671,86 @@ mod tests {
         let pool = ThreadPool::new(3);
         pool.wait_empty(); // must not block
         assert_eq!(pool.stats().submitted, 0);
+    }
+
+    #[test]
+    fn worker_submissions_land_on_the_workers_own_deque() {
+        // A job that submits into its own pool must push to its own
+        // deque (and the pool must drain it before wait_empty returns,
+        // because the child joins `pending` before the parent exits).
+        let pool = Arc::new(ThreadPool::with_scheduler(2, Scheduler::WorkStealing));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        {
+            let pool2 = Arc::clone(&pool);
+            let order = Arc::clone(&order);
+            pool.execute(move || {
+                order.lock().unwrap().push("parent");
+                let order = Arc::clone(&order);
+                pool2
+                    .execute(move || {
+                        order.lock().unwrap().push("child");
+                    })
+                    .expect("pool is open");
+            })
+            .unwrap();
+        }
+        pool.wait_empty();
+        assert_eq!(*order.lock().unwrap(), vec!["parent", "child"]);
+        assert_eq!(pool.stats().finished, 2);
+    }
+
+    #[test]
+    fn parked_workers_wake_across_quiet_gaps() {
+        // Exercise the park/wake protocol: rounds of work separated by
+        // idle gaps long enough for every worker to park. A lost
+        // wakeup would hang a round (and the test) forever.
+        let pool = ThreadPool::with_scheduler(3, Scheduler::WorkStealing);
+        let hits = Arc::new(AtomicU64::new(0));
+        for round in 0..20 {
+            for _ in 0..7 {
+                let hits = Arc::clone(&hits);
+                pool.execute(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+            }
+            pool.wait_empty();
+            assert_eq!(hits.load(Ordering::Relaxed), 7 * (round + 1));
+            // Let the workers actually park before the next round.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn concurrent_submitters_and_wait_empty_agree() {
+        // The drop-while-submitting race surface, minus the drop (safe
+        // Rust forbids executing into a pool being dropped): many
+        // threads submit while another repeatedly calls wait_empty;
+        // every wait_empty return must observe a consistent world.
+        let pool = Arc::new(ThreadPool::with_scheduler(4, Scheduler::WorkStealing));
+        let done = Arc::new(AtomicU64::new(0));
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let done = Arc::clone(&done);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let done = Arc::clone(&done);
+                        pool.execute(move || {
+                            done.fetch_add(1, Ordering::SeqCst);
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+            for _ in 0..10 {
+                pool.wait_empty();
+                let st = pool.stats();
+                assert!(st.finished <= st.submitted);
+            }
+        });
+        pool.wait_empty();
+        assert_eq!(done.load(Ordering::SeqCst), 800);
+        assert_eq!(pool.stats().finished, 800);
     }
 }

@@ -7,7 +7,8 @@
 //! shutdown that drains every accepted request.
 
 use crate::cache::{Cache, CacheStats};
-use crate::pool::{PoolStats, ThreadPool};
+use crate::fault::{FaultPlan, FaultPoint};
+use crate::pool::{PoolStats, Scheduler, ThreadPool};
 use cs31::autograde;
 use cs31::homework;
 use parallel::Semaphore;
@@ -77,6 +78,13 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// LRU capacity per cache shard.
     pub cache_capacity_per_shard: usize,
+    /// Queue topology for the worker pool. Defaults to
+    /// [`Scheduler::WorkStealing`]; [`Scheduler::SharedFifo`] keeps the
+    /// old single-queue behavior as a measurable baseline.
+    pub scheduler: Scheduler,
+    /// Optional seeded fault injection for tests: panic/stall handlers
+    /// at chosen points. `None` (the default) injects nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +94,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_shards: 8,
             cache_capacity_per_shard: 32,
+            scheduler: Scheduler::default(),
+            fault_plan: None,
         }
     }
 }
@@ -147,6 +157,7 @@ pub struct ServerStats {
 struct ServerInner {
     cache: Cache<Request, Response>,
     experiments: Vec<(String, ExperimentFn)>,
+    fault_plan: Option<FaultPlan>,
     admission: Semaphore,
     queue_capacity: usize,
     workers: usize,
@@ -157,8 +168,22 @@ struct ServerInner {
 }
 
 impl ServerInner {
-    /// Runs the workload for `req` (no caching at this layer).
+    /// Runs the workload for `req` (no caching at this layer). Both
+    /// fault points fire inside the caller's panic isolation, so an
+    /// injected panic resolves the ticket with an error and poisons
+    /// only this request's cache slot.
     fn handle(&self, req: &Request) -> Response {
+        if let Some(plan) = &self.fault_plan {
+            plan.fire(FaultPoint::BeforeHandle);
+        }
+        let response = self.handle_inner(req);
+        if let Some(plan) = &self.fault_plan {
+            plan.fire(FaultPoint::AfterHandle);
+        }
+        response
+    }
+
+    fn handle_inner(&self, req: &Request) -> Response {
         match req {
             Request::Grade { submission } => {
                 let report =
@@ -240,6 +265,7 @@ impl CourseServer {
         let inner = Arc::new(ServerInner {
             cache: Cache::new(config.cache_shards, config.cache_capacity_per_shard),
             experiments,
+            fault_plan: config.fault_plan,
             admission: Semaphore::new(config.queue_capacity),
             queue_capacity: config.queue_capacity,
             workers: config.workers,
@@ -248,7 +274,7 @@ impl CourseServer {
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
         });
-        CourseServer { inner, pool: ThreadPool::new(config.workers) }
+        CourseServer { inner, pool: ThreadPool::with_scheduler(config.workers, config.scheduler) }
     }
 
     /// Submits a request without blocking.
@@ -298,10 +324,12 @@ impl CourseServer {
             };
             {
                 let mut st = promise.state.lock().expect("ticket mutex poisoned");
+                // Count before publishing under the same lock: whoever
+                // sees the resolved ticket also sees the counter.
+                inner.completed.fetch_add(1, Ordering::Relaxed);
                 *st = Some(response);
             }
             promise.done.notify_all();
-            inner.completed.fetch_add(1, Ordering::Relaxed);
             inner.admission.release();
         });
         match submit_result {

@@ -1,0 +1,129 @@
+//! Server invariants under adversarial schedules (seeded fault
+//! injection via `serve::fault::FaultPlan`).
+//!
+//! The invariants under test, per DESIGN.md:
+//! 1. every accepted request resolves its ticket exactly once, even
+//!    when the handler panics or stalls at injected points;
+//! 2. `shutdown` returns only after every accepted request completed
+//!    (drain never drops work), under both queue topologies;
+//! 3. panic isolation: a fault poisons only the faulty request — other
+//!    requests keep succeeding, and the pool's workers survive.
+
+use serve::fault::{FaultPlan, FaultPoint};
+use serve::pool::Scheduler;
+use serve::server::{CourseServer, Request, ServerConfig, SubmitError, Ticket};
+use std::time::Duration;
+
+fn config(scheduler: Scheduler, plan: &FaultPlan) -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        queue_capacity: 256,
+        scheduler,
+        fault_plan: Some(plan.clone()),
+        ..ServerConfig::default()
+    }
+}
+
+/// Distinct homework requests (distinct seeds) so the cache cannot
+/// collapse the workload into one compute.
+fn homework(seed: u64) -> Request {
+    Request::Homework { generator: "binary_arithmetic".into(), seed }
+}
+
+#[test]
+fn every_ticket_resolves_when_handlers_panic_before_handle() {
+    for scheduler in [Scheduler::SharedFifo, Scheduler::WorkStealing] {
+        let plan = FaultPlan::new(0xDEAD_BEEF).panic_at(FaultPoint::BeforeHandle, 1, 3);
+        let server = CourseServer::new(config(scheduler, &plan));
+        let tickets: Vec<Ticket> =
+            (0..120).map(|seed| server.submit(homework(seed)).expect("admitted")).collect();
+        let mut failed = 0usize;
+        for t in &tickets {
+            // wait() returning at all is invariant 1; a hang here times
+            // the whole test out.
+            let resp = t.wait();
+            if !resp.ok {
+                assert!(
+                    resp.body.contains("panicked"),
+                    "unexpected failure body: {}",
+                    resp.body
+                );
+                failed += 1;
+            }
+        }
+        let stats = plan.stats();
+        assert!(stats.panics > 0, "plan never fired under {scheduler}");
+        assert!(failed > 0, "injected panics must surface as failed responses");
+        assert!(
+            failed < tickets.len(),
+            "a 1/3 fault rate must leave some requests healthy ({scheduler})"
+        );
+        assert_eq!(server.stats().completed, 120, "every accepted request completed");
+    }
+}
+
+#[test]
+fn panics_after_handle_discard_work_but_still_resolve_tickets() {
+    let plan = FaultPlan::new(31).panic_at(FaultPoint::AfterHandle, 1, 2);
+    let server = CourseServer::new(config(Scheduler::WorkStealing, &plan));
+    let responses: Vec<_> =
+        (0..60).map(|seed| server.submit(homework(seed)).expect("admitted").wait()).collect();
+    assert!(plan.stats().panics > 0);
+    assert!(responses.iter().any(|r| r.ok), "some requests must survive");
+    assert!(responses.iter().any(|r| !r.ok), "some requests must fail");
+    // Healthy responses are real ones, not torn by neighbors' faults.
+    for r in responses.iter().filter(|r| r.ok) {
+        assert!(r.body.contains("solution"), "torn response body: {}", r.body);
+    }
+}
+
+#[test]
+fn shutdown_drains_everything_even_with_stalls_and_panics_in_flight() {
+    for scheduler in [Scheduler::SharedFifo, Scheduler::WorkStealing] {
+        let plan = FaultPlan::new(7)
+            .stall_at(FaultPoint::BeforeHandle, Duration::from_millis(3), 1, 2)
+            .panic_at(FaultPoint::AfterHandle, 1, 4);
+        let server = CourseServer::new(config(scheduler, &plan));
+        let tickets: Vec<Ticket> =
+            (0..80).map(|seed| server.submit(homework(seed)).expect("admitted")).collect();
+        server.shutdown();
+        // Drain invariant: by the time shutdown returns, every accepted
+        // ticket is already resolved — try_get, not wait.
+        for (i, t) in tickets.iter().enumerate() {
+            assert!(
+                t.try_get().is_some(),
+                "ticket {i} unresolved after shutdown ({scheduler})"
+            );
+        }
+        assert!(matches!(
+            server.submit(homework(999)),
+            Err(SubmitError::ShuttingDown(_))
+        ));
+        let stats = server.stats();
+        assert_eq!(stats.completed, 80, "drain dropped work under {scheduler}");
+        assert!(plan.stats().stalls > 0, "stall rule never fired under {scheduler}");
+    }
+}
+
+#[test]
+fn faulty_request_leaves_the_cache_retryable_and_neighbors_untouched() {
+    // Fire on every firing: the first attempt at any request panics.
+    let plan = FaultPlan::new(1).panic_at(FaultPoint::BeforeHandle, 1, 1);
+    let observer = plan.clone();
+    let server = CourseServer::new(ServerConfig {
+        workers: 2,
+        scheduler: Scheduler::WorkStealing,
+        fault_plan: Some(plan),
+        ..ServerConfig::default()
+    });
+    let poisoned = server.submit(homework(5)).expect("admitted").wait();
+    assert!(!poisoned.ok);
+    assert!(observer.stats().panics >= 1);
+    // The panic poisoned only that compute: the same key is retryable
+    // (the cache slot was removed, not wedged) and still faults, while
+    // the pool keeps serving.
+    let retry = server.submit(homework(5)).expect("admitted").wait();
+    assert!(!retry.ok, "1/1 fault rate must fault the retry too");
+    assert!(observer.stats().panics >= 2, "retry must recompute, not hit a wedged slot");
+    assert_eq!(server.stats().pool.panicked, 0, "faults are contained before the pool");
+}

@@ -1,0 +1,95 @@
+//! Property tests: the pool-backed `serve::par` entry points agree
+//! with serial evaluation and with the course's scoped `parallel::par`
+//! functions, for random sizes, worker counts, grains, and both queue
+//! topologies. Scheduling must only reorder work, never change
+//! answers.
+
+use proptest::prelude::*;
+use serve::pool::{Scheduler, ThreadPool};
+use serve::{par, Cache};
+
+fn pools(workers: usize) -> [ThreadPool; 2] {
+    [
+        ThreadPool::with_scheduler(workers, Scheduler::SharedFifo),
+        ThreadPool::with_scheduler(workers, Scheduler::WorkStealing),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_par_map_agrees_with_serial_and_parallel_par(
+        data in proptest::collection::vec(any::<i32>(), 0..300),
+        workers in 1usize..6,
+        grain in 1usize..40,
+    ) {
+        let serial: Vec<i64> = data.iter().map(|&x| i64::from(x) * 7 - 3).collect();
+        let scoped = parallel::par::par_map(&data, workers, |&x| i64::from(x) * 7 - 3);
+        prop_assert_eq!(&scoped, &serial);
+        for pool in pools(workers) {
+            let defaulted = par::par_map(&pool, &data, |&x| i64::from(x) * 7 - 3);
+            prop_assert_eq!(&defaulted, &serial);
+            let grained = par::par_map_grain(&pool, &data, grain, |&x| i64::from(x) * 7 - 3);
+            prop_assert_eq!(&grained, &serial);
+        }
+    }
+
+    #[test]
+    fn prop_par_reduce_agrees_with_serial_and_parallel_par(
+        data in proptest::collection::vec(0u64..1_000, 0..300),
+        workers in 1usize..6,
+        grain in 1usize..40,
+    ) {
+        let serial: u64 = data.iter().sum();
+        let scoped =
+            parallel::par::par_reduce(&data, workers, 0u64, |a, &x| a + x, |a, b| a + b);
+        prop_assert_eq!(scoped, serial);
+        for pool in pools(workers) {
+            let defaulted = par::par_reduce(&pool, &data, 0u64, |a, &x| a + x, |a, b| a + b);
+            prop_assert_eq!(defaulted, serial);
+            let grained =
+                par::par_reduce_grain(&pool, &data, grain, 0u64, |a, &x| a + x, |a, b| a + b);
+            prop_assert_eq!(grained, serial);
+        }
+    }
+
+    #[test]
+    fn prop_par_for_chunks_writes_match_serial(
+        len in 0usize..300,
+        workers in 1usize..6,
+        grain in 1usize..40,
+    ) {
+        let want: Vec<u64> = (0..len as u64).map(|x| x * x + 1).collect();
+        for pool in pools(workers) {
+            let data: Vec<u64> = (0..len as u64).collect();
+            let got = par::par_for_chunks_grain(&pool, data, grain, |_idx, chunk| {
+                for x in chunk {
+                    *x = *x * *x + 1;
+                }
+            });
+            prop_assert_eq!(&got, &want);
+        }
+    }
+
+    #[test]
+    fn prop_cache_backed_results_are_stable_under_stealing(
+        keys in proptest::collection::vec(0u32..40, 1..120),
+        workers in 1usize..6,
+    ) {
+        // Same-keyed jobs racing through the stealing pool must all
+        // observe the compute-once cache answer.
+        let pool = ThreadPool::with_scheduler(workers, Scheduler::WorkStealing);
+        let cache = std::sync::Arc::new(Cache::<u32, u64>::new(4, 64));
+        let compute_cache = std::sync::Arc::clone(&cache);
+        let results: Vec<u64> = par::par_map(&pool, &keys, move |&k| {
+            compute_cache.get_or_insert_with(k, |k| u64::from(k) * 1_000 + 7)
+        });
+        for (&k, &v) in keys.iter().zip(&results) {
+            prop_assert_eq!(v, u64::from(k) * 1_000 + 7);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.misses as usize,
+                        keys.iter().collect::<std::collections::HashSet<_>>().len());
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything a PR must keep green.
+#   build (release) -> full test suite -> clippy with warnings denied
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+
+echo "tier1: all green"
