@@ -1,16 +1,20 @@
 //! `serve_demo` — N client threads hammering the course job server.
 //!
 //! ```text
-//! cargo run -p bench --bin serve_demo                  # 8 clients x 32 requests
-//! cargo run -p bench --bin serve_demo -- 4 100         # 4 clients x 100 requests
-//! cargo run -p bench --bin serve_demo -- 4 100 fifo    # shared-FIFO baseline pool
+//! cargo run -p bench --bin serve_demo                    # 8 clients x 32 requests
+//! cargo run -p bench --bin serve_demo -- 4 100           # 4 clients x 100 requests
+//! cargo run -p bench --bin serve_demo -- 4 100 fifo      # shared-FIFO baseline pool
+//! cargo run -p bench --bin serve_demo -- 4 100 priority  # class-aware priority lanes
 //! ```
 //!
 //! Each client submits a deterministic mix of grade / homework /
 //! reproduce requests, honouring the server's backpressure (on a
-//! `Busy` rejection it sleeps the hinted backoff and retries). At the
-//! end the server is drained and the request/cache/pool counters are
-//! printed — the live-system counterpart of experiment E11.
+//! `Busy` rejection it sleeps the hinted backoff and retries) and
+//! tolerating load shedding (a queued request displaced by
+//! higher-class work resolves `ok=false` with a "shed under load"
+//! body; the client counts it and moves on). At the end the server is
+//! drained and the request/class/cache/pool counters are printed —
+//! the live-system counterpart of experiments E11 and E13.
 
 use serve::pool::Scheduler;
 use serve::server::{CourseServer, ExperimentFn, Request, SubmitError};
@@ -33,6 +37,13 @@ done:
     hlt
 ";
 
+const USAGE: &str = "usage: serve_demo [clients] [requests] [steal|fifo|priority]";
+
+fn bail(reason: &str) -> ! {
+    eprintln!("serve_demo: {reason}\n{USAGE}");
+    std::process::exit(2);
+}
+
 /// The i-th request a client sends: a rotating workload mix with a
 /// deliberately small key space, so the cache earns its keep.
 fn request_for(client: u64, i: u64) -> Request {
@@ -49,17 +60,30 @@ fn request_for(client: u64, i: u64) -> Request {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: serve_demo [clients] [requests] [steal|fifo]";
-    let clients: u64 = args.first().map_or(8, |a| a.parse().expect(usage));
-    let per_client: u64 = args.get(1).map_or(32, |a| a.parse().expect(usage));
+    if args.len() > 3 {
+        bail("too many arguments");
+    }
+    let parse_count = |arg: Option<&String>, default: u64, what: &str| -> u64 {
+        match arg {
+            None => default,
+            Some(a) => match a.parse() {
+                Ok(n) if n > 0 => n,
+                _ => bail(&format!("{what} must be a positive integer, got {a:?}")),
+            },
+        }
+    };
+    let clients = parse_count(args.first(), 8, "clients");
+    let per_client = parse_count(args.get(1), 32, "requests");
     let scheduler = match args.get(2).map(String::as_str) {
         None | Some("steal") => Scheduler::WorkStealing,
         Some("fifo") => Scheduler::SharedFifo,
-        Some(_) => panic!("{usage}"),
+        Some("priority") => Scheduler::PriorityLanes,
+        Some(other) => bail(&format!("unknown scheduler {other:?}")),
     };
 
-    // A small queue relative to the offered load, so backpressure is
-    // actually exercised and the retry loop matters.
+    // A small queue relative to the offered load, so backpressure and
+    // class-aware shedding are actually exercised and the retry loop
+    // matters.
     let server = CourseServer::with_experiments(
         ServerConfig { workers: 4, queue_capacity: 8, scheduler, ..ServerConfig::default() },
         vec![("e5".to_string(), bench::e5_tlb_eat as ExperimentFn)],
@@ -71,6 +95,7 @@ fn main() {
     let start = Instant::now();
     let mut total_retries = 0u64;
     let mut total_cached = 0u64;
+    let mut total_shed = 0u64;
     thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|client| {
@@ -78,6 +103,7 @@ fn main() {
                 s.spawn(move || {
                     let mut retries = 0u64;
                     let mut cached = 0u64;
+                    let mut shed = 0u64;
                     for i in 0..per_client {
                         let req = request_for(client, i);
                         let ticket = loop {
@@ -85,7 +111,9 @@ fn main() {
                                 Ok(t) => break t,
                                 Err(SubmitError::Busy(r)) => {
                                     retries += 1;
-                                    thread::sleep(Duration::from_millis(r.retry_after_ms));
+                                    thread::sleep(Duration::from_millis(
+                                        r.retry_after_ms.max(1),
+                                    ));
                                 }
                                 Err(SubmitError::ShuttingDown(_)) => {
                                     unreachable!("demo shuts down only after clients finish")
@@ -93,17 +121,25 @@ fn main() {
                             }
                         };
                         let resp = ticket.wait();
-                        assert!(resp.ok, "request failed: {}", resp.body);
-                        cached += resp.cached as u64;
+                        if resp.ok {
+                            cached += resp.cached as u64;
+                        } else if resp.body.contains("shed under load") {
+                            // Displaced by higher-class work; the demo
+                            // accepts the loss rather than re-queueing.
+                            shed += 1;
+                        } else {
+                            panic!("request failed: {}", resp.body);
+                        }
                     }
-                    (retries, cached)
+                    (retries, cached, shed)
                 })
             })
             .collect();
         for h in handles {
-            let (retries, cached) = h.join().expect("client thread");
+            let (retries, cached, shed) = h.join().expect("client thread");
             total_retries += retries;
             total_cached += cached;
+            total_shed += shed;
         }
     });
     let elapsed = start.elapsed().as_secs_f64();
@@ -111,13 +147,15 @@ fn main() {
 
     let st = server.stats();
     let total = clients * per_client;
-    println!("{:<28} {:>10}", "requests served", total);
+    println!("{:<28} {:>10}", "requests served", total - total_shed);
     println!("{:<28} {:>10}", "answered from cache", total_cached);
+    println!("{:<28} {:>10}", "shed under load", total_shed);
     println!("{:<28} {:>10}", "busy rejections (retried)", total_retries);
     println!("{:<28} {:>10.0}", "requests/sec", total as f64 / elapsed);
     println!();
     println!("{:<28} {:>10}", "server accepted", st.accepted);
     println!("{:<28} {:>10}", "server completed", st.completed);
+    println!("{:<28} {:>10}", "server shed", st.shed);
     println!("{:<28} {:>10}", "cache hits / misses", format!("{}/{}", st.cache.hits, st.cache.misses));
     println!("{:<28} {:>10}", "cache evictions", st.cache.evictions);
     println!("{:<28} {:>10}", "pool jobs finished", st.pool.finished);
@@ -125,9 +163,42 @@ fn main() {
     println!(
         "{:<28} {:>10}",
         "pool local pops / steals",
-        format!("{}/{}", st.pool.local_hits, st.pool.steals)
+        format!(
+            "{}/{} ({} batched)",
+            st.pool.local_hits, st.pool.steals, st.pool.batch_steals
+        )
     );
-    assert_eq!(st.accepted, st.completed, "drain must complete every accepted request");
+    assert_eq!(
+        st.accepted,
+        st.completed + st.shed,
+        "drain must complete or shed every accepted request"
+    );
+
+    println!("\nper-class ledger (admission → scheduling → shedding):");
+    println!(
+        "  {:>12} {:>9} {:>10} {:>6} {:>9} {:>7} {:>6}",
+        "class", "admitted", "completed", "shed", "rejected", "missed", "aged"
+    );
+    for (band, c) in st.per_class.iter().enumerate() {
+        println!(
+            "  {:>12} {:>9} {:>10} {:>6} {:>9} {:>7} {:>6}",
+            c.class.to_string(),
+            c.admitted,
+            c.completed,
+            c.shed,
+            c.rejected,
+            c.deadline_missed,
+            st.pool.per_class[band].aged,
+        );
+        assert_eq!(
+            c.admitted,
+            c.completed + c.shed,
+            "{} ledger must balance after drain",
+            c.class
+        );
+        assert_eq!(c.in_flight, 0, "{} in-flight must be zero after drain", c.class);
+    }
+
     println!("\nper-worker load balance:");
     println!(
         "  {:>6} {:>8} {:>9} {:>7} {:>7} {:>11} {:>6}",

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod priority;
 pub mod stealing;
 
 use parallel::machine::MachineConfig;
@@ -613,6 +614,64 @@ pub fn e12_stealing() -> String {
     out
 }
 
+/// E13 — priority lanes vs the shared FIFO on a mixed-class overload
+/// stream (grades interactive+deadline'd, homework batch, reproduce
+/// bulk; sleep-modeled service times; see the `priority` module docs
+/// for the stream shape and DESIGN.md §8 for the scheduling rules).
+pub fn e13_priority() -> String {
+    use priority::{compare, mixed_overload_params};
+
+    let p = mixed_overload_params();
+    let mut out = format!(
+        "E13: request class and priority under a mixed overload stream\n\
+         ({} workers; {} cycles of [{} grade({:?}, deadline {:?}), {:?} lead,\n\
+         {} homework({:?}) + {} reproduce({:?}), {:?} soak] — sustained ~1.7x\n\
+         overload carried by the reproduce backlog; sleep-modeled)\n\n",
+        p.workers,
+        p.cycles,
+        p.grades_per_cycle,
+        p.grade,
+        p.grade_deadline,
+        p.grade_lead,
+        p.homework_per_cycle,
+        p.homework,
+        p.reproduce_per_cycle,
+        p.reproduce,
+        p.cycle_soak,
+    );
+    let (fifo, prio) = compare(p);
+    out.push_str(&format!(
+        "{:<16} {:<12} {:>6} {:>9} {:>9} {:>9} {:>9} {:>7}\n",
+        "scheduler", "class", "n", "p50", "p99", "max", "finish", "missed"
+    ));
+    for o in [&fifo, &prio] {
+        for (i, c) in o.per_class.iter().enumerate() {
+            out.push_str(&format!(
+                "{:<16} {:<12} {:>6} {:>7.1}ms {:>7.1}ms {:>7.1}ms {:>7.1}ms {:>7}\n",
+                if i == 0 { o.scheduler.to_string() } else { String::new() },
+                c.class.to_string(),
+                c.count,
+                c.p50.as_secs_f64() * 1e3,
+                c.p99.as_secs_f64() * 1e3,
+                c.max.as_secs_f64() * 1e3,
+                c.finish.as_secs_f64() * 1e3,
+                c.deadline_missed,
+            ));
+        }
+    }
+    let grade_ratio = fifo.per_class[0].p99.as_secs_f64()
+        / prio.per_class[0].p99.as_secs_f64().max(1e-9);
+    let bulk_reg = prio.per_class[2].finish.as_secs_f64()
+        / fifo.per_class[2].finish.as_secs_f64().max(1e-9);
+    out.push_str(&format!(
+        "\npriority lanes vs FIFO: grade p99 {grade_ratio:.2}x better (target ≥2x);\n\
+         bulk finish {bulk_reg:.2}x the baseline (target ≤1.2x); {} aging grants\n\
+         kept the bulk backlog moving while grades kept arriving\n",
+        prio.aged,
+    ));
+    out
+}
+
 /// An experiment id and its runner.
 pub type Experiment = (&'static str, fn() -> String);
 
@@ -636,6 +695,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e10", e10_asm_sequences),
         ("e11", e11_serve),
         ("e12", e12_stealing),
+        ("e13", e13_priority),
     ];
     v.extend(ablations::all_ablations());
     v
@@ -712,6 +772,30 @@ mod tests {
             );
         }
         panic!("stealing never beat FIFO on both metrics in 3 attempts: {last}");
+    }
+
+    #[test]
+    fn e13_priority_lanes_protect_grades_without_starving_bulk() {
+        // Wall-clock timing on a busy host is noisy; the structural win
+        // is large, so best-of-3 suffices to shrug off scheduler jitter.
+        let mut last = String::new();
+        for _ in 0..3 {
+            let (fifo, prio) = priority::compare(priority::mixed_overload_params());
+            assert!(prio.aged > 0, "priority run recorded no aging grants");
+            assert_eq!(fifo.aged, 0, "FIFO has no aging rule to fire");
+            let grade_ratio = fifo.per_class[0].p99.as_secs_f64()
+                / prio.per_class[0].p99.as_secs_f64().max(1e-9);
+            let bulk_reg = prio.per_class[2].finish.as_secs_f64()
+                / fifo.per_class[2].finish.as_secs_f64().max(1e-9);
+            if grade_ratio >= 2.0 && bulk_reg <= 1.2 {
+                return;
+            }
+            last = format!(
+                "grade p99 ratio {grade_ratio:.2} (need ≥2), bulk finish regression \
+                 {bulk_reg:.2} (need ≤1.2)"
+            );
+        }
+        panic!("priority lanes never met both E13 targets in 3 attempts: {last}");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! block on the slot's condvar; callers for other keys touch other
 //! slots (and usually other shards) and proceed in parallel.
 
+use crate::fault::{FaultPlan, FaultPoint};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -86,6 +87,12 @@ pub struct Cache<K, V> {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Optional seeded fault injection (test tooling): a stall at
+    /// [`FaultPoint::CacheLockHold`] is executed while a shard's map
+    /// lock is held, and [`FaultPoint::CacheEvictDuringCompute`]
+    /// triggers a forced eviction sweep while the firing owner's entry
+    /// is still `Computing`.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<K, V> std::fmt::Debug for Cache<K, V> {
@@ -104,6 +111,30 @@ impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
     /// # Panics
     /// If `shards == 0` or `capacity_per_shard == 0`.
     pub fn new(shards: usize, capacity_per_shard: usize) -> Cache<K, V> {
+        Cache::with_fault_plan(shards, capacity_per_shard, None)
+    }
+
+    /// Like [`Cache::new`], plus a seeded [`FaultPlan`] consulted at
+    /// the cache-layer fault points:
+    ///
+    /// * [`FaultPoint::CacheLockHold`] fires during phase-1 bookkeeping
+    ///   **while the shard's map lock is held** — a stall there makes
+    ///   every other caller hashing to the shard pile up behind the
+    ///   lock (attach only stalls; a panic would poison the shard).
+    /// * [`FaultPoint::CacheEvictDuringCompute`] fires in a compute
+    ///   owner just before it publishes its value; when the plan is
+    ///   present the cache then runs a **forced eviction sweep** at
+    ///   that exact moment, while the owner's own entry is still
+    ///   `Computing` — the adversarial schedule that proves in-flight
+    ///   entries are never evicted out from under their waiters.
+    ///
+    /// # Panics
+    /// If `shards == 0` or `capacity_per_shard == 0`.
+    pub fn with_fault_plan(
+        shards: usize,
+        capacity_per_shard: usize,
+        fault_plan: Option<FaultPlan>,
+    ) -> Cache<K, V> {
         assert!(shards > 0, "cache needs at least one shard");
         assert!(capacity_per_shard > 0, "cache shards need capacity >= 1");
         Cache {
@@ -114,6 +145,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            fault_plan,
         }
     }
 
@@ -136,6 +168,12 @@ impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
         // the slot. No compute happens while this lock is held.
         let (slot, owner) = {
             let mut map = shard.map.lock().expect("cache shard poisoned");
+            if let Some(plan) = &self.fault_plan {
+                // Deliberately inside the critical section: a stall
+                // here holds this shard's lock (the shard-lock-hold
+                // injection point).
+                plan.fire(FaultPoint::CacheLockHold);
+            }
             map.clock += 1;
             let now = map.clock;
             match map.entries.get_mut(&key) {
@@ -165,6 +203,15 @@ impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
             let key_for_cleanup = key.clone();
             match catch_unwind(AssertUnwindSafe(move || compute(key))) {
                 Ok(value) => {
+                    if let Some(plan) = &self.fault_plan {
+                        // The evict-during-compute schedule: our own
+                        // entry is still `Computing` here; a forced
+                        // sweep now must leave it resident (eviction
+                        // only removes `Ready` entries) or waiters on
+                        // our slot would recompute or hang.
+                        plan.fire(FaultPoint::CacheEvictDuringCompute);
+                        self.evict_if_over_capacity(shard);
+                    }
                     {
                         let mut st = slot.state.lock().expect("cache slot poisoned");
                         *st = SlotState::Ready(value.clone());

@@ -38,6 +38,24 @@ pub enum FaultPoint {
     /// (still inside the compute closure): a panic here throws away
     /// completed work.
     AfterHandle,
+    /// Inside `submit`, after admission succeeded but before the job
+    /// reaches the pool: a stall here widens the admitted-but-not-yet-
+    /// enqueued window that graceful shutdown must cover (the
+    /// submission-side race point). A panic here unwinds into the
+    /// *submitting* client; the server's open-submission accounting is
+    /// guard-protected, so shutdown still drains correctly.
+    BeforeEnqueue,
+    /// Inside the cache's bookkeeping phase, while a shard's map lock
+    /// is held: a stall here holds the shard lock, forcing every other
+    /// request hashing to the shard to pile up behind it (the
+    /// shard-lock-hold point). Panics here would poison the shard
+    /// mutex, so plans should only attach stalls to this point.
+    CacheLockHold,
+    /// In a cache compute owner just before it publishes its value:
+    /// the cache responds by running a forced eviction sweep at that
+    /// moment, proving in-progress (`Computing`) entries are never
+    /// evicted out from under their waiters.
+    CacheEvictDuringCompute,
 }
 
 /// What an injected fault does.

@@ -32,6 +32,18 @@
 //! baseline comparisons. See `DESIGN.md` for the deque/steal protocol
 //! and the parking discipline's no-lost-wakeup argument.
 //!
+//! Since PR 3 every job carries a [`pool::JobMeta`] (`class`,
+//! `priority`, `deadline`) threaded through the whole pipeline:
+//! requests are classified by a pluggable
+//! [`server::AdmissionPolicy`] (per-class queue budgets,
+//! lowest-class-first load shedding, deadline-aware retry hints), the
+//! pool's [`pool::Scheduler::PriorityLanes`] topology schedules by
+//! class with an anti-starvation aging rule, and nested submissions —
+//! including every [`par`] entry point called from inside a job —
+//! inherit the caller's class instead of demoting to the default. Both
+//! the server and the pool keep per-class counters so the scheduling
+//! win is measured (experiment E13), not asserted.
+//!
 //! ```
 //! use serve::server::{CourseServer, Request, ServerConfig};
 //!
@@ -55,5 +67,8 @@ pub mod server;
 
 pub use cache::Cache;
 pub use fault::{FaultPlan, FaultPoint};
-pub use pool::{Scheduler, ThreadPool};
-pub use server::{CourseServer, Request, Response, ServerConfig};
+pub use pool::{JobClass, JobMeta, Scheduler, ThreadPool};
+pub use server::{
+    AdmissionPolicy, ClassAwareAdmission, CourseServer, FcfsAdmission, Request, Response,
+    ServerConfig,
+};

@@ -361,6 +361,9 @@ mod tests {
         let data: Vec<u64> = (0..1000).collect();
         let before = pool.stats().finished;
         let _ = par_map(&pool, &data, |&x| x);
+        // Results are delivered from inside the job closure, a moment
+        // before the worker bumps its finished counter — quiesce first.
+        pool.wait_empty();
         let after = pool.stats().finished;
         assert_eq!(
             (after - before) as usize,

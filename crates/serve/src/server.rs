@@ -2,19 +2,51 @@
 //! request/response front end for the course's real workloads — grading
 //! an assembly submission (`cs31::autograde`), generating a homework
 //! variant (`cs31::homework`), and running a registered `reproduce`
-//! experiment — with a bounded admission queue (explicit backpressure,
-//! reject-with-retry-hint), result caching by request key, and graceful
-//! shutdown that drains every accepted request.
+//! experiment — with **class-aware admission** (explicit backpressure,
+//! per-class queue budgets, lowest-class-first load shedding,
+//! deadline-aware retry hints), result caching by request key, and
+//! graceful shutdown that drains every accepted request.
+//!
+//! ## Admission pipeline
+//!
+//! Every request is classified by the configured [`AdmissionPolicy`]
+//! into a [`JobMeta`] (`class`, `priority`, `deadline`) before anything
+//! else happens, and that metadata follows the job through the whole
+//! pipeline:
+//!
+//! 1. **per-class budget** — each class may occupy at most
+//!    `admit_limit(class)` of the admission queue, so bulk work can
+//!    never fill the queue wall-to-wall and lock interactive work out;
+//! 2. **global bound** — the admission semaphore caps total in-flight
+//!    work; when it is exhausted an incoming request may **displace**
+//!    (shed) the newest queued request of a *lower* class: the victim's
+//!    ticket resolves immediately with an honest `ok: false` "shed
+//!    under load" response and its queue slot transfers to the
+//!    newcomer;
+//! 3. **scheduling** — the job is submitted to the pool with its meta,
+//!    so under [`Scheduler::PriorityLanes`] grade-class work overtakes
+//!    the bulk backlog (with the pool's aging rule keeping bulk work
+//!    from starving);
+//! 4. **rejection** — when neither a slot nor a victim exists the
+//!    caller gets a [`Rejected`] whose `retry_after_ms` respects the
+//!    request's deadline: never a hint that lands after the deadline
+//!    has already passed.
+//!
+//! Per-class counters (admitted / completed / shed / rejected /
+//! deadline-missed) are kept on both the server and the pool, so the
+//! scheduling win is *measured*, not asserted — see experiment E13.
 
 use crate::cache::{Cache, CacheStats};
 use crate::fault::{FaultPlan, FaultPoint};
-use crate::pool::{PoolStats, Scheduler, ThreadPool};
+use crate::pool::{JobClass, JobMeta, PoolStats, Scheduler, ThreadPool};
 use cs31::autograde;
 use cs31::homework;
 use parallel::Semaphore;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A course workload. The enum *is* the cache key: two requests are
 /// the same work iff they compare equal.
@@ -33,7 +65,7 @@ pub enum Request {
         seed: u64,
     },
     /// Run a registered experiment (the `reproduce` ids, when wired via
-    /// [`ServerConfig::experiments`]).
+    /// [`CourseServer::with_experiments`]).
     Reproduce {
         /// Experiment id, e.g. `"e6"`.
         id: String,
@@ -43,8 +75,8 @@ pub enum Request {
 /// What the server hands back for a completed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
-    /// `false` when the handler failed (unknown id, handler panic);
-    /// the body then carries the error text.
+    /// `false` when the handler failed (unknown id, handler panic) or
+    /// the request was shed under load; the body carries the reason.
     pub ok: bool,
     /// Rendered result (grade report, problem text, experiment table).
     pub body: String,
@@ -53,19 +85,112 @@ pub struct Response {
     pub cached: bool,
 }
 
-/// Admission rejection: the queue is full. Carries an honest
-/// backpressure signal instead of blocking the client.
+/// Admission rejection. Carries an honest backpressure signal instead
+/// of blocking the client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rejected {
     /// Requests currently admitted (queued + running).
     pub in_flight: usize,
-    /// Suggested client backoff before retrying.
+    /// Suggested client backoff before retrying. Deadline-aware: never
+    /// longer than half the request's remaining deadline budget, and
+    /// `0` ("retrying is already pointless") once the deadline has
+    /// passed.
     pub retry_after_ms: u64,
+    /// The class the rejected request was classified into.
+    pub class: JobClass,
 }
 
 /// Error for [`CourseServer::submit`] after shutdown began.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShuttingDown;
+
+/// How the server classifies and budgets incoming requests.
+///
+/// The policy is consulted on every submit: [`classify`] turns the
+/// request into the [`JobMeta`] that follows it through scheduling and
+/// shedding, [`admit_limit`] bounds how much of the admission queue one
+/// class may occupy, and [`displaces`] decides which queued classes an
+/// incoming request may shed when the queue is full.
+///
+/// [`classify`]: AdmissionPolicy::classify
+/// [`admit_limit`]: AdmissionPolicy::admit_limit
+/// [`displaces`]: AdmissionPolicy::displaces
+pub trait AdmissionPolicy: Send + Sync + std::fmt::Debug {
+    /// The scheduling metadata for `req` (class, priority, deadline —
+    /// deadlines are measured from the moment of classification).
+    fn classify(&self, req: &Request) -> JobMeta;
+
+    /// Maximum in-flight requests of `class` given the total admission
+    /// capacity. Must return at least 1, or the class is unservable.
+    fn admit_limit(&self, class: JobClass, queue_capacity: usize) -> usize;
+
+    /// Whether an incoming request of class `incoming` may displace a
+    /// *queued* (not yet started) request of class `queued` when the
+    /// admission queue is full.
+    fn displaces(&self, incoming: JobClass, queued: JobClass) -> bool;
+}
+
+/// The default policy: grade lookups are interactive with a tight
+/// deadline, homework generation is batch, reproduce runs are bulk.
+///
+/// * **classify** — `Grade` → `Interactive`, priority 160, deadline
+///   +500ms; `Homework` → `Batch`, priority 128, deadline +5s;
+///   `Reproduce` → `Bulk`, priority 64, no deadline.
+/// * **admit_limit** — `Interactive` may fill the whole queue, `Batch`
+///   three quarters, `Bulk` half (each at least 1), so bulk load can
+///   never crowd out a grade request entirely.
+/// * **displaces** — strictly higher classes displace lower ones
+///   (`Interactive` sheds `Batch`/`Bulk`, `Batch` sheds `Bulk`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassAwareAdmission;
+
+impl AdmissionPolicy for ClassAwareAdmission {
+    fn classify(&self, req: &Request) -> JobMeta {
+        match req {
+            Request::Grade { .. } => JobMeta::for_class(JobClass::Interactive)
+                .with_priority(160)
+                .with_deadline(Instant::now() + Duration::from_millis(500)),
+            Request::Homework { .. } => JobMeta::for_class(JobClass::Batch)
+                .with_deadline(Instant::now() + Duration::from_secs(5)),
+            Request::Reproduce { .. } => {
+                JobMeta::for_class(JobClass::Bulk).with_priority(64)
+            }
+        }
+    }
+
+    fn admit_limit(&self, class: JobClass, queue_capacity: usize) -> usize {
+        match class {
+            JobClass::Interactive => queue_capacity,
+            JobClass::Batch => (queue_capacity * 3 / 4).max(1),
+            JobClass::Bulk => (queue_capacity / 2).max(1),
+        }
+    }
+
+    fn displaces(&self, incoming: JobClass, queued: JobClass) -> bool {
+        incoming > queued
+    }
+}
+
+/// The pre-refactor policy, kept as a measurable baseline: everything
+/// is one class (`Batch`, default meta), every class may fill the whole
+/// queue, nothing is ever displaced — admission is pure
+/// first-come-first-served.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FcfsAdmission;
+
+impl AdmissionPolicy for FcfsAdmission {
+    fn classify(&self, _req: &Request) -> JobMeta {
+        JobMeta::default()
+    }
+
+    fn admit_limit(&self, _class: JobClass, queue_capacity: usize) -> usize {
+        queue_capacity
+    }
+
+    fn displaces(&self, _incoming: JobClass, _queued: JobClass) -> bool {
+        false
+    }
+}
 
 /// Sizing knobs for [`CourseServer::new`].
 #[derive(Debug, Clone)]
@@ -79,9 +204,14 @@ pub struct ServerConfig {
     /// LRU capacity per cache shard.
     pub cache_capacity_per_shard: usize,
     /// Queue topology for the worker pool. Defaults to
-    /// [`Scheduler::WorkStealing`]; [`Scheduler::SharedFifo`] keeps the
-    /// old single-queue behavior as a measurable baseline.
+    /// [`Scheduler::WorkStealing`]; use [`Scheduler::PriorityLanes`] to
+    /// let the admission classes drive scheduling order, or
+    /// [`Scheduler::SharedFifo`] for the single-queue baseline.
     pub scheduler: Scheduler,
+    /// Request classification and budgeting. Defaults to
+    /// [`ClassAwareAdmission`]; [`FcfsAdmission`] restores the old
+    /// first-come-first-served behavior as a measurable baseline.
+    pub admission: Arc<dyn AdmissionPolicy>,
     /// Optional seeded fault injection for tests: panic/stall handlers
     /// at chosen points. `None` (the default) injects nothing.
     pub fault_plan: Option<FaultPlan>,
@@ -95,6 +225,7 @@ impl Default for ServerConfig {
             cache_shards: 8,
             cache_capacity_per_shard: 32,
             scheduler: Scheduler::default(),
+            admission: Arc::new(ClassAwareAdmission),
             fault_plan: None,
         }
     }
@@ -121,8 +252,9 @@ struct Promise {
 
 impl Ticket {
     /// Blocks until the request completes and returns its response.
-    /// Every accepted request is eventually completed — including
-    /// through pool drop — so this cannot hang on a live server.
+    /// Every accepted request is eventually completed — run, shed
+    /// under load, or drained through pool drop — so this cannot hang
+    /// on a live server.
     pub fn wait(&self) -> Response {
         let mut st = self.promise.state.lock().expect("ticket mutex poisoned");
         loop {
@@ -139,32 +271,91 @@ impl Ticket {
     }
 }
 
+/// Per-class request counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassServerStats {
+    /// The class these counters describe.
+    pub class: JobClass,
+    /// Requests of this class admitted past backpressure.
+    pub admitted: u64,
+    /// Requests of this class completed by running their workload.
+    pub completed: u64,
+    /// Requests of this class displaced (shed) by higher-class
+    /// admission while still queued; their tickets resolved with
+    /// `ok: false`.
+    pub shed: u64,
+    /// Requests of this class rejected at admission (class budget or
+    /// full queue with nothing shedable).
+    pub rejected: u64,
+    /// Jobs of this class that started past their deadline (pool
+    /// counter; includes shed no-ops claimed after the deadline).
+    pub deadline_missed: u64,
+    /// Requests of this class currently admitted but neither completed
+    /// nor shed (`admitted - completed - shed` at snapshot time).
+    pub in_flight: u64,
+}
+
 /// Aggregate request counters plus the pool and cache snapshots.
 #[derive(Debug, Clone)]
 pub struct ServerStats {
     /// Requests admitted past backpressure.
     pub accepted: u64,
-    /// Requests rejected by the admission bound.
+    /// Requests rejected by the admission bound or a class budget.
     pub rejected: u64,
-    /// Requests whose ticket has been completed.
+    /// Requests whose workload ran to completion.
     pub completed: u64,
+    /// Requests displaced while queued (tickets resolved `ok: false`).
+    pub shed: u64,
+    /// Per-class breakdown, in [`JobClass::ALL`] order (highest class
+    /// first).
+    pub per_class: Vec<ClassServerStats>,
     /// Result-cache counters.
     pub cache: CacheStats,
     /// Worker-pool counters.
     pub pool: PoolStats,
 }
 
+/// Per-class atomic counters (internal).
+#[derive(Debug, Default)]
+struct ClassLedger {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A queued-but-not-started request, registered so higher-class
+/// admission can displace it. `taken` is the single-owner latch: the
+/// worker closure and any shedder race to CAS it `false → true`;
+/// exactly one side wins and resolves the ticket.
+struct QueuedEntry {
+    taken: Arc<AtomicBool>,
+    promise: Arc<Promise>,
+}
+
 struct ServerInner {
     cache: Cache<Request, Response>,
     experiments: Vec<(String, ExperimentFn)>,
     fault_plan: Option<FaultPlan>,
-    admission: Semaphore,
+    policy: Arc<dyn AdmissionPolicy>,
+    slots: Semaphore,
     queue_capacity: usize,
     workers: usize,
     accepting: AtomicBool,
     accepted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
+    shed: AtomicU64,
+    per_class: [ClassLedger; JobClass::COUNT],
+    /// Shed registry: queued-but-not-started requests, one deque per
+    /// class band. Entries whose `taken` flag is set are dead weight,
+    /// pruned opportunistically from both ends on insert.
+    shed_queues: [Mutex<VecDeque<QueuedEntry>>; JobClass::COUNT],
+    /// Submissions currently inside `submit` past the accepting check.
+    /// Shutdown waits for this to reach zero before draining the pool,
+    /// closing the admitted-but-not-yet-enqueued window.
+    open: Mutex<usize>,
+    open_zero: Condvar,
 }
 
 impl ServerInner {
@@ -222,17 +413,148 @@ impl ServerInner {
             }
         }
     }
+
+    /// In-flight requests of the class at `band`:
+    /// admitted − completed − shed.
+    fn class_in_flight(&self, band: usize) -> u64 {
+        let ledger = &self.per_class[band];
+        ledger
+            .admitted
+            .load(Ordering::SeqCst)
+            .saturating_sub(ledger.completed.load(Ordering::SeqCst))
+            .saturating_sub(ledger.shed.load(Ordering::SeqCst))
+    }
+
+    /// Builds the deadline-aware rejection for a request with `meta`.
+    fn busy(&self, meta: &JobMeta) -> Rejected {
+        let in_flight = self.queue_capacity - self.slots.available();
+        // Rough honest base hint: one worker-sweep of the backlog.
+        let base = ((in_flight as u64).saturating_mul(2) / self.workers as u64).max(1);
+        let retry_after_ms = match meta.deadline {
+            None => base,
+            Some(deadline) => {
+                let remaining =
+                    deadline.saturating_duration_since(Instant::now()).as_millis() as u64;
+                if remaining == 0 {
+                    // The deadline already passed: retrying cannot
+                    // possibly be useful; say so honestly.
+                    0
+                } else {
+                    // Never hint a backoff that lands the retry past
+                    // the deadline: cap at half the remaining budget.
+                    base.min((remaining / 2).max(1))
+                }
+            }
+        };
+        Rejected { in_flight, retry_after_ms, class: meta.class }
+    }
+
+    /// Tries to displace the newest queued (not yet started) request of
+    /// a class below `incoming`, lowest class first. On success the
+    /// victim's ticket is resolved with an `ok: false` shed response
+    /// and its admission slot is considered transferred to the caller
+    /// (the victim's worker closure becomes a no-op that does *not*
+    /// release the semaphore).
+    fn shed_one_below(&self, incoming: JobClass) -> bool {
+        for band in (0..JobClass::COUNT).rev() {
+            let queued_class = JobClass::from_band(band);
+            if !self.policy.displaces(incoming, queued_class) {
+                continue;
+            }
+            let victim = {
+                let mut q = self.shed_queues[band].lock().expect("shed queue poisoned");
+                let mut found = None;
+                // Newest victim first: the request that has invested
+                // the least waiting is the cheapest to turn away.
+                for i in (0..q.len()).rev() {
+                    let taken = &q[i].taken;
+                    if taken
+                        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        found = q.remove(i);
+                        break;
+                    }
+                }
+                found
+            };
+            if let Some(entry) = victim {
+                // Count before publishing under the promise lock, same
+                // discipline as completion: whoever sees the resolved
+                // ticket also sees the counter.
+                {
+                    let mut st = entry.promise.state.lock().expect("ticket mutex poisoned");
+                    self.shed.fetch_add(1, Ordering::SeqCst);
+                    self.per_class[band].shed.fetch_add(1, Ordering::SeqCst);
+                    *st = Some(Response {
+                        ok: false,
+                        body: format!(
+                            "shed under load: queued {queued_class} request displaced by \
+                             {incoming} admission; retry later"
+                        ),
+                        cached: false,
+                    });
+                }
+                entry.promise.done.notify_all();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Registers a queued request as a displacement candidate, pruning
+    /// already-taken entries from both ends while the lock is held.
+    fn register_queued(&self, band: usize, entry: QueuedEntry) {
+        let mut q = self.shed_queues[band].lock().expect("shed queue poisoned");
+        while q.front().is_some_and(|e| e.taken.load(Ordering::SeqCst)) {
+            q.pop_front();
+        }
+        while q.back().is_some_and(|e| e.taken.load(Ordering::SeqCst)) {
+            q.pop_back();
+        }
+        q.push_back(entry);
+    }
+}
+
+/// Decrements the open-submission count on drop, so even a panic
+/// inside `submit` (e.g. an injected `BeforeEnqueue` fault) cannot
+/// leave shutdown waiting forever.
+struct OpenGuard<'a> {
+    inner: &'a ServerInner,
+}
+
+impl<'a> OpenGuard<'a> {
+    fn enter(inner: &'a ServerInner) -> OpenGuard<'a> {
+        *inner.open.lock().expect("open counter poisoned") += 1;
+        OpenGuard { inner }
+    }
+}
+
+impl Drop for OpenGuard<'_> {
+    fn drop(&mut self) {
+        let mut open = self.inner.open.lock().expect("open counter poisoned");
+        *open -= 1;
+        if *open == 0 {
+            self.inner.open_zero.notify_all();
+        }
+    }
 }
 
 /// The thread-pool job server for course workloads.
 ///
-/// Lifecycle: [`CourseServer::submit`] either admits a request (you get
-/// a [`Ticket`]) or rejects it with a retry hint — it never blocks the
-/// caller. Admitted requests run on the worker pool, consult the
-/// result cache (compute-once per distinct request), and complete
-/// their ticket even if the handler panics. [`CourseServer::shutdown`]
-/// stops admission and drains in-flight work; dropping the server
-/// without calling it drains too (pool drop joins after draining).
+/// Lifecycle: [`CourseServer::submit`] classifies the request via the
+/// configured [`AdmissionPolicy`] and either admits it (you get a
+/// [`Ticket`]) or rejects it with a deadline-aware retry hint — it
+/// never blocks the caller. Admitted requests run on the worker pool
+/// with their class metadata (under [`Scheduler::PriorityLanes`] that
+/// metadata decides execution order), consult the result cache
+/// (compute-once per distinct request), and complete their ticket even
+/// if the handler panics. Under pressure a higher-class submit may
+/// displace a queued lower-class request; the victim's ticket resolves
+/// with an `ok: false` shed response rather than hanging.
+/// [`CourseServer::shutdown`] stops admission and drains in-flight
+/// work; dropping the server without calling it drains too (pool drop
+/// joins after draining).
 pub struct CourseServer {
     inner: Arc<ServerInner>,
     pool: ThreadPool,
@@ -243,6 +565,7 @@ impl std::fmt::Debug for CourseServer {
         f.debug_struct("CourseServer")
             .field("workers", &self.inner.workers)
             .field("queue_capacity", &self.inner.queue_capacity)
+            .field("policy", &self.inner.policy)
             .finish()
     }
 }
@@ -263,47 +586,103 @@ impl CourseServer {
         assert!(config.workers > 0, "server needs at least one worker");
         assert!(config.queue_capacity > 0, "server needs queue capacity >= 1");
         let inner = Arc::new(ServerInner {
-            cache: Cache::new(config.cache_shards, config.cache_capacity_per_shard),
+            cache: Cache::with_fault_plan(
+                config.cache_shards,
+                config.cache_capacity_per_shard,
+                config.fault_plan.clone(),
+            ),
             experiments,
             fault_plan: config.fault_plan,
-            admission: Semaphore::new(config.queue_capacity),
+            policy: config.admission,
+            slots: Semaphore::new(config.queue_capacity),
             queue_capacity: config.queue_capacity,
             workers: config.workers,
             accepting: AtomicBool::new(true),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            per_class: std::array::from_fn(|_| ClassLedger::default()),
+            shed_queues: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
+            open: Mutex::new(0),
+            open_zero: Condvar::new(),
         });
         CourseServer { inner, pool: ThreadPool::with_scheduler(config.workers, config.scheduler) }
     }
 
-    /// Submits a request without blocking.
+    /// Submits a request without blocking, classified by the server's
+    /// [`AdmissionPolicy`].
     ///
-    /// * `Ok(ticket)` — admitted; the ticket resolves exactly once.
-    /// * `Err(SubmitError::Busy(_))` — the admission queue is full;
-    ///   retry after the hinted backoff.
+    /// * `Ok(ticket)` — admitted; the ticket resolves exactly once
+    ///   (with the computed response, or an `ok: false` shed response
+    ///   if a higher-class request displaced it while queued).
+    /// * `Err(SubmitError::Busy(_))` — class budget or queue full with
+    ///   nothing shedable; retry after the hinted backoff.
     /// * `Err(SubmitError::ShuttingDown(_))` — shutdown has begun.
     pub fn submit(&self, req: Request) -> Result<Ticket, SubmitError> {
-        if !self.inner.accepting.load(Ordering::SeqCst) {
+        let meta = self.inner.policy.classify(&req);
+        self.submit_with_meta(meta, req)
+    }
+
+    /// Like [`CourseServer::submit`], but with explicit scheduling
+    /// metadata instead of the policy's classification (the class still
+    /// counts against its per-class budget).
+    pub fn submit_with_meta(&self, meta: JobMeta, req: Request) -> Result<Ticket, SubmitError> {
+        let inner = &self.inner;
+        // Count this submission as "open" for the whole admission
+        // window, so shutdown cannot slip between our accepting check
+        // and the job reaching the pool.
+        let _open = OpenGuard::enter(inner);
+        if !inner.accepting.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown(ShuttingDown));
         }
-        if !self.inner.admission.try_acquire() {
-            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
-            let in_flight = self.inner.queue_capacity - self.inner.admission.available();
-            // Rough honest hint: one worker-sweep of the backlog.
-            let retry_after_ms =
-                ((in_flight as u64).saturating_mul(2) / self.inner.workers as u64).max(1);
-            return Err(SubmitError::Busy(Rejected { in_flight, retry_after_ms }));
+        let band = meta.class.band();
+
+        // Per-class budget: one class may not occupy the whole queue.
+        let limit = inner.policy.admit_limit(meta.class, inner.queue_capacity) as u64;
+        if inner.class_in_flight(band) >= limit {
+            inner.rejected.fetch_add(1, Ordering::Relaxed);
+            inner.per_class[band].rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Busy(inner.busy(&meta)));
         }
-        self.inner.accepted.fetch_add(1, Ordering::Relaxed);
+
+        // Global bound: take a free slot, or displace a queued
+        // lower-class request and inherit its slot.
+        if !inner.slots.try_acquire() && !inner.shed_one_below(meta.class) {
+            inner.rejected.fetch_add(1, Ordering::Relaxed);
+            inner.per_class[band].rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Busy(inner.busy(&meta)));
+        }
+
+        inner.accepted.fetch_add(1, Ordering::SeqCst);
+        inner.per_class[band].admitted.fetch_add(1, Ordering::SeqCst);
 
         let promise = Arc::new(Promise { state: Mutex::new(None), done: Condvar::new() });
         let ticket = Ticket { promise: Arc::clone(&promise) };
-        let inner = Arc::clone(&self.inner);
-        let submit_result = self.pool.execute(move || {
+        let taken = Arc::new(AtomicBool::new(false));
+        inner.register_queued(
+            band,
+            QueuedEntry { taken: Arc::clone(&taken), promise: Arc::clone(&promise) },
+        );
+        if let Some(plan) = &inner.fault_plan {
+            plan.fire(FaultPoint::BeforeEnqueue);
+        }
+
+        let job_inner = Arc::clone(&self.inner);
+        let job_taken = Arc::clone(&taken);
+        let submit_result = self.pool.execute_with_meta(meta, move || {
+            // Lose the race against a shedder and there is nothing to
+            // do: the ticket is already resolved and our admission slot
+            // was transferred to the displacing request.
+            if job_taken
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                return;
+            }
             let ran_here = Arc::new(AtomicBool::new(false));
             let ran_flag = Arc::clone(&ran_here);
-            let inner_for_job = Arc::clone(&inner);
+            let inner_for_job = Arc::clone(&job_inner);
             let req_for_job = req.clone();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 inner_for_job.cache.get_or_insert_with(req_for_job, |r| {
@@ -326,43 +705,83 @@ impl CourseServer {
                 let mut st = promise.state.lock().expect("ticket mutex poisoned");
                 // Count before publishing under the same lock: whoever
                 // sees the resolved ticket also sees the counter.
-                inner.completed.fetch_add(1, Ordering::Relaxed);
+                job_inner.completed.fetch_add(1, Ordering::SeqCst);
+                job_inner.per_class[band].completed.fetch_add(1, Ordering::SeqCst);
                 *st = Some(response);
             }
             promise.done.notify_all();
-            inner.admission.release();
+            job_inner.slots.release();
         });
         match submit_result {
             Ok(()) => Ok(ticket),
             Err(_) => {
-                // The pool refused (shutdown raced us): undo admission
-                // and tell the caller honestly.
-                self.inner.accepted.fetch_sub(1, Ordering::Relaxed);
-                self.inner.admission.release();
-                Err(SubmitError::ShuttingDown(ShuttingDown))
+                // The pool refused (it is being dropped). If we still
+                // own the entry, undo the admission honestly; if a
+                // shedder beat us to it, the ticket already resolved
+                // with a shed response — hand it out as accepted.
+                if taken
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    inner.accepted.fetch_sub(1, Ordering::SeqCst);
+                    inner.per_class[band].admitted.fetch_sub(1, Ordering::SeqCst);
+                    inner.slots.release();
+                    Err(SubmitError::ShuttingDown(ShuttingDown))
+                } else {
+                    Ok(ticket)
+                }
             }
         }
     }
 
-    /// Stops admission, then blocks until every accepted request has
-    /// completed its ticket. The server can still report [`stats`] and
-    /// resolve outstanding tickets afterwards; new submissions fail
-    /// with [`SubmitError::ShuttingDown`].
+    /// Stops admission, waits out submissions already in flight through
+    /// `submit` (the admitted-but-not-yet-enqueued window), then blocks
+    /// until every accepted request has completed its ticket. The
+    /// server can still report [`stats`] and resolve outstanding
+    /// tickets afterwards; new submissions fail with
+    /// [`SubmitError::ShuttingDown`].
     ///
     /// [`stats`]: CourseServer::stats
     pub fn shutdown(&self) {
         self.inner.accepting.store(false, Ordering::SeqCst);
+        let mut open = self.inner.open.lock().expect("open counter poisoned");
+        while *open > 0 {
+            open = self.inner.open_zero.wait(open).expect("open counter poisoned");
+        }
+        drop(open);
         self.pool.wait_empty();
     }
 
     /// A snapshot of request, cache, and pool counters.
     pub fn stats(&self) -> ServerStats {
+        let pool = self.pool.stats();
+        let per_class: Vec<ClassServerStats> = JobClass::ALL
+            .iter()
+            .map(|&class| {
+                let band = class.band();
+                let ledger = &self.inner.per_class[band];
+                let admitted = ledger.admitted.load(Ordering::SeqCst);
+                let completed = ledger.completed.load(Ordering::SeqCst);
+                let shed = ledger.shed.load(Ordering::SeqCst);
+                ClassServerStats {
+                    class,
+                    admitted,
+                    completed,
+                    shed,
+                    rejected: ledger.rejected.load(Ordering::SeqCst),
+                    deadline_missed: pool.per_class[band].deadline_missed,
+                    in_flight: admitted.saturating_sub(completed).saturating_sub(shed),
+                }
+            })
+            .collect();
         ServerStats {
-            accepted: self.inner.accepted.load(Ordering::Relaxed),
-            rejected: self.inner.rejected.load(Ordering::Relaxed),
-            completed: self.inner.completed.load(Ordering::Relaxed),
+            accepted: self.inner.accepted.load(Ordering::SeqCst),
+            rejected: self.inner.rejected.load(Ordering::SeqCst),
+            completed: self.inner.completed.load(Ordering::SeqCst),
+            shed: self.inner.shed.load(Ordering::SeqCst),
+            per_class,
             cache: self.inner.cache.stats(),
-            pool: self.pool.stats(),
+            pool,
         }
     }
 }
@@ -370,7 +789,8 @@ impl CourseServer {
 /// Why [`CourseServer::submit`] declined a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
-    /// Admission queue full — backpressure, retry later.
+    /// Admission queue or class budget full — backpressure, retry
+    /// later (or give up, if `retry_after_ms` is 0).
     Busy(Rejected),
     /// The server is shutting down; do not retry.
     ShuttingDown(ShuttingDown),
@@ -452,8 +872,15 @@ mod tests {
         // Two distinct slow requests fill the 1 worker + 1 queue slot;
         // admission is only released on completion, so the third submit
         // lands inside the 100ms compute window and must be rejected.
+        // FCFS admission isolates the global bound from class budgets
+        // (under the class-aware default, Bulk would cap at queue/2).
         let server = CourseServer::with_experiments(
-            ServerConfig { workers: 1, queue_capacity: 2, ..ServerConfig::default() },
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 2,
+                admission: Arc::new(FcfsAdmission),
+                ..ServerConfig::default()
+            },
             vec![
                 ("slow-a".to_string(), slow_experiment as ExperimentFn),
                 ("slow-b".to_string(), slow_experiment as ExperimentFn),
@@ -476,6 +903,147 @@ mod tests {
         assert_eq!(server.stats().rejected, 1);
         for t in tickets {
             assert!(t.wait().ok);
+        }
+    }
+
+    #[test]
+    fn class_budget_rejects_bulk_before_the_queue_is_full() {
+        // Class-aware admission: Bulk may hold at most half of an
+        // 8-slot queue. The 5th bulk submit must bounce even though the
+        // queue itself has room — and its rejection must say Bulk.
+        let server = CourseServer::with_experiments(
+            ServerConfig { workers: 1, queue_capacity: 8, ..ServerConfig::default() },
+            vec![("slow-a".to_string(), slow_experiment as ExperimentFn)],
+        );
+        let _tickets: Vec<Ticket> = (0..4)
+            .map(|_| {
+                server
+                    .submit(Request::Reproduce { id: "slow-a".into() })
+                    .expect("within the bulk budget")
+            })
+            .collect();
+        let rejected = match server.submit(Request::Reproduce { id: "slow-a".into() }) {
+            Err(SubmitError::Busy(r)) => r,
+            other => panic!("expected Busy from the class budget, got {other:?}"),
+        };
+        assert_eq!(rejected.class, JobClass::Bulk);
+        // An interactive request still gets in: the queue has slots.
+        let grade = server
+            .submit(Request::Grade { submission: GOOD_SUBMISSION.to_string() })
+            .expect("interactive admission unaffected by the bulk budget");
+        assert!(grade.wait().ok);
+        let st = server.stats();
+        assert_eq!(st.per_class[JobClass::Bulk.band()].rejected, 1);
+        assert_eq!(st.per_class[JobClass::Interactive.band()].rejected, 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_the_newest_bulk_request_for_interactive_work() {
+        // 1 worker, 4 slots: a running bulk job, a queued bulk job
+        // (bulk budget = 4/2 = 2), and two queued batch jobs fill the
+        // queue. An interactive submit must displace the *queued* bulk
+        // request: its ticket resolves ok=false "shed", the grade is
+        // admitted without any slot becoming free, and the counters
+        // record the displacement per class.
+        let server = CourseServer::with_experiments(
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 4,
+                scheduler: Scheduler::PriorityLanes,
+                ..ServerConfig::default()
+            },
+            vec![
+                ("slow-a".to_string(), slow_experiment as ExperimentFn),
+                ("slow-b".to_string(), slow_experiment as ExperimentFn),
+            ],
+        );
+        let running = server.submit(Request::Reproduce { id: "slow-a".into() }).unwrap();
+        // Give the worker time to claim slow-a so slow-b stays queued.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let queued = server.submit(Request::Reproduce { id: "slow-b".into() }).unwrap();
+        let batches: Vec<Ticket> = (0..2)
+            .map(|seed| {
+                server
+                    .submit(Request::Homework { generator: "fork_puzzle".into(), seed })
+                    .expect("batch work fits its budget")
+            })
+            .collect();
+        let grade = server
+            .submit(Request::Grade { submission: GOOD_SUBMISSION.to_string() })
+            .expect("interactive work displaces queued bulk work");
+        let shed_resp = queued.wait();
+        assert!(!shed_resp.ok, "displaced ticket must resolve ok=false");
+        assert!(shed_resp.body.contains("shed under load"), "{}", shed_resp.body);
+        assert!(grade.wait().ok);
+        assert!(running.wait().ok, "the running bulk request is never shed");
+        for t in batches {
+            assert!(t.wait().ok, "batch work is not collateral damage");
+        }
+        server.shutdown();
+        let st = server.stats();
+        assert_eq!(st.shed, 1);
+        let bulk = st.per_class[JobClass::Bulk.band()];
+        assert_eq!(bulk.shed, 1);
+        assert_eq!(bulk.admitted, 2);
+        assert_eq!(bulk.completed, 1);
+        assert_eq!(bulk.in_flight, 0);
+        let interactive = st.per_class[JobClass::Interactive.band()];
+        assert_eq!(interactive.admitted, 1);
+        assert_eq!(interactive.completed, 1);
+        // Global ledger balances: accepted = completed + shed.
+        assert_eq!(st.accepted, st.completed + st.shed);
+    }
+
+    #[test]
+    fn rejection_hints_respect_the_request_deadline() {
+        // Fill the queue with interactive work (nothing interactive can
+        // shed), then submit more: the hint for a deadline-carrying
+        // class must never exceed half its remaining deadline budget.
+        let server = CourseServer::with_experiments(
+            ServerConfig { workers: 1, queue_capacity: 2, ..ServerConfig::default() },
+            Vec::new(),
+        );
+        // Two distinct slow grades: invalid source still grades (0%),
+        // so use the fault-free slow path via homework instead. Grade
+        // requests are fast; hold the queue with *interactive-class*
+        // metadata on slow reproduce handlers.
+        let slow_meta = JobMeta::for_class(JobClass::Interactive);
+        let _a = server
+            .submit_with_meta(slow_meta, Request::Homework {
+                generator: "binary_arithmetic".into(),
+                seed: 1,
+            })
+            .unwrap();
+        let _b = server
+            .submit_with_meta(slow_meta, Request::Homework {
+                generator: "binary_arithmetic".into(),
+                seed: 2,
+            })
+            .unwrap();
+        // Deadline 40ms out: the hint must be <= 20ms even though the
+        // base backlog hint could be larger, and a passed deadline
+        // hints 0.
+        let tight = JobMeta::for_class(JobClass::Interactive)
+            .with_deadline(Instant::now() + Duration::from_millis(40));
+        match server.submit_with_meta(tight, Request::Grade {
+            submission: GOOD_SUBMISSION.to_string(),
+        }) {
+            Err(SubmitError::Busy(r)) => {
+                assert!(r.retry_after_ms <= 20, "hint {} ignores deadline", r.retry_after_ms);
+            }
+            Ok(_) => {} // queue drained first on a fast machine: fine
+            other => panic!("unexpected: {other:?}"),
+        }
+        let expired = JobMeta::for_class(JobClass::Interactive)
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        match server.submit_with_meta(expired, Request::Grade {
+            submission: GOOD_SUBMISSION.to_string(),
+        }) {
+            Err(SubmitError::Busy(r)) => {
+                assert_eq!(r.retry_after_ms, 0, "passed deadline must hint 0");
+            }
+            Ok(_) => {}
+            other => panic!("unexpected: {other:?}"),
         }
     }
 
@@ -528,5 +1096,28 @@ mod tests {
             .wait();
         assert!(ok.ok);
         assert_eq!(server.stats().pool.panicked, 0, "panic was contained before the pool");
+    }
+
+    #[test]
+    fn requests_reach_the_pool_with_their_admission_class() {
+        // The meta assigned at admission must be the meta the pool
+        // schedules and counts with — the whole point of the refactor.
+        let server = CourseServer::new(ServerConfig {
+            scheduler: Scheduler::PriorityLanes,
+            ..ServerConfig::default()
+        });
+        server
+            .submit(Request::Grade { submission: GOOD_SUBMISSION.to_string() })
+            .unwrap()
+            .wait();
+        server
+            .submit(Request::Homework { generator: "fork_puzzle".into(), seed: 3 })
+            .unwrap()
+            .wait();
+        server.shutdown();
+        let pool = server.stats().pool;
+        assert_eq!(pool.per_class[JobClass::Interactive.band()].submitted, 1);
+        assert_eq!(pool.per_class[JobClass::Batch.band()].submitted, 1);
+        assert_eq!(pool.per_class[JobClass::Bulk.band()].submitted, 0);
     }
 }

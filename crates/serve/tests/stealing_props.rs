@@ -1,17 +1,20 @@
 //! Property tests: the pool-backed `serve::par` entry points agree
 //! with serial evaluation and with the course's scoped `parallel::par`
-//! functions, for random sizes, worker counts, grains, and both queue
-//! topologies. Scheduling must only reorder work, never change
-//! answers.
+//! functions, for random sizes, worker counts, grains, and all three
+//! queue topologies (shared FIFO, work stealing, priority lanes).
+//! Scheduling must only reorder work, never change answers — and under
+//! priority lanes the aging rule must keep low-class work from
+//! starving no matter the mix.
 
 use proptest::prelude::*;
-use serve::pool::{Scheduler, ThreadPool};
+use serve::pool::{JobClass, JobMeta, Scheduler, ThreadPool};
 use serve::{par, Cache};
 
-fn pools(workers: usize) -> [ThreadPool; 2] {
+fn pools(workers: usize) -> [ThreadPool; 3] {
     [
         ThreadPool::with_scheduler(workers, Scheduler::SharedFifo),
         ThreadPool::with_scheduler(workers, Scheduler::WorkStealing),
+        ThreadPool::with_scheduler(workers, Scheduler::PriorityLanes),
     ]
 }
 
@@ -91,5 +94,94 @@ proptest! {
         let stats = cache.stats();
         prop_assert_eq!(stats.misses as usize,
                         keys.iter().collect::<std::collections::HashSet<_>>().len());
+    }
+
+    #[test]
+    fn prop_par_under_with_meta_keeps_parity_and_inherits_the_class(
+        data in proptest::collection::vec(any::<i32>(), 1..200),
+        workers in 1usize..5,
+        band in 0usize..3,
+    ) {
+        // A par_map wrapped in with_meta must (a) still agree with
+        // serial and (b) submit every chunk job in the caller's class,
+        // not the Batch default — the serve::par class-propagation
+        // contract.
+        let class = JobClass::from_band(band);
+        let serial: Vec<i64> = data.iter().map(|&x| i64::from(x) * 11 + 5).collect();
+        let pool = ThreadPool::with_scheduler(workers, Scheduler::PriorityLanes);
+        let mapped = serve::pool::with_meta(JobMeta::for_class(class), || {
+            par::par_map(&pool, &data, |&x| i64::from(x) * 11 + 5)
+        });
+        prop_assert_eq!(&mapped, &serial);
+        pool.wait_empty();
+        let stats = pool.stats();
+        prop_assert!(stats.per_class[band].submitted > 0,
+                     "no chunk landed in the caller's class {}", class);
+        for other in 0..JobClass::COUNT {
+            if other != band {
+                prop_assert_eq!(stats.per_class[other].submitted, 0,
+                                "a chunk was demoted out of class {}", class);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_aging_never_starves_bulk_under_sustained_interactive_load(
+        n_bulk in 1usize..6,
+        bulk_priority in 0u8..255,
+    ) {
+        // The no-starvation property: every admitted low-class job
+        // completes while high-class work keeps arriving, within a
+        // bounded number of interactive feeds (the AGING_PERIOD bound,
+        // with generous slack for scheduling noise). Without aging this
+        // test would spin to its feed cap and fail.
+        use std::sync::Arc;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::Duration;
+
+        let pool = ThreadPool::with_scheduler(1, Scheduler::PriorityLanes);
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        {
+            let gate = Arc::clone(&gate);
+            pool.execute(move || {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }).unwrap();
+        }
+        let bulk_done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..n_bulk {
+            let bulk_done = Arc::clone(&bulk_done);
+            pool.execute_with_meta(
+                JobMeta::for_class(JobClass::Bulk).with_priority(bulk_priority),
+                move || { bulk_done.fetch_add(1, Ordering::SeqCst); },
+            ).unwrap();
+        }
+        // Prime the interactive lane so it is never empty early on.
+        for _ in 0..32 {
+            pool.execute_with_meta(JobMeta::for_class(JobClass::Interactive), || {
+                std::thread::sleep(Duration::from_micros(30));
+            }).unwrap();
+        }
+        gate.store(true, Ordering::SeqCst);
+        // Feed at roughly the worker's consumption rate (the throttle
+        // keeps the backlog bounded; an unthrottled feeder outruns a
+        // 30us-per-job worker a thousandfold and only measures its own
+        // speed). n_bulk aging grants need ~n_bulk * AGING_PERIOD
+        // claims ~ a few ms; the deadline is pure slack.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut fed = 0usize;
+        while bulk_done.load(Ordering::SeqCst) < n_bulk {
+            pool.execute_with_meta(JobMeta::for_class(JobClass::Interactive), || {
+                std::thread::sleep(Duration::from_micros(30));
+            }).unwrap();
+            fed += 1;
+            std::thread::sleep(Duration::from_micros(20));
+            prop_assert!(std::time::Instant::now() < deadline,
+                         "bulk starved: {}/{} done after {} interactive feeds",
+                         bulk_done.load(Ordering::SeqCst), n_bulk, fed);
+        }
+        pool.wait_empty();
+        prop_assert_eq!(bulk_done.load(Ordering::SeqCst), n_bulk);
     }
 }

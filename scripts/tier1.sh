@@ -8,4 +8,10 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 
+# E13 smoke: the priority pipeline end to end — reproduce runner plus
+# the live server under class-aware admission (serve_demo asserts its
+# per-class ledgers balance after drain).
+cargo run --release -q -p bench --bin reproduce -- e13 > /dev/null
+cargo run --release -q -p bench --bin serve_demo -- 16 48 priority > /dev/null
+
 echo "tier1: all green"
