@@ -173,8 +173,16 @@ impl Debugger {
             .position(|(a, _)| *a == self.machine.eip)
             .unwrap_or(0);
         for (addr, instr) in self.program.listing.iter().skip(start).take(count) {
-            let marker = if *addr == self.machine.eip { "=>" } else { "  " };
-            let bp = if self.breakpoints.contains(addr) { "*" } else { " " };
+            let marker = if *addr == self.machine.eip {
+                "=>"
+            } else {
+                "  "
+            };
+            let bp = if self.breakpoints.contains(addr) {
+                "*"
+            } else {
+                " "
+            };
             out.push_str(&format!("{marker}{bp}{addr:#06x}:  {}\n", instr.att()));
         }
         out

@@ -151,7 +151,10 @@ impl Machine {
     pub fn read_u32(&self, addr: u32) -> Result<u32, MachineError> {
         let a = addr as usize;
         if a + 4 > MEM_SIZE {
-            return Err(MachineError::Segfault { addr, eip: self.eip });
+            return Err(MachineError::Segfault {
+                addr,
+                eip: self.eip,
+            });
         }
         Ok(u32::from_le_bytes([
             self.mem[a],
@@ -165,7 +168,10 @@ impl Machine {
     pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), MachineError> {
         let a = addr as usize;
         if a + 4 > MEM_SIZE {
-            return Err(MachineError::Segfault { addr, eip: self.eip });
+            return Err(MachineError::Segfault {
+                addr,
+                eip: self.eip,
+            });
         }
         self.mem[a..a + 4].copy_from_slice(&v.to_le_bytes());
         Ok(())
@@ -176,7 +182,10 @@ impl Machine {
         self.mem
             .get(addr as usize)
             .copied()
-            .ok_or(MachineError::Segfault { addr, eip: self.eip })
+            .ok_or(MachineError::Segfault {
+                addr,
+                eip: self.eip,
+            })
     }
 
     /// Computes a memory operand's effective address:
@@ -272,10 +281,12 @@ impl Machine {
             Op::Lea => {
                 let ea = match instr.src {
                     Some(Operand::Mem(m)) => self.effective_address(&m),
-                    _ => return Err(MachineError::IllegalInstruction(
-                        DecodeError::BadOperandKind(0, at as usize),
-                        at,
-                    )),
+                    _ => {
+                        return Err(MachineError::IllegalInstruction(
+                            DecodeError::BadOperandKind(0, at as usize),
+                            at,
+                        ))
+                    }
                 };
                 self.write_operand(&instr.dst.expect("lea has dst"), ea)?;
             }
@@ -697,8 +708,8 @@ mod tests {
         let mut m2 = Machine::new();
         m2.load(&prog2).unwrap();
         m2.set_reg(Reg::Eax, target); // from the first program's symbols? use own:
-        // jump straight to hlt in prog2: reuse 'never'+skip... simplest:
-        // jump to the hlt at the end of 'never' block:
+                                      // jump straight to hlt in prog2: reuse 'never'+skip... simplest:
+                                      // jump to the hlt at the end of 'never' block:
         let hlt_addr = prog2.listing.last().unwrap().0;
         m2.set_reg(Reg::Eax, hlt_addr);
         m2.run(100).unwrap();

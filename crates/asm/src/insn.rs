@@ -33,7 +33,16 @@ pub enum Reg {
 impl Reg {
     /// All registers in encoding order.
     pub fn all() -> [Reg; 8] {
-        [Reg::Eax, Reg::Ecx, Reg::Edx, Reg::Ebx, Reg::Esp, Reg::Ebp, Reg::Esi, Reg::Edi]
+        [
+            Reg::Eax,
+            Reg::Ecx,
+            Reg::Edx,
+            Reg::Ebx,
+            Reg::Esp,
+            Reg::Ebp,
+            Reg::Esi,
+            Reg::Edi,
+        ]
     }
 
     /// Encoding index 0..=7.
@@ -62,9 +71,7 @@ impl Reg {
 
     /// Parses `eax` (without sigil).
     pub fn parse(name: &str) -> Option<Reg> {
-        Reg::all()
-            .into_iter()
-            .find(|r| &r.att_name()[1..] == name)
+        Reg::all().into_iter().find(|r| &r.att_name()[1..] == name)
     }
 }
 
@@ -85,12 +92,22 @@ pub struct Mem {
 impl Mem {
     /// A bare `disp(%base)` operand.
     pub fn base_disp(base: Reg, disp: i32) -> Mem {
-        Mem { disp, base: Some(base), index: None, scale: 1 }
+        Mem {
+            disp,
+            base: Some(base),
+            index: None,
+            scale: 1,
+        }
     }
 
     /// An absolute address.
     pub fn absolute(addr: i32) -> Mem {
-        Mem { disp: addr, base: None, index: None, scale: 1 }
+        Mem {
+            disp: addr,
+            base: None,
+            index: None,
+            scale: 1,
+        }
     }
 
     /// AT&T rendering, omitting absent parts: `8(%ebp)`, `(%eax,%ecx,4)`.
@@ -390,17 +407,32 @@ pub struct Instr {
 impl Instr {
     /// Zero-operand instruction.
     pub fn zero(op: Op) -> Instr {
-        Instr { op, cond: None, src: None, dst: None }
+        Instr {
+            op,
+            cond: None,
+            src: None,
+            dst: None,
+        }
     }
 
     /// One-operand instruction (the operand is `dst`).
     pub fn one(op: Op, dst: Operand) -> Instr {
-        Instr { op, cond: None, src: None, dst: Some(dst) }
+        Instr {
+            op,
+            cond: None,
+            src: None,
+            dst: Some(dst),
+        }
     }
 
     /// Two-operand instruction in AT&T order.
     pub fn two(op: Op, src: Operand, dst: Operand) -> Instr {
-        Instr { op, cond: None, src: Some(src), dst: Some(dst) }
+        Instr {
+            op,
+            cond: None,
+            src: Some(src),
+            dst: Some(dst),
+        }
     }
 
     /// Conditional jump to an absolute target.
@@ -446,8 +478,16 @@ impl Instr {
     fn operand_count(op: Op) -> usize {
         match op {
             Op::Nop | Op::Hlt | Op::Ret | Op::Leave => 0,
-            Op::Push | Op::Pop | Op::Inc | Op::Dec | Op::Neg | Op::Not | Op::Jmp | Op::Jcc
-            | Op::Call | Op::Out => 1,
+            Op::Push
+            | Op::Pop
+            | Op::Inc
+            | Op::Dec
+            | Op::Neg
+            | Op::Not
+            | Op::Jmp
+            | Op::Jcc
+            | Op::Call
+            | Op::Out => 1,
             _ => 2,
         }
     }
@@ -593,21 +633,41 @@ mod tests {
         assert_eq!(Mem::base_disp(Reg::Ebp, 8).att(), "8(%ebp)");
         assert_eq!(Mem::base_disp(Reg::Eax, 0).att(), "(%eax)");
         assert_eq!(Mem::absolute(0x100).att(), "256");
-        let m = Mem { disp: -4, base: Some(Reg::Ebp), index: Some(Reg::Ecx), scale: 4 };
+        let m = Mem {
+            disp: -4,
+            base: Some(Reg::Ebp),
+            index: Some(Reg::Ecx),
+            scale: 4,
+        };
         assert_eq!(m.att(), "-4(%ebp,%ecx,4)");
     }
 
     #[test]
     fn cond_formulas() {
         use bits::Flags;
-        let eq = Flags { zf: true, sf: false, cf: false, of: false };
+        let eq = Flags {
+            zf: true,
+            sf: false,
+            cf: false,
+            of: false,
+        };
         assert!(Cond::E.eval(eq) && Cond::Le.eval(eq) && Cond::Ge.eval(eq));
         assert!(!Cond::L.eval(eq) && !Cond::G.eval(eq) && !Cond::Ne.eval(eq));
         // signed less: SF != OF
-        let lt = Flags { zf: false, sf: true, cf: true, of: false };
+        let lt = Flags {
+            zf: false,
+            sf: true,
+            cf: true,
+            of: false,
+        };
         assert!(Cond::L.eval(lt) && Cond::B.eval(lt));
         // signed less via overflow: 3 - (-128)ish cases where SF=0, OF=1
-        let lt_of = Flags { zf: false, sf: false, cf: false, of: true };
+        let lt_of = Flags {
+            zf: false,
+            sf: false,
+            cf: false,
+            of: true,
+        };
         assert!(Cond::L.eval(lt_of) && !Cond::B.eval(lt_of));
     }
 
@@ -626,7 +686,12 @@ mod tests {
             ),
             Instr::two(
                 Op::Lea,
-                Operand::Mem(Mem { disp: 0, base: Some(Reg::Eax), index: Some(Reg::Ecx), scale: 4 }),
+                Operand::Mem(Mem {
+                    disp: 0,
+                    base: Some(Reg::Eax),
+                    index: Some(Reg::Ecx),
+                    scale: 4,
+                }),
                 Operand::Reg(Reg::Edx),
             ),
             Instr::one(Op::Push, Operand::Reg(Reg::Ebp)),
@@ -652,7 +717,10 @@ mod tests {
 
     #[test]
     fn decode_errors() {
-        assert_eq!(Instr::decode(&[], 0).unwrap_err(), DecodeError::Truncated(0));
+        assert_eq!(
+            Instr::decode(&[], 0).unwrap_err(),
+            DecodeError::Truncated(0)
+        );
         assert_eq!(
             Instr::decode(&[0xEE], 0).unwrap_err(),
             DecodeError::BadOpcode(0xEE, 0)
@@ -673,7 +741,10 @@ mod tests {
         let mut b = vec![Op::Push.opcode(), 0x03];
         b.extend_from_slice(&0i32.to_le_bytes());
         b.extend_from_slice(&[0xFF, 0xFF, 3]);
-        assert_eq!(Instr::decode(&b, 0).unwrap_err(), DecodeError::BadScale(3, 0));
+        assert_eq!(
+            Instr::decode(&b, 0).unwrap_err(),
+            DecodeError::BadScale(3, 0)
+        );
     }
 
     #[test]

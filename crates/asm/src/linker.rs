@@ -55,7 +55,11 @@ impl std::fmt::Display for LinkError {
                 write!(f, "undefined reference to {symbol:?} in unit {from_unit:?}")
             }
             LinkError::Duplicate { symbol, units } => {
-                write!(f, "duplicate symbol {symbol:?} in units {:?} and {:?}", units.0, units.1)
+                write!(
+                    f,
+                    "duplicate symbol {symbol:?} in units {:?} and {:?}",
+                    units.0, units.1
+                )
             }
             LinkError::NoMain => write!(f, "no unit defines 'main'"),
         }
@@ -96,7 +100,9 @@ pub fn assemble_unit(name: &str, source: &str) -> Result<ObjectUnit, AsmError> {
                     .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
                     && !t.is_empty()
                     && !t.starts_with(|c: char| c.is_ascii_digit());
-                if is_ident && !defined.contains(&t.to_string()) && !externs.contains(&t.to_string())
+                if is_ident
+                    && !defined.contains(&t.to_string())
+                    && !externs.contains(&t.to_string())
                 {
                     externs.push(t.to_string());
                 }
@@ -133,7 +139,11 @@ pub fn assemble_unit(name: &str, source: &str) -> Result<ObjectUnit, AsmError> {
         if externs.contains(sym) {
             stub_addresses.push((*addr, sym.clone()));
         } else {
-            let idx = addr_to_idx.get(addr).copied().unwrap_or(end_idx).min(end_idx);
+            let idx = addr_to_idx
+                .get(addr)
+                .copied()
+                .unwrap_or(end_idx)
+                .min(end_idx);
             defines.insert(sym.clone(), idx);
         }
     }
@@ -143,16 +153,19 @@ pub fn assemble_unit(name: &str, source: &str) -> Result<ObjectUnit, AsmError> {
     for (idx, instr) in instrs.iter().enumerate() {
         if matches!(instr.op, Op::Jmp | Op::Jcc | Op::Call) {
             if let Some(Operand::Imm(t)) = instr.dst {
-                if let Some((_, sym)) =
-                    stub_addresses.iter().find(|(a, _)| *a == t as u32)
-                {
+                if let Some((_, sym)) = stub_addresses.iter().find(|(a, _)| *a == t as u32) {
                     relocations.insert(idx, sym.clone());
                 }
             }
         }
     }
 
-    Ok(ObjectUnit { name: name.to_string(), instrs, defines, relocations })
+    Ok(ObjectUnit {
+        name: name.to_string(),
+        instrs,
+        defines,
+        relocations,
+    })
 }
 
 /// Links units into a runnable program. Units are laid out in argument
@@ -195,10 +208,7 @@ pub fn link(units: &[ObjectUnit]) -> Result<Program, LinkError> {
     let mut listing = Vec::new();
     let mut symbols = HashMap::new();
     for (sym, &(ui, idx)) in &global {
-        let a = unit_instr_addrs[ui]
-            .get(idx)
-            .copied()
-            .unwrap_or(addr); // end-of-unit labels
+        let a = unit_instr_addrs[ui].get(idx).copied().unwrap_or(addr); // end-of-unit labels
         symbols.insert(sym.clone(), a);
     }
     for (ui, u) in units.iter().enumerate() {
@@ -212,8 +222,7 @@ pub fn link(units: &[ObjectUnit]) -> Result<Program, LinkError> {
                             symbol: sym.clone(),
                             from_unit: u.name.clone(),
                         })?;
-                    patched.dst =
-                        Some(Operand::Imm(unit_instr_addrs[def_ui][def_idx] as i32));
+                    patched.dst = Some(Operand::Imm(unit_instr_addrs[def_ui][def_idx] as i32));
                 } else if let Some(Operand::Imm(old)) = instr.dst {
                     // Local reference: translate unit-local address to the
                     // final layout (old was CODE_BASE-relative per unit).
@@ -245,7 +254,12 @@ pub fn link(units: &[ObjectUnit]) -> Result<Program, LinkError> {
     }
 
     let entry = symbols["main"];
-    Ok(Program { bytes, symbols, listing, entry })
+    Ok(Program {
+        bytes,
+        symbols,
+        listing,
+        entry,
+    })
 }
 
 #[cfg(test)]
@@ -338,11 +352,7 @@ mod tests {
     fn local_branches_survive_relocation() {
         // A unit with an internal loop placed *after* another unit: its
         // local jump targets must be rebased correctly.
-        let filler = assemble_unit(
-            "filler",
-            "main:\ncall count\nhlt\n",
-        )
-        .unwrap();
+        let filler = assemble_unit("filler", "main:\ncall count\nhlt\n").unwrap();
         let counting = assemble_unit(
             "counting",
             r#"

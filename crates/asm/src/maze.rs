@@ -145,7 +145,11 @@ pub fn generate(seed: u64, floors: usize) -> Maze {
     ));
 
     let program = assemble(&src).expect("generated maze must assemble");
-    Maze { source: src, program, solution }
+    Maze {
+        source: src,
+        program,
+        solution,
+    }
 }
 
 /// Runs a maze with the given inputs; returns `true` if it escapes.

@@ -64,7 +64,10 @@ impl std::fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// A parsed-but-unresolved operand (labels not yet bound to addresses).
@@ -138,10 +141,14 @@ fn parse_int(s: &str, line: usize) -> Result<i32, AsmError> {
 }
 
 fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
-    let name = s
-        .strip_prefix('%')
-        .ok_or_else(|| AsmError { line, message: format!("expected register, got {s:?}") })?;
-    Reg::parse(name).ok_or_else(|| AsmError { line, message: format!("unknown register %{name}") })
+    let name = s.strip_prefix('%').ok_or_else(|| AsmError {
+        line,
+        message: format!("expected register, got {s:?}"),
+    })?;
+    Reg::parse(name).ok_or_else(|| AsmError {
+        line,
+        message: format!("unknown register %{name}"),
+    })
 }
 
 /// Parses one operand: `$imm`, `%reg`, memory, or a bare label name.
@@ -154,11 +161,16 @@ fn parse_operand(s: &str, line: usize) -> Result<RawOperand, AsmError> {
         return Ok(RawOperand::Concrete(Operand::Reg(parse_reg(s, line)?)));
     }
     if let Some(open) = s.find('(') {
-        let close = s
-            .rfind(')')
-            .ok_or_else(|| AsmError { line, message: format!("unclosed '(' in {s:?}") })?;
+        let close = s.rfind(')').ok_or_else(|| AsmError {
+            line,
+            message: format!("unclosed '(' in {s:?}"),
+        })?;
         let disp_str = s[..open].trim();
-        let disp = if disp_str.is_empty() { 0 } else { parse_int(disp_str, line)? };
+        let disp = if disp_str.is_empty() {
+            0
+        } else {
+            parse_int(disp_str, line)?
+        };
         let inner = &s[open + 1..close];
         let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
         let base = match parts.first() {
@@ -182,15 +194,26 @@ fn parse_operand(s: &str, line: usize) -> Result<RawOperand, AsmError> {
         if parts.len() > 3 {
             return err(line, format!("too many memory components in {s:?}"));
         }
-        return Ok(RawOperand::Concrete(Operand::Mem(Mem { disp, base, index, scale })));
+        return Ok(RawOperand::Concrete(Operand::Mem(Mem {
+            disp,
+            base,
+            index,
+            scale,
+        })));
     }
     // Bare integer → absolute memory reference; bare word → label.
-    if s.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') {
-        return Ok(RawOperand::Concrete(Operand::Mem(Mem::absolute(parse_int(
-            s, line,
-        )?))));
+    if s.chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-')
+    {
+        return Ok(RawOperand::Concrete(Operand::Mem(Mem::absolute(
+            parse_int(s, line)?,
+        ))));
     }
-    if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') && !s.is_empty() {
+    if s.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.is_empty()
+    {
         return Ok(RawOperand::LabelRef(s.to_string()));
     }
     err(line, format!("cannot parse operand {s:?}"))
@@ -248,8 +271,16 @@ fn parse_mnemonic(m: &str) -> Option<(Op, Option<Cond>)> {
 fn expected_operands(op: Op) -> std::ops::RangeInclusive<usize> {
     match op {
         Op::Nop | Op::Hlt | Op::Ret | Op::Leave => 0..=0,
-        Op::Push | Op::Pop | Op::Inc | Op::Dec | Op::Neg | Op::Not | Op::Jmp | Op::Jcc
-        | Op::Call | Op::Out => 1..=1,
+        Op::Push
+        | Op::Pop
+        | Op::Inc
+        | Op::Dec
+        | Op::Neg
+        | Op::Not
+        | Op::Jmp
+        | Op::Jcc
+        | Op::Call
+        | Op::Out => 1..=1,
         _ => 2..=2,
     }
 }
@@ -291,8 +322,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             Some((m, r)) => (m, r.trim()),
             None => (text, ""),
         };
-        let (op, cond) = parse_mnemonic(mnemonic)
-            .ok_or_else(|| AsmError { line, message: format!("unknown mnemonic {mnemonic:?}") })?;
+        let (op, cond) = parse_mnemonic(mnemonic).ok_or_else(|| AsmError {
+            line,
+            message: format!("unknown mnemonic {mnemonic:?}"),
+        })?;
         let operand_strs = split_operands(rest);
         let range = expected_operands(op);
         if !range.contains(&operand_strs.len()) {
@@ -311,11 +344,18 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         }
         // Only control flow may reference labels.
         if !matches!(op, Op::Jmp | Op::Jcc | Op::Call)
-            && operands.iter().any(|o| matches!(o, RawOperand::LabelRef(_)))
+            && operands
+                .iter()
+                .any(|o| matches!(o, RawOperand::LabelRef(_)))
         {
             return err(line, format!("{mnemonic} cannot take a label operand"));
         }
-        raw.push(RawInstr { line, op, cond, operands });
+        raw.push(RawInstr {
+            line,
+            op,
+            cond,
+            operands,
+        });
     }
 
     // Pass 1: compute addresses. Label refs are sized as Imm (5 bytes).
@@ -324,8 +364,8 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut addr = CODE_BASE;
     for r in &raw {
         addrs.push(addr);
-        let placeholder = materialize(r, &HashMap::new(), true)
-            .expect("placeholder materialization cannot fail");
+        let placeholder =
+            materialize(r, &HashMap::new(), true).expect("placeholder materialization cannot fail");
         scratch.clear();
         addr += placeholder.encode(&mut scratch) as u32;
     }
@@ -333,7 +373,11 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
 
     let mut symbols = HashMap::new();
     for (name, idx) in labels {
-        let a = if idx < addrs.len() { addrs[idx] } else { end_addr };
+        let a = if idx < addrs.len() {
+            addrs[idx]
+        } else {
+            end_addr
+        };
         if symbols.insert(name.clone(), a).is_some() {
             return err(0, format!("duplicate label {name:?}"));
         }
@@ -343,14 +387,21 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut bytes = Vec::new();
     let mut listing = Vec::new();
     for (r, &a) in raw.iter().zip(&addrs) {
-        let instr = materialize(r, &symbols, false)
-            .map_err(|msg| AsmError { line: r.line, message: msg })?;
+        let instr = materialize(r, &symbols, false).map_err(|msg| AsmError {
+            line: r.line,
+            message: msg,
+        })?;
         instr.encode(&mut bytes);
         listing.push((a, instr));
     }
 
     let entry = symbols.get("main").copied().unwrap_or(CODE_BASE);
-    Ok(Program { bytes, symbols, listing, entry })
+    Ok(Program {
+        bytes,
+        symbols,
+        listing,
+        entry,
+    })
 }
 
 /// Converts a raw instruction to a concrete one. With `placeholder` set,
@@ -382,7 +433,12 @@ fn materialize(
         [s, d] => (Some(*s), Some(*d)),
         _ => return Err("too many operands".to_string()),
     };
-    Ok(Instr { op: r.op, cond: r.cond, src, dst })
+    Ok(Instr {
+        op: r.op,
+        cond: r.cond,
+        src,
+        dst,
+    })
 }
 
 #[cfg(test)]

@@ -38,7 +38,9 @@ impl std::fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 fn bail<T>(message: impl Into<String>) -> Result<T, CompileError> {
-    Err(CompileError { message: message.into() })
+    Err(CompileError {
+        message: message.into(),
+    })
 }
 
 // ---------------------------------------------------------------- lexer --
@@ -78,9 +80,9 @@ fn lex(src: &str) -> Result<Vec<Tok>, CompileError> {
                 i += 1;
             }
             let text: String = b[start..i].iter().collect();
-            let n = text
-                .parse::<i32>()
-                .map_err(|_| CompileError { message: format!("integer {text} too large") })?;
+            let n = text.parse::<i32>().map_err(|_| CompileError {
+                message: format!("integer {text} too large"),
+            })?;
             toks.push(Tok::Num(n));
             continue;
         }
@@ -258,7 +260,11 @@ impl Parser {
             Some(Tok::Int) => {
                 self.pos += 1;
                 let name = self.ident()?;
-                let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+                let init = if self.eat_punct("=") {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 self.expect_punct(";")?;
                 Ok(Stmt::Declare(name, init))
             }
@@ -436,10 +442,9 @@ impl Codegen {
     }
 
     fn var_offset(&self, name: &str) -> Result<i32, CompileError> {
-        self.locals
-            .get(name)
-            .copied()
-            .ok_or_else(|| CompileError { message: format!("undefined variable {name:?}") })
+        self.locals.get(name).copied().ok_or_else(|| CompileError {
+            message: format!("undefined variable {name:?}"),
+        })
     }
 
     /// Counts local slots needed (declarations) in a statement list.
@@ -686,8 +691,7 @@ mod tests {
 
     #[test]
     fn euclid_gcd_with_modulo() {
-        let (r, _) = run(
-            r#"
+        let (r, _) = run(r#"
             int gcd(int a, int b) {
                 while (b != 0) {
                     int t = b;
@@ -697,8 +701,7 @@ mod tests {
                 return a;
             }
             int main() { return gcd(1071, 462); }
-        "#,
-        )
+        "#)
         .unwrap();
         assert_eq!(r, 21);
     }
@@ -729,37 +732,32 @@ mod tests {
 
     #[test]
     fn function_calls_cdecl() {
-        let (r, _) = run(
-            r#"
+        let (r, _) = run(r#"
             int add(int a, int b) { return a + b; }
             int main() { return add(40, 2); }
-        "#,
-        )
+        "#)
         .unwrap();
         assert_eq!(r, 42);
     }
 
     #[test]
     fn recursion_factorial() {
-        let (r, _) = run(
-            r#"
+        let (r, _) = run(r#"
             int fact(int n) {
                 if (n <= 1) { return 1; }
                 return n * fact(n - 1);
             }
             int main() { return fact(6); }
-        "#,
-        )
+        "#)
         .unwrap();
         assert_eq!(r, 720);
     }
 
     #[test]
     fn print_writes_output() {
-        let (_, out) = run(
-            "int main() { int i = 0; while (i < 3) { print(i * 10); i = i + 1; } return 0; }",
-        )
-        .unwrap();
+        let (_, out) =
+            run("int main() { int i = 0; while (i < 3) { print(i * 10); i = i + 1; } return 0; }")
+                .unwrap();
         assert_eq!(out, vec![0, 10, 20]);
     }
 
@@ -798,7 +796,8 @@ mod tests {
 
     #[test]
     fn emitted_assembly_shows_frame_discipline() {
-        let asm_text = compile("int f(int a) { int b = a; return b; }\nint main(){ return f(7); }").unwrap();
+        let asm_text =
+            compile("int f(int a) { int b = a; return b; }\nint main(){ return f(7); }").unwrap();
         assert!(asm_text.contains("pushl %ebp"));
         assert!(asm_text.contains("movl %esp, %ebp"));
         assert!(asm_text.contains("8(%ebp)"), "param access:\n{asm_text}");
@@ -808,8 +807,7 @@ mod tests {
 
     #[test]
     fn nested_scopes_count_locals() {
-        let (r, _) = run(
-            r#"
+        let (r, _) = run(r#"
             int main() {
                 int total = 0;
                 int i = 0;
@@ -820,8 +818,7 @@ mod tests {
                 }
                 return total;
             }
-        "#,
-        )
+        "#)
         .unwrap();
         assert_eq!(r, 5);
     }

@@ -18,7 +18,11 @@ fn bench(c: &mut Criterion) {
             &crit,
             |b, &crit| {
                 let wl = life_like_workload(16_000_000, 16, 10, crit);
-                b.iter(|| simulate(bench::classroom_machine(), &wl).expect("valid").speedup())
+                b.iter(|| {
+                    simulate(bench::classroom_machine(), &wl)
+                        .expect("valid")
+                        .speedup()
+                })
             },
         );
     }

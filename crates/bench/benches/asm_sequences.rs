@@ -38,7 +38,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("asm_sequences");
     g.bench_function("register_loop_1000", |b| b.iter(|| cycles_of(REG_LOOP)));
     g.bench_function("memory_loop_1000", |b| b.iter(|| cycles_of(MEM_LOOP)));
-    g.bench_function("assemble_only", |b| b.iter(|| asm::assemble(MEM_LOOP).expect("assembles").bytes.len()));
+    g.bench_function("assemble_only", |b| {
+        b.iter(|| asm::assemble(MEM_LOOP).expect("assembles").bytes.len())
+    });
     g.finish();
 }
 

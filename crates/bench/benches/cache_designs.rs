@@ -11,19 +11,30 @@ fn bench(c: &mut Criterion) {
     trace.extend(patterns::random_trace(1 << 20, 32 << 10, 2000, 99));
 
     let mut g = c.benchmark_group("cache_designs");
-    for (name, sets, ways) in
-        [("dm", 64u64, 1u64), ("2way", 32, 2), ("4way", 16, 4), ("full", 1, 64)]
-    {
-        g.bench_with_input(BenchmarkId::new("lru", name), &(sets, ways), |b, &(sets, ways)| {
-            b.iter(|| {
-                let mut cache =
-                    Cache::new(CacheConfig::set_associative(sets, ways, 64)).expect("geometry");
-                cache.run_trace(&trace);
-                cache.stats().hits
-            })
-        });
+    for (name, sets, ways) in [
+        ("dm", 64u64, 1u64),
+        ("2way", 32, 2),
+        ("4way", 16, 4),
+        ("full", 1, 64),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("lru", name),
+            &(sets, ways),
+            |b, &(sets, ways)| {
+                b.iter(|| {
+                    let mut cache =
+                        Cache::new(CacheConfig::set_associative(sets, ways, 64)).expect("geometry");
+                    cache.run_trace(&trace);
+                    cache.stats().hits
+                })
+            },
+        );
     }
-    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+    ] {
         g.bench_with_input(
             BenchmarkId::new("policy_4way", format!("{policy:?}")),
             &policy,

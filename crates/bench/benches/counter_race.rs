@@ -11,9 +11,15 @@ fn bench(c: &mut Criterion) {
     let total = per_thread * threads as u64;
     let mut g = c.benchmark_group("counter");
     g.throughput(Throughput::Elements(total));
-    g.bench_function("racy", |b| b.iter(|| run_racy(threads, per_thread).observed));
-    g.bench_function("atomic", |b| b.iter(|| run_atomic(threads, per_thread).observed));
-    g.bench_function("mutexed", |b| b.iter(|| run_mutexed(threads, per_thread).observed));
+    g.bench_function("racy", |b| {
+        b.iter(|| run_racy(threads, per_thread).observed)
+    });
+    g.bench_function("atomic", |b| {
+        b.iter(|| run_atomic(threads, per_thread).observed)
+    });
+    g.bench_function("mutexed", |b| {
+        b.iter(|| run_mutexed(threads, per_thread).observed)
+    });
     g.finish();
 }
 

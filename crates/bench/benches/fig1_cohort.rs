@@ -15,7 +15,10 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("generate", students),
             &students,
             |b, &students| {
-                let cfg = CohortConfig { students, ..Default::default() };
+                let cfg = CohortConfig {
+                    students,
+                    ..Default::default()
+                };
                 b.iter(|| survey::figure1::generate(cfg, 2022));
             },
         );

@@ -16,7 +16,9 @@ fn bench(c: &mut Criterion) {
     let rounds = 10;
 
     let mut g = c.benchmark_group("life");
-    g.throughput(Throughput::Elements((grid.rows() * grid.cols() * rounds) as u64));
+    g.throughput(Throughput::Elements(
+        (grid.rows() * grid.cols() * rounds) as u64,
+    ));
     g.bench_function("serial_128x128x10", |b| {
         b.iter(|| life::serial::run(grid.clone(), rounds))
     });
@@ -29,7 +31,13 @@ fn bench(c: &mut Criterion) {
     }
     g.bench_function("machine_model_sweep", |b| {
         b.iter(|| {
-            life::machsim::speedup_table(512, 512, 100, &[1, 2, 4, 8, 16], bench::classroom_machine())
+            life::machsim::speedup_table(
+                512,
+                512,
+                100,
+                &[1, 2, 4, 8, 16],
+                bench::classroom_machine(),
+            )
         })
     });
     g.finish();

@@ -13,13 +13,21 @@ fn bench(c: &mut Criterion) {
     let trace = cpu.trace.clone();
 
     let mut g = c.benchmark_group("pipeline");
-    g.bench_function("multi_cycle_model", |b| b.iter(|| pipeline::multi_cycle(&trace)));
+    g.bench_function("multi_cycle_model", |b| {
+        b.iter(|| pipeline::multi_cycle(&trace))
+    });
     g.bench_function("pipelined_model_fwd", |b| {
         b.iter(|| pipeline::pipelined(&trace, PipelineConfig::default()))
     });
     g.bench_function("pipelined_model_nofwd", |b| {
         b.iter(|| {
-            pipeline::pipelined(&trace, PipelineConfig { forwarding: false, ..Default::default() })
+            pipeline::pipelined(
+                &trace,
+                PipelineConfig {
+                    forwarding: false,
+                    ..Default::default()
+                },
+            )
         })
     });
     g.bench_function("swat16_execution", |b| {

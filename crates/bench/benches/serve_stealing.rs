@@ -25,17 +25,13 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let p = bench::stealing::heavy_tail_params();
     for sched in [Scheduler::SharedFifo, Scheduler::WorkStealing] {
-        g.bench_with_input(
-            BenchmarkId::new("scheduler", sched),
-            &sched,
-            |b, &sched| {
-                b.iter(|| {
-                    let out = bench::stealing::run_mix(sched, p);
-                    assert!(out.local_hits + out.steals > 0);
-                    out.makespan
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("scheduler", sched), &sched, |b, &sched| {
+            b.iter(|| {
+                let out = bench::stealing::run_mix(sched, p);
+                assert!(out.local_hits + out.steals > 0);
+                out.makespan
+            })
+        });
     }
     g.finish();
 

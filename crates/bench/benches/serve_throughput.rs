@@ -29,9 +29,11 @@ fn bench(c: &mut Criterion) {
             |b, &threads| b.iter(|| parallel::par::par_map(&data, threads, mix)),
         );
         let pool = ThreadPool::new(threads);
-        g.bench_with_input(BenchmarkId::new("pool_backed", threads), &threads, |b, _| {
-            b.iter(|| serve::par::par_map(&pool, &data, mix))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("pool_backed", threads),
+            &threads,
+            |b, _| b.iter(|| serve::par::par_map(&pool, &data, mix)),
+        );
     }
     g.finish();
 
@@ -44,7 +46,10 @@ fn bench(c: &mut Criterion) {
         ServerConfig::default(),
         Vec::<(String, ExperimentFn)>::new(),
     );
-    let req = Request::Homework { generator: "binary_arithmetic".to_string(), seed: 31 };
+    let req = Request::Homework {
+        generator: "binary_arithmetic".to_string(),
+        seed: 31,
+    };
     warm.submit(req.clone()).expect("accepted").wait();
     g.bench_function("warm_cache_hit", |b| {
         b.iter(|| {
@@ -60,8 +65,14 @@ fn bench(c: &mut Criterion) {
         cache_capacity_per_shard: 1,
         ..ServerConfig::default()
     });
-    let a = Request::Homework { generator: "binary_arithmetic".to_string(), seed: 1 };
-    let b_req = Request::Homework { generator: "binary_arithmetic".to_string(), seed: 2 };
+    let a = Request::Homework {
+        generator: "binary_arithmetic".to_string(),
+        seed: 1,
+    };
+    let b_req = Request::Homework {
+        generator: "binary_arithmetic".to_string(),
+        seed: 2,
+    };
     let mut flip = false;
     g.bench_function("cold_cache_miss", |b| {
         b.iter(|| {

@@ -8,14 +8,22 @@ fn bench(c: &mut Criterion) {
     println!("{}", bench::e3_stride());
 
     let mut g = c.benchmark_group("stride");
-    for (name, order) in [("row_major", LoopOrder::RowMajor), ("column_major", LoopOrder::ColumnMajor)] {
-        g.bench_with_input(BenchmarkId::new("matrix_sum_64x64", name), &order, |b, &order| {
-            b.iter(|| {
-                let mut cache = Cache::new(CacheConfig::direct_mapped(64, 64)).expect("geometry");
-                cache.run_trace(&matrix_sum_trace(0, 64, 64, 4, order));
-                cache.total_cycles()
-            })
-        });
+    for (name, order) in [
+        ("row_major", LoopOrder::RowMajor),
+        ("column_major", LoopOrder::ColumnMajor),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("matrix_sum_64x64", name),
+            &order,
+            |b, &order| {
+                b.iter(|| {
+                    let mut cache =
+                        Cache::new(CacheConfig::direct_mapped(64, 64)).expect("geometry");
+                    cache.run_trace(&matrix_sum_trace(0, 64, 64, 4, order));
+                    cache.total_cycles()
+                })
+            },
+        );
     }
     g.bench_function("trace_generation_row", |b| {
         b.iter(|| matrix_sum_trace(0, 64, 64, 4, LoopOrder::RowMajor).len())

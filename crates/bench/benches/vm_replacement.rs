@@ -19,7 +19,8 @@ fn workload(policy: PagePolicy, frames: usize) -> u64 {
         let pid = if burst % 2 == 0 { a } else { b };
         for i in 0..10u64 {
             let page = (burst + i) % 5 + if i % 7 == 6 { 8 } else { 0 };
-            vm.access(pid, page * 256 + (i * 13) % 256, AccessKind::Load).expect("valid");
+            vm.access(pid, page * 256 + (i * 13) % 256, AccessKind::Load)
+                .expect("valid");
         }
     }
     vm.stats().faults

@@ -54,16 +54,28 @@ pub fn a2_opt_headroom() -> String {
     let mut trace = patterns::working_set_trace(0, 20 * 64, 64, 8); // loop > cache
     trace.extend(patterns::random_trace(0x8000, 64 * 64, 400, 17));
 
-    let mut out = String::from("A2: replacement-policy headroom vs Belady's OPT (16-line caches)\n\n");
+    let mut out =
+        String::from("A2: replacement-policy headroom vs Belady's OPT (16-line caches)\n\n");
     let opt = opt_misses(&trace, 16, 64);
     out.push_str(&format!("{:<18} {:>8}\n", "policy", "misses"));
-    out.push_str(&format!("{:<18} {opt:>8}   (clairvoyant lower bound)\n", "OPT"));
-    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+    out.push_str(&format!(
+        "{:<18} {opt:>8}   (clairvoyant lower bound)\n",
+        "OPT"
+    ));
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+    ] {
         let mut cfg = CacheConfig::fully_associative(16, 64);
         cfg.replacement = policy;
         let mut c = Cache::new(cfg).expect("geometry");
         c.run_trace(&trace);
-        out.push_str(&format!("{:<18} {:>8}\n", format!("{policy:?}"), c.stats().misses));
+        out.push_str(&format!(
+            "{:<18} {:>8}\n",
+            format!("{policy:?}"),
+            c.stats().misses
+        ));
     }
 
     out.push_str("\nthree-C miss breakdown by geometry (same capacity, same trace):\n");
@@ -71,7 +83,11 @@ pub fn a2_opt_headroom() -> String {
         "{:<20} {:>8} {:>12} {:>10} {:>10}\n",
         "geometry", "total", "compulsory", "capacity", "conflict"
     ));
-    for (name, sets, ways) in [("direct-mapped", 16u64, 1u64), ("4-way", 4, 4), ("full", 1, 16)] {
+    for (name, sets, ways) in [
+        ("direct-mapped", 16u64, 1u64),
+        ("4-way", 4, 4),
+        ("full", 1, 16),
+    ] {
         let c = classify_misses(CacheConfig::set_associative(sets, ways, 64), &trace);
         out.push_str(&format!(
             "{name:<20} {:>8} {:>12} {:>10} {:>10}\n",
@@ -126,7 +142,12 @@ pub fn a4_chunking() -> String {
     // Skewed work: item i costs (i % 17)^2 units — heavy tail.
     let items: Vec<u64> = (0..512u64).map(|i| (i % 17) * (i % 17) + 1).collect();
     let threads = 8usize;
-    let cfg = MachineConfig { cores: 8, barrier_cost: 0, lock_overhead: 0, contention: 0.0 };
+    let cfg = MachineConfig {
+        cores: 8,
+        barrier_cost: 0,
+        lock_overhead: 0,
+        contention: 0.0,
+    };
 
     // Static: contiguous equal-count chunks.
     let chunk = items.len().div_ceil(threads);
@@ -143,8 +164,7 @@ pub fn a4_chunking() -> String {
         let min = loads.iter_mut().min().expect("threads > 0");
         *min += w;
     }
-    let dynamic_wl: Vec<Vec<Segment>> =
-        loads.iter().map(|&l| vec![Segment::Work(l)]).collect();
+    let dynamic_wl: Vec<Vec<Segment>> = loads.iter().map(|&l| vec![Segment::Work(l)]).collect();
     let dynamic_r = simulate(cfg, &dynamic_wl).expect("well-formed");
 
     let mut out = String::from("A4: static vs dynamic chunking, skewed items, 8 threads\n\n");
@@ -154,13 +174,19 @@ pub fn a4_chunking() -> String {
     ));
     out.push_str(&format!(
         "{:<10} {:>14.0} {:>9.2}x\n",
-        "static", static_r.parallel_time, static_r.speedup()
+        "static",
+        static_r.parallel_time,
+        static_r.speedup()
     ));
     out.push_str(&format!(
         "{:<10} {:>14.0} {:>9.2}x\n",
-        "dynamic", dynamic_r.parallel_time, dynamic_r.speedup()
+        "dynamic",
+        dynamic_r.parallel_time,
+        dynamic_r.speedup()
     ));
-    out.push_str("\n(dynamic chunking load-balances the heavy tail — why par_for_dynamic exists)\n");
+    out.push_str(
+        "\n(dynamic chunking load-balances the heavy tail — why par_for_dynamic exists)\n",
+    );
     out
 }
 
@@ -168,14 +194,16 @@ pub fn a4_chunking() -> String {
 pub fn a5_prefetch() -> String {
     use memsim::cache::{Cache, CacheConfig};
     use memsim::patterns::{matrix_sum_trace, LoopOrder};
-    let mut out = String::from(
-        "A5: next-line prefetch on the E3 loop orders (64x64 ints, 4 KiB DM)\n\n",
-    );
+    let mut out =
+        String::from("A5: next-line prefetch on the E3 loop orders (64x64 ints, 4 KiB DM)\n\n");
     out.push_str(&format!(
         "{:<14} {:>10} {:>12} {:>12} {:>12}\n",
         "order", "prefetch", "hit rate", "mem traffic", "useful pf"
     ));
-    for (name, order) in [("row-major", LoopOrder::RowMajor), ("column-major", LoopOrder::ColumnMajor)] {
+    for (name, order) in [
+        ("row-major", LoopOrder::RowMajor),
+        ("column-major", LoopOrder::ColumnMajor),
+    ] {
         for pf in [false, true] {
             let mut cfg = CacheConfig::direct_mapped(64, 64);
             cfg.prefetch_next_line = pf;

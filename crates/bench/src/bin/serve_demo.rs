@@ -5,6 +5,7 @@
 //! cargo run -p bench --bin serve_demo -- 4 100           # 4 clients x 100 requests
 //! cargo run -p bench --bin serve_demo -- 4 100 fifo      # shared-FIFO baseline pool
 //! cargo run -p bench --bin serve_demo -- 4 100 priority  # class-aware priority lanes
+//! cargo run -p bench --bin serve_demo -- 4 100 net       # over TCP: server + loadgen
 //! ```
 //!
 //! Each client submits a deterministic mix of grade / homework /
@@ -37,7 +38,7 @@ done:
     hlt
 ";
 
-const USAGE: &str = "usage: serve_demo [clients] [requests] [steal|fifo|priority]";
+const USAGE: &str = "usage: serve_demo [clients] [requests] [steal|fifo|priority|net]";
 
 fn bail(reason: &str) -> ! {
     eprintln!("serve_demo: {reason}\n{USAGE}");
@@ -48,14 +49,83 @@ fn bail(reason: &str) -> ! {
 /// deliberately small key space, so the cache earns its keep.
 fn request_for(client: u64, i: u64) -> Request {
     match i % 4 {
-        0 => Request::Grade { submission: SUBMISSION.to_string() },
+        0 => Request::Grade {
+            submission: SUBMISSION.to_string(),
+        },
         1 => Request::Homework {
             generator: "binary_arithmetic".to_string(),
             seed: (client + i) % 8,
         },
-        2 => Request::Homework { generator: "fork_puzzle".to_string(), seed: i % 4 },
-        _ => Request::Reproduce { id: "e5".to_string() },
+        2 => Request::Homework {
+            generator: "fork_puzzle".to_string(),
+            seed: i % 4,
+        },
+        _ => Request::Reproduce {
+            id: "e5".to_string(),
+        },
     }
+}
+
+/// The `net` mode: the same demo, but clients and server meet on a
+/// real loopback socket — a [`net::NetServer`] on an ephemeral port
+/// and a short closed-loop [`net::loadgen`] burst with the default
+/// heavy-tail class mix.
+fn net_mode(connections: u64, per_connection: u64) {
+    use net::loadgen::{self, LoadConfig, Mode};
+    use net::server::{NetConfig, NetServer};
+
+    let course = CourseServer::with_experiments(
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 8,
+            scheduler: Scheduler::PriorityLanes,
+            ..ServerConfig::default()
+        },
+        vec![("e5".to_string(), bench::e5_tlb_eat as ExperimentFn)],
+    );
+    let srv = NetServer::bind("127.0.0.1:0", course, NetConfig::default())
+        .unwrap_or_else(|e| bail(&format!("cannot bind a loopback socket: {e}")));
+    println!(
+        "serve_demo net: {connections} connections x {per_connection} requests against \
+         {} (4 workers, priority lanes, queue 8)\n",
+        srv.local_addr()
+    );
+    let report = loadgen::run(
+        srv.local_addr(),
+        &LoadConfig {
+            connections: connections as usize,
+            requests_per_connection: per_connection as usize,
+            mode: Mode::Closed { pipeline: 4 },
+            ..LoadConfig::default()
+        },
+    );
+    srv.shutdown();
+    print!("{}", report.render());
+
+    let st = srv.course().stats();
+    let nst = srv.net_stats();
+    println!(
+        "\nserver accepted {} rejected {} completed {} shed {}",
+        st.accepted, st.rejected, st.completed, st.shed
+    );
+    println!(
+        "net: {} conns (+{} refused), {} request frames, {} response frames, {} malformed",
+        nst.accepted_conns, nst.refused_conns, nst.requests, nst.responses, nst.malformed
+    );
+    for c in &st.per_class {
+        assert_eq!(
+            c.admitted,
+            c.completed + c.shed,
+            "{} ledger must balance after drain",
+            c.class
+        );
+        assert_eq!(
+            c.in_flight, 0,
+            "{} in-flight must be zero after drain",
+            c.class
+        );
+    }
+    println!("\nper-class ledgers balanced: every admitted request completed or shed.");
 }
 
 fn main() {
@@ -78,14 +148,20 @@ fn main() {
         None | Some("steal") => Scheduler::WorkStealing,
         Some("fifo") => Scheduler::SharedFifo,
         Some("priority") => Scheduler::PriorityLanes,
-        Some(other) => bail(&format!("unknown scheduler {other:?}")),
+        Some("net") => return net_mode(clients, per_client),
+        Some(other) => bail(&format!("unknown mode {other:?}")),
     };
 
     // A small queue relative to the offered load, so backpressure and
     // class-aware shedding are actually exercised and the retry loop
     // matters.
     let server = CourseServer::with_experiments(
-        ServerConfig { workers: 4, queue_capacity: 8, scheduler, ..ServerConfig::default() },
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 8,
+            scheduler,
+            ..ServerConfig::default()
+        },
         vec![("e5".to_string(), bench::e5_tlb_eat as ExperimentFn)],
     );
 
@@ -111,9 +187,7 @@ fn main() {
                                 Ok(t) => break t,
                                 Err(SubmitError::Busy(r)) => {
                                     retries += 1;
-                                    thread::sleep(Duration::from_millis(
-                                        r.retry_after_ms.max(1),
-                                    ));
+                                    thread::sleep(Duration::from_millis(r.retry_after_ms.max(1)));
                                 }
                                 Err(SubmitError::ShuttingDown(_)) => {
                                     unreachable!("demo shuts down only after clients finish")
@@ -156,10 +230,17 @@ fn main() {
     println!("{:<28} {:>10}", "server accepted", st.accepted);
     println!("{:<28} {:>10}", "server completed", st.completed);
     println!("{:<28} {:>10}", "server shed", st.shed);
-    println!("{:<28} {:>10}", "cache hits / misses", format!("{}/{}", st.cache.hits, st.cache.misses));
+    println!(
+        "{:<28} {:>10}",
+        "cache hits / misses",
+        format!("{}/{}", st.cache.hits, st.cache.misses)
+    );
     println!("{:<28} {:>10}", "cache evictions", st.cache.evictions);
     println!("{:<28} {:>10}", "pool jobs finished", st.pool.finished);
-    println!("{:<28} {:>10}", "pool queue high-water", st.pool.queue_high_water);
+    println!(
+        "{:<28} {:>10}",
+        "pool queue high-water", st.pool.queue_high_water
+    );
     println!(
         "{:<28} {:>10}",
         "pool local pops / steals",
@@ -196,7 +277,11 @@ fn main() {
             "{} ledger must balance after drain",
             c.class
         );
-        assert_eq!(c.in_flight, 0, "{} in-flight must be zero after drain", c.class);
+        assert_eq!(
+            c.in_flight, 0,
+            "{} in-flight must be zero after drain",
+            c.class
+        );
     }
 
     println!("\nper-worker load balance:");

@@ -12,13 +12,19 @@
 pub mod ablations;
 pub mod priority;
 pub mod stealing;
+pub mod wire;
 
 use parallel::machine::MachineConfig;
 
 /// The 16-core classroom machine model used across E1/E6 (the paper's
 /// lab machines measured "near linear speedup up to 16 threads").
 pub fn classroom_machine() -> MachineConfig {
-    MachineConfig { cores: 16, barrier_cost: 50, lock_overhead: 10, contention: 0.0 }
+    MachineConfig {
+        cores: 16,
+        barrier_cost: 50,
+        lock_overhead: 10,
+        contention: 0.0,
+    }
 }
 
 /// T1 — Table I: TCPP topic coverage with module cross-references.
@@ -50,8 +56,13 @@ pub fn e1_life_speedup() -> String {
     let mut out = String::from(
         "E1: parallel Game of Life speedup (512x512 grid, 100 rounds, 16-core model)\n\n",
     );
-    out.push_str(&format!("{:>8} {:>10} {:>12} {:>12}\n", "threads", "speedup", "efficiency", "class"));
-    for (t, s) in life::machsim::speedup_table(512, 512, 100, &[1, 2, 4, 8, 16, 32], classroom_machine()) {
+    out.push_str(&format!(
+        "{:>8} {:>10} {:>12} {:>12}\n",
+        "threads", "speedup", "efficiency", "class"
+    ));
+    for (t, s) in
+        life::machsim::speedup_table(512, 512, 100, &[1, 2, 4, 8, 16, 32], classroom_machine())
+    {
         let class = format!("{:?}", parallel::laws::classify(s, t));
         out.push_str(&format!(
             "{t:>8} {s:>9.2}x {:>11.2} {class:>12}\n",
@@ -76,7 +87,9 @@ pub fn e1_life_speedup() -> String {
 /// SWAT-16 trace and on synthetic ideal/dependent streams.
 pub fn e2_pipeline() -> String {
     use circuits::cpu::{sum_1_to_n_program, Cpu};
-    use circuits::pipeline::{compare, dependent_stream, independent_stream, pipelined, PipelineConfig};
+    use circuits::pipeline::{
+        compare, dependent_stream, independent_stream, pipelined, PipelineConfig,
+    };
     let mut out = String::from("E2: pipelining improves instructions per cycle\n\n");
     out.push_str(&format!(
         "{:<28} {:>8} {:>12} {:>12} {:>9}\n",
@@ -95,7 +108,13 @@ pub fn e2_pipeline() -> String {
     cpu.load_program(&sum_1_to_n_program(100)).expect("fits");
     cpu.run(100_000).expect("halts");
     row("sum 1..=100 loop (real run)", &cpu.trace);
-    let nofwd = pipelined(&dependent_stream(1000), PipelineConfig { forwarding: false, ..Default::default() });
+    let nofwd = pipelined(
+        &dependent_stream(1000),
+        PipelineConfig {
+            forwarding: false,
+            ..Default::default()
+        },
+    );
     out.push_str(&format!(
         "\nforwarding ablation (dependent chain): stalls {} with vs {} without\n",
         pipelined(&dependent_stream(1000), PipelineConfig::default()).stall_cycles,
@@ -115,7 +134,10 @@ pub fn e3_stride() -> String {
         "{:<14} {:>10} {:>10} {:>12} {:>10}\n",
         "order", "accesses", "hit rate", "sim cycles", "AMAT"
     ));
-    for (name, order) in [("row-major", LoopOrder::RowMajor), ("column-major", LoopOrder::ColumnMajor)] {
+    for (name, order) in [
+        ("row-major", LoopOrder::RowMajor),
+        ("column-major", LoopOrder::ColumnMajor),
+    ] {
         let mut c = Cache::new(CacheConfig::direct_mapped(64, 64)).expect("geometry");
         c.run_trace(&matrix_sum_trace(0, 64, 64, 4, order));
         let s = c.stats();
@@ -131,7 +153,10 @@ pub fn e3_stride() -> String {
     // The advanced follow-up: matrix-multiply loop orders.
     use memsim::patterns::{matmul_trace, MatMulOrder};
     out.push_str("\nmatrix multiply (64x64 doubles, same cache), by loop order:\n");
-    out.push_str(&format!("{:<8} {:>10} {:>12}\n", "order", "hit rate", "sim cycles"));
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>12}\n",
+        "order", "hit rate", "sim cycles"
+    ));
     for (name, order) in [
         ("ijk", MatMulOrder::Ijk),
         ("kij", MatMulOrder::Kij),
@@ -174,7 +199,10 @@ pub fn e4_cache_designs() -> String {
         }
     }
     trace.extend(patterns::random_trace(1 << 20, 16 << 10, 100, 99));
-    out.push_str(&format!("{:<22} {:>9} {:>9} {:>9}\n", "geometry", "LRU", "FIFO", "Random"));
+    out.push_str(&format!(
+        "{:<22} {:>9} {:>9} {:>9}\n",
+        "geometry", "LRU", "FIFO", "Random"
+    ));
     for (name, sets, ways) in [
         ("direct-mapped", 64u64, 1u64),
         ("2-way", 32, 2),
@@ -182,7 +210,11 @@ pub fn e4_cache_designs() -> String {
         ("fully associative", 1, 64),
     ] {
         let mut row = format!("{name:<22}");
-        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
             let mut cfg = CacheConfig::set_associative(sets, ways, 64);
             cfg.replacement = policy;
             let mut c = Cache::new(cfg).expect("geometry");
@@ -204,9 +236,8 @@ pub fn e4_cache_designs() -> String {
 pub fn e5_tlb_eat() -> String {
     use vmem::eat::{analytic_eat, eat_sweep, measure_eat, no_tlb_eat, EatParams};
     let p = EatParams::default();
-    let mut out = String::from(
-        "E5: TLB hit ratio vs effective access time (1ns TLB, 100ns memory)\n\n",
-    );
+    let mut out =
+        String::from("E5: TLB hit ratio vs effective access time (1ns TLB, 100ns memory)\n\n");
     out.push_str(&format!("{:>10} {:>12}\n", "hit ratio", "EAT (ns)"));
     for (h, eat) in eat_sweep(p, &[0.0, 0.5, 0.8, 0.9, 0.95, 0.98, 0.99, 1.0]) {
         out.push_str(&format!("{:>9.0}% {eat:>12.1}\n", h * 100.0));
@@ -262,7 +293,9 @@ pub fn e6_amdahl() -> String {
     out.push_str(&format!("{:>12} {:>10}\n", "crit/round", "speedup"));
     for crit in [0u64, 1_000, 5_000, 20_000, 80_000] {
         let wl = life_like_workload(16_000_000, 16, 10, crit);
-        let s = simulate(classroom_machine(), &wl).expect("well-formed").speedup();
+        let s = simulate(classroom_machine(), &wl)
+            .expect("well-formed")
+            .speedup();
         out.push_str(&format!("{crit:>12} {s:>9.2}x\n"));
     }
     out.push_str("(the contention bend the course demonstrates with a shared counter)\n");
@@ -350,8 +383,13 @@ pub fn e9_vm_replacement() -> String {
                 vm.access(pid, 0, AccessKind::Load).expect("valid");
                 // The sweep: rotates through a window of cold pages.
                 let page = 1 + (burst + i) % 6;
-                let kind = if i % 3 == 0 { AccessKind::Store } else { AccessKind::Load };
-                vm.access(pid, page * 256 + (i * 13) % 256, kind).expect("valid");
+                let kind = if i % 3 == 0 {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
+                vm.access(pid, page * 256 + (i * 13) % 256, kind)
+                    .expect("valid");
             }
         }
         vm.stats().faults
@@ -444,15 +482,18 @@ pub fn e11_serve() -> String {
     use serve::{CourseServer, Request, ServerConfig};
     use std::thread;
 
-    let mut out = String::from(
-        "E11: course job server (4 workers, 4 client threads, real workloads)\n\n",
-    );
+    let mut out =
+        String::from("E11: course job server (4 workers, 4 client threads, real workloads)\n\n");
     // The server can run reproduce experiments too; register one so the
     // Reproduce arm exercises a real registry entry. (e11 itself stays
     // out — a server running the experiment that drives the server
     // would recurse.)
     let server = CourseServer::with_experiments(
-        ServerConfig { workers: 4, queue_capacity: 64, ..ServerConfig::default() },
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
         vec![("e5".to_string(), e5_tlb_eat as serve::server::ExperimentFn)],
     );
 
@@ -497,7 +538,9 @@ pub fn e11_serve() -> String {
 
     // One of each remaining workload through the same server.
     let grade = server
-        .submit(Request::Grade { submission: "movl $0, %eax\nhlt\n".into() })
+        .submit(Request::Grade {
+            submission: "movl $0, %eax\nhlt\n".into(),
+        })
         .expect("accepted")
         .wait();
     let repro = server
@@ -523,7 +566,11 @@ pub fn e11_serve() -> String {
     ));
     out.push_str(&format!(
         "{:>10} {:>10} {:>10} {:>10} {:>10} {:>12}\n",
-        st.accepted, st.completed, st.rejected, st.cache.hits, st.cache.misses,
+        st.accepted,
+        st.completed,
+        st.rejected,
+        st.cache.hits,
+        st.cache.misses,
         st.pool.queue_high_water
     ));
     out.push_str(
@@ -537,9 +584,9 @@ pub fn e11_serve() -> String {
 /// burst stream (sleep-modeled service times; see `stealing` module
 /// docs and DESIGN.md for why the mix is shaped this way).
 pub fn e12_stealing() -> String {
-    use stealing::{compare, heavy_tail_params, ragged_par_map};
     use serve::pool::{Scheduler, ThreadPool};
     use std::time::Duration;
+    use stealing::{compare, heavy_tail_params, ragged_par_map};
 
     let p = heavy_tail_params();
     let mut out = format!(
@@ -648,7 +695,11 @@ pub fn e13_priority() -> String {
         for (i, c) in o.per_class.iter().enumerate() {
             out.push_str(&format!(
                 "{:<16} {:<12} {:>6} {:>7.1}ms {:>7.1}ms {:>7.1}ms {:>7.1}ms {:>7}\n",
-                if i == 0 { o.scheduler.to_string() } else { String::new() },
+                if i == 0 {
+                    o.scheduler.to_string()
+                } else {
+                    String::new()
+                },
                 c.class.to_string(),
                 c.count,
                 c.p50.as_secs_f64() * 1e3,
@@ -659,15 +710,60 @@ pub fn e13_priority() -> String {
             ));
         }
     }
-    let grade_ratio = fifo.per_class[0].p99.as_secs_f64()
-        / prio.per_class[0].p99.as_secs_f64().max(1e-9);
-    let bulk_reg = prio.per_class[2].finish.as_secs_f64()
-        / fifo.per_class[2].finish.as_secs_f64().max(1e-9);
+    let grade_ratio =
+        fifo.per_class[0].p99.as_secs_f64() / prio.per_class[0].p99.as_secs_f64().max(1e-9);
+    let bulk_reg =
+        prio.per_class[2].finish.as_secs_f64() / fifo.per_class[2].finish.as_secs_f64().max(1e-9);
     out.push_str(&format!(
         "\npriority lanes vs FIFO: grade p99 {grade_ratio:.2}x better (target ≥2x);\n\
          bulk finish {bulk_reg:.2}x the baseline (target ≤1.2x); {} aging grants\n\
          kept the bulk backlog moving while grades kept arriving\n",
         prio.aged,
+    ));
+    out
+}
+
+/// E14 — the E13 question asked end-to-end: the same scheduler
+/// comparison, but over real loopback sockets, with the wire protocol,
+/// admission backpressure frames, and client-side retries inside the
+/// measurement (see the `wire` module docs and DESIGN.md §9).
+pub fn e14_wire() -> String {
+    use wire::{backpressure_frames, compare, render_outcome, wire_overload_params};
+
+    let p = wire_overload_params();
+    let mut out = format!(
+        "E14: scheduling policy over the wire (loopback TCP, closed loop)\n\
+         ({} workers, queue {}; {} conns x window {} — offered concurrency\n\
+         {} against capacity {}; {} reqs/conn; sleep-modeled {:?}/{:?}/{:?}\n\
+         at weights {:?}; clients honor RETRY/SHED hints, {} resends max)\n\n",
+        p.workers,
+        p.queue_capacity,
+        p.connections,
+        p.pipeline,
+        p.connections * p.pipeline,
+        p.queue_capacity,
+        p.requests_per_connection,
+        p.service[0],
+        p.service[1],
+        p.service[2],
+        p.weights,
+        p.max_retries,
+    );
+    let (fifo, lanes) = compare(&p);
+    out.push_str(&render_outcome(&fifo));
+    out.push('\n');
+    out.push_str(&render_outcome(&lanes));
+    let fifo_p99 = fifo.report.class(serve::JobClass::Interactive).p99_us;
+    let lanes_p99 = lanes.report.class(serve::JobClass::Interactive).p99_us;
+    out.push_str(&format!(
+        "\npriority lanes vs FIFO, measured at the client: interactive p99\n\
+         {:.2}x better ({} -> {} us); backpressure frames {} / {} — overload\n\
+         was real on both sides and the hints rode the wire\n",
+        fifo_p99 as f64 / (lanes_p99 as f64).max(1.0),
+        fifo_p99,
+        lanes_p99,
+        backpressure_frames(&fifo),
+        backpressure_frames(&lanes),
     ));
     out
 }
@@ -696,6 +792,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e11", e11_serve),
         ("e12", e12_stealing),
         ("e13", e13_priority),
+        ("e14", e14_wire),
     ];
     v.extend(ablations::all_ablations());
     v
@@ -730,8 +827,14 @@ mod tests {
     #[test]
     fn e3_row_major_wins() {
         let out = e3_stride();
-        let row_line = out.lines().find(|l| l.starts_with("row-major")).expect("row line");
-        let col_line = out.lines().find(|l| l.starts_with("column-major")).expect("col line");
+        let row_line = out
+            .lines()
+            .find(|l| l.starts_with("row-major"))
+            .expect("row line");
+        let col_line = out
+            .lines()
+            .find(|l| l.starts_with("column-major"))
+            .expect("col line");
         let rate = |l: &str| -> f64 {
             l.split_whitespace()
                 .find(|w| w.ends_with('%'))
@@ -783,8 +886,8 @@ mod tests {
             let (fifo, prio) = priority::compare(priority::mixed_overload_params());
             assert!(prio.aged > 0, "priority run recorded no aging grants");
             assert_eq!(fifo.aged, 0, "FIFO has no aging rule to fire");
-            let grade_ratio = fifo.per_class[0].p99.as_secs_f64()
-                / prio.per_class[0].p99.as_secs_f64().max(1e-9);
+            let grade_ratio =
+                fifo.per_class[0].p99.as_secs_f64() / prio.per_class[0].p99.as_secs_f64().max(1e-9);
             let bulk_reg = prio.per_class[2].finish.as_secs_f64()
                 / fifo.per_class[2].finish.as_secs_f64().max(1e-9);
             if grade_ratio >= 2.0 && bulk_reg <= 1.2 {
@@ -799,9 +902,68 @@ mod tests {
     }
 
     #[test]
+    fn e14_priority_lanes_win_over_the_wire_and_ledgers_balance() {
+        use serve::JobClass;
+        // Smaller than the published configuration but the same 3x
+        // offered-over-capacity shape; real sockets add real jitter,
+        // so best-of-5 rather than the in-process tests' best-of-3.
+        let mut p = wire::wire_overload_params();
+        p.connections = 6;
+        p.requests_per_connection = 24;
+        let mut last = String::new();
+        for _ in 0..5 {
+            let (fifo, lanes) = wire::compare(&p);
+            for o in [&fifo, &lanes] {
+                // Graceful shutdown lost nothing: every admitted
+                // request completed or was shed, none stranded.
+                for row in &o.stats.per_class {
+                    assert_eq!(
+                        row.admitted,
+                        row.completed + row.shed,
+                        "{:?}/{} ledger unbalanced: {row:?}",
+                        o.scheduler,
+                        row.class
+                    );
+                    assert_eq!(row.in_flight, 0);
+                }
+                assert!(
+                    wire::backpressure_frames(o) > 0,
+                    "{:?}: 3x overload must produce RETRY/SHED frames",
+                    o.scheduler
+                );
+                assert!(
+                    o.stats.rejected > 0,
+                    "{:?}: admission never pushed back",
+                    o.scheduler
+                );
+                assert_eq!(o.net.malformed, 0);
+            }
+            let fifo_p99 = fifo.report.class(JobClass::Interactive).p99_us;
+            let lanes_p99 = lanes.report.class(JobClass::Interactive).p99_us;
+            let done = |o: &wire::WireOutcome| {
+                let r = o.report.class(JobClass::Interactive);
+                r.ok + r.cached
+            };
+            if lanes_p99 < fifo_p99 && done(&lanes) > 0 && done(&fifo) > 0 {
+                return;
+            }
+            last = format!(
+                "interactive p99 over the wire: fifo {fifo_p99}us vs lanes {lanes_p99}us \
+                 (completed {}/{})",
+                done(&fifo),
+                done(&lanes)
+            );
+        }
+        panic!("priority lanes never beat FIFO on wire-measured interactive p99: {last}");
+    }
+
+    #[test]
     fn e11_warm_round_is_fully_cached_and_drains() {
         let out = e11_serve();
-        let warm = out.lines().find(|l| l.starts_with("round 2")).expect("warm round line");
+        let warm = out
+            .lines()
+            .find(|l| l.starts_with("round 2"))
+            .expect("warm round line");
         assert!(warm.contains("24 served"), "{out}");
         assert!(warm.contains("24 from cache"), "{out}");
         assert!(out.contains("completed == accepted"), "{out}");

@@ -128,8 +128,11 @@ pub fn run_mixed(scheduler: Scheduler, p: MixedParams) -> MixedOutcome {
     // (latency, finish offset from t0) samples, one bucket per band.
     type Samples = Vec<Mutex<Vec<(Duration, Duration)>>>;
     let pool = ThreadPool::with_scheduler(p.workers, scheduler);
-    let samples: Arc<Samples> =
-        Arc::new((0..JobClass::COUNT).map(|_| Mutex::new(Vec::new())).collect());
+    let samples: Arc<Samples> = Arc::new(
+        (0..JobClass::COUNT)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect(),
+    );
     let t0 = Instant::now();
 
     let submit = |meta: JobMeta, dur: Duration| {
@@ -159,7 +162,10 @@ pub fn run_mixed(scheduler: Scheduler, p: MixedParams) -> MixedOutcome {
             submit(JobMeta::for_class(JobClass::Batch), p.homework);
         }
         for _ in 0..p.reproduce_per_cycle {
-            submit(JobMeta::for_class(JobClass::Bulk).with_priority(64), p.reproduce);
+            submit(
+                JobMeta::for_class(JobClass::Bulk).with_priority(64),
+                p.reproduce,
+            );
         }
         std::thread::sleep(p.cycle_soak);
     }
@@ -170,7 +176,11 @@ pub fn run_mixed(scheduler: Scheduler, p: MixedParams) -> MixedOutcome {
     let per_class = (0..JobClass::COUNT)
         .map(|band| {
             let mut bucket = samples[band].lock().expect("sample vec").clone();
-            let finish = bucket.iter().map(|&(_, f)| f).max().unwrap_or(Duration::ZERO);
+            let finish = bucket
+                .iter()
+                .map(|&(_, f)| f)
+                .max()
+                .unwrap_or(Duration::ZERO);
             bucket.sort_unstable();
             let lat: Vec<Duration> = bucket.iter().map(|&(l, _)| l).collect();
             ClassLatency {
@@ -184,10 +194,18 @@ pub fn run_mixed(scheduler: Scheduler, p: MixedParams) -> MixedOutcome {
             }
         })
         .collect();
-    MixedOutcome { scheduler, makespan, per_class, aged: stats.per_class.iter().map(|c| c.aged).sum() }
+    MixedOutcome {
+        scheduler,
+        makespan,
+        per_class,
+        aged: stats.per_class.iter().map(|c| c.aged).sum(),
+    }
 }
 
 /// Runs the FIFO baseline and priority lanes over the same mix.
 pub fn compare(p: MixedParams) -> (MixedOutcome, MixedOutcome) {
-    (run_mixed(Scheduler::SharedFifo, p), run_mixed(Scheduler::PriorityLanes, p))
+    (
+        run_mixed(Scheduler::SharedFifo, p),
+        run_mixed(Scheduler::PriorityLanes, p),
+    )
 }

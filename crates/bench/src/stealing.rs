@@ -118,8 +118,9 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 /// and measures makespan plus the short-job latency distribution.
 pub fn run_mix(scheduler: Scheduler, p: MixParams) -> MixOutcome {
     let pool = ThreadPool::with_scheduler(p.workers, scheduler);
-    let short_lat: Arc<Mutex<Vec<Duration>>> =
-        Arc::new(Mutex::new(Vec::with_capacity(p.cycles * p.shorts_per_cycle)));
+    let short_lat: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::with_capacity(
+        p.cycles * p.shorts_per_cycle,
+    )));
 
     let submit_sleep = |dur: Duration, record: Option<Arc<Mutex<Vec<Duration>>>>| {
         let born = Instant::now();
@@ -165,7 +166,10 @@ pub fn run_mix(scheduler: Scheduler, p: MixParams) -> MixOutcome {
 
 /// Runs both schedulers over the same mix; FIFO first, stealing second.
 pub fn compare(p: MixParams) -> (MixOutcome, MixOutcome) {
-    (run_mix(Scheduler::SharedFifo, p), run_mix(Scheduler::WorkStealing, p))
+    (
+        run_mix(Scheduler::SharedFifo, p),
+        run_mix(Scheduler::WorkStealing, p),
+    )
 }
 
 /// A ragged `serve::par` workload: triangular per-element cost

@@ -1,0 +1,244 @@
+//! E14 — scheduling policy measured end-to-end **over real sockets**.
+//!
+//! E13 showed priority lanes protecting grade latency inside the
+//! process. This experiment closes the loop the way the course's
+//! serving story ends: a [`NetServer`] on a loopback TCP port, a
+//! multi-connection closed-loop [`loadgen`] driving a heavy-tail class
+//! mix hard enough to overload admission, and per-class latency
+//! measured at the *client*, where queueing, the wire protocol,
+//! backpressure frames, and retries are all inside the measurement.
+//!
+//! The server's experiment registry maps `i/0..n`, `b/0..n`, `u/0..n`
+//! to sleep-modeled handlers (interactive ≪ batch ≪ bulk); the
+//! loadgen cycles through the variants so the result cache cannot
+//! convert the overload into cache hits. Offered load exceeds queue
+//! capacity by design, so `RETRY` (admission rejection) and `SHED`
+//! (displacement) frames are part of the workload, with clients
+//! honoring the hints that come back on the wire.
+//!
+//! Also the contended-deque workload the ROADMAP asked for: dozens of
+//! client connections submitting through reader threads while the
+//! pool's workers claim and steal — the schedulers now compete under
+//! real socket-driven contention, not a synthetic driver loop.
+
+use net::loadgen::{self, ClassLoad, LoadConfig, LoadReport, Mode, OpTemplate};
+use net::server::{NetConfig, NetServer, NetStats};
+use serve::pool::JobClass;
+use serve::server::{CourseServer, ExperimentFn, ServerConfig, ServerStats};
+use serve::Scheduler;
+use std::time::Duration;
+
+/// Shape of the E14 overload run.
+#[derive(Debug, Clone)]
+pub struct WireParams {
+    /// Server worker threads.
+    pub workers: usize,
+    /// Server admission capacity (queued + running).
+    pub queue_capacity: usize,
+    /// Loadgen connections.
+    pub connections: usize,
+    /// Closed-loop window per connection.
+    pub pipeline: usize,
+    /// Fresh requests per connection.
+    pub requests_per_connection: usize,
+    /// Resend budget on RETRY/SHED.
+    pub max_retries: u32,
+    /// Sleep-modeled service time per class, `JobClass::ALL` order
+    /// (interactive, batch, bulk).
+    pub service: [Duration; 3],
+    /// Mix weights, `JobClass::ALL` order.
+    pub weights: [u32; 3],
+    /// Wire deadline budget for interactive requests, ms.
+    pub interactive_deadline_ms: u64,
+    /// Experiment-id variants per class (cache-busting).
+    pub variants: u64,
+    /// Loadgen seed.
+    pub seed: u64,
+}
+
+/// The published E14 configuration: 4 workers, a queue of 16, and
+/// 8 connections × a window of 6 — offered concurrency three times
+/// admission capacity, carried mostly by 8ms bulk jobs. Interactive
+/// is kept a minority of the offered window (~10 outstanding against
+/// its 16-slot class budget) so its latency measures *queueing and
+/// scheduling*, not its own admission rejections: the overload
+/// pressure comes from the bulk tail, which is exactly the class the
+/// lanes are allowed to make wait.
+pub fn wire_overload_params() -> WireParams {
+    WireParams {
+        workers: 4,
+        queue_capacity: 16,
+        connections: 8,
+        pipeline: 6,
+        requests_per_connection: 40,
+        max_retries: 3,
+        service: [
+            Duration::from_micros(500),
+            Duration::from_millis(2),
+            Duration::from_millis(8),
+        ],
+        weights: [2, 2, 6],
+        interactive_deadline_ms: 1_000,
+        variants: 512,
+        seed: 0xE14,
+    }
+}
+
+/// One scheduler's end-to-end outcome.
+#[derive(Debug)]
+pub struct WireOutcome {
+    /// The scheduler measured.
+    pub scheduler: Scheduler,
+    /// Client-side per-class latency and outcome counts.
+    pub report: LoadReport,
+    /// Server-side request ledgers after shutdown.
+    pub stats: ServerStats,
+    /// Socket-layer counters.
+    pub net: NetStats,
+}
+
+fn sleep_500us() -> String {
+    std::thread::sleep(Duration::from_micros(500));
+    "i".to_string()
+}
+
+fn sleep_2ms() -> String {
+    std::thread::sleep(Duration::from_millis(2));
+    "b".to_string()
+}
+
+fn sleep_8ms() -> String {
+    std::thread::sleep(Duration::from_millis(8));
+    "u".to_string()
+}
+
+fn sleeper_for(d: Duration) -> ExperimentFn {
+    // The registry takes plain fn pointers, so service times are drawn
+    // from a fixed menu rather than captured.
+    if d <= Duration::from_micros(500) {
+        sleep_500us
+    } else if d <= Duration::from_millis(2) {
+        sleep_2ms
+    } else {
+        sleep_8ms
+    }
+}
+
+/// Runs the E14 workload against a fresh server using `scheduler` and
+/// returns client- and server-side measurements.
+pub fn run_wire(scheduler: Scheduler, p: &WireParams) -> WireOutcome {
+    let mut experiments: Vec<(String, ExperimentFn)> = Vec::new();
+    for (prefix, service) in [
+        ("i", p.service[0]),
+        ("b", p.service[1]),
+        ("u", p.service[2]),
+    ] {
+        let f = sleeper_for(service);
+        for k in 0..p.variants {
+            experiments.push((format!("{prefix}/{k}"), f));
+        }
+    }
+    let course = CourseServer::with_experiments(
+        ServerConfig {
+            workers: p.workers,
+            queue_capacity: p.queue_capacity,
+            scheduler,
+            ..ServerConfig::default()
+        },
+        experiments,
+    );
+    let srv = NetServer::bind("127.0.0.1:0", course, NetConfig::default())
+        .expect("bind loopback for E14");
+    let mix = vec![
+        ClassLoad {
+            class: JobClass::Interactive,
+            weight: p.weights[0],
+            priority: 160,
+            deadline_budget_ms: Some(p.interactive_deadline_ms),
+            op: OpTemplate::Reproduce {
+                prefix: "i".to_string(),
+                variants: p.variants,
+            },
+        },
+        ClassLoad {
+            class: JobClass::Batch,
+            weight: p.weights[1],
+            priority: 128,
+            deadline_budget_ms: Some(5_000),
+            op: OpTemplate::Reproduce {
+                prefix: "b".to_string(),
+                variants: p.variants,
+            },
+        },
+        ClassLoad {
+            class: JobClass::Bulk,
+            weight: p.weights[2],
+            priority: 64,
+            deadline_budget_ms: None,
+            op: OpTemplate::Reproduce {
+                prefix: "u".to_string(),
+                variants: p.variants,
+            },
+        },
+    ];
+    let report = loadgen::run(
+        srv.local_addr(),
+        &LoadConfig {
+            connections: p.connections,
+            requests_per_connection: p.requests_per_connection,
+            mode: Mode::Closed {
+                pipeline: p.pipeline,
+            },
+            mix,
+            max_retries: p.max_retries,
+            seed: p.seed,
+            drain_timeout: Duration::from_secs(20),
+        },
+    );
+    srv.shutdown();
+    let stats = srv.course().stats();
+    let net = srv.net_stats();
+    WireOutcome {
+        scheduler,
+        report,
+        stats,
+        net,
+    }
+}
+
+/// Runs the same wire workload under the shared FIFO and the priority
+/// lanes and returns `(fifo, lanes)`.
+pub fn compare(p: &WireParams) -> (WireOutcome, WireOutcome) {
+    (
+        run_wire(Scheduler::SharedFifo, p),
+        run_wire(Scheduler::PriorityLanes, p),
+    )
+}
+
+/// Total backpressure frames (RETRY + SHED) the clients saw.
+pub fn backpressure_frames(o: &WireOutcome) -> u64 {
+    o.report
+        .per_class
+        .iter()
+        .map(|r| r.backpressure_frames)
+        .sum()
+}
+
+/// Renders one outcome's per-class table.
+pub fn render_outcome(o: &WireOutcome) -> String {
+    let mut out = format!("--- {:?} ---\n{}", o.scheduler, o.report.render());
+    out.push_str(&format!(
+        "server: accepted {} rejected {} completed {} shed {}; \
+         net: conns {} (+{} refused), {} reqs, {} resps, {} dropped\n",
+        o.stats.accepted,
+        o.stats.rejected,
+        o.stats.completed,
+        o.stats.shed,
+        o.net.accepted_conns,
+        o.net.refused_conns,
+        o.net.requests,
+        o.net.responses,
+        o.net.dropped_conns,
+    ));
+    out
+}

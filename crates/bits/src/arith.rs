@@ -227,7 +227,12 @@ mod tests {
 
     #[test]
     fn flags_pretty() {
-        let f = Flags { zf: true, sf: false, cf: true, of: false };
+        let f = Flags {
+            zf: true,
+            sf: false,
+            cf: true,
+            of: false,
+        };
         assert_eq!(f.pretty(), "[ZF sf CF of]");
     }
 

@@ -44,12 +44,18 @@ pub struct CType {
 impl CType {
     /// Constructs a signed type.
     pub fn signed(base: CInt) -> CType {
-        CType { base, sign: Sign::Signed }
+        CType {
+            base,
+            sign: Sign::Signed,
+        }
     }
 
     /// Constructs an unsigned type.
     pub fn unsigned(base: CInt) -> CType {
-        CType { base, sign: Sign::Unsigned }
+        CType {
+            base,
+            sign: Sign::Unsigned,
+        }
     }
 
     /// Size in bytes on the course's 32-bit machine model.
@@ -150,7 +156,10 @@ impl CType {
     /// Checked store: error if the value is outside the representable range.
     pub fn store_checked(&self, value: i128) -> Result<u64, BitsError> {
         if value < self.min() as i128 || value > self.max() {
-            return Err(BitsError::OutOfRange { value, width: self.width() });
+            return Err(BitsError::OutOfRange {
+                value,
+                width: self.width(),
+            });
         }
         Ok(self.store_wrapping(value))
     }
@@ -159,7 +168,13 @@ impl CType {
 /// All (base, sign) combinations, for table generation.
 pub fn all_types() -> Vec<CType> {
     let mut v = Vec::new();
-    for base in [CInt::Char, CInt::Short, CInt::Int, CInt::Long, CInt::LongLong] {
+    for base in [
+        CInt::Char,
+        CInt::Short,
+        CInt::Int,
+        CInt::Long,
+        CInt::LongLong,
+    ] {
         v.push(CType::signed(base));
         v.push(CType::unsigned(base));
     }

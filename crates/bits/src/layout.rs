@@ -23,12 +23,20 @@ pub struct Field {
 impl Field {
     /// A scalar field.
     pub fn scalar(name: &str, ty: CType) -> Field {
-        Field { name: name.to_string(), ty, count: 1 }
+        Field {
+            name: name.to_string(),
+            ty,
+            count: 1,
+        }
     }
 
     /// An array field.
     pub fn array(name: &str, ty: CType, count: u32) -> Field {
-        Field { name: name.to_string(), ty, count }
+        Field {
+            name: name.to_string(),
+            ty,
+            count,
+        }
     }
 
     /// Natural alignment (the element size on the course model).
@@ -75,7 +83,12 @@ pub fn layout_of(fields: &[Field]) -> StructLayout {
     let tail = (alignment - offset % alignment) % alignment;
     padding += tail;
     let size = offset + tail;
-    StructLayout { fields: out, size, alignment, padding }
+    StructLayout {
+        fields: out,
+        size,
+        alignment,
+        padding,
+    }
 }
 
 impl StructLayout {
@@ -94,7 +107,10 @@ impl StructLayout {
             } else {
                 format!("{} {}[{}]", f.ty.c_name(), f.name, f.count)
             };
-            out.push_str(&format!("  offset {offset:>3}: {desc} ({} bytes)\n", f.size()));
+            out.push_str(&format!(
+                "  offset {offset:>3}: {desc} ({} bytes)\n",
+                f.size()
+            ));
         }
         let used: u32 = self.fields.iter().map(|(f, _, _)| f.size()).sum();
         if self.size > used + self.fields.iter().map(|(_, _, p)| p).sum::<u32>() {
@@ -158,10 +174,7 @@ mod tests {
 
     #[test]
     fn aligned_structs_have_no_padding() {
-        let l = layout_of(&[
-            Field::scalar("a", int()),
-            Field::scalar("b", int()),
-        ]);
+        let l = layout_of(&[Field::scalar("a", int()), Field::scalar("b", int())]);
         assert_eq!(l.size, 8);
         assert_eq!(l.padding, 0);
     }
@@ -201,11 +214,7 @@ mod tests {
 
     #[test]
     fn diagram_shows_offsets_and_padding() {
-        let d = layout_of(&[
-            Field::scalar("c", ch()),
-            Field::scalar("x", int()),
-        ])
-        .diagram();
+        let d = layout_of(&[Field::scalar("c", ch()), Field::scalar("x", int())]).diagram();
         assert!(d.contains("offset   0: char c"));
         assert!(d.contains("[pad 3 byte(s)]"));
         assert!(d.contains("offset   4: int x"));

@@ -118,8 +118,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(BitsError::BadWidth(0).to_string().contains("width 0"));
-        assert!(BitsError::OutOfRange { value: 300, width: 8 }
-            .to_string()
-            .contains("300"));
+        assert!(BitsError::OutOfRange {
+            value: 300,
+            width: 8
+        }
+        .to_string()
+        .contains("300"));
     }
 }

@@ -72,7 +72,11 @@ impl std::fmt::Display for MemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let verb = if self.was_write { "write" } else { "read" };
         match &self.block_tag {
-            Some(tag) => write!(f, "{:?} on {verb} at {:#x} (block {tag:?})", self.kind, self.addr),
+            Some(tag) => write!(
+                f,
+                "{:?} on {verb} at {:#x} (block {tag:?})",
+                self.kind, self.addr
+            ),
             None => write!(f, "{:?} on {verb} at {:#x}", self.kind, self.addr),
         }
     }
@@ -89,7 +93,11 @@ pub struct OutOfMemory {
 
 impl std::fmt::Display for OutOfMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "simulated heap out of memory ({} bytes requested)", self.requested)
+        write!(
+            f,
+            "simulated heap out of memory ({} bytes requested)",
+            self.requested
+        )
     }
 }
 
@@ -184,7 +192,10 @@ impl SimHeap {
     /// fresh allocation (the lecture's scariest diagram). Detection of
     /// UAF on reused blocks is necessarily lost; that is the point.
     pub fn with_reuse(size: u32) -> SimHeap {
-        SimHeap { reuse_freed: true, ..SimHeap::new(size) }
+        SimHeap {
+            reuse_freed: true,
+            ..SimHeap::new(size)
+        }
     }
 
     /// Errors recorded so far (memcheck keeps going after an error).
@@ -194,7 +205,11 @@ impl SimHeap {
 
     /// Bytes currently allocated (live blocks).
     pub fn live_bytes(&self) -> u32 {
-        self.blocks.values().filter(|b| !b.freed).map(|b| b.size).sum()
+        self.blocks
+            .values()
+            .filter(|b| !b.freed)
+            .map(|b| b.size)
+            .sum()
     }
 
     /// `malloc(size)`: contents are UNinitialized (reads are flagged).
@@ -205,7 +220,12 @@ impl SimHeap {
             let p = self.bump;
             self.blocks.insert(
                 p,
-                Block { size: 0, freed: false, tag: tag.to_string(), initialized: vec![] },
+                Block {
+                    size: 0,
+                    freed: false,
+                    tag: tag.to_string(),
+                    initialized: vec![],
+                },
             );
             self.bump += RED_ZONE;
             return Ok(p);
@@ -230,7 +250,11 @@ impl SimHeap {
             }
         }
         let needed = size + RED_ZONE;
-        if self.bump.checked_add(needed).is_none_or(|end| end as usize > self.arena.len()) {
+        if self
+            .bump
+            .checked_add(needed)
+            .is_none_or(|end| end as usize > self.arena.len())
+        {
             return Err(OutOfMemory { requested: size });
         }
         let p = self.bump;
@@ -250,7 +274,9 @@ impl SimHeap {
 
     /// `calloc`: zeroed (and therefore initialized) memory.
     pub fn calloc(&mut self, count: u32, size: u32, tag: &str) -> Result<CPtr, OutOfMemory> {
-        let total = count.checked_mul(size).ok_or(OutOfMemory { requested: u32::MAX })?;
+        let total = count.checked_mul(size).ok_or(OutOfMemory {
+            requested: u32::MAX,
+        })?;
         let p = self.malloc(total, tag)?;
         if let Some(b) = self.blocks.get_mut(&p) {
             b.initialized.iter_mut().for_each(|i| *i = true);
@@ -362,7 +388,12 @@ impl SimHeap {
             .range(..=addr)
             .next_back()
             .map(|(_, b)| b.tag.clone());
-        self.errors.push(MemError { kind, addr, block_tag, was_write });
+        self.errors.push(MemError {
+            kind,
+            addr,
+            block_tag,
+            was_write,
+        });
     }
 
     /// Writes a byte, recording any error. Out-of-arena writes are dropped;
@@ -451,7 +482,9 @@ mod tests {
         let r = h.report();
         assert_eq!(r.leaked_bytes, 100);
         assert_eq!(r.leaked_blocks, vec![("forgotten_buffer".to_string(), 100)]);
-        assert!(r.summary().contains("definitely lost: 100 bytes in 1 blocks"));
+        assert!(r
+            .summary()
+            .contains("definitely lost: 100 bytes in 1 blocks"));
     }
 
     #[test]

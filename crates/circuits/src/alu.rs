@@ -12,9 +12,7 @@
 //! Property tests pin the two against each other bit-for-bit and
 //! flag-for-flag: the structural circuit *is* correct by test, not by fiat.
 
-use crate::components::{
-    decoder, input_bus, is_zero, mux_bus, mux_n, ripple_adder, Bus,
-};
+use crate::components::{decoder, input_bus, is_zero, mux_bus, mux_n, ripple_adder, Bus};
 use crate::netlist::{Circuit, GateKind, NodeId};
 use bits::arith;
 
@@ -183,12 +181,7 @@ pub fn build_alu(c: &mut Circuit, width: usize) -> AluPins {
         &[
             &adder.sum, // Add
             &adder.sum, // Sub (same adder, b inverted)
-            &and_bus,
-            &or_bus,
-            &xor_bus,
-            &not_bus,
-            &shl_bus,
-            &shr_bus,
+            &and_bus, &or_bus, &xor_bus, &not_bus, &shl_bus, &shr_bus,
         ],
     );
 
@@ -225,18 +218,22 @@ pub fn build_alu(c: &mut Circuit, width: usize) -> AluPins {
     c.name(of, "alu_of");
     c.name(pf, "alu_pf");
 
-    AluPins { a, b, op, result, zf, sf, cf, of, pf }
+    AluPins {
+        a,
+        b,
+        op,
+        result,
+        zf,
+        sf,
+        cf,
+        of,
+        pf,
+    }
 }
 
 /// Drives a built ALU with concrete operands and reads out value + flags.
 /// A convenience for tests and the Lab 3 harness.
-pub fn run_alu(
-    c: &mut Circuit,
-    pins: &AluPins,
-    op: AluOp,
-    a: u64,
-    b: u64,
-) -> (u64, AluFlags) {
+pub fn run_alu(c: &mut Circuit, pins: &AluPins, op: AluOp, a: u64, b: u64) -> (u64, AluFlags) {
     c.set_bus(&pins.a, a).expect("a bus");
     c.set_bus(&pins.b, b).expect("b bus");
     c.set_bus(&pins.op, op.code()).expect("op bus");

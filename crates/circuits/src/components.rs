@@ -73,14 +73,21 @@ pub fn ripple_adder(c: &mut Circuit, a: &[NodeId], b: &[NodeId], cin: NodeId) ->
         sum.push(fa.sum);
         carry = fa.carry;
     }
-    RippleAdder { sum, carry_out: carry, carry_into_msb }
+    RippleAdder {
+        sum,
+        carry_out: carry,
+        carry_into_msb,
+    }
 }
 
 /// Builds a ripple-carry **subtractor** (`a - b`) by inverting `b` and
 /// forcing carry-in to 1: the circuit form of "add the two's complement".
 pub fn ripple_subtractor(c: &mut Circuit, a: &[NodeId], b: &[NodeId]) -> RippleAdder {
     let one = c.add_const(true);
-    let nb: Bus = b.iter().map(|&bit| c.add_gate(GateKind::Not, &[bit])).collect();
+    let nb: Bus = b
+        .iter()
+        .map(|&bit| c.add_gate(GateKind::Not, &[bit]))
+        .collect();
     ripple_adder(c, a, &nb, one)
 }
 
@@ -134,11 +141,20 @@ pub fn mux_bus(c: &mut Circuit, sel: &[NodeId], inputs: &[&[NodeId]]) -> Bus {
 /// k-to-2^k decoder: output line `i` is high iff the select bus encodes `i`.
 pub fn decoder(c: &mut Circuit, sel: &[NodeId]) -> Bus {
     let k = sel.len();
-    let nsel: Vec<NodeId> = sel.iter().map(|&s| c.add_gate(GateKind::Not, &[s])).collect();
+    let nsel: Vec<NodeId> = sel
+        .iter()
+        .map(|&s| c.add_gate(GateKind::Not, &[s]))
+        .collect();
     (0..(1usize << k))
         .map(|i| {
             let terms: Vec<NodeId> = (0..k)
-                .map(|bit| if (i >> bit) & 1 == 1 { sel[bit] } else { nsel[bit] })
+                .map(|bit| {
+                    if (i >> bit) & 1 == 1 {
+                        sel[bit]
+                    } else {
+                        nsel[bit]
+                    }
+                })
                 .collect();
             c.add_gate(GateKind::And, &terms)
         })
@@ -165,7 +181,9 @@ pub fn is_zero(c: &mut Circuit, bus: &[NodeId]) -> NodeId {
 
 /// Adds `width` named input pins as a bus.
 pub fn input_bus(c: &mut Circuit, prefix: &str, width: usize) -> Bus {
-    (0..width).map(|i| c.add_input(&format!("{prefix}{i}"))).collect()
+    (0..width)
+        .map(|i| c.add_input(&format!("{prefix}{i}")))
+        .collect()
 }
 
 #[cfg(test)]
@@ -224,7 +242,11 @@ mod tests {
             let expect = arith::sub(8, x, y).unwrap();
             assert_eq!(c.get_bus(&sub.sum), expect.value, "{x:#x}-{y:#x}");
             // Hardware carry-out is the *inverse* of the x86 borrow flag.
-            assert_eq!(!c.get(sub.carry_out), expect.flags.cf, "borrow {x:#x}-{y:#x}");
+            assert_eq!(
+                !c.get(sub.carry_out),
+                expect.flags.cf,
+                "borrow {x:#x}-{y:#x}"
+            );
         }
     }
 

@@ -128,15 +128,11 @@ impl Instr {
                 let opcode = 1 + op as u16; // Add=1 .. Shr=8
                 r3(opcode, rd, rs, rt)
             }
-            Instr::LoadI { rd, imm } => {
-                Ok(9 << 12 | (check_reg(rd)? as u16) << 9 | imm as u16)
-            }
+            Instr::LoadI { rd, imm } => Ok(9 << 12 | (check_reg(rd)? as u16) << 9 | imm as u16),
             Instr::Load { rd, rs } => r3(10, rd, rs, 0),
             Instr::Store { rs, rt } => r3(11, 0, rs, rt),
             Instr::Jmp { addr } => Ok(12 << 12 | addr as u16),
-            Instr::Beqz { rs, addr } => {
-                Ok(13 << 12 | (check_reg(rs)? as u16) << 9 | addr as u16)
-            }
+            Instr::Beqz { rs, addr } => Ok(13 << 12 | (check_reg(rs)? as u16) << 9 | addr as u16),
             Instr::Mov { rd, rs } => r3(14, rd, rs, 0),
             Instr::Nop => Ok(15 << 12),
         }
@@ -151,7 +147,12 @@ impl Instr {
         let imm = (word & 0xFF) as u8;
         match opcode {
             0 => Instr::Halt,
-            1..=8 => Instr::Alu { op: AluOp::all()[(opcode - 1) as usize], rd, rs, rt },
+            1..=8 => Instr::Alu {
+                op: AluOp::all()[(opcode - 1) as usize],
+                rd,
+                rs,
+                rt,
+            },
             9 => Instr::LoadI { rd, imm },
             10 => Instr::Load { rd, rs },
             11 => Instr::Store { rs, rt },
@@ -328,12 +329,22 @@ impl Cpu {
 /// Returns the program; the result lands in r1.
 pub fn sum_1_to_n_program(n: u8) -> Vec<Instr> {
     vec![
-        Instr::LoadI { rd: 1, imm: 0 },        // r1 = acc = 0
-        Instr::LoadI { rd: 2, imm: n },        // r2 = i = n
-        Instr::Beqz { rs: 2, addr: 7 },        // while i != 0
-        Instr::Alu { op: AluOp::Add, rd: 1, rs: 1, rt: 2 }, // acc += i
+        Instr::LoadI { rd: 1, imm: 0 }, // r1 = acc = 0
+        Instr::LoadI { rd: 2, imm: n }, // r2 = i = n
+        Instr::Beqz { rs: 2, addr: 7 }, // while i != 0
+        Instr::Alu {
+            op: AluOp::Add,
+            rd: 1,
+            rs: 1,
+            rt: 2,
+        }, // acc += i
         Instr::LoadI { rd: 3, imm: 1 },
-        Instr::Alu { op: AluOp::Sub, rd: 2, rs: 2, rt: 3 }, // i -= 1
+        Instr::Alu {
+            op: AluOp::Sub,
+            rd: 2,
+            rs: 2,
+            rt: 3,
+        }, // i -= 1
         Instr::Jmp { addr: 2 },
         Instr::Halt,
     ]
@@ -349,8 +360,18 @@ mod tests {
         let cases = vec![
             Instr::Halt,
             Instr::Nop,
-            Instr::Alu { op: AluOp::Add, rd: 1, rs: 2, rt: 3 },
-            Instr::Alu { op: AluOp::Shr, rd: 7, rs: 6, rt: 0 },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: 1,
+                rs: 2,
+                rt: 3,
+            },
+            Instr::Alu {
+                op: AluOp::Shr,
+                rd: 7,
+                rs: 6,
+                rt: 0,
+            },
             Instr::LoadI { rd: 5, imm: 0xAB },
             Instr::Load { rd: 4, rs: 2 },
             Instr::Store { rs: 1, rt: 7 },
@@ -380,7 +401,12 @@ mod tests {
         cpu.load_program(&[
             Instr::LoadI { rd: 1, imm: 40 },
             Instr::LoadI { rd: 2, imm: 2 },
-            Instr::Alu { op: AluOp::Add, rd: 3, rs: 1, rt: 2 },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: 3,
+                rs: 1,
+                rt: 2,
+            },
             Instr::Halt,
         ])
         .unwrap();
@@ -429,7 +455,12 @@ mod tests {
         let mut cpu = Cpu::new();
         cpu.load_program(&[
             Instr::LoadI { rd: 1, imm: 5 },
-            Instr::Alu { op: AluOp::Sub, rd: 2, rs: 1, rt: 1 },
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: 2,
+                rs: 1,
+                rt: 1,
+            },
             Instr::Halt,
         ])
         .unwrap();
@@ -442,8 +473,7 @@ mod tests {
         let mut cpu = Cpu::new();
         cpu.load_program(&sum_1_to_n_program(3)).unwrap();
         cpu.run(100).unwrap();
-        let branches: Vec<&TraceEntry> =
-            cpu.trace.iter().filter(|t| t.is_branch).collect();
+        let branches: Vec<&TraceEntry> = cpu.trace.iter().filter(|t| t.is_branch).collect();
         // 4 BEQZ evaluations (3 not taken, 1 taken) + 3 taken JMPs.
         assert_eq!(branches.len(), 7);
         assert_eq!(branches.iter().filter(|b| b.taken).count(), 4);

@@ -65,7 +65,10 @@ pub struct AccMachine {
 /// The program is baked into the constant/mux instruction fabric, the
 /// gate-level equivalent of burning a ROM.
 pub fn build_acc_machine(c: &mut Circuit, program: &[AccInstr]) -> AccMachine {
-    assert!(!program.is_empty() && program.len() <= 256, "1..=256 instructions");
+    assert!(
+        !program.is_empty() && program.len() <= 256,
+        "1..=256 instructions"
+    );
 
     // --- program counter (8-bit), accumulator (8-bit), halt flag --------
     // Wires first: the datapath is one big feedback loop through the two
@@ -150,16 +153,17 @@ pub fn build_acc_machine(c: &mut Circuit, program: &[AccInstr]) -> AccMachine {
     }
     c.drive_wire(halted_wire, halted).expect("fresh wire");
 
-    AccMachine { pc: pc_reg.q, acc: acc_reg.q, halted, instr }
+    AccMachine {
+        pc: pc_reg.q,
+        acc: acc_reg.q,
+        halted,
+        instr,
+    }
 }
 
 /// Clocks the machine until it halts or `max_cycles` elapse.
 /// Returns the cycle count, or `None` if it never halted.
-pub fn run_acc_machine(
-    c: &mut Circuit,
-    m: &AccMachine,
-    max_cycles: usize,
-) -> Option<usize> {
+pub fn run_acc_machine(c: &mut Circuit, m: &AccMachine, max_cycles: usize) -> Option<usize> {
     c.settle().expect("combinational fabric settles");
     for cycle in 0..max_cycles {
         if c.get(m.halted) {
@@ -182,11 +186,7 @@ mod tests {
 
     #[test]
     fn straight_line_arithmetic() {
-        let (mut c, m) = machine(&[
-            AccInstr::LoadI(40),
-            AccInstr::AddI(2),
-            AccInstr::Halt,
-        ]);
+        let (mut c, m) = machine(&[AccInstr::LoadI(40), AccInstr::AddI(2), AccInstr::Halt]);
         let cycles = run_acc_machine(&mut c, &m, 20).expect("halts");
         assert_eq!(c.get_bus(&m.acc), 42);
         assert_eq!(cycles, 3, "one instruction per clock");

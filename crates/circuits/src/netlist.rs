@@ -174,20 +174,30 @@ impl Circuit {
     }
 
     /// Checked gate construction.
-    pub fn try_add_gate(&mut self, kind: GateKind, inputs: &[NodeId]) -> Result<NodeId, CircuitError> {
+    pub fn try_add_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NodeId],
+    ) -> Result<NodeId, CircuitError> {
         let arity_ok = match kind {
             GateKind::Not => inputs.len() == 1,
             _ => !inputs.is_empty(),
         };
         if !arity_ok {
-            return Err(CircuitError::BadArity { kind, got: inputs.len() });
+            return Err(CircuitError::BadArity {
+                kind,
+                got: inputs.len(),
+            });
         }
         for i in inputs {
             if i.0 >= self.nodes.len() {
                 return Err(CircuitError::DanglingWire(i.0));
             }
         }
-        Ok(self.push(Node::Gate { kind, inputs: inputs.to_vec() }))
+        Ok(self.push(Node::Gate {
+            kind,
+            inputs: inputs.to_vec(),
+        }))
     }
 
     /// Adds a rising-edge D flip-flop whose D pin reads `d`.
@@ -276,8 +286,7 @@ impl Circuit {
             for (i, node) in self.nodes.iter().enumerate() {
                 let v = match node {
                     Node::Gate { kind, inputs } => {
-                        let in_vals: Vec<bool> =
-                            inputs.iter().map(|n| self.values[n.0]).collect();
+                        let in_vals: Vec<bool> = inputs.iter().map(|n| self.values[n.0]).collect();
                         kind.eval(&in_vals)
                     }
                     Node::Wire { src: Some(s) } => self.values[s.0],
@@ -488,14 +497,20 @@ mod tests {
         let a = c.add_input("a");
         assert_eq!(
             c.try_add_gate(GateKind::Not, &[a, a]).unwrap_err(),
-            CircuitError::BadArity { kind: GateKind::Not, got: 2 }
+            CircuitError::BadArity {
+                kind: GateKind::Not,
+                got: 2
+            }
         );
         assert_eq!(
             c.try_add_gate(GateKind::And, &[NodeId(99)]).unwrap_err(),
             CircuitError::DanglingWire(99)
         );
         let g = c.add_gate(GateKind::Not, &[a]);
-        assert_eq!(c.set_input(g, true).unwrap_err(), CircuitError::NotAnInput(g.0));
+        assert_eq!(
+            c.set_input(g, true).unwrap_err(),
+            CircuitError::NotAnInput(g.0)
+        );
         assert!(c.lookup("nope").is_err());
         assert!(c.lookup("a").is_ok());
     }

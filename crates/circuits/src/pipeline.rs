@@ -30,7 +30,10 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { forwarding: true, taken_branch_penalty: 2 }
+        PipelineConfig {
+            forwarding: true,
+            taken_branch_penalty: 2,
+        }
     }
 }
 
@@ -57,7 +60,11 @@ pub fn multi_cycle(stream: &[TraceEntry]) -> ExecReport {
     ExecReport {
         instructions: n,
         cycles,
-        ipc: if cycles == 0 { 0.0 } else { n as f64 / cycles as f64 },
+        ipc: if cycles == 0 {
+            0.0
+        } else {
+            n as f64 / cycles as f64
+        },
         stall_cycles: 0,
         flush_cycles: 0,
     }
@@ -78,7 +85,13 @@ pub fn multi_cycle(stream: &[TraceEntry]) -> ExecReport {
 pub fn pipelined(stream: &[TraceEntry], cfg: PipelineConfig) -> ExecReport {
     let n = stream.len() as u64;
     if n == 0 {
-        return ExecReport { instructions: 0, cycles: 0, ipc: 0.0, stall_cycles: 0, flush_cycles: 0 };
+        return ExecReport {
+            instructions: 0,
+            cycles: 0,
+            ipc: 0.0,
+            stall_cycles: 0,
+            flush_cycles: 0,
+        };
     }
 
     // ready[r] = earliest issue cycle at which a consumer of register r can
@@ -214,7 +227,13 @@ mod tests {
     fn forwarding_eliminates_alu_stalls() {
         let s = dependent_stream(100);
         let fwd = pipelined(&s, PipelineConfig::default());
-        let nofwd = pipelined(&s, PipelineConfig { forwarding: false, ..Default::default() });
+        let nofwd = pipelined(
+            &s,
+            PipelineConfig {
+                forwarding: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(fwd.stall_cycles, 0);
         // Without forwarding each dependent pair costs 2 bubbles.
         assert_eq!(nofwd.stall_cycles, 2 * 99);

@@ -29,7 +29,10 @@ pub struct RegFilePins {
 /// Builds a register file with `nregs` registers (power of two) of `width`
 /// bits. Writes land on [`Circuit::tick`]; reads are combinational.
 pub fn build_regfile(c: &mut Circuit, nregs: usize, width: usize) -> RegFilePins {
-    assert!(nregs.is_power_of_two() && nregs >= 2, "nregs must be a power of two >= 2");
+    assert!(
+        nregs.is_power_of_two() && nregs >= 2,
+        "nregs must be a power of two >= 2"
+    );
     let selbits = nregs.trailing_zeros() as usize;
 
     let wdata = input_bus(c, "rf_wdata", width);
@@ -51,7 +54,16 @@ pub fn build_regfile(c: &mut Circuit, nregs: usize, width: usize) -> RegFilePins
     let adata = mux_bus(c, &asel, &reg_refs);
     let bdata = mux_bus(c, &bsel, &reg_refs);
 
-    RegFilePins { wdata, wsel, wen, asel, bsel, adata, bdata, regs }
+    RegFilePins {
+        wdata,
+        wsel,
+        wen,
+        asel,
+        bsel,
+        adata,
+        bdata,
+        regs,
+    }
 }
 
 #[cfg(test)]

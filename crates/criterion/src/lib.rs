@@ -45,7 +45,11 @@ impl Criterion {
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     /// Runs one free-standing benchmark.
@@ -96,7 +100,9 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_one(&label, self.criterion.sample_size, self.throughput, |b| f(b, input));
+        run_one(&label, self.criterion.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -113,7 +119,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `new("sort", 1024)` → `sort/1024`.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { rendered: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            rendered: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 }
 
@@ -186,7 +194,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
-    let mut b = Bencher { samples: Vec::new(), iters_per_sample: 1, sample_size };
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        sample_size,
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{label:<40} (no measurement: Bencher::iter never called)");

@@ -88,7 +88,10 @@ impl GradeReport {
                 CaseOutcome::Fault(d) => format!("FAULT: {d}"),
                 CaseOutcome::TimedOut => "TIMEOUT".to_string(),
             };
-            out.push_str(&format!("  [{:>2}/{:>2}] {}: {mark}\n", c.earned, c.possible, c.name));
+            out.push_str(&format!(
+                "  [{:>2}/{:>2}] {}: {mark}\n",
+                c.earned, c.possible, c.name
+            ));
         }
         out
     }
@@ -158,8 +161,17 @@ pub fn grade(source: &str, rubric: &[TestCase], fuel: u64) -> GradeReport {
         })()
         .unwrap_or_else(|e| CaseOutcome::Fault(e.to_string()));
 
-        let earned = if outcome == CaseOutcome::Pass { t.points } else { 0 };
-        cases.push(CaseResult { name: t.name.clone(), outcome, earned, possible: t.points });
+        let earned = if outcome == CaseOutcome::Pass {
+            t.points
+        } else {
+            0
+        };
+        cases.push(CaseResult {
+            name: t.name.clone(),
+            outcome,
+            earned,
+            possible: t.points,
+        });
     }
     GradeReport {
         earned: cases.iter().map(|c| c.earned).sum(),

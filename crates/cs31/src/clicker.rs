@@ -88,7 +88,11 @@ pub fn question_bank() -> Vec<ClickerQuestion> {
                 "for j { for i { a[i][j] } }".into(),
                 "identical".into(),
             ],
-            correct: if row.stats().hit_rate() > col.stats().hit_rate() { 0 } else { 99 },
+            correct: if row.stats().hit_rate() > col.stats().hit_rate() {
+                0
+            } else {
+                99
+            },
             explanation: format!(
                 "hit rates: row-major {:.0}% vs column-major {:.0}%",
                 row.stats().hit_rate() * 100.0,
@@ -103,7 +107,12 @@ pub fn question_bank() -> Vec<ClickerQuestion> {
         let mut k = os::Kernel::new(2);
         k.register_program(
             "q",
-            program(vec![Op::Fork, Op::Fork, Op::Print("hi".into()), Op::Exit(0)]),
+            program(vec![
+                Op::Fork,
+                Op::Fork,
+                Op::Print("hi".into()),
+                Op::Exit(0),
+            ]),
         );
         k.spawn("q").expect("registered");
         assert!(k.run_until_idle(10_000));
@@ -125,7 +134,12 @@ pub fn question_bank() -> Vec<ClickerQuestion> {
             prompt: "Half of a program is inherently serial. With infinitely many \
                      cores, the best possible overall speedup is:"
                 .into(),
-            choices: vec!["2x".into(), "10x".into(), "half the cores".into(), "unbounded".into()],
+            choices: vec![
+                "2x".into(),
+                "10x".into(),
+                "half the cores".into(),
+                "unbounded".into(),
+            ],
             correct: if (s - 2.0).abs() < 0.01 { 0 } else { 99 },
             explanation: format!("Amdahl at f=0.5, p=10^6: {s:.3}x (limit 1/f = 2)"),
         });
@@ -160,7 +174,12 @@ pub fn question_bank() -> Vec<ClickerQuestion> {
             prompt: "With a 98%-hit TLB (1ns) over 100ns memory and a one-level page \
                      table, effective access time is roughly:"
                 .into(),
-            choices: vec!["100 ns".into(), "103 ns".into(), "200 ns".into(), "2 ns".into()],
+            choices: vec![
+                "100 ns".into(),
+                "103 ns".into(),
+                "200 ns".into(),
+                "2 ns".into(),
+            ],
             correct: if (with - 103.0).abs() < 1.0 { 1 } else { 99 },
             explanation: format!("EAT with TLB ≈ {with:.0}ns; without: {without:.0}ns"),
         });

@@ -58,20 +58,104 @@ pub struct Week {
 pub fn week_schedule() -> Vec<Week> {
     use CourseTheme::*;
     vec![
-        Week { number: 1, module: "intro + tools; binary data representation", theme: HowAProgramRuns, crate_name: "bits", lab: Some(0) },
-        Week { number: 2, module: "binary arithmetic; C programming basics", theme: HowAProgramRuns, crate_name: "bits", lab: Some(1) },
-        Week { number: 3, module: "C functions, arrays, strings, I/O", theme: HowAProgramRuns, crate_name: "cstring", lab: Some(2) },
-        Week { number: 4, module: "logic gates and circuits", theme: HowAProgramRuns, crate_name: "circuits", lab: None },
-        Week { number: 5, module: "ALU, register file, a simple CPU; pipelining", theme: HowAProgramRuns, crate_name: "circuits", lab: Some(3) },
-        Week { number: 6, module: "program memory, pointers, dynamic allocation", theme: HowAProgramRuns, crate_name: "cheap", lab: Some(4) },
-        Week { number: 7, module: "IA-32 assembly: arithmetic, control flow", theme: HowAProgramRuns, crate_name: "asm", lab: None },
-        Week { number: 8, module: "assembly: function call/return, the stack", theme: HowAProgramRuns, crate_name: "asm", lab: Some(5) },
-        Week { number: 9, module: "storage devices and the memory hierarchy", theme: SystemsCosts, crate_name: "memsim", lab: Some(6) },
-        Week { number: 10, module: "caching: direct-mapped and set-associative", theme: SystemsCosts, crate_name: "memsim", lab: Some(7) },
-        Week { number: 11, module: "the OS: processes, fork/exec/wait, signals", theme: HowAProgramRuns, crate_name: "os", lab: Some(8) },
-        Week { number: 12, module: "virtual memory: page tables, TLB", theme: SystemsCosts, crate_name: "vmem", lab: Some(9) },
-        Week { number: 13, module: "threads, races, synchronization primitives", theme: ParallelComputing, crate_name: "parallel", lab: None },
-        Week { number: 14, module: "parallel performance; producer/consumer", theme: ParallelComputing, crate_name: "life", lab: Some(10) },
+        Week {
+            number: 1,
+            module: "intro + tools; binary data representation",
+            theme: HowAProgramRuns,
+            crate_name: "bits",
+            lab: Some(0),
+        },
+        Week {
+            number: 2,
+            module: "binary arithmetic; C programming basics",
+            theme: HowAProgramRuns,
+            crate_name: "bits",
+            lab: Some(1),
+        },
+        Week {
+            number: 3,
+            module: "C functions, arrays, strings, I/O",
+            theme: HowAProgramRuns,
+            crate_name: "cstring",
+            lab: Some(2),
+        },
+        Week {
+            number: 4,
+            module: "logic gates and circuits",
+            theme: HowAProgramRuns,
+            crate_name: "circuits",
+            lab: None,
+        },
+        Week {
+            number: 5,
+            module: "ALU, register file, a simple CPU; pipelining",
+            theme: HowAProgramRuns,
+            crate_name: "circuits",
+            lab: Some(3),
+        },
+        Week {
+            number: 6,
+            module: "program memory, pointers, dynamic allocation",
+            theme: HowAProgramRuns,
+            crate_name: "cheap",
+            lab: Some(4),
+        },
+        Week {
+            number: 7,
+            module: "IA-32 assembly: arithmetic, control flow",
+            theme: HowAProgramRuns,
+            crate_name: "asm",
+            lab: None,
+        },
+        Week {
+            number: 8,
+            module: "assembly: function call/return, the stack",
+            theme: HowAProgramRuns,
+            crate_name: "asm",
+            lab: Some(5),
+        },
+        Week {
+            number: 9,
+            module: "storage devices and the memory hierarchy",
+            theme: SystemsCosts,
+            crate_name: "memsim",
+            lab: Some(6),
+        },
+        Week {
+            number: 10,
+            module: "caching: direct-mapped and set-associative",
+            theme: SystemsCosts,
+            crate_name: "memsim",
+            lab: Some(7),
+        },
+        Week {
+            number: 11,
+            module: "the OS: processes, fork/exec/wait, signals",
+            theme: HowAProgramRuns,
+            crate_name: "os",
+            lab: Some(8),
+        },
+        Week {
+            number: 12,
+            module: "virtual memory: page tables, TLB",
+            theme: SystemsCosts,
+            crate_name: "vmem",
+            lab: Some(9),
+        },
+        Week {
+            number: 13,
+            module: "threads, races, synchronization primitives",
+            theme: ParallelComputing,
+            crate_name: "parallel",
+            lab: None,
+        },
+        Week {
+            number: 14,
+            module: "parallel performance; producer/consumer",
+            theme: ParallelComputing,
+            crate_name: "life",
+            lab: Some(10),
+        },
     ]
 }
 
@@ -118,7 +202,10 @@ mod tests {
         let s = week_schedule();
         assert!(s[0].module.contains("binary"));
         assert_eq!(s.last().unwrap().theme, CourseTheme::ParallelComputing);
-        let first_parallel = s.iter().position(|w| w.theme == CourseTheme::ParallelComputing).unwrap();
+        let first_parallel = s
+            .iter()
+            .position(|w| w.theme == CourseTheme::ParallelComputing)
+            .unwrap();
         assert!(first_parallel >= 12, "parallelism is the final module");
     }
 

@@ -53,7 +53,11 @@ pub fn generate(kind: ExamKind, seed: u64) -> Exam {
         .into_iter()
         .filter(|q| modules.contains(&q.module))
         .collect();
-    Exam { kind, problems, multiple_choice }
+    Exam {
+        kind,
+        problems,
+        multiple_choice,
+    }
 }
 
 impl Exam {
@@ -109,8 +113,14 @@ mod tests {
     fn final_covers_parallelism_midterm_does_not() {
         let mid = generate(ExamKind::Midterm, 2);
         let fin = generate(ExamKind::Final, 2);
-        assert!(fin.multiple_choice.iter().any(|q| q.module == "parallelism"));
-        assert!(mid.multiple_choice.iter().all(|q| q.module != "parallelism"));
+        assert!(fin
+            .multiple_choice
+            .iter()
+            .any(|q| q.module == "parallelism"));
+        assert!(mid
+            .multiple_choice
+            .iter()
+            .all(|q| q.module != "parallelism"));
     }
 
     #[test]

@@ -63,7 +63,10 @@ pub fn assign_groups(
         return Err(GroupError::BadSizeBand);
     }
     if n_students < min_size {
-        return Err(GroupError::TooFewStudents { students: n_students, min_size });
+        return Err(GroupError::TooFewStudents {
+            students: n_students,
+            min_size,
+        });
     }
     let mut order: Vec<usize> = (0..n_students).collect();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -74,7 +77,10 @@ pub fn assign_groups(
     // The remainder spreads one student to each of the first `remainder`
     // groups; that requires remainder <= n_groups * (max_size - min_size).
     if remainder > n_groups * (max_size - min_size) {
-        return Err(GroupError::TooFewStudents { students: n_students, min_size });
+        return Err(GroupError::TooFewStudents {
+            students: n_students,
+            min_size,
+        });
     }
 
     let mut groups: Vec<Vec<usize>> = vec![Vec::with_capacity(max_size); n_groups];

@@ -43,14 +43,24 @@ pub fn binary_arithmetic(seed: u64) -> Problem {
         r.flags.of,
         t.decode_signed(a),
     );
-    Problem { set: "Binary and arithmetic", prompt, solution }
+    Problem {
+        set: "Binary and arithmetic",
+        prompt,
+        solution,
+    }
 }
 
 /// HW "Circuits": trace a random three-gate circuit to its truth table.
 pub fn circuit_table(seed: u64) -> Problem {
     use circuits::netlist::{Circuit, GateKind};
     let mut rng = StdRng::seed_from_u64(seed);
-    let kinds = [GateKind::And, GateKind::Or, GateKind::Xor, GateKind::Nand, GateKind::Nor];
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Xor,
+        GateKind::Nand,
+        GateKind::Nor,
+    ];
     let g1k = kinds[rng.gen_range(0..kinds.len())];
     let g2k = kinds[rng.gen_range(0..kinds.len())];
     let g3k = kinds[rng.gen_range(0..kinds.len())];
@@ -81,7 +91,11 @@ pub fn circuit_table(seed: u64) -> Problem {
             outs[0] as u8
         ));
     }
-    Problem { set: "Circuits", prompt, solution }
+    Problem {
+        set: "Circuits",
+        prompt,
+        solution,
+    }
 }
 
 /// HW "Simple assembly": trace a short snippet; show final registers.
@@ -107,7 +121,11 @@ pub fn assembly_trace(seed: u64) -> Problem {
         m.flags.pretty(),
         m.dump_registers()
     );
-    Problem { set: "Simple assembly", prompt, solution }
+    Problem {
+        set: "Simple assembly",
+        prompt,
+        solution,
+    }
 }
 
 /// HW "Direct mapped caching": trace a short access sequence.
@@ -154,7 +172,10 @@ pub fn set_associative_trace(seed: u64) -> Problem {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
     let mut cache = Cache::new(CacheConfig::set_associative(2, 2, 16)).expect("valid geometry");
     let trace: Vec<TraceEvent> = (0..10)
-        .map(|_| TraceEvent { addr: rng.gen_range(0..6u64) * 16, kind: AccessKind::Load })
+        .map(|_| TraceEvent {
+            addr: rng.gen_range(0..6u64) * 16,
+            kind: AccessKind::Load,
+        })
         .collect();
     let outcomes = cache.run_trace(&trace);
     let prompt = format!(
@@ -187,7 +208,11 @@ pub fn vm_trace(seed: u64) -> Problem {
     let accesses: Vec<(u64, AccessKind)> = (0..8)
         .map(|_| {
             let vaddr = rng.gen_range(0..6u64) * 256 + rng.gen_range(0..256u64);
-            let kind = if rng.gen_bool(0.25) { AccessKind::Store } else { AccessKind::Load };
+            let kind = if rng.gen_bool(0.25) {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
             (vaddr, kind)
         })
         .collect();
@@ -210,9 +235,16 @@ pub fn vm_trace(seed: u64) -> Problem {
         "A system has 256-byte pages and 3 physical frames (LRU).\n\
          Trace these accesses, marking page faults and evictions, and\n\
          draw the final page table: {:?}",
-        accesses.iter().map(|(a, _)| format!("{a:#x}")).collect::<Vec<_>>()
+        accesses
+            .iter()
+            .map(|(a, _)| format!("{a:#x}"))
+            .collect::<Vec<_>>()
     );
-    Problem { set: "Virtual memory 1", prompt, solution }
+    Problem {
+        set: "Virtual memory 1",
+        prompt,
+        solution,
+    }
 }
 
 /// HW "Processes": a fork puzzle — how many lines does this print?
@@ -239,7 +271,11 @@ pub fn fork_puzzle(seed: u64) -> Problem {
         "2^{forks} = {printed} lines (each fork doubles the set of processes\n\
          that will reach the print; verified by the kernel simulator)"
     );
-    Problem { set: "Processes", prompt, solution }
+    Problem {
+        set: "Processes",
+        prompt,
+        solution,
+    }
 }
 
 /// HW "Threads": producer/consumer sizing — where is synchronization
@@ -262,7 +298,11 @@ pub fn threads_producer_consumer(seed: u64) -> Problem {
          hardware artifact; correctness is the point).",
         r.items, r.exactly_once
     );
-    Problem { set: "Threads", prompt, solution }
+    Problem {
+        set: "Threads",
+        prompt,
+        solution,
+    }
 }
 
 /// A named homework generator.
@@ -331,7 +371,11 @@ mod tests {
     #[test]
     fn vm_trace_shows_faults_and_table() {
         let p = vm_trace(9);
-        assert!(p.solution.contains("FAULT"), "first touches fault:\n{}", p.solution);
+        assert!(
+            p.solution.contains("FAULT"),
+            "first touches fault:\n{}",
+            p.solution
+        );
         assert!(p.solution.contains("page table"));
     }
 

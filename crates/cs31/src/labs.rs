@@ -124,7 +124,10 @@ fn lab0() -> Result<String, Box<dyn Error>> {
     let mut out = String::from("Lab 0: command-line warm-up\n");
     for line in ["ls -l", "cat notes.txt", "top &"] {
         let p = os::shell::parse_command(line)?;
-        out.push_str(&format!("{line:?} -> tokens {:?} bg={}\n", p.tokens, p.background));
+        out.push_str(&format!(
+            "{line:?} -> tokens {:?} bg={}\n",
+            p.tokens, p.background
+        ));
     }
     Ok(out)
 }
@@ -144,7 +147,10 @@ fn lab1() -> Result<String, Box<dyn Error>> {
     // Part 2: properties of C variables (the max-int probe).
     let int = CType::signed(CInt::Int);
     out.push_str(&format!("INT_MAX probe: {}\n", int.max()));
-    out.push_str(&format!("INT_MAX + 1 wraps to {}\n", int.value_of(int.store_wrapping(int.max() + 1))));
+    out.push_str(&format!(
+        "INT_MAX + 1 wraps to {}\n",
+        int.value_of(int.store_wrapping(int.max() + 1))
+    ));
     if int.value_of(int.store_wrapping(int.max() + 1)) != int.min() as i128 {
         return Err("overflow should wrap to INT_MIN".into());
     }
@@ -212,10 +218,7 @@ fn lab3() -> Result<String, Box<dyn Error>> {
     use circuits::alu::{build_alu, run_alu, AluOp};
     let mut c = circuits::Circuit::new();
     let pins = build_alu(&mut c, 8);
-    let mut out = format!(
-        "Lab 3: structural ALU, {} gates, width 8\n",
-        c.gate_count()
-    );
+    let mut out = format!("Lab 3: structural ALU, {} gates, width 8\n", c.gate_count());
     for (op, a, b) in [
         (AluOp::Add, 0x7Fu64, 0x01u64),
         (AluOp::Sub, 5, 5),
@@ -307,7 +310,8 @@ fn lab5() -> Result<String, Box<dyn Error>> {
 
 fn lab6() -> Result<String, Box<dyn Error>> {
     use life::{serial, Boundary, Grid};
-    let file = "8 8 12\n........\n..#.....\n...#....\n.###....\n........\n........\n........\n........\n";
+    let file =
+        "8 8 12\n........\n..#.....\n...#....\n.###....\n........\n........\n........\n........\n";
     let (grid, rounds) = Grid::from_file_format(file, Boundary::Toroidal)?;
     let (after, history) = serial::run(grid, rounds);
     let mut out = format!(
@@ -352,10 +356,17 @@ fn lab9() -> Result<String, Box<dyn Error>> {
     use os::proc::{program, Op};
     use os::shell::{Shell, ShellEvent};
     let mut k = os::Kernel::new(2);
-    k.register_program("ls", program(vec![Op::Print("a.txt b.txt".into()), Op::Exit(0)]));
+    k.register_program(
+        "ls",
+        program(vec![Op::Print("a.txt b.txt".into()), Op::Exit(0)]),
+    );
     k.register_program(
         "spin",
-        program(vec![Op::Compute(15), Op::Print("spin done".into()), Op::Exit(0)]),
+        program(vec![
+            Op::Compute(15),
+            Op::Print("spin done".into()),
+            Op::Exit(0),
+        ]),
     );
     let mut sh = Shell::new(k);
     let mut out = String::from("Lab 9: shell session\n");
@@ -386,7 +397,7 @@ fn lab9() -> Result<String, Box<dyn Error>> {
 }
 
 fn lab10() -> Result<String, Box<dyn Error>> {
-    use life::machsim::{speedup_table};
+    use life::machsim::speedup_table;
     use life::{grid::GLIDER, parallel, serial, Boundary, Grid, Partition};
     let mut g = Grid::new(32, 32, Boundary::Toroidal)?;
     g.stamp(4, 4, GLIDER);

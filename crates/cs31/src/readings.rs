@@ -21,23 +21,42 @@ pub struct Reading {
 pub fn reading_schedule() -> Vec<Reading> {
     let chapter_for = |w: &Week| -> ((u32, &'static str), &'static str) {
         match w.crate_name {
-            "bits" => ((4, "Binary and Data Representation"), "binary representation"),
+            "bits" => (
+                (4, "Binary and Data Representation"),
+                "binary representation",
+            ),
             "cstring" => ((2, "A Deeper Dive into C"), "binary representation"),
-            "cheap" => ((3, "C Debugging Tools (GDB and Valgrind)"), "binary representation"),
-            "circuits" => ((5, "What von Neumann Knew: Computer Architecture"), "architecture"),
+            "cheap" => (
+                (3, "C Debugging Tools (GDB and Valgrind)"),
+                "binary representation",
+            ),
+            "circuits" => (
+                (5, "What von Neumann Knew: Computer Architecture"),
+                "architecture",
+            ),
             "asm" => ((8, "32-bit x86 Assembly (IA32)"), "architecture"),
             "memsim" => ((11, "Storage and the Memory Hierarchy"), "caching"),
             "os" => ((13, "The Operating System"), "processes"),
             "vmem" => ((13, "The Operating System"), "virtual memory"),
-            "parallel" | "life" => ((14, "Leveraging Shared Memory in the Multicore Era"), "parallelism"),
-            _ => ((1, "By the C, by the C, by the Beautiful C"), "binary representation"),
+            "parallel" | "life" => (
+                (14, "Leveraging Shared Memory in the Multicore Era"),
+                "parallelism",
+            ),
+            _ => (
+                (1, "By the C, by the C, by the Beautiful C"),
+                "binary representation",
+            ),
         }
     };
     week_schedule()
         .iter()
         .map(|w| {
             let (dis_chapter, quiz_module) = chapter_for(w);
-            Reading { week: w.number, dis_chapter, quiz_module }
+            Reading {
+                week: w.number,
+                dis_chapter,
+                quiz_module,
+            }
         })
         .collect()
 }

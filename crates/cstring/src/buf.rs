@@ -42,7 +42,10 @@ pub fn strlen(s: &[u8]) -> Result<usize, StrError> {
 pub fn strcpy(dst: &mut [u8], src: &[u8]) -> Result<usize, StrError> {
     let n = strlen(src)?;
     if n + 1 > dst.len() {
-        return Err(StrError::DestinationTooSmall { needed: n + 1, have: dst.len() });
+        return Err(StrError::DestinationTooSmall {
+            needed: n + 1,
+            have: dst.len(),
+        });
     }
     dst[..=n].copy_from_slice(&src[..=n]);
     Ok(n)
@@ -54,7 +57,10 @@ pub fn strcpy(dst: &mut [u8], src: &[u8]) -> Result<usize, StrError> {
 /// NUL-terminated within the first `n` bytes.
 pub fn strncpy(dst: &mut [u8], src: &[u8], n: usize) -> Result<bool, StrError> {
     if n > dst.len() {
-        return Err(StrError::DestinationTooSmall { needed: n, have: dst.len() });
+        return Err(StrError::DestinationTooSmall {
+            needed: n,
+            have: dst.len(),
+        });
     }
     let len = strlen(src)?;
     for i in 0..n {
@@ -69,7 +75,10 @@ pub fn strcat(dst: &mut [u8], src: &[u8]) -> Result<usize, StrError> {
     let slen = strlen(src)?;
     let needed = dlen + slen + 1;
     if needed > dst.len() {
-        return Err(StrError::DestinationTooSmall { needed, have: dst.len() });
+        return Err(StrError::DestinationTooSmall {
+            needed,
+            have: dst.len(),
+        });
     }
     dst[dlen..dlen + slen + 1].copy_from_slice(&src[..=slen]);
     Ok(dlen + slen)
@@ -204,7 +213,11 @@ impl Tokenizer {
     /// Tokenizes the string in `s` on the `delims` bytes.
     pub fn new(s: &[u8], delims: &[u8]) -> Result<Tokenizer, StrError> {
         let len = strlen(s)?;
-        Ok(Tokenizer { bytes: s[..len].to_vec(), pos: 0, delims: delims.to_vec() })
+        Ok(Tokenizer {
+            bytes: s[..len].to_vec(),
+            pos: 0,
+            delims: delims.to_vec(),
+        })
     }
 
     /// Next token, or `None` when exhausted.

@@ -34,12 +34,7 @@ pub fn h_strlen(heap: &mut SimHeap, ptr: CPtr) -> u32 {
 
 /// Heap `strcat`: returns a *new* allocation holding `a + b` (the safe
 /// idiom the course teaches after showing the in-place footgun).
-pub fn h_concat(
-    heap: &mut SimHeap,
-    a: CPtr,
-    b: CPtr,
-    tag: &str,
-) -> Result<CPtr, OutOfMemory> {
+pub fn h_concat(heap: &mut SimHeap, a: CPtr, b: CPtr, tag: &str) -> Result<CPtr, OutOfMemory> {
     let sa = read_cstr(heap, a, u32::MAX);
     let sb = read_cstr(heap, b, u32::MAX);
     let p = heap.malloc((sa.len() + sb.len() + 1) as u32, tag)?;

@@ -20,4 +20,7 @@
 pub mod buf;
 pub mod heap;
 
-pub use buf::{atoi, strcat, strchr, strcmp, strcpy, strcspn, strlen, strncmp, strncpy, strpbrk, strrchr, strspn, strstr, StrError, Tokenizer};
+pub use buf::{
+    atoi, strcat, strchr, strcmp, strcpy, strcspn, strlen, strncmp, strncpy, strpbrk, strrchr,
+    strspn, strstr, StrError, Tokenizer,
+};

@@ -59,7 +59,12 @@ impl Grid {
         if rows == 0 || cols == 0 {
             return Err(GridError::EmptyGrid);
         }
-        Ok(Grid { rows, cols, cells: vec![false; rows * cols], boundary })
+        Ok(Grid {
+            rows,
+            cols,
+            cells: vec![false; rows * cols],
+            boundary,
+        })
     }
 
     /// Rows.
@@ -137,7 +142,9 @@ impl Grid {
     /// Returns the grid and the round count from the header.
     pub fn from_file_format(text: &str, boundary: Boundary) -> Result<(Grid, usize), GridError> {
         let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-        let header = lines.next().ok_or_else(|| GridError::Parse("empty file".into()))?;
+        let header = lines
+            .next()
+            .ok_or_else(|| GridError::Parse("empty file".into()))?;
         let parts: Vec<&str> = header.split_whitespace().collect();
         if parts.len() != 3 {
             return Err(GridError::Parse(format!(
@@ -168,9 +175,7 @@ impl Grid {
                     '#' | '1' | '*' => grid.set(r, c, true),
                     '.' | '0' => {}
                     other => {
-                        return Err(GridError::Parse(format!(
-                            "bad cell {other:?} at ({r},{c})"
-                        )))
+                        return Err(GridError::Parse(format!("bad cell {other:?} at ({r},{c})")))
                     }
                 }
             }

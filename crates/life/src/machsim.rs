@@ -22,7 +22,10 @@ pub struct LifeCosts {
 
 impl Default for LifeCosts {
     fn default() -> Self {
-        LifeCosts { per_cell: 10, stats_crit: 5 }
+        LifeCosts {
+            per_cell: 10,
+            stats_crit: 5,
+        }
     }
 }
 
@@ -79,7 +82,15 @@ pub fn speedup_table(
     threads
         .iter()
         .map(|&t| {
-            let r = simulate_life(rows, cols, rounds, t, Partition::Rows, LifeCosts::default(), machine);
+            let r = simulate_life(
+                rows,
+                cols,
+                rounds,
+                t,
+                Partition::Rows,
+                LifeCosts::default(),
+                machine,
+            );
             (t, r.speedup())
         })
         .collect()
@@ -91,7 +102,12 @@ mod tests {
     use parallel::laws::{classify, SpeedupClass};
 
     fn sixteen_core() -> MachineConfig {
-        MachineConfig { cores: 16, barrier_cost: 50, lock_overhead: 10, contention: 0.0 }
+        MachineConfig {
+            cores: 16,
+            barrier_cost: 50,
+            lock_overhead: 10,
+            contention: 0.0,
+        }
     }
 
     #[test]
@@ -108,23 +124,61 @@ mod tests {
         // 8x8 grid: barrier overhead swamps 16 threads — the "why is my
         // tiny test case slower" office-hours question.
         let r16 = simulate_life(
-            8, 8, 100, 16, Partition::Rows, LifeCosts::default(), sixteen_core(),
+            8,
+            8,
+            100,
+            16,
+            Partition::Rows,
+            LifeCosts::default(),
+            sixteen_core(),
         );
         assert!(r16.speedup() < 8.0, "got {}", r16.speedup());
     }
 
     #[test]
     fn row_and_column_partitions_balance_equally_when_divisible() {
-        let a = simulate_life(64, 64, 10, 16, Partition::Rows, LifeCosts::default(), sixteen_core());
-        let b = simulate_life(64, 64, 10, 16, Partition::Columns, LifeCosts::default(), sixteen_core());
+        let a = simulate_life(
+            64,
+            64,
+            10,
+            16,
+            Partition::Rows,
+            LifeCosts::default(),
+            sixteen_core(),
+        );
+        let b = simulate_life(
+            64,
+            64,
+            10,
+            16,
+            Partition::Columns,
+            LifeCosts::default(),
+            sixteen_core(),
+        );
         assert!((a.parallel_time - b.parallel_time).abs() < 1e-6);
     }
 
     #[test]
     fn ragged_partition_is_slower_than_even() {
         // 17 rows over 16 threads: one thread gets 2 rows → ~2x phase time.
-        let even = simulate_life(16, 64, 10, 16, Partition::Rows, LifeCosts::default(), sixteen_core());
-        let ragged = simulate_life(17, 64, 10, 16, Partition::Rows, LifeCosts::default(), sixteen_core());
+        let even = simulate_life(
+            16,
+            64,
+            10,
+            16,
+            Partition::Rows,
+            LifeCosts::default(),
+            sixteen_core(),
+        );
+        let ragged = simulate_life(
+            17,
+            64,
+            10,
+            16,
+            Partition::Rows,
+            LifeCosts::default(),
+            sixteen_core(),
+        );
         assert!(ragged.parallel_time > even.parallel_time * 1.5);
     }
 

@@ -131,12 +131,24 @@ pub fn bands(rows: usize, cols: usize, threads: usize, partition: Partition) -> 
         Partition::Rows => split(rows)
             .into_iter()
             .enumerate()
-            .map(|(t, (r0, r1))| Band { thread: t, r0, r1, c0: 0, c1: cols })
+            .map(|(t, (r0, r1))| Band {
+                thread: t,
+                r0,
+                r1,
+                c0: 0,
+                c1: cols,
+            })
             .collect(),
         Partition::Columns => split(cols)
             .into_iter()
             .enumerate()
-            .map(|(t, (c0, c1))| Band { thread: t, r0: 0, r1: rows, c0, c1 })
+            .map(|(t, (c0, c1))| Band {
+                thread: t,
+                r0: 0,
+                r1: rows,
+                c0,
+                c1,
+            })
             .collect(),
     }
 }
@@ -177,8 +189,11 @@ pub fn run(grid: Grid, rounds: usize, threads: usize, partition: Partition) -> P
             let stats = &stats;
             s.spawn(move || {
                 for round in 0..rounds {
-                    let (read, write) =
-                        if round % 2 == 0 { (buf_a, buf_b) } else { (buf_b, buf_a) };
+                    let (read, write) = if round % 2 == 0 {
+                        (buf_a, buf_b)
+                    } else {
+                        (buf_b, buf_a)
+                    };
                     let mut local = RoundStats::default();
                     for r in band.r0..band.r1 {
                         for c in band.c0..band.c1 {
@@ -209,7 +224,11 @@ pub fn run(grid: Grid, rounds: usize, threads: usize, partition: Partition) -> P
         }
     });
 
-    let final_buf = if rounds.is_multiple_of(2) { &buf_a } else { &buf_b };
+    let final_buf = if rounds.is_multiple_of(2) {
+        &buf_a
+    } else {
+        &buf_b
+    };
     ParallelRun {
         grid: final_buf.to_grid(),
         history: stats.into_inner().expect("stats mutex poisoned"),

@@ -154,7 +154,11 @@ pub fn classify_evolution(grid: &Grid, max_generations: usize) -> Evolution {
             let dr = (cells[0].0 + current.rows() - start_cells[0].0) % current.rows();
             let dc = (cells[0].1 + current.cols() - start_cells[0].1) % current.cols();
             if dr != 0 || dc != 0 {
-                return Evolution::Spaceship { period: gen, dr, dc };
+                return Evolution::Spaceship {
+                    period: gen,
+                    dr,
+                    dc,
+                };
             }
         }
         let _ = seen.insert(cells, gen);
@@ -248,18 +252,31 @@ mod tests {
     #[test]
     fn classify_still_life_and_oscillators() {
         let block = grid_with_pattern(BLOCK, 3, Boundary::Toroidal).unwrap();
-        assert_eq!(classify_evolution(&block, 10), Evolution::Oscillator { period: 1 });
+        assert_eq!(
+            classify_evolution(&block, 10),
+            Evolution::Oscillator { period: 1 }
+        );
         let blinker = grid_with_pattern(BLINKER, 3, Boundary::Toroidal).unwrap();
-        assert_eq!(classify_evolution(&blinker, 10), Evolution::Oscillator { period: 2 });
+        assert_eq!(
+            classify_evolution(&blinker, 10),
+            Evolution::Oscillator { period: 2 }
+        );
         let toad = grid_with_pattern(TOAD, 3, Boundary::Toroidal).unwrap();
-        assert_eq!(classify_evolution(&toad, 10), Evolution::Oscillator { period: 2 });
+        assert_eq!(
+            classify_evolution(&toad, 10),
+            Evolution::Oscillator { period: 2 }
+        );
     }
 
     #[test]
     fn classify_glider_as_spaceship() {
         let g = grid_with_pattern(GLIDER, 6, Boundary::Toroidal).unwrap();
         match classify_evolution(&g, 10) {
-            Evolution::Spaceship { period: 4, dr: 1, dc: 1 } => {}
+            Evolution::Spaceship {
+                period: 4,
+                dr: 1,
+                dc: 1,
+            } => {}
             other => panic!("glider misclassified: {other:?}"),
         }
     }

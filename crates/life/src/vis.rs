@@ -36,7 +36,11 @@ pub fn ascii_threads(grid: &Grid, threads: usize, partition: Partition) -> Strin
     let mut out = String::new();
     for r in 0..grid.rows() {
         for c in 0..grid.cols() {
-            out.push(if grid.get(r, c) { glyph(owner(r, c)) } else { '.' });
+            out.push(if grid.get(r, c) {
+                glyph(owner(r, c))
+            } else {
+                '.'
+            });
         }
         out.push('\n');
     }
@@ -124,7 +128,11 @@ mod tests {
         let p = ppm(&block_grid(), 2, Partition::Rows);
         assert!(p.starts_with("P3\n4 4\n255\n"));
         // 16 pixels × 3 components.
-        let nums: Vec<&str> = p.lines().skip(3).flat_map(|l| l.split_whitespace()).collect();
+        let nums: Vec<&str> = p
+            .lines()
+            .skip(3)
+            .flat_map(|l| l.split_whitespace())
+            .collect();
         assert_eq!(nums.len(), 48);
     }
 

@@ -143,7 +143,10 @@ mod tests {
         ));
         assert!(matches!(
             AddressLayout::new(48, 16),
-            Err(MemSimError::NotPowerOfTwo { what: "num_sets", value: 48 })
+            Err(MemSimError::NotPowerOfTwo {
+                what: "num_sets",
+                value: 48
+            })
         ));
         assert!(AddressLayout::new(64, 24).is_err());
     }

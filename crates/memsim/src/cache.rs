@@ -85,7 +85,11 @@ impl CacheConfig {
 
     /// An n-way set-associative LRU config ("primarily two-way" in class).
     pub fn set_associative(num_sets: u64, ways: u64, block_size: u64) -> CacheConfig {
-        CacheConfig { num_sets, ways, ..CacheConfig::direct_mapped(num_sets, block_size) }
+        CacheConfig {
+            num_sets,
+            ways,
+            ..CacheConfig::direct_mapped(num_sets, block_size)
+        }
     }
 
     /// A fully associative config (one set holding `ways` lines).
@@ -281,9 +285,7 @@ impl Cache {
                         .map(|(w, _)| w)
                         .expect("sets are nonempty")
                 }
-                ReplacementPolicy::Random => {
-                    self.rng.gen_range(0..self.sets[set_idx].len())
-                }
+                ReplacementPolicy::Random => self.rng.gen_range(0..self.sets[set_idx].len()),
             }
         };
 
@@ -321,7 +323,10 @@ impl Cache {
     fn prefetch_block(&mut self, addr: u64) {
         let split = self.layout.split(addr);
         let set_idx = split.index as usize;
-        if self.sets[set_idx].iter().any(|l| l.valid && l.tag == split.tag) {
+        if self.sets[set_idx]
+            .iter()
+            .any(|l| l.valid && l.tag == split.tag)
+        {
             return; // already resident
         }
         self.stats.prefetches += 1;
@@ -348,7 +353,13 @@ impl Cache {
                 self.stats.memory_accesses += 1;
             }
         }
-        *victim = Line { valid: true, dirty: false, tag: split.tag, stamp: clock, prefetched: true };
+        *victim = Line {
+            valid: true,
+            dirty: false,
+            tag: split.tag,
+            stamp: clock,
+            prefetched: true,
+        };
     }
 
     /// Renders the cache contents as the homework's state diagram:
@@ -516,7 +527,7 @@ mod tests {
         let mut c = dm_cache(); // hit 1, penalty 100
         c.access(0x0, AccessKind::Load); // miss
         c.access(0x0, AccessKind::Load); // hit
-        // miss rate 0.5 → AMAT = 1 + 0.5*100 = 51
+                                         // miss rate 0.5 → AMAT = 1 + 0.5*100 = 51
         assert!((c.amat() - 51.0).abs() < 1e-9);
         assert_eq!(c.total_cycles(), 2 + 100);
     }

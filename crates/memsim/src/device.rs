@@ -126,8 +126,12 @@ fn format_sig(v: f64) -> String {
 
 /// Renders byte counts with binary units (KiB/MiB/GiB/TiB).
 pub fn human_bytes(b: u64) -> String {
-    const UNITS: [(&str, u64); 4] =
-        [("TiB", 1 << 40), ("GiB", 1 << 30), ("MiB", 1 << 20), ("KiB", 1 << 10)];
+    const UNITS: [(&str, u64); 4] = [
+        ("TiB", 1 << 40),
+        ("GiB", 1 << 30),
+        ("MiB", 1 << 20),
+        ("KiB", 1 << 10),
+    ];
     for (unit, size) in UNITS {
         if b >= size {
             return format!("{} {unit}", b / size);

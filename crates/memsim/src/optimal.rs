@@ -81,8 +81,11 @@ pub fn classify_misses(config: CacheConfig, trace: &[TraceEvent]) -> MissClassif
 
     // Capacity: fully associative LRU of equal capacity.
     let total_blocks = config.num_sets * config.ways;
-    let mut full = Cache::new(CacheConfig::fully_associative(total_blocks, config.block_size))
-        .expect("valid config");
+    let mut full = Cache::new(CacheConfig::fully_associative(
+        total_blocks,
+        config.block_size,
+    ))
+    .expect("valid config");
     full.run_trace(trace);
     let full_misses = full.stats().misses;
 
@@ -94,7 +97,12 @@ pub fn classify_misses(config: CacheConfig, trace: &[TraceEvent]) -> MissClassif
     } else {
         (total.saturating_sub(compulsory), 0)
     };
-    MissClassification { total, compulsory, capacity, conflict }
+    MissClassification {
+        total,
+        compulsory,
+        capacity,
+        conflict,
+    }
 }
 
 #[cfg(test)]
@@ -122,14 +130,22 @@ mod tests {
         let mut lru = Cache::new(CacheConfig::fully_associative(4, 64)).unwrap();
         lru.run_trace(&trace);
         let opt = opt_misses(&trace, 4, 64);
-        assert!(lru.stats().misses > 2 * opt, "LRU {} vs OPT {opt}", lru.stats().misses);
+        assert!(
+            lru.stats().misses > 2 * opt,
+            "LRU {} vs OPT {opt}",
+            lru.stats().misses
+        );
     }
 
     #[test]
     fn opt_lower_bounds_every_policy() {
         let trace = patterns::random_trace(0, 64 * 64, 400, 5);
         let opt = opt_misses(&trace, 16, 64);
-        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
             let mut cfg = CacheConfig::fully_associative(16, 64);
             cfg.replacement = policy;
             let mut c = Cache::new(cfg).unwrap();

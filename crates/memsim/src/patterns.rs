@@ -87,7 +87,10 @@ pub fn matmul_trace(
                         t.push(TraceEvent::load(a(i, k)));
                         t.push(TraceEvent::load(b(k, j)));
                     }
-                    t.push(TraceEvent { addr: cc(i, j), kind: AccessKind::Store });
+                    t.push(TraceEvent {
+                        addr: cc(i, j),
+                        kind: AccessKind::Store,
+                    });
                 }
             }
         }
@@ -98,7 +101,10 @@ pub fn matmul_trace(
                     for j in 0..n {
                         t.push(TraceEvent::load(b(k, j)));
                         t.push(TraceEvent::load(cc(i, j)));
-                        t.push(TraceEvent { addr: cc(i, j), kind: AccessKind::Store });
+                        t.push(TraceEvent {
+                            addr: cc(i, j),
+                            kind: AccessKind::Store,
+                        });
                     }
                 }
             }
@@ -110,7 +116,10 @@ pub fn matmul_trace(
                     for i in 0..n {
                         t.push(TraceEvent::load(a(i, k)));
                         t.push(TraceEvent::load(cc(i, j)));
-                        t.push(TraceEvent { addr: cc(i, j), kind: AccessKind::Store });
+                        t.push(TraceEvent {
+                            addr: cc(i, j),
+                            kind: AccessKind::Store,
+                        });
                     }
                 }
             }
@@ -154,7 +163,10 @@ pub fn rmw_trace(base: u64, count: usize, stride: u64) -> Vec<TraceEvent> {
     for i in 0..count {
         let addr = base + i as u64 * stride;
         t.push(TraceEvent::load(addr));
-        t.push(TraceEvent { addr, kind: AccessKind::Store });
+        t.push(TraceEvent {
+            addr,
+            kind: AccessKind::Store,
+        });
     }
     t
 }

@@ -21,12 +21,18 @@ pub struct TraceEvent {
 impl TraceEvent {
     /// A load event.
     pub fn load(addr: u64) -> TraceEvent {
-        TraceEvent { addr, kind: AccessKind::Load }
+        TraceEvent {
+            addr,
+            kind: AccessKind::Load,
+        }
     }
 
     /// A store event.
     pub fn store(addr: u64) -> TraceEvent {
-        TraceEvent { addr, kind: AccessKind::Store }
+        TraceEvent {
+            addr,
+            kind: AccessKind::Store,
+        }
     }
 }
 

@@ -1,0 +1,704 @@
+//! A multi-connection load generator for the TCP front end.
+//!
+//! Drives `connections` sockets from one thread pair each (sender +
+//! response reader), in either loop discipline:
+//!
+//! * **closed-loop** ([`Mode::Closed`]) — each connection keeps at
+//!   most `pipeline` requests outstanding; a response (or terminal
+//!   rejection) frees a slot. Throughput self-limits to what the
+//!   server sustains, the classic closed-system model.
+//! * **open-loop** ([`Mode::Open`]) — each connection sends on a fixed
+//!   interval regardless of outstanding work, the arrival-process
+//!   model that actually produces overload: if the server falls
+//!   behind, requests pile up instead of the client politely waiting.
+//!
+//! The class mix is weight-sampled per request from [`ClassLoad`]
+//! entries, each minting *distinct* operations (unique grade
+//! submissions, unique homework seeds, rotating experiment variants)
+//! so the server's result cache cannot quietly turn a load test into
+//! a cache-hit test. Latency is recorded per class from send to
+//! final response and reported as p50/p99/max.
+//!
+//! Backpressure is honored, not retried blindly: a `RETRY`/`SHED`
+//! frame re-queues the same operation after the server's hinted
+//! backoff, up to [`LoadConfig::max_retries`] attempts; a hint of 0
+//! ("retrying is pointless") or exhausted attempts counts the request
+//! as lost to backpressure. `GoAway` ends the connection.
+
+use crate::wire::{
+    decode_payload, encode_request, read_frame, write_frame, Frame, RequestFrame, RespStatus,
+};
+use serve::pool::JobClass;
+use serve::server::Request;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Loop discipline for each connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Keep at most `pipeline` requests outstanding per connection.
+    Closed {
+        /// Outstanding-request window (≥ 1); 1 is ping-pong.
+        pipeline: usize,
+    },
+    /// Send every `interval` regardless of outstanding responses.
+    Open {
+        /// Fixed inter-send gap.
+        interval: Duration,
+    },
+}
+
+/// How to mint the operation payload for a class's requests. Every
+/// template produces *distinct* cache keys across a run.
+#[derive(Debug, Clone)]
+pub enum OpTemplate {
+    /// `Request::Grade` with a unique generated submission per call.
+    GradeUnique,
+    /// `Request::Homework` on this generator with a unique seed.
+    Homework {
+        /// Generator name (`cs31::homework::generators()`).
+        generator: String,
+    },
+    /// `Request::Reproduce` on ids `"{prefix}/{k}"`, `k` cycling
+    /// through `variants` — register that many experiment ids on the
+    /// server (all may map to the same function) to defeat the cache.
+    Reproduce {
+        /// Experiment id prefix.
+        prefix: String,
+        /// Number of registered variants to cycle through.
+        variants: u64,
+    },
+}
+
+/// One class's slice of the generated load.
+#[derive(Debug, Clone)]
+pub struct ClassLoad {
+    /// Class stamped on the wire (admission budget + priority lane).
+    pub class: JobClass,
+    /// Sampling weight relative to the other entries.
+    pub weight: u32,
+    /// Wire priority.
+    pub priority: u8,
+    /// Wire deadline budget, if any.
+    pub deadline_budget_ms: Option<u64>,
+    /// Operation generator.
+    pub op: OpTemplate,
+}
+
+impl ClassLoad {
+    /// A heavy-tail course mix over the built-in workloads — many
+    /// cheap interactive grade lookups, some homework generation, a
+    /// trickle of expensive bulk regeneration — usable against any
+    /// `CourseServer` without registered experiments.
+    pub fn default_mix() -> Vec<ClassLoad> {
+        vec![
+            ClassLoad {
+                class: JobClass::Interactive,
+                weight: 6,
+                priority: 160,
+                deadline_budget_ms: Some(500),
+                op: OpTemplate::GradeUnique,
+            },
+            ClassLoad {
+                class: JobClass::Batch,
+                weight: 3,
+                priority: 128,
+                deadline_budget_ms: Some(5_000),
+                op: OpTemplate::Homework {
+                    generator: "binary_arithmetic".to_string(),
+                },
+            },
+            ClassLoad {
+                class: JobClass::Bulk,
+                weight: 1,
+                priority: 64,
+                deadline_budget_ms: None,
+                op: OpTemplate::Homework {
+                    generator: "vm_trace".to_string(),
+                },
+            },
+        ]
+    }
+}
+
+/// Knobs for [`run`].
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Fresh requests minted per connection (retries don't count).
+    pub requests_per_connection: usize,
+    /// Loop discipline.
+    pub mode: Mode,
+    /// Weighted class mix; must be non-empty with weight sum > 0.
+    pub mix: Vec<ClassLoad>,
+    /// Resend budget per request on `RETRY`/`SHED` (0 = never resend).
+    pub max_retries: u32,
+    /// Deterministic seed for the class sampler and op minting.
+    pub seed: u64,
+    /// How long each connection waits for stragglers after its last
+    /// send before giving up on the remaining outstanding requests.
+    pub drain_timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            connections: 4,
+            requests_per_connection: 32,
+            mode: Mode::Closed { pipeline: 4 },
+            mix: ClassLoad::default_mix(),
+            max_retries: 4,
+            seed: 31,
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Per-class outcome counters and latency percentiles (microseconds,
+/// send → final response, retries included in the request's latency).
+#[derive(Debug, Clone)]
+pub struct ClassReport {
+    /// The class this row describes.
+    pub class: JobClass,
+    /// Fresh requests sent.
+    pub sent: u64,
+    /// Completed with a computed `OK` response.
+    pub ok: u64,
+    /// Completed from the server cache (`OK_CACHED`).
+    pub cached: u64,
+    /// Completed with an `ERROR` response.
+    pub errors: u64,
+    /// `RETRY`/`SHED` frames received (each resend may earn another).
+    pub backpressure_frames: u64,
+    /// Requests abandoned after the retry budget or a 0 hint.
+    pub lost_to_backpressure: u64,
+    /// Requests with no response when the connection ended (severed
+    /// or drain timeout).
+    pub unanswered: u64,
+    /// Median latency in µs over completed requests (0 if none).
+    pub p50_us: u64,
+    /// 99th-percentile latency in µs (0 if none).
+    pub p99_us: u64,
+    /// Worst latency in µs (0 if none).
+    pub max_us: u64,
+}
+
+/// Aggregate run outcome across all connections.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Per-class rows in [`JobClass::ALL`] order.
+    pub per_class: Vec<ClassReport>,
+    /// `GoAway` frames received (accept-time or shutdown).
+    pub goaway: u64,
+    /// Connections that ended with an I/O error or unexpected close.
+    pub broken_conns: u64,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// The row for `class` (always present).
+    pub fn class(&self, class: JobClass) -> &ClassReport {
+        self.per_class
+            .iter()
+            .find(|r| r.class == class)
+            .expect("all classes reported")
+    }
+
+    /// A fixed-width table of the per-class rows.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>6} {:>7} {:>7} {:>8} {:>6} {:>6} {:>9} {:>9} {:>9}\n",
+            "class",
+            "sent",
+            "ok",
+            "cached",
+            "errors",
+            "bkpres",
+            "lost",
+            "unans",
+            "p50(us)",
+            "p99(us)",
+            "max(us)"
+        ));
+        for row in &self.per_class {
+            out.push_str(&format!(
+                "{:<12} {:>6} {:>6} {:>7} {:>7} {:>8} {:>6} {:>6} {:>9} {:>9} {:>9}\n",
+                row.class.to_string(),
+                row.sent,
+                row.ok,
+                row.cached,
+                row.errors,
+                row.backpressure_frames,
+                row.lost_to_backpressure,
+                row.unanswered,
+                row.p50_us,
+                row.p99_us,
+                row.max_us
+            ));
+        }
+        out.push_str(&format!(
+            "goaway {}  broken conns {}  elapsed {:?}\n",
+            self.goaway, self.broken_conns, self.elapsed
+        ));
+        out
+    }
+}
+
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// A minted-but-unanswered request: everything needed to resend it
+/// and to account for it when the connection ends.
+struct Pending {
+    class: JobClass,
+    sent_at: Instant,
+    frame: RequestFrame,
+    retries_left: u32,
+}
+
+/// What the reader tells the sender to do with a backpressure'd
+/// request.
+struct Resend {
+    frame: RequestFrame,
+    retries_left: u32,
+    class: JobClass,
+    sent_at: Instant,
+    not_before: Instant,
+}
+
+#[derive(Default)]
+struct ConnState {
+    pending: HashMap<u64, Pending>,
+    resends: Vec<Resend>,
+    /// Latency samples (µs) per band.
+    latencies: [Vec<u64>; JobClass::COUNT],
+    ok: [u64; JobClass::COUNT],
+    cached: [u64; JobClass::COUNT],
+    errors: [u64; JobClass::COUNT],
+    backpressure_frames: [u64; JobClass::COUNT],
+    lost: [u64; JobClass::COUNT],
+    goaway: u64,
+    /// Reader saw EOF/GoAway/error: sender must stop.
+    closed: bool,
+    broken: bool,
+}
+
+struct ConnShared {
+    state: Mutex<ConnState>,
+    changed: Condvar,
+}
+
+/// Runs the configured load against `addr` and blocks until every
+/// connection finishes (or drains out). Deterministic given the seed,
+/// up to scheduling and server timing.
+pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
+    assert!(
+        config.connections > 0,
+        "loadgen needs at least one connection"
+    );
+    assert!(!config.mix.is_empty(), "loadgen needs a class mix");
+    assert!(
+        config.mix.iter().map(|c| c.weight as u64).sum::<u64>() > 0,
+        "mix weight sum is 0"
+    );
+    let start = Instant::now();
+    let handles: Vec<_> = (0..config.connections)
+        .map(|conn_idx| {
+            let config = config.clone();
+            std::thread::spawn(move || drive_connection(addr, conn_idx as u64, &config))
+        })
+        .collect();
+    let mut per_band_lat: [Vec<u64>; JobClass::COUNT] = Default::default();
+    let mut sent = [0u64; JobClass::COUNT];
+    let mut ok = [0u64; JobClass::COUNT];
+    let mut cached = [0u64; JobClass::COUNT];
+    let mut errors = [0u64; JobClass::COUNT];
+    let mut bkpres = [0u64; JobClass::COUNT];
+    let mut lost = [0u64; JobClass::COUNT];
+    let mut unanswered = [0u64; JobClass::COUNT];
+    let mut goaway = 0u64;
+    let mut broken = 0u64;
+    for handle in handles {
+        let (state, conn_sent) = handle.join().expect("loadgen connection thread panicked");
+        for band in 0..JobClass::COUNT {
+            per_band_lat[band].extend(&state.latencies[band]);
+            sent[band] += conn_sent[band];
+            ok[band] += state.ok[band];
+            cached[band] += state.cached[band];
+            errors[band] += state.errors[band];
+            bkpres[band] += state.backpressure_frames[band];
+            lost[band] += state.lost[band];
+        }
+        for pending in state.pending.values() {
+            unanswered[pending.class.band()] += 1;
+        }
+        goaway += state.goaway;
+        broken += u64::from(state.broken);
+    }
+    let per_class = JobClass::ALL
+        .iter()
+        .map(|&class| {
+            let band = class.band();
+            let lat = &mut per_band_lat[band];
+            lat.sort_unstable();
+            ClassReport {
+                class,
+                sent: sent[band],
+                ok: ok[band],
+                cached: cached[band],
+                errors: errors[band],
+                backpressure_frames: bkpres[band],
+                lost_to_backpressure: lost[band],
+                unanswered: unanswered[band],
+                p50_us: percentile(lat, 50),
+                p99_us: percentile(lat, 99),
+                max_us: lat.last().copied().unwrap_or(0),
+            }
+        })
+        .collect();
+    LoadReport {
+        per_class,
+        goaway,
+        broken_conns: broken,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted slice (0 if empty).
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() * pct).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+/// One connection: a sender (this thread) and a response reader.
+/// Returns the final state and the fresh-sends per band.
+fn drive_connection(
+    addr: SocketAddr,
+    conn_idx: u64,
+    config: &LoadConfig,
+) -> (ConnState, [u64; JobClass::COUNT]) {
+    let mut sent = [0u64; JobClass::COUNT];
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => {
+            let state = ConnState {
+                broken: true,
+                ..ConnState::default()
+            };
+            return (state, sent);
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let shared = Arc::new(ConnShared {
+        state: Mutex::new(ConnState::default()),
+        changed: Condvar::new(),
+    });
+
+    let reader_shared = Arc::clone(&shared);
+    let read_half = stream.try_clone().expect("clone loadgen socket");
+    let reader = std::thread::spawn(move || {
+        response_reader(read_half, &reader_shared);
+    });
+
+    let mut rng = Rng::new(config.seed ^ (conn_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    let weight_sum: u64 = config.mix.iter().map(|c| c.weight as u64).sum();
+    let mut writer = BufWriter::new(&stream);
+    let mut next_id: u64 = 1;
+    let mut fresh_sent = 0usize;
+    let mut open_next = Instant::now();
+
+    'send: while fresh_sent < config.requests_per_connection {
+        // Resends first — an admitted-class retry is older than any
+        // fresh request and honoring its backoff keeps hints honest.
+        let resend = {
+            let mut st = shared.state.lock().expect("loadgen conn mutex poisoned");
+            if st.closed {
+                break 'send;
+            }
+            pick_due_resend(&mut st.resends)
+        };
+        if let Some(r) = resend {
+            std::thread::sleep(r.not_before.saturating_duration_since(Instant::now()));
+            let mut frame = r.frame;
+            frame.id = next_id;
+            next_id += 1;
+            let bytes = encode_request(&frame);
+            {
+                let mut st = shared.state.lock().expect("loadgen conn mutex poisoned");
+                st.pending.insert(
+                    frame.id,
+                    Pending {
+                        class: r.class,
+                        sent_at: r.sent_at,
+                        frame,
+                        retries_left: r.retries_left,
+                    },
+                );
+            }
+            if write_frame(&mut writer, &bytes).is_err() {
+                mark_broken(&shared);
+                break 'send;
+            }
+            continue;
+        }
+
+        // Pace: window (closed) or interval (open).
+        match config.mode {
+            Mode::Closed { pipeline } => {
+                let mut st = shared.state.lock().expect("loadgen conn mutex poisoned");
+                while !st.closed && st.pending.len() >= pipeline.max(1) && st.resends.is_empty() {
+                    st = shared
+                        .changed
+                        .wait(st)
+                        .expect("loadgen conn mutex poisoned");
+                }
+                if st.closed {
+                    break 'send;
+                }
+                if !st.resends.is_empty() {
+                    continue;
+                }
+            }
+            Mode::Open { interval } => {
+                std::thread::sleep(open_next.saturating_duration_since(Instant::now()));
+                open_next += interval;
+            }
+        }
+
+        let load = pick_class(&config.mix, weight_sum, &mut rng);
+        let frame = mint_frame(load, next_id, conn_idx, fresh_sent as u64, &mut rng);
+        next_id += 1;
+        fresh_sent += 1;
+        sent[load.class.band()] += 1;
+        let bytes = encode_request(&frame);
+        {
+            let mut st = shared.state.lock().expect("loadgen conn mutex poisoned");
+            st.pending.insert(
+                frame.id,
+                Pending {
+                    class: load.class,
+                    sent_at: Instant::now(),
+                    frame,
+                    retries_left: config.max_retries,
+                },
+            );
+        }
+        if write_frame(&mut writer, &bytes).is_err() {
+            mark_broken(&shared);
+            break 'send;
+        }
+    }
+
+    // Drain: keep servicing resends until everything is answered, the
+    // connection closes, or the drain timeout passes.
+    let deadline = Instant::now() + config.drain_timeout;
+    loop {
+        let resend = {
+            let mut st = shared.state.lock().expect("loadgen conn mutex poisoned");
+            if st.closed || (st.pending.is_empty() && st.resends.is_empty()) {
+                break;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            match pick_due_resend(&mut st.resends) {
+                Some(r) => Some(r),
+                None => {
+                    let (next, _) = shared
+                        .changed
+                        .wait_timeout(st, Duration::from_millis(20))
+                        .expect("loadgen conn mutex poisoned");
+                    drop(next);
+                    None
+                }
+            }
+        };
+        if let Some(r) = resend {
+            std::thread::sleep(r.not_before.saturating_duration_since(Instant::now()));
+            let mut frame = r.frame;
+            frame.id = next_id;
+            next_id += 1;
+            let bytes = encode_request(&frame);
+            {
+                let mut st = shared.state.lock().expect("loadgen conn mutex poisoned");
+                st.pending.insert(
+                    frame.id,
+                    Pending {
+                        class: r.class,
+                        sent_at: r.sent_at,
+                        frame,
+                        retries_left: r.retries_left,
+                    },
+                );
+            }
+            if write_frame(&mut writer, &bytes).is_err() {
+                mark_broken(&shared);
+                break;
+            }
+        }
+    }
+    drop(writer);
+    // FIN our side; the server drains outstanding responses, then FINs
+    // back, which ends the reader with a clean EOF.
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = reader.join();
+    let state = std::mem::take(&mut *shared.state.lock().expect("loadgen conn mutex poisoned"));
+    (state, sent)
+}
+
+fn mark_broken(shared: &ConnShared) {
+    let mut st = shared.state.lock().expect("loadgen conn mutex poisoned");
+    st.broken = true;
+    st.closed = true;
+    drop(st);
+    shared.changed.notify_all();
+}
+
+fn pick_due_resend(resends: &mut Vec<Resend>) -> Option<Resend> {
+    let now = Instant::now();
+    let idx = resends.iter().position(|r| r.not_before <= now)?;
+    Some(resends.swap_remove(idx))
+}
+
+fn pick_class<'a>(mix: &'a [ClassLoad], weight_sum: u64, rng: &mut Rng) -> &'a ClassLoad {
+    let mut roll = rng.next() % weight_sum;
+    for load in mix {
+        let w = load.weight as u64;
+        if roll < w {
+            return load;
+        }
+        roll -= w;
+    }
+    &mix[mix.len() - 1]
+}
+
+fn mint_frame(
+    load: &ClassLoad,
+    id: u64,
+    conn_idx: u64,
+    req_idx: u64,
+    rng: &mut Rng,
+) -> RequestFrame {
+    let req = match &load.op {
+        OpTemplate::GradeUnique => Request::Grade {
+            // A syntactically valid submission the autograder will
+            // chew on; the variant comment makes each one a distinct
+            // cache key.
+            submission: format!(
+                "# variant {conn_idx}/{req_idx}\nmain:\n    movl $0, %eax\n    ret\n"
+            ),
+        },
+        OpTemplate::Homework { generator } => Request::Homework {
+            generator: generator.clone(),
+            seed: rng.next(),
+        },
+        OpTemplate::Reproduce { prefix, variants } => Request::Reproduce {
+            id: format!("{prefix}/{}", rng.next() % (*variants).max(1)),
+        },
+    };
+    RequestFrame {
+        id,
+        class: load.class,
+        priority: load.priority,
+        deadline_budget_ms: load.deadline_budget_ms,
+        req,
+    }
+}
+
+/// The per-connection response reader: matches frames to pending
+/// requests by id and turns backpressure into scheduled resends.
+fn response_reader(read_half: TcpStream, shared: &ConnShared) {
+    let mut reader = BufReader::new(&read_half);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => break,
+            Err(_) => {
+                mark_broken(shared);
+                return;
+            }
+        };
+        let frame = match decode_payload(&payload) {
+            Ok(Frame::Response(f)) => f,
+            _ => {
+                mark_broken(shared);
+                return;
+            }
+        };
+        let mut st = shared.state.lock().expect("loadgen conn mutex poisoned");
+        match frame.status {
+            RespStatus::GoAway => {
+                st.goaway += 1;
+                st.closed = true;
+                drop(st);
+                shared.changed.notify_all();
+                // The server is done with us; stop reading.
+                return;
+            }
+            RespStatus::Ok | RespStatus::OkCached | RespStatus::Error => {
+                if let Some(p) = st.pending.remove(&frame.id) {
+                    let band = p.class.band();
+                    let lat = p.sent_at.elapsed().as_micros() as u64;
+                    match frame.status {
+                        RespStatus::Ok => st.ok[band] += 1,
+                        RespStatus::OkCached => st.cached[band] += 1,
+                        _ => st.errors[band] += 1,
+                    }
+                    if frame.status != RespStatus::Error {
+                        st.latencies[band].push(lat);
+                    }
+                }
+            }
+            RespStatus::Retry | RespStatus::Shed => {
+                if let Some(p) = st.pending.remove(&frame.id) {
+                    let band = p.class.band();
+                    st.backpressure_frames[band] += 1;
+                    if p.retries_left == 0 || frame.retry_after_ms == 0 {
+                        // Out of budget, or the server says retrying
+                        // is pointless (deadline passed).
+                        st.lost[band] += 1;
+                    } else {
+                        st.resends.push(Resend {
+                            frame: p.frame,
+                            retries_left: p.retries_left - 1,
+                            class: p.class,
+                            sent_at: p.sent_at,
+                            not_before: Instant::now()
+                                + Duration::from_millis(frame.retry_after_ms),
+                        });
+                    }
+                }
+            }
+        }
+        drop(st);
+        shared.changed.notify_all();
+    }
+    let mut st = shared.state.lock().expect("loadgen conn mutex poisoned");
+    st.closed = true;
+    drop(st);
+    shared.changed.notify_all();
+}

@@ -1,0 +1,618 @@
+//! The blocking TCP front end around a [`CourseServer`].
+//!
+//! Three kinds of thread, all plain `std::net` blocking I/O:
+//!
+//! * **one acceptor** — accepts sockets, enforces the connection cap
+//!   at accept time (over cap → a single `GoAway` frame with a retry
+//!   hint, then close: shedding at the socket layer, mirroring what
+//!   admission does at the queue layer), and spawns the per-connection
+//!   pair;
+//! * **a reader per connection** — parses request frames, pins each
+//!   frame's deadline budget to the local clock, and submits to the
+//!   course server. Admission rejections become `RETRY` frames
+//!   *immediately* — backpressure travels the wire instead of blocking
+//!   the socket;
+//! * **a writer per connection** — drains an outbound queue fed by
+//!   [`Ticket::on_ready`] callbacks, so pipelined requests complete
+//!   **out of order by request id**: the reader never waits on a
+//!   ticket, and a slow bulk job cannot convoy a fast grade lookup's
+//!   response.
+//!
+//! The reader→writer contract is the `in_flight` count in
+//! [`Outbound`]: the reader increments it *before* registering the
+//! callback, the callback decrements it when it enqueues (or, on a
+//! dead connection, discards) the response, and the writer only
+//! treats the connection as drained when the reader is done **and**
+//! `in_flight` is zero **and** the queue is empty. That ordering is
+//! why graceful shutdown cannot lose an admitted request: responses
+//! are either written before the FIN or the connection was severed by
+//! a fault — and in both cases the course server's per-class ledgers
+//! still balance (`admitted == completed + shed`), which the
+//! integration tests assert under [`FaultPlan`] wire faults.
+//!
+//! Shutdown ordering (see `DESIGN.md` §9 for the full argument):
+//! stop accepting → wake and join the acceptor → `shutdown(Read)`
+//! every connection (readers see clean EOF and stop submitting) →
+//! drain the course server (every admitted ticket resolves, every
+//! callback fires) → wait for the last writer to flush and FIN.
+
+use crate::wire::{
+    decode_payload, encode_response, read_frame, write_frame, Frame, RequestFrame, RespStatus,
+    ResponseFrame,
+};
+use serve::fault::{FaultPlan, FaultPoint};
+use serve::server::{CourseServer, SubmitError, SHED_BODY_PREFIX};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sizing and policy knobs for [`NetServer::bind`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Connection cap. Accepts past the cap are shed at the socket:
+    /// one `GoAway` frame with a retry hint, then close.
+    pub max_connections: usize,
+    /// Per-connection read bound. A reader blocked longer than this
+    /// with no bytes arriving treats the connection as idle-dead and
+    /// closes its half (responses still in flight are still written).
+    pub read_timeout: Duration,
+    /// Per-connection write bound. A writer blocked longer than this
+    /// on one frame (a client that stopped draining) severs the
+    /// connection rather than hold the thread hostage.
+    pub write_timeout: Duration,
+    /// Suggested client backoff on accept-time `GoAway` frames, in ms.
+    pub goaway_retry_ms: u64,
+    /// Optional seeded wire faults ([`FaultPoint::NetReadFrame`],
+    /// [`FaultPoint::NetWriteFrame`]): stalls slow a connection's
+    /// reader/writer, drops sever the socket mid-traffic.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_connections: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            goaway_retry_ms: 100,
+            fault_plan: None,
+        }
+    }
+}
+
+/// Socket-layer counters, complementing the course server's request
+/// ledgers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Connections accepted and served.
+    pub accepted_conns: u64,
+    /// Connections shed at accept time with a `GoAway` frame.
+    pub refused_conns: u64,
+    /// Request frames decoded and handed to admission.
+    pub requests: u64,
+    /// Response frames written to sockets.
+    pub responses: u64,
+    /// Payloads that failed to decode (connection closed after an
+    /// `Error` frame — a framing error desynchronizes the stream).
+    pub malformed: u64,
+    /// Connections severed mid-traffic: injected drops, I/O errors,
+    /// write timeouts.
+    pub dropped_conns: u64,
+}
+
+/// The reader→writer handoff for one connection.
+struct Outbound {
+    state: Mutex<OutState>,
+    wake: Condvar,
+}
+
+struct OutState {
+    /// Pre-encoded response frames awaiting the socket.
+    queue: VecDeque<Vec<u8>>,
+    /// Tickets submitted whose callbacks have not yet enqueued (or
+    /// discarded) a response.
+    in_flight: usize,
+    /// The reader will submit no further requests.
+    reader_done: bool,
+    /// The connection was severed; discard instead of enqueue.
+    dead: bool,
+}
+
+impl Outbound {
+    fn new() -> Arc<Outbound> {
+        Arc::new(Outbound {
+            state: Mutex::new(OutState {
+                queue: VecDeque::new(),
+                in_flight: 0,
+                reader_done: false,
+                dead: false,
+            }),
+            wake: Condvar::new(),
+        })
+    }
+
+    /// Enqueues a frame for the writer (dropped silently if the
+    /// connection is dead — the course-side ledgers already counted
+    /// the request; the response simply has nowhere to go).
+    fn push(&self, bytes: Vec<u8>, completes_in_flight: bool) {
+        let mut st = self.state.lock().expect("outbound mutex poisoned");
+        if completes_in_flight {
+            st.in_flight -= 1;
+        }
+        if !st.dead {
+            st.queue.push_back(bytes);
+        }
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    fn open_in_flight(&self) {
+        self.state
+            .lock()
+            .expect("outbound mutex poisoned")
+            .in_flight += 1;
+    }
+
+    fn reader_done(&self) {
+        self.state
+            .lock()
+            .expect("outbound mutex poisoned")
+            .reader_done = true;
+        self.wake.notify_all();
+    }
+
+    fn mark_dead(&self) {
+        self.state.lock().expect("outbound mutex poisoned").dead = true;
+        self.wake.notify_all();
+    }
+
+    fn is_dead(&self) -> bool {
+        self.state.lock().expect("outbound mutex poisoned").dead
+    }
+}
+
+/// What the writer should do next.
+enum WriterStep {
+    Write(Vec<u8>),
+    /// Reader done, nothing in flight, queue empty: flush and FIN.
+    Drained,
+    /// Connection severed elsewhere.
+    Dead,
+}
+
+struct Shared {
+    course: CourseServer,
+    config: NetConfig,
+    accepting: AtomicBool,
+    /// Connections whose writer has not yet exited.
+    live: Mutex<usize>,
+    all_closed: Condvar,
+    /// Read-half clones of live sockets, for shutdown(Read) at drain
+    /// time. Writers remove their entry on exit.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+    accepted_conns: AtomicU64,
+    refused_conns: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    malformed: AtomicU64,
+    dropped_conns: AtomicU64,
+}
+
+/// A course server listening on a TCP socket. See the module docs for
+/// the thread anatomy and the shutdown ordering.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    shut: AtomicBool,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor. The server owns `course` from here on; reach it via
+    /// [`NetServer::course`] for stats or local submissions.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        course: CourseServer,
+        config: NetConfig,
+    ) -> io::Result<NetServer> {
+        assert!(
+            config.max_connections > 0,
+            "net server needs at least one connection slot"
+        );
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            course,
+            config,
+            accepting: AtomicBool::new(true),
+            live: Mutex::new(0),
+            all_closed: Condvar::new(),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            accepted_conns: AtomicU64::new(0),
+            refused_conns: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            dropped_conns: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("net-acceptor".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn acceptor");
+        Ok(NetServer {
+            shared,
+            local_addr,
+            acceptor: Mutex::new(Some(acceptor)),
+            shut: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The wrapped course server (for stats, or local submissions that
+    /// bypass the socket).
+    pub fn course(&self) -> &CourseServer {
+        &self.shared.course
+    }
+
+    /// Socket-layer counters.
+    pub fn net_stats(&self) -> NetStats {
+        NetStats {
+            accepted_conns: self.shared.accepted_conns.load(Ordering::Relaxed),
+            refused_conns: self.shared.refused_conns.load(Ordering::Relaxed),
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            responses: self.shared.responses.load(Ordering::Relaxed),
+            malformed: self.shared.malformed.load(Ordering::Relaxed),
+            dropped_conns: self.shared.dropped_conns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop accept → drain → FIN.
+    ///
+    /// 1. stop accepting and join the acceptor (woken by a loopback
+    ///    connect, since blocking `accept` has no timeout);
+    /// 2. `shutdown(Read)` every live connection — readers see a clean
+    ///    EOF at a frame boundary and stop submitting;
+    /// 3. drain the course server: every admitted ticket resolves,
+    ///    every `on_ready` callback delivers its response frame;
+    /// 4. wait for every writer to flush its queue and send FIN.
+    ///
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.shut.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        // Wake the blocking accept. The acceptor re-checks `accepting`
+        // before serving, so this connection is never spoken to.
+        drop(TcpStream::connect(self.local_addr));
+        if let Some(handle) = self
+            .acceptor
+            .lock()
+            .expect("acceptor handle poisoned")
+            .take()
+        {
+            let _ = handle.join();
+        }
+        {
+            let conns = self.shared.conns.lock().expect("conn table poisoned");
+            for stream in conns.values() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+        self.shared.course.shutdown();
+        let mut live = self.shared.live.lock().expect("live counter poisoned");
+        while *live > 0 {
+            live = self
+                .shared
+                .all_closed
+                .wait(live)
+                .expect("live counter poisoned");
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if !shared.accepting.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if !shared.accepting.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+
+        // Connection cap: shed at the socket with an honest GoAway
+        // instead of letting the backlog grow unbounded.
+        {
+            let mut live = shared.live.lock().expect("live counter poisoned");
+            if *live >= shared.config.max_connections {
+                drop(live);
+                shared.refused_conns.fetch_add(1, Ordering::Relaxed);
+                let mut w = BufWriter::new(&stream);
+                let frame = ResponseFrame {
+                    id: 0,
+                    status: RespStatus::GoAway,
+                    retry_after_ms: shared.config.goaway_retry_ms,
+                    body: format!(
+                        "connection cap ({}) reached; reconnect later",
+                        shared.config.max_connections
+                    ),
+                };
+                let _ = write_frame(&mut w, &encode_response(&frame));
+                let _ = stream.shutdown(Shutdown::Both);
+                continue;
+            }
+            *live += 1;
+        }
+        shared.accepted_conns.fetch_add(1, Ordering::Relaxed);
+        spawn_connection(stream, shared);
+    }
+}
+
+fn spawn_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    let outbound = Outbound::new();
+
+    let read_half = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => {
+            // Cannot serve a connection we cannot clone; undo the
+            // accept accounting.
+            let mut live = shared.live.lock().expect("live counter poisoned");
+            *live -= 1;
+            drop(live);
+            shared.all_closed.notify_all();
+            shared.accepted_conns.fetch_sub(1, Ordering::Relaxed);
+            shared.dropped_conns.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    if let Ok(register) = stream.try_clone() {
+        shared
+            .conns
+            .lock()
+            .expect("conn table poisoned")
+            .insert(conn_id, register);
+    }
+
+    let reader_shared = Arc::clone(shared);
+    let reader_out = Arc::clone(&outbound);
+    let _ = std::thread::Builder::new()
+        .name(format!("net-read-{conn_id}"))
+        .spawn(move || {
+            reader_loop(read_half, &reader_shared, &reader_out);
+        });
+
+    let writer_shared = Arc::clone(shared);
+    let _ = std::thread::Builder::new()
+        .name(format!("net-write-{conn_id}"))
+        .spawn(move || {
+            writer_loop(stream, conn_id, &writer_shared, &outbound);
+        });
+}
+
+/// Parses frames off the socket and submits them; never blocks on a
+/// ticket. Exits on clean EOF, idle timeout, malformed input, an
+/// injected drop, or server shutdown — always marking `reader_done`
+/// so the writer's drain condition can complete.
+fn reader_loop(read_half: TcpStream, shared: &Arc<Shared>, out: &Arc<Outbound>) {
+    let mut reader = BufReader::new(&read_half);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break,
+            Err(_) => break,
+        };
+        if out.is_dead() {
+            break;
+        }
+        if let Some(plan) = &shared.config.fault_plan {
+            plan.fire(FaultPoint::NetReadFrame);
+            if plan.should_drop(FaultPoint::NetReadFrame) {
+                shared.dropped_conns.fetch_add(1, Ordering::Relaxed);
+                out.mark_dead();
+                let _ = read_half.shutdown(Shutdown::Both);
+                break;
+            }
+        }
+        let frame = match decode_payload(&payload) {
+            Ok(Frame::Request(frame)) => frame,
+            Ok(Frame::Response(_)) | Err(_) => {
+                // A framing error desynchronizes the byte stream; an
+                // Error frame explains, then the connection closes.
+                shared.malformed.fetch_add(1, Ordering::Relaxed);
+                let reason = match decode_payload(&payload) {
+                    Err(e) => format!("malformed frame: {e}"),
+                    _ => "protocol error: response frame sent to server".to_string(),
+                };
+                out.push(
+                    encode_response(&ResponseFrame {
+                        id: 0,
+                        status: RespStatus::Error,
+                        retry_after_ms: 0,
+                        body: reason,
+                    }),
+                    false,
+                );
+                break;
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        if !submit_frame(frame, shared, out) {
+            break;
+        }
+    }
+    out.reader_done();
+}
+
+/// Hands one decoded request to admission and wires its completion to
+/// the outbound queue. Returns `false` when the connection should
+/// close (server shutting down).
+fn submit_frame(frame: RequestFrame, shared: &Arc<Shared>, out: &Arc<Outbound>) -> bool {
+    let meta = frame.meta();
+    let id = frame.id;
+    match shared.course.submit_with_meta(meta, frame.req) {
+        Ok(ticket) => {
+            // Open before registering: the writer must not observe
+            // "reader done, nothing in flight" between callback
+            // registration and resolution.
+            out.open_in_flight();
+            let cb_out = Arc::clone(out);
+            let cb_shared = Arc::clone(shared);
+            ticket.on_ready(move |resp| {
+                let status = if resp.cached {
+                    RespStatus::OkCached
+                } else if resp.ok {
+                    RespStatus::Ok
+                } else if resp.body.starts_with(SHED_BODY_PREFIX) {
+                    RespStatus::Shed
+                } else {
+                    RespStatus::Error
+                };
+                let retry_after_ms = if status == RespStatus::Shed {
+                    // Shed happened while queued; the hint is computed
+                    // now, against the server's current backlog and
+                    // the request's (local-clock) deadline.
+                    cb_shared.course.retry_hint(&meta)
+                } else {
+                    0
+                };
+                cb_out.push(
+                    encode_response(&ResponseFrame {
+                        id,
+                        status,
+                        retry_after_ms,
+                        body: resp.body.clone(),
+                    }),
+                    true,
+                );
+            });
+            true
+        }
+        Err(SubmitError::Busy(rej)) => {
+            out.push(
+                encode_response(&ResponseFrame {
+                    id,
+                    status: RespStatus::Retry,
+                    retry_after_ms: rej.retry_after_ms,
+                    body: format!(
+                        "admission rejected {} request ({} in flight); retry later",
+                        rej.class, rej.in_flight
+                    ),
+                }),
+                false,
+            );
+            true
+        }
+        Err(SubmitError::ShuttingDown(_)) => {
+            out.push(
+                encode_response(&ResponseFrame {
+                    id,
+                    status: RespStatus::GoAway,
+                    retry_after_ms: shared.config.goaway_retry_ms,
+                    body: "server shutting down".to_string(),
+                }),
+                false,
+            );
+            false
+        }
+    }
+}
+
+/// Drains the outbound queue onto the socket; the only thread that
+/// writes to it, so frames are never interleaved. Owns the connection's
+/// teardown: on exit (drained or severed) it closes the socket,
+/// unregisters it, and decrements the live count.
+fn writer_loop(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>, out: &Arc<Outbound>) {
+    let mut graceful = true;
+    {
+        let mut writer = BufWriter::new(&stream);
+        loop {
+            let step = {
+                let mut st = out.state.lock().expect("outbound mutex poisoned");
+                loop {
+                    if st.dead {
+                        break WriterStep::Dead;
+                    }
+                    if let Some(bytes) = st.queue.pop_front() {
+                        break WriterStep::Write(bytes);
+                    }
+                    if st.reader_done && st.in_flight == 0 {
+                        break WriterStep::Drained;
+                    }
+                    st = out.wake.wait(st).expect("outbound mutex poisoned");
+                }
+            };
+            match step {
+                WriterStep::Dead => {
+                    graceful = false;
+                    break;
+                }
+                WriterStep::Drained => break,
+                WriterStep::Write(bytes) => {
+                    if let Some(plan) = &shared.config.fault_plan {
+                        plan.fire(FaultPoint::NetWriteFrame);
+                        if plan.should_drop(FaultPoint::NetWriteFrame) {
+                            shared.dropped_conns.fetch_add(1, Ordering::Relaxed);
+                            out.mark_dead();
+                            graceful = false;
+                            break;
+                        }
+                    }
+                    if write_frame(&mut writer, &bytes).is_err() {
+                        // Write timeout or peer reset: sever rather
+                        // than block the thread on a stuck client.
+                        shared.dropped_conns.fetch_add(1, Ordering::Relaxed);
+                        out.mark_dead();
+                        graceful = false;
+                        break;
+                    }
+                    shared.responses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    if graceful {
+        // All responses written: half-close with FIN so the client
+        // reads a clean EOF after the last frame.
+        let _ = stream.shutdown(Shutdown::Write);
+    } else {
+        // Severed: also unblock our reader, which shares the socket.
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    shared
+        .conns
+        .lock()
+        .expect("conn table poisoned")
+        .remove(&conn_id);
+    let mut live = shared.live.lock().expect("live counter poisoned");
+    *live -= 1;
+    drop(live);
+    shared.all_closed.notify_all();
+}

@@ -1,0 +1,151 @@
+//! Codec properties: every representable frame survives an
+//! encode→decode round trip unchanged, and no input — truncated,
+//! corrupted, or pure noise — makes the decoder panic. Malformed
+//! bytes always come back as a typed [`WireError`].
+
+use net::wire::{
+    decode_payload, encode_request, encode_response, Frame, RequestFrame, RespStatus, ResponseFrame,
+};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use serve::pool::JobClass;
+use serve::server::Request;
+
+/// Arbitrary strings including non-ASCII (sampled as lossy UTF-8 over
+/// random bytes, so multi-byte sequences occur).
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..48)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+fn arb_class() -> BoxedStrategy<JobClass> {
+    (0usize..JobClass::COUNT)
+        .prop_map(JobClass::from_band)
+        .boxed()
+}
+
+fn arb_request_op() -> BoxedStrategy<Request> {
+    prop_oneof![
+        arb_string().prop_map(|submission| Request::Grade { submission }),
+        (arb_string(), any::<u64>())
+            .prop_map(|(generator, seed)| Request::Homework { generator, seed }),
+        arb_string().prop_map(|id| Request::Reproduce { id }),
+    ]
+    .boxed()
+}
+
+fn arb_request_frame() -> BoxedStrategy<RequestFrame> {
+    (
+        any::<u64>(),
+        arb_class(),
+        any::<u8>(),
+        proptest::option::of(any::<u64>()),
+        arb_request_op(),
+    )
+        .prop_map(
+            |(id, class, priority, deadline_budget_ms, req)| RequestFrame {
+                id,
+                class,
+                priority,
+                deadline_budget_ms,
+                req,
+            },
+        )
+        .boxed()
+}
+
+fn arb_status() -> BoxedStrategy<RespStatus> {
+    (0u8..6)
+        .prop_map(|code| RespStatus::from_code(code).expect("codes 0..6 are valid"))
+        .boxed()
+}
+
+fn arb_response_frame() -> BoxedStrategy<ResponseFrame> {
+    (any::<u64>(), arb_status(), any::<u64>(), arb_string())
+        .prop_map(|(id, status, retry_after_ms, body)| ResponseFrame {
+            id,
+            status,
+            retry_after_ms,
+            body,
+        })
+        .boxed()
+}
+
+/// Strips the 4-byte length prefix off complete frame bytes.
+fn payload(bytes: &[u8]) -> &[u8] {
+    &bytes[4..]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn prop_request_frames_round_trip(frame in arb_request_frame()) {
+        let bytes = encode_request(&frame);
+        let len = u32::from_be_bytes(bytes[..4].try_into().unwrap()) as usize;
+        prop_assert_eq!(len, bytes.len() - 4);
+        let decoded = decode_payload(payload(&bytes));
+        prop_assert_eq!(decoded, Ok(Frame::Request(frame)));
+    }
+
+    #[test]
+    fn prop_response_frames_round_trip(frame in arb_response_frame()) {
+        let bytes = encode_response(&frame);
+        let decoded = decode_payload(payload(&bytes));
+        prop_assert_eq!(decoded, Ok(Frame::Response(frame)));
+    }
+
+    #[test]
+    fn prop_every_truncation_is_a_typed_error_never_a_panic(
+        frame in arb_request_frame(),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = encode_request(&frame);
+        let full = payload(&bytes);
+        // Check every prefix of short frames; sample prefixes of
+        // longer ones.
+        let cuts: Vec<usize> = if full.len() <= 64 {
+            (0..full.len()).collect()
+        } else {
+            (0..64).map(|i| (cut_seed.wrapping_add(i).wrapping_mul(0x9E37_79B9)) as usize
+                % full.len()).collect()
+        };
+        for cut in cuts {
+            let result = decode_payload(&full[..cut]);
+            prop_assert!(result.is_err(), "prefix of length {} decoded: {:?}", cut, result);
+        }
+    }
+
+    #[test]
+    fn prop_single_byte_corruption_never_panics_and_never_half_decodes(
+        frame in arb_request_frame(),
+        pos_seed in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let bytes = encode_request(&frame);
+        let mut corrupt = payload(&bytes).to_vec();
+        let pos = (pos_seed as usize) % corrupt.len();
+        corrupt[pos] ^= xor;
+        // Must not panic. If it still decodes (the flipped byte was in
+        // a don't-care position like the id), it must decode to a
+        // *request* — corruption can't turn a request into a response
+        // because the tag byte distinguishes them.
+        if let Ok(decoded) = decode_payload(&corrupt) {
+            prop_assert!(
+                matches!(decoded, Frame::Request(_)) || pos == 0,
+                "corruption at {} produced {:?}", pos, decoded
+            );
+        }
+    }
+
+    #[test]
+    fn prop_random_noise_never_panics(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Ok or typed Err both fine; what is being tested is totality.
+        let _ = decode_payload(&noise);
+    }
+
+    #[test]
+    fn prop_status_codes_round_trip(status in arb_status()) {
+        prop_assert_eq!(RespStatus::from_code(status.code()), Ok(status));
+    }
+}

@@ -230,7 +230,10 @@ impl Kernel {
 
     /// Sends a signal to a process (the external `kill` command).
     pub fn send_signal(&mut self, pid: Pid, sig: Sig) -> Result<(), KernelError> {
-        let p = self.procs.get_mut(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+        let p = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
         if p.state != ProcState::Zombie {
             p.pending.push_back(sig);
             // Signals wake blocked (scheduled) processes so handlers run;
@@ -326,11 +329,7 @@ impl Kernel {
                 };
                 match p.pending.pop_front() {
                     Some(s) => {
-                        let h = p
-                            .handlers
-                            .get(&s)
-                            .cloned()
-                            .unwrap_or(Handler::Default);
+                        let h = p.handlers.get(&s).cloned().unwrap_or(Handler::Default);
                         (s, h)
                     }
                     None => return true,
@@ -366,9 +365,7 @@ impl Kernel {
         let due: Vec<Pid> = self
             .procs
             .values()
-            .filter(|p| {
-                p.state == ProcState::Blocked && p.wake_at.is_some_and(|w| w <= now)
-            })
+            .filter(|p| p.state == ProcState::Blocked && p.wake_at.is_some_and(|w| w <= now))
             .map(|p| p.pid)
             .collect();
         for pid in due {
@@ -598,7 +595,10 @@ impl Kernel {
             out.push_str(&row);
             out.push('\n');
         }
-        out.push_str(&format!("        +{} ticks, {} switches\n", end, self.context_switches));
+        out.push_str(&format!(
+            "        +{} ticks, {} switches\n",
+            end, self.context_switches
+        ));
         out
     }
 
@@ -648,7 +648,11 @@ mod tests {
     fn single_process_prints_and_exits() {
         let mut k = kernel_with(
             "p",
-            program(vec![Op::Print("a".into()), Op::Print("b".into()), Op::Exit(0)]),
+            program(vec![
+                Op::Print("a".into()),
+                Op::Print("b".into()),
+                Op::Exit(0),
+            ]),
         );
         let pid = k.spawn("p").unwrap();
         assert!(k.run_until_idle(100));
@@ -731,7 +735,10 @@ mod tests {
         }
         assert_eq!(k.process(parent).unwrap().state, ProcState::Blocked);
         assert!(k.run_until_idle(1000));
-        assert!(k.reaps().iter().any(|(p, c, code)| *p == parent && *c != parent && *code == 3));
+        assert!(k
+            .reaps()
+            .iter()
+            .any(|(p, c, code)| *p == parent && *c != parent && *code == 3));
     }
 
     #[test]
@@ -777,7 +784,11 @@ mod tests {
         k.spawn("b").unwrap();
         assert!(k.run_until_idle(100));
         let lines: Vec<&str> = k.output().iter().map(|(_, s)| s.as_str()).collect();
-        assert_eq!(lines, vec!["a1", "b1", "a2", "b2"], "quantum-1 interleaving");
+        assert_eq!(
+            lines,
+            vec!["a1", "b1", "a2", "b2"],
+            "quantum-1 interleaving"
+        );
         assert!(k.context_switches() >= 3);
     }
 
@@ -839,7 +850,10 @@ mod tests {
         k2.step();
         k2.send_signal(pid2, Sig::Int).unwrap();
         assert!(k2.run_until_idle(100));
-        assert!(k2.reaps().iter().any(|(_, c, code)| *c == pid2 && *code == 130));
+        assert!(k2
+            .reaps()
+            .iter()
+            .any(|(_, c, code)| *c == pid2 && *code == 130));
     }
 
     #[test]
@@ -861,7 +875,9 @@ mod tests {
         let parent = k.spawn("bg").unwrap();
         assert!(k.run_until_idle(1000));
         assert!(
-            k.reaps().iter().any(|(p, _, code)| *p == parent && *code == 9),
+            k.reaps()
+                .iter()
+                .any(|(p, _, code)| *p == parent && *code == 9),
             "handler reaped the child: {:?}",
             k.reaps()
         );
@@ -889,10 +905,7 @@ mod tests {
 
     #[test]
     fn process_tree_shape() {
-        let mut k = kernel_with(
-            "t",
-            program(vec![Op::Fork, Op::Compute(5), Op::Exit(0)]),
-        );
+        let mut k = kernel_with("t", program(vec![Op::Fork, Op::Compute(5), Op::Exit(0)]));
         k.spawn("t").unwrap();
         k.step();
         k.step(); // fork happened
@@ -905,7 +918,10 @@ mod tests {
     #[test]
     fn errors() {
         let mut k = Kernel::new(1);
-        assert!(matches!(k.spawn("ghost"), Err(KernelError::NoSuchProgram(_))));
+        assert!(matches!(
+            k.spawn("ghost"),
+            Err(KernelError::NoSuchProgram(_))
+        ));
         assert!(matches!(
             k.send_signal(999, Sig::Int),
             Err(KernelError::NoSuchProcess(999))
@@ -936,13 +952,20 @@ mod tests {
         assert!(k.run_until_idle(10_000));
         // Serialized it would be ~(3+12) + 20 + exits ≈ 37+; overlapped
         // the sleeps hide under the CPU burst.
-        assert!(k.time < 30, "I/O waits overlapped with compute: {} ticks", k.time);
+        assert!(
+            k.time < 30,
+            "I/O waits overlapped with compute: {} ticks",
+            k.time
+        );
     }
 
     #[test]
     fn pure_sleeper_advances_the_clock() {
         let mut k = Kernel::new(2);
-        k.register_program("nap", program(vec![Op::Sleep(10), Op::Print("up".into()), Op::Exit(0)]));
+        k.register_program(
+            "nap",
+            program(vec![Op::Sleep(10), Op::Print("up".into()), Op::Exit(0)]),
+        );
         k.spawn("nap").unwrap();
         assert!(k.run_until_idle(1000));
         assert_eq!(k.output().len(), 1);
@@ -957,7 +980,10 @@ mod tests {
         k.step(); // enter the sleep
         k.send_signal(pid, Sig::Term).unwrap();
         assert!(k.run_until_idle(100));
-        assert!(k.reaps().iter().any(|(_, c, code)| *c == pid && *code == 130));
+        assert!(k
+            .reaps()
+            .iter()
+            .any(|(_, c, code)| *c == pid && *code == 130));
     }
 
     #[test]

@@ -122,12 +122,7 @@ pub fn fork_print_wait() -> Vec<Op> {
 
 /// The double-fork exam favorite: how many processes? (Four.)
 pub fn double_fork() -> Vec<Op> {
-    vec![
-        Op::Fork,
-        Op::Fork,
-        Op::Print("hello".into()),
-        Op::Exit(0),
-    ]
+    vec![Op::Fork, Op::Fork, Op::Print("hello".into()), Op::Exit(0)]
 }
 
 #[cfg(test)]

@@ -101,7 +101,13 @@ impl Shell {
     /// Wraps a kernel, registering the shell in the process hierarchy.
     pub fn new(mut kernel: Kernel) -> Shell {
         let pid = kernel.register_external();
-        Shell { kernel, pid, history: Vec::new(), jobs: Vec::new(), completed: Vec::new() }
+        Shell {
+            kernel,
+            pid,
+            history: Vec::new(),
+            jobs: Vec::new(),
+            completed: Vec::new(),
+        }
     }
 
     /// The history list (most recent last), 1-indexed for `!n`.
@@ -186,10 +192,7 @@ impl Shell {
                 return ShellEvent::Builtin(self.kernel.process_tree());
             }
             "kill" => {
-                let target = parsed
-                    .tokens
-                    .get(1)
-                    .and_then(|t| t.parse::<Pid>().ok());
+                let target = parsed.tokens.get(1).and_then(|t| t.parse::<Pid>().ok());
                 return match target {
                     Some(pid) => match self.kernel.send_signal(pid, crate::proc::Sig::Term) {
                         Ok(()) => {
@@ -271,7 +274,11 @@ mod tests {
         );
         k.register_program(
             "sleepy",
-            program(vec![Op::Compute(20), Op::Print("done napping".into()), Op::Exit(0)]),
+            program(vec![
+                Op::Compute(20),
+                Op::Print("done napping".into()),
+                Op::Exit(0),
+            ]),
         );
         k.register_program("false", program(vec![Op::Exit(1)]));
         k
@@ -307,11 +314,7 @@ mod tests {
             ShellEvent::Finished(_, 0) => {}
             other => panic!("expected Finished(_, 0), got {other:?}"),
         }
-        assert!(sh
-            .kernel
-            .output()
-            .iter()
-            .any(|(_, s)| s.contains("file_a")));
+        assert!(sh.kernel.output().iter().any(|(_, s)| s.contains("file_a")));
     }
 
     #[test]
@@ -342,11 +345,7 @@ mod tests {
         }
         assert!(sh.jobs().is_empty(), "background job eventually reaped");
         assert!(sh.completed.iter().any(|(p, _, _)| *p == bg));
-        assert!(sh
-            .kernel
-            .output()
-            .iter()
-            .any(|(_, s)| s == "done napping"));
+        assert!(sh.kernel.output().iter().any(|(_, s)| s == "done napping"));
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl Barrier {
     pub fn new(parties: usize) -> Barrier {
         assert!(parties > 0, "barrier needs at least one party");
         Barrier {
-            state: Mutex::new(BarrierState { waiting: 0, generation: 0 }),
+            state: Mutex::new(BarrierState {
+                waiting: 0,
+                generation: 0,
+            }),
             cvar: Condvar::new(),
             parties,
         }

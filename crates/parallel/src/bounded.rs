@@ -32,7 +32,10 @@ impl<T> BoundedBuffer<T> {
     pub fn new(capacity: usize) -> BoundedBuffer<T> {
         assert!(capacity > 0, "bounded buffer needs capacity >= 1");
         BoundedBuffer {
-            state: Mutex::new(State { queue: VecDeque::with_capacity(capacity), closed: false }),
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             capacity,
@@ -84,7 +87,11 @@ impl<T> BoundedBuffer<T> {
 
     /// Items currently queued (teaching snapshot).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("buffer mutex poisoned").queue.len()
+        self.state
+            .lock()
+            .expect("buffer mutex poisoned")
+            .queue
+            .len()
     }
 
     /// True if currently empty.
@@ -169,14 +176,22 @@ pub fn run_producer_consumer(
     let seconds = start.elapsed().as_secs_f64();
     let items = producers as u64 * items_per_producer;
     // Sum of 0..items-1 when tokens are a permutation of that range.
-    let expect_sum = if items == 0 { 0 } else { items * (items - 1) / 2 };
+    let expect_sum = if items == 0 {
+        0
+    } else {
+        items * (items - 1) / 2
+    };
     ProdConsReport {
         items,
         producers,
         consumers,
         capacity,
         seconds,
-        throughput: if seconds > 0.0 { items as f64 / seconds } else { 0.0 },
+        throughput: if seconds > 0.0 {
+            items as f64 / seconds
+        } else {
+            0.0
+        },
         exactly_once: consumed_sum.load(std::sync::atomic::Ordering::Relaxed) == expect_sum
             && consumed_count.load(std::sync::atomic::Ordering::Relaxed) == items,
     }

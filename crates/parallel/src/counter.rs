@@ -67,7 +67,13 @@ pub fn run_racy(threads: usize, per_thread: u64) -> CounterReport {
             });
         }
     });
-    report(CounterKind::Racy, threads, per_thread, counter.into_inner(), start)
+    report(
+        CounterKind::Racy,
+        threads,
+        per_thread,
+        counter.into_inner(),
+        start,
+    )
 }
 
 /// A deterministic lost-update demonstration: two logical "threads"
@@ -111,7 +117,13 @@ pub fn run_atomic(threads: usize, per_thread: u64) -> CounterReport {
             });
         }
     });
-    report(CounterKind::Atomic, threads, per_thread, counter.into_inner(), start)
+    report(
+        CounterKind::Atomic,
+        threads,
+        per_thread,
+        counter.into_inner(),
+        start,
+    )
 }
 
 /// Runs the mutex-guarded counter.
@@ -191,7 +203,11 @@ mod tests {
     #[test]
     fn lost_update_is_deterministic_with_forced_interleaving() {
         for _ in 0..10 {
-            assert_eq!(deterministic_lost_update(), 1, "two increments, one survives");
+            assert_eq!(
+                deterministic_lost_update(),
+                1,
+                "two increments, one survives"
+            );
         }
     }
 

@@ -115,7 +115,9 @@ impl DiningTable {
     /// A table for `n` philosophers (n ≥ 2).
     pub fn new(n: usize) -> DiningTable {
         assert!(n >= 2, "need at least two philosophers");
-        DiningTable { forks: (0..n).map(|_| Mutex::new(())).collect() }
+        DiningTable {
+            forks: (0..n).map(|_| Mutex::new(())).collect(),
+        }
     }
 
     /// Which forks philosopher `p` needs, in the order the discipline

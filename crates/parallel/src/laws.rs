@@ -43,7 +43,10 @@ pub fn gustafson(serial_fraction: f64, p: usize) -> f64 {
 
 /// An Amdahl sweep over processor counts (the E6 curve data).
 pub fn amdahl_curve(serial_fraction: f64, procs: &[usize]) -> Vec<(usize, f64)> {
-    procs.iter().map(|&p| (p, amdahl(serial_fraction, p))).collect()
+    procs
+        .iter()
+        .map(|&p| (p, amdahl(serial_fraction, p)))
+        .collect()
 }
 
 /// Classifies an observed speedup the way the course discusses results:

@@ -48,7 +48,12 @@ pub struct MachineConfig {
 
 impl Default for MachineConfig {
     fn default() -> Self {
-        MachineConfig { cores: 16, barrier_cost: 50, lock_overhead: 10, contention: 0.0 }
+        MachineConfig {
+            cores: 16,
+            barrier_cost: 50,
+            lock_overhead: 10,
+            contention: 0.0,
+        }
     }
 }
 
@@ -73,7 +78,11 @@ pub enum MachineModelError {
 impl std::fmt::Display for MachineModelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MachineModelError::BarrierMismatch { expected, thread, got } => write!(
+            MachineModelError::BarrierMismatch {
+                expected,
+                thread,
+                got,
+            } => write!(
                 f,
                 "thread {thread} crosses {got} barriers; thread 0 crosses {expected}"
             ),
@@ -197,10 +206,18 @@ pub fn simulate(
             .iter()
             .map(|t| t[k].1 as f64 + (t[k].2 as u64 * cfg.lock_overhead) as f64)
             .sum();
-        let barrier = if k + 1 < nphases { cfg.barrier_cost as f64 } else { 0.0 };
+        let barrier = if k + 1 < nphases {
+            cfg.barrier_cost as f64
+        } else {
+            0.0
+        };
         let phase_time = compute_time.max(critical_floor) + barrier;
         total += phase_time;
-        phases.push(PhaseReport { compute_time, critical_floor, phase_time });
+        phases.push(PhaseReport {
+            compute_time,
+            critical_floor,
+            phase_time,
+        });
     }
 
     // Serial reference: all work and critical units on one core, no
@@ -215,7 +232,12 @@ pub fn simulate(
         })
         .sum();
 
-    Ok(MachineReport { parallel_time: total, serial_time, threads: threads.len(), phases })
+    Ok(MachineReport {
+        parallel_time: total,
+        serial_time,
+        threads: threads.len(),
+        phases,
+    })
 }
 
 /// Builds the Lab 10 workload shape: `total_work` units split evenly over
@@ -271,7 +293,12 @@ mod tests {
     use crate::laws::{classify, SpeedupClass};
 
     fn paper_machine() -> MachineConfig {
-        MachineConfig { cores: 16, barrier_cost: 50, lock_overhead: 10, contention: 0.0 }
+        MachineConfig {
+            cores: 16,
+            barrier_cost: 50,
+            lock_overhead: 10,
+            contention: 0.0,
+        }
     }
 
     #[test]
@@ -281,7 +308,11 @@ mod tests {
         for &(t, s) in &sweep {
             assert_eq!(
                 classify(s, t),
-                if t == 1 { SpeedupClass::None } else { SpeedupClass::NearLinear },
+                if t == 1 {
+                    SpeedupClass::None
+                } else {
+                    SpeedupClass::NearLinear
+                },
                 "threads={t} speedup={s}"
             );
         }
@@ -317,7 +348,10 @@ mod tests {
         let wl = life_like_workload(16_000_000, 16, 10, 0);
         let free = simulate(paper_machine(), &wl).unwrap().speedup();
         let contended = simulate(
-            MachineConfig { contention: 0.02, ..paper_machine() },
+            MachineConfig {
+                contention: 0.02,
+                ..paper_machine()
+            },
             &wl,
         )
         .unwrap()
@@ -362,7 +396,14 @@ mod tests {
             MachineModelError::Empty
         );
         assert_eq!(
-            simulate(MachineConfig { cores: 0, ..paper_machine() }, &[vec![]]).unwrap_err(),
+            simulate(
+                MachineConfig {
+                    cores: 0,
+                    ..paper_machine()
+                },
+                &[vec![]]
+            )
+            .unwrap_err(),
             MachineModelError::NoCores
         );
         let ragged = vec![

@@ -13,7 +13,10 @@ pub struct Semaphore {
 impl Semaphore {
     /// A semaphore with `initial` permits.
     pub fn new(initial: usize) -> Semaphore {
-        Semaphore { permits: Mutex::new(initial), cvar: Condvar::new() }
+        Semaphore {
+            permits: Mutex::new(initial),
+            cvar: Condvar::new(),
+        }
     }
 
     /// P / `sem_wait`: blocks until a permit is available, then takes it.

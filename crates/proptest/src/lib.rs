@@ -308,7 +308,9 @@ pub mod strategy {
 
     /// Uniform values across `T`'s whole domain (`any::<u32>()`, …).
     pub fn any<T: rand::Standard>() -> Any<T> {
-        Any { _marker: core::marker::PhantomData }
+        Any {
+            _marker: core::marker::PhantomData,
+        }
     }
 }
 
@@ -356,7 +358,11 @@ pub mod collection {
     pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
         let (min, max_exclusive) = size.into_size_range();
         assert!(min < max_exclusive, "empty size range");
-        VecStrategy { element, min, max_exclusive }
+        VecStrategy {
+            element,
+            min,
+            max_exclusive,
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -464,14 +470,12 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if *l == *r {
-            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!(
-                    "assertion failed: `{} != {}`\n  both: {:?}",
-                    stringify!($left),
-                    stringify!($right),
-                    l
-                ),
-            ));
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
         }
     }};
 }
@@ -559,7 +563,10 @@ mod tests {
         for _ in 0..200 {
             let s = "[a-z]{1,5}".sample(&mut rng);
             assert!((1..=5).contains(&s.len()), "bad length: {s:?}");
-            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "bad chars: {s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase()),
+                "bad chars: {s:?}"
+            );
         }
         let t = "ab[0-9]?".sample(&mut rng);
         assert!(t.starts_with("ab") && t.len() <= 3);

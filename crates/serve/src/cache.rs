@@ -139,7 +139,12 @@ impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
         assert!(capacity_per_shard > 0, "cache shards need capacity >= 1");
         Cache {
             shards: (0..shards)
-                .map(|_| Shard { map: Mutex::new(ShardMap { entries: HashMap::new(), clock: 0 }) })
+                .map(|_| Shard {
+                    map: Mutex::new(ShardMap {
+                        entries: HashMap::new(),
+                        clock: 0,
+                    }),
+                })
                 .collect(),
             capacity_per_shard,
             hits: AtomicU64::new(0),
@@ -189,7 +194,10 @@ impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
                     });
                     map.entries.insert(
                         key.clone(),
-                        ShardEntry { slot: Arc::clone(&slot), last_used: now },
+                        ShardEntry {
+                            slot: Arc::clone(&slot),
+                            last_used: now,
+                        },
                     );
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     (slot, true)
@@ -352,7 +360,11 @@ mod tests {
                 });
             }
         });
-        assert_eq!(computes.load(Ordering::SeqCst), 10, "closure reran for a cached key");
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            10,
+            "closure reran for a cached key"
+        );
     }
 
     #[test]
@@ -386,7 +398,11 @@ mod tests {
                 });
             }
         });
-        assert_eq!(overlapped.load(Ordering::SeqCst), 1, "computes for distinct keys serialized");
+        assert_eq!(
+            overlapped.load(Ordering::SeqCst),
+            1,
+            "computes for distinct keys serialized"
+        );
     }
 
     #[test]
@@ -405,7 +421,11 @@ mod tests {
             computes.fetch_add(1, Ordering::SeqCst);
             k
         });
-        assert_eq!(computes.load(Ordering::SeqCst), 1, "evicted key should recompute");
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            1,
+            "evicted key should recompute"
+        );
     }
 
     #[test]
@@ -413,7 +433,10 @@ mod tests {
         let cache: Arc<Cache<u32, u32>> = Arc::new(Cache::new(2, 8));
         let c2 = Arc::clone(&cache);
         let boom = thread::spawn(move || c2.get_or_insert_with(9, |_| panic!("bad compute")));
-        assert!(boom.join().is_err(), "panic must propagate to the computing caller");
+        assert!(
+            boom.join().is_err(),
+            "panic must propagate to the computing caller"
+        );
         // The key is retryable and other keys are unaffected.
         assert_eq!(cache.get_or_insert_with(9, |_| 42), 42);
         assert_eq!(cache.get_or_insert_with(10, |k| k), 10);

@@ -56,6 +56,18 @@ pub enum FaultPoint {
     /// moment, proving in-progress (`Computing`) entries are never
     /// evicted out from under their waiters.
     CacheEvictDuringCompute,
+    /// In the TCP front end's per-connection reader, after a request
+    /// frame is parsed but before it is submitted: a stall here models
+    /// a slow/stuck reader; a [`FaultKind::Drop`] here severs the
+    /// connection mid-request — the admitted work must still drain and
+    /// the server ledger must still balance even though the response
+    /// has nowhere to go.
+    NetReadFrame,
+    /// In the TCP front end's per-connection writer, before a response
+    /// frame is written: a stall here models a slow client that the
+    /// write timeout must bound; a [`FaultKind::Drop`] severs the
+    /// connection with responses still queued.
+    NetWriteFrame,
 }
 
 /// What an injected fault does.
@@ -65,6 +77,10 @@ pub enum FaultKind {
     Panic,
     /// Sleep for the given duration, simulating a stuck handler.
     Stall(Duration),
+    /// Sever a connection (wire-level points only). `Drop` rules never
+    /// fire from [`FaultPlan::fire`]; the net layer polls them with
+    /// [`FaultPlan::should_drop`] and closes the socket itself.
+    Drop,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -79,10 +95,12 @@ struct FaultRule {
 struct PlanInner {
     seed: u64,
     rules: Vec<FaultRule>,
-    /// One tick per `fire` call, across all points and threads.
+    /// One tick per `fire`/`should_drop` call, across all points and
+    /// threads.
     sequence: AtomicU64,
     panics: AtomicU64,
     stalls: AtomicU64,
+    drops: AtomicU64,
 }
 
 /// Counters for faults actually injected so far.
@@ -92,6 +110,8 @@ pub struct FaultStats {
     pub panics: u64,
     /// Stalls injected.
     pub stalls: u64,
+    /// Connection drops granted to [`FaultPlan::should_drop`] callers.
+    pub drops: u64,
 }
 
 /// A seeded, shareable schedule of handler faults.
@@ -137,12 +157,16 @@ impl FaultPlan {
                 sequence: AtomicU64::new(0),
                 panics: AtomicU64::new(0),
                 stalls: AtomicU64::new(0),
+                drops: AtomicU64::new(0),
             }),
         }
     }
 
     fn with_rule(self, rule: FaultRule) -> FaultPlan {
-        assert!(rule.denominator > 0, "fault rate denominator must be positive");
+        assert!(
+            rule.denominator > 0,
+            "fault rate denominator must be positive"
+        );
         assert!(
             rule.numerator <= rule.denominator,
             "fault rate cannot exceed 1 ({}/{})",
@@ -151,17 +175,37 @@ impl FaultPlan {
         );
         // Builders run before the plan is shared; the unwrap documents
         // that contract rather than silently cloning state.
-        let PlanInner { seed, mut rules, sequence, panics, stalls } =
-            Arc::try_unwrap(self.inner)
-                .unwrap_or_else(|_| panic!("configure the FaultPlan before cloning/sharing it"));
+        let PlanInner {
+            seed,
+            mut rules,
+            sequence,
+            panics,
+            stalls,
+            drops,
+        } = Arc::try_unwrap(self.inner)
+            .unwrap_or_else(|_| panic!("configure the FaultPlan before cloning/sharing it"));
         rules.push(rule);
-        FaultPlan { inner: Arc::new(PlanInner { seed, rules, sequence, panics, stalls }) }
+        FaultPlan {
+            inner: Arc::new(PlanInner {
+                seed,
+                rules,
+                sequence,
+                panics,
+                stalls,
+                drops,
+            }),
+        }
     }
 
     /// Adds a rule: panic at `point` on roughly `numerator` out of
     /// every `denominator` firings (seed-deterministic, not periodic).
     pub fn panic_at(self, point: FaultPoint, numerator: u32, denominator: u32) -> FaultPlan {
-        self.with_rule(FaultRule { point, kind: FaultKind::Panic, numerator, denominator })
+        self.with_rule(FaultRule {
+            point,
+            kind: FaultKind::Panic,
+            numerator,
+            denominator,
+        })
     }
 
     /// Adds a rule: stall for `stall` at `point` on roughly
@@ -176,6 +220,20 @@ impl FaultPlan {
         self.with_rule(FaultRule {
             point,
             kind: FaultKind::Stall(stall),
+            numerator,
+            denominator,
+        })
+    }
+
+    /// Adds a rule: grant a connection drop at `point` on roughly
+    /// `numerator` out of every `denominator` [`should_drop`] polls.
+    /// Only the wire-level points consult drop rules.
+    ///
+    /// [`should_drop`]: FaultPlan::should_drop
+    pub fn drop_at(self, point: FaultPoint, numerator: u32, denominator: u32) -> FaultPlan {
+        self.with_rule(FaultRule {
+            point,
+            kind: FaultKind::Drop,
             numerator,
             denominator,
         })
@@ -204,8 +262,31 @@ impl FaultPlan {
                     self.inner.panics.fetch_add(1, Ordering::Relaxed);
                     panic!("fault injection: seeded panic at {point:?} (firing #{seq})");
                 }
+                // Drop is an action only the net layer can take (it
+                // owns the socket); `fire` never acts on it.
+                FaultKind::Drop => {}
             }
         }
+    }
+
+    /// Consults the drop rules at `point`: `true` means the caller
+    /// should sever its connection now. Seed-deterministic like
+    /// [`FaultPlan::fire`] (each poll consumes one sequence tick), and
+    /// counted in [`FaultStats::drops`] when granted.
+    pub fn should_drop(&self, point: FaultPoint) -> bool {
+        let seq = self.inner.sequence.fetch_add(1, Ordering::Relaxed);
+        for (ridx, rule) in self.inner.rules.iter().enumerate() {
+            if rule.point != point || !matches!(rule.kind, FaultKind::Drop) {
+                continue;
+            }
+            let h = mix(self.inner.seed ^ mix(seq ^ ((ridx as u64) << 32)));
+            if (h % u64::from(rule.denominator)) as u32 >= rule.numerator {
+                continue;
+            }
+            self.inner.drops.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
     }
 
     /// Counters of faults injected so far (shared across clones).
@@ -213,6 +294,7 @@ impl FaultPlan {
         FaultStats {
             panics: self.inner.panics.load(Ordering::Relaxed),
             stalls: self.inner.stalls.load(Ordering::Relaxed),
+            drops: self.inner.drops.load(Ordering::Relaxed),
         }
     }
 }
@@ -229,7 +311,34 @@ mod tests {
             plan.fire(FaultPoint::BeforeHandle);
             plan.fire(FaultPoint::AfterHandle);
         }
-        assert_eq!(plan.stats(), FaultStats { panics: 0, stalls: 0 });
+        assert_eq!(
+            plan.stats(),
+            FaultStats {
+                panics: 0,
+                stalls: 0,
+                drops: 0
+            }
+        );
+    }
+
+    #[test]
+    fn drop_rules_only_answer_should_drop() {
+        let plan = FaultPlan::new(9).drop_at(FaultPoint::NetReadFrame, 1, 2);
+        // `fire` never acts on (or counts) a Drop rule.
+        for _ in 0..50 {
+            plan.fire(FaultPoint::NetReadFrame);
+        }
+        assert_eq!(plan.stats().drops, 0);
+        let granted = (0..200)
+            .filter(|_| plan.should_drop(FaultPoint::NetReadFrame))
+            .count() as u64;
+        assert!(
+            (40..=160).contains(&granted),
+            "got {granted}/200 drops at rate 1/2"
+        );
+        assert_eq!(plan.stats().drops, granted);
+        // Wrong point: no grants.
+        assert!(!(0..50).any(|_| plan.should_drop(FaultPoint::NetWriteFrame)));
     }
 
     #[test]
@@ -238,8 +347,7 @@ mod tests {
             let plan = FaultPlan::new(seed).panic_at(FaultPoint::BeforeHandle, 1, 4);
             (0..400)
                 .map(|_| {
-                    catch_unwind(AssertUnwindSafe(|| plan.fire(FaultPoint::BeforeHandle)))
-                        .is_err()
+                    catch_unwind(AssertUnwindSafe(|| plan.fire(FaultPoint::BeforeHandle))).is_err()
                 })
                 .collect()
         };
@@ -249,34 +357,36 @@ mod tests {
         let hits = a.iter().filter(|&&x| x).count();
         // 1/4 rate over 400 firings: allow generous slack, but it must
         // fire sometimes and not always.
-        assert!((40..=160).contains(&hits), "got {hits}/400 faults at rate 1/4");
+        assert!(
+            (40..=160).contains(&hits),
+            "got {hits}/400 faults at rate 1/4"
+        );
         let c = run(8);
         assert_ne!(a, c, "different seeds should differ somewhere");
     }
 
     #[test]
     fn always_rules_fire_every_time_and_stalls_really_sleep() {
-        let plan = FaultPlan::new(0).stall_at(
-            FaultPoint::AfterHandle,
-            Duration::from_millis(5),
-            1,
-            1,
-        );
+        let plan =
+            FaultPlan::new(0).stall_at(FaultPoint::AfterHandle, Duration::from_millis(5), 1, 1);
         let t0 = std::time::Instant::now();
         plan.fire(FaultPoint::AfterHandle);
         plan.fire(FaultPoint::BeforeHandle); // wrong point: no stall
         assert!(t0.elapsed() >= Duration::from_millis(5));
-        assert_eq!(plan.stats(), FaultStats { panics: 0, stalls: 1 });
+        assert_eq!(
+            plan.stats(),
+            FaultStats {
+                panics: 0,
+                stalls: 1,
+                drops: 0
+            }
+        );
     }
 
     #[test]
     fn clones_share_counters() {
-        let plan = FaultPlan::new(1).stall_at(
-            FaultPoint::BeforeHandle,
-            Duration::from_micros(1),
-            1,
-            1,
-        );
+        let plan =
+            FaultPlan::new(1).stall_at(FaultPoint::BeforeHandle, Duration::from_micros(1), 1, 1);
         let observer = plan.clone();
         plan.fire(FaultPoint::BeforeHandle);
         assert_eq!(observer.stats().stalls, 1);

@@ -32,6 +32,17 @@
 //! baseline comparisons. See `DESIGN.md` for the deque/steal protocol
 //! and the parking discipline's no-lost-wakeup argument.
 //!
+//! Since PR 4 the server is reachable over TCP: the `net` crate wraps
+//! a [`server::CourseServer`] in a length-prefixed wire protocol and a
+//! blocking socket front end, completing pipelined requests out of
+//! order via [`server::Ticket::on_ready`] callbacks. Admission can now
+//! also *adapt*: [`server::AdaptiveAdmission`] derives per-class queue
+//! budgets and deadline defaults from an EWMA of observed service
+//! times (fed through [`server::AdmissionPolicy::observe`]), and the
+//! [`fault::FaultPlan`] reaches the wire (reader/writer stalls,
+//! connection drops) so the drain-everything shutdown invariant is
+//! tested against socket-level failure too.
+//!
 //! Since PR 3 every job carries a [`pool::JobMeta`] (`class`,
 //! `priority`, `deadline`) threaded through the whole pipeline:
 //! requests are classified by a pluggable
@@ -69,6 +80,6 @@ pub use cache::Cache;
 pub use fault::{FaultPlan, FaultPoint};
 pub use pool::{JobClass, JobMeta, Scheduler, ThreadPool};
 pub use server::{
-    AdmissionPolicy, ClassAwareAdmission, CourseServer, FcfsAdmission, Request, Response,
-    ServerConfig,
+    AdaptiveAdmission, AdmissionPolicy, ClassAwareAdmission, CourseServer, FcfsAdmission, Request,
+    Response, ServerConfig, SHED_BODY_PREFIX,
 };

@@ -41,7 +41,10 @@ struct Latch {
 
 impl Latch {
     fn new(count: usize) -> Latch {
-        Latch { remaining: Mutex::new(count), done: Condvar::new() }
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
     }
 
     fn count_down(&self) {
@@ -69,7 +72,10 @@ pub const OVERSUBSCRIPTION: usize = 4;
 /// its shared counter, here materialised as one pool job per range.
 fn grain_ranges(len: usize, grain: usize) -> Vec<std::ops::Range<usize>> {
     assert!(grain > 0, "grain must be positive");
-    (0..len).step_by(grain).map(|start| start..(start + grain).min(len)).collect()
+    (0..len)
+        .step_by(grain)
+        .map(|start| start..(start + grain).min(len))
+        .collect()
 }
 
 /// The default grain: `OVERSUBSCRIPTION` chunks per worker.
@@ -317,7 +323,10 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(&pool, &empty, |x| *x).is_empty());
         assert!(par_for_chunks(&pool, empty.clone(), |_, _| panic!("no chunks")).is_empty());
-        assert_eq!(par_reduce(&pool, &empty, 9u32, |a, &x| a + x, |a, b| a + b), 9);
+        assert_eq!(
+            par_reduce(&pool, &empty, 9u32, |a, &x| a + x, |a, b| a + b),
+            9
+        );
     }
 
     #[test]
@@ -377,7 +386,11 @@ mod tests {
         let pool = ThreadPool::new(2);
         let data: Vec<u32> = (0..100).collect();
         let result = catch_unwind(AssertUnwindSafe(|| {
-            par_map(&pool, &data, |&x| if x == 50 { panic!("element 50") } else { x })
+            par_map(
+                &pool,
+                &data,
+                |&x| if x == 50 { panic!("element 50") } else { x },
+            )
         }));
         assert!(result.is_err(), "panic must reach the caller");
         // The pool survives and keeps working.

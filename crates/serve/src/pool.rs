@@ -192,14 +192,21 @@ impl Default for JobMeta {
     /// Batch class, middle priority, no deadline — the profile of
     /// legacy `execute` callers that never heard of metadata.
     fn default() -> JobMeta {
-        JobMeta { class: JobClass::Batch, priority: 128, deadline: None }
+        JobMeta {
+            class: JobClass::Batch,
+            priority: 128,
+            deadline: None,
+        }
     }
 }
 
 impl JobMeta {
     /// A meta with the given class and default priority/deadline.
     pub fn for_class(class: JobClass) -> JobMeta {
-        JobMeta { class, ..JobMeta::default() }
+        JobMeta {
+            class,
+            ..JobMeta::default()
+        }
     }
 
     /// Builder: sets the deadline.
@@ -291,6 +298,7 @@ struct ClassCounters {
     completed: AtomicU64,
     aged: AtomicU64,
     deadline_missed: AtomicU64,
+    busy_micros: AtomicU64,
 }
 
 /// A point-in-time snapshot of one class's pool counters.
@@ -307,6 +315,11 @@ pub struct ClassStats {
     pub aged: u64,
     /// Jobs of this class that *started* after their deadline.
     pub deadline_missed: u64,
+    /// Total worker time spent executing jobs of this class, in
+    /// microseconds. `busy_micros / completed` is the observed mean
+    /// service time — the signal adaptive admission derives per-class
+    /// budgets and deadline defaults from.
+    pub busy_micros: u64,
 }
 
 /// A point-in-time snapshot of the pool's aggregate counters.
@@ -460,7 +473,9 @@ impl PoolInner {
             (q.len(), self.queued.fetch_add(1, Ordering::SeqCst) + 1)
         };
         if self.scheduler == Scheduler::WorkStealing {
-            self.per_worker[target].deque_high_water.fetch_max(depth, Ordering::Relaxed);
+            self.per_worker[target]
+                .deque_high_water
+                .fetch_max(depth, Ordering::Relaxed);
         }
         self.queue_high_water.fetch_max(total, Ordering::Relaxed);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
@@ -488,7 +503,9 @@ impl PoolInner {
             Scheduler::SharedFifo => {
                 let job = self.pop_band_front(0);
                 if job.is_some() {
-                    self.per_worker[id].local_hits.fetch_add(1, Ordering::Relaxed);
+                    self.per_worker[id]
+                        .local_hits
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 job
             }
@@ -512,10 +529,15 @@ impl PoolInner {
         let bands: &[usize] = if aging_pass { &[2, 1, 0] } else { &[0, 1, 2] };
         for &band in bands {
             if let Some(job) = self.pop_band_front(band) {
-                self.per_worker[id].local_hits.fetch_add(1, Ordering::Relaxed);
+                self.per_worker[id]
+                    .local_hits
+                    .fetch_add(1, Ordering::Relaxed);
                 if aging_pass && band > 0 {
                     let higher_waiting = (0..band).any(|b| {
-                        !self.deques[b].lock().expect("pool mutex poisoned").is_empty()
+                        !self.deques[b]
+                            .lock()
+                            .expect("pool mutex poisoned")
+                            .is_empty()
                     });
                     if higher_waiting {
                         self.per_class[band].aged.fetch_add(1, Ordering::Relaxed);
@@ -540,7 +562,9 @@ impl PoolInner {
             job
         };
         if let Some(job) = local {
-            self.per_worker[id].local_hits.fetch_add(1, Ordering::Relaxed);
+            self.per_worker[id]
+                .local_hits
+                .fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
         // Oldest-first from victims, by rotation. Never hold two deque
@@ -583,11 +607,17 @@ impl PoolInner {
                         }
                         own.len()
                     };
-                    self.per_worker[id].deque_high_water.fetch_max(depth, Ordering::Relaxed);
-                    self.per_worker[id].batch_steals.fetch_add(1, Ordering::Relaxed);
+                    self.per_worker[id]
+                        .deque_high_water
+                        .fetch_max(depth, Ordering::Relaxed);
+                    self.per_worker[id]
+                        .batch_steals
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 self.per_worker[id].steals.fetch_add(1, Ordering::Relaxed);
-                self.per_worker[victim].stolen_from.fetch_add(1, Ordering::Relaxed);
+                self.per_worker[victim]
+                    .stolen_from
+                    .fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -654,7 +684,9 @@ impl ThreadPool {
         };
         let inner = Arc::new(PoolInner {
             scheduler,
-            deques: (0..deque_count).map(|_| Mutex::new(VecDeque::new())).collect(),
+            deques: (0..deque_count)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
             queued: AtomicUsize::new(0),
             closed: AtomicBool::new(false),
             sleepers: AtomicUsize::new(0),
@@ -678,7 +710,10 @@ impl ThreadPool {
                     .expect("spawning pool worker")
             })
             .collect();
-        ThreadPool { inner, workers: handles }
+        ThreadPool {
+            inner,
+            workers: handles,
+        }
     }
 
     /// Number of worker threads.
@@ -719,8 +754,13 @@ impl ThreadPool {
             return Err(PoolClosed(job));
         }
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
-        self.inner.per_class[meta.class.band()].submitted.fetch_add(1, Ordering::Relaxed);
-        self.inner.push(Job { run: Box::new(job), meta });
+        self.inner.per_class[meta.class.band()]
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner.push(Job {
+            run: Box::new(job),
+            meta,
+        });
         Ok(())
     }
 
@@ -766,6 +806,7 @@ impl ThreadPool {
                     completed: c.completed.load(Ordering::Relaxed),
                     aged: c.aged.load(Ordering::Relaxed),
                     deadline_missed: c.deadline_missed.load(Ordering::Relaxed),
+                    busy_micros: c.busy_micros.load(Ordering::Relaxed),
                 }
             })
             .collect();
@@ -818,18 +859,27 @@ fn worker_loop(id: usize, inner: &Arc<PoolInner>) {
                 let band = job.meta.class.band();
                 if let Some(deadline) = job.meta.deadline {
                     if Instant::now() > deadline {
-                        inner.per_class[band].deadline_missed.fetch_add(1, Ordering::Relaxed);
+                        inner.per_class[band]
+                            .deadline_missed
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 counters.started.fetch_add(1, Ordering::Relaxed);
                 CURRENT_META.with(|m| m.set(Some(job.meta)));
+                let run_start = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(job.run));
+                let busy = run_start.elapsed();
                 CURRENT_META.with(|m| m.set(None));
                 if outcome.is_err() {
                     counters.panicked.fetch_add(1, Ordering::Relaxed);
                 }
                 counters.finished.fetch_add(1, Ordering::Relaxed);
-                inner.per_class[band].completed.fetch_add(1, Ordering::Relaxed);
+                inner.per_class[band]
+                    .busy_micros
+                    .fetch_add(busy.as_micros() as u64, Ordering::Relaxed);
+                inner.per_class[band]
+                    .completed
+                    .fetch_add(1, Ordering::Relaxed);
                 inner.finish_one();
             }
             None => {
@@ -858,8 +908,11 @@ mod tests {
     use std::sync::atomic::AtomicU64;
     use std::time::{Duration, Instant};
 
-    const ALL_SCHEDULERS: [Scheduler; 3] =
-        [Scheduler::SharedFifo, Scheduler::WorkStealing, Scheduler::PriorityLanes];
+    const ALL_SCHEDULERS: [Scheduler; 3] = [
+        Scheduler::SharedFifo,
+        Scheduler::WorkStealing,
+        Scheduler::PriorityLanes,
+    ];
 
     #[test]
     fn runs_jobs_and_counts_them_under_every_scheduler() {
@@ -883,7 +936,10 @@ mod tests {
             assert_eq!(stats.queue_depth, 0);
             assert!(stats.queue_high_water >= 1);
             assert_eq!(stats.per_worker.len(), 4);
-            assert_eq!(stats.per_worker.iter().map(|w| w.finished).sum::<u64>(), 100);
+            assert_eq!(
+                stats.per_worker.iter().map(|w| w.finished).sum::<u64>(),
+                100
+            );
             // Every claim is either a local hit or a steal.
             assert_eq!(stats.local_hits + stats.steals, 100);
             // Default meta is Batch: the per-class ledger must agree.
@@ -911,7 +967,11 @@ mod tests {
                 }
                 // Drop immediately: everything queued must still run.
             }
-            assert_eq!(hits.load(Ordering::Relaxed), 50, "{scheduler} drop lost jobs");
+            assert_eq!(
+                hits.load(Ordering::Relaxed),
+                50,
+                "{scheduler} drop lost jobs"
+            );
         }
     }
 
@@ -973,7 +1033,10 @@ mod tests {
         // 10 of them sit behind the blocker and can only move if stolen.
         let deadline = Instant::now() + Duration::from_secs(5);
         while shorts_done.load(Ordering::SeqCst) < 40 {
-            assert!(Instant::now() < deadline, "shorts stuck behind a blocked worker");
+            assert!(
+                Instant::now() < deadline,
+                "shorts stuck behind a blocked worker"
+            );
             std::thread::sleep(Duration::from_millis(1));
         }
         let stats = pool.stats();
@@ -1020,12 +1083,18 @@ mod tests {
         }
         let deadline = Instant::now() + Duration::from_secs(5);
         while done.load(Ordering::SeqCst) < 12 {
-            assert!(Instant::now() < deadline, "shorts stuck behind the blocked parent");
+            assert!(
+                Instant::now() < deadline,
+                "shorts stuck behind the blocked parent"
+            );
             std::thread::sleep(Duration::from_millis(1));
         }
         let stats = pool.stats();
         assert!(stats.steals > 0, "thief never stole: {stats:?}");
-        assert!(stats.batch_steals >= 1, "12-deep victim never batch-stolen: {stats:?}");
+        assert!(
+            stats.batch_steals >= 1,
+            "12-deep victim never batch-stolen: {stats:?}"
+        );
         assert_eq!(
             stats.per_worker.iter().map(|w| w.stolen_from).sum::<u64>(),
             stats.steals,
@@ -1071,7 +1140,11 @@ mod tests {
             .unwrap();
         }
         pool.wait_empty();
-        assert_eq!(running.load(Ordering::SeqCst), 0, "wait_empty returned with jobs running");
+        assert_eq!(
+            running.load(Ordering::SeqCst),
+            0,
+            "wait_empty returned with jobs running"
+        );
         assert_eq!(pool.stats().queue_depth, 0);
         assert_eq!(pool.stats().finished, 20);
     }
@@ -1245,7 +1318,10 @@ mod tests {
         }
         release.store(true, Ordering::SeqCst);
         pool.wait_empty();
-        assert_eq!(*order.lock().unwrap(), vec!["urgent", "first", "second", "third"]);
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["urgent", "first", "second", "third"]
+        );
     }
 
     #[test]
@@ -1284,7 +1360,10 @@ mod tests {
         release.store(true, Ordering::SeqCst);
         let deadline = Instant::now() + Duration::from_secs(5);
         while !bulk_done.load(Ordering::SeqCst) {
-            assert!(Instant::now() < deadline, "bulk job starved under interactive load");
+            assert!(
+                Instant::now() < deadline,
+                "bulk job starved under interactive load"
+            );
             // Keep the interactive lane non-empty, throttled to
             // roughly the worker's pace so the backlog stays bounded.
             pool.execute_with_meta(JobMeta::for_class(JobClass::Interactive), || {
@@ -1318,7 +1397,37 @@ mod tests {
         .unwrap();
         pool.wait_empty();
         let stats = pool.stats();
-        assert_eq!(stats.per_class[JobClass::Interactive.band()].deadline_missed, 1);
+        assert_eq!(
+            stats.per_class[JobClass::Interactive.band()].deadline_missed,
+            1
+        );
+    }
+
+    #[test]
+    fn busy_time_is_accounted_to_the_jobs_class() {
+        let pool = ThreadPool::with_scheduler(2, Scheduler::PriorityLanes);
+        for _ in 0..4 {
+            pool.execute_with_meta(JobMeta::for_class(JobClass::Bulk), || {
+                std::thread::sleep(Duration::from_millis(5));
+            })
+            .unwrap();
+        }
+        pool.execute_with_meta(JobMeta::for_class(JobClass::Interactive), || {})
+            .unwrap();
+        pool.wait_empty();
+        let stats = pool.stats();
+        let bulk = stats.per_class[JobClass::Bulk.band()];
+        // 4 x 5ms of real work: the bulk meter must show at least most
+        // of it, and the mean service time must dwarf the no-op class.
+        assert!(
+            bulk.busy_micros >= 15_000,
+            "bulk busy under-counted: {stats:?}"
+        );
+        let interactive = stats.per_class[JobClass::Interactive.band()];
+        assert!(
+            bulk.busy_micros / bulk.completed > interactive.busy_micros.max(1),
+            "class service times indistinguishable: {stats:?}"
+        );
     }
 
     #[test]
@@ -1357,6 +1466,10 @@ mod tests {
             current_job_meta().map(|m| m.class)
         });
         assert_eq!(inner, Some(JobClass::Bulk));
-        assert_eq!(current_job_meta(), None, "meta must not leak out of with_meta");
+        assert_eq!(
+            current_job_meta(),
+            None,
+            "meta must not leak out of with_meta"
+        );
     }
 }

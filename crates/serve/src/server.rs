@@ -104,6 +104,12 @@ pub struct Rejected {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShuttingDown;
 
+/// Every shed response's body starts with this prefix. Front ends that
+/// only see the [`Response`] (the TCP layer, which must translate a
+/// shed completion into a wire-level SHED frame) match on it instead of
+/// guessing at prose.
+pub const SHED_BODY_PREFIX: &str = "shed under load";
+
 /// How the server classifies and budgets incoming requests.
 ///
 /// The policy is consulted on every submit: [`classify`] turns the
@@ -128,6 +134,13 @@ pub trait AdmissionPolicy: Send + Sync + std::fmt::Debug {
     /// *queued* (not yet started) request of class `queued` when the
     /// admission queue is full.
     fn displaces(&self, incoming: JobClass, queued: JobClass) -> bool;
+
+    /// Feedback: the measured service time of a request of `class`
+    /// whose handler actually ran (cache hits are not observations).
+    /// Called by the server from the worker thread after every computed
+    /// response. The default ignores it; [`AdaptiveAdmission`] uses it
+    /// to keep a per-class EWMA that drives its budgets and deadlines.
+    fn observe(&self, _class: JobClass, _service: Duration) {}
 }
 
 /// The default policy: grade lookups are interactive with a tight
@@ -152,9 +165,7 @@ impl AdmissionPolicy for ClassAwareAdmission {
                 .with_deadline(Instant::now() + Duration::from_millis(500)),
             Request::Homework { .. } => JobMeta::for_class(JobClass::Batch)
                 .with_deadline(Instant::now() + Duration::from_secs(5)),
-            Request::Reproduce { .. } => {
-                JobMeta::for_class(JobClass::Bulk).with_priority(64)
-            }
+            Request::Reproduce { .. } => JobMeta::for_class(JobClass::Bulk).with_priority(64),
         }
     }
 
@@ -168,6 +179,126 @@ impl AdmissionPolicy for ClassAwareAdmission {
 
     fn displaces(&self, incoming: JobClass, queued: JobClass) -> bool {
         incoming > queued
+    }
+}
+
+/// Class-aware admission whose budgets and deadlines *adapt to the
+/// observed workload* instead of being policy constants.
+///
+/// [`ClassAwareAdmission`] hard-codes two kinds of numbers: each
+/// class's deadline (+500ms, +5s, none) and each class's share of the
+/// admission queue (full, 3/4, 1/2). Those constants are right for the
+/// course's nominal workload and wrong the moment reproduce runs get
+/// 10x slower or grading gets trivially cheap. This policy derives both
+/// from an EWMA of observed per-class service times, fed by the
+/// server's [`AdmissionPolicy::observe`] hook (weight 1/8 to the newest
+/// sample):
+///
+/// * **deadline** — `DEADLINE_SERVICE_MULTIPLE` (4x) the class EWMA,
+///   clamped to the class's `[floor, ceiling]` band, so a deadline is
+///   always a few service times away: tight when the class is fast,
+///   realistic when it is slow, never tighter than the floor (a grade
+///   cannot be deadlined below 25ms however fast grading gets). Bulk
+///   work stays deadline-free. Before the first observation the
+///   ceiling (the [`ClassAwareAdmission`] constant) is used.
+/// * **queue budget** — the number of this class's jobs one worker
+///   could drain within the class's *patience window*
+///   (`patience / ewma`), capped by the same static share
+///   [`ClassAwareAdmission`] grants and floored at 1. A class observed
+///   to be slow gets a small budget (admitting a deep queue of 200ms
+///   jobs just converts backpressure into timeouts); a fast class gets
+///   its full static share.
+///
+/// Classification (which request is which class, who displaces whom)
+/// is inherited unchanged from the static policy.
+#[derive(Debug, Default)]
+pub struct AdaptiveAdmission {
+    /// Observed mean service time per class, EWMA, in microseconds.
+    /// 0 = no observation yet.
+    ewma_micros: [AtomicU64; JobClass::COUNT],
+}
+
+/// A deadline is this many observed service times after admission.
+pub const DEADLINE_SERVICE_MULTIPLE: u64 = 4;
+
+impl AdaptiveAdmission {
+    /// `[floor, ceiling]` for each class's adaptive deadline, by band.
+    /// Ceilings are the [`ClassAwareAdmission`] constants; `None` means
+    /// the class never carries a deadline.
+    const DEADLINE_BANDS: [Option<(Duration, Duration)>; JobClass::COUNT] = [
+        Some((Duration::from_millis(25), Duration::from_millis(500))),
+        Some((Duration::from_millis(250), Duration::from_secs(5))),
+        None,
+    ];
+
+    /// How long a queued job of each class may reasonably wait, by
+    /// band — the patience window its queue budget is derived from.
+    const PATIENCE: [Duration; JobClass::COUNT] = [
+        Duration::from_millis(500),
+        Duration::from_secs(2),
+        Duration::from_secs(4),
+    ];
+
+    /// The observed mean service time of `class`, if any request of
+    /// that class has completed yet.
+    pub fn observed_service(&self, class: JobClass) -> Option<Duration> {
+        match self.ewma_micros[class.band()].load(Ordering::Relaxed) {
+            0 => None,
+            us => Some(Duration::from_micros(us)),
+        }
+    }
+
+    fn adaptive_deadline(&self, class: JobClass) -> Option<Duration> {
+        let (floor, ceiling) = Self::DEADLINE_BANDS[class.band()]?;
+        Some(match self.observed_service(class) {
+            None => ceiling,
+            Some(ewma) => (ewma * DEADLINE_SERVICE_MULTIPLE as u32).clamp(floor, ceiling),
+        })
+    }
+}
+
+impl AdmissionPolicy for AdaptiveAdmission {
+    fn classify(&self, req: &Request) -> JobMeta {
+        let (class, priority) = match req {
+            Request::Grade { .. } => (JobClass::Interactive, 160),
+            Request::Homework { .. } => (JobClass::Batch, 128),
+            Request::Reproduce { .. } => (JobClass::Bulk, 64),
+        };
+        let mut meta = JobMeta::for_class(class).with_priority(priority);
+        if let Some(budget) = self.adaptive_deadline(class) {
+            meta = meta.with_deadline(Instant::now() + budget);
+        }
+        meta
+    }
+
+    fn admit_limit(&self, class: JobClass, queue_capacity: usize) -> usize {
+        let share = ClassAwareAdmission.admit_limit(class, queue_capacity);
+        match self.observed_service(class) {
+            None => share,
+            Some(ewma) => {
+                let drainable =
+                    (Self::PATIENCE[class.band()].as_micros() / ewma.as_micros().max(1)) as usize;
+                drainable.clamp(1, share)
+            }
+        }
+    }
+
+    fn displaces(&self, incoming: JobClass, queued: JobClass) -> bool {
+        incoming > queued
+    }
+
+    fn observe(&self, class: JobClass, service: Duration) {
+        let sample = (service.as_micros() as u64).max(1);
+        let slot = &self.ewma_micros[class.band()];
+        // Racy read-modify-write is fine: the EWMA is a smoothing
+        // heuristic, and a lost update just weights a neighbor sample.
+        let old = slot.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            (old * 7 + sample) / 8
+        };
+        slot.store(new, Ordering::Relaxed);
     }
 }
 
@@ -241,13 +372,54 @@ pub struct Ticket {
 
 impl std::fmt::Debug for Ticket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Ticket").field("resolved", &self.try_get().is_some()).finish()
+        f.debug_struct("Ticket")
+            .field("resolved", &self.try_get().is_some())
+            .finish()
     }
 }
 
+/// The resolution slot plus the callbacks waiting on it. Callbacks
+/// registered before resolution run on the resolving thread (worker or
+/// shedder) the moment the response publishes — the mechanism the TCP
+/// front end uses to complete pipelined requests out of order without
+/// parking a thread per request.
+type ReadyCallback = Box<dyn FnOnce(&Response) + Send>;
+
+#[derive(Default)]
+struct PromiseState {
+    response: Option<Response>,
+    callbacks: Vec<ReadyCallback>,
+}
+
 struct Promise {
-    state: Mutex<Option<Response>>,
+    state: Mutex<PromiseState>,
     done: Condvar,
+}
+
+impl Promise {
+    fn new() -> Arc<Promise> {
+        Arc::new(Promise {
+            state: Mutex::new(PromiseState::default()),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Publishes `resp` exactly once: runs `count` under the state lock
+    /// (the counter-then-publish discipline — whoever sees the resolved
+    /// ticket also sees the counters), then wakes blocking waiters and
+    /// runs every registered callback outside the lock.
+    fn resolve(&self, resp: Response, count: impl FnOnce()) {
+        let callbacks = {
+            let mut st = self.state.lock().expect("ticket mutex poisoned");
+            count();
+            st.response = Some(resp.clone());
+            std::mem::take(&mut st.callbacks)
+        };
+        self.done.notify_all();
+        for cb in callbacks {
+            cb(&resp);
+        }
+    }
 }
 
 impl Ticket {
@@ -258,7 +430,7 @@ impl Ticket {
     pub fn wait(&self) -> Response {
         let mut st = self.promise.state.lock().expect("ticket mutex poisoned");
         loop {
-            if let Some(resp) = st.as_ref() {
+            if let Some(resp) = st.response.as_ref() {
                 return resp.clone();
             }
             st = self.promise.done.wait(st).expect("ticket mutex poisoned");
@@ -267,7 +439,27 @@ impl Ticket {
 
     /// Non-blocking poll.
     pub fn try_get(&self) -> Option<Response> {
-        self.promise.state.lock().expect("ticket mutex poisoned").clone()
+        self.promise
+            .state
+            .lock()
+            .expect("ticket mutex poisoned")
+            .response
+            .clone()
+    }
+
+    /// Registers `f` to run with the response when the ticket resolves
+    /// (immediately, on this thread, if it already has). Resolution
+    /// runs callbacks on the resolving thread — keep them short; the
+    /// intended use is handing the response to another queue, the way
+    /// the TCP front end forwards it to a connection's writer.
+    pub fn on_ready(&self, f: impl FnOnce(&Response) + Send + 'static) {
+        let mut st = self.promise.state.lock().expect("ticket mutex poisoned");
+        if let Some(resp) = st.response.clone() {
+            drop(st);
+            f(&resp);
+        } else {
+            st.callbacks.push(Box::new(f));
+        }
     }
 }
 
@@ -377,12 +569,18 @@ impl ServerInner {
     fn handle_inner(&self, req: &Request) -> Response {
         match req {
             Request::Grade { submission } => {
-                let report =
-                    autograde::grade(submission, &autograde::sum_array_rubric(), 200_000);
-                Response { ok: true, body: report.render(), cached: false }
+                let report = autograde::grade(submission, &autograde::sum_array_rubric(), 200_000);
+                Response {
+                    ok: true,
+                    body: report.render(),
+                    cached: false,
+                }
             }
             Request::Homework { generator, seed } => {
-                match homework::generators().into_iter().find(|(name, _)| name == generator) {
+                match homework::generators()
+                    .into_iter()
+                    .find(|(name, _)| name == generator)
+                {
                     Some((_, gen)) => {
                         let p = gen(*seed);
                         Response {
@@ -401,16 +599,18 @@ impl ServerInner {
                     },
                 }
             }
-            Request::Reproduce { id } => {
-                match self.experiments.iter().find(|(eid, _)| eid == id) {
-                    Some((_, run)) => Response { ok: true, body: run(), cached: false },
-                    None => Response {
-                        ok: false,
-                        body: format!("unknown experiment id {id:?} (is it registered?)"),
-                        cached: false,
-                    },
-                }
-            }
+            Request::Reproduce { id } => match self.experiments.iter().find(|(eid, _)| eid == id) {
+                Some((_, run)) => Response {
+                    ok: true,
+                    body: run(),
+                    cached: false,
+                },
+                None => Response {
+                    ok: false,
+                    body: format!("unknown experiment id {id:?} (is it registered?)"),
+                    cached: false,
+                },
+            },
         }
     }
 
@@ -433,8 +633,9 @@ impl ServerInner {
         let retry_after_ms = match meta.deadline {
             None => base,
             Some(deadline) => {
-                let remaining =
-                    deadline.saturating_duration_since(Instant::now()).as_millis() as u64;
+                let remaining = deadline
+                    .saturating_duration_since(Instant::now())
+                    .as_millis() as u64;
                 if remaining == 0 {
                     // The deadline already passed: retrying cannot
                     // possibly be useful; say so honestly.
@@ -446,7 +647,11 @@ impl ServerInner {
                 }
             }
         };
-        Rejected { in_flight, retry_after_ms, class: meta.class }
+        Rejected {
+            in_flight,
+            retry_after_ms,
+            class: meta.class,
+        }
     }
 
     /// Tries to displace the newest queued (not yet started) request of
@@ -482,20 +687,20 @@ impl ServerInner {
                 // Count before publishing under the promise lock, same
                 // discipline as completion: whoever sees the resolved
                 // ticket also sees the counter.
-                {
-                    let mut st = entry.promise.state.lock().expect("ticket mutex poisoned");
-                    self.shed.fetch_add(1, Ordering::SeqCst);
-                    self.per_class[band].shed.fetch_add(1, Ordering::SeqCst);
-                    *st = Some(Response {
+                entry.promise.resolve(
+                    Response {
                         ok: false,
                         body: format!(
-                            "shed under load: queued {queued_class} request displaced by \
+                            "{SHED_BODY_PREFIX}: queued {queued_class} request displaced by \
                              {incoming} admission; retry later"
                         ),
                         cached: false,
-                    });
-                }
-                entry.promise.done.notify_all();
+                    },
+                    || {
+                        self.shed.fetch_add(1, Ordering::SeqCst);
+                        self.per_class[band].shed.fetch_add(1, Ordering::SeqCst);
+                    },
+                );
                 return true;
             }
         }
@@ -584,7 +789,10 @@ impl CourseServer {
         experiments: Vec<(String, ExperimentFn)>,
     ) -> CourseServer {
         assert!(config.workers > 0, "server needs at least one worker");
-        assert!(config.queue_capacity > 0, "server needs queue capacity >= 1");
+        assert!(
+            config.queue_capacity > 0,
+            "server needs queue capacity >= 1"
+        );
         let inner = Arc::new(ServerInner {
             cache: Cache::with_fault_plan(
                 config.cache_shards,
@@ -607,7 +815,10 @@ impl CourseServer {
             open: Mutex::new(0),
             open_zero: Condvar::new(),
         });
-        CourseServer { inner, pool: ThreadPool::with_scheduler(config.workers, config.scheduler) }
+        CourseServer {
+            inner,
+            pool: ThreadPool::with_scheduler(config.workers, config.scheduler),
+        }
     }
 
     /// Submits a request without blocking, classified by the server's
@@ -642,7 +853,9 @@ impl CourseServer {
         let limit = inner.policy.admit_limit(meta.class, inner.queue_capacity) as u64;
         if inner.class_in_flight(band) >= limit {
             inner.rejected.fetch_add(1, Ordering::Relaxed);
-            inner.per_class[band].rejected.fetch_add(1, Ordering::Relaxed);
+            inner.per_class[band]
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Busy(inner.busy(&meta)));
         }
 
@@ -650,19 +863,28 @@ impl CourseServer {
         // lower-class request and inherit its slot.
         if !inner.slots.try_acquire() && !inner.shed_one_below(meta.class) {
             inner.rejected.fetch_add(1, Ordering::Relaxed);
-            inner.per_class[band].rejected.fetch_add(1, Ordering::Relaxed);
+            inner.per_class[band]
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Busy(inner.busy(&meta)));
         }
 
         inner.accepted.fetch_add(1, Ordering::SeqCst);
-        inner.per_class[band].admitted.fetch_add(1, Ordering::SeqCst);
+        inner.per_class[band]
+            .admitted
+            .fetch_add(1, Ordering::SeqCst);
 
-        let promise = Arc::new(Promise { state: Mutex::new(None), done: Condvar::new() });
-        let ticket = Ticket { promise: Arc::clone(&promise) };
+        let promise = Promise::new();
+        let ticket = Ticket {
+            promise: Arc::clone(&promise),
+        };
         let taken = Arc::new(AtomicBool::new(false));
         inner.register_queued(
             band,
-            QueuedEntry { taken: Arc::clone(&taken), promise: Arc::clone(&promise) },
+            QueuedEntry {
+                taken: Arc::clone(&taken),
+                promise: Arc::clone(&promise),
+            },
         );
         if let Some(plan) = &inner.fault_plan {
             plan.fire(FaultPoint::BeforeEnqueue);
@@ -684,12 +906,19 @@ impl CourseServer {
             let ran_flag = Arc::clone(&ran_here);
             let inner_for_job = Arc::clone(&job_inner);
             let req_for_job = req.clone();
+            let run_start = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 inner_for_job.cache.get_or_insert_with(req_for_job, |r| {
                     ran_flag.store(true, Ordering::SeqCst);
                     inner_for_job.handle(&r)
                 })
             }));
+            // Feed the observed service time back to the policy — only
+            // when the handler actually ran (a cache hit says nothing
+            // about this class's cost).
+            if ran_here.load(Ordering::SeqCst) {
+                job_inner.policy.observe(meta.class, run_start.elapsed());
+            }
             let response = match outcome {
                 Ok(mut resp) => {
                     resp.cached = !ran_here.load(Ordering::SeqCst);
@@ -701,15 +930,14 @@ impl CourseServer {
                     cached: false,
                 },
             };
-            {
-                let mut st = promise.state.lock().expect("ticket mutex poisoned");
-                // Count before publishing under the same lock: whoever
-                // sees the resolved ticket also sees the counter.
+            // Count before publishing under the promise lock: whoever
+            // sees the resolved ticket also sees the counter.
+            promise.resolve(response, || {
                 job_inner.completed.fetch_add(1, Ordering::SeqCst);
-                job_inner.per_class[band].completed.fetch_add(1, Ordering::SeqCst);
-                *st = Some(response);
-            }
-            promise.done.notify_all();
+                job_inner.per_class[band]
+                    .completed
+                    .fetch_add(1, Ordering::SeqCst);
+            });
             job_inner.slots.release();
         });
         match submit_result {
@@ -724,7 +952,9 @@ impl CourseServer {
                     .is_ok()
                 {
                     inner.accepted.fetch_sub(1, Ordering::SeqCst);
-                    inner.per_class[band].admitted.fetch_sub(1, Ordering::SeqCst);
+                    inner.per_class[band]
+                        .admitted
+                        .fetch_sub(1, Ordering::SeqCst);
                     inner.slots.release();
                     Err(SubmitError::ShuttingDown(ShuttingDown))
                 } else {
@@ -746,10 +976,23 @@ impl CourseServer {
         self.inner.accepting.store(false, Ordering::SeqCst);
         let mut open = self.inner.open.lock().expect("open counter poisoned");
         while *open > 0 {
-            open = self.inner.open_zero.wait(open).expect("open counter poisoned");
+            open = self
+                .inner
+                .open_zero
+                .wait(open)
+                .expect("open counter poisoned");
         }
         drop(open);
         self.pool.wait_empty();
+    }
+
+    /// The backoff hint (in ms) the server would attach to a rejection
+    /// of a request with `meta` right now: backlog-proportional,
+    /// deadline-capped, 0 once the deadline has passed. The TCP front
+    /// end uses this to put an honest retry hint on wire-level shed
+    /// responses, which carry no [`Rejected`] of their own.
+    pub fn retry_hint(&self, meta: &JobMeta) -> u64 {
+        self.inner.busy(meta).retry_after_ms
     }
 
     /// A snapshot of request, cache, and pool counters.
@@ -818,10 +1061,16 @@ mod tests {
     #[test]
     fn grades_a_real_submission_and_caches_the_result() {
         let server = CourseServer::new(ServerConfig::default());
-        let req = Request::Grade { submission: GOOD_SUBMISSION.to_string() };
+        let req = Request::Grade {
+            submission: GOOD_SUBMISSION.to_string(),
+        };
         let first = server.submit(req.clone()).expect("accepted").wait();
         assert!(first.ok);
-        assert!(first.body.contains("100%"), "unexpected grade: {}", first.body);
+        assert!(
+            first.body.contains("100%"),
+            "unexpected grade: {}",
+            first.body
+        );
         assert!(!first.cached);
         let second = server.submit(req).expect("accepted").wait();
         assert!(second.cached, "warm request should hit the cache");
@@ -832,13 +1081,23 @@ mod tests {
     fn homework_requests_use_real_generators() {
         let server = CourseServer::new(ServerConfig::default());
         let ok = server
-            .submit(Request::Homework { generator: "binary_arithmetic".into(), seed: 7 })
+            .submit(Request::Homework {
+                generator: "binary_arithmetic".into(),
+                seed: 7,
+            })
             .expect("accepted")
             .wait();
         assert!(ok.ok);
-        assert!(ok.body.contains("solution"), "missing solution: {}", ok.body);
+        assert!(
+            ok.body.contains("solution"),
+            "missing solution: {}",
+            ok.body
+        );
         let bad = server
-            .submit(Request::Homework { generator: "no_such_generator".into(), seed: 7 })
+            .submit(Request::Homework {
+                generator: "no_such_generator".into(),
+                seed: 7,
+            })
             .expect("accepted")
             .wait();
         assert!(!bad.ok);
@@ -847,7 +1106,10 @@ mod tests {
     #[test]
     fn reproduce_requests_need_a_registry() {
         let bare = CourseServer::new(ServerConfig::default());
-        let miss = bare.submit(Request::Reproduce { id: "e6".into() }).unwrap().wait();
+        let miss = bare
+            .submit(Request::Reproduce { id: "e6".into() })
+            .unwrap()
+            .wait();
         assert!(!miss.ok);
 
         fn fake_experiment() -> String {
@@ -857,7 +1119,12 @@ mod tests {
             ServerConfig::default(),
             vec![("e-fake".to_string(), fake_experiment as ExperimentFn)],
         );
-        let hit = wired.submit(Request::Reproduce { id: "e-fake".into() }).unwrap().wait();
+        let hit = wired
+            .submit(Request::Reproduce {
+                id: "e-fake".into(),
+            })
+            .unwrap()
+            .wait();
         assert!(hit.ok);
         assert_eq!(hit.body, "E-fake: table");
     }
@@ -894,7 +1161,9 @@ mod tests {
                     .expect("first requests fit the queue")
             })
             .collect();
-        let rejected = match server.submit(Request::Reproduce { id: "slow-a".into() }) {
+        let rejected = match server.submit(Request::Reproduce {
+            id: "slow-a".into(),
+        }) {
             Err(SubmitError::Busy(r)) => r,
             other => panic!("expected Busy rejection, got {other:?}"),
         };
@@ -912,24 +1181,34 @@ mod tests {
         // 8-slot queue. The 5th bulk submit must bounce even though the
         // queue itself has room — and its rejection must say Bulk.
         let server = CourseServer::with_experiments(
-            ServerConfig { workers: 1, queue_capacity: 8, ..ServerConfig::default() },
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 8,
+                ..ServerConfig::default()
+            },
             vec![("slow-a".to_string(), slow_experiment as ExperimentFn)],
         );
         let _tickets: Vec<Ticket> = (0..4)
             .map(|_| {
                 server
-                    .submit(Request::Reproduce { id: "slow-a".into() })
+                    .submit(Request::Reproduce {
+                        id: "slow-a".into(),
+                    })
                     .expect("within the bulk budget")
             })
             .collect();
-        let rejected = match server.submit(Request::Reproduce { id: "slow-a".into() }) {
+        let rejected = match server.submit(Request::Reproduce {
+            id: "slow-a".into(),
+        }) {
             Err(SubmitError::Busy(r)) => r,
             other => panic!("expected Busy from the class budget, got {other:?}"),
         };
         assert_eq!(rejected.class, JobClass::Bulk);
         // An interactive request still gets in: the queue has slots.
         let grade = server
-            .submit(Request::Grade { submission: GOOD_SUBMISSION.to_string() })
+            .submit(Request::Grade {
+                submission: GOOD_SUBMISSION.to_string(),
+            })
             .expect("interactive admission unaffected by the bulk budget");
         assert!(grade.wait().ok);
         let st = server.stats();
@@ -957,23 +1236,40 @@ mod tests {
                 ("slow-b".to_string(), slow_experiment as ExperimentFn),
             ],
         );
-        let running = server.submit(Request::Reproduce { id: "slow-a".into() }).unwrap();
+        let running = server
+            .submit(Request::Reproduce {
+                id: "slow-a".into(),
+            })
+            .unwrap();
         // Give the worker time to claim slow-a so slow-b stays queued.
         std::thread::sleep(std::time::Duration::from_millis(20));
-        let queued = server.submit(Request::Reproduce { id: "slow-b".into() }).unwrap();
+        let queued = server
+            .submit(Request::Reproduce {
+                id: "slow-b".into(),
+            })
+            .unwrap();
         let batches: Vec<Ticket> = (0..2)
             .map(|seed| {
                 server
-                    .submit(Request::Homework { generator: "fork_puzzle".into(), seed })
+                    .submit(Request::Homework {
+                        generator: "fork_puzzle".into(),
+                        seed,
+                    })
                     .expect("batch work fits its budget")
             })
             .collect();
         let grade = server
-            .submit(Request::Grade { submission: GOOD_SUBMISSION.to_string() })
+            .submit(Request::Grade {
+                submission: GOOD_SUBMISSION.to_string(),
+            })
             .expect("interactive work displaces queued bulk work");
         let shed_resp = queued.wait();
         assert!(!shed_resp.ok, "displaced ticket must resolve ok=false");
-        assert!(shed_resp.body.contains("shed under load"), "{}", shed_resp.body);
+        assert!(
+            shed_resp.body.contains("shed under load"),
+            "{}",
+            shed_resp.body
+        );
         assert!(grade.wait().ok);
         assert!(running.wait().ok, "the running bulk request is never shed");
         for t in batches {
@@ -1000,7 +1296,11 @@ mod tests {
         // shed), then submit more: the hint for a deadline-carrying
         // class must never exceed half its remaining deadline budget.
         let server = CourseServer::with_experiments(
-            ServerConfig { workers: 1, queue_capacity: 2, ..ServerConfig::default() },
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 2,
+                ..ServerConfig::default()
+            },
             Vec::new(),
         );
         // Two distinct slow grades: invalid source still grades (0%),
@@ -1009,36 +1309,52 @@ mod tests {
         // metadata on slow reproduce handlers.
         let slow_meta = JobMeta::for_class(JobClass::Interactive);
         let _a = server
-            .submit_with_meta(slow_meta, Request::Homework {
-                generator: "binary_arithmetic".into(),
-                seed: 1,
-            })
+            .submit_with_meta(
+                slow_meta,
+                Request::Homework {
+                    generator: "binary_arithmetic".into(),
+                    seed: 1,
+                },
+            )
             .unwrap();
         let _b = server
-            .submit_with_meta(slow_meta, Request::Homework {
-                generator: "binary_arithmetic".into(),
-                seed: 2,
-            })
+            .submit_with_meta(
+                slow_meta,
+                Request::Homework {
+                    generator: "binary_arithmetic".into(),
+                    seed: 2,
+                },
+            )
             .unwrap();
         // Deadline 40ms out: the hint must be <= 20ms even though the
         // base backlog hint could be larger, and a passed deadline
         // hints 0.
         let tight = JobMeta::for_class(JobClass::Interactive)
             .with_deadline(Instant::now() + Duration::from_millis(40));
-        match server.submit_with_meta(tight, Request::Grade {
-            submission: GOOD_SUBMISSION.to_string(),
-        }) {
+        match server.submit_with_meta(
+            tight,
+            Request::Grade {
+                submission: GOOD_SUBMISSION.to_string(),
+            },
+        ) {
             Err(SubmitError::Busy(r)) => {
-                assert!(r.retry_after_ms <= 20, "hint {} ignores deadline", r.retry_after_ms);
+                assert!(
+                    r.retry_after_ms <= 20,
+                    "hint {} ignores deadline",
+                    r.retry_after_ms
+                );
             }
             Ok(_) => {} // queue drained first on a fast machine: fine
             other => panic!("unexpected: {other:?}"),
         }
         let expired = JobMeta::for_class(JobClass::Interactive)
             .with_deadline(Instant::now() - Duration::from_millis(1));
-        match server.submit_with_meta(expired, Request::Grade {
-            submission: GOOD_SUBMISSION.to_string(),
-        }) {
+        match server.submit_with_meta(
+            expired,
+            Request::Grade {
+                submission: GOOD_SUBMISSION.to_string(),
+            },
+        ) {
             Err(SubmitError::Busy(r)) => {
                 assert_eq!(r.retry_after_ms, 0, "passed deadline must hint 0");
             }
@@ -1057,19 +1373,27 @@ mod tests {
         let tickets: Vec<Ticket> = (0..20)
             .map(|seed| {
                 server
-                    .submit(Request::Homework { generator: "fork_puzzle".into(), seed })
+                    .submit(Request::Homework {
+                        generator: "fork_puzzle".into(),
+                        seed,
+                    })
                     .expect("accepted")
             })
             .collect();
         server.shutdown();
         // After shutdown: no new work...
         assert!(matches!(
-            server.submit(Request::Homework { generator: "fork_puzzle".into(), seed: 999 }),
+            server.submit(Request::Homework {
+                generator: "fork_puzzle".into(),
+                seed: 999
+            }),
             Err(SubmitError::ShuttingDown(_))
         ));
         // ...and every accepted ticket is already resolved.
         for t in &tickets {
-            let resp = t.try_get().expect("shutdown returned before a ticket resolved");
+            let resp = t
+                .try_get()
+                .expect("shutdown returned before a ticket resolved");
             assert!(resp.ok);
         }
         let stats = server.stats();
@@ -1086,16 +1410,185 @@ mod tests {
             ServerConfig::default(),
             vec![("boom".to_string(), bomb as ExperimentFn)],
         );
-        let resp = server.submit(Request::Reproduce { id: "boom".into() }).unwrap().wait();
+        let resp = server
+            .submit(Request::Reproduce { id: "boom".into() })
+            .unwrap()
+            .wait();
         assert!(!resp.ok);
         assert!(resp.body.contains("panicked"));
         // Server still serves other requests afterwards.
         let ok = server
-            .submit(Request::Homework { generator: "binary_arithmetic".into(), seed: 1 })
+            .submit(Request::Homework {
+                generator: "binary_arithmetic".into(),
+                seed: 1,
+            })
             .unwrap()
             .wait();
         assert!(ok.ok);
-        assert_eq!(server.stats().pool.panicked, 0, "panic was contained before the pool");
+        assert_eq!(
+            server.stats().pool.panicked,
+            0,
+            "panic was contained before the pool"
+        );
+    }
+
+    #[test]
+    fn on_ready_fires_for_computed_shed_and_already_resolved_tickets() {
+        use std::sync::mpsc;
+        // Computed: callback registered before completion.
+        let server = CourseServer::with_experiments(
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 4,
+                scheduler: Scheduler::PriorityLanes,
+                ..ServerConfig::default()
+            },
+            vec![
+                ("slow-a".to_string(), slow_experiment as ExperimentFn),
+                ("slow-b".to_string(), slow_experiment as ExperimentFn),
+            ],
+        );
+        let (tx, rx) = mpsc::channel();
+        let running = server
+            .submit(Request::Reproduce {
+                id: "slow-a".into(),
+            })
+            .unwrap();
+        let tx1 = tx.clone();
+        running.on_ready(move |resp| tx1.send(("computed", resp.ok)).unwrap());
+        // Shed: a queued bulk request displaced by interactive work
+        // must fire its callback from the shedding thread.
+        std::thread::sleep(Duration::from_millis(20));
+        let queued = server
+            .submit(Request::Reproduce {
+                id: "slow-b".into(),
+            })
+            .unwrap();
+        let tx2 = tx.clone();
+        queued.on_ready(move |resp| tx2.send(("shed", resp.ok)).unwrap());
+        for _ in 0..3 {
+            let _ = server.submit(Request::Homework {
+                generator: "fork_puzzle".into(),
+                seed: 1,
+            });
+        }
+        server
+            .submit(Request::Grade {
+                submission: GOOD_SUBMISSION.to_string(),
+            })
+            .expect("interactive displaces queued bulk");
+        let mut got: Vec<(&str, bool)> = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![("computed", true), ("shed", false)]);
+        // Already resolved: callback runs immediately on this thread.
+        let done = server
+            .submit(Request::Grade {
+                submission: GOOD_SUBMISSION.to_string(),
+            })
+            .unwrap();
+        done.wait();
+        let hit = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&hit);
+        done.on_ready(move |resp| flag.store(resp.ok, Ordering::SeqCst));
+        assert!(
+            hit.load(Ordering::SeqCst),
+            "late on_ready must fire synchronously"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn adaptive_admission_derives_budgets_and_deadlines_from_observations() {
+        let policy = AdaptiveAdmission::default();
+        // Before any observation: static shares and ceiling deadlines.
+        assert_eq!(policy.admit_limit(JobClass::Bulk, 64), 32);
+        assert_eq!(policy.admit_limit(JobClass::Interactive, 64), 64);
+        let cold = policy.classify(&Request::Grade {
+            submission: String::new(),
+        });
+        assert_eq!(cold.class, JobClass::Interactive);
+        let cold_budget = cold
+            .deadline
+            .unwrap()
+            .saturating_duration_since(Instant::now());
+        assert!(
+            cold_budget > Duration::from_millis(400),
+            "cold deadline should be the ceiling"
+        );
+        // Slow bulk observations shrink the bulk budget: 500ms EWMA
+        // against 4s patience leaves room for ~8 queued jobs, not 32.
+        for _ in 0..32 {
+            policy.observe(JobClass::Bulk, Duration::from_millis(500));
+        }
+        let bulk_limit = policy.admit_limit(JobClass::Bulk, 64);
+        assert!(
+            (1..=10).contains(&bulk_limit),
+            "bulk budget should shrink, got {bulk_limit}"
+        );
+        // Fast interactive observations tighten the grade deadline to
+        // 4x the EWMA, but never below the 25ms floor.
+        for _ in 0..32 {
+            policy.observe(JobClass::Interactive, Duration::from_millis(2));
+        }
+        let warm = policy.classify(&Request::Grade {
+            submission: String::new(),
+        });
+        let warm_budget = warm
+            .deadline
+            .unwrap()
+            .saturating_duration_since(Instant::now());
+        assert!(
+            warm_budget <= Duration::from_millis(30),
+            "warm deadline should track 4x EWMA, got {warm_budget:?}"
+        );
+        assert!(
+            warm_budget >= Duration::from_millis(20),
+            "deadline floor violated"
+        );
+        // Bulk never carries a deadline, observed or not.
+        assert_eq!(
+            policy
+                .classify(&Request::Reproduce { id: "e1".into() })
+                .deadline,
+            None
+        );
+    }
+
+    #[test]
+    fn adaptive_admission_learns_through_a_live_server() {
+        let policy = Arc::new(AdaptiveAdmission::default());
+        let server = CourseServer::new(ServerConfig {
+            workers: 2,
+            admission: Arc::clone(&policy) as Arc<dyn AdmissionPolicy>,
+            ..ServerConfig::default()
+        });
+        assert!(policy.observed_service(JobClass::Batch).is_none());
+        for seed in 0..4 {
+            let resp = server
+                .submit(Request::Homework {
+                    generator: "binary_arithmetic".into(),
+                    seed,
+                })
+                .expect("admitted")
+                .wait();
+            assert!(resp.ok);
+        }
+        let ewma = policy
+            .observed_service(JobClass::Batch)
+            .expect("server must feed observations back to the policy");
+        assert!(ewma > Duration::ZERO);
+        // A cache hit is not an observation: re-submitting an identical
+        // request must leave the EWMA untouched.
+        let cached = server
+            .submit(Request::Homework {
+                generator: "binary_arithmetic".into(),
+                seed: 0,
+            })
+            .expect("admitted")
+            .wait();
+        assert!(cached.cached);
+        assert_eq!(policy.observed_service(JobClass::Batch), Some(ewma));
+        server.shutdown();
     }
 
     #[test]
@@ -1107,11 +1600,16 @@ mod tests {
             ..ServerConfig::default()
         });
         server
-            .submit(Request::Grade { submission: GOOD_SUBMISSION.to_string() })
+            .submit(Request::Grade {
+                submission: GOOD_SUBMISSION.to_string(),
+            })
             .unwrap()
             .wait();
         server
-            .submit(Request::Homework { generator: "fork_puzzle".into(), seed: 3 })
+            .submit(Request::Homework {
+                generator: "fork_puzzle".into(),
+                seed: 3,
+            })
             .unwrap()
             .wait();
         server.shutdown();

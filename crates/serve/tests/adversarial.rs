@@ -39,7 +39,10 @@ fn config(scheduler: Scheduler, plan: &FaultPlan) -> ServerConfig {
 /// Distinct homework requests (distinct seeds) so the cache cannot
 /// collapse the workload into one compute.
 fn homework(seed: u64) -> Request {
-    Request::Homework { generator: "binary_arithmetic".into(), seed }
+    Request::Homework {
+        generator: "binary_arithmetic".into(),
+        seed,
+    }
 }
 
 #[test]
@@ -47,8 +50,9 @@ fn every_ticket_resolves_when_handlers_panic_before_handle() {
     for scheduler in [Scheduler::SharedFifo, Scheduler::WorkStealing] {
         let plan = FaultPlan::new(0xDEAD_BEEF).panic_at(FaultPoint::BeforeHandle, 1, 3);
         let server = CourseServer::new(config(scheduler, &plan));
-        let tickets: Vec<Ticket> =
-            (0..120).map(|seed| server.submit(homework(seed)).expect("admitted")).collect();
+        let tickets: Vec<Ticket> = (0..120)
+            .map(|seed| server.submit(homework(seed)).expect("admitted"))
+            .collect();
         let mut failed = 0usize;
         for t in &tickets {
             // wait() returning at all is invariant 1; a hang here times
@@ -65,12 +69,19 @@ fn every_ticket_resolves_when_handlers_panic_before_handle() {
         }
         let stats = plan.stats();
         assert!(stats.panics > 0, "plan never fired under {scheduler}");
-        assert!(failed > 0, "injected panics must surface as failed responses");
+        assert!(
+            failed > 0,
+            "injected panics must surface as failed responses"
+        );
         assert!(
             failed < tickets.len(),
             "a 1/3 fault rate must leave some requests healthy ({scheduler})"
         );
-        assert_eq!(server.stats().completed, 120, "every accepted request completed");
+        assert_eq!(
+            server.stats().completed,
+            120,
+            "every accepted request completed"
+        );
     }
 }
 
@@ -78,28 +89,36 @@ fn every_ticket_resolves_when_handlers_panic_before_handle() {
 fn panics_after_handle_discard_work_but_still_resolve_tickets() {
     let plan = FaultPlan::new(31).panic_at(FaultPoint::AfterHandle, 1, 2);
     let server = CourseServer::new(config(Scheduler::WorkStealing, &plan));
-    let responses: Vec<_> =
-        (0..60).map(|seed| server.submit(homework(seed)).expect("admitted").wait()).collect();
+    let responses: Vec<_> = (0..60)
+        .map(|seed| server.submit(homework(seed)).expect("admitted").wait())
+        .collect();
     assert!(plan.stats().panics > 0);
     assert!(responses.iter().any(|r| r.ok), "some requests must survive");
     assert!(responses.iter().any(|r| !r.ok), "some requests must fail");
     // Healthy responses are real ones, not torn by neighbors' faults.
     for r in responses.iter().filter(|r| r.ok) {
-        assert!(r.body.contains("solution"), "torn response body: {}", r.body);
+        assert!(
+            r.body.contains("solution"),
+            "torn response body: {}",
+            r.body
+        );
     }
 }
 
 #[test]
 fn shutdown_drains_everything_even_with_stalls_and_panics_in_flight() {
-    for scheduler in
-        [Scheduler::SharedFifo, Scheduler::WorkStealing, Scheduler::PriorityLanes]
-    {
+    for scheduler in [
+        Scheduler::SharedFifo,
+        Scheduler::WorkStealing,
+        Scheduler::PriorityLanes,
+    ] {
         let plan = FaultPlan::new(7)
             .stall_at(FaultPoint::BeforeHandle, Duration::from_millis(3), 1, 2)
             .panic_at(FaultPoint::AfterHandle, 1, 4);
         let server = CourseServer::new(config(scheduler, &plan));
-        let tickets: Vec<Ticket> =
-            (0..80).map(|seed| server.submit(homework(seed)).expect("admitted")).collect();
+        let tickets: Vec<Ticket> = (0..80)
+            .map(|seed| server.submit(homework(seed)).expect("admitted"))
+            .collect();
         server.shutdown();
         // Drain invariant: by the time shutdown returns, every accepted
         // ticket is already resolved — try_get, not wait.
@@ -115,7 +134,10 @@ fn shutdown_drains_everything_even_with_stalls_and_panics_in_flight() {
         ));
         let stats = server.stats();
         assert_eq!(stats.completed, 80, "drain dropped work under {scheduler}");
-        assert!(plan.stats().stalls > 0, "stall rule never fired under {scheduler}");
+        assert!(
+            plan.stats().stalls > 0,
+            "stall rule never fired under {scheduler}"
+        );
     }
 }
 
@@ -138,8 +160,15 @@ fn faulty_request_leaves_the_cache_retryable_and_neighbors_untouched() {
     // the pool keeps serving.
     let retry = server.submit(homework(5)).expect("admitted").wait();
     assert!(!retry.ok, "1/1 fault rate must fault the retry too");
-    assert!(observer.stats().panics >= 2, "retry must recompute, not hit a wedged slot");
-    assert_eq!(server.stats().pool.panicked, 0, "faults are contained before the pool");
+    assert!(
+        observer.stats().panics >= 2,
+        "retry must recompute, not hit a wedged slot"
+    );
+    assert_eq!(
+        server.stats().pool.panicked,
+        0,
+        "faults are contained before the pool"
+    );
 }
 
 #[test]
@@ -148,8 +177,8 @@ fn shard_lock_hold_stalls_delay_but_never_deadlock_the_pipeline() {
     // lock is held, so every other request hashing there piles up
     // behind it. The pipeline must come out the other side with every
     // ticket resolved and every request completed.
-    let plan = FaultPlan::new(0x10c4)
-        .stall_at(FaultPoint::CacheLockHold, Duration::from_millis(3), 1, 4);
+    let plan =
+        FaultPlan::new(0x10c4).stall_at(FaultPoint::CacheLockHold, Duration::from_millis(3), 1, 4);
     let server = CourseServer::new(ServerConfig {
         workers: 4,
         queue_capacity: 256,
@@ -158,8 +187,9 @@ fn shard_lock_hold_stalls_delay_but_never_deadlock_the_pipeline() {
         fault_plan: Some(plan.clone()),
         ..ServerConfig::default()
     });
-    let tickets: Vec<Ticket> =
-        (0..60).map(|seed| server.submit(homework(seed)).expect("admitted")).collect();
+    let tickets: Vec<Ticket> = (0..60)
+        .map(|seed| server.submit(homework(seed)).expect("admitted"))
+        .collect();
     for t in &tickets {
         assert!(t.wait().ok, "a lock-hold stall corrupted a response");
     }
@@ -219,8 +249,14 @@ fn forced_eviction_during_compute_never_evicts_the_computing_entry() {
         1,
         "the Computing entry was evicted out from under its waiter"
     );
-    assert!(plan.stats().stalls > 0, "evict-during-compute point never fired");
-    assert!(cache.stats().evictions > 0, "forced sweeps never evicted the Ready churn");
+    assert!(
+        plan.stats().stalls > 0,
+        "evict-during-compute point never fired"
+    );
+    assert!(
+        cache.stats().evictions > 0,
+        "forced sweeps never evicted the Ready churn"
+    );
 }
 
 #[test]
@@ -229,8 +265,8 @@ fn shutdown_covers_a_submit_stalled_before_enqueue() {
     // check stalls before its job reaches the pool. A concurrent
     // shutdown must wait out that window — when shutdown returns, the
     // stalled submit's ticket is resolved, not lost.
-    let plan = FaultPlan::new(0xACE)
-        .stall_at(FaultPoint::BeforeEnqueue, Duration::from_millis(40), 1, 1);
+    let plan =
+        FaultPlan::new(0xACE).stall_at(FaultPoint::BeforeEnqueue, Duration::from_millis(40), 1, 1);
     let server = Arc::new(CourseServer::new(ServerConfig {
         workers: 2,
         queue_capacity: 16,
@@ -258,7 +294,11 @@ fn shutdown_covers_a_submit_stalled_before_enqueue() {
     }
     assert!(plan.stats().stalls >= 1, "BeforeEnqueue rule never fired");
     let st = server.stats();
-    assert_eq!(st.accepted, st.completed + st.shed, "drain left the ledger unbalanced");
+    assert_eq!(
+        st.accepted,
+        st.completed + st.shed,
+        "drain left the ledger unbalanced"
+    );
 }
 
 #[test]
@@ -284,9 +324,18 @@ fn per_class_ledger_balances_after_an_adversarial_drain() {
             ..ServerConfig::default()
         },
         vec![
-            ("bulk-a".to_string(), slow_bulk as serve::server::ExperimentFn),
-            ("bulk-b".to_string(), slow_bulk as serve::server::ExperimentFn),
-            ("bulk-c".to_string(), slow_bulk as serve::server::ExperimentFn),
+            (
+                "bulk-a".to_string(),
+                slow_bulk as serve::server::ExperimentFn,
+            ),
+            (
+                "bulk-b".to_string(),
+                slow_bulk as serve::server::ExperimentFn,
+            ),
+            (
+                "bulk-c".to_string(),
+                slow_bulk as serve::server::ExperimentFn,
+            ),
         ],
     ));
     thread::scope(|s| {
@@ -324,7 +373,10 @@ fn per_class_ledger_balances_after_an_adversarial_drain() {
     });
     server.shutdown();
     let st = server.stats();
-    assert!(st.accepted > 0, "nothing was admitted — the test exercised nothing");
+    assert!(
+        st.accepted > 0,
+        "nothing was admitted — the test exercised nothing"
+    );
     assert_eq!(
         st.accepted,
         st.completed + st.shed,

@@ -75,7 +75,11 @@ pub fn mean(ratings: &[StudentRatings], topic_idx: usize) -> f64 {
     if ratings.is_empty() {
         return 0.0;
     }
-    ratings.iter().map(|r| r[topic_idx].score() as f64).sum::<f64>() / ratings.len() as f64
+    ratings
+        .iter()
+        .map(|r| r[topic_idx].score() as f64)
+        .sum::<f64>()
+        / ratings.len() as f64
 }
 
 /// Median score for one topic column.
@@ -111,7 +115,14 @@ mod tests {
     #[test]
     fn shape_matches_config() {
         let ts = figure1_topics();
-        let r = sample(CohortConfig { students: 13, ..Default::default() }, &ts, 1);
+        let r = sample(
+            CohortConfig {
+                students: 13,
+                ..Default::default()
+            },
+            &ts,
+            1,
+        );
         assert_eq!(r.len(), 13);
         assert!(r.iter().all(|row| row.len() == ts.len()));
     }
@@ -130,12 +141,19 @@ mod tests {
     fn decay_lowers_scores() {
         let ts = figure1_topics();
         let fresh = sample(
-            CohortConfig { max_years_since: 0.0, ..Default::default() },
+            CohortConfig {
+                max_years_since: 0.0,
+                ..Default::default()
+            },
             &ts,
             3,
         );
         let stale = sample(
-            CohortConfig { max_years_since: 2.0, decay_per_year: 0.8, ..Default::default() },
+            CohortConfig {
+                max_years_since: 2.0,
+                decay_per_year: 0.8,
+                ..Default::default()
+            },
             &ts,
             3,
         );

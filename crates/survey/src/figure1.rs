@@ -37,7 +37,10 @@ pub fn generate(config: CohortConfig, seed: u64) -> Figure1 {
             median: cohort::median(&ratings, i),
         })
         .collect();
-    Figure1 { results, students: config.students }
+    Figure1 {
+        results,
+        students: config.students,
+    }
 }
 
 impl Figure1 {
@@ -67,16 +70,16 @@ impl Figure1 {
         }
         // Heavily emphasized topics "rate their understanding at deeper
         // levels": every heavy topic above the average of the rest.
-        let (heavy_sum, heavy_n, light_sum, light_n) = self.results.iter().fold(
-            (0.0, 0usize, 0.0, 0usize),
-            |(hs, hn, ls, ln), r| {
-                if heavy.contains(&r.topic.id) {
-                    (hs + r.mean, hn + 1, ls, ln)
-                } else {
-                    (hs, hn, ls + r.mean, ln + 1)
-                }
-            },
-        );
+        let (heavy_sum, heavy_n, light_sum, light_n) =
+            self.results
+                .iter()
+                .fold((0.0, 0usize, 0.0, 0usize), |(hs, hn, ls, ln), r| {
+                    if heavy.contains(&r.topic.id) {
+                        (hs + r.mean, hn + 1, ls, ln)
+                    } else {
+                        (hs, hn, ls + r.mean, ln + 1)
+                    }
+                });
         let heavy_avg = heavy_sum / heavy_n.max(1) as f64;
         let light_avg = light_sum / light_n.max(1) as f64;
         if heavy_avg <= light_avg {
@@ -86,7 +89,8 @@ impl Figure1 {
         }
         // "Expected results are not all 4s": no topic pinned at apply.
         if self.results.iter().any(|r| r.mean > 3.9) {
-            violations.push("some topic mean is ~4: first-exposure course shouldn't max out".into());
+            violations
+                .push("some topic mean is ~4: first-exposure course shouldn't max out".into());
         }
         violations
     }
@@ -157,7 +161,11 @@ mod tests {
     fn pathological_decay_breaks_claims() {
         // Sanity that the checker can fail: total forgetting should
         // violate "recognized all of these topics".
-        let cfg = CohortConfig { decay_per_year: 3.0, max_years_since: 2.0, ..Default::default() };
+        let cfg = CohortConfig {
+            decay_per_year: 3.0,
+            max_years_since: 2.0,
+            ..Default::default()
+        };
         let fig = generate(cfg, 5);
         assert!(
             !fig.check_paper_claims().is_empty(),

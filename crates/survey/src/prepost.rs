@@ -25,12 +25,7 @@ pub struct PrePost {
 
 /// Generates the pair: the post wave adds a refresher gain on `refreshed`
 /// topics (capped at the scale top) and a small spillover elsewhere.
-pub fn generate(
-    config: CohortConfig,
-    refreshed: Vec<TopicId>,
-    gain: f64,
-    seed: u64,
-) -> PrePost {
+pub fn generate(config: CohortConfig, refreshed: Vec<TopicId>, gain: f64, seed: u64) -> PrePost {
     let topics = figure1_topics();
     let pre = cohort::sample(config, &topics, seed);
     let post: Vec<StudentRatings> = pre
@@ -39,13 +34,22 @@ pub fn generate(
             row.iter()
                 .zip(&topics)
                 .map(|(&level, topic)| {
-                    let bump = if refreshed.contains(&topic.id) { gain } else { gain * 0.2 };
+                    let bump = if refreshed.contains(&topic.id) {
+                        gain
+                    } else {
+                        gain * 0.2
+                    };
                     BloomLevel::from_score((level.score() as f64 + bump).round() as i32)
                 })
                 .collect()
         })
         .collect();
-    PrePost { topics, pre, post, refreshed }
+    PrePost {
+        topics,
+        pre,
+        post,
+        refreshed,
+    }
 }
 
 /// Mean gain per topic: `(label, pre_mean, post_mean, delta)`.
@@ -72,7 +76,11 @@ pub fn render(pp: &PrePost) -> String {
         "gain",
     );
     for (i, (label, pre, post, delta)) in gains(pp).into_iter().enumerate() {
-        let mark = if pp.refreshed.contains(&pp.topics[i].id) { "*" } else { " " };
+        let mark = if pp.refreshed.contains(&pp.topics[i].id) {
+            "*"
+        } else {
+            " "
+        };
         out.push_str(&format!(
             "{mark}{label:<25} {pre:>7.2} {post:>7.2} {delta:>+7.2}\n"
         ));
@@ -143,7 +151,10 @@ mod tests {
     fn render_marks_refreshed() {
         let pp = generate(CohortConfig::default(), networking_refresh(), 0.8, 43);
         let text = render(&pp);
-        assert!(text.contains("*concurrency") || text.contains("*processes"), "{text}");
+        assert!(
+            text.contains("*concurrency") || text.contains("*processes"),
+            "{text}"
+        );
         assert!(text.contains("gain"));
     }
 }

@@ -43,47 +43,127 @@ pub fn table1() -> Vec<Coverage> {
     use TcppCategory::*;
     let rows: &[(TcppCategory, &str, &str)] = &[
         // Pervasive
-        (Pervasive, "concurrency", "os::kernel (multiprogramming), parallel"),
+        (
+            Pervasive,
+            "concurrency",
+            "os::kernel (multiprogramming), parallel",
+        ),
         (Pervasive, "asynchrony", "os::kernel (signals)"),
         (Pervasive, "locality", "memsim::patterns, memsim::cache"),
-        (Pervasive, "performance in many contexts", "asm::emu cost model, memsim, vmem::eat, parallel::machine"),
+        (
+            Pervasive,
+            "performance in many contexts",
+            "asm::emu cost model, memsim, vmem::eat, parallel::machine",
+        ),
         // Architecture
-        (Architecture, "multicore", "parallel::machine, circuits::pipeline"),
+        (
+            Architecture,
+            "multicore",
+            "parallel::machine, circuits::pipeline",
+        ),
         (Architecture, "caching", "memsim::cache"),
         (Architecture, "latency", "memsim::device, vmem::eat"),
-        (Architecture, "bandwidth", "parallel::machine (contention term)"),
+        (
+            Architecture,
+            "bandwidth",
+            "parallel::machine (contention term)",
+        ),
         (Architecture, "atomicity", "parallel::counter"),
-        (Architecture, "consistency", "parallel::barrier (publication)"),
-        (Architecture, "coherency", "parallel::machine (contention model)"),
+        (
+            Architecture,
+            "consistency",
+            "parallel::barrier (publication)",
+        ),
+        (
+            Architecture,
+            "coherency",
+            "parallel::machine (contention model)",
+        ),
         (Architecture, "pipelining", "circuits::pipeline"),
-        (Architecture, "instruction execution", "circuits::cpu, asm::emu"),
-        (Architecture, "memory hierarchy", "memsim::device, memsim::multilevel"),
+        (
+            Architecture,
+            "instruction execution",
+            "circuits::cpu, asm::emu",
+        ),
+        (
+            Architecture,
+            "memory hierarchy",
+            "memsim::device, memsim::multilevel",
+        ),
         (Architecture, "multithreading", "parallel, life::parallel"),
-        (Architecture, "buses", "memsim::device (primary vs secondary interface)"),
+        (
+            Architecture,
+            "buses",
+            "memsim::device (primary vs secondary interface)",
+        ),
         (Architecture, "process ID", "os::kernel"),
-        (Architecture, "interrupts", "os::kernel (signals as async events)"),
+        (
+            Architecture,
+            "interrupts",
+            "os::kernel (signals as async events)",
+        ),
         // Programming
-        (Programming, "shared memory parallelization", "life::parallel, parallel::par"),
-        (Programming, "pthreads", "parallel (Barrier/Semaphore/BoundedBuffer)"),
-        (Programming, "critical sections", "parallel::counter, life::parallel (stats mutex)"),
+        (
+            Programming,
+            "shared memory parallelization",
+            "life::parallel, parallel::par",
+        ),
+        (
+            Programming,
+            "pthreads",
+            "parallel (Barrier/Semaphore/BoundedBuffer)",
+        ),
+        (
+            Programming,
+            "critical sections",
+            "parallel::counter, life::parallel (stats mutex)",
+        ),
         (Programming, "producer-consumer", "parallel::bounded"),
-        (Programming, "performance improvement", "parallel::machine, life::machsim"),
-        (Programming, "synchronization", "parallel::{barrier,semaphore}"),
-        (Programming, "deadlock", "parallel::deadlock (wait-for graph, dining philosophers)"),
+        (
+            Programming,
+            "performance improvement",
+            "parallel::machine, life::machsim",
+        ),
+        (
+            Programming,
+            "synchronization",
+            "parallel::{barrier,semaphore}",
+        ),
+        (
+            Programming,
+            "deadlock",
+            "parallel::deadlock (wait-for graph, dining philosophers)",
+        ),
         (Programming, "race conditions", "parallel::counter"),
-        (Programming, "memory data layout", "bits::ctypes, memsim::patterns"),
-        (Programming, "spatial and temporal locality", "memsim::patterns"),
+        (
+            Programming,
+            "memory data layout",
+            "bits::ctypes, memsim::patterns",
+        ),
+        (
+            Programming,
+            "spatial and temporal locality",
+            "memsim::patterns",
+        ),
         (Programming, "signals", "os::kernel, os::shell"),
         // Algorithms
         (Algorithms, "dependencies", "circuits::pipeline (hazards)"),
         (Algorithms, "space/memory", "cheap, vmem"),
         (Algorithms, "speedup", "parallel::laws, life::machsim"),
         (Algorithms, "Amdahl's Law", "parallel::laws"),
-        (Algorithms, "synchronization", "parallel::{barrier,semaphore,bounded}"),
+        (
+            Algorithms,
+            "synchronization",
+            "parallel::{barrier,semaphore,bounded}",
+        ),
         (Algorithms, "efficiency", "parallel::laws (efficiency)"),
     ];
     rows.iter()
-        .map(|&(category, topic, module)| Coverage { category, topic, module })
+        .map(|&(category, topic, module)| Coverage {
+            category,
+            topic,
+            module,
+        })
         .collect()
 }
 
@@ -96,7 +176,11 @@ pub fn render_table1() -> String {
     );
     let mut last = None;
     for r in &rows {
-        let cat = if last == Some(r.category) { "" } else { r.category.label() };
+        let cat = if last == Some(r.category) {
+            ""
+        } else {
+            r.category.label()
+        };
         last = Some(r.category);
         out.push_str(&format!("{:<14} {:<36} {}\n", cat, r.topic, r.module));
     }

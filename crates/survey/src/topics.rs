@@ -64,29 +64,99 @@ pub struct Topic {
 pub fn figure1_topics() -> Vec<Topic> {
     use TopicId::*;
     vec![
-        Topic { id: CProgramming, label: "C programming", emphasis: 0.95 },
-        Topic { id: MemoryHierarchy, label: "memory hierarchy", emphasis: 0.9 },
-        Topic { id: Caching, label: "caching", emphasis: 0.8 },
-        Topic { id: PthreadProgramming, label: "pthread programming", emphasis: 0.85 },
-        Topic { id: RaceConditions, label: "race conditions", emphasis: 0.85 },
-        Topic { id: Synchronization, label: "synchronization", emphasis: 0.85 },
-        Topic { id: Processes, label: "processes", emphasis: 0.75 },
-        Topic { id: Concurrency, label: "concurrency", emphasis: 0.75 },
-        Topic { id: MulticoreArch, label: "multicore architecture", emphasis: 0.7 },
-        Topic { id: VirtualMemory, label: "virtual memory", emphasis: 0.7 },
-        Topic { id: Assembly, label: "assembly", emphasis: 0.7 },
-        Topic { id: ProducerConsumer, label: "producer/consumer", emphasis: 0.65 },
-        Topic { id: Speedup, label: "speedup", emphasis: 0.6 },
-        Topic { id: Signals, label: "signals", emphasis: 0.45 },
-        Topic { id: Deadlock, label: "deadlock", emphasis: 0.45 },
-        Topic { id: AmdahlsLaw, label: "Amdahl's law", emphasis: 0.35 },
+        Topic {
+            id: CProgramming,
+            label: "C programming",
+            emphasis: 0.95,
+        },
+        Topic {
+            id: MemoryHierarchy,
+            label: "memory hierarchy",
+            emphasis: 0.9,
+        },
+        Topic {
+            id: Caching,
+            label: "caching",
+            emphasis: 0.8,
+        },
+        Topic {
+            id: PthreadProgramming,
+            label: "pthread programming",
+            emphasis: 0.85,
+        },
+        Topic {
+            id: RaceConditions,
+            label: "race conditions",
+            emphasis: 0.85,
+        },
+        Topic {
+            id: Synchronization,
+            label: "synchronization",
+            emphasis: 0.85,
+        },
+        Topic {
+            id: Processes,
+            label: "processes",
+            emphasis: 0.75,
+        },
+        Topic {
+            id: Concurrency,
+            label: "concurrency",
+            emphasis: 0.75,
+        },
+        Topic {
+            id: MulticoreArch,
+            label: "multicore architecture",
+            emphasis: 0.7,
+        },
+        Topic {
+            id: VirtualMemory,
+            label: "virtual memory",
+            emphasis: 0.7,
+        },
+        Topic {
+            id: Assembly,
+            label: "assembly",
+            emphasis: 0.7,
+        },
+        Topic {
+            id: ProducerConsumer,
+            label: "producer/consumer",
+            emphasis: 0.65,
+        },
+        Topic {
+            id: Speedup,
+            label: "speedup",
+            emphasis: 0.6,
+        },
+        Topic {
+            id: Signals,
+            label: "signals",
+            emphasis: 0.45,
+        },
+        Topic {
+            id: Deadlock,
+            label: "deadlock",
+            emphasis: 0.45,
+        },
+        Topic {
+            id: AmdahlsLaw,
+            label: "Amdahl's law",
+            emphasis: 0.35,
+        },
     ]
 }
 
 /// The subset §IV singles out as "emphasize\[d\] heavily".
 pub fn heavily_emphasized() -> Vec<TopicId> {
     use TopicId::*;
-    vec![MemoryHierarchy, CProgramming, RaceConditions, Synchronization, PthreadProgramming]
+    vec![
+        MemoryHierarchy,
+        CProgramming,
+        RaceConditions,
+        Synchronization,
+        PthreadProgramming,
+    ]
 }
 
 #[cfg(test)]

@@ -27,7 +27,11 @@ pub struct EatParams {
 impl Default for EatParams {
     fn default() -> Self {
         // The classic lecture numbers: 1ns TLB, 100ns memory, 8ms fault.
-        EatParams { tlb_ns: 1.0, mem_ns: 100.0, fault_ns: 8_000_000.0 }
+        EatParams {
+            tlb_ns: 1.0,
+            mem_ns: 100.0,
+            fault_ns: 8_000_000.0,
+        }
     }
 }
 
@@ -113,7 +117,9 @@ pub fn measure_eat(
         let vaddr = page * 4096 + rng.gen_range(0..4096u64);
         total_ns += params.tlb_ns;
         let hit = tlb.lookup(page).is_some();
-        let t = vm.access(pid, vaddr, AccessKind::Load).expect("valid access");
+        let t = vm
+            .access(pid, vaddr, AccessKind::Load)
+            .expect("valid access");
         if !hit {
             total_ns += params.mem_ns; // page-table walk
             tlb.insert(page, (t.paddr / 4096) as usize);
@@ -168,10 +174,18 @@ mod tests {
 
     #[test]
     fn measured_matches_prediction() {
-        let p = EatParams { fault_ns: 10_000.0, ..EatParams::default() };
+        let p = EatParams {
+            fault_ns: 10_000.0,
+            ..EatParams::default()
+        };
         let m = measure_eat(p, 8, 0.9, 20_000, 7);
         let rel = (m.measured_ns - m.predicted_ns).abs() / m.predicted_ns;
-        assert!(rel < 0.02, "measured {} predicted {}", m.measured_ns, m.predicted_ns);
+        assert!(
+            rel < 0.02,
+            "measured {} predicted {}",
+            m.measured_ns,
+            m.predicted_ns
+        );
     }
 
     #[test]

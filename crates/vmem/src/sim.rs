@@ -120,7 +120,10 @@ impl VmSystem {
     /// # Panics
     /// If `page_size` is not a power of two or `num_frames == 0`.
     pub fn new(config: VmConfig) -> VmSystem {
-        assert!(config.page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            config.page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(config.num_frames > 0, "need at least one frame");
         VmSystem {
             config,
@@ -137,14 +140,18 @@ impl VmSystem {
     pub fn spawn(&mut self) -> u32 {
         let pid = self.next_pid;
         self.next_pid += 1;
-        self.tables
-            .insert(pid, vec![Pte::default(); self.config.pages_per_process as usize]);
+        self.tables.insert(
+            pid,
+            vec![Pte::default(); self.config.pages_per_process as usize],
+        );
         pid
     }
 
     /// Terminates a process, freeing its frames.
     pub fn exit(&mut self, pid: u32) -> Result<(), VmError> {
-        self.tables.remove(&pid).ok_or(VmError::NoSuchProcess(pid))?;
+        self.tables
+            .remove(&pid)
+            .ok_or(VmError::NoSuchProcess(pid))?;
         for slot in self.frames.iter_mut() {
             if matches!(slot, Some(fi) if fi.pid == pid) {
                 *slot = None;
@@ -263,7 +270,12 @@ impl VmSystem {
             self.frames[frame] = Some(FrameInfo { pid, vpn });
             self.replacer.load(frame);
             let pte = &mut self.tables.get_mut(&pid).expect("checked")[vpn as usize];
-            *pte = Pte { valid: true, frame, dirty: false, referenced: false };
+            *pte = Pte {
+                valid: true,
+                frame,
+                dirty: false,
+                referenced: false,
+            };
             frame
         };
 
@@ -291,7 +303,11 @@ impl VmSystem {
                     "{:<6} {:<6} {:<6} {:<6} {:<6}\n",
                     vpn,
                     pte.valid as u8,
-                    if pte.valid { pte.frame.to_string() } else { "-".into() },
+                    if pte.valid {
+                        pte.frame.to_string()
+                    } else {
+                        "-".into()
+                    },
                     pte.dirty as u8,
                     pte.referenced as u8
                 ));
@@ -407,7 +423,10 @@ mod tests {
         let limit = 16 * 256;
         assert_eq!(
             vm.access(p, limit, AccessKind::Load).unwrap_err(),
-            VmError::BadVirtualAddress { vaddr: limit, limit }
+            VmError::BadVirtualAddress {
+                vaddr: limit,
+                limit
+            }
         );
     }
 

@@ -21,7 +21,11 @@ pub struct PagingGeometry {
 impl PagingGeometry {
     /// The course's 32-bit / 4 KiB / 4-byte-PTE model.
     pub fn classroom() -> PagingGeometry {
-        PagingGeometry { vaddr_bits: 32, page_size: 4096, pte_size: 4 }
+        PagingGeometry {
+            vaddr_bits: 32,
+            page_size: 4096,
+            pte_size: 4,
+        }
     }
 
     /// Virtual pages in the address space.
@@ -94,7 +98,11 @@ mod tests {
     fn classroom_flat_table_is_4mib() {
         let g = PagingGeometry::classroom();
         assert_eq!(g.virtual_pages(), 1 << 20);
-        assert_eq!(g.flat_table_bytes(), 4 << 20, "the famous 4 MiB per process");
+        assert_eq!(
+            g.flat_table_bytes(),
+            4 << 20,
+            "the famous 4 MiB per process"
+        );
     }
 
     #[test]

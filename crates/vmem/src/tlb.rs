@@ -102,12 +102,21 @@ impl Tlb {
     pub fn insert(&mut self, vpn: u64, frame: usize) {
         self.clock += 1;
         let asid = self.current_asid;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.vpn == vpn && e.asid == asid) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.vpn == vpn && e.asid == asid)
+        {
             e.frame = frame;
             e.stamp = self.clock;
             return;
         }
-        let entry = TlbEntry { asid, vpn, frame, stamp: self.clock };
+        let entry = TlbEntry {
+            asid,
+            vpn,
+            frame,
+            stamp: self.clock,
+        };
         if self.entries.len() < self.capacity {
             self.entries.push(entry);
         } else {

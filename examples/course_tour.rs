@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== 14-week schedule ==");
     for w in cs31::week_schedule() {
         let lab = w.lab.map(|l| format!("Lab {l}")).unwrap_or_default();
-        println!("  wk {:>2}: {:<50} [{}] {}", w.number, w.module, w.crate_name, lab);
+        println!(
+            "  wk {:>2}: {:<50} [{}] {}",
+            w.number, w.module, w.crate_name, lab
+        );
     }
 
     println!("\n== running all eleven labs ==");

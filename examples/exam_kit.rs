@@ -6,9 +6,9 @@
 //! cargo run --example exam_kit [seed]
 //! ```
 
-use cs31_repro::*;
 use cs31::exam::{generate, ExamKind};
 use cs31::groups::assign_groups;
+use cs31_repro::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed: u64 = std::env::args()
@@ -28,12 +28,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in fin.paper().lines().take(20) {
         println!("{line}");
     }
-    println!("... ({} problems, {} MC questions total)\n", fin.problems.len(), fin.multiple_choice.len());
+    println!(
+        "... ({} problems, {} MC questions total)\n",
+        fin.problems.len(),
+        fin.multiple_choice.len()
+    );
 
     // The make-up exam: same blueprint, different numbers.
     let makeup = generate(ExamKind::Final, seed + 1);
     assert_ne!(fin.paper(), makeup.paper());
-    println!("make-up final generated (seed {}): different numbers, same blueprint\n", seed + 1);
+    println!(
+        "make-up final generated (seed {}): different numbers, same blueprint\n",
+        seed + 1
+    );
 
     // Study groups for the homework cycle (the COVID-semester practice
     // the paper reports keeping).
@@ -42,6 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, g) in assignment.groups.iter().enumerate().take(6) {
         println!("group {:>2}: students {:?}", i + 1, g);
     }
-    println!("... {} groups total, every student in exactly one", assignment.groups.len());
+    println!(
+        "... {} groups total, every student in exactly one",
+        assignment.groups.len()
+    );
     Ok(())
 }

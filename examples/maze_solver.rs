@@ -9,9 +9,9 @@
 //! cargo run --example maze_solver [seed]
 //! ```
 
-use cs31_repro::*;
 use asm::debugger::Debugger;
 use asm::maze::{attempt, generate, EXPLODED};
+use cs31_repro::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed: u64 = std::env::args()
@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let secret0 = secret0.ok_or("no cmpl found on floor 0")?;
     println!("\nrecovered floor-0 secret from the cmpl immediate: {secret0}");
-    assert_eq!(secret0, maze.solution[0], "debugger read the right constant");
+    assert_eq!(
+        secret0, maze.solution[0],
+        "debugger read the right constant"
+    );
 
     // Wrong input: watch it explode.
     let mut wrong = maze.solution.clone();

@@ -6,8 +6,8 @@
 //! cargo run --example memcheck
 //! ```
 
-use cs31_repro::*;
 use cheap::SimHeap;
+use cs31_repro::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Bug 1: the leak — malloc without free.
@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p = cstring::heap::strdup(&mut h, b"config\0", "config")?;
     h.free(p)?;
     let stale = cstring::heap::read_cstr(&mut h, p, 16); // reads freed memory
-    println!("(stale read returned {:?})", String::from_utf8_lossy(&stale));
+    println!(
+        "(stale read returned {:?})",
+        String::from_utf8_lossy(&stale)
+    );
     print!("{}", h.report().summary());
 
     // The clean version, for contrast.

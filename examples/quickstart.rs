@@ -33,11 +33,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut m = asm::Machine::new();
     m.load(&prog)?;
     m.run(100)?;
-    println!("  6 * 7 = {} in {} model cycles", m.reg(asm::Reg::Eax), m.cycles);
+    println!(
+        "  6 * 7 = {} in {} model cycles",
+        m.reg(asm::Reg::Eax),
+        m.cycles
+    );
 
     println!("== 4. memsim: loop order vs the cache ==");
     use memsim::patterns::{matrix_sum_trace, LoopOrder};
-    for (name, order) in [("row-major", LoopOrder::RowMajor), ("col-major", LoopOrder::ColumnMajor)] {
+    for (name, order) in [
+        ("row-major", LoopOrder::RowMajor),
+        ("col-major", LoopOrder::ColumnMajor),
+    ] {
         let mut cache = memsim::Cache::new(memsim::CacheConfig::direct_mapped(64, 64))?;
         cache.run_trace(&matrix_sum_trace(0, 64, 64, 4, order));
         println!("  {name}: {:.0}% hits", cache.stats().hit_rate() * 100.0);
@@ -47,16 +54,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut vm = vmem::sim::VmSystem::new(vmem::sim::VmConfig::default());
     let pid = vm.spawn();
     let tr = vm.access(pid, 0x1234, vmem::AccessKind::Load)?;
-    println!("  first touch of page {}: fault={} -> paddr {:#x}", tr.vpn, tr.fault, tr.paddr);
+    println!(
+        "  first touch of page {}: fault={} -> paddr {:#x}",
+        tr.vpn, tr.fault, tr.paddr
+    );
     let eat = vmem::eat::analytic_eat(vmem::eat::EatParams::default(), 0.98, 0.0);
     println!("  EAT with a 98% TLB: {eat:.0} ns (vs 200 ns without)");
 
     println!("== 6. os: fork, wait, and a shell ==");
     let mut k = os::Kernel::new(2);
-    k.register_program("hello", os::proc::program(vec![
-        os::Op::Print("hello from a child process".into()),
-        os::Op::Exit(0),
-    ]));
+    k.register_program(
+        "hello",
+        os::proc::program(vec![
+            os::Op::Print("hello from a child process".into()),
+            os::Op::Exit(0),
+        ]),
+    );
     let mut sh = os::shell::Shell::new(k);
     sh.run_line("hello");
     for (pid, line) in sh.kernel.output() {

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut k = os::Kernel::new(2);
     k.register_program(
         "ls",
-        program(vec![Op::Print("Makefile  life.c  maze.s".into()), Op::Exit(0)]),
+        program(vec![
+            Op::Print("Makefile  life.c  maze.s".into()),
+            Op::Exit(0),
+        ]),
     );
     k.register_program(
         "compile",

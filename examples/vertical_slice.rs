@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Assembly → bytes → disassembly.
     let prog = asm::assemble(&asm_text)?;
-    println!("\n== assembled: {} bytes of machine code ==", prog.bytes.len());
+    println!(
+        "\n== assembled: {} bytes of machine code ==",
+        prog.bytes.len()
+    );
     println!("== disassembly (first 12 instructions) ==");
     for line in prog.disassemble().lines().take(12) {
         println!("  {line}");
@@ -72,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("\nprogram output (via outl): {:?}", dbg.machine.output);
-    println!("main returned (in %eax): {}", dbg.machine.reg(asm::Reg::Eax));
+    println!(
+        "main returned (in %eax): {}",
+        dbg.machine.reg(asm::Reg::Eax)
+    );
     assert_eq!(dbg.machine.reg(asm::Reg::Eax), 55, "1+4+9+16+25");
 
     // Separate compilation: the same program as two "C files" through the
@@ -92,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lm = asm::Machine::new();
     lm.load(&linked)?;
     lm.run(100_000)?;
-    println!("\n== separate compilation: 3 units linked, result = {} ==", lm.reg(asm::Reg::Eax));
+    println!(
+        "\n== separate compilation: 3 units linked, result = {} ==",
+        lm.reg(asm::Reg::Eax)
+    );
     assert_eq!(lm.reg(asm::Reg::Eax), 55);
 
     // The same program's instruction stream through the CPU models.

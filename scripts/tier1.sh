@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Tier-1 gate: everything a PR must keep green.
-#   build (release) -> full test suite -> clippy with warnings denied
+#   fmt --check -> build (release) -> full test suite -> clippy with
+#   warnings denied -> end-to-end smokes
 set -eu
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
@@ -13,5 +15,11 @@ cargo clippy --workspace -- -D warnings
 # per-class ledgers balance after drain).
 cargo run --release -q -p bench --bin reproduce -- e13 > /dev/null
 cargo run --release -q -p bench --bin serve_demo -- 16 48 priority > /dev/null
+
+# E14 smoke: the same comparison over real loopback sockets, plus the
+# TCP demo (server + loadgen burst; asserts ledgers balance after the
+# stop-accept -> drain -> FIN shutdown).
+cargo run --release -q -p bench --bin reproduce -- e14 > /dev/null
+cargo run --release -q -p bench --bin serve_demo -- 4 24 net > /dev/null
 
 echo "tier1: all green"

@@ -6,8 +6,8 @@
 #[test]
 fn all_labs_demonstrate_through_the_whole_stack() {
     for lab in cs31::all_labs() {
-        let transcript = (lab.demonstrate)()
-            .unwrap_or_else(|e| panic!("{:?} ({}): {e}", lab.id, lab.title));
+        let transcript =
+            (lab.demonstrate)().unwrap_or_else(|e| panic!("{:?} ({}): {e}", lab.id, lab.title));
         assert!(transcript.len() > 20, "{:?} transcript too thin", lab.id);
     }
 }
@@ -36,11 +36,16 @@ fn clicker_bank_keys_computed_not_guessed() {
 #[test]
 fn schedule_crates_exist_in_workspace() {
     let known = [
-        "bits", "circuits", "asm", "memsim", "vmem", "os", "cheap", "cstring", "parallel",
-        "life", "survey",
+        "bits", "circuits", "asm", "memsim", "vmem", "os", "cheap", "cstring", "parallel", "life",
+        "survey",
     ];
     for w in cs31::week_schedule() {
-        assert!(known.contains(&w.crate_name), "week {} references unknown crate {}", w.number, w.crate_name);
+        assert!(
+            known.contains(&w.crate_name),
+            "week {} references unknown crate {}",
+            w.number,
+            w.crate_name
+        );
     }
 }
 

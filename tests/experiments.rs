@@ -6,7 +6,9 @@
 fn every_experiment_id_regenerates() {
     let experiments = bench::all_experiments();
     let ids: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
-    for required in ["t1", "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"] {
+    for required in [
+        "t1", "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+    ] {
         assert!(ids.contains(&required), "missing experiment {required}");
     }
     for (id, run) in experiments {
@@ -28,14 +30,20 @@ fn f1_reproduces_the_papers_reading_of_figure_1() {
     assert!(out.contains("all §IV qualitative claims hold"), "{out}");
     // The figure lists means for the heavily-emphasized topics above 2.5.
     for topic in ["memory hierarchy", "C programming", "race conditions"] {
-        let line = out.lines().find(|l| l.starts_with(topic)).expect("topic row");
+        let line = out
+            .lines()
+            .find(|l| l.starts_with(topic))
+            .expect("topic row");
         let mean: f64 = line
             .split("mean ")
             .nth(1)
             .and_then(|s| s.split_whitespace().next())
             .and_then(|s| s.parse().ok())
             .expect("mean value");
-        assert!(mean >= 2.3, "{topic} mean {mean} below the paper's 'deeper levels'");
+        assert!(
+            mean >= 2.3,
+            "{topic} mean {mean} below the paper's 'deeper levels'"
+        );
     }
 }
 
@@ -72,7 +80,10 @@ fn e5_tlb_halves_eat() {
     let p = EatParams::default();
     let with = analytic_eat(p, 0.98, 0.0);
     let without = no_tlb_eat(p, 0.0);
-    assert!(without / with > 1.8, "TLB must ~halve EAT: {with} vs {without}");
+    assert!(
+        without / with > 1.8,
+        "TLB must ~halve EAT: {with} vs {without}"
+    );
 }
 
 #[test]
@@ -116,7 +127,8 @@ fn e9_lru_beats_fifo_on_looping_locality() {
         let p = vm.spawn();
         for rep in 0..50u64 {
             for page in 0..5u64 {
-                vm.access(p, ((page + rep) % 5) * 256, AccessKind::Load).unwrap();
+                vm.access(p, ((page + rep) % 5) * 256, AccessKind::Load)
+                    .unwrap();
             }
         }
         vm.stats().faults
@@ -130,7 +142,16 @@ fn e10_memory_loop_costs_more() {
     let factor: f64 = out
         .split("memory loop ")
         .nth(1)
-        .and_then(|s| s.trim().trim_end_matches('x').trim_end_matches('\n').parse().ok())
+        .and_then(|s| {
+            s.trim()
+                .trim_end_matches('x')
+                .trim_end_matches('\n')
+                .parse()
+                .ok()
+        })
         .unwrap_or(0.0);
-    assert!(factor > 1.5, "memory-resident loop must be clearly slower: {out}");
+    assert!(
+        factor > 1.5,
+        "memory-resident loop must be clearly slower: {out}"
+    );
 }

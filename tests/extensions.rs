@@ -42,7 +42,12 @@ fn gate_level_cpu_agrees_with_swat16_on_a_countdown() {
     cpu.load_program(&[
         Instr::LoadI { rd: 1, imm: n },
         Instr::LoadI { rd: 2, imm: 1 },
-        Instr::Alu { op: AluOp::Sub, rd: 1, rs: 1, rt: 2 },
+        Instr::Alu {
+            op: AluOp::Sub,
+            rd: 1,
+            rs: 1,
+            rt: 2,
+        },
         Instr::Beqz { rs: 1, addr: 5 },
         Instr::Jmp { addr: 2 },
         Instr::Halt,
@@ -146,8 +151,7 @@ fn struct_layout_connects_to_cache_lines() {
 
     let traverse = |stride: u64| -> u64 {
         let mut c = Cache::new(CacheConfig::direct_mapped(64, 64)).unwrap();
-        let trace: Vec<TraceEvent> =
-            (0..512u64).map(|i| TraceEvent::load(i * stride)).collect();
+        let trace: Vec<TraceEvent> = (0..512u64).map(|i| TraceEvent::load(i * stride)).collect();
         c.run_trace(&trace);
         c.stats().misses
     };
@@ -171,7 +175,11 @@ fn division_closes_the_tinyc_gap() {
     )
     .unwrap();
     fn gcd(a: i32, b: i32) -> i32 {
-        if b == 0 { a } else { gcd(b, a % b) }
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
     }
     assert_eq!(r, gcd(252, 105));
     assert_eq!(r, 21);

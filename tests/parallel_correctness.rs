@@ -10,7 +10,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 fn life_parallel_matches_serial_on_a_large_grid() {
     let g = Grid::random(96, 80, 0.35, 2024, Boundary::Toroidal).unwrap();
     let (expect, expect_stats) = life::serial::run(g.clone(), 25);
-    for (threads, partition) in [(2, Partition::Rows), (5, Partition::Columns), (16, Partition::Rows)] {
+    for (threads, partition) in [
+        (2, Partition::Rows),
+        (5, Partition::Columns),
+        (16, Partition::Rows),
+    ] {
         let got = life::parallel::run(g.clone(), 25, threads, partition);
         assert_eq!(got.grid, expect, "t={threads} {partition:?}");
         assert_eq!(got.history, expect_stats);
@@ -107,7 +111,12 @@ fn barrier_round_structure_computes_correct_partial_sums() {
 #[test]
 fn machine_model_respects_hard_speedup_ceilings() {
     use parallel::machine::{life_like_workload, simulate, MachineConfig};
-    let cfg = MachineConfig { cores: 16, barrier_cost: 0, lock_overhead: 0, contention: 0.0 };
+    let cfg = MachineConfig {
+        cores: 16,
+        barrier_cost: 0,
+        lock_overhead: 0,
+        contention: 0.0,
+    };
     for crit in [0u64, 10_000, 50_000] {
         for threads in [2usize, 4, 8, 16] {
             let total_work = 16_000_000u64;

@@ -24,7 +24,10 @@ fn concurrent_clients_share_one_compute_per_key() {
             s.spawn(move || {
                 for seed in 0..4u64 {
                     let resp = server
-                        .submit(Request::Homework { generator: "fork_puzzle".into(), seed })
+                        .submit(Request::Homework {
+                            generator: "fork_puzzle".into(),
+                            seed,
+                        })
                         .expect("queue sized for the full load")
                         .wait();
                     assert!(resp.ok, "{}", resp.body);
@@ -33,7 +36,10 @@ fn concurrent_clients_share_one_compute_per_key() {
         }
     });
     let st = server.stats();
-    assert_eq!(st.cache.misses, 4, "each distinct request computes exactly once");
+    assert_eq!(
+        st.cache.misses, 4,
+        "each distinct request computes exactly once"
+    );
     assert_eq!(st.cache.hits, 8 * 4 - 4);
     assert_eq!(st.accepted, 32);
     assert_eq!(st.completed, 32);
@@ -86,7 +92,10 @@ fn shutdown_never_drops_an_accepted_request() {
         "an accepted ticket did not resolve"
     );
     let st = server.stats();
-    assert_eq!(st.accepted, st.completed, "server drained everything it admitted");
+    assert_eq!(
+        st.accepted, st.completed,
+        "server drained everything it admitted"
+    );
 }
 
 #[test]
@@ -100,10 +109,20 @@ fn pool_backed_par_matches_scoped_par_across_crates() {
         let pooled = serve::par::par_map(&pool, &data, move |&x| x.wrapping_mul(round + 1));
         assert_eq!(scoped, pooled);
 
-        let scoped_sum =
-            parallel::par::par_reduce(&data, 4, 0u64, |a, &x| a ^ x.rotate_left(round as u32), |a, b| a ^ b);
-        let pooled_sum =
-            serve::par::par_reduce(&pool, &data, 0u64, move |a, &x| a ^ x.rotate_left(round as u32), |a, b| a ^ b);
+        let scoped_sum = parallel::par::par_reduce(
+            &data,
+            4,
+            0u64,
+            |a, &x| a ^ x.rotate_left(round as u32),
+            |a, b| a ^ b,
+        );
+        let pooled_sum = serve::par::par_reduce(
+            &pool,
+            &data,
+            0u64,
+            move |a, &x| a ^ x.rotate_left(round as u32),
+            |a, b| a ^ b,
+        );
         assert_eq!(scoped_sum, pooled_sum);
     }
     // One pool served all ten calls: spawn-per-call would have needed
@@ -135,8 +154,12 @@ fn server_grades_like_the_autograder_itself() {
     let direct =
         cs31::autograde::grade(submission, &cs31::autograde::sum_array_rubric(), 200_000).render();
     let server = CourseServer::new(ServerConfig::default());
-    let via_server =
-        server.submit(Request::Grade { submission: submission.into() }).unwrap().wait();
+    let via_server = server
+        .submit(Request::Grade {
+            submission: submission.into(),
+        })
+        .unwrap()
+        .wait();
     assert!(via_server.ok);
     assert_eq!(via_server.body, direct);
 }

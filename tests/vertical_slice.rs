@@ -83,7 +83,8 @@ fn three_implementations_of_sum_1_to_n() {
 
     // SWAT-16 CPU.
     let mut cpu = circuits::cpu::Cpu::new();
-    cpu.load_program(&circuits::cpu::sum_1_to_n_program(n as u8)).unwrap();
+    cpu.load_program(&circuits::cpu::sum_1_to_n_program(n as u8))
+        .unwrap();
     cpu.run(100_000).unwrap();
     assert_eq!(cpu.regs[1] as u32, reference);
 }
@@ -128,7 +129,10 @@ fn emulated_loop_traffic_through_the_cache_model() {
     let mut trace = Vec::new();
     for i in 0..16u64 {
         for j in 0..16u64 {
-            trace.push(TraceEvent { addr: 0x2000 + 256 * i + 4 * j, kind: AccessKind::Load });
+            trace.push(TraceEvent {
+                addr: 0x2000 + 256 * i + 4 * j,
+                kind: AccessKind::Load,
+            });
         }
     }
     let mut row_cache = Cache::new(CacheConfig::direct_mapped(8, 64)).unwrap();
@@ -137,7 +141,10 @@ fn emulated_loop_traffic_through_the_cache_model() {
     let mut t2: Vec<TraceEvent> = Vec::new();
     for j in 0..16u64 {
         for i in 0..16u64 {
-            t2.push(TraceEvent { addr: 0x2000 + 256 * i + 4 * j, kind: AccessKind::Load });
+            t2.push(TraceEvent {
+                addr: 0x2000 + 256 * i + 4 * j,
+                kind: AccessKind::Load,
+            });
         }
     }
     let mut col_cache = Cache::new(CacheConfig::direct_mapped(8, 64)).unwrap();
