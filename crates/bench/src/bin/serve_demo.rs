@@ -6,6 +6,7 @@
 //! cargo run -p bench --bin serve_demo -- 4 100 fifo      # shared-FIFO baseline pool
 //! cargo run -p bench --bin serve_demo -- 4 100 priority  # class-aware priority lanes
 //! cargo run -p bench --bin serve_demo -- 4 100 net       # over TCP: server + loadgen
+//! cargo run -p bench --bin serve_demo -- 4 100 stats     # net mode + Op::Stats snapshot
 //! ```
 //!
 //! Each client submits a deterministic mix of grade / homework /
@@ -38,7 +39,7 @@ done:
     hlt
 ";
 
-const USAGE: &str = "usage: serve_demo [clients] [requests] [steal|fifo|priority|net]";
+const USAGE: &str = "usage: serve_demo [clients] [requests] [steal|fifo|priority|net|stats]";
 
 fn bail(reason: &str) -> ! {
     eprintln!("serve_demo: {reason}\n{USAGE}");
@@ -66,11 +67,23 @@ fn request_for(client: u64, i: u64) -> Request {
     }
 }
 
+/// Pulls `counter NAME V` out of a rendered [`obs`] snapshot; absent
+/// names read as zero, matching a counter nobody has incremented.
+fn snapshot_counter(snapshot: &str, name: &str) -> u64 {
+    let prefix = format!("counter {name} ");
+    snapshot
+        .lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .map_or(0, |v| v.trim().parse().expect("counter value"))
+}
+
 /// The `net` mode: the same demo, but clients and server meet on a
 /// real loopback socket — a [`net::NetServer`] on an ephemeral port
 /// and a short closed-loop [`net::loadgen`] burst with the default
-/// heavy-tail class mix.
-fn net_mode(connections: u64, per_connection: u64) {
+/// heavy-tail class mix. With `stats`, the demo additionally asks the
+/// live server for its metrics snapshot over the wire (`Op::Stats`)
+/// and cross-checks the registry mirrors against the bespoke ledgers.
+fn net_mode(connections: u64, per_connection: u64, stats: bool) {
     use net::loadgen::{self, LoadConfig, Mode};
     use net::server::{NetConfig, NetServer};
 
@@ -86,8 +99,9 @@ fn net_mode(connections: u64, per_connection: u64) {
     let srv = NetServer::bind("127.0.0.1:0", course, NetConfig::default())
         .unwrap_or_else(|e| bail(&format!("cannot bind a loopback socket: {e}")));
     println!(
-        "serve_demo net: {connections} connections x {per_connection} requests against \
+        "serve_demo {}: {connections} connections x {per_connection} requests against \
          {} (4 workers, priority lanes, queue 8)\n",
+        if stats { "stats" } else { "net" },
         srv.local_addr()
     );
     let report = loadgen::run(
@@ -99,6 +113,10 @@ fn net_mode(connections: u64, per_connection: u64) {
             ..LoadConfig::default()
         },
     );
+    let snapshot = stats.then(|| {
+        loadgen::fetch_stats(srv.local_addr())
+            .unwrap_or_else(|e| bail(&format!("Op::Stats fetch failed: {e}")))
+    });
     srv.shutdown();
     print!("{}", report.render());
 
@@ -126,6 +144,34 @@ fn net_mode(connections: u64, per_connection: u64) {
         );
     }
     println!("\nper-class ledgers balanced: every admitted request completed or shed.");
+
+    if let Some(snapshot) = snapshot {
+        println!("\nOp::Stats snapshot (fetched over the wire before shutdown):\n");
+        print!("{snapshot}");
+        for c in &st.per_class {
+            let admitted = snapshot_counter(&snapshot, &format!("serve.admitted.{}", c.class));
+            let completed = snapshot_counter(&snapshot, &format!("serve.completed.{}", c.class));
+            let shed = snapshot_counter(&snapshot, &format!("serve.shed.{}", c.class));
+            assert_eq!(
+                (admitted, completed, shed),
+                (c.admitted, c.completed, c.shed),
+                "{} registry mirrors must match the bespoke ledger",
+                c.class
+            );
+            assert_eq!(
+                admitted,
+                completed + shed,
+                "{} admitted must balance completed + shed in the snapshot",
+                c.class
+            );
+        }
+        assert_eq!(
+            snapshot_counter(&snapshot, "pool.claims"),
+            st.accepted,
+            "every accepted request is claimed exactly once"
+        );
+        println!("\nsnapshot counters balance: registry mirrors agree with the ledgers.");
+    }
 }
 
 fn main() {
@@ -148,7 +194,8 @@ fn main() {
         None | Some("steal") => Scheduler::WorkStealing,
         Some("fifo") => Scheduler::SharedFifo,
         Some("priority") => Scheduler::PriorityLanes,
-        Some("net") => return net_mode(clients, per_client),
+        Some("net") => return net_mode(clients, per_client, false),
+        Some("stats") => return net_mode(clients, per_client, true),
         Some(other) => bail(&format!("unknown mode {other:?}")),
     };
 

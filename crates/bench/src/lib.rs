@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod obs;
 pub mod priority;
 pub mod stealing;
 pub mod wire;
@@ -723,6 +724,16 @@ pub fn e13_priority() -> String {
     out
 }
 
+/// E15 — the observability subsystem measured on itself: the E11
+/// workload with the `obs` registry on vs disabled (instrumentation
+/// overhead budget < 5%), plus a ≥1M-sample demonstration that the
+/// log-bucketed histogram's memory stays constant while quantiles stay
+/// within the documented relative-error bound (see the `obs` module
+/// docs and DESIGN.md §10).
+pub fn e15_obs() -> String {
+    obs::render(&obs::obs_overhead_params())
+}
+
 /// E14 — the E13 question asked end-to-end: the same scheduler
 /// comparison, but over real loopback sockets, with the wire protocol,
 /// admission backpressure frames, and client-side retries inside the
@@ -793,6 +804,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e12", e12_stealing),
         ("e13", e13_priority),
         ("e14", e14_wire),
+        ("e15", e15_obs),
     ];
     v.extend(ablations::all_ablations());
     v

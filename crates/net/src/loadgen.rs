@@ -17,7 +17,10 @@
 //! submissions, unique homework seeds, rotating experiment variants)
 //! so the server's result cache cannot quietly turn a load test into
 //! a cache-hit test. Latency is recorded per class from send to
-//! final response and reported as p50/p99/max.
+//! final response into fixed-memory [`obs::Histogram`]s (an open-loop
+//! overload run records millions of samples without growing) and
+//! reported as p50/p99/max, percentiles at most
+//! [`obs::hist::RELATIVE_ERROR`] above exact.
 //!
 //! Backpressure is honored, not retried blindly: a `RETRY`/`SHED`
 //! frame re-queues the same operation after the server's hinted
@@ -26,7 +29,8 @@
 //! as lost to backpressure. `GoAway` ends the connection.
 
 use crate::wire::{
-    decode_payload, encode_request, read_frame, write_frame, Frame, RequestFrame, RespStatus,
+    decode_payload, encode_request, encode_stats_request, read_frame, write_frame, Frame,
+    RequestFrame, RespStatus,
 };
 use serve::pool::JobClass;
 use serve::server::Request;
@@ -180,10 +184,12 @@ pub struct ClassReport {
     /// or drain timeout).
     pub unanswered: u64,
     /// Median latency in µs over completed requests (0 if none).
+    /// Log-bucketed: at most [`obs::hist::RELATIVE_ERROR`] above the
+    /// exact nearest-rank value.
     pub p50_us: u64,
-    /// 99th-percentile latency in µs (0 if none).
+    /// 99th-percentile latency in µs (0 if none), same error bound.
     pub p99_us: u64,
-    /// Worst latency in µs (0 if none).
+    /// Worst latency in µs (0 if none); exact, not bucketed.
     pub max_us: u64,
 }
 
@@ -291,8 +297,11 @@ struct Resend {
 struct ConnState {
     pending: HashMap<u64, Pending>,
     resends: Vec<Resend>,
-    /// Latency samples (µs) per band.
-    latencies: [Vec<u64>; JobClass::COUNT],
+    /// Latency samples (µs) per band, in fixed-memory log-bucketed
+    /// histograms: an open-loop overload run records millions of
+    /// samples without the per-sample `Vec` growth the old
+    /// implementation paid.
+    latencies: [obs::Histogram; JobClass::COUNT],
     ok: [u64; JobClass::COUNT],
     cached: [u64; JobClass::COUNT],
     errors: [u64; JobClass::COUNT],
@@ -329,7 +338,7 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
             std::thread::spawn(move || drive_connection(addr, conn_idx as u64, &config))
         })
         .collect();
-    let mut per_band_lat: [Vec<u64>; JobClass::COUNT] = Default::default();
+    let mut per_band_lat: [obs::HistSnapshot; JobClass::COUNT] = Default::default();
     let mut sent = [0u64; JobClass::COUNT];
     let mut ok = [0u64; JobClass::COUNT];
     let mut cached = [0u64; JobClass::COUNT];
@@ -342,7 +351,7 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
     for handle in handles {
         let (state, conn_sent) = handle.join().expect("loadgen connection thread panicked");
         for band in 0..JobClass::COUNT {
-            per_band_lat[band].extend(&state.latencies[band]);
+            per_band_lat[band].merge(&state.latencies[band].snapshot());
             sent[band] += conn_sent[band];
             ok[band] += state.ok[band];
             cached[band] += state.cached[band];
@@ -360,8 +369,7 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
         .iter()
         .map(|&class| {
             let band = class.band();
-            let lat = &mut per_band_lat[band];
-            lat.sort_unstable();
+            let lat = &per_band_lat[band];
             ClassReport {
                 class,
                 sent: sent[band],
@@ -371,9 +379,9 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
                 backpressure_frames: bkpres[band],
                 lost_to_backpressure: lost[band],
                 unanswered: unanswered[band],
-                p50_us: percentile(lat, 50),
-                p99_us: percentile(lat, 99),
-                max_us: lat.last().copied().unwrap_or(0),
+                p50_us: lat.percentile(50),
+                p99_us: lat.percentile(99),
+                max_us: lat.max(),
             }
         })
         .collect();
@@ -385,13 +393,51 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
     }
 }
 
-/// Nearest-rank percentile over an already-sorted slice (0 if empty).
-fn percentile(sorted: &[u64], pct: usize) -> u64 {
+/// Exact nearest-rank percentile over an already-sorted slice (0 if
+/// empty). The rank `ceil(len * pct / 100)` is clamped to at least 1,
+/// so `pct = 0` returns the minimum element — the natural reading of
+/// "0th percentile" — rather than indexing before the slice. A
+/// single-element slice returns that element for every `pct`.
+///
+/// The load generator itself now aggregates latencies through
+/// [`obs::HistSnapshot::percentile`] (bounded memory, ≤ 3.125% high);
+/// this exact version stays public as the reference implementation
+/// benchmarks and tests compare against.
+pub fn percentile(sorted: &[u64], pct: usize) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
     let rank = (sorted.len() * pct).div_ceil(100).max(1);
     sorted[rank - 1]
+}
+
+/// Opens a fresh connection to `addr`, sends one `Op::Stats` request,
+/// and returns the rendered metrics snapshot from the response body.
+///
+/// Stats requests are answered synchronously by the server's reader
+/// thread — no admission, no job queue — so this works even while the
+/// job server is saturated, which is exactly when you want to look at
+/// its counters.
+pub fn fetch_stats(addr: SocketAddr) -> std::io::Result<String> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    {
+        let mut writer = BufWriter::new(&stream);
+        write_frame(&mut writer, &encode_stats_request(1))?;
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut reader = BufReader::new(&stream);
+    let payload = read_frame(&mut reader)?.ok_or_else(|| bad("connection closed before stats"))?;
+    match decode_payload(&payload) {
+        Ok(Frame::Response(resp)) if resp.status == RespStatus::Ok => Ok(resp.body),
+        Ok(Frame::Response(resp)) => Err(bad(&format!(
+            "stats request answered {:?}: {}",
+            resp.status, resp.body
+        ))),
+        Ok(_) => Err(bad("stats request answered with a non-response frame")),
+        Err(e) => Err(bad(&format!("malformed stats response: {e}"))),
+    }
 }
 
 /// One connection: a sender (this thread) and a response reader.
@@ -669,7 +715,7 @@ fn response_reader(read_half: TcpStream, shared: &ConnShared) {
                         _ => st.errors[band] += 1,
                     }
                     if frame.status != RespStatus::Error {
-                        st.latencies[band].push(lat);
+                        st.latencies[band].record(lat);
                     }
                 }
             }
@@ -701,4 +747,38 @@ fn response_reader(read_half: TcpStream, shared: &ConnShared) {
     st.closed = true;
     drop(st);
     shared.changed.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentile_zero_returns_the_minimum() {
+        assert_eq!(percentile(&[10, 20, 30, 40], 0), 10);
+        assert_eq!(percentile(&[7], 0), 7);
+    }
+
+    #[test]
+    fn percentile_on_a_single_sample_slice_returns_it_for_every_pct() {
+        for pct in [0, 1, 50, 99, 100] {
+            assert_eq!(percentile(&[42], pct), 42);
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile(&sorted, 50), 5);
+        assert_eq!(percentile(&sorted, 99), 10);
+        assert_eq!(percentile(&sorted, 100), 10);
+        assert_eq!(percentile(&sorted, 10), 1);
+        assert_eq!(percentile(&sorted, 11), 2);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[], 0), 0);
+    }
 }

@@ -48,7 +48,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Sizing and policy knobs for [`NetServer::bind`].
 #[derive(Debug, Clone)]
@@ -102,6 +102,54 @@ pub struct NetStats {
     /// Connections severed mid-traffic: injected drops, I/O errors,
     /// write timeouts.
     pub dropped_conns: u64,
+}
+
+/// Registry mirrors of the socket-layer counters plus the wire-time
+/// histograms (PR 5), resolved once from the course server's
+/// [`obs::Registry`] at bind time. With a disabled registry every call
+/// is a never-taken branch.
+struct NetObs {
+    /// Live connections right now (`net.conns.live`).
+    conns_live: obs::Gauge,
+    /// Mirror of [`NetStats::accepted_conns`] (`net.conns.accepted`).
+    conns_accepted: obs::Counter,
+    /// Mirror of [`NetStats::refused_conns`] (`net.conns.refused`).
+    conns_refused: obs::Counter,
+    /// Mirror of [`NetStats::dropped_conns`] (`net.conns.dropped`).
+    conns_dropped: obs::Counter,
+    /// Mirror of [`NetStats::requests`] (`net.requests`).
+    requests: obs::Counter,
+    /// Mirror of [`NetStats::responses`] (`net.responses`).
+    responses: obs::Counter,
+    /// Mirror of [`NetStats::malformed`] (`net.malformed`).
+    malformed: obs::Counter,
+    /// Stats (op 3) frames answered synchronously
+    /// (`net.stats_requests`); they bypass admission, so they are *not*
+    /// counted in `net.requests`.
+    stats_requests: obs::Counter,
+    /// Per-frame payload decode time (`net.frame.decode_us`) — the
+    /// read-side share of wire time.
+    decode_us: obs::HistogramHandle,
+    /// Per-frame response encode time (`net.frame.encode_us`) — the
+    /// write-side share of wire time.
+    encode_us: obs::HistogramHandle,
+}
+
+impl NetObs {
+    fn new(registry: &obs::Registry) -> NetObs {
+        NetObs {
+            conns_live: registry.gauge("net.conns.live"),
+            conns_accepted: registry.counter("net.conns.accepted"),
+            conns_refused: registry.counter("net.conns.refused"),
+            conns_dropped: registry.counter("net.conns.dropped"),
+            requests: registry.counter("net.requests"),
+            responses: registry.counter("net.responses"),
+            malformed: registry.counter("net.malformed"),
+            stats_requests: registry.counter("net.stats_requests"),
+            decode_us: registry.histogram("net.frame.decode_us"),
+            encode_us: registry.histogram("net.frame.encode_us"),
+        }
+    }
 }
 
 /// The reader→writer handoff for one connection.
@@ -201,6 +249,8 @@ struct Shared {
     responses: AtomicU64,
     malformed: AtomicU64,
     dropped_conns: AtomicU64,
+    /// Registry mirrors + wire-time histograms.
+    obs: NetObs,
 }
 
 /// A course server listening on a TCP socket. See the module docs for
@@ -227,6 +277,7 @@ impl NetServer {
         );
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let obs = NetObs::new(course.registry());
         let shared = Arc::new(Shared {
             course,
             config,
@@ -241,6 +292,7 @@ impl NetServer {
             responses: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
             dropped_conns: AtomicU64::new(0),
+            obs,
         });
         let accept_shared = Arc::clone(&shared);
         let acceptor = std::thread::Builder::new()
@@ -354,6 +406,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             if *live >= shared.config.max_connections {
                 drop(live);
                 shared.refused_conns.fetch_add(1, Ordering::Relaxed);
+                shared.obs.conns_refused.inc();
                 let mut w = BufWriter::new(&stream);
                 let frame = ResponseFrame {
                     id: 0,
@@ -371,6 +424,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             *live += 1;
         }
         shared.accepted_conns.fetch_add(1, Ordering::Relaxed);
+        shared.obs.conns_accepted.inc();
+        shared.obs.conns_live.add(1);
         spawn_connection(stream, shared);
     }
 }
@@ -390,6 +445,8 @@ fn spawn_connection(stream: TcpStream, shared: &Arc<Shared>) {
             shared.all_closed.notify_all();
             shared.accepted_conns.fetch_sub(1, Ordering::Relaxed);
             shared.dropped_conns.fetch_add(1, Ordering::Relaxed);
+            shared.obs.conns_live.add(-1);
+            shared.obs.conns_dropped.inc();
             return;
         }
     };
@@ -441,12 +498,33 @@ fn reader_loop(read_half: TcpStream, shared: &Arc<Shared>, out: &Arc<Outbound>) 
                 break;
             }
         }
-        let frame = match decode_payload(&payload) {
+        let decode_start = Instant::now();
+        let decoded = decode_payload(&payload);
+        shared.obs.decode_us.record_micros(decode_start.elapsed());
+        let frame = match decoded {
             Ok(Frame::Request(frame)) => frame,
+            Ok(Frame::Stats { id }) => {
+                // Answer synchronously from the registry: no admission,
+                // no cache, no ticket — readable even while the job
+                // server is saturated.
+                shared.obs.stats_requests.inc();
+                let body = shared.course.registry().snapshot().render();
+                out.push(
+                    encode_response(&ResponseFrame {
+                        id,
+                        status: RespStatus::Ok,
+                        retry_after_ms: 0,
+                        body,
+                    }),
+                    false,
+                );
+                continue;
+            }
             Ok(Frame::Response(_)) | Err(_) => {
                 // A framing error desynchronizes the byte stream; an
                 // Error frame explains, then the connection closes.
                 shared.malformed.fetch_add(1, Ordering::Relaxed);
+                shared.obs.malformed.inc();
                 let reason = match decode_payload(&payload) {
                     Err(e) => format!("malformed frame: {e}"),
                     _ => "protocol error: response frame sent to server".to_string(),
@@ -464,6 +542,7 @@ fn reader_loop(read_half: TcpStream, shared: &Arc<Shared>, out: &Arc<Outbound>) 
             }
         };
         shared.requests.fetch_add(1, Ordering::Relaxed);
+        shared.obs.requests.inc();
         if !submit_frame(frame, shared, out) {
             break;
         }
@@ -503,15 +582,18 @@ fn submit_frame(frame: RequestFrame, shared: &Arc<Shared>, out: &Arc<Outbound>) 
                 } else {
                     0
                 };
-                cb_out.push(
-                    encode_response(&ResponseFrame {
-                        id,
-                        status,
-                        retry_after_ms,
-                        body: resp.body.clone(),
-                    }),
-                    true,
-                );
+                let encode_start = Instant::now();
+                let bytes = encode_response(&ResponseFrame {
+                    id,
+                    status,
+                    retry_after_ms,
+                    body: resp.body.clone(),
+                });
+                cb_shared
+                    .obs
+                    .encode_us
+                    .record_micros(encode_start.elapsed());
+                cb_out.push(bytes, true);
             });
             true
         }
@@ -580,6 +662,7 @@ fn writer_loop(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>, out: &Arc<
                         plan.fire(FaultPoint::NetWriteFrame);
                         if plan.should_drop(FaultPoint::NetWriteFrame) {
                             shared.dropped_conns.fetch_add(1, Ordering::Relaxed);
+                            shared.obs.conns_dropped.inc();
                             out.mark_dead();
                             graceful = false;
                             break;
@@ -589,11 +672,13 @@ fn writer_loop(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>, out: &Arc<
                         // Write timeout or peer reset: sever rather
                         // than block the thread on a stuck client.
                         shared.dropped_conns.fetch_add(1, Ordering::Relaxed);
+                        shared.obs.conns_dropped.inc();
                         out.mark_dead();
                         graceful = false;
                         break;
                     }
                     shared.responses.fetch_add(1, Ordering::Relaxed);
+                    shared.obs.responses.inc();
                 }
             }
         }
@@ -614,5 +699,6 @@ fn writer_loop(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>, out: &Arc<
     let mut live = shared.live.lock().expect("live counter poisoned");
     *live -= 1;
     drop(live);
+    shared.obs.conns_live.add(-1);
     shared.all_closed.notify_all();
 }

@@ -16,8 +16,17 @@
 //!     op 0 Grade     submission:str
 //!     op 1 Homework  generator:str seed:u64
 //!     op 2 Reproduce id:str
+//!     op 3 Stats     (no fields)
 //! response payload:  'R' id:u64 status:u8 retry_after_ms:u64 body:str
 //! ```
+//!
+//! Op 3 (`Stats`) is the observability peephole: it shares the request
+//! header (the class/priority/deadline bytes are carried but ignored)
+//! and asks the server for its rendered metrics snapshot. The front
+//! end answers it synchronously from the registry — it never enters
+//! admission, never touches the result cache, and works even while the
+//! job server itself is saturated, which is exactly when you want to
+//! read the queue-depth gauge.
 //!
 //! The request carries the whole [`JobMeta`] story on the wire: class
 //! selects the admission budget and the priority lane, priority can
@@ -222,6 +231,12 @@ pub enum Frame {
     Request(RequestFrame),
     /// A server→client response.
     Response(ResponseFrame),
+    /// A client→server metrics-snapshot request (op 3), answered
+    /// synchronously by the front end without entering admission.
+    Stats {
+        /// Correlation id, echoed on the snapshot response.
+        id: u64,
+    },
 }
 
 fn class_code(class: JobClass) -> u8 {
@@ -271,6 +286,20 @@ pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
             put_str(&mut payload, id);
         }
     }
+    finish_frame(payload)
+}
+
+/// Encodes a stats (op 3) request into complete on-wire bytes. The
+/// header's class/priority/deadline bytes are sent as zeros; the
+/// server ignores them for this op.
+pub fn encode_stats_request(id: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16);
+    payload.push(REQ_TAG);
+    payload.extend_from_slice(&id.to_be_bytes());
+    payload.push(0); // class (ignored)
+    payload.push(0); // priority (ignored)
+    payload.push(0); // no deadline
+    payload.push(3); // op: Stats
     finish_frame(payload)
 }
 
@@ -374,6 +403,12 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
                 2 => Request::Reproduce {
                     id: cur.str()?.to_owned(),
                 },
+                3 => {
+                    // Stats carries no fields; class/priority/deadline
+                    // were parsed (and are ignored) above.
+                    cur.finish()?;
+                    return Ok(Frame::Stats { id });
+                }
                 other => return Err(WireError::BadOp(other)),
             };
             cur.finish()?;
@@ -469,6 +504,39 @@ mod tests {
         };
         let bytes = encode_response(&frame);
         assert_eq!(decode_payload(&bytes[4..]), Ok(Frame::Response(frame)));
+    }
+
+    #[test]
+    fn stats_request_round_trips_through_the_codec() {
+        let bytes = encode_stats_request(41);
+        let (len_prefix, payload) = bytes.split_at(4);
+        assert_eq!(
+            u32::from_be_bytes(len_prefix.try_into().unwrap()) as usize,
+            payload.len()
+        );
+        assert_eq!(decode_payload(payload), Ok(Frame::Stats { id: 41 }));
+    }
+
+    #[test]
+    fn every_truncation_of_a_stats_frame_is_a_typed_error() {
+        let bytes = encode_stats_request(41);
+        let payload = &bytes[4..];
+        for cut in 0..payload.len() {
+            let err = decode_payload(&payload[..cut]).expect_err("truncation must not decode");
+            assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+        // Fields after the op byte are a framing bug, not silently eaten.
+        let mut extra = bytes.clone();
+        extra.push(0x00);
+        let payload_len = (extra.len() - 4) as u32;
+        extra[..4].copy_from_slice(&payload_len.to_be_bytes());
+        assert_eq!(
+            decode_payload(&extra[4..]),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
     }
 
     #[test]

@@ -53,7 +53,7 @@ fn next_response(reader: &mut BufReader<&TcpStream>) -> ResponseFrame {
     let payload = read_frame(reader).expect("read").expect("frame before EOF");
     match decode_payload(&payload).expect("decode") {
         Frame::Response(f) => f,
-        Frame::Request(_) => panic!("server sent a request frame"),
+        other => panic!("server sent a non-response frame: {other:?}"),
     }
 }
 
@@ -357,6 +357,77 @@ fn loadgen_default_mix_round_trips_end_to_end() {
     assert_eq!(net.malformed, 0);
 }
 
+/// Pulls `counter NAME V` out of a rendered snapshot.
+fn counter_value(snapshot: &str, name: &str) -> u64 {
+    let prefix = format!("counter {name} ");
+    snapshot
+        .lines()
+        .find_map(|line| line.strip_prefix(&prefix))
+        .unwrap_or_else(|| panic!("snapshot has no counter {name}:\n{snapshot}"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("counter {name} unparsable: {e}"))
+}
+
+#[test]
+fn stats_op_returns_a_snapshot_whose_counters_balance_the_ledgers() {
+    let course = CourseServer::new(ServerConfig {
+        workers: 4,
+        queue_capacity: 32,
+        scheduler: Scheduler::PriorityLanes,
+        ..ServerConfig::default()
+    });
+    let srv = NetServer::bind("127.0.0.1:0", course, NetConfig::default()).unwrap();
+    let addr = srv.local_addr();
+    let report = loadgen::run(
+        addr,
+        &LoadConfig {
+            connections: 3,
+            requests_per_connection: 16,
+            mode: Mode::Closed { pipeline: 3 },
+            ..LoadConfig::default()
+        },
+    );
+    let unanswered: u64 = report.per_class.iter().map(|r| r.unanswered).sum();
+    assert_eq!(unanswered, 0, "friendly load must fully drain");
+
+    // Snapshot over the wire, against the *live* server: stats bypass
+    // admission, so this works regardless of queue state.
+    let snapshot = loadgen::fetch_stats(addr).expect("stats over TCP");
+    let stats = srv.course().stats();
+    for row in &stats.per_class {
+        let admitted = counter_value(&snapshot, &format!("serve.admitted.{}", row.class));
+        let completed = counter_value(&snapshot, &format!("serve.completed.{}", row.class));
+        let shed = counter_value(&snapshot, &format!("serve.shed.{}", row.class));
+        assert_eq!(
+            admitted, row.admitted,
+            "{}: registry mirror must match the ledger",
+            row.class
+        );
+        assert_eq!(completed, row.completed, "{}", row.class);
+        assert_eq!(shed, row.shed, "{}", row.class);
+        assert_eq!(
+            admitted,
+            completed + shed,
+            "{}: drained snapshot must balance",
+            row.class
+        );
+    }
+    let claims = counter_value(&snapshot, "pool.claims");
+    assert_eq!(
+        claims, stats.accepted,
+        "every accepted job was claimed exactly once"
+    );
+    let requests = counter_value(&snapshot, "net.requests");
+    assert_eq!(requests, srv.net_stats().requests);
+    assert_eq!(counter_value(&snapshot, "net.stats_requests"), 1);
+    assert!(
+        snapshot.contains("hist serve.stage.queue_us.interactive "),
+        "stage histograms render: \n{snapshot}"
+    );
+    srv.shutdown();
+}
+
 #[test]
 fn requests_racing_shutdown_get_goaway_not_silence() {
     let course = sleepy_server(
@@ -388,7 +459,7 @@ fn requests_racing_shutdown_get_goaway_not_silence() {
                     got_first = true;
                 }
                 Frame::Response(f) => assert_eq!(f.status, RespStatus::GoAway),
-                Frame::Request(_) => panic!("server sent a request frame"),
+                other => panic!("server sent a non-response frame: {other:?}"),
             },
             Ok(None) => break,
             Err(e) => panic!("socket error instead of clean FIN: {e}"),

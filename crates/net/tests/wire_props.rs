@@ -4,7 +4,8 @@
 //! bytes always come back as a typed [`WireError`].
 
 use net::wire::{
-    decode_payload, encode_request, encode_response, Frame, RequestFrame, RespStatus, ResponseFrame,
+    decode_payload, encode_request, encode_response, encode_stats_request, Frame, RequestFrame,
+    RespStatus, ResponseFrame,
 };
 use proptest::prelude::*;
 use proptest::strategy::BoxedStrategy;
@@ -127,15 +128,23 @@ proptest! {
         let pos = (pos_seed as usize) % corrupt.len();
         corrupt[pos] ^= xor;
         // Must not panic. If it still decodes (the flipped byte was in
-        // a don't-care position like the id), it must decode to a
-        // *request* — corruption can't turn a request into a response
-        // because the tag byte distinguishes them.
+        // a don't-care position like the id, or flipped the op byte to
+        // the field-less Stats op), it must still be request-family —
+        // corruption can't turn a request into a *response* because
+        // the tag byte distinguishes them.
         if let Ok(decoded) = decode_payload(&corrupt) {
             prop_assert!(
-                matches!(decoded, Frame::Request(_)) || pos == 0,
+                matches!(decoded, Frame::Request(_) | Frame::Stats { .. }) || pos == 0,
                 "corruption at {} produced {:?}", pos, decoded
             );
         }
+    }
+
+    #[test]
+    fn prop_stats_requests_round_trip(id in any::<u64>()) {
+        let bytes = encode_stats_request(id);
+        let decoded = decode_payload(payload(&bytes));
+        prop_assert_eq!(decoded, Ok(Frame::Stats { id }));
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Fixed-memory log-bucketed (HDR-style) histogram with lock-free recording.
+//!
+//! # Bucketing math
+//!
+//! Values below `SUB = 2^SUB_BITS = 32` each get an exact bucket (zero
+//! error). A larger value `v` lands in the bucket addressed by its power of
+//! two and its top `SUB_BITS` mantissa bits below the leading one:
+//!
+//! ```text
+//! top   = 63 - v.leading_zeros()        (position of the leading one)
+//! e     = top - SUB_BITS                (bucket scale; 0 ..= 58)
+//! index = SUB + e * SUB + ((v >> e) - SUB)
+//! ```
+//!
+//! Each scale `e` contributes `SUB` buckets of width `2^e`, covering
+//! `[SUB << e, SUB << (e + 1))`. Total bucket count is constant:
+//! `SUB + 59 * SUB = 1920` buckets of 8 bytes ≈ 15 KiB, independent of how
+//! many samples are recorded — the whole `u64` range is covered.
+//!
+//! # Relative-error bound
+//!
+//! Quantile queries report the *upper bound* of the bucket holding the
+//! nearest-rank sample, clamped to the exactly-tracked maximum. A bucket at
+//! scale `e` starts at `low >= SUB << e` and spans `2^e - 1 <= low / SUB`
+//! above it, so for any true sample `s` in that bucket the reported value
+//! `r` satisfies
+//!
+//! ```text
+//! s <= r <= s * (1 + 1/SUB) = s * 1.03125
+//! ```
+//!
+//! i.e. quantiles are never under-reported and over-report by at most
+//! **3.125%** ([`RELATIVE_ERROR`]). Values below `SUB` and the recorded
+//! minimum and maximum are exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of mantissa bits kept per power of two (`2^SUB_BITS` sub-buckets).
+pub const SUB_BITS: u32 = 5;
+
+/// Sub-buckets per power of two (`2^SUB_BITS`).
+const SUB: usize = 1 << SUB_BITS;
+
+/// Total bucket count: `SUB` exact buckets plus `SUB` buckets for each of
+/// the 59 scales `e = 0 ..= 58`. Constant regardless of sample count.
+pub const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Worst-case relative over-reporting of a quantile query: `1 / SUB`.
+pub const RELATIVE_ERROR: f64 = 1.0 / SUB as f64;
+
+/// Maps a value to its bucket index. Total over all of `u64`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let top = 63 - v.leading_zeros();
+        let e = (top - SUB_BITS) as usize;
+        SUB + e * SUB + ((v >> e) as usize - SUB)
+    }
+}
+
+/// Smallest value that lands in bucket `i`.
+fn bucket_low(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let e = (i - SUB) / SUB;
+        let m = (i - SUB) % SUB;
+        ((m + SUB) as u64) << e
+    }
+}
+
+/// Largest value that lands in bucket `i`.
+fn bucket_high(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let e = (i - SUB) / SUB;
+        bucket_low(i) + ((1u64 << e) - 1)
+    }
+}
+
+/// Midpoint of bucket `i` — the representative value used when deriving
+/// the sum from bucket counts. Exact for the sub-`SUB` buckets.
+fn bucket_mid(i: usize) -> u64 {
+    let low = bucket_low(i);
+    low + (bucket_high(i) - low) / 2
+}
+
+/// A fixed-memory concurrent histogram over `u64` values.
+///
+/// [`record`](Histogram::record) is lock-free and deliberately thin: one
+/// relaxed atomic add on the sample's bucket, plus a min/max update that
+/// is a plain load in the steady state (an RMW fires only while a new
+/// extreme is being established). Count and sum are *derived* from the
+/// buckets at [`snapshot`](Histogram::snapshot) time instead of being
+/// maintained as separate contended counters — this keeps the hot path
+/// to a single RMW, which is what lets the serve pipeline leave
+/// recording on in production (experiment E15 measures the residue).
+/// Memory is constant: [`BUCKETS`] atomic counters regardless of how
+/// many samples are recorded — see
+/// [`memory_bytes`](Histogram::memory_bytes).
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count())
+            .field("sum", &s.sum())
+            .field("min", &s.min())
+            .field("max", &s.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram covering the full `u64` range.
+    pub fn new() -> Histogram {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; callable concurrently.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // Extremes stabilize after a handful of samples; checking with a
+        // plain load first keeps the steady-state record to one RMW.
+        // `fetch_min`/`fetch_max` re-check atomically, so the unlocked
+        // pre-check can only skip updates that another thread already
+        // made unnecessary.
+        if v < self.min.load(Ordering::Relaxed) {
+            self.min.fetch_min(v, Ordering::Relaxed);
+        }
+        if v > self.max.load(Ordering::Relaxed) {
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Fixed memory footprint of the bucket array plus the min/max
+    /// trackers, in bytes. Constant for the life of the histogram.
+    pub const fn memory_bytes() -> usize {
+        BUCKETS * std::mem::size_of::<AtomicU64>() + 2 * std::mem::size_of::<AtomicU64>()
+    }
+
+    /// Takes a point-in-time copy of the counters. Concurrent `record`s may
+    /// or may not be included; the snapshot itself is internally consistent
+    /// enough for reporting (buckets may be torn by at most the in-flight
+    /// records). Count and sum are derived from the buckets here — the sum
+    /// uses each bucket's midpoint, so it carries the same relative error
+    /// bound as the quantiles (values below `SUB` stay exact).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for (i, &c) in buckets.iter().enumerate() {
+            if c > 0 {
+                count += c;
+                sum = sum.wrapping_add(c.wrapping_mul(bucket_mid(i)));
+            }
+        }
+        HistSnapshot {
+            buckets: buckets.into_boxed_slice(),
+            count,
+            sum,
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a histogram's counters.
+#[derive(Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: Box<[u64]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot::empty()
+    }
+}
+
+impl std::fmt::Debug for HistSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HistSnapshot {{ count: {}, sum: {}, min: {}, max: {}, p50: {}, p99: {} }}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max,
+            self.percentile(50),
+            self.percentile(99)
+        )
+    }
+}
+
+impl HistSnapshot {
+    /// An empty snapshot (identity element for [`merge`](HistSnapshot::merge)).
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot {
+            buckets: vec![0u64; BUCKETS].into_boxed_slice(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of the samples, reconstructed from bucket midpoints (wrapping
+    /// on overflow): exact for values below `SUB`, otherwise within the
+    /// bucketing error of the true sum.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (from the reconstructed sum, so within the
+    /// bucketing error), or 0 if empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Folds another snapshot into this one. Merging snapshots of two
+    /// histograms yields exactly the snapshot of a single histogram that
+    /// recorded both sample sets (bucket-for-bucket).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nearest-rank percentile (`pct` in 0..=100) with the documented error
+    /// bound: the reported value `r` and the exact nearest-rank sample `s`
+    /// satisfy `s <= r <= s * (1 + RELATIVE_ERROR)`.
+    ///
+    /// `pct = 0` returns the exact minimum sample; `pct >= 100` never
+    /// exceeds the exact maximum. Returns 0 for an empty snapshot.
+    pub fn percentile(&self, pct: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if pct == 0 {
+            return self.min();
+        }
+        // Nearest rank: ceil(pct/100 * count), clamped into 1..=count.
+        let rank = (self.count.saturating_mul(pct))
+            .div_ceil(100)
+            .clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(i).min(self.max).max(self.min());
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 32);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 31);
+        // Every value below SUB has its own bucket, so every quantile of
+        // this sample set is exact.
+        assert_eq!(s.percentile(50), 15);
+        assert_eq!(s.percentile(100), 31);
+    }
+
+    #[test]
+    fn index_and_bounds_agree_across_the_range() {
+        let mut probes: Vec<u64> = (0..2048).collect();
+        for shift in 5..64 {
+            probes.push(1u64 << shift);
+            probes.push((1u64 << shift) - 1);
+            probes.push((1u64 << shift) + 1);
+        }
+        probes.push(u64::MAX);
+        for v in probes {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(
+                bucket_low(i) <= v && v <= bucket_high(i),
+                "value {v} outside bucket {i}: [{}, {}]",
+                bucket_low(i),
+                bucket_high(i)
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_width_respects_relative_error() {
+        for i in 0..BUCKETS {
+            let low = bucket_low(i);
+            let high = bucket_high(i);
+            assert!(high - low <= low / SUB as u64 || low < SUB as u64);
+        }
+    }
+
+    #[test]
+    fn percentile_zero_is_exact_min_and_memory_is_constant() {
+        let h = Histogram::new();
+        for v in [907u64, 44, 123_456, 7] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0), 7);
+        assert_eq!(Histogram::memory_bytes(), (BUCKETS + 2) * 8);
+    }
+
+    #[test]
+    fn empty_snapshot_reports_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.percentile(50), 0);
+    }
+
+    #[test]
+    fn merge_is_bucket_exact() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [1u64, 50, 900, 1 << 40] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 49, 1 << 21, u64::MAX] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 40_000);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 39_999);
+    }
+}

@@ -1,0 +1,484 @@
+//! Named-metric registry: counters, gauges, and histograms.
+//!
+//! The registry is the cold path: metric handles are resolved once by name
+//! (under a mutex) and then cloned into the hot paths, where every
+//! operation is a single atomic instruction — or, for a *disabled*
+//! registry, a single never-taken branch. That null-object design is what
+//! lets experiment E15 compare instrumented vs uninstrumented throughput
+//! inside one process.
+//!
+//! # Naming scheme
+//!
+//! Metric names are dotted paths, `<layer>.<what>[.<class>]` — e.g.
+//! `serve.admitted.interactive`, `pool.steals`, `net.frame.decode_us`.
+//! The class suffix plays the role of a label; the registry itself is a
+//! flat sorted map so snapshots render in a stable order.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{HistSnapshot, Histogram};
+
+/// Shards per counter; writes spread across cache lines, reads sum them.
+const COUNTER_SHARDS: usize = 8;
+
+/// One counter shard padded out to its own cache line so concurrent
+/// increments from different threads do not false-share.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+struct CounterInner {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+/// One gauge shard, padded like the counter shards.
+#[repr(align(64))]
+struct PaddedI64(AtomicI64);
+
+struct GaugeInner {
+    shards: [PaddedI64; COUNTER_SHARDS],
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+/// Picks a stable per-thread shard, assigned round-robin at first use.
+fn shard_index() -> usize {
+    thread_local! {
+        static SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// metric; a handle from a disabled registry makes every call a no-op.
+#[derive(Clone)]
+pub struct Counter {
+    inner: Option<Arc<CounterInner>>,
+}
+
+impl Counter {
+    /// Adds `n` to the counter (relaxed, sharded).
+    pub fn add(&self, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.shards[shard_index()]
+                .0
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (sum over shards); 0 for a disabled handle.
+    pub fn value(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner
+                .shards
+                .iter()
+                .map(|s| s.0.load(Ordering::Relaxed))
+                .sum(),
+            None => 0,
+        }
+    }
+}
+
+/// A signed instantaneous value (queue depth, live connections, ...).
+/// Sharded like [`Counter`] so the +1/−1 pairs that track a hot queue
+/// do not ping-pong one cache line between workers; the value is the
+/// sum over shards, so paired add/sub from *different* threads still
+/// cancel exactly.
+#[derive(Clone)]
+pub struct Gauge {
+    inner: Option<Arc<GaugeInner>>,
+}
+
+impl Gauge {
+    /// Adds `n` (may be negative) to the gauge.
+    pub fn add(&self, n: i64) {
+        if let Some(inner) = &self.inner {
+            inner.shards[shard_index()]
+                .0
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `n` from the gauge.
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Sets the gauge to `n`. Not atomic with respect to concurrent
+    /// `add`/`sub` (the shards are rewritten one by one) — intended for
+    /// single-writer gauges.
+    pub fn set(&self, n: i64) {
+        if let Some(inner) = &self.inner {
+            for (i, shard) in inner.shards.iter().enumerate() {
+                shard.0.store(if i == 0 { n } else { 0 }, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current value (sum over shards); 0 for a disabled handle.
+    pub fn value(&self) -> i64 {
+        match &self.inner {
+            Some(inner) => inner
+                .shards
+                .iter()
+                .map(|s| s.0.load(Ordering::Relaxed))
+                .sum(),
+            None => 0,
+        }
+    }
+}
+
+/// A handle to a registered [`Histogram`]. Recording is lock-free.
+#[derive(Clone)]
+pub struct HistogramHandle {
+    inner: Option<Arc<Histogram>>,
+}
+
+impl HistogramHandle {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.record(v);
+        }
+    }
+
+    /// Records a duration in whole microseconds.
+    pub fn record_micros(&self, d: std::time::Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Snapshot of the underlying histogram; empty for a disabled handle.
+    pub fn snapshot(&self) -> HistSnapshot {
+        match &self.inner {
+            Some(inner) => inner.snapshot(),
+            None => HistSnapshot::empty(),
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<CounterInner>),
+    Gauge(Arc<GaugeInner>),
+    Hist(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Hist(_) => "hist",
+        }
+    }
+}
+
+struct RegistryInner {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// A process-wide (or per-server) collection of named metrics.
+///
+/// Cloning shares the registry. [`Registry::disabled`] returns a registry
+/// whose handles compile down to a single branch per operation — the
+/// "obs off" arm of experiment E15.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates a live registry.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Some(Arc::new(RegistryInner {
+                metrics: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// Creates a disabled registry: every handle it hands out is a no-op.
+    pub fn disabled() -> Registry {
+        Registry { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with_metric<T>(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> Metric,
+        pick: impl FnOnce(&Metric) -> Option<T>,
+    ) -> Option<T> {
+        let inner = self.inner.as_ref()?;
+        let mut metrics = inner.metrics.lock().unwrap();
+        let metric = metrics.entry(name.to_string()).or_insert_with(make);
+        match pick(metric) {
+            Some(t) => Some(t),
+            None => panic!("metric {name:?} already registered as a {}", metric.kind()),
+        }
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let inner = self.with_metric(
+            name,
+            || {
+                Metric::Counter(Arc::new(CounterInner {
+                    shards: std::array::from_fn(|_| PaddedU64(AtomicU64::new(0))),
+                }))
+            },
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        );
+        Counter { inner }
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let inner = self.with_metric(
+            name,
+            || {
+                Metric::Gauge(Arc::new(GaugeInner {
+                    shards: std::array::from_fn(|_| PaddedI64(AtomicI64::new(0))),
+                }))
+            },
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        );
+        Gauge { inner }
+    }
+
+    /// Returns (registering on first use) the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let inner = self.with_metric(
+            name,
+            || Metric::Hist(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Hist(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        );
+        HistogramHandle { inner }
+    }
+
+    /// Point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut entries = Vec::new();
+        if let Some(inner) = &self.inner {
+            let metrics = inner.metrics.lock().unwrap();
+            for (name, metric) in metrics.iter() {
+                let value = match metric {
+                    Metric::Counter(c) => SnapshotValue::Counter(
+                        c.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum(),
+                    ),
+                    Metric::Gauge(g) => SnapshotValue::Gauge(
+                        g.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum(),
+                    ),
+                    Metric::Hist(h) => SnapshotValue::Hist(h.snapshot()),
+                };
+                entries.push(SnapshotEntry {
+                    name: name.clone(),
+                    value,
+                });
+            }
+        }
+        Snapshot { entries }
+    }
+}
+
+/// The value of one metric at snapshot time.
+#[derive(Clone, Debug)]
+pub enum SnapshotValue {
+    /// A counter's summed value.
+    Counter(u64),
+    /// A gauge's instantaneous value.
+    Gauge(i64),
+    /// A histogram's full snapshot.
+    Hist(HistSnapshot),
+}
+
+/// One named metric in a [`Snapshot`].
+#[derive(Clone, Debug)]
+pub struct SnapshotEntry {
+    /// The metric's registered name.
+    pub name: String,
+    /// The metric's value at snapshot time.
+    pub value: SnapshotValue,
+}
+
+/// A point-in-time copy of a registry, renderable as stable text.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// All metrics, sorted by name.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl Snapshot {
+    /// Looks up a counter's value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|e| match &e.value {
+            SnapshotValue::Counter(v) if e.name == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Looks up a gauge's value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.entries.iter().find_map(|e| match &e.value {
+            SnapshotValue::Gauge(v) if e.name == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Looks up a histogram snapshot by name.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.entries.iter().find_map(|e| match &e.value {
+            SnapshotValue::Hist(h) if e.name == name => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Renders the snapshot as stable, line-oriented text:
+    ///
+    /// ```text
+    /// counter serve.admitted.interactive 42
+    /// gauge pool.queue_depth 3
+    /// hist serve.stage.service_us.bulk count=9 min=812 p50=2047 p99=8191 max=8212 mean=3120
+    /// ```
+    ///
+    /// Lines are sorted by metric name; one metric per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            match &e.value {
+                SnapshotValue::Counter(v) => {
+                    out.push_str(&format!("counter {} {}\n", e.name, v));
+                }
+                SnapshotValue::Gauge(v) => {
+                    out.push_str(&format!("gauge {} {}\n", e.name, v));
+                }
+                SnapshotValue::Hist(h) => {
+                    out.push_str(&format!(
+                        "hist {} count={} min={} p50={} p99={} max={} mean={}\n",
+                        e.name,
+                        h.count(),
+                        h.min(),
+                        h.percentile(50),
+                        h.percentile(99),
+                        h.max(),
+                        h.mean()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_shard_and_sum() {
+        let reg = Registry::new();
+        let c = reg.counter("test.hits");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.value(), 4000);
+        assert_eq!(reg.snapshot().counter("test.hits"), Some(4000));
+    }
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let reg = Registry::new();
+        reg.counter("a").add(3);
+        reg.counter("a").add(4);
+        assert_eq!(reg.snapshot().counter("a"), Some(7));
+    }
+
+    #[test]
+    fn disabled_registry_is_a_no_op() {
+        let reg = Registry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("x");
+        let g = reg.gauge("y");
+        let h = reg.histogram("z");
+        c.inc();
+        g.set(9);
+        h.record(123);
+        assert_eq!(c.value(), 0);
+        assert_eq!(g.value(), 0);
+        assert_eq!(h.snapshot().count(), 0);
+        assert!(reg.snapshot().entries.is_empty());
+        assert_eq!(reg.snapshot().render(), "");
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let reg = Registry::new();
+        reg.gauge("b.depth").set(-2);
+        reg.counter("a.hits").add(5);
+        reg.histogram("c.lat_us").record(100);
+        let text = reg.snapshot().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "counter a.hits 5");
+        assert_eq!(lines[1], "gauge b.depth -2");
+        assert!(lines[2].starts_with("hist c.lat_us count=1 min=100 "));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("same.name");
+        reg.gauge("same.name");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: histogram quantiles vs exact nearest-rank, and
+//! merge/bulk-record equivalence.
+
+use obs::{HistSnapshot, Histogram};
+use proptest::prelude::*;
+
+/// Samples spanning several magnitudes so both the exact sub-32 buckets
+/// and the log-bucketed range get exercised.
+fn arb_sample() -> BoxedStrategy<u64> {
+    prop_oneof![0u64..32, 0u64..1_000, 0u64..1_000_000, 0u64..u64::MAX,].boxed()
+}
+
+/// Exact nearest-rank percentile over a sorted slice (the definition the
+/// histogram approximates).
+fn exact_nearest_rank(sorted: &[u64], pct: u64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((sorted.len() as u64 * pct).div_ceil(100)).clamp(1, sorted.len() as u64);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every reported quantile sits within the documented bound of the
+    /// exact nearest-rank sample: `exact <= reported <= exact * (1 + 1/32)`
+    /// (checked in integer arithmetic as `reported <= exact + exact/32`).
+    #[test]
+    fn quantiles_within_relative_error_bound(
+        samples in proptest::collection::vec(arb_sample(), 1..300),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        for pct in [0u64, 1, 10, 25, 50, 75, 90, 99, 100] {
+            let exact = if pct == 0 { sorted[0] } else { exact_nearest_rank(&sorted, pct) };
+            let reported = snap.percentile(pct);
+            prop_assert!(
+                reported >= exact,
+                "p{pct}: reported {reported} under-reports exact {exact}"
+            );
+            prop_assert!(
+                reported <= exact.saturating_add(exact / 32),
+                "p{pct}: reported {reported} exceeds bound for exact {exact}"
+            );
+        }
+        // The tracked extremes are exact, and p0 is exactly the minimum.
+        prop_assert_eq!(snap.min(), sorted[0]);
+        prop_assert_eq!(snap.max(), *sorted.last().unwrap());
+        prop_assert_eq!(snap.percentile(0), sorted[0]);
+    }
+
+    /// Merging per-shard snapshots equals bulk-recording every sample into
+    /// one histogram, bucket for bucket.
+    #[test]
+    fn merged_snapshots_equal_bulk_recorded(
+        left in proptest::collection::vec(arb_sample(), 0..200),
+        right in proptest::collection::vec(arb_sample(), 0..200),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let bulk = Histogram::new();
+        for &s in &left {
+            a.record(s);
+            bulk.record(s);
+        }
+        for &s in &right {
+            b.record(s);
+            bulk.record(s);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        prop_assert_eq!(merged, bulk.snapshot());
+    }
+
+    /// Merge is commutative and has `empty()` as identity.
+    #[test]
+    fn merge_commutes_and_empty_is_identity(
+        left in proptest::collection::vec(arb_sample(), 0..100),
+        right in proptest::collection::vec(arb_sample(), 0..100),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for &s in &left {
+            a.record(s);
+        }
+        for &s in &right {
+            b.record(s);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut with_empty = sa.clone();
+        with_empty.merge(&HistSnapshot::empty());
+        prop_assert_eq!(with_empty, sa);
+    }
+}

@@ -55,6 +55,19 @@
 //! the server and the pool keep per-class counters so the scheduling
 //! win is measured (experiment E13), not asserted.
 //!
+//! Since PR 5 the whole pipeline reports into the zero-dependency
+//! `obs` crate: the server mirrors its admission/completion/shed
+//! ledgers into named [`obs::Registry`] counters (same
+//! count-then-publish discipline, so a drained snapshot balances), the
+//! pool mirrors claims/local-hits/steals plus a live queue-depth
+//! gauge, and every request records a lifecycle span (admitted →
+//! queued → claimed → executing → completed/shed) into a bounded
+//! [`obs::Tracer`] ring feeding per-stage duration histograms — so
+//! queue-wait and service-time are separable per class. Pass
+//! [`obs::Registry::disabled`] in [`server::ServerConfig`] and every
+//! recording site collapses to a never-taken branch; experiment E15
+//! measures that overhead.
+//!
 //! ```
 //! use serve::server::{CourseServer, Request, ServerConfig};
 //!

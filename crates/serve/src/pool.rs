@@ -389,6 +389,37 @@ pub fn with_meta<R>(meta: JobMeta, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Registry-backed mirrors of the pool's hot-path scheduling events
+/// (PR 5). Handles are resolved once at construction; with a disabled
+/// [`obs::Registry`] every call is a single never-taken branch, which is
+/// the "obs off" arm experiment E15 measures against.
+struct PoolObs {
+    /// Jobs claimed, by any path (`pool.claims`).
+    claims: obs::Counter,
+    /// Claims satisfied from the worker's own deque / band
+    /// (`pool.local_hits`).
+    local_hits: obs::Counter,
+    /// Claims satisfied by stealing from a victim (`pool.steals`).
+    steals: obs::Counter,
+    /// Steals that relocated half a deep victim deque
+    /// (`pool.batch_steals`).
+    batch_steals: obs::Counter,
+    /// Instantaneous queued-but-unclaimed jobs (`pool.queue_depth`).
+    queue_depth: obs::Gauge,
+}
+
+impl PoolObs {
+    fn new(registry: &obs::Registry) -> PoolObs {
+        PoolObs {
+            claims: registry.counter("pool.claims"),
+            local_hits: registry.counter("pool.local_hits"),
+            steals: registry.counter("pool.steals"),
+            batch_steals: registry.counter("pool.batch_steals"),
+            queue_depth: registry.gauge("pool.queue_depth"),
+        }
+    }
+}
+
 /// Shared state between the pool handle and its workers.
 struct PoolInner {
     scheduler: Scheduler,
@@ -420,6 +451,9 @@ struct PoolInner {
     queue_high_water: AtomicUsize,
     per_worker: Vec<WorkerCounters>,
     per_class: [ClassCounters; JobClass::COUNT],
+    /// Registry mirrors of the scheduling counters (no-ops when the
+    /// pool was built without a live registry).
+    obs: PoolObs,
 }
 
 impl PoolInner {
@@ -478,6 +512,7 @@ impl PoolInner {
                 .fetch_max(depth, Ordering::Relaxed);
         }
         self.queue_high_water.fetch_max(total, Ordering::Relaxed);
+        self.obs.queue_depth.add(1);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _guard = self.park.lock().expect("pool mutex poisoned");
             self.available.notify_one();
@@ -490,6 +525,7 @@ impl PoolInner {
         let job = q.pop_front();
         if job.is_some() {
             self.queued.fetch_sub(1, Ordering::SeqCst);
+            self.obs.queue_depth.add(-1);
         }
         job
     }
@@ -506,6 +542,8 @@ impl PoolInner {
                     self.per_worker[id]
                         .local_hits
                         .fetch_add(1, Ordering::Relaxed);
+                    self.obs.claims.inc();
+                    self.obs.local_hits.inc();
                 }
                 job
             }
@@ -532,6 +570,8 @@ impl PoolInner {
                 self.per_worker[id]
                     .local_hits
                     .fetch_add(1, Ordering::Relaxed);
+                self.obs.claims.inc();
+                self.obs.local_hits.inc();
                 if aging_pass && band > 0 {
                     let higher_waiting = (0..band).any(|b| {
                         !self.deques[b]
@@ -558,6 +598,7 @@ impl PoolInner {
             let job = q.pop_back();
             if job.is_some() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
+                self.obs.queue_depth.add(-1);
             }
             job
         };
@@ -565,6 +606,8 @@ impl PoolInner {
             self.per_worker[id]
                 .local_hits
                 .fetch_add(1, Ordering::Relaxed);
+            self.obs.claims.inc();
+            self.obs.local_hits.inc();
             return Some(job);
         }
         // Oldest-first from victims, by rotation. Never hold two deque
@@ -580,6 +623,7 @@ impl PoolInner {
                     None => (None, Vec::new()),
                     Some(job) => {
                         self.queued.fetch_sub(1, Ordering::SeqCst);
+                        self.obs.queue_depth.add(-1);
                         let depth_before = q.len() + 1;
                         let mut batch = Vec::new();
                         if depth_before >= BATCH_STEAL_DEPTH {
@@ -613,11 +657,14 @@ impl PoolInner {
                     self.per_worker[id]
                         .batch_steals
                         .fetch_add(1, Ordering::Relaxed);
+                    self.obs.batch_steals.inc();
                 }
                 self.per_worker[id].steals.fetch_add(1, Ordering::Relaxed);
                 self.per_worker[victim]
                     .stolen_from
                     .fetch_add(1, Ordering::Relaxed);
+                self.obs.claims.inc();
+                self.obs.steals.inc();
                 return Some(job);
             }
         }
@@ -676,6 +723,22 @@ impl ThreadPool {
     /// # Panics
     /// If `workers == 0`.
     pub fn with_scheduler(workers: usize, scheduler: Scheduler) -> ThreadPool {
+        ThreadPool::with_observability(workers, scheduler, &obs::Registry::disabled())
+    }
+
+    /// Spawns a pool whose scheduling events (`pool.claims`,
+    /// `pool.local_hits`, `pool.steals`, `pool.batch_steals`, and the
+    /// `pool.queue_depth` gauge) are mirrored into `registry`. Passing a
+    /// disabled registry makes every mirror a no-op — that is exactly
+    /// what [`ThreadPool::with_scheduler`] does.
+    ///
+    /// # Panics
+    /// If `workers == 0`.
+    pub fn with_observability(
+        workers: usize,
+        scheduler: Scheduler,
+        registry: &obs::Registry,
+    ) -> ThreadPool {
         assert!(workers > 0, "thread pool needs at least one worker");
         let deque_count = match scheduler {
             Scheduler::SharedFifo => 1,
@@ -700,6 +763,7 @@ impl ThreadPool {
             queue_high_water: AtomicUsize::new(0),
             per_worker: (0..workers).map(|_| WorkerCounters::default()).collect(),
             per_class: std::array::from_fn(|_| ClassCounters::default()),
+            obs: PoolObs::new(registry),
         });
         let handles = (0..workers)
             .map(|id| {
@@ -947,6 +1011,37 @@ mod tests {
             assert_eq!(batch.class, JobClass::Batch);
             assert_eq!(batch.submitted, 100, "{scheduler}");
             assert_eq!(batch.completed, 100, "{scheduler}");
+        }
+    }
+
+    #[test]
+    fn registry_mirrors_agree_with_pool_stats() {
+        for scheduler in ALL_SCHEDULERS {
+            let registry = obs::Registry::new();
+            let pool = ThreadPool::with_observability(4, scheduler, &registry);
+            for _ in 0..200 {
+                pool.execute(|| {}).unwrap();
+            }
+            pool.wait_empty();
+            let stats = pool.stats();
+            let snap = registry.snapshot();
+            assert_eq!(snap.counter("pool.claims"), Some(200), "{scheduler}");
+            assert_eq!(
+                snap.counter("pool.local_hits"),
+                Some(stats.local_hits),
+                "{scheduler}"
+            );
+            assert_eq!(
+                snap.counter("pool.steals"),
+                Some(stats.steals),
+                "{scheduler}"
+            );
+            assert_eq!(
+                snap.counter("pool.batch_steals"),
+                Some(stats.batch_steals),
+                "{scheduler}"
+            );
+            assert_eq!(snap.gauge("pool.queue_depth"), Some(0), "{scheduler}");
         }
     }
 

@@ -346,6 +346,16 @@ pub struct ServerConfig {
     /// Optional seeded fault injection for tests: panic/stall handlers
     /// at chosen points. `None` (the default) injects nothing.
     pub fault_plan: Option<FaultPlan>,
+    /// Metrics registry the server (and its pool) mirror their counters
+    /// into. Defaults to a fresh live [`obs::Registry`] per server; pass
+    /// [`obs::Registry::disabled`] to compile every recording site down
+    /// to a never-taken branch (the "obs off" arm of experiment E15), or
+    /// a shared registry to aggregate several servers.
+    pub registry: obs::Registry,
+    /// Capacity (in spans) of the request-lifecycle trace ring. Rounded
+    /// up to a power of two; old spans are overwritten, so memory is
+    /// bounded by construction.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -358,6 +368,8 @@ impl Default for ServerConfig {
             scheduler: Scheduler::default(),
             admission: Arc::new(ClassAwareAdmission),
             fault_plan: None,
+            registry: obs::Registry::new(),
+            trace_capacity: 256,
         }
     }
 }
@@ -523,6 +535,48 @@ struct ClassLedger {
 struct QueuedEntry {
     taken: Arc<AtomicBool>,
     promise: Arc<Promise>,
+    /// When admission granted the slot — the start of the queue-wait
+    /// stage, measured by whichever side (worker or shedder) wins the
+    /// `taken` race.
+    admitted_at: Instant,
+    /// Trace span id (admission order) for the lifecycle record.
+    span_id: u64,
+}
+
+/// Registry mirrors of the admission ledgers plus the lifecycle tracer
+/// (PR 5). The completed/shed mirrors increment inside the same
+/// count-then-publish closure as the ledgers, and the admitted mirror
+/// increments only once the request is irrevocably admitted — so after
+/// a drain, `serve.admitted.<class>` equals
+/// `serve.completed.<class> + serve.shed.<class>` exactly like the
+/// `ServerStats` ledgers.
+struct ServeObs {
+    admitted: [obs::Counter; JobClass::COUNT],
+    completed: [obs::Counter; JobClass::COUNT],
+    shed: [obs::Counter; JobClass::COUNT],
+    rejected: [obs::Counter; JobClass::COUNT],
+    tracer: obs::Tracer,
+}
+
+impl ServeObs {
+    fn new(registry: &obs::Registry, trace_capacity: usize) -> ServeObs {
+        let class_counters = |what: &str| {
+            std::array::from_fn(|band| {
+                registry.counter(&format!("serve.{what}.{}", JobClass::from_band(band)))
+            })
+        };
+        let labels: Vec<String> = (0..JobClass::COUNT)
+            .map(|band| JobClass::from_band(band).to_string())
+            .collect();
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        ServeObs {
+            admitted: class_counters("admitted"),
+            completed: class_counters("completed"),
+            shed: class_counters("shed"),
+            rejected: class_counters("rejected"),
+            tracer: obs::Tracer::new(trace_capacity, registry, &label_refs),
+        }
+    }
 }
 
 struct ServerInner {
@@ -548,6 +602,12 @@ struct ServerInner {
     /// closing the admitted-but-not-yet-enqueued window.
     open: Mutex<usize>,
     open_zero: Condvar,
+    /// The metrics registry this server reports into (shared with its
+    /// pool, the tracer, and — through [`CourseServer::registry`] — the
+    /// TCP front end).
+    registry: obs::Registry,
+    /// Registry mirrors of the ledgers plus the lifecycle tracer.
+    obs: ServeObs,
 }
 
 impl ServerInner {
@@ -699,8 +759,18 @@ impl ServerInner {
                     || {
                         self.shed.fetch_add(1, Ordering::SeqCst);
                         self.per_class[band].shed.fetch_add(1, Ordering::SeqCst);
+                        self.obs.shed[band].inc();
                     },
                 );
+                let queue_us = entry.admitted_at.elapsed().as_micros() as u64;
+                self.obs.tracer.record(&obs::SpanRecord {
+                    id: entry.span_id,
+                    class: band as u8,
+                    outcome: obs::SpanOutcome::Shed,
+                    queue_us,
+                    service_us: 0,
+                    total_us: queue_us,
+                });
                 return true;
             }
         }
@@ -814,11 +884,30 @@ impl CourseServer {
             shed_queues: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
             open: Mutex::new(0),
             open_zero: Condvar::new(),
+            obs: ServeObs::new(&config.registry, config.trace_capacity),
+            registry: config.registry.clone(),
         });
         CourseServer {
             inner,
-            pool: ThreadPool::with_scheduler(config.workers, config.scheduler),
+            pool: ThreadPool::with_observability(
+                config.workers,
+                config.scheduler,
+                &config.registry,
+            ),
         }
+    }
+
+    /// The metrics registry this server mirrors its counters into. The
+    /// TCP front end registers its wire-level metrics here too, so one
+    /// snapshot covers admission, pool, stage, and network telemetry.
+    pub fn registry(&self) -> &obs::Registry {
+        &self.inner.registry
+    }
+
+    /// The request-lifecycle tracer: recent spans plus the per-stage
+    /// duration histograms (`serve.stage.*`) they feed.
+    pub fn tracer(&self) -> &obs::Tracer {
+        &self.inner.obs.tracer
     }
 
     /// Submits a request without blocking, classified by the server's
@@ -856,6 +945,7 @@ impl CourseServer {
             inner.per_class[band]
                 .rejected
                 .fetch_add(1, Ordering::Relaxed);
+            inner.obs.rejected[band].inc();
             return Err(SubmitError::Busy(inner.busy(&meta)));
         }
 
@@ -866,13 +956,17 @@ impl CourseServer {
             inner.per_class[band]
                 .rejected
                 .fetch_add(1, Ordering::Relaxed);
+            inner.obs.rejected[band].inc();
             return Err(SubmitError::Busy(inner.busy(&meta)));
         }
 
-        inner.accepted.fetch_add(1, Ordering::SeqCst);
+        // The pre-increment value doubles as the trace span id:
+        // admission order, unique per server.
+        let span_id = inner.accepted.fetch_add(1, Ordering::SeqCst);
         inner.per_class[band]
             .admitted
             .fetch_add(1, Ordering::SeqCst);
+        let admitted_at = Instant::now();
 
         let promise = Promise::new();
         let ticket = Ticket {
@@ -884,6 +978,8 @@ impl CourseServer {
             QueuedEntry {
                 taken: Arc::clone(&taken),
                 promise: Arc::clone(&promise),
+                admitted_at,
+                span_id,
             },
         );
         if let Some(plan) = &inner.fault_plan {
@@ -902,6 +998,9 @@ impl CourseServer {
             {
                 return;
             }
+            // Winning the `taken` race ends the queue-wait stage and
+            // starts the executing stage of the lifecycle span.
+            let claimed_at = Instant::now();
             let ran_here = Arc::new(AtomicBool::new(false));
             let ran_flag = Arc::clone(&ran_here);
             let inner_for_job = Arc::clone(&job_inner);
@@ -913,12 +1012,14 @@ impl CourseServer {
                     inner_for_job.handle(&r)
                 })
             }));
+            let service = run_start.elapsed();
             // Feed the observed service time back to the policy — only
             // when the handler actually ran (a cache hit says nothing
             // about this class's cost).
             if ran_here.load(Ordering::SeqCst) {
-                job_inner.policy.observe(meta.class, run_start.elapsed());
+                job_inner.policy.observe(meta.class, service);
             }
+            let panicked = outcome.is_err();
             let response = match outcome {
                 Ok(mut resp) => {
                     resp.cached = !ran_here.load(Ordering::SeqCst);
@@ -937,11 +1038,31 @@ impl CourseServer {
                 job_inner.per_class[band]
                     .completed
                     .fetch_add(1, Ordering::SeqCst);
+                job_inner.obs.completed[band].inc();
             });
             job_inner.slots.release();
+            job_inner.obs.tracer.record(&obs::SpanRecord {
+                id: span_id,
+                class: band as u8,
+                outcome: if panicked {
+                    obs::SpanOutcome::Panicked
+                } else {
+                    obs::SpanOutcome::Completed
+                },
+                queue_us: claimed_at.duration_since(admitted_at).as_micros() as u64,
+                service_us: service.as_micros() as u64,
+                total_us: admitted_at.elapsed().as_micros() as u64,
+            });
         });
         match submit_result {
-            Ok(()) => Ok(ticket),
+            Ok(()) => {
+                // Mirror `admitted` only once the request is irrevocably
+                // admitted (counters cannot decrement the way the un-admit
+                // path below rolls the ledger back), so the registry
+                // balances after a drain: admitted = completed + shed.
+                inner.obs.admitted[band].inc();
+                Ok(ticket)
+            }
             Err(_) => {
                 // The pool refused (it is being dropped). If we still
                 // own the entry, undo the admission honestly; if a
@@ -958,6 +1079,10 @@ impl CourseServer {
                     inner.slots.release();
                     Err(SubmitError::ShuttingDown(ShuttingDown))
                 } else {
+                    // A shedder already resolved (and counted) this
+                    // request; it stays admitted in the ledger, so
+                    // mirror that here too.
+                    inner.obs.admitted[band].inc();
                     Ok(ticket)
                 }
             }
@@ -1132,6 +1257,82 @@ mod tests {
     fn slow_experiment() -> String {
         std::thread::sleep(std::time::Duration::from_millis(100));
         "slow table".to_string()
+    }
+
+    #[test]
+    fn registry_mirrors_balance_the_ledgers_and_spans_separate_stages() {
+        let server = CourseServer::new(ServerConfig::default());
+        let tickets: Vec<Ticket> = (0..12)
+            .map(|seed| {
+                server
+                    .submit(Request::Homework {
+                        generator: "binary_arithmetic".into(),
+                        seed,
+                    })
+                    .expect("accepted")
+            })
+            .collect();
+        for t in tickets {
+            t.wait();
+        }
+        server.shutdown();
+
+        let st = server.stats();
+        let snap = server.registry().snapshot();
+        for class in JobClass::ALL {
+            let row = st.per_class[JobClass::ALL.iter().position(|&c| c == class).unwrap()];
+            let admitted = snap.counter(&format!("serve.admitted.{class}")).unwrap();
+            let completed = snap.counter(&format!("serve.completed.{class}")).unwrap();
+            let shed = snap.counter(&format!("serve.shed.{class}")).unwrap();
+            let rejected = snap.counter(&format!("serve.rejected.{class}")).unwrap();
+            assert_eq!(admitted, row.admitted, "{class} admitted mirror");
+            assert_eq!(completed, row.completed, "{class} completed mirror");
+            assert_eq!(shed, row.shed, "{class} shed mirror");
+            assert_eq!(rejected, row.rejected, "{class} rejected mirror");
+            assert_eq!(admitted, completed + shed, "{class} drained balance");
+        }
+        // Pool mirrors cover every admitted request that reached a worker.
+        assert_eq!(snap.counter("pool.claims"), Some(st.accepted));
+        assert_eq!(snap.gauge("pool.queue_depth"), Some(0));
+
+        // Homework defaults to the Batch class: its stage histograms hold
+        // one span per request, and total >= queue + service per sample.
+        let queue = snap.hist("serve.stage.queue_us.batch").unwrap();
+        let service = snap.hist("serve.stage.service_us.batch").unwrap();
+        let total = snap.hist("serve.stage.total_us.batch").unwrap();
+        assert_eq!(queue.count(), 12);
+        assert_eq!(service.count(), 12);
+        assert_eq!(total.count(), 12);
+        assert!(total.max() >= service.min());
+
+        // The trace ring retains the most recent spans with real data.
+        let spans = server.tracer().recent(12);
+        assert_eq!(spans.len(), 12);
+        for span in spans {
+            assert_eq!(span.outcome, obs::SpanOutcome::Completed);
+            assert!(span.total_us >= span.queue_us);
+            assert!(span.total_us >= span.service_us);
+        }
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing_but_serves_normally() {
+        let server = CourseServer::new(ServerConfig {
+            registry: obs::Registry::disabled(),
+            ..ServerConfig::default()
+        });
+        let resp = server
+            .submit(Request::Homework {
+                generator: "binary_arithmetic".into(),
+                seed: 1,
+            })
+            .expect("accepted")
+            .wait();
+        assert!(resp.ok);
+        assert!(server.registry().snapshot().entries.is_empty());
+        assert!(server.tracer().recent(10).is_empty());
+        // The bespoke ledgers still work regardless of the registry.
+        assert_eq!(server.stats().accepted, 1);
     }
 
     #[test]

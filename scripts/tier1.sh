@@ -22,4 +22,12 @@ cargo run --release -q -p bench --bin serve_demo -- 16 48 priority > /dev/null
 cargo run --release -q -p bench --bin reproduce -- e14 > /dev/null
 cargo run --release -q -p bench --bin serve_demo -- 4 24 net > /dev/null
 
+# Observability: obs unit tests and the histogram/exact-quantile
+# property suite, then the E15 smoke (instrumentation overhead +
+# bounded histogram memory) and the stats demo (Op::Stats over the
+# wire; asserts the registry mirrors agree with the bespoke ledgers).
+cargo test -q -p obs
+cargo run --release -q -p bench --bin reproduce -- e15 > /dev/null
+cargo run --release -q -p bench --bin serve_demo -- 4 24 stats > /dev/null
+
 echo "tier1: all green"
