@@ -7,6 +7,8 @@
 //! cargo run -p bench --bin serve_demo -- 4 100 priority  # class-aware priority lanes
 //! cargo run -p bench --bin serve_demo -- 4 100 net       # over TCP: server + loadgen
 //! cargo run -p bench --bin serve_demo -- 4 100 stats     # net mode + Op::Stats snapshot
+//! cargo run -p bench --bin serve_demo -- 4 100 router 3  # 3 backend *processes* + router
+//! cargo run -p bench --bin serve_demo -- 4 100 router 7401,7402  # explicit backend ports
 //! ```
 //!
 //! Each client submits a deterministic mix of grade / homework /
@@ -39,7 +41,8 @@ done:
     hlt
 ";
 
-const USAGE: &str = "usage: serve_demo [clients] [requests] [steal|fifo|priority|net|stats]";
+const USAGE: &str = "usage: serve_demo [clients] [requests] \
+                     [steal|fifo|priority|net|stats|router [N|port,port,...]]";
 
 fn bail(reason: &str) -> ! {
     eprintln!("serve_demo: {reason}\n{USAGE}");
@@ -174,9 +177,209 @@ fn net_mode(connections: u64, per_connection: u64, stats: bool) {
     }
 }
 
+/// Hidden child mode (`serve_demo __backend <id> <port>`): one backend
+/// process of the `router` topology. Binds a `NetServer` on the given
+/// loopback port (0 = ephemeral), announces `READY <addr>` on stdout,
+/// and serves until stdin closes — the parent's pipe is the lifeline,
+/// so an orphaned child exits with its parent.
+fn backend_child(id: u32, port: u16) -> ! {
+    use net::server::{NetConfig, NetServer};
+    use std::io::Read;
+
+    let course = CourseServer::with_experiments(
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 32,
+            scheduler: Scheduler::PriorityLanes,
+            ..ServerConfig::default()
+        },
+        Vec::new(),
+    );
+    let srv = NetServer::bind(
+        ("127.0.0.1", port),
+        course,
+        NetConfig {
+            backend_id: id,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("serve_demo backend {id}: cannot bind 127.0.0.1:{port}: {e}");
+        std::process::exit(1);
+    });
+    println!("READY {}", srv.local_addr());
+    // println! flushes on newline only when stdout is a terminal; the
+    // parent reads a pipe, so flush explicitly.
+    use std::io::Write;
+    std::io::stdout().flush().expect("announce backend address");
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    srv.shutdown();
+    std::process::exit(0);
+}
+
+/// Backend topology named on the router-mode command line: a fleet
+/// size (ephemeral ports) or an explicit port list.
+enum BackendSpec {
+    Count(u32),
+    Ports(Vec<u16>),
+}
+
+/// Parses and validates the router-mode backend argument. A bare
+/// integer is a fleet size (must be >= 1); a comma-separated list is
+/// explicit loopback ports (each valid, no duplicates — two backends
+/// can't share a socket).
+fn parse_backend_spec(arg: Option<&String>) -> BackendSpec {
+    let arg = match arg {
+        None => return BackendSpec::Count(3),
+        Some(a) => a,
+    };
+    if arg.contains(',') {
+        let mut ports = Vec::new();
+        for piece in arg.split(',') {
+            let port: u16 = match piece.parse() {
+                Ok(p) if p > 0 => p,
+                _ => bail(&format!("invalid backend port {piece:?} in {arg:?}")),
+            };
+            if ports.contains(&port) {
+                bail(&format!("duplicate backend port {port} in {arg:?}"));
+            }
+            ports.push(port);
+        }
+        BackendSpec::Ports(ports)
+    } else {
+        match arg.parse() {
+            Ok(n) if n >= 1 => BackendSpec::Count(n),
+            _ => bail(&format!(
+                "backend count must be a positive integer (or a port list), got {arg:?}"
+            )),
+        }
+    }
+}
+
+/// The `router` mode: N backend *processes* (re-exec'd copies of this
+/// binary in the hidden `__backend` mode), a [`router::Router`]
+/// consistent-hashing the default class mix across them, and a loadgen
+/// burst through the front door. Afterwards the merged `Op::Stats`
+/// snapshot is fetched through the router and the fleet-wide admission
+/// ledgers are checked for balance.
+fn router_mode(connections: u64, per_connection: u64, spec: BackendSpec) {
+    use net::loadgen::{self, LoadConfig, Mode};
+    use net::wire::ROUTER_BACKEND_ID;
+    use router::{Router, RouterConfig};
+    use std::io::{BufRead, BufReader};
+    use std::process::{Child, Command, Stdio};
+
+    let ports: Vec<u16> = match spec {
+        BackendSpec::Count(n) => vec![0; n as usize],
+        BackendSpec::Ports(p) => p,
+    };
+    let exe = std::env::current_exe()
+        .unwrap_or_else(|e| bail(&format!("cannot find my own binary to re-exec: {e}")));
+    let mut children: Vec<Child> = Vec::new();
+    let mut addrs = Vec::new();
+    for (id, port) in ports.iter().enumerate() {
+        let mut child = Command::new(&exe)
+            .arg("__backend")
+            .arg(id.to_string())
+            .arg(port.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap_or_else(|e| bail(&format!("cannot spawn backend {id}: {e}")));
+        let stdout = child.stdout.take().expect("piped child stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .unwrap_or_else(|e| bail(&format!("backend {id} died before READY: {e}")));
+        let addr = line
+            .strip_prefix("READY ")
+            .and_then(|a| a.trim().parse().ok())
+            .unwrap_or_else(|| bail(&format!("backend {id} announced {line:?}, not READY")));
+        addrs.push(addr);
+        children.push(child);
+    }
+
+    let rt = Router::bind("127.0.0.1:0", &addrs, RouterConfig::default())
+        .unwrap_or_else(|e| bail(&format!("cannot bind the router: {e}")));
+    println!(
+        "serve_demo router: {connections} connections x {per_connection} requests through \
+         {} over {} backend processes {addrs:?}\n",
+        rt.local_addr(),
+        addrs.len(),
+    );
+    let report = loadgen::run(
+        rt.local_addr(),
+        &LoadConfig {
+            connections: connections as usize,
+            requests_per_connection: per_connection as usize,
+            mode: Mode::Closed { pipeline: 4 },
+            ..LoadConfig::default()
+        },
+    );
+    print!("{}", report.render());
+    let totals = rt.totals();
+    println!(
+        "\nrouter: forwarded {} relayed {} rerouted {} shed {} (downs {}, readmits {})",
+        totals.forwarded,
+        totals.relayed,
+        totals.rerouted,
+        totals.synthesized_shed + totals.no_backend_shed,
+        totals.backend_downs,
+        totals.backend_readmits,
+    );
+    assert_eq!(
+        totals.forwarded,
+        totals.relayed + totals.synthesized_shed,
+        "router ledger must balance: every forward resolves exactly once"
+    );
+    let unanswered: u64 = report.per_class.iter().map(|r| r.unanswered).sum();
+    assert_eq!(unanswered, 0, "every request must resolve");
+    for (backend, n) in &report.by_backend {
+        if *backend == ROUTER_BACKEND_ID {
+            println!("  router-synthesized answers: {n}");
+        } else {
+            println!("  backend {backend}: {n} responses");
+        }
+    }
+
+    let snapshot = loadgen::fetch_stats(rt.local_addr())
+        .unwrap_or_else(|e| bail(&format!("merged Op::Stats fetch failed: {e}")));
+    println!("\nmerged Op::Stats snapshot (router + every live backend):\n");
+    print!("{snapshot}");
+    for class in ["interactive", "batch", "bulk"] {
+        let admitted = snapshot_counter(&snapshot, &format!("serve.admitted.{class}"));
+        let completed = snapshot_counter(&snapshot, &format!("serve.completed.{class}"));
+        let shed = snapshot_counter(&snapshot, &format!("serve.shed.{class}"));
+        assert_eq!(
+            admitted,
+            completed + shed,
+            "{class}: fleet-wide admitted must balance completed + shed"
+        );
+    }
+    println!("\nfleet ledgers balanced: admitted == completed + shed across every backend.");
+
+    rt.shutdown();
+    for mut child in children {
+        drop(child.stdin.take()); // closing the pipe tells it to exit
+        let _ = child.wait();
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() > 3 {
+    if args.first().map(String::as_str) == Some("__backend") {
+        let id = args
+            .get(1)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or_else(|| bail("__backend needs a numeric id"));
+        let port = args
+            .get(2)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or_else(|| bail("__backend needs a numeric port"));
+        backend_child(id, port);
+    }
+    if args.len() > 4 || (args.len() == 4 && args[2] != "router") {
         bail("too many arguments");
     }
     let parse_count = |arg: Option<&String>, default: u64, what: &str| -> u64 {
@@ -196,6 +399,7 @@ fn main() {
         Some("priority") => Scheduler::PriorityLanes,
         Some("net") => return net_mode(clients, per_client, false),
         Some("stats") => return net_mode(clients, per_client, true),
+        Some("router") => return router_mode(clients, per_client, parse_backend_spec(args.get(3))),
         Some(other) => bail(&format!("unknown mode {other:?}")),
     };
 

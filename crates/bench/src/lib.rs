@@ -12,6 +12,7 @@
 pub mod ablations;
 pub mod obs;
 pub mod priority;
+pub mod router_exp;
 pub mod stealing;
 pub mod wire;
 
@@ -734,6 +735,16 @@ pub fn e15_obs() -> String {
     obs::render(&obs::obs_overhead_params())
 }
 
+/// E16 — the course server sharded across backends through the
+/// `router` crate: throughput scaling at 1 vs 3 backends on a
+/// cache-busting mix, then a mid-run backend kill proven honest — zero
+/// unanswered clients, re-routes or sheds for the victim's keys, and
+/// ledgers that balance across the fleet (see the `router_exp` module
+/// docs and DESIGN.md §11).
+pub fn e16_router() -> String {
+    router_exp::render(&router_exp::router_scaling_params())
+}
+
 /// E14 — the E13 question asked end-to-end: the same scheduler
 /// comparison, but over real loopback sockets, with the wire protocol,
 /// admission backpressure frames, and client-side retries inside the
@@ -805,6 +816,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e13", e13_priority),
         ("e14", e14_wire),
         ("e15", e15_obs),
+        ("e16", e16_router),
     ];
     v.extend(ablations::all_ablations());
     v
@@ -967,6 +979,61 @@ mod tests {
             );
         }
         panic!("priority lanes never beat FIFO on wire-measured interactive p99: {last}");
+    }
+
+    #[test]
+    fn e16_fleet_scales_and_a_mid_run_kill_stays_honest() {
+        // Phase A with a smaller load than published; sleep-modeled
+        // 5ms jobs make the capacity ratio structural (2 vs 6
+        // workers), so best-of-5 absorbs scheduler jitter.
+        let mut p = router_exp::router_scaling_params();
+        p.requests_per_connection = 24;
+        let mut last = String::new();
+        let mut scaled = false;
+        for _ in 0..5 {
+            let single = router_exp::run_fleet(1, &p);
+            let fleet = router_exp::run_fleet(p.backends, &p);
+            let ratio = router_exp::throughput(&fleet) / router_exp::throughput(&single);
+            for o in [&single, &fleet] {
+                let unanswered: u64 = o.report.per_class.iter().map(|r| r.unanswered).sum();
+                assert_eq!(unanswered, 0, "healthy fleet answered everything");
+            }
+            if ratio >= 2.0 {
+                scaled = true;
+                break;
+            }
+            last = format!("3-backend throughput only {ratio:.2}x single-backend");
+        }
+        assert!(scaled, "fleet never hit the 2x acceptance floor: {last}");
+
+        // Phase B invariants are exact, not statistical: run once, but
+        // long enough that the 150ms kill point is unambiguously
+        // mid-run (the victim must still own in-flight or future keys,
+        // or there is nothing to re-route).
+        p.requests_per_connection = 96;
+        let kill = router_exp::run_kill_one(&p);
+        let unanswered: u64 = kill.report.per_class.iter().map(|r| r.unanswered).sum();
+        assert_eq!(unanswered, 0, "a killed backend must never strand a client");
+        assert!(kill.totals.backend_downs >= 1, "{:?}", kill.totals);
+        assert!(
+            kill.totals.rerouted + kill.totals.synthesized_shed > 0,
+            "the victim's keys were re-routed or shed: {:?}",
+            kill.totals
+        );
+        assert_eq!(
+            kill.totals.forwarded,
+            kill.totals.relayed + kill.totals.synthesized_shed,
+            "router ledger: every forward resolved exactly once"
+        );
+        for (i, st) in kill.stats.iter().enumerate() {
+            for row in &st.per_class {
+                assert_eq!(
+                    row.admitted,
+                    row.completed + row.shed,
+                    "backend {i} ledger unbalanced: {row:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -29,8 +29,8 @@
 //! as lost to backpressure. `GoAway` ends the connection.
 
 use crate::wire::{
-    decode_payload, encode_request, encode_stats_request, read_frame, write_frame, Frame,
-    RequestFrame, RespStatus,
+    decode_payload, encode_request, encode_stats_full_request, encode_stats_request, read_frame,
+    write_frame, Frame, RequestFrame, RespStatus,
 };
 use serve::pool::JobClass;
 use serve::server::Request;
@@ -202,6 +202,12 @@ pub struct LoadReport {
     pub goaway: u64,
     /// Connections that ended with an I/O error or unexpected close.
     pub broken_conns: u64,
+    /// Completed responses (`OK`/`OK_CACHED`/`ERROR`) per answering
+    /// backend id, sorted by id. A direct single-server run has one
+    /// row; through a router this is the observed routing spread, with
+    /// [`crate::wire::ROUTER_BACKEND_ID`] marking router-synthesized
+    /// answers.
+    pub by_backend: Vec<(u32, u64)>,
     /// Wall-clock of the whole run.
     pub elapsed: Duration,
 }
@@ -252,6 +258,17 @@ impl LoadReport {
             "goaway {}  broken conns {}  elapsed {:?}\n",
             self.goaway, self.broken_conns, self.elapsed
         ));
+        if !self.by_backend.is_empty() {
+            out.push_str("responses by backend:");
+            for (backend, n) in &self.by_backend {
+                if *backend == crate::wire::ROUTER_BACKEND_ID {
+                    out.push_str(&format!(" router:{n}"));
+                } else {
+                    out.push_str(&format!(" {backend}:{n}"));
+                }
+            }
+            out.push('\n');
+        }
         out
     }
 }
@@ -307,6 +324,8 @@ struct ConnState {
     errors: [u64; JobClass::COUNT],
     backpressure_frames: [u64; JobClass::COUNT],
     lost: [u64; JobClass::COUNT],
+    /// Completed responses per answering backend id.
+    by_backend: HashMap<u32, u64>,
     goaway: u64,
     /// Reader saw EOF/GoAway/error: sender must stop.
     closed: bool,
@@ -348,8 +367,12 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
     let mut unanswered = [0u64; JobClass::COUNT];
     let mut goaway = 0u64;
     let mut broken = 0u64;
+    let mut by_backend: HashMap<u32, u64> = HashMap::new();
     for handle in handles {
         let (state, conn_sent) = handle.join().expect("loadgen connection thread panicked");
+        for (backend, n) in &state.by_backend {
+            *by_backend.entry(*backend).or_insert(0) += n;
+        }
         for band in 0..JobClass::COUNT {
             per_band_lat[band].merge(&state.latencies[band].snapshot());
             sent[band] += conn_sent[band];
@@ -385,10 +408,13 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
             }
         })
         .collect();
+    let mut by_backend: Vec<(u32, u64)> = by_backend.into_iter().collect();
+    by_backend.sort_unstable();
     LoadReport {
         per_class,
         goaway,
         broken_conns: broken,
+        by_backend,
         elapsed: start.elapsed(),
     }
 }
@@ -419,12 +445,23 @@ pub fn percentile(sorted: &[u64], pct: usize) -> u64 {
 /// job server is saturated, which is exactly when you want to look at
 /// its counters.
 pub fn fetch_stats(addr: SocketAddr) -> std::io::Result<String> {
+    fetch_stats_body(addr, encode_stats_request(1))
+}
+
+/// Like [`fetch_stats`] but sends op 4 (`StatsFull`): the returned body
+/// is `obs::Snapshot::encode_text()` — full sparse histogram buckets —
+/// ready for `Snapshot::parse_text` and bucket-exact merging.
+pub fn fetch_stats_full(addr: SocketAddr) -> std::io::Result<String> {
+    fetch_stats_body(addr, encode_stats_full_request(1))
+}
+
+fn fetch_stats_body(addr: SocketAddr, request: Vec<u8>) -> std::io::Result<String> {
     let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
     let stream = TcpStream::connect(addr)?;
     let _ = stream.set_nodelay(true);
     {
         let mut writer = BufWriter::new(&stream);
-        write_frame(&mut writer, &encode_stats_request(1))?;
+        write_frame(&mut writer, &request)?;
     }
     let _ = stream.shutdown(Shutdown::Write);
     let mut reader = BufReader::new(&stream);
@@ -709,6 +746,7 @@ fn response_reader(read_half: TcpStream, shared: &ConnShared) {
                 if let Some(p) = st.pending.remove(&frame.id) {
                     let band = p.class.band();
                     let lat = p.sent_at.elapsed().as_micros() as u64;
+                    *st.by_backend.entry(frame.backend).or_insert(0) += 1;
                     match frame.status {
                         RespStatus::Ok => st.ok[band] += 1,
                         RespStatus::OkCached => st.cached[band] += 1,

@@ -66,6 +66,10 @@ pub struct NetConfig {
     pub write_timeout: Duration,
     /// Suggested client backoff on accept-time `GoAway` frames, in ms.
     pub goaway_retry_ms: u64,
+    /// Identity stamped on every response frame's `backend` field so a
+    /// router (and its tests) can see which process answered. A
+    /// single-process deployment keeps the default 0.
+    pub backend_id: u32,
     /// Optional seeded wire faults ([`FaultPoint::NetReadFrame`],
     /// [`FaultPoint::NetWriteFrame`]): stalls slow a connection's
     /// reader/writer, drops sever the socket mid-traffic.
@@ -79,6 +83,7 @@ impl Default for NetConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             goaway_retry_ms: 100,
+            backend_id: 0,
             fault_plan: None,
         }
     }
@@ -412,6 +417,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     id: 0,
                     status: RespStatus::GoAway,
                     retry_after_ms: shared.config.goaway_retry_ms,
+                    backend: shared.config.backend_id,
                     body: format!(
                         "connection cap ({}) reached; reconnect later",
                         shared.config.max_connections
@@ -504,20 +510,11 @@ fn reader_loop(read_half: TcpStream, shared: &Arc<Shared>, out: &Arc<Outbound>) 
         let frame = match decoded {
             Ok(Frame::Request(frame)) => frame,
             Ok(Frame::Stats { id }) => {
-                // Answer synchronously from the registry: no admission,
-                // no cache, no ticket — readable even while the job
-                // server is saturated.
-                shared.obs.stats_requests.inc();
-                let body = shared.course.registry().snapshot().render();
-                out.push(
-                    encode_response(&ResponseFrame {
-                        id,
-                        status: RespStatus::Ok,
-                        retry_after_ms: 0,
-                        body,
-                    }),
-                    false,
-                );
+                answer_stats(id, false, shared, out);
+                continue;
+            }
+            Ok(Frame::StatsFull { id }) => {
+                answer_stats(id, true, shared, out);
                 continue;
             }
             Ok(Frame::Response(_)) | Err(_) => {
@@ -534,6 +531,7 @@ fn reader_loop(read_half: TcpStream, shared: &Arc<Shared>, out: &Arc<Outbound>) 
                         id: 0,
                         status: RespStatus::Error,
                         retry_after_ms: 0,
+                        backend: shared.config.backend_id,
                         body: reason,
                     }),
                     false,
@@ -548,6 +546,35 @@ fn reader_loop(read_half: TcpStream, shared: &Arc<Shared>, out: &Arc<Outbound>) 
         }
     }
     out.reader_done();
+}
+
+/// Answers an op-3 (`Stats`) or op-4 (`StatsFull`) frame synchronously
+/// from the registry: no admission, no cache, no ticket — readable even
+/// while the job server is saturated. The snapshot carries the trace
+/// ring's worst spans, so op 3 renders the forensics section and op 4
+/// ships them (with full histogram buckets) to a merging router.
+fn answer_stats(id: u64, full: bool, shared: &Arc<Shared>, out: &Arc<Outbound>) {
+    shared.obs.stats_requests.inc();
+    let snap = shared
+        .course
+        .registry()
+        .snapshot()
+        .with_spans(shared.course.tracer().worst(obs::WORST_SPANS));
+    let body = if full {
+        snap.encode_text()
+    } else {
+        snap.render()
+    };
+    out.push(
+        encode_response(&ResponseFrame {
+            id,
+            status: RespStatus::Ok,
+            retry_after_ms: 0,
+            backend: shared.config.backend_id,
+            body,
+        }),
+        false,
+    );
 }
 
 /// Hands one decoded request to admission and wires its completion to
@@ -587,6 +614,7 @@ fn submit_frame(frame: RequestFrame, shared: &Arc<Shared>, out: &Arc<Outbound>) 
                     id,
                     status,
                     retry_after_ms,
+                    backend: cb_shared.config.backend_id,
                     body: resp.body.clone(),
                 });
                 cb_shared
@@ -603,6 +631,7 @@ fn submit_frame(frame: RequestFrame, shared: &Arc<Shared>, out: &Arc<Outbound>) 
                     id,
                     status: RespStatus::Retry,
                     retry_after_ms: rej.retry_after_ms,
+                    backend: shared.config.backend_id,
                     body: format!(
                         "admission rejected {} request ({} in flight); retry later",
                         rej.class, rej.in_flight
@@ -618,6 +647,7 @@ fn submit_frame(frame: RequestFrame, shared: &Arc<Shared>, out: &Arc<Outbound>) 
                     id,
                     status: RespStatus::GoAway,
                     retry_after_ms: shared.config.goaway_retry_ms,
+                    backend: shared.config.backend_id,
                     body: "server shutting down".to_string(),
                 }),
                 false,

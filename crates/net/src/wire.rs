@@ -17,7 +17,9 @@
 //!     op 1 Homework  generator:str seed:u64
 //!     op 2 Reproduce id:str
 //!     op 3 Stats     (no fields)
-//! response payload:  'R' id:u64 status:u8 retry_after_ms:u64 body:str
+//!     op 4 StatsFull (no fields)
+//! response payload:  'R' id:u64 status:u8 retry_after_ms:u64
+//!                    backend:u32 body:str
 //! ```
 //!
 //! Op 3 (`Stats`) is the observability peephole: it shares the request
@@ -27,6 +29,18 @@
 //! admission, never touches the result cache, and works even while the
 //! job server itself is saturated, which is exactly when you want to
 //! read the queue-depth gauge.
+//!
+//! Op 4 (`StatsFull`) is the machine-readable sibling: the body is
+//! `obs::Snapshot::encode_text()` instead of the human rendering, so a
+//! router can `Snapshot::parse_text` each backend's reply and merge the
+//! histograms bucket-for-bucket. Percentiles of a rendered snapshot
+//! don't add across processes; sparse bucket counts do.
+//!
+//! Every response carries a `backend` id — the serving process's
+//! [`crate::server::NetConfig::backend_id`] (0 for a single-process
+//! deployment). Frames a router synthesizes itself (sheds, re-route
+//! fallbacks) use [`ROUTER_BACKEND_ID`] so tests and loadgen can tell
+//! "a backend answered" from "the router answered for it".
 //!
 //! The request carries the whole [`JobMeta`] story on the wire: class
 //! selects the admission budget and the priority lane, priority can
@@ -66,6 +80,11 @@ pub const REQ_TAG: u8 = b'Q';
 
 /// Payload tag of a server→client response frame (`b'R'`).
 pub const RESP_TAG: u8 = b'R';
+
+/// `backend` id stamped on responses the router synthesizes itself
+/// (sheds when no backend is live, accept-time GoAway) rather than
+/// forwarding from a backend. Real backends use small ids from 0.
+pub const ROUTER_BACKEND_ID: u32 = u32::MAX;
 
 /// Why a payload failed to decode. Every malformed input maps to one
 /// of these — decoding never panics.
@@ -220,6 +239,10 @@ pub struct ResponseFrame {
     /// Backoff hint for `Retry`/`Shed`/`GoAway`; 0 otherwise (or when
     /// retrying is already pointless).
     pub retry_after_ms: u64,
+    /// Which process answered: the serving backend's id, or
+    /// [`ROUTER_BACKEND_ID`] for router-synthesized frames. Lets
+    /// clients and tests observe routing spread without parsing bodies.
+    pub backend: u32,
     /// Rendered result or error/backpressure explanation.
     pub body: String,
 }
@@ -234,6 +257,13 @@ pub enum Frame {
     /// A client→server metrics-snapshot request (op 3), answered
     /// synchronously by the front end without entering admission.
     Stats {
+        /// Correlation id, echoed on the snapshot response.
+        id: u64,
+    },
+    /// A client→server machine-readable snapshot request (op 4): the
+    /// response body is `Snapshot::encode_text()`, mergeable by a
+    /// router. Answered synchronously like op 3.
+    StatsFull {
         /// Correlation id, echoed on the snapshot response.
         id: u64,
     },
@@ -293,13 +323,23 @@ pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
 /// header's class/priority/deadline bytes are sent as zeros; the
 /// server ignores them for this op.
 pub fn encode_stats_request(id: u64) -> Vec<u8> {
+    encode_stats_op(id, 3)
+}
+
+/// Encodes a machine-readable stats (op 4, `StatsFull`) request into
+/// complete on-wire bytes. Same header shape as op 3.
+pub fn encode_stats_full_request(id: u64) -> Vec<u8> {
+    encode_stats_op(id, 4)
+}
+
+fn encode_stats_op(id: u64, op: u8) -> Vec<u8> {
     let mut payload = Vec::with_capacity(16);
     payload.push(REQ_TAG);
     payload.extend_from_slice(&id.to_be_bytes());
     payload.push(0); // class (ignored)
     payload.push(0); // priority (ignored)
     payload.push(0); // no deadline
-    payload.push(3); // op: Stats
+    payload.push(op);
     finish_frame(payload)
 }
 
@@ -311,6 +351,7 @@ pub fn encode_response(frame: &ResponseFrame) -> Vec<u8> {
     payload.extend_from_slice(&frame.id.to_be_bytes());
     payload.push(frame.status.code());
     payload.extend_from_slice(&frame.retry_after_ms.to_be_bytes());
+    payload.extend_from_slice(&frame.backend.to_be_bytes());
     put_str(&mut payload, &frame.body);
     finish_frame(payload)
 }
@@ -409,6 +450,10 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
                     cur.finish()?;
                     return Ok(Frame::Stats { id });
                 }
+                4 => {
+                    cur.finish()?;
+                    return Ok(Frame::StatsFull { id });
+                }
                 other => return Err(WireError::BadOp(other)),
             };
             cur.finish()?;
@@ -424,12 +469,14 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
             let id = cur.u64()?;
             let status = RespStatus::from_code(cur.u8()?)?;
             let retry_after_ms = cur.u64()?;
+            let backend = cur.u32()?;
             let body = cur.str()?.to_owned();
             cur.finish()?;
             Ok(Frame::Response(ResponseFrame {
                 id,
                 status,
                 retry_after_ms,
+                backend,
                 body,
             }))
         }
@@ -500,10 +547,21 @@ mod tests {
             id: 9,
             status: RespStatus::Shed,
             retry_after_ms: 12,
+            backend: 2,
             body: "shed under load: retry later".to_string(),
         };
         let bytes = encode_response(&frame);
         assert_eq!(decode_payload(&bytes[4..]), Ok(Frame::Response(frame)));
+    }
+
+    #[test]
+    fn stats_full_request_round_trips_through_the_codec() {
+        let bytes = encode_stats_full_request(77);
+        assert_eq!(decode_payload(&bytes[4..]), Ok(Frame::StatsFull { id: 77 }));
+        // Op 4 shares the op-3 header; only the op byte differs.
+        let op3 = encode_stats_request(77);
+        assert_eq!(bytes.len(), op3.len());
+        assert_eq!(&bytes[..bytes.len() - 1], &op3[..op3.len() - 1]);
     }
 
     #[test]
@@ -561,6 +619,7 @@ mod tests {
             id: 1,
             status: RespStatus::Ok,
             retry_after_ms: 0,
+            backend: 0,
             body: "done".to_string(),
         });
         bytes.push(0xFF);
@@ -582,6 +641,7 @@ mod tests {
             id: 0,
             status: RespStatus::Ok,
             retry_after_ms: 0,
+            backend: 0,
             body: String::new(),
         });
         bytes[4 + 1 + 8] = 200;

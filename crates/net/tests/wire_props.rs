@@ -62,13 +62,22 @@ fn arb_status() -> BoxedStrategy<RespStatus> {
 }
 
 fn arb_response_frame() -> BoxedStrategy<ResponseFrame> {
-    (any::<u64>(), arb_status(), any::<u64>(), arb_string())
-        .prop_map(|(id, status, retry_after_ms, body)| ResponseFrame {
-            id,
-            status,
-            retry_after_ms,
-            body,
-        })
+    (
+        any::<u64>(),
+        arb_status(),
+        any::<u64>(),
+        any::<u32>(),
+        arb_string(),
+    )
+        .prop_map(
+            |(id, status, retry_after_ms, backend, body)| ResponseFrame {
+                id,
+                status,
+                retry_after_ms,
+                backend,
+                body,
+            },
+        )
         .boxed()
 }
 
@@ -129,12 +138,15 @@ proptest! {
         corrupt[pos] ^= xor;
         // Must not panic. If it still decodes (the flipped byte was in
         // a don't-care position like the id, or flipped the op byte to
-        // the field-less Stats op), it must still be request-family —
+        // a field-less stats op), it must still be request-family —
         // corruption can't turn a request into a *response* because
         // the tag byte distinguishes them.
         if let Ok(decoded) = decode_payload(&corrupt) {
             prop_assert!(
-                matches!(decoded, Frame::Request(_) | Frame::Stats { .. }) || pos == 0,
+                matches!(
+                    decoded,
+                    Frame::Request(_) | Frame::Stats { .. } | Frame::StatsFull { .. }
+                ) || pos == 0,
                 "corruption at {} produced {:?}", pos, decoded
             );
         }
@@ -145,6 +157,9 @@ proptest! {
         let bytes = encode_stats_request(id);
         let decoded = decode_payload(payload(&bytes));
         prop_assert_eq!(decoded, Ok(Frame::Stats { id }));
+        let bytes = net::wire::encode_stats_full_request(id);
+        let decoded = decode_payload(payload(&bytes));
+        prop_assert_eq!(decoded, Ok(Frame::StatsFull { id }));
     }
 
     #[test]

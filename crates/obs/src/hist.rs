@@ -230,6 +230,55 @@ impl HistSnapshot {
         }
     }
 
+    /// Rebuilds a snapshot from its sparse `(bucket index, count)` pairs
+    /// plus the exact min/max — the inverse of
+    /// [`nonzero_buckets`](HistSnapshot::nonzero_buckets), used to carry a
+    /// histogram across the wire (the router's `Op::Stats` aggregation).
+    /// Count and sum are re-derived from the buckets, exactly as
+    /// [`Histogram::snapshot`] derives them, so
+    /// `from_sparse(s.nonzero_buckets(), s.min, s.max) == s` for any
+    /// snapshot `s`. Returns `None` if an index is out of range.
+    pub fn from_sparse(entries: &[(usize, u64)], min: u64, max: u64) -> Option<HistSnapshot> {
+        let mut snap = HistSnapshot::empty();
+        for &(i, c) in entries {
+            if i >= BUCKETS {
+                return None;
+            }
+            snap.buckets[i] += c;
+        }
+        for (i, &c) in snap.buckets.iter().enumerate() {
+            if c > 0 {
+                snap.count += c;
+                snap.sum = snap.sum.wrapping_add(c.wrapping_mul(bucket_mid(i)));
+            }
+        }
+        if snap.count > 0 {
+            snap.min = min;
+            snap.max = max;
+        }
+        Some(snap)
+    }
+
+    /// The non-empty buckets as `(bucket index, count)` pairs, in index
+    /// order. Together with the exact min/max this is the snapshot's
+    /// entire state (count and sum are derived), so it is what travels
+    /// when a snapshot is serialized.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// The exact minimum as stored (`u64::MAX` when empty) — the raw
+    /// counterpart of [`min`](HistSnapshot::min), needed to round-trip
+    /// an empty snapshot through [`from_sparse`](HistSnapshot::from_sparse).
+    pub fn raw_min(&self) -> u64 {
+        self.min
+    }
+
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -391,6 +440,24 @@ mod tests {
         let mut merged = a.snapshot();
         merged.merge(&b.snapshot());
         assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn sparse_round_trip_is_identity() {
+        let h = Histogram::new();
+        for v in [0u64, 3, 31, 32, 907, 1 << 33, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let back = HistSnapshot::from_sparse(&s.nonzero_buckets(), s.min(), s.max())
+            .expect("indices from nonzero_buckets are in range");
+        assert_eq!(back, s);
+        // The empty snapshot round-trips too (min is re-derived).
+        let empty = HistSnapshot::empty();
+        let back = HistSnapshot::from_sparse(&[], 0, 0).unwrap();
+        assert_eq!(back, empty);
+        // An out-of-range index is rejected, not a panic.
+        assert!(HistSnapshot::from_sparse(&[(BUCKETS, 1)], 0, 0).is_none());
     }
 
     #[test]

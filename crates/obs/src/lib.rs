@@ -29,6 +29,6 @@ pub mod trace;
 
 pub use hist::{HistSnapshot, Histogram, BUCKETS, RELATIVE_ERROR, SUB_BITS};
 pub use registry::{
-    Counter, Gauge, HistogramHandle, Registry, Snapshot, SnapshotEntry, SnapshotValue,
+    Counter, Gauge, HistogramHandle, Registry, Snapshot, SnapshotEntry, SnapshotValue, WORST_SPANS,
 };
 pub use trace::{SpanOutcome, SpanRecord, Tracer};

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::hist::{HistSnapshot, Histogram};
+use crate::trace::{SpanOutcome, SpanRecord};
 
 /// Shards per counter; writes spread across cache lines, reads sum them.
 const COUNTER_SHARDS: usize = 8;
@@ -318,12 +319,15 @@ impl Registry {
                 });
             }
         }
-        Snapshot { entries }
+        Snapshot {
+            entries,
+            spans: Vec::new(),
+        }
     }
 }
 
 /// The value of one metric at snapshot time.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SnapshotValue {
     /// A counter's summed value.
     Counter(u64),
@@ -334,7 +338,7 @@ pub enum SnapshotValue {
 }
 
 /// One named metric in a [`Snapshot`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SnapshotEntry {
     /// The metric's registered name.
     pub name: String,
@@ -342,14 +346,205 @@ pub struct SnapshotEntry {
     pub value: SnapshotValue,
 }
 
+/// How many worst-by-`total_us` spans a snapshot keeps through
+/// [`Snapshot::with_spans`] and [`Snapshot::merge`] — the slow-request
+/// forensics window `Op::Stats` exposes.
+pub const WORST_SPANS: usize = 10;
+
 /// A point-in-time copy of a registry, renderable as stable text.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct Snapshot {
     /// All metrics, sorted by name.
     pub entries: Vec<SnapshotEntry>,
+    /// Worst request-lifecycle spans by `total_us` (descending), as
+    /// attached by [`Snapshot::with_spans`]; empty when the producer has
+    /// no tracer. Rendered as a forensics section after the metrics.
+    pub spans: Vec<SpanRecord>,
 }
 
 impl Snapshot {
+    /// Attaches the worst-spans forensics section (typically
+    /// `tracer.worst(WORST_SPANS)`): sorts by `total_us` descending and
+    /// keeps at most [`WORST_SPANS`] records.
+    pub fn with_spans(mut self, spans: Vec<SpanRecord>) -> Snapshot {
+        self.spans = spans;
+        self.spans.sort_by_key(|s| std::cmp::Reverse(s.total_us));
+        self.spans.truncate(WORST_SPANS);
+        self
+    }
+
+    /// Folds `other` into this snapshot, entry by entry: counters and
+    /// gauges add, histograms merge bucket-for-bucket (so merged
+    /// quantiles carry the same error bound as a single histogram that
+    /// recorded both sample sets), names present in only one side are
+    /// kept as-is, and the span lists are re-ranked together keeping the
+    /// [`WORST_SPANS`] worst. Merging the snapshots of N backend
+    /// registries therefore equals the snapshot of one registry that
+    /// observed all N sample streams — the router's `Op::Stats`
+    /// aggregation contract, proptested in `crates/router`.
+    ///
+    /// A name registered with different kinds on the two sides keeps
+    /// `self`'s entry (cross-process kind clashes are a config bug, not
+    /// something an aggregator can reconcile).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for theirs in &other.entries {
+            match self.entries.iter_mut().find(|e| e.name == theirs.name) {
+                None => {
+                    self.entries.push(theirs.clone());
+                }
+                Some(ours) => match (&mut ours.value, &theirs.value) {
+                    (SnapshotValue::Counter(a), SnapshotValue::Counter(b)) => *a += *b,
+                    (SnapshotValue::Gauge(a), SnapshotValue::Gauge(b)) => *a += *b,
+                    (SnapshotValue::Hist(a), SnapshotValue::Hist(b)) => a.merge(b),
+                    _ => {}
+                },
+            }
+        }
+        self.entries.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut spans = std::mem::take(&mut self.spans);
+        spans.extend(other.spans.iter().copied());
+        *self = std::mem::take(self).with_spans(spans);
+    }
+
+    /// Serializes the snapshot as line-oriented text that
+    /// [`parse_text`](Snapshot::parse_text) inverts exactly — including
+    /// full histogram bucket data, which [`render`](Snapshot::render)
+    /// deliberately omits. This is what a backend sends for the wire's
+    /// full-stats op so an aggregator can *merge* histograms instead of
+    /// averaging percentiles:
+    ///
+    /// ```text
+    /// counter serve.admitted.interactive 42
+    /// gauge pool.queue_depth 3
+    /// histbuckets net.frame.decode_us min=2 max=117 2:1 37:4
+    /// span 7 0 0 250 1800 2050
+    /// ```
+    pub fn encode_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            match &e.value {
+                SnapshotValue::Counter(v) => {
+                    out.push_str(&format!("counter {} {}\n", e.name, v));
+                }
+                SnapshotValue::Gauge(v) => {
+                    out.push_str(&format!("gauge {} {}\n", e.name, v));
+                }
+                SnapshotValue::Hist(h) => {
+                    out.push_str(&format!(
+                        "histbuckets {} min={} max={}",
+                        e.name,
+                        h.min(),
+                        h.max()
+                    ));
+                    for (i, c) in h.nonzero_buckets() {
+                        out.push_str(&format!(" {i}:{c}"));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        for s in &self.spans {
+            out.push_str(&format!(
+                "span {} {} {} {} {} {}\n",
+                s.id,
+                s.class,
+                s.outcome.code(),
+                s.queue_us,
+                s.service_us,
+                s.total_us
+            ));
+        }
+        out
+    }
+
+    /// Parses [`encode_text`](Snapshot::encode_text) output back into a
+    /// snapshot. Total: any malformed line yields a descriptive `Err`,
+    /// never a panic — this input arrives over the wire.
+    pub fn parse_text(text: &str) -> Result<Snapshot, String> {
+        let mut snap = Snapshot::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let fail = |what: &str| format!("snapshot line {}: {what}: {line:?}", lineno + 1);
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split(' ');
+            let kind = parts.next().unwrap_or("");
+            match kind {
+                "counter" | "gauge" => {
+                    let name = parts.next().ok_or_else(|| fail("missing name"))?;
+                    let value = parts.next().ok_or_else(|| fail("missing value"))?;
+                    if parts.next().is_some() {
+                        return Err(fail("trailing fields"));
+                    }
+                    let value = if kind == "counter" {
+                        SnapshotValue::Counter(value.parse().map_err(|_| fail("bad counter"))?)
+                    } else {
+                        SnapshotValue::Gauge(value.parse().map_err(|_| fail("bad gauge"))?)
+                    };
+                    snap.entries.push(SnapshotEntry {
+                        name: name.to_string(),
+                        value,
+                    });
+                }
+                "histbuckets" => {
+                    let name = parts.next().ok_or_else(|| fail("missing name"))?;
+                    let min = parts
+                        .next()
+                        .and_then(|f| f.strip_prefix("min="))
+                        .ok_or_else(|| fail("missing min="))?
+                        .parse::<u64>()
+                        .map_err(|_| fail("bad min"))?;
+                    let max = parts
+                        .next()
+                        .and_then(|f| f.strip_prefix("max="))
+                        .ok_or_else(|| fail("missing max="))?
+                        .parse::<u64>()
+                        .map_err(|_| fail("bad max"))?;
+                    let mut buckets = Vec::new();
+                    for pair in parts {
+                        let (i, c) = pair.split_once(':').ok_or_else(|| fail("bad bucket"))?;
+                        buckets.push((
+                            i.parse::<usize>().map_err(|_| fail("bad bucket index"))?,
+                            c.parse::<u64>().map_err(|_| fail("bad bucket count"))?,
+                        ));
+                    }
+                    let hist = HistSnapshot::from_sparse(&buckets, min, max)
+                        .ok_or_else(|| fail("bucket index out of range"))?;
+                    snap.entries.push(SnapshotEntry {
+                        name: name.to_string(),
+                        value: SnapshotValue::Hist(hist),
+                    });
+                }
+                "span" => {
+                    let mut field = || -> Result<u64, String> {
+                        parts
+                            .next()
+                            .ok_or_else(|| fail("missing span field"))?
+                            .parse()
+                            .map_err(|_| fail("bad span field"))
+                    };
+                    let (id, class, outcome) = (field()?, field()?, field()?);
+                    let (queue_us, service_us, total_us) = (field()?, field()?, field()?);
+                    if parts.next().is_some() {
+                        return Err(fail("trailing fields"));
+                    }
+                    snap.spans.push(SpanRecord {
+                        id,
+                        class: u8::try_from(class).map_err(|_| fail("bad span class"))?,
+                        outcome: SpanOutcome::from_code(outcome),
+                        queue_us,
+                        service_us,
+                        total_us,
+                    });
+                }
+                _ => return Err(fail("unknown line kind")),
+            }
+        }
+        snap.entries.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(snap)
+    }
+
     /// Looks up a counter's value by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.entries.iter().find_map(|e| match &e.value {
@@ -382,7 +577,16 @@ impl Snapshot {
     /// hist serve.stage.service_us.bulk count=9 min=812 p50=2047 p99=8191 max=8212 mean=3120
     /// ```
     ///
-    /// Lines are sorted by metric name; one metric per line.
+    /// Lines are sorted by metric name; one metric per line. When spans
+    /// are attached ([`Snapshot::with_spans`]), a slow-request forensics
+    /// section follows the metrics — the worst spans by `total_us`,
+    /// worst first, with the per-stage breakdown:
+    ///
+    /// ```text
+    /// worst-spans 2 (by total_us, per-stage breakdown)
+    /// span id=41 class=2 outcome=completed queue_us=120 service_us=8212 total_us=8332
+    /// span id=7 class=0 outcome=shed queue_us=950 service_us=0 total_us=950
+    /// ```
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in &self.entries {
@@ -405,6 +609,23 @@ impl Snapshot {
                         h.mean()
                     ));
                 }
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str(&format!(
+                "worst-spans {} (by total_us, per-stage breakdown)\n",
+                self.spans.len()
+            ));
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "span id={} class={} outcome={} queue_us={} service_us={} total_us={}\n",
+                    s.id,
+                    s.class,
+                    s.outcome.label(),
+                    s.queue_us,
+                    s.service_us,
+                    s.total_us
+                ));
             }
         }
         out
@@ -480,5 +701,117 @@ mod tests {
         let reg = Registry::new();
         reg.counter("same.name");
         reg.gauge("same.name");
+    }
+
+    fn span(id: u64, total_us: u64, outcome: SpanOutcome) -> SpanRecord {
+        SpanRecord {
+            id,
+            class: (id % 3) as u8,
+            outcome,
+            queue_us: total_us / 4,
+            service_us: total_us - total_us / 4,
+            total_us,
+        }
+    }
+
+    #[test]
+    fn merge_adds_counters_merges_hists_and_unions_names() {
+        let a = Registry::new();
+        a.counter("shared.hits").add(3);
+        a.counter("only.a").add(1);
+        a.gauge("depth").add(2);
+        a.histogram("lat").record(100);
+        let b = Registry::new();
+        b.counter("shared.hits").add(4);
+        b.counter("only.b").add(9);
+        b.gauge("depth").add(-1);
+        b.histogram("lat").record(100_000);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("shared.hits"), Some(7));
+        assert_eq!(merged.counter("only.a"), Some(1));
+        assert_eq!(merged.counter("only.b"), Some(9));
+        assert_eq!(merged.gauge("depth"), Some(1));
+        let lat = merged.hist("lat").unwrap();
+        assert_eq!(lat.count(), 2);
+        assert_eq!((lat.min(), lat.max()), (100, 100_000));
+        // Entries stay sorted so render is stable after a merge.
+        let names: Vec<&str> = merged.entries.iter().map(|e| e.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn merge_reranks_spans_and_keeps_the_worst() {
+        let base = Registry::new().snapshot();
+        let a = base.clone().with_spans(
+            (0..8)
+                .map(|i| span(i, 100 + i, SpanOutcome::Completed))
+                .collect(),
+        );
+        let mut merged = base.with_spans(vec![span(50, 10_000, SpanOutcome::Shed)]);
+        merged.merge(&a);
+        assert_eq!(merged.spans.len(), 9);
+        assert_eq!(merged.spans[0].id, 50, "worst span leads after merge");
+        merged.merge(&merged.clone());
+        assert_eq!(merged.spans.len(), WORST_SPANS, "span list stays bounded");
+    }
+
+    #[test]
+    fn encode_parse_round_trips_exactly() {
+        let reg = Registry::new();
+        reg.counter("serve.admitted.interactive").add(42);
+        reg.gauge("pool.queue_depth").add(-3);
+        let h = reg.histogram("net.frame.decode_us");
+        for v in [2u64, 37, 37, 1 << 40] {
+            h.record(v);
+        }
+        reg.histogram("empty.hist");
+        let snap = reg
+            .snapshot()
+            .with_spans(vec![span(7, 2050, SpanOutcome::Completed)]);
+        let parsed = Snapshot::parse_text(&snap.encode_text()).expect("own encoding parses");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines_with_typed_errors() {
+        for bad in [
+            "counter missing-value",
+            "gauge g 1 extra",
+            "histbuckets h min=1",
+            "histbuckets h min=1 max=2 nocolon",
+            "histbuckets h min=1 max=2 999999:1",
+            "span 1 2 3",
+            "span 1 300 0 1 2 3",
+            "mystery line",
+        ] {
+            assert!(Snapshot::parse_text(bad).is_err(), "{bad:?} must not parse");
+        }
+        assert!(Snapshot::parse_text("").unwrap().entries.is_empty());
+    }
+
+    #[test]
+    fn render_appends_the_worst_spans_section() {
+        let reg = Registry::new();
+        reg.counter("a").add(1);
+        let plain = reg.snapshot().render();
+        assert!(!plain.contains("worst-spans"), "no spans, no section");
+        let text = reg
+            .snapshot()
+            .with_spans(vec![
+                span(1, 100, SpanOutcome::Completed),
+                span(2, 900, SpanOutcome::Shed),
+            ])
+            .render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[1], "worst-spans 2 (by total_us, per-stage breakdown)");
+        assert!(
+            lines[2].starts_with("span id=2 class=2 outcome=shed "),
+            "worst first: {text}"
+        );
+        assert!(lines[3].contains("queue_us=25 service_us=75 total_us=100"));
     }
 }

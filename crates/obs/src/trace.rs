@@ -40,7 +40,8 @@ pub enum SpanOutcome {
 }
 
 impl SpanOutcome {
-    fn code(self) -> u64 {
+    /// Stable numeric code of this outcome (ring-slot and wire encoding).
+    pub fn code(self) -> u64 {
         match self {
             SpanOutcome::Completed => 0,
             SpanOutcome::Shed => 1,
@@ -48,11 +49,21 @@ impl SpanOutcome {
         }
     }
 
-    fn from_code(code: u64) -> SpanOutcome {
+    /// Inverse of [`SpanOutcome::code`]; unknown codes read as `Completed`.
+    pub fn from_code(code: u64) -> SpanOutcome {
         match code {
             1 => SpanOutcome::Shed,
             2 => SpanOutcome::Panicked,
             _ => SpanOutcome::Completed,
+        }
+    }
+
+    /// Lower-case label used in rendered snapshots.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanOutcome::Completed => "completed",
+            SpanOutcome::Shed => "shed",
+            SpanOutcome::Panicked => "panicked",
         }
     }
 }
@@ -207,6 +218,18 @@ impl Tracer {
         slot.seq.store(2 * ticket + 2, Ordering::Release);
     }
 
+    /// The worst `n` spans currently in the ring, by `total_us`
+    /// descending (ties broken newest-first by scan order). Scans the
+    /// whole ring with the same torn-read rejection as
+    /// [`recent`](Tracer::recent) — this is the slow-request forensics
+    /// view the `Op::Stats` snapshot appends.
+    pub fn worst(&self, n: usize) -> Vec<SpanRecord> {
+        let mut spans = self.recent(self.capacity());
+        spans.sort_by_key(|s| std::cmp::Reverse(s.total_us));
+        spans.truncate(n);
+        spans
+    }
+
     /// Returns up to `n` recent spans, newest first. Slots being written
     /// concurrently (or already overwritten) are skipped, never torn.
     pub fn recent(&self, n: usize) -> Vec<SpanRecord> {
@@ -316,6 +339,27 @@ mod tests {
         assert_eq!(queue.count(), 2);
         assert_eq!(service.count(), 1);
         assert!(service.min() >= 2000);
+    }
+
+    #[test]
+    fn worst_ranks_the_ring_by_total_us() {
+        let reg = Registry::new();
+        let tr = Tracer::new(8, &reg, &["only"]);
+        for (id, total) in [(1u64, 50u64), (2, 900), (3, 10), (4, 300)] {
+            tr.record(&SpanRecord {
+                id,
+                class: 0,
+                outcome: SpanOutcome::Completed,
+                queue_us: 0,
+                service_us: total,
+                total_us: total,
+            });
+        }
+        let worst = tr.worst(2);
+        assert_eq!(worst.len(), 2);
+        assert_eq!(worst[0].id, 2);
+        assert_eq!(worst[1].id, 4);
+        assert_eq!(tr.worst(100).len(), 4, "worst never invents spans");
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! The consistent-hash ring deciding which backend owns a cache key.
+//!
+//! Each backend contributes `vnodes` points on a `u64` ring (hashes of
+//! `(backend, vnode)`); a key belongs to the first point clockwise from
+//! its own hash. The property that matters — proptested in
+//! `tests/router_props.rs` — is **stability**: adding a backend only
+//! moves the keys the new backend now owns (~K/N of them), and removing
+//! one only moves the keys it owned. Everything else keeps its
+//! assignment, which is what keeps each backend's result cache warm
+//! across fleet changes.
+//!
+//! Liveness is deliberately *not* stored in the ring.
+//! [`Ring::route_live`] takes the liveness predicate per call and walks
+//! clockwise past points whose backend is down, so a downed backend's
+//! keyspace spills to its ring successors without re-hashing — and
+//! snaps back the moment the predicate says the backend is up again.
+
+use serve::server::Request;
+
+/// SplitMix64 finalizer — a cheap, well-distributed 64-bit mixer for
+/// ring points and key hashes alike.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte slice, then mixed — used for string fields.
+fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed ^ 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix(h)
+}
+
+/// The router-side cache key of a request: the same identity the
+/// backend's result cache uses ([`Request`] *is* the key there), hashed
+/// to a ring position. Two requests with equal keys always land on the
+/// same backend, so its cache can answer the second one.
+pub fn request_key(req: &Request) -> u64 {
+    match req {
+        Request::Grade { submission } => hash_bytes(1, submission.as_bytes()),
+        Request::Homework { generator, seed } => {
+            mix(hash_bytes(2, generator.as_bytes()) ^ mix(*seed))
+        }
+        Request::Reproduce { id } => hash_bytes(3, id.as_bytes()),
+    }
+}
+
+/// A consistent-hash ring over backend indices.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, backend)` sorted by point; ties broken by backend id so
+    /// construction is deterministic regardless of input order.
+    points: Vec<(u64, u32)>,
+    backends: Vec<u32>,
+}
+
+impl Ring {
+    /// Builds a ring where each backend in `backends` owns `vnodes`
+    /// points. More vnodes smooth the keyspace split at the cost of a
+    /// longer (still binary-searched) point list; 64 is plenty for a
+    /// handful of backends.
+    ///
+    /// # Panics
+    /// If `backends` is empty or `vnodes` is 0.
+    pub fn new(backends: &[u32], vnodes: usize) -> Ring {
+        assert!(!backends.is_empty(), "ring needs at least one backend");
+        assert!(vnodes > 0, "ring needs at least one vnode per backend");
+        let mut points = Vec::with_capacity(backends.len() * vnodes);
+        for &b in backends {
+            for v in 0..vnodes as u64 {
+                points.push((mix(((b as u64) << 32) | v), b));
+            }
+        }
+        points.sort_unstable();
+        Ring {
+            points,
+            backends: backends.to_vec(),
+        }
+    }
+
+    /// The backends this ring was built over, in construction order.
+    pub fn backends(&self) -> &[u32] {
+        &self.backends
+    }
+
+    /// The backend owning `key` when every backend is live: the first
+    /// ring point clockwise from the key's hash.
+    pub fn assign(&self, key: u64) -> u32 {
+        let idx = self.points.partition_point(|&(p, _)| p < key) % self.points.len();
+        self.points[idx].1
+    }
+
+    /// The first *live* backend clockwise from `key` — [`Ring::assign`]
+    /// when the owner is up, its ring successor otherwise. Returns
+    /// `None` when `live` rejects every backend.
+    pub fn route_live(&self, key: u64, live: impl Fn(u32) -> bool) -> Option<u32> {
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        (0..self.points.len())
+            .map(|off| self.points[(start + off) % self.points.len()].1)
+            .find(|&b| live(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_is_deterministic_and_covers_all_backends() {
+        let ring = Ring::new(&[0, 1, 2], 64);
+        let mut seen = [false; 3];
+        for k in 0..1000u64 {
+            let key = mix(k);
+            let a = ring.assign(key);
+            assert_eq!(a, ring.assign(key), "assignment is a pure function");
+            seen[a as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 keys hit every backend");
+    }
+
+    #[test]
+    fn route_live_skips_downed_backends_only_for_their_keys() {
+        let ring = Ring::new(&[0, 1, 2], 64);
+        for k in 0..500u64 {
+            let key = mix(k.wrapping_mul(31));
+            let owner = ring.assign(key);
+            let routed = ring.route_live(key, |b| b != 1).expect("two backends live");
+            if owner != 1 {
+                assert_eq!(routed, owner, "keys off the dead backend don't move");
+            } else {
+                assert_ne!(routed, 1, "dead backend's keys spill to a live one");
+            }
+        }
+        assert_eq!(
+            ring.route_live(7, |_| false),
+            None,
+            "all down routes nowhere"
+        );
+    }
+
+    #[test]
+    fn equal_requests_share_a_key_distinct_ones_rarely_do() {
+        let a = Request::Grade {
+            submission: "main: ret".into(),
+        };
+        let b = Request::Grade {
+            submission: "main: ret".into(),
+        };
+        assert_eq!(request_key(&a), request_key(&b));
+        let c = Request::Homework {
+            generator: "main: ret".into(),
+            seed: 0,
+        };
+        assert_ne!(
+            request_key(&a),
+            request_key(&c),
+            "op kind participates in the key"
+        );
+    }
+}

@@ -1,0 +1,966 @@
+//! The router proper: a TCP proxy speaking [`net::wire`] on both sides.
+//!
+//! ## Thread anatomy
+//!
+//! * **one acceptor** — accepts client sockets and spawns the
+//!   per-client reader/writer pair (same shape as the backend's own
+//!   front end);
+//! * **a reader per client connection** — decodes request frames,
+//!   consistent-hashes the cache key ([`crate::ring::request_key`]),
+//!   and forwards the frame to the owning live backend over that
+//!   backend's pooled connection. Stats ops are answered in place by
+//!   fanning out op-4 `StatsFull` to every live backend and merging;
+//! * **a writer per client connection** — drains pre-encoded response
+//!   frames, exactly the `Outbound` contract from `net::server`:
+//!   responses complete **out of order by id**;
+//! * **a reader per backend connection** — matches backend responses to
+//!   the pending table by router-assigned id, patches the client's id
+//!   back into the frame, and hands it to the right client writer;
+//! * **one prober** — periodically pings `Down` backends (TCP connect +
+//!   op-3 stats) and re-admits them.
+//!
+//! ## Id translation
+//!
+//! Client ids are only unique per client connection, so the router
+//! assigns every forwarded request a globally unique id from one
+//! counter and patches it into the frame bytes in place (the id sits at
+//! a fixed offset right after the tag). The pending table maps router
+//! id → `{client writer, client id, frame bytes, …}`; the response gets
+//! the client id patched back before forwarding. Keeping the encoded
+//! bytes in the table is what makes **re-routing** one patch cheap:
+//! on a backend death the same bytes are resent to the ring successor.
+//!
+//! ## Failure semantics
+//!
+//! Course requests are idempotent computations, so one re-route per
+//! request is safe and honest. A request fails over at most once; a
+//! second failure (or no live backend) synthesizes a `SHED` response
+//! with a retry hint and [`net::wire::ROUTER_BACKEND_ID`] as the
+//! answering backend, so clients can tell the router answered for a
+//! dead shard. The invariant the end-to-end tests assert: **every
+//! forwarded request produces exactly one client response** — relayed,
+//! re-routed-then-relayed, or shed — and the fleet's merged ledgers
+//! still balance.
+
+use crate::health::Health;
+use crate::ring::{request_key, Ring};
+use net::loadgen::{fetch_stats, fetch_stats_full};
+use net::wire::{
+    decode_payload, encode_response, read_frame, write_frame, Frame, RespStatus, ResponseFrame,
+    ROUTER_BACKEND_ID,
+};
+use serve::server::SHED_BODY_PREFIX;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Byte offset of the `id:u64` field inside a request/response
+/// *payload* (right after the 1-byte tag). Patching ids in place —
+/// rather than decode→re-encode — is what makes forwarding and
+/// re-routing cheap.
+const ID_OFFSET: usize = 1;
+
+/// Knobs for [`Router::bind`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Ring points per backend; more = smoother keyspace split.
+    pub vnodes: usize,
+    /// Consecutive soft failures before a backend is marked down.
+    pub fail_threshold: u32,
+    /// How often the prober re-checks `Down` backends.
+    pub probe_interval: Duration,
+    /// Read bound on a pooled backend connection. A timeout with
+    /// requests outstanding is treated as a stall — the backend is
+    /// severed and its pending work re-routed; with nothing outstanding
+    /// it's just an idle tick.
+    pub backend_read_timeout: Duration,
+    /// Write bound on backend and client sockets.
+    pub write_timeout: Duration,
+    /// Read bound on client sockets (idle clients hold a thread pair).
+    pub client_read_timeout: Duration,
+    /// Retry hint stamped on router-synthesized `SHED` responses, ms.
+    pub shed_retry_ms: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            vnodes: 64,
+            fail_threshold: 2,
+            probe_interval: Duration::from_millis(50),
+            backend_read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(5),
+            client_read_timeout: Duration::from_secs(30),
+            shed_retry_ms: 50,
+        }
+    }
+}
+
+/// Router-level ledger, the proxy's half of the end-to-end balance:
+/// `forwarded == relayed + synthesized_shed` once the router is idle
+/// (every forward resolves exactly once; a re-route changes *where* a
+/// request resolves, not whether).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouterTotals {
+    /// Requests forwarded to a backend (fresh, not counting re-sends).
+    pub forwarded: u64,
+    /// Backend responses relayed to clients.
+    pub relayed: u64,
+    /// Requests re-sent to a ring successor after a backend failure.
+    pub rerouted: u64,
+    /// `SHED` responses the router synthesized itself.
+    pub synthesized_shed: u64,
+    /// Requests shed immediately because no backend was live.
+    pub no_backend_shed: u64,
+    /// `Up` → `Down` transitions observed.
+    pub backend_downs: u64,
+    /// Probe-driven `Down` → `Up` re-admissions.
+    pub backend_readmits: u64,
+}
+
+/// Registry mirrors of the router ledger plus the per-forward RTT
+/// histogram, so `Op::Stats` through the router also tells the
+/// router's own story.
+struct RouterObs {
+    forwarded: obs::Counter,
+    relayed: obs::Counter,
+    rerouted: obs::Counter,
+    synthesized_shed: obs::Counter,
+    backend_downs: obs::Counter,
+    backend_readmits: obs::Counter,
+    backends_live: obs::Gauge,
+    rtt_us: obs::HistogramHandle,
+}
+
+impl RouterObs {
+    fn new(registry: &obs::Registry) -> RouterObs {
+        RouterObs {
+            forwarded: registry.counter("router.forwarded"),
+            relayed: registry.counter("router.relayed"),
+            rerouted: registry.counter("router.rerouted"),
+            synthesized_shed: registry.counter("router.shed.synthesized"),
+            backend_downs: registry.counter("router.backend.downs"),
+            backend_readmits: registry.counter("router.backend.readmits"),
+            backends_live: registry.gauge("router.backends.live"),
+            rtt_us: registry.histogram("router.backend.rtt_us"),
+        }
+    }
+}
+
+/// A forwarded request awaiting its backend response.
+struct Pending {
+    /// The client connection's outbound queue.
+    client_out: Arc<Outbound>,
+    /// The id the client knows this request by.
+    client_id: u64,
+    /// Which backend currently holds the request.
+    backend: u32,
+    /// Ring position, kept for the re-route lookup.
+    key_hash: u64,
+    /// Complete frame bytes (length prefix included) with the router id
+    /// patched in — resendable as-is to another backend.
+    bytes: Vec<u8>,
+    /// A request fails over at most once.
+    rerouted: bool,
+    /// Forward time, for the RTT EWMA and histogram.
+    sent_at: Instant,
+}
+
+/// One backend's pooled connection (writer half); the reader half lives
+/// in its own thread holding a clone of the stream.
+struct BackendConn {
+    stream: TcpStream,
+    writer: BufWriter<TcpStream>,
+    /// Monotonic per-slot counter so a stale reader can't sever the
+    /// connection the prober just re-established.
+    generation: u64,
+}
+
+struct BackendSlot {
+    id: u32,
+    addr: SocketAddr,
+    health: Health,
+    conn: Mutex<Option<BackendConn>>,
+    next_generation: AtomicU64,
+    /// Outstanding forwards on this backend (approximate, for the
+    /// reader's stall check).
+    outstanding: AtomicU64,
+}
+
+/// The reader→writer handoff for one client connection — the same
+/// contract as the backend front end's `Outbound` (see `net::server`):
+/// `in_flight` counts forwards whose response (real or synthesized) has
+/// not yet been enqueued, and the writer only drains out when the
+/// reader is done and nothing is in flight.
+struct Outbound {
+    state: Mutex<OutState>,
+    wake: Condvar,
+}
+
+struct OutState {
+    queue: VecDeque<Vec<u8>>,
+    in_flight: usize,
+    reader_done: bool,
+    dead: bool,
+}
+
+impl Outbound {
+    fn new() -> Arc<Outbound> {
+        Arc::new(Outbound {
+            state: Mutex::new(OutState {
+                queue: VecDeque::new(),
+                in_flight: 0,
+                reader_done: false,
+                dead: false,
+            }),
+            wake: Condvar::new(),
+        })
+    }
+
+    fn push(&self, bytes: Vec<u8>, completes_in_flight: bool) {
+        let mut st = self.state.lock().expect("outbound mutex poisoned");
+        if completes_in_flight {
+            st.in_flight -= 1;
+        }
+        if !st.dead {
+            st.queue.push_back(bytes);
+        }
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    fn open_in_flight(&self) {
+        self.state
+            .lock()
+            .expect("outbound mutex poisoned")
+            .in_flight += 1;
+    }
+
+    fn reader_done(&self) {
+        self.state
+            .lock()
+            .expect("outbound mutex poisoned")
+            .reader_done = true;
+        self.wake.notify_all();
+    }
+
+    fn mark_dead(&self) {
+        self.state.lock().expect("outbound mutex poisoned").dead = true;
+        self.wake.notify_all();
+    }
+}
+
+enum WriterStep {
+    Write(Vec<u8>),
+    Drained,
+    Dead,
+}
+
+struct Shared {
+    config: RouterConfig,
+    registry: obs::Registry,
+    robs: RouterObs,
+    backends: Vec<BackendSlot>,
+    ring: Ring,
+    pending: Mutex<HashMap<u64, Pending>>,
+    next_router_id: AtomicU64,
+    accepting: AtomicBool,
+    shutting_down: AtomicBool,
+    live: Mutex<usize>,
+    all_closed: Condvar,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+    forwarded: AtomicU64,
+    relayed: AtomicU64,
+    rerouted: AtomicU64,
+    synthesized_shed: AtomicU64,
+    no_backend_shed: AtomicU64,
+    backend_downs: AtomicU64,
+    backend_readmits: AtomicU64,
+}
+
+/// A running router. See the module docs for the thread anatomy and
+/// failure semantics.
+pub struct Router {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    prober: Mutex<Option<JoinHandle<()>>>,
+    shut: AtomicBool,
+}
+
+impl Router {
+    /// Binds `addr` (port 0 for ephemeral) in front of `backend_addrs`
+    /// and starts the acceptor and prober. Backends are identified by
+    /// their index in `backend_addrs` — the same id each backend should
+    /// stamp via `NetConfig::backend_id`. Backends unreachable at bind
+    /// time start `Down` and enter rotation when a probe succeeds.
+    ///
+    /// # Panics
+    /// If `backend_addrs` is empty.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backend_addrs: &[SocketAddr],
+        config: RouterConfig,
+    ) -> io::Result<Router> {
+        assert!(
+            !backend_addrs.is_empty(),
+            "router needs at least one backend"
+        );
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let registry = obs::Registry::new();
+        let robs = RouterObs::new(&registry);
+        let ids: Vec<u32> = (0..backend_addrs.len() as u32).collect();
+        let backends = backend_addrs
+            .iter()
+            .zip(&ids)
+            .map(|(&addr, &id)| BackendSlot {
+                id,
+                addr,
+                health: Health::new(config.fail_threshold),
+                conn: Mutex::new(None),
+                next_generation: AtomicU64::new(0),
+                outstanding: AtomicU64::new(0),
+            })
+            .collect();
+        let ring = Ring::new(&ids, config.vnodes);
+        let shared = Arc::new(Shared {
+            config,
+            registry,
+            robs,
+            backends,
+            ring,
+            pending: Mutex::new(HashMap::new()),
+            next_router_id: AtomicU64::new(1),
+            accepting: AtomicBool::new(true),
+            shutting_down: AtomicBool::new(false),
+            live: Mutex::new(0),
+            all_closed: Condvar::new(),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            relayed: AtomicU64::new(0),
+            rerouted: AtomicU64::new(0),
+            synthesized_shed: AtomicU64::new(0),
+            no_backend_shed: AtomicU64::new(0),
+            backend_downs: AtomicU64::new(0),
+            backend_readmits: AtomicU64::new(0),
+        });
+        for idx in 0..shared.backends.len() {
+            if connect_backend(&shared, idx).is_ok() {
+                shared.robs.backends_live.add(1);
+            } else {
+                // Not reachable yet: start down, let the prober admit.
+                shared.backends[idx].health.force_down();
+            }
+        }
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("router-acceptor".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn router acceptor");
+        let probe_shared = Arc::clone(&shared);
+        let prober = std::thread::Builder::new()
+            .name("router-prober".to_string())
+            .spawn(move || probe_loop(&probe_shared))
+            .expect("spawn router prober");
+        Ok(Router {
+            shared,
+            local_addr,
+            acceptor: Mutex::new(Some(acceptor)),
+            prober: Mutex::new(Some(prober)),
+            shut: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The router's own metrics registry (merged into stats answers).
+    pub fn registry(&self) -> &obs::Registry {
+        &self.shared.registry
+    }
+
+    /// The router-level ledger.
+    pub fn totals(&self) -> RouterTotals {
+        RouterTotals {
+            forwarded: self.shared.forwarded.load(Ordering::Relaxed),
+            relayed: self.shared.relayed.load(Ordering::Relaxed),
+            rerouted: self.shared.rerouted.load(Ordering::Relaxed),
+            synthesized_shed: self.shared.synthesized_shed.load(Ordering::Relaxed),
+            no_backend_shed: self.shared.no_backend_shed.load(Ordering::Relaxed),
+            backend_downs: self.shared.backend_downs.load(Ordering::Relaxed),
+            backend_readmits: self.shared.backend_readmits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether backend `idx` is currently in rotation.
+    pub fn backend_is_up(&self, idx: usize) -> bool {
+        self.shared.backends[idx].health.is_up()
+    }
+
+    /// Latency EWMA for backend `idx` in µs (0 until a sample lands).
+    pub fn backend_ewma_us(&self, idx: usize) -> u64 {
+        self.shared.backends[idx].health.ewma_us()
+    }
+
+    /// The fleet-wide merged snapshot: every live backend's op-4
+    /// `StatsFull` answer parsed and merged, plus the router's own
+    /// registry. This is exactly what `Op::Stats` through the router
+    /// renders.
+    pub fn merged_snapshot(&self) -> obs::Snapshot {
+        merged_snapshot(&self.shared)
+    }
+
+    /// Graceful shutdown: stop accepting, half-close client reads, let
+    /// in-flight forwards resolve (backend answers, re-routes, or
+    /// synthesized sheds), flush client writers, then tear down backend
+    /// connections and the prober. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.shut.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        drop(TcpStream::connect(self.local_addr));
+        if let Some(handle) = self.acceptor.lock().expect("acceptor poisoned").take() {
+            let _ = handle.join();
+        }
+        {
+            let conns = self.shared.conns.lock().expect("conn table poisoned");
+            for stream in conns.values() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+        let mut live = self.shared.live.lock().expect("live counter poisoned");
+        while *live > 0 {
+            live = self
+                .shared
+                .all_closed
+                .wait(live)
+                .expect("live counter poisoned");
+        }
+        drop(live);
+        for slot in &self.shared.backends {
+            if let Some(gen) = current_generation(slot) {
+                sever_conn(slot, gen);
+            }
+        }
+        if let Some(handle) = self.prober.lock().expect("prober poisoned").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn current_generation(slot: &BackendSlot) -> Option<u64> {
+    slot.conn
+        .lock()
+        .expect("backend conn poisoned")
+        .as_ref()
+        .map(|c| c.generation)
+}
+
+/// Establishes the pooled connection to backend `idx` and spawns its
+/// reader thread. Does not change health state.
+fn connect_backend(shared: &Arc<Shared>, idx: usize) -> io::Result<()> {
+    let slot = &shared.backends[idx];
+    let stream = TcpStream::connect(slot.addr)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(shared.config.backend_read_timeout))?;
+    stream.set_write_timeout(Some(shared.config.write_timeout))?;
+    let read_half = stream.try_clone()?;
+    let writer_half = stream.try_clone()?;
+    let generation = slot.next_generation.fetch_add(1, Ordering::Relaxed);
+    *slot.conn.lock().expect("backend conn poisoned") = Some(BackendConn {
+        stream,
+        writer: BufWriter::new(writer_half),
+        generation,
+    });
+    let reader_shared = Arc::clone(shared);
+    let _ = std::thread::Builder::new()
+        .name(format!("router-backend-{idx}"))
+        .spawn(move || backend_reader(&reader_shared, idx, generation, read_half));
+    Ok(())
+}
+
+/// Tears down the slot's pooled connection iff it is still generation
+/// `generation`; returns whether *this call* severed it. The single
+/// point that decides which thread owns the backend-down cleanup.
+fn sever_conn(slot: &BackendSlot, generation: u64) -> bool {
+    let mut guard = slot.conn.lock().expect("backend conn poisoned");
+    match guard.as_ref() {
+        Some(conn) if conn.generation == generation => {
+            let conn = guard.take().expect("checked above");
+            drop(guard);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Marks backend `idx` down and fails over everything it still owed:
+/// each pending entry re-routes once to a live ring successor or sheds
+/// honestly. Called only by the thread that actually severed the
+/// connection, so each outage is cleaned up exactly once.
+fn backend_down(shared: &Arc<Shared>, idx: usize) {
+    let slot = &shared.backends[idx];
+    if slot.health.force_down() {
+        shared.backend_downs.fetch_add(1, Ordering::Relaxed);
+        shared.robs.backend_downs.inc();
+        shared.robs.backends_live.add(-1);
+    }
+    let orphaned: Vec<Pending> = {
+        let mut pending = shared.pending.lock().expect("pending table poisoned");
+        let ids: Vec<u64> = pending
+            .iter()
+            .filter(|(_, p)| p.backend == slot.id)
+            .map(|(&rid, _)| rid)
+            .collect();
+        ids.iter().filter_map(|rid| pending.remove(rid)).collect()
+    };
+    slot.outstanding
+        .fetch_sub(orphaned.len() as u64, Ordering::Relaxed);
+    for p in orphaned {
+        fail_over(shared, p, slot.id);
+    }
+}
+
+/// Second chance or honest shed for a request whose backend died.
+fn fail_over(shared: &Arc<Shared>, mut p: Pending, dead: u32) {
+    if !p.rerouted {
+        let next = shared.ring.route_live(p.key_hash, |b| {
+            b != dead && shared.backends[b as usize].health.is_up()
+        });
+        if let Some(next) = next {
+            p.backend = next;
+            p.rerouted = true;
+            p.sent_at = Instant::now();
+            shared.rerouted.fetch_add(1, Ordering::Relaxed);
+            shared.robs.rerouted.inc();
+            resend(shared, p);
+            return;
+        }
+    }
+    synthesize_shed(shared, p, dead);
+}
+
+/// Re-inserts `p` (already retargeted) into the pending table and
+/// sends its bytes to the new backend. A send failure cascades into
+/// that backend's own down-handling, which will claim the entry again.
+fn resend(shared: &Arc<Shared>, p: Pending) {
+    let backend = p.backend as usize;
+    let rid = router_id_of(&p.bytes);
+    let bytes = p.bytes.clone();
+    shared
+        .pending
+        .lock()
+        .expect("pending table poisoned")
+        .insert(rid, p);
+    shared.backends[backend]
+        .outstanding
+        .fetch_add(1, Ordering::Relaxed);
+    if !send_to_backend(shared, backend, &bytes) {
+        // The send severed the target (or it was already gone). Claim
+        // the entry back if the cascade hasn't, and resolve it here.
+        let claimed = shared
+            .pending
+            .lock()
+            .expect("pending table poisoned")
+            .remove(&rid);
+        if let Some(p) = claimed {
+            shared.backends[backend]
+                .outstanding
+                .fetch_sub(1, Ordering::Relaxed);
+            fail_over(shared, p, backend as u32);
+        }
+    }
+}
+
+/// The router answers for a dead shard: an honest `SHED` with a retry
+/// hint, stamped [`ROUTER_BACKEND_ID`].
+fn synthesize_shed(shared: &Arc<Shared>, p: Pending, dead: u32) {
+    shared.synthesized_shed.fetch_add(1, Ordering::Relaxed);
+    shared.robs.synthesized_shed.inc();
+    let frame = ResponseFrame {
+        id: p.client_id,
+        status: RespStatus::Shed,
+        retry_after_ms: shared.config.shed_retry_ms,
+        backend: ROUTER_BACKEND_ID,
+        body: format!("{SHED_BODY_PREFIX}: backend {dead} down, rerouting exhausted"),
+    };
+    p.client_out.push(encode_response(&frame), true);
+}
+
+/// Reads the router-assigned id back out of patched frame bytes.
+fn router_id_of(bytes: &[u8]) -> u64 {
+    u64::from_be_bytes(
+        bytes[4 + ID_OFFSET..4 + ID_OFFSET + 8]
+            .try_into()
+            .expect("frame bytes carry an id"),
+    )
+}
+
+/// Writes `bytes` on backend `idx`'s pooled connection. On failure the
+/// connection is severed and the backend's down-handling runs; returns
+/// whether the write succeeded.
+fn send_to_backend(shared: &Arc<Shared>, idx: usize, bytes: &[u8]) -> bool {
+    let slot = &shared.backends[idx];
+    let mut guard = slot.conn.lock().expect("backend conn poisoned");
+    match guard.as_mut() {
+        Some(conn) => {
+            if write_frame(&mut conn.writer, bytes).is_ok() {
+                true
+            } else {
+                let conn = guard.take().expect("checked above");
+                drop(guard);
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                backend_down(shared, idx);
+                false
+            }
+        }
+        None => {
+            drop(guard);
+            // No connection (racing a sever): make sure health agrees.
+            backend_down(shared, idx);
+            false
+        }
+    }
+}
+
+/// Per-backend response pump: matches responses to the pending table,
+/// patches client ids back in, and forwards. Exits — and triggers
+/// fail-over — on EOF, a hard error, a protocol violation, or a read
+/// stall with requests outstanding.
+fn backend_reader(shared: &Arc<Shared>, idx: usize, generation: u64, read_half: TcpStream) {
+    let slot = &shared.backends[idx];
+    let mut reader = BufReader::new(read_half);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if slot.outstanding.load(Ordering::Relaxed) > 0 {
+                    // Stalled with work owed: that's a dead backend,
+                    // not an idle one.
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        let resp = match decode_payload(&payload) {
+            Ok(Frame::Response(resp)) => resp,
+            _ => break, // protocol violation: sever
+        };
+        if resp.id == 0 {
+            // Connection-level frame (accept-time GoAway): the backend
+            // is refusing us; sever and fail over.
+            break;
+        }
+        let entry = shared
+            .pending
+            .lock()
+            .expect("pending table poisoned")
+            .remove(&resp.id);
+        let Some(p) = entry else {
+            // Response for an entry another thread already failed over
+            // (e.g. after a stall-sever race). Drop it: the client got
+            // (or will get) its answer from the re-route path.
+            continue;
+        };
+        slot.outstanding.fetch_sub(1, Ordering::Relaxed);
+        if resp.status == RespStatus::GoAway {
+            // The backend is shutting down and refused this request;
+            // it counts toward the failure threshold and the request
+            // deserves a second chance elsewhere.
+            if slot.health.record_failure() {
+                shared.backend_downs.fetch_add(1, Ordering::Relaxed);
+                shared.robs.backend_downs.inc();
+                shared.robs.backends_live.add(-1);
+            }
+            fail_over(shared, p, slot.id);
+            continue;
+        }
+        let rtt = p.sent_at.elapsed();
+        slot.health.record_success(rtt.as_micros() as u64);
+        shared.robs.rtt_us.record_micros(rtt);
+        let mut out_payload = payload;
+        out_payload[ID_OFFSET..ID_OFFSET + 8].copy_from_slice(&p.client_id.to_be_bytes());
+        let mut bytes = Vec::with_capacity(4 + out_payload.len());
+        bytes.extend_from_slice(&(out_payload.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&out_payload);
+        shared.relayed.fetch_add(1, Ordering::Relaxed);
+        shared.robs.relayed.inc();
+        p.client_out.push(bytes, true);
+    }
+    if sever_conn(slot, generation) {
+        backend_down(shared, idx);
+    }
+}
+
+/// Periodically re-checks `Down` backends: a TCP connect plus an op-3
+/// stats ping proves the process is back and answering, and only then
+/// is the pooled connection re-established and the backend re-admitted.
+fn probe_loop(shared: &Arc<Shared>) {
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        std::thread::sleep(shared.config.probe_interval);
+        for idx in 0..shared.backends.len() {
+            let slot = &shared.backends[idx];
+            if slot.health.is_up() || shared.shutting_down.load(Ordering::SeqCst) {
+                continue;
+            }
+            if fetch_stats(slot.addr).is_ok() && connect_backend(shared, idx).is_ok() {
+                slot.health.mark_up();
+                shared.backend_readmits.fetch_add(1, Ordering::Relaxed);
+                shared.robs.backend_readmits.inc();
+                shared.robs.backends_live.add(1);
+            }
+        }
+    }
+}
+
+/// Fans op-4 `StatsFull` out to every live backend, parses and merges
+/// the snapshots, and folds in the router's own registry. Backends that
+/// fail mid-fan-out are skipped — stats stay available through partial
+/// outages, they just cover the live fleet.
+fn merged_snapshot(shared: &Arc<Shared>) -> obs::Snapshot {
+    let mut merged = shared.registry.snapshot();
+    for slot in &shared.backends {
+        if !slot.health.is_up() {
+            continue;
+        }
+        if let Ok(text) = fetch_stats_full(slot.addr) {
+            if let Ok(snap) = obs::Snapshot::parse_text(&text) {
+                merged.merge(&snap);
+            }
+        }
+    }
+    merged
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if !shared.accepting.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if !shared.accepting.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(shared.config.client_read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+        {
+            let mut live = shared.live.lock().expect("live counter poisoned");
+            *live += 1;
+        }
+        spawn_client(stream, shared);
+    }
+}
+
+fn spawn_client(stream: TcpStream, shared: &Arc<Shared>) {
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    let outbound = Outbound::new();
+    let read_half = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => {
+            let mut live = shared.live.lock().expect("live counter poisoned");
+            *live -= 1;
+            drop(live);
+            shared.all_closed.notify_all();
+            return;
+        }
+    };
+    if let Ok(register) = stream.try_clone() {
+        shared
+            .conns
+            .lock()
+            .expect("conn table poisoned")
+            .insert(conn_id, register);
+    }
+    let reader_shared = Arc::clone(shared);
+    let reader_out = Arc::clone(&outbound);
+    let _ = std::thread::Builder::new()
+        .name(format!("router-read-{conn_id}"))
+        .spawn(move || client_reader(read_half, &reader_shared, &reader_out));
+    let writer_shared = Arc::clone(shared);
+    let _ = std::thread::Builder::new()
+        .name(format!("router-write-{conn_id}"))
+        .spawn(move || client_writer(stream, conn_id, &writer_shared, &outbound));
+}
+
+/// Decodes client frames and forwards them; stats ops are answered in
+/// place from the merged fleet snapshot.
+fn client_reader(read_half: TcpStream, shared: &Arc<Shared>, out: &Arc<Outbound>) {
+    let mut reader = BufReader::new(&read_half);
+    while let Ok(Some(payload)) = read_frame(&mut reader) {
+        match decode_payload(&payload) {
+            Ok(Frame::Request(frame)) => {
+                forward(shared, frame.id, &frame.req, payload, out);
+            }
+            Ok(Frame::Stats { id }) => {
+                let body = merged_snapshot(shared).render();
+                out.push(stats_response(id, body), false);
+            }
+            Ok(Frame::StatsFull { id }) => {
+                let body = merged_snapshot(shared).encode_text();
+                out.push(stats_response(id, body), false);
+            }
+            Ok(Frame::Response(_)) | Err(_) => {
+                let reason = match decode_payload(&payload) {
+                    Err(e) => format!("malformed frame: {e}"),
+                    _ => "protocol error: response frame sent to router".to_string(),
+                };
+                out.push(
+                    encode_response(&ResponseFrame {
+                        id: 0,
+                        status: RespStatus::Error,
+                        retry_after_ms: 0,
+                        backend: ROUTER_BACKEND_ID,
+                        body: reason,
+                    }),
+                    false,
+                );
+                break;
+            }
+        }
+    }
+    out.reader_done();
+}
+
+fn stats_response(id: u64, body: String) -> Vec<u8> {
+    encode_response(&ResponseFrame {
+        id,
+        status: RespStatus::Ok,
+        retry_after_ms: 0,
+        backend: ROUTER_BACKEND_ID,
+        body,
+    })
+}
+
+/// Routes one client request: hash the cache key, pick the owning live
+/// backend, patch in a router id, record it pending, send. No live
+/// backend sheds immediately and honestly.
+fn forward(
+    shared: &Arc<Shared>,
+    client_id: u64,
+    req: &serve::server::Request,
+    payload: Vec<u8>,
+    out: &Arc<Outbound>,
+) {
+    let key = request_key(req);
+    let target = shared
+        .ring
+        .route_live(key, |b| shared.backends[b as usize].health.is_up());
+    let Some(backend) = target else {
+        shared.no_backend_shed.fetch_add(1, Ordering::Relaxed);
+        shared.synthesized_shed.fetch_add(1, Ordering::Relaxed);
+        shared.robs.synthesized_shed.inc();
+        out.push(
+            encode_response(&ResponseFrame {
+                id: client_id,
+                status: RespStatus::Shed,
+                retry_after_ms: shared.config.shed_retry_ms,
+                backend: ROUTER_BACKEND_ID,
+                body: format!("{SHED_BODY_PREFIX}: no live backend"),
+            }),
+            false,
+        );
+        return;
+    };
+    let rid = shared.next_router_id.fetch_add(1, Ordering::Relaxed);
+    let mut bytes = Vec::with_capacity(4 + payload.len());
+    bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes[4 + ID_OFFSET..4 + ID_OFFSET + 8].copy_from_slice(&rid.to_be_bytes());
+    out.open_in_flight();
+    shared.forwarded.fetch_add(1, Ordering::Relaxed);
+    shared.robs.forwarded.inc();
+    let p = Pending {
+        client_out: Arc::clone(out),
+        client_id,
+        backend,
+        key_hash: key,
+        bytes,
+        rerouted: false,
+        sent_at: Instant::now(),
+    };
+    // `resend` is also the fresh-send path: insert pending, write,
+    // cascade on failure.
+    resend(shared, p);
+}
+
+/// Drains the outbound queue onto the client socket; owns the
+/// connection's teardown.
+fn client_writer(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>, out: &Arc<Outbound>) {
+    let mut graceful = true;
+    {
+        let mut writer = BufWriter::new(&stream);
+        loop {
+            let step = {
+                let mut st = out.state.lock().expect("outbound mutex poisoned");
+                loop {
+                    if st.dead {
+                        break WriterStep::Dead;
+                    }
+                    if let Some(bytes) = st.queue.pop_front() {
+                        break WriterStep::Write(bytes);
+                    }
+                    if st.reader_done && st.in_flight == 0 {
+                        break WriterStep::Drained;
+                    }
+                    st = out.wake.wait(st).expect("outbound mutex poisoned");
+                }
+            };
+            match step {
+                WriterStep::Dead => {
+                    graceful = false;
+                    break;
+                }
+                WriterStep::Drained => break,
+                WriterStep::Write(bytes) => {
+                    if write_frame(&mut writer, &bytes).is_err() {
+                        out.mark_dead();
+                        graceful = false;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if graceful {
+        let _ = stream.shutdown(Shutdown::Write);
+    } else {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    shared
+        .conns
+        .lock()
+        .expect("conn table poisoned")
+        .remove(&conn_id);
+    let mut live = shared.live.lock().expect("live counter poisoned");
+    *live -= 1;
+    drop(live);
+    shared.all_closed.notify_all();
+}

@@ -1,0 +1,143 @@
+//! Router properties: consistent-hash stability under fleet changes,
+//! and stats merging that is exactly the sum of its parts.
+//!
+//! * **Ring stability** — adding a backend moves only the keys the new
+//!   backend now owns (and only ~K/N of them); removing a backend
+//!   moves only the keys it owned. Every other key keeps its
+//!   assignment, which is the property that keeps per-shard result
+//!   caches warm across fleet changes.
+//! * **Merge = bulk** — merging per-backend registry snapshots is
+//!   indistinguishable from recording every sample into one registry:
+//!   counters and gauges sum, histograms merge bucket-for-bucket. This
+//!   is the contract that lets the router answer `Op::Stats` for the
+//!   fleet without averaging percentiles (which would be wrong).
+
+use proptest::prelude::*;
+use router::ring::Ring;
+
+const VNODES: usize = 64;
+
+fn arb_keys() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 32..256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adding a backend: keys either keep their old owner or move to
+    /// the new backend — never to a third party — and the moved share
+    /// is in the K/N ballpark, not a wholesale reshuffle.
+    #[test]
+    fn prop_adding_a_backend_moves_only_its_keys(
+        keys in arb_keys(),
+        n in 2u32..6,
+    ) {
+        let before = Ring::new(&(0..n).collect::<Vec<_>>(), VNODES);
+        let after = Ring::new(&(0..=n).collect::<Vec<_>>(), VNODES);
+        let mut moved = 0usize;
+        for &key in &keys {
+            let old = before.assign(key);
+            let new = after.assign(key);
+            if new != old {
+                prop_assert_eq!(
+                    new, n,
+                    "key moved between pre-existing backends ({} -> {})", old, new
+                );
+                moved += 1;
+            }
+        }
+        // Expected share is 1/(n+1); allow a generous factor for small
+        // samples and vnode clumping, but rule out "everything moved".
+        let bound = keys.len() * 3 / (n as usize + 1) + 8;
+        prop_assert!(
+            moved <= bound,
+            "{} of {} keys moved to the new backend (bound {})",
+            moved, keys.len(), bound
+        );
+    }
+
+    /// Removing a backend (equivalently: it going down, with
+    /// `route_live` skipping it): keys it didn't own stay put.
+    #[test]
+    fn prop_removing_a_backend_strands_only_its_keys(
+        keys in arb_keys(),
+        n in 2u32..6,
+    ) {
+        let ring = Ring::new(&(0..n).collect::<Vec<_>>(), VNODES);
+        let dead = n - 1;
+        for &key in &keys {
+            let owner = ring.assign(key);
+            let routed = ring.route_live(key, |b| b != dead);
+            prop_assert!(routed.is_some(), "live backends remain");
+            let routed = routed.unwrap();
+            if owner != dead {
+                prop_assert_eq!(routed, owner, "keys off the dead backend must not move");
+            } else {
+                prop_assert!(routed != dead, "dead backend's keys must spill");
+            }
+        }
+    }
+
+    /// `route_live` with everything live is exactly `assign`.
+    #[test]
+    fn prop_route_live_degenerates_to_assign(keys in arb_keys(), n in 1u32..6) {
+        let ring = Ring::new(&(0..n).collect::<Vec<_>>(), VNODES);
+        for &key in &keys {
+            prop_assert_eq!(ring.route_live(key, |_| true), Some(ring.assign(key)));
+        }
+    }
+
+    /// Merging per-backend snapshots equals recording everything into
+    /// one registry — counters, gauges, and histogram buckets alike.
+    #[test]
+    fn prop_stats_merge_equals_the_bulk_registry(
+        per_backend in proptest::collection::vec(
+            proptest::collection::vec((0u64..1 << 40, 1u64..50, -20i64..20), 0..40),
+            1..5,
+        ),
+    ) {
+        let bulk = obs::Registry::new();
+        let mut merged: Option<obs::Snapshot> = None;
+        for samples in &per_backend {
+            let shard = obs::Registry::new();
+            for &(lat, hits, depth) in samples {
+                shard.histogram("serve.latency_us").record(lat);
+                shard.counter("serve.admitted").add(hits);
+                shard.gauge("pool.queue_depth").add(depth);
+                bulk.histogram("serve.latency_us").record(lat);
+                bulk.counter("serve.admitted").add(hits);
+                bulk.gauge("pool.queue_depth").add(depth);
+            }
+            let snap = shard.snapshot();
+            merged = Some(match merged.take() {
+                None => snap,
+                Some(mut acc) => { acc.merge(&snap); acc }
+            });
+        }
+        let merged = merged.expect("at least one backend");
+        prop_assert_eq!(merged, bulk.snapshot());
+    }
+
+    /// Merge is insensitive to backend order (the router can't control
+    /// which backend answers its stats fan-out first).
+    #[test]
+    fn prop_merge_is_commutative(
+        a_samples in proptest::collection::vec(0u64..1 << 30, 0..40),
+        b_samples in proptest::collection::vec(0u64..1 << 30, 0..40),
+    ) {
+        let make = |samples: &[u64]| {
+            let reg = obs::Registry::new();
+            for &s in samples {
+                reg.histogram("h").record(s);
+                reg.counter("c").add(s % 7);
+            }
+            reg.snapshot()
+        };
+        let (a, b) = (make(&a_samples), make(&b_samples));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+}

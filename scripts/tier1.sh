@@ -30,4 +30,13 @@ cargo test -q -p obs
 cargo run --release -q -p bench --bin reproduce -- e15 > /dev/null
 cargo run --release -q -p bench --bin serve_demo -- 4 24 stats > /dev/null
 
+# Router tier: the router unit/property/e2e suites, the E16 smoke
+# (1-vs-3 backend scaling + mid-run backend kill, ledger-balanced),
+# and the router demo (2 real backend processes behind the proxy;
+# asserts zero unanswered requests, an exact router ledger, and
+# fleet-wide admitted == completed + shed from the merged snapshot).
+cargo test -q -p router
+cargo run --release -q -p bench --bin reproduce -- e16 > /dev/null
+cargo run --release -q -p bench --bin serve_demo -- 4 24 router 2 > /dev/null
+
 echo "tier1: all green"
