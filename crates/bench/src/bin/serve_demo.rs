@@ -5,6 +5,7 @@
 //! cargo run -p bench --bin serve_demo -- 4 100           # 4 clients x 100 requests
 //! cargo run -p bench --bin serve_demo -- 4 100 fifo      # shared-FIFO baseline pool
 //! cargo run -p bench --bin serve_demo -- 4 100 priority  # class-aware priority lanes
+//! cargo run -p bench --bin serve_demo -- 4 100 lockfree  # lock-free Chase-Lev deques
 //! cargo run -p bench --bin serve_demo -- 4 100 net       # over TCP: server + loadgen
 //! cargo run -p bench --bin serve_demo -- 4 100 stats     # net mode + Op::Stats snapshot
 //! cargo run -p bench --bin serve_demo -- 4 100 router 3  # 3 backend *processes* + router
@@ -42,7 +43,7 @@ done:
 ";
 
 const USAGE: &str = "usage: serve_demo [clients] [requests] \
-                     [steal|fifo|priority|net|stats|router [N|port,port,...]]";
+                     [steal|fifo|priority|lockfree|net|stats|router [N|port,port,...]]";
 
 fn bail(reason: &str) -> ! {
     eprintln!("serve_demo: {reason}\n{USAGE}");
@@ -397,6 +398,7 @@ fn main() {
         None | Some("steal") => Scheduler::WorkStealing,
         Some("fifo") => Scheduler::SharedFifo,
         Some("priority") => Scheduler::PriorityLanes,
+        Some("lockfree") => Scheduler::LockFree,
         Some("net") => return net_mode(clients, per_client, false),
         Some("stats") => return net_mode(clients, per_client, true),
         Some("router") => return router_mode(clients, per_client, parse_backend_spec(args.get(3))),

@@ -1,0 +1,461 @@
+//! The E17 contended submit/claim/steal workloads: lock-free Chase–Lev
+//! deques against the mutex deques they replace, at two levels.
+//!
+//! **The deque duel** ([`deque_duel`]) is the headline: one owner
+//! thread expanding work in bursts (push a handful, pop half back,
+//! LIFO — the shape of a divide-and-conquer expansion) while thief
+//! threads hammer the other end, over the bare queues with no pool
+//! around them. Under a `Mutex<VecDeque>` every one of those
+//! operations serializes on the same lock — the owner waits whenever
+//! a thief holds it (and on one core, a thief *preempted inside* the
+//! critical section stalls the owner for a scheduling quantum). The
+//! Chase–Lev owner touches no lock: a push is a couple of
+//! release-ordered stores, a pop one SeqCst fence, and thieves
+//! interfere only by CASing `top` among themselves. The duel measures
+//! claim throughput and the sampled p99 of the owner's own push —
+//! the operation a worker performs on its hottest path.
+//!
+//! **The pool workload** ([`run_contended`]) runs the same contest
+//! end-to-end through `ThreadPool`: submitter threads spray measured
+//! short jobs and *fan-out trees* (jobs that recursively spawn two
+//! children from inside the worker) at a small pool under
+//! `Scheduler::WorkStealing` vs `Scheduler::LockFree`. Worker-side
+//! spawns outnumber external submissions ~9:1, so the claim path is
+//! exercised hard; the trees go ragged across workers, so steals must
+//! happen for the pile to finish. At this level the per-job cost is
+//! dominated by costs the two schedulers share (allocation, parking,
+//! counters, timestamps), so the numbers demonstrate *parity plus
+//! observability*, not the isolated queue-op win — that is what the
+//! duel isolates.
+//!
+//! Evidence comes from counters, not just wall clock: steals must be
+//! nonzero at both levels (the contest really happened), and
+//! `steal_cas_failures` / `empty_steals` are reported so contention on
+//! the lock-free path is visible rather than asserted away.
+
+use serve::deque::{deque_with_capacity, Steal};
+use serve::pool::{Scheduler, ThreadPool};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shape of the contended submit/claim/steal stream.
+#[derive(Debug, Clone, Copy)]
+pub struct ContendedParams {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Submitter threads spraying jobs from outside the pool.
+    pub submitters: usize,
+    /// External submissions per submitter (shorts + tree roots).
+    pub jobs_per_submitter: usize,
+    /// Busy-spin units of every job (dimensionless; one unit is one
+    /// `black_box` multiply-add).
+    pub spin: u32,
+    /// Every `tree_every`-th submission is a fan-out tree root.
+    pub tree_every: usize,
+    /// Tree depth: a root expands into `2^(depth+1) - 1` jobs, all
+    /// spawned worker-side (the lock-free owner-push fast path).
+    pub tree_depth: u32,
+}
+
+impl ContendedParams {
+    /// Jobs a single tree root expands into (root included).
+    pub fn jobs_per_tree(&self) -> usize {
+        (1usize << (self.tree_depth + 1)) - 1
+    }
+
+    /// Total jobs the stream executes, shorts plus all tree nodes.
+    pub fn total_jobs(&self) -> usize {
+        let per_submitter = self.jobs_per_submitter;
+        let trees = per_submitter / self.tree_every;
+        let shorts = per_submitter - trees;
+        self.submitters * (shorts + trees * self.jobs_per_tree())
+    }
+}
+
+/// The E17 defaults: 4 workers vs 4 submitters, every 8th submission
+/// a depth-5 tree (63 nodes), so worker-side spawns outnumber
+/// external submissions ~9:1 — per-job queue overhead (the thing
+/// being compared) is a first-order cost, and the trees keep the
+/// deques ragged enough to force steals. One run is tens of
+/// milliseconds of wall clock.
+pub fn contended_params() -> ContendedParams {
+    ContendedParams {
+        workers: 4,
+        submitters: 4,
+        jobs_per_submitter: 400,
+        spin: 200,
+        tree_every: 8,
+        tree_depth: 5,
+    }
+}
+
+/// One scheduler's run over the contended stream.
+#[derive(Debug, Clone)]
+pub struct ContendedOutcome {
+    /// Which queue topology ran.
+    pub scheduler: Scheduler,
+    /// First submission to last job finished.
+    pub makespan: Duration,
+    /// Jobs finished per second of makespan (tree nodes included).
+    pub throughput: f64,
+    /// Median short-job latency (submit → finish; trees excluded).
+    pub p50_short: Duration,
+    /// 99th-percentile short-job latency.
+    pub p99_short: Duration,
+    /// `pool.claims` from the obs registry.
+    pub claims: u64,
+    /// `pool.local_hits` from the obs registry.
+    pub local_hits: u64,
+    /// `pool.steals` from the obs registry.
+    pub steals: u64,
+    /// `pool.batch_steals` from the obs registry.
+    pub batch_steals: u64,
+    /// `pool.steal_cas_failures` from the obs registry (0 for the
+    /// mutex scheduler, which cannot lose a CAS).
+    pub steal_cas_failures: u64,
+    /// `pool.empty_steals` from the obs registry.
+    pub empty_steals: u64,
+}
+
+/// Spins for `units` multiply-adds the optimizer cannot remove.
+fn spin(units: u32) -> u64 {
+    let mut acc = 0x9E37_79B9u64;
+    for i in 0..units {
+        acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64));
+    }
+    acc
+}
+
+/// Spawns a binary fan-out tree of jobs: each node spins, then (above
+/// depth 0) resubmits two children from inside the worker — the
+/// owner-side push path both schedulers must serve per spawn.
+fn spawn_tree(pool: &Arc<ThreadPool>, depth: u32, units: u32) {
+    let pool2 = Arc::clone(pool);
+    pool.execute(move || {
+        std::hint::black_box(spin(units));
+        if depth > 0 {
+            spawn_tree(&pool2, depth - 1, units);
+            spawn_tree(&pool2, depth - 1, units);
+        }
+    })
+    .expect("pool accepts while alive");
+}
+
+/// Runs the contended stream on a fresh pool with the given scheduler;
+/// counters are read back through a live obs registry so the evidence
+/// is the same the operators' dashboards would see.
+pub fn run_contended(scheduler: Scheduler, p: ContendedParams) -> ContendedOutcome {
+    let registry = obs::Registry::new();
+    let pool = Arc::new(ThreadPool::with_observability(
+        p.workers, scheduler, &registry,
+    ));
+    let shorts_total = p.submitters * (p.jobs_per_submitter - p.jobs_per_submitter / p.tree_every);
+    // Preallocated per-short-job latency slots (nanoseconds) —
+    // recording is one relaxed store, so the measurement adds no
+    // shared contention of its own.
+    let lat: Arc<Vec<AtomicU64>> = Arc::new((0..shorts_total).map(|_| AtomicU64::new(0)).collect());
+    let next_slot = Arc::new(AtomicU64::new(0));
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..p.submitters {
+            let pool = Arc::clone(&pool);
+            let lat = Arc::clone(&lat);
+            let next_slot = Arc::clone(&next_slot);
+            s.spawn(move || {
+                for i in 0..p.jobs_per_submitter {
+                    if i % p.tree_every == p.tree_every - 1 {
+                        spawn_tree(&pool, p.tree_depth, p.spin);
+                    } else {
+                        let slot = next_slot.fetch_add(1, Ordering::Relaxed) as usize;
+                        let lat = Arc::clone(&lat);
+                        let units = p.spin;
+                        let born = Instant::now();
+                        pool.execute(move || {
+                            std::hint::black_box(spin(units));
+                            lat[slot].store(born.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        })
+                        .expect("pool accepts while alive");
+                    }
+                }
+            });
+        }
+    });
+    pool.wait_empty();
+    let makespan = t0.elapsed();
+
+    let snap = registry.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let mut shorts: Vec<u64> = lat.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    shorts.sort_unstable();
+    let pct = |p: f64| -> Duration {
+        if shorts.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((shorts.len() as f64 * p).ceil() as usize).clamp(1, shorts.len());
+        Duration::from_nanos(shorts[rank - 1])
+    };
+    ContendedOutcome {
+        scheduler,
+        makespan,
+        throughput: p.total_jobs() as f64 / makespan.as_secs_f64().max(1e-9),
+        p50_short: pct(0.50),
+        p99_short: pct(0.99),
+        claims: counter("pool.claims"),
+        local_hits: counter("pool.local_hits"),
+        steals: counter("pool.steals"),
+        batch_steals: counter("pool.batch_steals"),
+        steal_cas_failures: counter("pool.steal_cas_failures"),
+        empty_steals: counter("pool.empty_steals"),
+    }
+}
+
+/// One interleaved round: mutex deques first, lock-free second, same
+/// parameters. (E17 interleaves whole rounds so host noise hits both
+/// schedulers evenly.)
+pub fn compare(p: ContendedParams) -> (ContendedOutcome, ContendedOutcome) {
+    (
+        run_contended(Scheduler::WorkStealing, p),
+        run_contended(Scheduler::LockFree, p),
+    )
+}
+
+/// Shape of the deque-level owner-vs-thieves duel (E17 Part A).
+#[derive(Debug, Clone, Copy)]
+pub struct DuelParams {
+    /// Elements the owner pushes over the whole duel; each must be
+    /// claimed exactly once, by the owner or by a thief.
+    pub elements: u64,
+    /// Thief threads stealing from the other end.
+    pub thieves: usize,
+    /// Owner pushes per burst (then pops `burst_pop` back, LIFO —
+    /// the divide-and-conquer expansion shape; the rest is left for
+    /// the thieves).
+    pub burst_push: usize,
+    /// Owner pops per burst.
+    pub burst_pop: usize,
+    /// Every `sample_every`-th owner push is timed for the owner-op
+    /// p99 (sampling keeps the clock reads from dominating the ops
+    /// being measured).
+    pub sample_every: u64,
+}
+
+/// E17 Part A defaults: one owner against 3 thieves over 300k
+/// elements, push-8/pop-4 bursts, every 16th owner push timed. One
+/// side of one round is ~25–50ms of wall clock.
+pub fn duel_params() -> DuelParams {
+    DuelParams {
+        elements: 300_000,
+        thieves: 3,
+        burst_push: 8,
+        burst_pop: 4,
+        sample_every: 16,
+    }
+}
+
+/// One queue implementation's run of the duel.
+#[derive(Debug, Clone)]
+pub struct DuelOutcome {
+    /// `"mutex-deque"` or `"chase-lev"`.
+    pub label: &'static str,
+    /// Elements claimed per second of wall clock (owner + thieves).
+    pub throughput: f64,
+    /// Sampled 99th-percentile latency of the owner's push — the
+    /// operation a pool worker performs on its hottest path. For the
+    /// mutex this includes time spent waiting on thieves holding the
+    /// lock; the Chase–Lev owner never waits.
+    pub p99_owner_op: Duration,
+    /// Elements the owner popped back itself.
+    pub owner_claims: u64,
+    /// Elements the thieves stole.
+    pub stolen: u64,
+    /// `Steal::Retry` results the thieves absorbed (lost CAS races;
+    /// structurally 0 for the mutex, which cannot lose a CAS).
+    pub cas_failures: u64,
+}
+
+fn percentile_ns(mut samples: Vec<u64>, p: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    let rank = ((samples.len() as f64 * p).ceil() as usize).clamp(1, samples.len());
+    Duration::from_nanos(samples[rank - 1])
+}
+
+/// The duel over the bare Chase–Lev deque.
+pub fn duel_chase_lev(p: DuelParams) -> DuelOutcome {
+    let (worker, stealer) = deque_with_capacity::<u64>(64);
+    let done = Arc::new(AtomicBool::new(false));
+    let stolen = Arc::new(AtomicU64::new(0));
+    let stolen_sum = Arc::new(AtomicU64::new(0));
+    let cas_failures = Arc::new(AtomicU64::new(0));
+    let mut owner_lat = Vec::with_capacity((p.elements / p.sample_every) as usize + 1);
+    let mut owner_claims = 0u64;
+    let mut owner_sum = 0u64;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..p.thieves {
+            let st = stealer.clone();
+            let done = Arc::clone(&done);
+            let stolen = Arc::clone(&stolen);
+            let stolen_sum = Arc::clone(&stolen_sum);
+            let cas_failures = Arc::clone(&cas_failures);
+            s.spawn(move || loop {
+                match st.steal() {
+                    Steal::Success(v) => {
+                        stolen_sum.fetch_add(v, Ordering::Relaxed);
+                        stolen.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Retry => {
+                        cas_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) && st.is_empty() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        let mut next = 0u64;
+        while next < p.elements {
+            for _ in 0..p.burst_push {
+                if next >= p.elements {
+                    break;
+                }
+                if next.is_multiple_of(p.sample_every) {
+                    let op = Instant::now();
+                    worker.push(next);
+                    owner_lat.push(op.elapsed().as_nanos() as u64);
+                } else {
+                    worker.push(next);
+                }
+                next += 1;
+            }
+            for _ in 0..p.burst_pop {
+                if let Some(v) = worker.pop() {
+                    owner_sum += v;
+                    owner_claims += 1;
+                }
+            }
+        }
+        while let Some(v) = worker.pop() {
+            owner_sum += v;
+            owner_claims += 1;
+        }
+        done.store(true, Ordering::Release);
+    });
+    let wall = t0.elapsed();
+    let stolen = stolen.load(Ordering::Relaxed);
+    // Conservation: every element claimed exactly once, by whoever.
+    assert_eq!(owner_claims + stolen, p.elements, "duel lost elements");
+    assert_eq!(
+        owner_sum + stolen_sum.load(Ordering::Relaxed),
+        p.elements * (p.elements - 1) / 2,
+        "duel checksum broken: an element was claimed twice or never"
+    );
+    DuelOutcome {
+        label: "chase-lev",
+        throughput: p.elements as f64 / wall.as_secs_f64().max(1e-9),
+        p99_owner_op: percentile_ns(owner_lat, 0.99),
+        owner_claims,
+        stolen,
+        cas_failures: cas_failures.load(Ordering::Relaxed),
+    }
+}
+
+/// The duel over the mutex deque the pool used before PR 7 — owner
+/// pushes/pops the back, thieves pop the front, every operation
+/// through the same lock.
+pub fn duel_mutex_deque(p: DuelParams) -> DuelOutcome {
+    let q: Arc<Mutex<VecDeque<u64>>> = Arc::new(Mutex::new(VecDeque::with_capacity(64)));
+    let done = Arc::new(AtomicBool::new(false));
+    let stolen = Arc::new(AtomicU64::new(0));
+    let stolen_sum = Arc::new(AtomicU64::new(0));
+    let mut owner_lat = Vec::with_capacity((p.elements / p.sample_every) as usize + 1);
+    let mut owner_claims = 0u64;
+    let mut owner_sum = 0u64;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..p.thieves {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            let stolen = Arc::clone(&stolen);
+            let stolen_sum = Arc::clone(&stolen_sum);
+            s.spawn(move || loop {
+                let v = q.lock().expect("duel mutex poisoned").pop_front();
+                match v {
+                    Some(v) => {
+                        stolen_sum.fetch_add(v, Ordering::Relaxed);
+                        stolen.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        let mut next = 0u64;
+        while next < p.elements {
+            for _ in 0..p.burst_push {
+                if next >= p.elements {
+                    break;
+                }
+                if next.is_multiple_of(p.sample_every) {
+                    let op = Instant::now();
+                    q.lock().expect("duel mutex poisoned").push_back(next);
+                    owner_lat.push(op.elapsed().as_nanos() as u64);
+                } else {
+                    q.lock().expect("duel mutex poisoned").push_back(next);
+                }
+                next += 1;
+            }
+            for _ in 0..p.burst_pop {
+                let v = q.lock().expect("duel mutex poisoned").pop_back();
+                if let Some(v) = v {
+                    owner_sum += v;
+                    owner_claims += 1;
+                }
+            }
+        }
+        loop {
+            let v = q.lock().expect("duel mutex poisoned").pop_back();
+            match v {
+                Some(v) => {
+                    owner_sum += v;
+                    owner_claims += 1;
+                }
+                None => break,
+            }
+        }
+        done.store(true, Ordering::Release);
+    });
+    let wall = t0.elapsed();
+    let stolen = stolen.load(Ordering::Relaxed);
+    assert_eq!(owner_claims + stolen, p.elements, "duel lost elements");
+    assert_eq!(
+        owner_sum + stolen_sum.load(Ordering::Relaxed),
+        p.elements * (p.elements - 1) / 2,
+        "duel checksum broken: an element was claimed twice or never"
+    );
+    DuelOutcome {
+        label: "mutex-deque",
+        throughput: p.elements as f64 / wall.as_secs_f64().max(1e-9),
+        p99_owner_op: percentile_ns(owner_lat, 0.99),
+        owner_claims,
+        stolen,
+        cas_failures: 0,
+    }
+}
+
+/// One interleaved duel round: mutex deque first, Chase–Lev second.
+pub fn deque_duel(p: DuelParams) -> (DuelOutcome, DuelOutcome) {
+    (duel_mutex_deque(p), duel_chase_lev(p))
+}

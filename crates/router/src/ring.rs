@@ -105,6 +105,47 @@ impl Ring {
             .map(|off| self.points[(start + off) % self.points.len()].1)
             .find(|&b| live(b))
     }
+
+    /// [`Ring::route_live`], latency-aware: between the key's live
+    /// owner and its live ring successor, prefer the successor only
+    /// when the owner's forward-RTT EWMA is more than **twice** the
+    /// successor's. The 2x hysteresis keeps cache affinity the
+    /// default — a key only abandons its cache-warm owner when the
+    /// owner is measurably drowning, and it spills to the one backend
+    /// that will own the key if the owner later dies (so the spilled
+    /// traffic warms exactly the cache that failover would use). A
+    /// backend with no samples yet (`ewma_us == 0`) is never judged:
+    /// affinity wins.
+    ///
+    /// Even when the owner is drowning, only **odd `tick`s** spill
+    /// (callers pass a monotonically increasing counter): shedding
+    /// *every* request would drain the owner completely, and since
+    /// only forwarded requests feed the EWMA, a fully drained backend
+    /// stops producing samples and the "drowning" verdict could never
+    /// recover. The alternating hedge sheds half the load, keeps the
+    /// owner's cache warm, and keeps its EWMA honest.
+    pub fn route_balanced(
+        &self,
+        key: u64,
+        live: impl Fn(u32) -> bool,
+        ewma_us: impl Fn(u32) -> u64,
+        tick: u64,
+    ) -> Option<u32> {
+        let primary = self.route_live(key, &live)?;
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        let successor = (0..self.points.len())
+            .map(|off| self.points[(start + off) % self.points.len()].1)
+            .find(|&b| b != primary && live(b));
+        let Some(successor) = successor else {
+            return Some(primary); // only one live backend: no choice
+        };
+        let (own, next) = (ewma_us(primary), ewma_us(successor));
+        if own > 0 && next > 0 && own > next.saturating_mul(2) && tick & 1 == 1 {
+            Some(successor)
+        } else {
+            Some(primary)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +183,78 @@ mod tests {
             None,
             "all down routes nowhere"
         );
+    }
+
+    #[test]
+    fn route_balanced_keeps_affinity_until_the_owner_is_twice_as_slow() {
+        let ring = Ring::new(&[0, 1, 2], 64);
+        let all_live = |_: u32| true;
+        for k in 0..500u64 {
+            let key = mix(k.wrapping_mul(17));
+            let owner = ring.assign(key);
+            for tick in [0, 1] {
+                // No samples anywhere: affinity wins at every tick.
+                assert_eq!(ring.route_balanced(key, all_live, |_| 0, tick), Some(owner));
+                // Owner slower but within the 2x hysteresis: affinity.
+                assert_eq!(
+                    ring.route_balanced(
+                        key,
+                        all_live,
+                        |b| if b == owner { 190 } else { 100 },
+                        tick
+                    ),
+                    Some(owner),
+                    "1.9x slower must not break cache affinity"
+                );
+            }
+            // Owner drowning (>2x the successor): odd ticks spill...
+            let drowning = |b: u32| if b == owner { 1000 } else { 100 };
+            let spilled = ring
+                .route_balanced(key, all_live, drowning, 1)
+                .expect("backends live");
+            assert_ne!(spilled, owner, "a drowning owner sheds its keys");
+            // ...to the failover target: the live ring successor
+            // route_live would pick with the owner down.
+            assert_eq!(
+                Some(spilled),
+                ring.route_live(key, |b| b != owner),
+                "spilled traffic must warm the failover backend's cache"
+            );
+            // ...and even ticks keep affinity — the hedge that keeps a
+            // drowning owner sampled (and its cache warm) at half load.
+            assert_eq!(
+                ring.route_balanced(key, all_live, drowning, 2),
+                Some(owner),
+                "even ticks must not spill"
+            );
+        }
+    }
+
+    #[test]
+    fn route_balanced_degenerates_at_the_edges() {
+        let ring = Ring::new(&[0, 1, 2], 64);
+        for tick in [0, 1] {
+            // All backends down: nowhere to route.
+            assert_eq!(ring.route_balanced(7, |_| false, |_| 0, tick), None);
+            // One backend live: EWMAs are irrelevant, it gets everything.
+            for k in 0..100u64 {
+                let key = mix(k);
+                assert_eq!(
+                    ring.route_balanced(key, |b| b == 2, |b| 1000 * (b as u64 + 1), tick),
+                    Some(2)
+                );
+            }
+            // Un-sampled successor is never judged faster: affinity
+            // holds even when the owner has a (large) measured EWMA.
+            for k in 0..100u64 {
+                let key = mix(k.wrapping_mul(29));
+                let owner = ring.assign(key);
+                assert_eq!(
+                    ring.route_balanced(key, |_| true, |b| if b == owner { 5000 } else { 0 }, tick),
+                    Some(owner)
+                );
+            }
+        }
     }
 
     #[test]

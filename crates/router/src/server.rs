@@ -274,6 +274,9 @@ struct Shared {
     all_closed: Condvar,
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn_id: AtomicU64,
+    /// Monotonic forward counter feeding [`Ring::route_balanced`]'s
+    /// alternating spill hedge.
+    spill_tick: AtomicU64,
     forwarded: AtomicU64,
     relayed: AtomicU64,
     rerouted: AtomicU64,
@@ -343,6 +346,7 @@ impl Router {
             all_closed: Condvar::new(),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
+            spill_tick: AtomicU64::new(0),
             forwarded: AtomicU64::new(0),
             relayed: AtomicU64::new(0),
             rerouted: AtomicU64::new(0),
@@ -860,8 +864,11 @@ fn stats_response(id: u64, body: String) -> Vec<u8> {
 }
 
 /// Routes one client request: hash the cache key, pick the owning live
-/// backend, patch in a router id, record it pending, send. No live
-/// backend sheds immediately and honestly.
+/// backend — unless its forward-RTT EWMA says it is drowning (more
+/// than twice the EWMA of its ring successor), in which case every
+/// other request spills to that successor, the same backend failover
+/// would pick (see [`Ring::route_balanced`] for the hedge rationale).
+/// No live backend sheds immediately and honestly.
 fn forward(
     shared: &Arc<Shared>,
     client_id: u64,
@@ -870,9 +877,12 @@ fn forward(
     out: &Arc<Outbound>,
 ) {
     let key = request_key(req);
-    let target = shared
-        .ring
-        .route_live(key, |b| shared.backends[b as usize].health.is_up());
+    let target = shared.ring.route_balanced(
+        key,
+        |b| shared.backends[b as usize].health.is_up(),
+        |b| shared.backends[b as usize].health.ewma_us(),
+        shared.spill_tick.fetch_add(1, Ordering::Relaxed),
+    );
     let Some(backend) = target else {
         shared.no_backend_shed.fetch_add(1, Ordering::Relaxed);
         shared.synthesized_shed.fetch_add(1, Ordering::Relaxed);

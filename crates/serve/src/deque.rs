@@ -1,0 +1,719 @@
+//! A lock-free Chase–Lev work-stealing deque — the repo's first
+//! deliberate `unsafe`, and the replacement for the `Mutex<VecDeque>`
+//! per-worker queues under [`crate::pool::Scheduler::LockFree`].
+//!
+//! One thread (the **owner**, holding the [`Worker`] handle) pushes and
+//! pops at the *bottom* of a growable circular buffer, LIFO, with no
+//! lock and no CAS on the fast path. Any number of **thieves** (each
+//! holding its own [`Stealer`] handle) take from the *top*, FIFO,
+//! with a single CAS per steal. The only moment owner and thieves can
+//! contend for the same element is when exactly one element remains;
+//! that race is decided by a CAS on `top`, guarded by the canonical
+//! `SeqCst` fence (Chase & Lev 2005; orderings after Lê, Pop, Cohen &
+//! Nardelli, PPoPP 2013).
+//!
+//! ## Layout and the index protocol
+//!
+//! `top` and `bottom` are monotonically increasing `i64` positions
+//! (never wrapped, so CASes on `top` are ABA-free); a position maps to
+//! a slot by masking with the (power-of-two) buffer capacity. The
+//! deque's elements live at positions `top..bottom`:
+//!
+//! * **push** (owner): write the element at `bottom`, then publish
+//!   with a `Release` store of `bottom + 1` — a thief that observes
+//!   the new `bottom` via its `Acquire` load also observes the
+//!   element's bits.
+//! * **pop** (owner): decrement `bottom` first, then `SeqCst`-fence,
+//!   then read `top`. The fence forces the decrement and the thief's
+//!   CAS into one total order: either the thief's CAS sees the old
+//!   `bottom` and the owner sees the advanced `top` (thief wins), or
+//!   the owner's decrement is ordered first and the thief's
+//!   re-validation fails. When `top == bottom` (last element) the
+//!   owner must itself CAS `top` forward — winning the race against
+//!   any thief — before it may keep the element.
+//! * **steal** (thief): read `top`, `SeqCst`-fence, read `bottom`;
+//!   if non-empty, copy the element at `top` out and CAS
+//!   `top → top + 1`. The copy happens *before* the CAS, so the bits
+//!   read may be stale or torn if another thief (or the owner's
+//!   last-element pop) got there first — but then the CAS fails and
+//!   the copy is discarded without ever being treated as a `T`.
+//!
+//! Slot reads and writes are **per-word relaxed atomics** (the C11
+//! formulation), not plain memory accesses: a stalled thief may read a
+//! slot the owner is concurrently overwriting after the positions
+//! wrapped the buffer. The torn value is discarded when the CAS fails;
+//! making the accesses atomic makes the race well-defined (and keeps
+//! ThreadSanitizer quiet, which `scripts/tsan.sh` relies on).
+//!
+//! ## Growth and epoch-based buffer retirement
+//!
+//! When the buffer fills, the owner allocates one twice as large,
+//! copies positions `top..bottom`, and publishes it with a `SeqCst`
+//! store. The old buffer cannot be freed yet: a thief that loaded the
+//! old pointer may still be mid-copy. Retirement is an epoch /
+//! quiescence scheme (the discipline of the cs431/cs492 lock-free
+//! exemplars):
+//!
+//! * every [`Stealer`] owns a **pin slot**; a steal pins by storing
+//!   the deque's current epoch into its slot (re-validating that the
+//!   epoch did not move — see [`Stealer::pin`]), and unpins by
+//!   storing [`IDLE`] when done;
+//! * the owner retires an old buffer tagged with the current epoch and
+//!   *then* advances the epoch (both `SeqCst`);
+//! * a retired buffer tagged `t` is freed only once every pin slot is
+//!   `IDLE` or holds an epoch `> t`.
+//!
+//! Why that is safe: a thief pinned at epoch `e` loads the buffer
+//! pointer only *after* its pin is validated. If `e > t`, the
+//! validation load observed the epoch advance, which (in the `SeqCst`
+//! total order) happens after the new buffer was published — so the
+//! thief's pointer load can only see the new buffer, never buffer `t`.
+//! If `e <= t`, the owner's scan sees `e` in the slot and keeps buffer
+//! `t` alive. The scan-misses-the-pin race is closed by the
+//! validation loop: a pin stored after the owner's scan re-reads the
+//! epoch, finds it advanced past `e`, and re-pins at the new epoch —
+//! again unable to reach buffer `t`. The full argument is written out
+//! in DESIGN.md §12.
+//!
+//! Handles, not discipline, enforce the roles: [`Worker`] is `Send`
+//! but not `Sync` and not `Clone` (exactly one owner thread at a
+//! time), and each [`Stealer`] is `Send` but not `Sync` (one pin slot
+//! per stealing thread; `Clone` mints a fresh slot). The public API is
+//! entirely safe — all `unsafe` is private to this module, each block
+//! annotated with the invariant it relies on.
+
+#![allow(unsafe_code)]
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::mem::{self, MaybeUninit};
+use std::sync::atomic::{fence, AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The pin-slot value meaning "this stealer is not reading any
+/// buffer": never a valid epoch (epochs count up from 0).
+const IDLE: u64 = u64::MAX;
+
+/// Slots each element occupies, in machine words; elements are copied
+/// word-by-word with relaxed atomics. Bounded so the staging area on
+/// the stack stays small — raise it if a job type ever outgrows it
+/// (checked at construction, not per operation).
+const MAX_WORDS: usize = 8;
+
+/// Default initial capacity (slots) of a fresh deque.
+const MIN_CAP: usize = 64;
+
+const WORD: usize = mem::size_of::<usize>();
+
+/// Words needed to hold one `T`.
+fn words_per<T>() -> usize {
+    mem::size_of::<T>().div_ceil(WORD)
+}
+
+/// The outcome of a steal attempt.
+#[derive(Debug)]
+pub enum Steal<T> {
+    /// The deque had nothing to take when the thief looked.
+    Empty,
+    /// Another thread won the race for the observed element; the
+    /// deque may still be non-empty — retrying immediately is fair.
+    Retry,
+    /// The thief now owns this element.
+    Success(T),
+}
+
+/// The growable circular buffer: `cap * words_per` relaxed-atomic
+/// words. Untyped on purpose — element ownership is tracked by the
+/// `top`/`bottom` protocol, never by the buffer, so freeing a buffer
+/// never drops elements (they either moved to a newer buffer on
+/// growth or were claimed through a CAS).
+struct Buffer {
+    /// Power of two, so position → slot is a mask.
+    cap: usize,
+    words_per: usize,
+    words: Box<[AtomicUsize]>,
+}
+
+impl Buffer {
+    fn alloc(cap: usize, words_per: usize) -> *mut Buffer {
+        debug_assert!(cap.is_power_of_two());
+        Box::into_raw(Box::new(Buffer {
+            cap,
+            words_per,
+            words: (0..cap * words_per).map(|_| AtomicUsize::new(0)).collect(),
+        }))
+    }
+
+    /// First word of the slot for position `index` (`index >= 0`).
+    fn slot(&self, index: i64) -> usize {
+        (index as usize & (self.cap - 1)) * self.words_per
+    }
+
+    /// Moves `value` into the slot for `index`. Owner-only (the owner
+    /// is the sole writer of element bits in the *current* buffer).
+    /// Ownership of `value` transfers to the slot: no drop here, and
+    /// the bits are dropped exactly once by whoever wins the element.
+    fn write<T>(&self, index: i64, value: T) {
+        let mut staged = [0usize; MAX_WORDS];
+        // SAFETY: `staged` is word-aligned and at least
+        // `size_of::<T>()` bytes (words_per::<T>() <= MAX_WORDS is
+        // asserted at deque construction, and align_of::<T>() <= WORD).
+        // `value` is moved in and deliberately not dropped — the slot
+        // now owns the bits.
+        unsafe { std::ptr::write(staged.as_mut_ptr().cast::<T>(), value) };
+        let base = self.slot(index);
+        for (w, word) in staged.iter().enumerate().take(self.words_per) {
+            self.words[base + w].store(*word, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies the bits at `index` out. The result is only a valid `T`
+    /// if the caller subsequently *wins* the element (its CAS on `top`
+    /// succeeds, or it is the owner acting under the pop protocol) —
+    /// until then the bits may be stale or torn and must be discarded
+    /// without `assume_init`.
+    fn read<T>(&self, index: i64) -> MaybeUninit<T> {
+        let mut staged = [0usize; MAX_WORDS];
+        let base = self.slot(index);
+        for (w, word) in staged.iter_mut().enumerate().take(self.words_per) {
+            *word = self.words[base + w].load(Ordering::Relaxed);
+        }
+        // SAFETY: `staged` is word-aligned, large enough for `T`, and
+        // the destination is `MaybeUninit<T>` — reinterpreting
+        // possibly-torn bits as *maybe-uninitialized* is always sound;
+        // soundness of a later `assume_init` is the caller's proof
+        // obligation (CAS victory).
+        unsafe { std::ptr::read(staged.as_ptr().cast::<MaybeUninit<T>>()) }
+    }
+
+    /// Copies the raw words of position `index` from `src` (growth
+    /// path: the owner relocating live elements into a new buffer).
+    fn copy_from(&self, src: &Buffer, index: i64) {
+        let from = src.slot(index);
+        let to = self.slot(index);
+        for w in 0..self.words_per {
+            self.words[to + w].store(
+                src.words[from + w].load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+        }
+    }
+}
+
+/// State shared by the owner and every thief.
+struct Inner<T> {
+    /// Next position a thief takes (monotonic; CAS-advanced).
+    top: AtomicI64,
+    /// Next position the owner writes (moved only by the owner).
+    bottom: AtomicI64,
+    /// The current buffer. Superseded buffers move to `retired`.
+    buffer: AtomicPtr<Buffer>,
+    /// Retirement epoch: advanced (`SeqCst`) each time a buffer is
+    /// retired. Thieves pin the epoch they observe before touching
+    /// `buffer`.
+    epoch: AtomicU64,
+    /// One pin slot per live [`Stealer`]. Locked only when stealers
+    /// are minted/dropped and when the owner scans during reclamation
+    /// — never on any push/pop/steal fast path.
+    pins: Mutex<Vec<Arc<AtomicU64>>>,
+    /// Superseded buffers awaiting quiescence, tagged with the epoch
+    /// at which they were retired. Owner-only (guarded by the lock for
+    /// `Drop`'s benefit; uncontended in steady state).
+    retired: Mutex<Vec<(u64, *mut Buffer)>>,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: elements (`T`) cross threads exactly once each (push by the
+// owner, claim by owner-pop or a CAS-winning thief), so `T: Send`
+// suffices; the shared control state is all atomics and mutexes.
+unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: as above — all concurrent access to `Inner`'s fields goes
+// through atomics or mutexes; raw buffer pointers are dereferenced
+// only under the pin/epoch protocol documented at module level.
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Inner<T> {
+    /// Frees retired buffers no pinned thief can still reference: a
+    /// buffer tagged `t` is reachable only by a thief whose pin slot
+    /// holds an epoch `<= t` (see the module-level argument).
+    fn reclaim(&self) {
+        let min_pinned = {
+            let pins = self.pins.lock().expect("deque pin registry poisoned");
+            pins.iter()
+                .map(|p| p.load(Ordering::SeqCst))
+                .min()
+                .unwrap_or(IDLE)
+        };
+        let mut retired = self.retired.lock().expect("deque retired list poisoned");
+        retired.retain(|&(tag, ptr)| {
+            if tag < min_pinned {
+                // SAFETY: `ptr` came from `Buffer::alloc` (Box) and is
+                // reachable by no thief: every pin slot is IDLE or
+                // holds an epoch > tag, and the quiescence argument
+                // shows such a thief can only load the newer buffer.
+                // The owner itself reloads `buffer` before every
+                // access, so it holds no stale reference either.
+                drop(unsafe { Box::from_raw(ptr) });
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no owner, no thieves. Drop the elements
+        // still queued, then free the current and retired buffers.
+        let t = self.top.load(Ordering::Relaxed);
+        let b = self.bottom.load(Ordering::Relaxed);
+        let buf_ptr = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: `buf_ptr` is the current buffer, valid until freed
+        // below; positions `t..b` hold initialized elements nobody
+        // else can claim anymore (no handles remain).
+        let buf = unsafe { &*buf_ptr };
+        for i in t..b {
+            // SAFETY: position `i` is within `top..bottom`, so the
+            // slot holds a live `T` this drop now uniquely owns.
+            drop(unsafe { buf.read::<T>(i).assume_init() });
+        }
+        // SAFETY: allocated by `Buffer::alloc`; no references remain.
+        drop(unsafe { Box::from_raw(buf_ptr) });
+        let retired = mem::take(&mut *self.retired.lock().expect("deque retired list poisoned"));
+        for (_, ptr) in retired {
+            // SAFETY: retired buffers hold no owned elements (their
+            // live range was copied forward on growth); allocated by
+            // `Buffer::alloc`; no thief remains to reference them.
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
+}
+
+/// The owner-side handle: LIFO `push`/`pop` with no lock and no CAS on
+/// the fast path. `Send` but deliberately neither `Sync` nor `Clone` —
+/// the Chase–Lev protocol admits exactly one owner thread at a time.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// `Cell` makes this `!Sync` without a negative impl.
+    _not_sync: PhantomData<Cell<()>>,
+}
+
+/// A thief-side handle: FIFO `steal` by CAS. `Send` but not `Sync`
+/// (the pin slot is single-thread); `Clone` mints a fresh pin slot, so
+/// every stealing thread clones its own handle.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+    pin: Arc<AtomicU64>,
+    _not_sync: PhantomData<Cell<()>>,
+}
+
+/// Creates an owner/thief handle pair with the default capacity.
+pub fn deque<T: Send>() -> (Worker<T>, Stealer<T>) {
+    deque_with_capacity(MIN_CAP)
+}
+
+/// Creates a deque with an explicit initial capacity (rounded up to a
+/// power of two, minimum 2) — small capacities force the growth path,
+/// which is what the stress tests hammer.
+///
+/// # Panics
+/// If `T` is larger than [`MAX_WORDS`] machine words or more aligned
+/// than a word.
+pub fn deque_with_capacity<T: Send>(cap: usize) -> (Worker<T>, Stealer<T>) {
+    assert!(
+        words_per::<T>() <= MAX_WORDS,
+        "element type too large for the deque's staging area"
+    );
+    assert!(
+        mem::align_of::<T>() <= WORD,
+        "element type over-aligned for word-wise slot copies"
+    );
+    let cap = cap.max(2).next_power_of_two();
+    let inner = Arc::new(Inner {
+        top: AtomicI64::new(0),
+        bottom: AtomicI64::new(0),
+        buffer: AtomicPtr::new(Buffer::alloc(cap, words_per::<T>())),
+        epoch: AtomicU64::new(0),
+        pins: Mutex::new(Vec::new()),
+        retired: Mutex::new(Vec::new()),
+        _marker: PhantomData,
+    });
+    let worker = Worker {
+        inner: Arc::clone(&inner),
+        _not_sync: PhantomData,
+    };
+    let stealer = Stealer::register(inner);
+    (worker, stealer)
+}
+
+impl<T: Send> Worker<T> {
+    /// Pushes at the bottom (LIFO end). Lock-free: the only write
+    /// shared with thieves is the `Release` publication of `bottom`.
+    pub fn push(&self, value: T) {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Acquire);
+        let mut buf_ptr = self.inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: the current buffer is freed only by the owner (this
+        // thread) during reclamation, which it is not doing now.
+        if b - t >= unsafe { &*buf_ptr }.cap as i64 {
+            self.grow(t, b);
+            buf_ptr = self.inner.buffer.load(Ordering::Relaxed);
+        }
+        // SAFETY: current buffer, valid as above; position `b` is
+        // outside `top..bottom`, so no thief reads it as an element
+        // until the `Release` store of `bottom` publishes it.
+        unsafe { &*buf_ptr }.write(b, value);
+        self.inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pops from the bottom (the newest element). Lock-free; a CAS is
+    /// needed only for the very last element, where owner and thieves
+    /// can race.
+    pub fn pop(&self) -> Option<T> {
+        let b = self.inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf_ptr = self.inner.buffer.load(Ordering::Relaxed);
+        self.inner.bottom.store(b, Ordering::Relaxed);
+        // The canonical Chase–Lev fence: orders the `bottom` decrement
+        // against every thief's top/bottom reads, so owner and thief
+        // cannot both conclude they own the last element.
+        fence(Ordering::SeqCst);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        if t <= b {
+            // SAFETY: current buffer (owner never holds a stale
+            // pointer across its own reclamation; none ran since the
+            // load above — both happen on this thread).
+            let v = unsafe { &*buf_ptr }.read::<T>(b);
+            if t == b {
+                // Last element: win it with the same CAS thieves use.
+                if self
+                    .inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // A thief won; the bits we copied are theirs.
+                    // `v` stays MaybeUninit — never dropped here.
+                    self.inner.bottom.store(b + 1, Ordering::Relaxed);
+                    return None;
+                }
+                self.inner.bottom.store(b + 1, Ordering::Relaxed);
+            }
+            // SAFETY: either `t < b` (the element was strictly inside
+            // the deque — thieves can reach at most `top`, which the
+            // fence proves was still `< b` after our decrement) or the
+            // CAS above succeeded, which is exactly the proof we won
+            // the last element.
+            Some(unsafe { v.assume_init() })
+        } else {
+            // Empty: restore bottom.
+            self.inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Elements currently in the deque, as seen by the owner (exact
+    /// between owner operations; racing steals may make it stale by
+    /// the time the caller looks).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether [`Worker::len`] is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mints a new thief handle (with its own pin slot).
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer::register(Arc::clone(&self.inner))
+    }
+
+    /// Doubles the buffer, copying live positions, and retires the old
+    /// buffer under the epoch scheme.
+    fn grow(&self, t: i64, b: i64) {
+        let old_ptr = self.inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: current buffer, valid until retired below.
+        let old = unsafe { &*old_ptr };
+        let new_ptr = Buffer::alloc(old.cap * 2, old.words_per);
+        // SAFETY: freshly allocated, not yet shared.
+        let new = unsafe { &*new_ptr };
+        for i in t..b {
+            new.copy_from(old, i);
+        }
+        // Publish the new buffer, then advance the epoch, both SeqCst:
+        // a thief whose pin validates against the advanced epoch is
+        // guaranteed (in the SeqCst total order) to load the new
+        // pointer, which is what lets the old buffer eventually be
+        // freed.
+        self.inner.buffer.store(new_ptr, Ordering::SeqCst);
+        let tag = self.inner.epoch.fetch_add(1, Ordering::SeqCst);
+        self.inner
+            .retired
+            .lock()
+            .expect("deque retired list poisoned")
+            .push((tag, old_ptr));
+        self.inner.reclaim();
+    }
+}
+
+impl<T> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("deque::Worker").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("deque::Stealer").finish_non_exhaustive()
+    }
+}
+
+/// Unpins the stealer's slot when a steal attempt finishes.
+struct PinGuard<'a>(&'a AtomicU64);
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(IDLE, Ordering::Release);
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    fn register(inner: Arc<Inner<T>>) -> Stealer<T> {
+        let pin = Arc::new(AtomicU64::new(IDLE));
+        inner
+            .pins
+            .lock()
+            .expect("deque pin registry poisoned")
+            .push(Arc::clone(&pin));
+        Stealer {
+            inner,
+            pin,
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Publishes "I may dereference the buffer pointer" before the
+    /// load, with the validation loop that closes the race against a
+    /// concurrent retire-and-scan (module docs; DESIGN.md §12).
+    fn pin(&self) -> PinGuard<'_> {
+        let mut e = self.inner.epoch.load(Ordering::SeqCst);
+        loop {
+            self.pin.store(e, Ordering::SeqCst);
+            let now = self.inner.epoch.load(Ordering::SeqCst);
+            if now == e {
+                return PinGuard(&self.pin);
+            }
+            e = now;
+        }
+    }
+
+    /// One steal attempt from the top (FIFO end): copy, then CAS. The
+    /// element is only owned — and its bits only trusted — if the CAS
+    /// succeeds.
+    pub fn steal(&self) -> Steal<T> {
+        let _pin = self.pin();
+        let t = self.inner.top.load(Ordering::Acquire);
+        // Order our `top` read before the `bottom` read, pairing with
+        // the owner-pop fence: if a pop's decrement is ordered before
+        // this fence, we see the shrunken deque; otherwise the pop
+        // sees our (future) CAS.
+        fence(Ordering::SeqCst);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // SeqCst pairs with the grow-path publication for the epoch
+        // argument; the pin above keeps whichever buffer we load alive
+        // until the guard drops.
+        let buf_ptr = self.inner.buffer.load(Ordering::SeqCst);
+        // SAFETY: the pin/epoch protocol guarantees this pointer is
+        // not freed while our pin slot holds an epoch <= its retire
+        // tag; the bits read may still be stale — see below.
+        let v = unsafe { &*buf_ptr }.read::<T>(t);
+        if self
+            .inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            // Lost the race; `v` may be torn and is discarded as
+            // MaybeUninit (no drop).
+            return Steal::Retry;
+        }
+        // SAFETY: the CAS succeeded, so position `t` was still inside
+        // `top..bottom` when we advanced `top` — the bits we copied
+        // are the committed element, and we are its unique owner.
+        Steal::Success(unsafe { v.assume_init() })
+    }
+
+    /// Elements visible to this thief right now (approximate under
+    /// concurrency; used for steal-batch sizing, not correctness).
+    pub fn len(&self) -> usize {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether [`Stealer::len`] is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Send> Clone for Stealer<T> {
+    /// A fresh handle with its *own* pin slot — required before moving
+    /// a stealer to another thread.
+    fn clone(&self) -> Stealer<T> {
+        Stealer::register(Arc::clone(&self.inner))
+    }
+}
+
+impl<T> Drop for Stealer<T> {
+    fn drop(&mut self) {
+        let mut pins = self.inner.pins.lock().expect("deque pin registry poisoned");
+        pins.retain(|p| !Arc::ptr_eq(p, &self.pin));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn owner_push_pop_is_lifo() {
+        let (w, _s) = deque::<u64>();
+        for i in 0..10 {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 10);
+        for i in (0..10).rev() {
+            assert_eq!(w.pop(), Some(i));
+        }
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn steal_is_fifo_from_the_top() {
+        let (w, s) = deque::<u64>();
+        for i in 0..5 {
+            w.push(i);
+        }
+        match s.steal() {
+            Steal::Success(v) => assert_eq!(v, 0, "thief takes the oldest"),
+            other => panic!("steal failed: {other:?}"),
+        }
+        assert_eq!(w.pop(), Some(4), "owner still pops the newest");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn growth_preserves_every_element() {
+        let (w, s) = deque_with_capacity::<u64>(2);
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let mut seen = Vec::new();
+        loop {
+            match s.steal() {
+                Steal::Success(v) => seen.push(v),
+                Steal::Empty => break,
+                Steal::Retry => {}
+            }
+        }
+        assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_steal_conserves_elements() {
+        let (w, s) = deque_with_capacity::<u64>(4);
+        let mut popped = 0u64;
+        let mut stolen = 0u64;
+        let mut pushed = 0u64;
+        for round in 0..200u64 {
+            for _ in 0..(round % 7) {
+                w.push(pushed);
+                pushed += 1;
+            }
+            if round % 3 == 0 {
+                if w.pop().is_some() {
+                    popped += 1;
+                }
+            }
+            if let Steal::Success(_) = s.steal() {
+                stolen += 1;
+            }
+        }
+        while w.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped + stolen, pushed, "every push claimed exactly once");
+    }
+
+    #[test]
+    fn queued_elements_are_dropped_with_the_deque() {
+        static DROPS: AtomicU64 = AtomicU64::new(0);
+        struct Token;
+        impl Drop for Token {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (w, _s) = deque_with_capacity::<Token>(2);
+            for _ in 0..10 {
+                w.push(Token);
+            }
+            drop(w.pop()); // 1 dropped here
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 10, "9 at drop + 1 popped");
+    }
+
+    #[test]
+    fn two_thieves_never_share_an_element() {
+        use std::sync::Mutex;
+        let (w, s1) = deque::<u64>();
+        let s2 = s1.clone();
+        for i in 0..2000 {
+            w.push(i);
+        }
+        let taken = Mutex::new(vec![0u8; 2000]);
+        std::thread::scope(|scope| {
+            for s in [s1, s2] {
+                let taken = &taken;
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            let mut t = taken.lock().unwrap();
+                            t[v as usize] += 1;
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                });
+            }
+        });
+        assert!(
+            taken.lock().unwrap().iter().all(|&n| n == 1),
+            "every element stolen exactly once"
+        );
+    }
+
+    #[test]
+    fn zero_sized_elements_work() {
+        let (w, s) = deque::<()>();
+        for _ in 0..100 {
+            w.push(());
+        }
+        let mut n = 0;
+        while let Steal::Success(()) = s.steal() {
+            n += 1;
+        }
+        n += std::iter::from_fn(|| w.pop()).count();
+        assert_eq!(n, 100);
+    }
+}

@@ -1,0 +1,273 @@
+//! Adversarial stress tests for the Chase–Lev deque (`serve::deque`):
+//! many thieves against one owner, hammering exactly the windows the
+//! protocol exists for — the last-element pop-vs-steal race and buffer
+//! growth with thieves mid-steal. Every test is a conservation
+//! argument: each pushed value must be claimed exactly once, by
+//! whoever, with checksums catching both loss and double-claim.
+//!
+//! These tests are the `scripts/tsan.sh` payload: they are written to
+//! be meaningful under ThreadSanitizer (all cross-thread slot traffic
+//! in the deque is per-word atomic, so TSan reports no races), and the
+//! iteration counts scale down via `DEQUE_STRESS_ITERS` so the
+//! instrumented build finishes quickly.
+
+use serve::deque::{deque_with_capacity, Steal};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Per-test operation count: `DEQUE_STRESS_ITERS` (set by tsan.sh) or
+/// the full-fat default.
+fn iters(default: u64) -> u64 {
+    std::env::var("DEQUE_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Threads beyond the owner. More thieves than cores is the point —
+/// preemption mid-steal is what exposes ordering bugs.
+const THIEVES: usize = 4;
+
+#[test]
+fn many_thieves_one_owner_conserves_every_element() {
+    // Owner pushes values and pops about half of them back, LIFO;
+    // thieves steal the rest. Tiny initial capacity forces repeated
+    // growth while thieves hold live buffer references.
+    let total = iters(100_000);
+    let (worker, stealer) = deque_with_capacity::<u64>(2);
+    let done = Arc::new(AtomicBool::new(false));
+    let stolen_sum = Arc::new(AtomicU64::new(0));
+    let stolen_count = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..THIEVES {
+        let st = stealer.clone();
+        let done = Arc::clone(&done);
+        let stolen_sum = Arc::clone(&stolen_sum);
+        let stolen_count = Arc::clone(&stolen_count);
+        handles.push(thread::spawn(move || loop {
+            match st.steal() {
+                Steal::Success(v) => {
+                    stolen_sum.fetch_add(v, Ordering::Relaxed);
+                    stolen_count.fetch_add(1, Ordering::Relaxed);
+                }
+                Steal::Retry => {}
+                Steal::Empty => {
+                    if done.load(Ordering::Acquire) && st.is_empty() {
+                        break;
+                    }
+                    thread::yield_now();
+                }
+            }
+        }));
+    }
+    let mut pushed_sum = 0u64;
+    let mut owner_sum = 0u64;
+    let mut owner_count = 0u64;
+    for i in 1..=total {
+        worker.push(i);
+        pushed_sum += i;
+        // Pop in bursts so the deque level keeps crossing 1 and 0 —
+        // the last-element race window — rather than staying deep.
+        if i % 3 == 0 {
+            for _ in 0..2 {
+                if let Some(v) = worker.pop() {
+                    owner_sum += v;
+                    owner_count += 1;
+                }
+            }
+        }
+    }
+    done.store(true, Ordering::Release);
+    for h in handles {
+        h.join().expect("thief panicked");
+    }
+    // Whatever neither side took must still be in the deque.
+    while let Some(v) = worker.pop() {
+        owner_sum += v;
+        owner_count += 1;
+    }
+    assert_eq!(
+        owner_count + stolen_count.load(Ordering::Relaxed),
+        total,
+        "claims lost or duplicated"
+    );
+    assert_eq!(
+        owner_sum + stolen_sum.load(Ordering::Relaxed),
+        pushed_sum,
+        "checksum broken: some element was claimed twice or never"
+    );
+    assert!(
+        stolen_count.load(Ordering::Relaxed) > 0,
+        "stress never exercised a successful steal"
+    );
+}
+
+#[test]
+fn last_element_race_resolves_to_exactly_one_winner() {
+    // The sharpest race in the protocol: a deque holding exactly one
+    // element, popped by the owner and stolen by several thieves at
+    // once. For every round exactly one side may win; a protocol bug
+    // shows up as a round with zero or two winners (sum mismatch).
+    let rounds = iters(20_000);
+    let (worker, stealer) = deque_with_capacity::<u64>(2);
+    let done = Arc::new(AtomicBool::new(false));
+    let stolen_sum = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..THIEVES {
+        let st = stealer.clone();
+        let done = Arc::clone(&done);
+        let stolen_sum = Arc::clone(&stolen_sum);
+        handles.push(thread::spawn(move || loop {
+            match st.steal() {
+                Steal::Success(v) => {
+                    stolen_sum.fetch_add(v, Ordering::Relaxed);
+                }
+                Steal::Retry => {}
+                Steal::Empty => {
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+            }
+        }));
+    }
+    let mut pushed_sum = 0u64;
+    let mut owner_sum = 0u64;
+    for i in 1..=rounds {
+        worker.push(i);
+        pushed_sum += i;
+        // Immediately contest it: the deque holds exactly one element.
+        if let Some(v) = worker.pop() {
+            owner_sum += v;
+        }
+    }
+    done.store(true, Ordering::Release);
+    for h in handles {
+        h.join().expect("thief panicked");
+    }
+    while let Some(v) = worker.pop() {
+        owner_sum += v;
+    }
+    assert_eq!(
+        owner_sum + stolen_sum.load(Ordering::Relaxed),
+        pushed_sum,
+        "a last-element round had zero or two winners"
+    );
+}
+
+#[test]
+fn growth_under_concurrent_steals_is_safe_and_complete() {
+    // Deep bursts from capacity 2: every burst forces several buffer
+    // doublings while thieves are actively pinned in old buffers. The
+    // epoch scheme must keep every buffer alive exactly as long as
+    // needed — under TSan/ASan a use-after-free here is loud.
+    let bursts = iters(2_000) / 100;
+    let (worker, stealer) = deque_with_capacity::<u64>(2);
+    let done = Arc::new(AtomicBool::new(false));
+    let stolen_sum = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..THIEVES {
+        let st = stealer.clone();
+        let done = Arc::clone(&done);
+        let stolen_sum = Arc::clone(&stolen_sum);
+        handles.push(thread::spawn(move || loop {
+            match st.steal() {
+                Steal::Success(v) => {
+                    stolen_sum.fetch_add(v, Ordering::Relaxed);
+                }
+                Steal::Retry => {}
+                Steal::Empty => {
+                    if done.load(Ordering::Acquire) && st.is_empty() {
+                        break;
+                    }
+                    thread::yield_now();
+                }
+            }
+        }));
+    }
+    let mut pushed_sum = 0u64;
+    let mut owner_sum = 0u64;
+    let mut next = 1u64;
+    for _ in 0..bursts.max(4) {
+        // A deep burst (forces growth), then drain most of it.
+        for _ in 0..600 {
+            worker.push(next);
+            pushed_sum += next;
+            next += 1;
+        }
+        for _ in 0..550 {
+            if let Some(v) = worker.pop() {
+                owner_sum += v;
+            }
+        }
+    }
+    done.store(true, Ordering::Release);
+    for h in handles {
+        h.join().expect("thief panicked");
+    }
+    while let Some(v) = worker.pop() {
+        owner_sum += v;
+    }
+    assert_eq!(
+        owner_sum + stolen_sum.load(Ordering::Relaxed),
+        pushed_sum,
+        "growth dropped or duplicated an element"
+    );
+}
+
+#[test]
+fn lockfree_pool_survives_contended_submit_claim_steal() {
+    // End-to-end: the LockFree scheduler under many external
+    // submitters plus nested worker-side pushes. Every job must run
+    // exactly once (pool-level conservation), and the lock-free
+    // counters must partition the claims.
+    use serve::pool::{Scheduler, ThreadPool};
+    let per_submitter = iters(2_000);
+    let submitters = 4;
+    let pool = Arc::new(ThreadPool::with_scheduler(3, Scheduler::LockFree));
+    let sum = Arc::new(AtomicU64::new(0));
+    thread::scope(|s| {
+        for t in 0..submitters {
+            let pool = Arc::clone(&pool);
+            let sum = Arc::clone(&sum);
+            s.spawn(move || {
+                for i in 0..per_submitter {
+                    let v = t * per_submitter + i + 1;
+                    let sum2 = Arc::clone(&sum);
+                    if i % 16 == 0 {
+                        // Nested resubmission from inside a worker.
+                        let pool2 = Arc::clone(&pool);
+                        pool.execute(move || {
+                            pool2
+                                .execute(move || {
+                                    sum2.fetch_add(v, Ordering::Relaxed);
+                                })
+                                .expect("pool is open");
+                        })
+                        .unwrap();
+                    } else {
+                        pool.execute(move || {
+                            sum2.fetch_add(v, Ordering::Relaxed);
+                        })
+                        .unwrap();
+                    }
+                }
+            });
+        }
+    });
+    pool.wait_empty();
+    let want: u64 = (1..=submitters * per_submitter).sum();
+    assert_eq!(
+        sum.load(Ordering::Relaxed),
+        want,
+        "a job was lost or ran twice"
+    );
+    let stats = pool.stats();
+    assert_eq!(
+        stats.local_hits + stats.steals,
+        stats.submitted,
+        "claims must partition into local hits and steals: {stats:?}"
+    );
+    assert_eq!(stats.queue_depth, 0);
+}

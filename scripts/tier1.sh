@@ -30,6 +30,16 @@ cargo test -q -p obs
 cargo run --release -q -p bench --bin reproduce -- e15 > /dev/null
 cargo run --release -q -p bench --bin serve_demo -- 4 24 stats > /dev/null
 
+# E17 smoke: the lock-free Chase-Lev deque tier — the serve suite
+# (deque unit tests, the adversarial deque stress, the scheduler
+# parity proptests), the contended deque duel + pool run + heavy-tail
+# no-regression via the reproduce runner, and the live server on the
+# lock-free scheduler (serve_demo asserts its ledgers balance after
+# drain). scripts/tsan.sh adds the sanitizer pass when nightly exists.
+cargo test -q -p serve
+cargo run --release -q -p bench --bin reproduce -- e17 > /dev/null
+cargo run --release -q -p bench --bin serve_demo -- 16 48 lockfree > /dev/null
+
 # Router tier: the router unit/property/e2e suites, the E16 smoke
 # (1-vs-3 backend scaling + mid-run backend kill, ledger-balanced),
 # and the router demo (2 real backend processes behind the proxy;

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# ThreadSanitizer gate for the lock-free Chase-Lev deque (PR 7).
+#
+# Runs the serve crate's bare-deque stress tests — many thieves vs one
+# owner, the last-element pop-vs-steal race, buffer growth with
+# thieves pinned mid-steal — under TSan. The deque's cross-thread slot
+# traffic is per-word atomic precisely so this build is meaningful: a
+# missing fence or a buffer freed under a pinned thief is loud here
+# and silent (usually) in a normal run.
+#
+# Scope and caveats:
+# * Needs a nightly toolchain (-Zsanitizer is unstable). Skips cleanly
+#   — exit 0 with a notice — when nightly is unavailable.
+# * std ships precompiled without instrumentation and this image has
+#   no rust-src to -Zbuild-std it, so -Cunsafe-allow-abi-mismatch
+#   links the uninstrumented std in. Consequence: synchronization
+#   *inside* std (Mutex critical sections, Arc refcount fences) is
+#   invisible to TSan, which is exactly why the pool-level stress test
+#   (mutex inboxes) is skipped here — its locked VecDeque traffic
+#   false-positives. The Chase-Lev deque itself synchronizes with
+#   atomics compiled into the instrumented crate, so its races report
+#   truthfully. scripts/tsan.supp tolerates the one known libtest
+#   harness artifact.
+set -eu
+cd "$(dirname "$0")/.."
+
+if ! rustup run nightly rustc --version >/dev/null 2>&1; then
+    echo "tsan: nightly toolchain not installed; skipping (rustup toolchain install nightly)"
+    exit 0
+fi
+
+# The stress suite's full-fat iteration counts are sized for an
+# uninstrumented binary; TSan explores interleavings, not counts, so
+# trim them. A separate target dir keeps instrumented artifacts from
+# poisoning the normal build cache.
+export RUSTFLAGS="-Zsanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer ${RUSTFLAGS:-}"
+export CARGO_TARGET_DIR="target/tsan"
+export DEQUE_STRESS_ITERS="${DEQUE_STRESS_ITERS:-5000}"
+export TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp ${TSAN_OPTIONS:-}"
+
+rustup run nightly cargo test \
+    --target x86_64-unknown-linux-gnu \
+    -p serve --test deque_stress -- --test-threads=1 --skip lockfree_pool
+
+echo "tsan: deque stress suite clean"
