@@ -7,9 +7,12 @@
 //! cargo run -p bench --bin serve_demo -- 4 100 priority  # class-aware priority lanes
 //! cargo run -p bench --bin serve_demo -- 4 100 lockfree  # lock-free Chase-Lev deques
 //! cargo run -p bench --bin serve_demo -- 4 100 net       # over TCP: server + loadgen
+//! cargo run -p bench --bin serve_demo -- 4 100 net-epoll # same, epoll reactor front end
+//! cargo run -p bench --bin serve_demo -- 4 100 net-epoll --conns 2,8,32  # sweep mode
 //! cargo run -p bench --bin serve_demo -- 4 100 stats     # net mode + Op::Stats snapshot
 //! cargo run -p bench --bin serve_demo -- 4 100 router 3  # 3 backend *processes* + router
 //! cargo run -p bench --bin serve_demo -- 4 100 router 7401,7402  # explicit backend ports
+//! cargo run -p bench --bin serve_demo -- 4 100 router-epoll 3    # pooled reactor links
 //! ```
 //!
 //! Each client submits a deterministic mix of grade / homework /
@@ -43,7 +46,10 @@ done:
 ";
 
 const USAGE: &str = "usage: serve_demo [clients] [requests] \
-                     [steal|fifo|priority|lockfree|net|stats|router [N|port,port,...]]";
+                     [steal|fifo|priority|lockfree|net|net-epoll|stats\
+                     |router|router-epoll [N|port,port,...]]\n\
+                     net and net-epoll accept a connection-count sweep: \
+                     --conns a,b,c,... (strictly increasing)";
 
 fn bail(reason: &str) -> ! {
     eprintln!("serve_demo: {reason}\n{USAGE}");
@@ -87,9 +93,21 @@ fn snapshot_counter(snapshot: &str, name: &str) -> u64 {
 /// heavy-tail class mix. With `stats`, the demo additionally asks the
 /// live server for its metrics snapshot over the wire (`Op::Stats`)
 /// and cross-checks the registry mirrors against the bespoke ledgers.
-fn net_mode(connections: u64, per_connection: u64, stats: bool) {
+/// `net-epoll` runs the identical demo with the socket front end on
+/// the 2-shard readiness reactor instead of blocking thread pairs —
+/// same ledgers, same assertions, different engine. With
+/// `--conns a,b,c,...` the single burst becomes a connection-count
+/// sweep ([`net::loadgen::sweep`]): total work is held constant while
+/// the connection count walks the list, one wall-clock row per point.
+fn net_mode(
+    connections: u64,
+    per_connection: u64,
+    stats: bool,
+    io: net::server::Io,
+    sweep: Option<Vec<usize>>,
+) {
     use net::loadgen::{self, LoadConfig, Mode};
-    use net::server::{NetConfig, NetServer};
+    use net::server::{Io, NetConfig, NetServer};
 
     let course = CourseServer::with_experiments(
         ServerConfig {
@@ -100,12 +118,85 @@ fn net_mode(connections: u64, per_connection: u64, stats: bool) {
         },
         vec![("e5".to_string(), bench::e5_tlb_eat as ExperimentFn)],
     );
-    let srv = NetServer::bind("127.0.0.1:0", course, NetConfig::default())
+    let mut config = NetConfig {
+        io,
+        ..NetConfig::default()
+    };
+    if let Some(conns) = &sweep {
+        // Size the admission cap to the widest sweep point, so the
+        // sweep measures the engine, not connection refusals.
+        config.max_connections = conns.iter().copied().max().unwrap_or(1) + 8;
+    }
+    let srv = NetServer::bind("127.0.0.1:0", course, config)
         .unwrap_or_else(|e| bail(&format!("cannot bind a loopback socket: {e}")));
+    let mode_name = match (stats, io) {
+        (true, _) => "stats",
+        (false, Io::Blocking) => "net",
+        (false, Io::Readiness { .. }) => "net-epoll",
+    };
+
+    if let Some(conns) = sweep {
+        println!(
+            "serve_demo {mode_name}: sweeping connections {conns:?} at constant total work \
+             ({} requests) against {} ({io:?} sockets)\n",
+            connections * per_connection,
+            srv.local_addr()
+        );
+        let base = LoadConfig {
+            connections: connections as usize,
+            requests_per_connection: per_connection as usize,
+            mode: Mode::Closed { pipeline: 4 },
+            ..LoadConfig::default()
+        };
+        println!(
+            "{:>6} {:>9} {:>13} {:>6} {:>8}",
+            "conns", "wall", "answered", "lost", "goaway"
+        );
+        for (n, report) in loadgen::sweep(srv.local_addr(), &base, &conns) {
+            let answered: u64 = report
+                .per_class
+                .iter()
+                .map(|c| c.ok + c.cached + c.errors)
+                .sum();
+            let sent: u64 = report.per_class.iter().map(|c| c.sent).sum();
+            let lost: u64 = report
+                .per_class
+                .iter()
+                .map(|c| c.lost_to_backpressure)
+                .sum();
+            let unanswered: u64 = report.per_class.iter().map(|c| c.unanswered).sum();
+            assert_eq!(unanswered, 0, "sweep point {n}: every request must resolve");
+            assert_eq!(
+                answered + lost,
+                sent,
+                "sweep point {n}: sent splits into answered + lost-to-backpressure"
+            );
+            println!(
+                "{n:>6} {:>8.2}s {:>7}/{:<5} {:>6} {:>8}",
+                report.elapsed.as_secs_f64(),
+                answered,
+                sent,
+                lost,
+                report.goaway
+            );
+        }
+        srv.shutdown();
+        let st = srv.course().stats();
+        for c in &st.per_class {
+            assert_eq!(
+                c.admitted,
+                c.completed + c.shed,
+                "{} ledger must balance after the sweep",
+                c.class
+            );
+        }
+        println!("\nper-class ledgers balanced across every sweep point.");
+        return;
+    }
+
     println!(
-        "serve_demo {}: {connections} connections x {per_connection} requests against \
-         {} (4 workers, priority lanes, queue 8)\n",
-        if stats { "stats" } else { "net" },
+        "serve_demo {mode_name}: {connections} connections x {per_connection} requests against \
+         {} (4 workers, priority lanes, queue 8, {io:?} sockets)\n",
         srv.local_addr()
     );
     let report = loadgen::run(
@@ -263,9 +354,12 @@ fn parse_backend_spec(arg: Option<&String>) -> BackendSpec {
 /// consistent-hashing the default class mix across them, and a loadgen
 /// burst through the front door. Afterwards the merged `Op::Stats`
 /// snapshot is fetched through the router and the fleet-wide admission
-/// ledgers are checked for balance.
-fn router_mode(connections: u64, per_connection: u64, spec: BackendSpec) {
+/// ledgers are checked for balance. `router-epoll` runs the same
+/// topology with the router's backend links on the readiness reactor,
+/// two pooled connections per backend — same ledger assertions.
+fn router_mode(connections: u64, per_connection: u64, spec: BackendSpec, io: net::server::Io) {
     use net::loadgen::{self, LoadConfig, Mode};
+    use net::server::Io;
     use net::wire::ROUTER_BACKEND_ID;
     use router::{Router, RouterConfig};
     use std::io::{BufRead, BufReader};
@@ -301,11 +395,27 @@ fn router_mode(connections: u64, per_connection: u64, spec: BackendSpec) {
         children.push(child);
     }
 
-    let rt = Router::bind("127.0.0.1:0", &addrs, RouterConfig::default())
-        .unwrap_or_else(|e| bail(&format!("cannot bind the router: {e}")));
+    let pool_size = match io {
+        Io::Blocking => 1,
+        Io::Readiness { .. } => 2,
+    };
+    let rt = Router::bind(
+        "127.0.0.1:0",
+        &addrs,
+        RouterConfig {
+            io,
+            pool_size,
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| bail(&format!("cannot bind the router: {e}")));
     println!(
-        "serve_demo router: {connections} connections x {per_connection} requests through \
-         {} over {} backend processes {addrs:?}\n",
+        "serve_demo {}: {connections} connections x {per_connection} requests through \
+         {} over {} backend processes {addrs:?} ({io:?} links x{pool_size})\n",
+        match io {
+            Io::Blocking => "router",
+            Io::Readiness { .. } => "router-epoll",
+        },
         rt.local_addr(),
         addrs.len(),
     );
@@ -380,7 +490,25 @@ fn main() {
             .unwrap_or_else(|| bail("__backend needs a numeric port"));
         backend_child(id, port);
     }
-    if args.len() > 4 || (args.len() == 4 && args[2] != "router") {
+    let sweep_conns: Option<Vec<usize>> = if args.get(3).map(String::as_str) == Some("--conns") {
+        match args.get(2).map(String::as_str) {
+            Some("net") | Some("net-epoll") => {}
+            _ => bail("--conns applies only to the net and net-epoll modes"),
+        }
+        let list = args
+            .get(4)
+            .unwrap_or_else(|| bail("--conns needs a comma-separated count list: a,b,c,..."));
+        Some(net::loadgen::parse_conns_arg(list).unwrap_or_else(|e| bail(&e)))
+    } else {
+        None
+    };
+    let max_args = if sweep_conns.is_some() { 5 } else { 4 };
+    if args.len() > max_args
+        || (sweep_conns.is_none()
+            && args.len() == 4
+            && args[2] != "router"
+            && args[2] != "router-epoll")
+    {
         bail("too many arguments");
     }
     let parse_count = |arg: Option<&String>, default: u64, what: &str| -> u64 {
@@ -399,9 +527,43 @@ fn main() {
         Some("fifo") => Scheduler::SharedFifo,
         Some("priority") => Scheduler::PriorityLanes,
         Some("lockfree") => Scheduler::LockFree,
-        Some("net") => return net_mode(clients, per_client, false),
-        Some("stats") => return net_mode(clients, per_client, true),
-        Some("router") => return router_mode(clients, per_client, parse_backend_spec(args.get(3))),
+        Some("net") => {
+            return net_mode(
+                clients,
+                per_client,
+                false,
+                net::server::Io::Blocking,
+                sweep_conns,
+            )
+        }
+        Some("net-epoll") => {
+            return net_mode(
+                clients,
+                per_client,
+                false,
+                net::server::Io::Readiness { shards: 2 },
+                sweep_conns,
+            )
+        }
+        Some("stats") => {
+            return net_mode(clients, per_client, true, net::server::Io::Blocking, None)
+        }
+        Some("router") => {
+            return router_mode(
+                clients,
+                per_client,
+                parse_backend_spec(args.get(3)),
+                net::server::Io::Blocking,
+            )
+        }
+        Some("router-epoll") => {
+            return router_mode(
+                clients,
+                per_client,
+                parse_backend_spec(args.get(3)),
+                net::server::Io::Readiness { shards: 1 },
+            )
+        }
         Some(other) => bail(&format!("unknown mode {other:?}")),
     };
 

@@ -13,6 +13,7 @@ pub mod ablations;
 pub mod lockfree;
 pub mod obs;
 pub mod priority;
+pub mod reactor_exp;
 pub mod router_exp;
 pub mod stealing;
 pub mod wire;
@@ -926,6 +927,17 @@ pub fn e17_lockfree() -> String {
     out
 }
 
+/// E18 — the two connection engines behind `NetServer` compared:
+/// blocking thread-per-connection vs the N-shard epoll reactor
+/// (`net::reactor`, PR 8). Part A sweeps the same offered work across
+/// a growing connection count under both engines; Part B is the
+/// idle-connection soak — the readiness engine holds 10× the blocking
+/// engine's connections while its thread count stays at `shards`
+/// (see the [`reactor_exp`] module docs and DESIGN.md §13).
+pub fn e18_reactor() -> String {
+    reactor_exp::render(&reactor_exp::reactor_params())
+}
+
 /// An experiment id and its runner.
 pub type Experiment = (&'static str, fn() -> String);
 
@@ -954,6 +966,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e15", e15_obs),
         ("e16", e16_router),
         ("e17", e17_lockfree),
+        ("e18", e18_reactor),
     ];
     v.extend(ablations::all_ablations());
     v
@@ -1256,6 +1269,64 @@ mod tests {
                     row.admitted,
                     row.completed + row.shed,
                     "backend {i} ledger unbalanced: {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn e18_readiness_holds_10x_connections_at_bounded_threads() {
+        // The ISSUE 8 acceptance bar: the readiness engine sustains at
+        // least 10x the blocking engine's connection count while its
+        // added thread count stays flat (shards + acceptor + slack),
+        // where the blocking engine's is linear by construction. Exact
+        // structural counts — no timing, so no retries needed.
+        use net::server::Io;
+        let p = reactor_exp::reactor_params();
+        let b = reactor_exp::idle_soak(Io::Blocking, p.soak_blocking_conns, &p);
+        let r = reactor_exp::idle_soak(
+            Io::Readiness { shards: p.shards },
+            p.soak_readiness_conns,
+            &p,
+        );
+        assert!(
+            r.conns >= 10 * b.conns,
+            "soak shape must test the 10x claim: {} vs {}",
+            r.conns,
+            b.conns
+        );
+        assert!(
+            b.delta() >= 2 * b.conns,
+            "blocking engine must pay 2 threads per connection: {} added for {} conns",
+            b.delta(),
+            b.conns
+        );
+        assert!(
+            r.delta() <= p.shards + 8,
+            "readiness thread growth must be flat in connections: {} added for {} conns",
+            r.delta(),
+            r.conns
+        );
+    }
+
+    #[test]
+    fn e18_sweep_answers_every_request_under_both_engines() {
+        // A trimmed Part A: the sweep must conserve requests under
+        // both engines at every connection count — nothing unanswered,
+        // no broken connections, and real completions.
+        use net::server::Io;
+        let mut p = reactor_exp::reactor_params();
+        p.sweep_conns = vec![2, 8];
+        p.total_requests = 64;
+        for io in [Io::Blocking, Io::Readiness { shards: p.shards }] {
+            for row in reactor_exp::run_sweep(io, &p) {
+                let unanswered: u64 = row.report.per_class.iter().map(|c| c.unanswered).sum();
+                assert_eq!(unanswered, 0, "{io:?} at {} conns", row.conns);
+                assert_eq!(row.report.broken_conns, 0, "{io:?} at {} conns", row.conns);
+                assert!(
+                    reactor_exp::completed(&row.report) > 0,
+                    "{io:?} at {} conns completed nothing",
+                    row.conns
                 );
             }
         }

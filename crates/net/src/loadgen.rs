@@ -419,6 +419,60 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
     }
 }
 
+/// Runs the same load at each connection count in `conns` and returns
+/// one `(connections, report)` row per count — the connection-sweep
+/// mode behind `loadgen --conns a,b,c` and experiment E18.
+///
+/// The total fresh-request volume of `base` (`connections ×
+/// requests_per_connection`) is held constant across points: each
+/// sweep point divides it over its connection count (at least one
+/// request per connection), so rows compare server behavior under
+/// the same offered work at different concurrency, not more work.
+pub fn sweep(addr: SocketAddr, base: &LoadConfig, conns: &[usize]) -> Vec<(usize, LoadReport)> {
+    assert!(!conns.is_empty(), "sweep needs at least one point");
+    let total = base.connections * base.requests_per_connection;
+    conns
+        .iter()
+        .map(|&n| {
+            let n = n.max(1);
+            let config = LoadConfig {
+                connections: n,
+                requests_per_connection: (total / n).max(1),
+                ..base.clone()
+            };
+            (n, run(addr, &config))
+        })
+        .collect()
+}
+
+/// Parses a `--conns`-style sweep list (`"8,64,512"`): comma-separated
+/// positive connection counts, strictly increasing so the sweep reads
+/// as a curve. Returns a human-readable error for the CLI to print.
+pub fn parse_conns_arg(arg: &str) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for piece in arg.split(',') {
+        let n: usize = piece
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid connection count {piece:?} in {arg:?}"))?;
+        if n == 0 {
+            return Err(format!("connection count must be >= 1 in {arg:?}"));
+        }
+        if let Some(&last) = out.last() {
+            if n <= last {
+                return Err(format!(
+                    "connection counts must be strictly increasing, got {n} after {last} in {arg:?}"
+                ));
+            }
+        }
+        out.push(n);
+    }
+    if out.is_empty() {
+        return Err("empty connection list".to_string());
+    }
+    Ok(out)
+}
+
 /// Exact nearest-rank percentile over an already-sorted slice (0 if
 /// empty). The rank `ceil(len * pct / 100)` is clamped to at least 1,
 /// so `pct = 0` returns the minimum element — the natural reading of
@@ -789,7 +843,23 @@ fn response_reader(read_half: TcpStream, shared: &ConnShared) {
 
 #[cfg(test)]
 mod tests {
-    use super::percentile;
+    use super::{parse_conns_arg, percentile};
+
+    #[test]
+    fn conns_arg_parses_an_increasing_list() {
+        assert_eq!(parse_conns_arg("8,64,512").unwrap(), vec![8, 64, 512]);
+        assert_eq!(parse_conns_arg("1").unwrap(), vec![1]);
+        assert_eq!(parse_conns_arg(" 2 , 4 ").unwrap(), vec![2, 4]);
+    }
+
+    #[test]
+    fn conns_arg_rejects_garbage_zero_and_non_increasing() {
+        assert!(parse_conns_arg("").is_err());
+        assert!(parse_conns_arg("8,x").is_err());
+        assert!(parse_conns_arg("0,4").is_err());
+        assert!(parse_conns_arg("8,8").is_err());
+        assert!(parse_conns_arg("64,8").is_err());
+    }
 
     #[test]
     fn percentile_zero_returns_the_minimum() {

@@ -35,20 +35,46 @@
 //! every connection (readers see clean EOF and stop submitting) →
 //! drain the course server (every admitted ticket resolves, every
 //! callback fires) → wait for the last writer to flush and FIN.
+//!
+//! That is [`Io::Blocking`], the measurable baseline. Under
+//! [`Io::Readiness`] the same protocol logic — decode, submit,
+//! backpressure frames, out-of-order completion, the GoAway/drain/FIN
+//! shutdown — runs instead as a [`crate::reactor::ConnHandler`] on an
+//! N-shard epoll loop, so thread count stays fixed while connection
+//! count grows (E18 measures the crossover; DESIGN.md §13 has the
+//! state machine). The acceptor, the connection cap, and the course
+//! server integration are shared verbatim between the two modes; the
+//! E2E suite runs its ledger-balance and graceful-drain tests under
+//! both.
 
+use crate::reactor::{ConnHandle, ConnHandler, Outbound, Reactor, ReactorConfig, WriterStep};
 use crate::wire::{
     decode_payload, encode_response, read_frame, write_frame, Frame, RequestFrame, RespStatus,
-    ResponseFrame,
+    ResponseFrame, WireError,
 };
 use serve::fault::{FaultPlan, FaultPoint};
 use serve::server::{CourseServer, SubmitError, SHED_BODY_PREFIX};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How the front end does socket I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Io {
+    /// Two blocking threads (reader + writer) per connection — the
+    /// baseline whose thread count grows linearly with connections.
+    Blocking,
+    /// An N-shard epoll reactor ([`crate::reactor`]): thread count is
+    /// `shards` regardless of connection count.
+    Readiness {
+        /// Event-loop shard count (each is one thread).
+        shards: usize,
+    },
+}
 
 /// Sizing and policy knobs for [`NetServer::bind`].
 #[derive(Debug, Clone)]
@@ -74,6 +100,9 @@ pub struct NetConfig {
     /// [`FaultPoint::NetWriteFrame`]): stalls slow a connection's
     /// reader/writer, drops sever the socket mid-traffic.
     pub fault_plan: Option<FaultPlan>,
+    /// Socket I/O engine: blocking thread pairs (default) or the
+    /// N-shard epoll reactor.
+    pub io: Io,
 }
 
 impl Default for NetConfig {
@@ -85,6 +114,7 @@ impl Default for NetConfig {
             goaway_retry_ms: 100,
             backend_id: 0,
             fault_plan: None,
+            io: Io::Blocking,
         }
     }
 }
@@ -157,84 +187,35 @@ impl NetObs {
     }
 }
 
-/// The reader→writer handoff for one connection.
-struct Outbound {
-    state: Mutex<OutState>,
-    wake: Condvar,
+/// Where a connection's response frames go — the one seam between the
+/// shared protocol logic ([`submit_frame`], [`answer_stats`]) and the
+/// two I/O engines: the blocking writer's [`Outbound`] queue, or a
+/// reactor [`ConnHandle`]. Both already implement the in-flight drain
+/// guard; this trait just erases which one is behind the callback.
+trait RespSink: Clone + Send + 'static {
+    fn push(&self, bytes: Vec<u8>, completes_in_flight: bool);
+    fn open_in_flight(&self);
 }
 
-struct OutState {
-    /// Pre-encoded response frames awaiting the socket.
-    queue: VecDeque<Vec<u8>>,
-    /// Tickets submitted whose callbacks have not yet enqueued (or
-    /// discarded) a response.
-    in_flight: usize,
-    /// The reader will submit no further requests.
-    reader_done: bool,
-    /// The connection was severed; discard instead of enqueue.
-    dead: bool,
-}
-
-impl Outbound {
-    fn new() -> Arc<Outbound> {
-        Arc::new(Outbound {
-            state: Mutex::new(OutState {
-                queue: VecDeque::new(),
-                in_flight: 0,
-                reader_done: false,
-                dead: false,
-            }),
-            wake: Condvar::new(),
-        })
-    }
-
-    /// Enqueues a frame for the writer (dropped silently if the
-    /// connection is dead — the course-side ledgers already counted
-    /// the request; the response simply has nowhere to go).
+impl RespSink for Arc<Outbound> {
     fn push(&self, bytes: Vec<u8>, completes_in_flight: bool) {
-        let mut st = self.state.lock().expect("outbound mutex poisoned");
-        if completes_in_flight {
-            st.in_flight -= 1;
-        }
-        if !st.dead {
-            st.queue.push_back(bytes);
-        }
-        drop(st);
-        self.wake.notify_all();
+        Outbound::push(self, bytes, completes_in_flight);
     }
 
     fn open_in_flight(&self) {
-        self.state
-            .lock()
-            .expect("outbound mutex poisoned")
-            .in_flight += 1;
-    }
-
-    fn reader_done(&self) {
-        self.state
-            .lock()
-            .expect("outbound mutex poisoned")
-            .reader_done = true;
-        self.wake.notify_all();
-    }
-
-    fn mark_dead(&self) {
-        self.state.lock().expect("outbound mutex poisoned").dead = true;
-        self.wake.notify_all();
-    }
-
-    fn is_dead(&self) -> bool {
-        self.state.lock().expect("outbound mutex poisoned").dead
+        Outbound::open_in_flight(self);
     }
 }
 
-/// What the writer should do next.
-enum WriterStep {
-    Write(Vec<u8>),
-    /// Reader done, nothing in flight, queue empty: flush and FIN.
-    Drained,
-    /// Connection severed elsewhere.
-    Dead,
+impl RespSink for ConnHandle {
+    fn push(&self, bytes: Vec<u8>, completes_in_flight: bool) {
+        // A dead connection discards, same as the blocking queue.
+        let _ = self.send(bytes, completes_in_flight);
+    }
+
+    fn open_in_flight(&self) {
+        ConnHandle::open_in_flight(self);
+    }
 }
 
 struct Shared {
@@ -264,6 +245,8 @@ pub struct NetServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     acceptor: Mutex<Option<JoinHandle<()>>>,
+    /// Present under [`Io::Readiness`]; owns the shard threads.
+    reactor: Option<Arc<Reactor>>,
     shut: AtomicBool,
 }
 
@@ -283,6 +266,16 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let obs = NetObs::new(course.registry());
+        let reactor = match config.io {
+            Io::Blocking => None,
+            Io::Readiness { shards } => Some(Arc::new(Reactor::new(
+                ReactorConfig {
+                    shards: shards.max(1),
+                    ..ReactorConfig::default()
+                },
+                course.registry(),
+            )?)),
+        };
         let shared = Arc::new(Shared {
             course,
             config,
@@ -300,14 +293,16 @@ impl NetServer {
             obs,
         });
         let accept_shared = Arc::clone(&shared);
+        let accept_reactor = reactor.clone();
         let acceptor = std::thread::Builder::new()
             .name("net-acceptor".to_string())
-            .spawn(move || accept_loop(&listener, &accept_shared))
+            .spawn(move || accept_loop(&listener, &accept_shared, accept_reactor.as_deref()))
             .expect("spawn acceptor");
         Ok(NetServer {
             shared,
             local_addr,
             acceptor: Mutex::new(Some(acceptor)),
+            reactor,
             shut: AtomicBool::new(false),
         })
     }
@@ -362,11 +357,14 @@ impl NetServer {
         {
             let _ = handle.join();
         }
-        {
-            let conns = self.shared.conns.lock().expect("conn table poisoned");
-            for stream in conns.values() {
-                let _ = stream.shutdown(Shutdown::Read);
+        match &self.reactor {
+            None => {
+                let conns = self.shared.conns.lock().expect("conn table poisoned");
+                for stream in conns.values() {
+                    let _ = stream.shutdown(Shutdown::Read);
+                }
             }
+            Some(reactor) => reactor.sever_reads(),
         }
         self.shared.course.shutdown();
         let mut live = self.shared.live.lock().expect("live counter poisoned");
@@ -377,6 +375,12 @@ impl NetServer {
                 .wait(live)
                 .expect("live counter poisoned");
         }
+        drop(live);
+        if let Some(reactor) = &self.reactor {
+            // Every connection is gone (live == 0), so this only stops
+            // and joins the shard threads.
+            reactor.shutdown();
+        }
     }
 }
 
@@ -386,7 +390,7 @@ impl Drop for NetServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, reactor: Option<&Reactor>) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -401,8 +405,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             return;
         }
         let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+        if reactor.is_none() {
+            // Socket timeouts only make sense for blocking I/O; the
+            // reactor enforces idle/write bounds in its tick handler.
+            let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+            let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+        }
 
         // Connection cap: shed at the socket with an honest GoAway
         // instead of letting the backlog grow unbounded.
@@ -432,7 +440,36 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         shared.accepted_conns.fetch_add(1, Ordering::Relaxed);
         shared.obs.conns_accepted.inc();
         shared.obs.conns_live.add(1);
-        spawn_connection(stream, shared);
+        match reactor {
+            None => spawn_connection(stream, shared),
+            Some(reactor) => register_connection(stream, shared, reactor),
+        }
+    }
+}
+
+/// Readiness-mode accept path: hand the socket to the reactor with a
+/// [`ServerConnHandler`] owning its protocol logic. The blocking-mode
+/// `conns` table is not used — shutdown severs reads through the
+/// reactor instead.
+fn register_connection(stream: TcpStream, shared: &Arc<Shared>, reactor: &Reactor) {
+    let handler = ServerConnHandler {
+        shared: Arc::clone(shared),
+        last_activity: Instant::now(),
+        closing_since: None,
+    };
+    if reactor.register(stream, Box::new(handler)).is_err() {
+        // Could not switch the socket nonblocking; undo the accept
+        // accounting exactly like the blocking clone-failure path.
+        // (An epoll registration failure on the shard side reports
+        // through on_close(false) instead and needs no undo here.)
+        let mut live = shared.live.lock().expect("live counter poisoned");
+        *live -= 1;
+        drop(live);
+        shared.all_closed.notify_all();
+        shared.accepted_conns.fetch_sub(1, Ordering::Relaxed);
+        shared.dropped_conns.fetch_add(1, Ordering::Relaxed);
+        shared.obs.conns_live.add(-1);
+        shared.obs.conns_dropped.inc();
     }
 }
 
@@ -553,7 +590,7 @@ fn reader_loop(read_half: TcpStream, shared: &Arc<Shared>, out: &Arc<Outbound>) 
 /// while the job server is saturated. The snapshot carries the trace
 /// ring's worst spans, so op 3 renders the forensics section and op 4
 /// ships them (with full histogram buckets) to a merging router.
-fn answer_stats(id: u64, full: bool, shared: &Arc<Shared>, out: &Arc<Outbound>) {
+fn answer_stats<S: RespSink>(id: u64, full: bool, shared: &Arc<Shared>, out: &S) {
     shared.obs.stats_requests.inc();
     let snap = shared
         .course
@@ -580,7 +617,7 @@ fn answer_stats(id: u64, full: bool, shared: &Arc<Shared>, out: &Arc<Outbound>) 
 /// Hands one decoded request to admission and wires its completion to
 /// the outbound queue. Returns `false` when the connection should
 /// close (server shutting down).
-fn submit_frame(frame: RequestFrame, shared: &Arc<Shared>, out: &Arc<Outbound>) -> bool {
+fn submit_frame<S: RespSink>(frame: RequestFrame, shared: &Arc<Shared>, out: &S) -> bool {
     let meta = frame.meta();
     let id = frame.id;
     match shared.course.submit_with_meta(meta, frame.req) {
@@ -589,7 +626,7 @@ fn submit_frame(frame: RequestFrame, shared: &Arc<Shared>, out: &Arc<Outbound>) 
             // "reader done, nothing in flight" between callback
             // registration and resolution.
             out.open_in_flight();
-            let cb_out = Arc::clone(out);
+            let cb_out = out.clone();
             let cb_shared = Arc::clone(shared);
             ticket.on_ready(move |resp| {
                 let status = if resp.cached {
@@ -666,22 +703,7 @@ fn writer_loop(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>, out: &Arc<
     {
         let mut writer = BufWriter::new(&stream);
         loop {
-            let step = {
-                let mut st = out.state.lock().expect("outbound mutex poisoned");
-                loop {
-                    if st.dead {
-                        break WriterStep::Dead;
-                    }
-                    if let Some(bytes) = st.queue.pop_front() {
-                        break WriterStep::Write(bytes);
-                    }
-                    if st.reader_done && st.in_flight == 0 {
-                        break WriterStep::Drained;
-                    }
-                    st = out.wake.wait(st).expect("outbound mutex poisoned");
-                }
-            };
-            match step {
+            match out.next_step() {
                 WriterStep::Dead => {
                     graceful = false;
                     break;
@@ -731,4 +753,153 @@ fn writer_loop(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>, out: &Arc<
     drop(live);
     shared.obs.conns_live.add(-1);
     shared.all_closed.notify_all();
+}
+
+/// Readiness-mode protocol logic for one client connection: the same
+/// decode → submit → backpressure-frame pipeline as [`reader_loop`],
+/// run as reactor callbacks on the connection's shard thread, with
+/// responses flowing back through the [`ConnHandle`] sink instead of a
+/// writer thread.
+struct ServerConnHandler {
+    shared: Arc<Shared>,
+    /// Last time a frame arrived; drives the idle close that the
+    /// blocking reader gets from its socket read timeout.
+    last_activity: Instant,
+    /// When a graceful close was requested (idle, GoAway, malformed):
+    /// if the flush has not completed within the write timeout, the
+    /// client is not draining and the connection is severed — the
+    /// reactor analogue of the blocking writer's write timeout.
+    closing_since: Option<Instant>,
+}
+
+impl ServerConnHandler {
+    fn begin_close(&mut self, conn: &ConnHandle) {
+        if self.closing_since.is_none() {
+            self.closing_since = Some(Instant::now());
+        }
+        conn.close_after_flush();
+    }
+}
+
+impl ConnHandler for ServerConnHandler {
+    fn on_frame(&mut self, payload: Result<Vec<u8>, WireError>, conn: &ConnHandle) {
+        self.last_activity = Instant::now();
+        let payload = match payload {
+            Ok(payload) => payload,
+            Err(e) => {
+                // Stream desynchronized before a payload formed (an
+                // oversized length prefix): typed error, then close.
+                self.shared.malformed.fetch_add(1, Ordering::Relaxed);
+                self.shared.obs.malformed.inc();
+                conn.send(
+                    encode_response(&ResponseFrame {
+                        id: 0,
+                        status: RespStatus::Error,
+                        retry_after_ms: 0,
+                        backend: self.shared.config.backend_id,
+                        body: format!("malformed frame: {e}"),
+                    }),
+                    false,
+                );
+                self.begin_close(conn);
+                return;
+            }
+        };
+        if let Some(plan) = &self.shared.config.fault_plan {
+            plan.fire(FaultPoint::NetReadFrame);
+            if plan.should_drop(FaultPoint::NetReadFrame) {
+                // Injected drop: sever mid-traffic. on_close(false)
+                // does the dropped-connection accounting.
+                conn.kill();
+                return;
+            }
+        }
+        let decode_start = Instant::now();
+        let decoded = decode_payload(&payload);
+        self.shared
+            .obs
+            .decode_us
+            .record_micros(decode_start.elapsed());
+        let frame = match decoded {
+            Ok(Frame::Request(frame)) => frame,
+            Ok(Frame::Stats { id }) => {
+                answer_stats(id, false, &self.shared, conn);
+                return;
+            }
+            Ok(Frame::StatsFull { id }) => {
+                answer_stats(id, true, &self.shared, conn);
+                return;
+            }
+            Ok(Frame::Response(_)) | Err(_) => {
+                self.shared.malformed.fetch_add(1, Ordering::Relaxed);
+                self.shared.obs.malformed.inc();
+                let reason = match decode_payload(&payload) {
+                    Err(e) => format!("malformed frame: {e}"),
+                    _ => "protocol error: response frame sent to server".to_string(),
+                };
+                conn.send(
+                    encode_response(&ResponseFrame {
+                        id: 0,
+                        status: RespStatus::Error,
+                        retry_after_ms: 0,
+                        backend: self.shared.config.backend_id,
+                        body: reason,
+                    }),
+                    false,
+                );
+                self.begin_close(conn);
+                return;
+            }
+        };
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.obs.requests.inc();
+        if !submit_frame(frame, &self.shared, conn) {
+            // Server shutting down: GoAway already queued; FIN after
+            // the flush, exactly like the blocking reader breaking.
+            self.begin_close(conn);
+        }
+    }
+
+    fn before_write(&mut self, _conn: &ConnHandle) -> bool {
+        if let Some(plan) = &self.shared.config.fault_plan {
+            plan.fire(FaultPoint::NetWriteFrame);
+            if plan.should_drop(FaultPoint::NetWriteFrame) {
+                return false; // reactor severs; on_close(false) counts
+            }
+        }
+        true
+    }
+
+    fn on_written(&mut self, _conn: &ConnHandle) {
+        self.shared.responses.fetch_add(1, Ordering::Relaxed);
+        self.shared.obs.responses.inc();
+    }
+
+    fn on_tick(&mut self, conn: &ConnHandle) {
+        if let Some(since) = self.closing_since {
+            // Closing but not yet closed: the flush is pending. A
+            // client that stopped draining past the write bound gets
+            // severed rather than parked forever.
+            if since.elapsed() > self.shared.config.write_timeout {
+                conn.kill();
+            }
+        } else if self.last_activity.elapsed() > self.shared.config.read_timeout {
+            // Idle past the read bound: stop reading; in-flight
+            // responses still flush before the FIN (the blocking
+            // reader's timeout semantics).
+            self.begin_close(conn);
+        }
+    }
+
+    fn on_close(&mut self, graceful: bool) {
+        if !graceful {
+            self.shared.dropped_conns.fetch_add(1, Ordering::Relaxed);
+            self.shared.obs.conns_dropped.inc();
+        }
+        let mut live = self.shared.live.lock().expect("live counter poisoned");
+        *live -= 1;
+        drop(live);
+        self.shared.obs.conns_live.add(-1);
+        self.shared.all_closed.notify_all();
+    }
 }

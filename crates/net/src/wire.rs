@@ -513,6 +513,114 @@ pub fn write_frame(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// Incremental frame reassembly for nonblocking readers: the reactor
+/// feeds whatever bytes `read` returned — a 1-byte trickle or a dozen
+/// coalesced frames — and pulls out complete payloads as they form.
+/// The streaming sibling of [`read_frame`], with the same contract:
+/// an oversized length prefix is rejected *before* any payload
+/// allocation, and decoding is total (proptested against the one-shot
+/// path in `tests/wire_props.rs`).
+///
+/// ```
+/// use net::wire::{encode_stats_request, FrameAssembler};
+///
+/// let bytes = encode_stats_request(7);
+/// let mut asm = FrameAssembler::new();
+/// for b in &bytes {
+///     asm.feed(std::slice::from_ref(b)); // 1-byte trickle
+/// }
+/// assert_eq!(asm.next_frame().unwrap(), Some(bytes[4..].to_vec()));
+/// assert_eq!(asm.next_frame().unwrap(), None);
+/// assert!(asm.at_boundary(), "no partial frame buffered");
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    /// Unconsumed stream bytes: a possibly-incomplete run of frames.
+    buf: Vec<u8>,
+    /// Start of the first unconsumed byte within `buf`; consumed bytes
+    /// are compacted away in [`FrameAssembler::next_frame`] so `buf`
+    /// never grows past one frame plus one read's worth of trailing
+    /// bytes.
+    pos: usize,
+    /// Set once a feed-side error (an oversized length prefix) has been
+    /// reported; the stream is desynchronized beyond repair, so every
+    /// later call re-reports rather than misparsing from a wrong offset.
+    poisoned: Option<WireError>,
+}
+
+impl FrameAssembler {
+    /// An empty assembler at a frame boundary.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Appends freshly read stream bytes. Cheap; parsing happens in
+    /// [`FrameAssembler::next_frame`].
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete frame payload, if one has fully
+    /// arrived. `Ok(None)` means "need more bytes". An oversized
+    /// length prefix returns [`WireError::TooLarge`] before any
+    /// payload allocation — and poisons the assembler, because after a
+    /// framing error the byte offset of the next real frame is
+    /// unknowable.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4]
+            .try_into()
+            .expect("4 bytes");
+        let len = u32::from_be_bytes(len_bytes) as usize;
+        if len > MAX_FRAME_LEN {
+            let err = WireError::TooLarge { len };
+            self.poisoned = Some(err.clone());
+            return Err(err);
+        }
+        if avail < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let payload = self.buf[self.pos + 4..self.pos + 4 + len].to_vec();
+        self.pos += 4 + len;
+        self.compact();
+        Ok(Some(payload))
+    }
+
+    /// True when no partial frame is buffered — the state in which a
+    /// peer's EOF is a *clean* close rather than a truncation. The
+    /// reactor uses this to tell "client finished and hung up" from
+    /// "connection died mid-frame".
+    pub fn at_boundary(&self) -> bool {
+        self.poisoned.is_none() && self.pos == self.buf.len()
+    }
+
+    /// Bytes currently buffered awaiting a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Drops consumed bytes once they dominate the buffer, keeping
+    /// memory proportional to the unconsumed tail instead of the
+    /// connection's lifetime byte count.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -672,6 +780,54 @@ mod tests {
         let mut r = &bytes[..];
         let err = read_frame(&mut r).expect_err("4 GiB claim must be rejected");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn assembler_reassembles_coalesced_and_trickled_frames() {
+        let a = encode_request(&sample_request());
+        let b = encode_stats_request(41);
+        // Both frames in one feed: two pulls, then boundary.
+        let mut asm = FrameAssembler::new();
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        asm.feed(&joined);
+        assert_eq!(asm.next_frame().unwrap().as_deref(), Some(&a[4..]));
+        assert_eq!(asm.next_frame().unwrap().as_deref(), Some(&b[4..]));
+        assert_eq!(asm.next_frame().unwrap(), None);
+        assert!(asm.at_boundary());
+        // Byte at a time: exactly one frame appears, at the last byte.
+        let mut asm = FrameAssembler::new();
+        let mut seen = 0;
+        for byte in &a {
+            asm.feed(std::slice::from_ref(byte));
+            while asm.next_frame().unwrap().is_some() {
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 1);
+        assert!(asm.at_boundary());
+    }
+
+    #[test]
+    fn assembler_mid_frame_stop_is_not_a_boundary() {
+        let a = encode_request(&sample_request());
+        let mut asm = FrameAssembler::new();
+        asm.feed(&a[..a.len() - 1]);
+        assert_eq!(asm.next_frame().unwrap(), None);
+        assert!(!asm.at_boundary(), "partial frame buffered");
+        assert_eq!(asm.buffered(), a.len() - 1);
+    }
+
+    #[test]
+    fn assembler_rejects_oversized_prefix_and_stays_poisoned() {
+        let mut asm = FrameAssembler::new();
+        asm.feed(&[0xFF, 0xFF, 0xFF, 0xFF, 0x00]);
+        assert!(matches!(asm.next_frame(), Err(WireError::TooLarge { .. })));
+        // The stream offset is unknowable now; later pulls re-report
+        // instead of misparsing, and EOF here is not a clean boundary.
+        asm.feed(&encode_stats_request(1));
+        assert!(matches!(asm.next_frame(), Err(WireError::TooLarge { .. })));
+        assert!(!asm.at_boundary());
     }
 
     #[test]

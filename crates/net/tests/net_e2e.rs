@@ -3,7 +3,7 @@
 //! no-lost-requests shutdown invariant under injected wire faults.
 
 use net::loadgen::{self, ClassLoad, LoadConfig, Mode, OpTemplate};
-use net::server::{NetConfig, NetServer};
+use net::server::{Io, NetConfig, NetServer};
 use net::wire::{
     decode_payload, encode_request, read_frame, write_frame, Frame, RequestFrame, RespStatus,
     ResponseFrame,
@@ -57,8 +57,7 @@ fn next_response(reader: &mut BufReader<&TcpStream>) -> ResponseFrame {
     }
 }
 
-#[test]
-fn pipelined_requests_complete_out_of_order_by_id() {
+fn pipelined_requests_complete_out_of_order_by_id_under(io: Io) {
     let course = sleepy_server(
         ServerConfig {
             workers: 2,
@@ -68,7 +67,15 @@ fn pipelined_requests_complete_out_of_order_by_id() {
         },
         1,
     );
-    let srv = NetServer::bind("127.0.0.1:0", course, NetConfig::default()).unwrap();
+    let srv = NetServer::bind(
+        "127.0.0.1:0",
+        course,
+        NetConfig {
+            io,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
     let stream = TcpStream::connect(srv.local_addr()).unwrap();
     let mut writer = BufWriter::new(&stream);
     let mut reader = BufReader::new(&stream);
@@ -92,6 +99,16 @@ fn pipelined_requests_complete_out_of_order_by_id() {
     assert_eq!(second.status, RespStatus::Ok);
     assert!(second.body.contains("slow done"));
     srv.shutdown();
+}
+
+#[test]
+fn pipelined_requests_complete_out_of_order_by_id() {
+    pipelined_requests_complete_out_of_order_by_id_under(Io::Blocking);
+}
+
+#[test]
+fn pipelined_requests_complete_out_of_order_by_id_readiness() {
+    pipelined_requests_complete_out_of_order_by_id_under(Io::Readiness { shards: 2 });
 }
 
 #[test]
@@ -157,8 +174,7 @@ fn overload_earns_retry_frames_with_usable_hints() {
     srv.shutdown();
 }
 
-#[test]
-fn connections_past_the_cap_are_shed_with_goaway() {
+fn connections_past_the_cap_are_shed_with_goaway_under(io: Io) {
     let course = sleepy_server(ServerConfig::default(), 1);
     let srv = NetServer::bind(
         "127.0.0.1:0",
@@ -166,6 +182,7 @@ fn connections_past_the_cap_are_shed_with_goaway() {
         NetConfig {
             max_connections: 1,
             goaway_retry_ms: 7,
+            io,
             ..NetConfig::default()
         },
     )
@@ -197,9 +214,26 @@ fn connections_past_the_cap_are_shed_with_goaway() {
 }
 
 #[test]
-fn malformed_frames_get_a_typed_error_then_close() {
+fn connections_past_the_cap_are_shed_with_goaway() {
+    connections_past_the_cap_are_shed_with_goaway_under(Io::Blocking);
+}
+
+#[test]
+fn connections_past_the_cap_are_shed_with_goaway_readiness() {
+    connections_past_the_cap_are_shed_with_goaway_under(Io::Readiness { shards: 1 });
+}
+
+fn malformed_frames_get_a_typed_error_then_close_under(io: Io) {
     let course = sleepy_server(ServerConfig::default(), 1);
-    let srv = NetServer::bind("127.0.0.1:0", course, NetConfig::default()).unwrap();
+    let srv = NetServer::bind(
+        "127.0.0.1:0",
+        course,
+        NetConfig {
+            io,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
     let stream = TcpStream::connect(srv.local_addr()).unwrap();
     let mut writer = BufWriter::new(&stream);
     let mut reader = BufReader::new(&stream);
@@ -222,7 +256,16 @@ fn malformed_frames_get_a_typed_error_then_close() {
 }
 
 #[test]
-fn graceful_shutdown_under_wire_faults_loses_no_admitted_request() {
+fn malformed_frames_get_a_typed_error_then_close() {
+    malformed_frames_get_a_typed_error_then_close_under(Io::Blocking);
+}
+
+#[test]
+fn malformed_frames_get_a_typed_error_then_close_readiness() {
+    malformed_frames_get_a_typed_error_then_close_under(Io::Readiness { shards: 1 });
+}
+
+fn graceful_shutdown_under_wire_faults_loses_no_admitted_request_under(io: Io) {
     // Drop a quarter of read-side frames' connections mid-request,
     // stall some writer frames: admitted work must still drain and the
     // per-class ledgers must still balance after shutdown.
@@ -243,6 +286,7 @@ fn graceful_shutdown_under_wire_faults_loses_no_admitted_request() {
         course,
         NetConfig {
             fault_plan: Some(plan.clone()),
+            io,
             ..NetConfig::default()
         },
     )
@@ -308,14 +352,33 @@ fn graceful_shutdown_under_wire_faults_loses_no_admitted_request() {
 }
 
 #[test]
-fn loadgen_default_mix_round_trips_end_to_end() {
+fn graceful_shutdown_under_wire_faults_loses_no_admitted_request() {
+    graceful_shutdown_under_wire_faults_loses_no_admitted_request_under(Io::Blocking);
+}
+
+#[test]
+fn graceful_shutdown_under_wire_faults_loses_no_admitted_request_readiness() {
+    graceful_shutdown_under_wire_faults_loses_no_admitted_request_under(Io::Readiness {
+        shards: 2,
+    });
+}
+
+fn loadgen_default_mix_round_trips_end_to_end_under(io: Io) {
     let course = CourseServer::new(ServerConfig {
         workers: 4,
         queue_capacity: 32,
         scheduler: Scheduler::PriorityLanes,
         ..ServerConfig::default()
     });
-    let srv = NetServer::bind("127.0.0.1:0", course, NetConfig::default()).unwrap();
+    let srv = NetServer::bind(
+        "127.0.0.1:0",
+        course,
+        NetConfig {
+            io,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
     let report = loadgen::run(
         srv.local_addr(),
         &LoadConfig {
@@ -355,6 +418,16 @@ fn loadgen_default_mix_round_trips_end_to_end() {
     let net = srv.net_stats();
     assert_eq!(net.accepted_conns, 3);
     assert_eq!(net.malformed, 0);
+}
+
+#[test]
+fn loadgen_default_mix_round_trips_end_to_end() {
+    loadgen_default_mix_round_trips_end_to_end_under(Io::Blocking);
+}
+
+#[test]
+fn loadgen_default_mix_round_trips_end_to_end_readiness() {
+    loadgen_default_mix_round_trips_end_to_end_under(Io::Readiness { shards: 2 });
 }
 
 /// Pulls `counter NAME V` out of a rendered snapshot.
@@ -428,8 +501,7 @@ fn stats_op_returns_a_snapshot_whose_counters_balance_the_ledgers() {
     srv.shutdown();
 }
 
-#[test]
-fn requests_racing_shutdown_get_goaway_not_silence() {
+fn requests_racing_shutdown_get_goaway_not_silence_under(io: Io) {
     let course = sleepy_server(
         ServerConfig {
             workers: 1,
@@ -438,7 +510,15 @@ fn requests_racing_shutdown_get_goaway_not_silence() {
         },
         8,
     );
-    let srv = NetServer::bind("127.0.0.1:0", course, NetConfig::default()).unwrap();
+    let srv = NetServer::bind(
+        "127.0.0.1:0",
+        course,
+        NetConfig {
+            io,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
     let addr = srv.local_addr();
     let stream = TcpStream::connect(addr).unwrap();
     let mut writer = BufWriter::new(&stream);
@@ -470,4 +550,14 @@ fn requests_racing_shutdown_get_goaway_not_silence() {
         "the admitted request's response must be written before the FIN"
     );
     shutter.join().unwrap();
+}
+
+#[test]
+fn requests_racing_shutdown_get_goaway_not_silence() {
+    requests_racing_shutdown_get_goaway_not_silence_under(Io::Blocking);
+}
+
+#[test]
+fn requests_racing_shutdown_get_goaway_not_silence_readiness() {
+    requests_racing_shutdown_get_goaway_not_silence_under(Io::Readiness { shards: 1 });
 }

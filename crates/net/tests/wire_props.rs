@@ -2,10 +2,18 @@
 //! encode→decode round trip unchanged, and no input — truncated,
 //! corrupted, or pure noise — makes the decoder panic. Malformed
 //! bytes always come back as a typed [`WireError`].
+//!
+//! The second half targets the incremental [`FrameAssembler`] behind
+//! the readiness reactor's read path: however a valid stream is
+//! sliced — byte at a time, random chunks, truncated mid-frame — the
+//! assembler must never panic, must yield exactly the frames the
+//! one-shot [`read_frame`] reader yields, each exactly when its last
+//! byte arrives, and must poison itself (typed error, no allocation)
+//! on an oversized length prefix.
 
 use net::wire::{
-    decode_payload, encode_request, encode_response, encode_stats_request, Frame, RequestFrame,
-    RespStatus, ResponseFrame,
+    decode_payload, encode_request, encode_response, encode_stats_request, read_frame, Frame,
+    FrameAssembler, RequestFrame, RespStatus, ResponseFrame, WireError, MAX_FRAME_LEN,
 };
 use proptest::prelude::*;
 use proptest::strategy::BoxedStrategy;
@@ -171,5 +179,221 @@ proptest! {
     #[test]
     fn prop_status_codes_round_trip(status in arb_status()) {
         prop_assert_eq!(RespStatus::from_code(status.code()), Ok(status));
+    }
+}
+
+/// A stream of complete frames: interleaved requests and responses,
+/// concatenated with their length prefixes — what a socket carries.
+fn arb_stream() -> BoxedStrategy<Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            arb_request_frame().prop_map(|f| encode_request(&f)),
+            arb_response_frame().prop_map(|f| encode_response(&f)),
+            any::<u64>().prop_map(encode_stats_request),
+        ],
+        0..6,
+    )
+    .prop_map(|frames| frames.concat())
+    .boxed()
+}
+
+/// Reference decomposition of a (possibly truncated) byte stream into
+/// the payloads of its wholly-contained frames — the oracle every
+/// assembler schedule must agree with.
+fn whole_frames(stream: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while stream.len() - pos >= 4 {
+        let len = u32::from_be_bytes(stream[pos..pos + 4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_LEN || stream.len() - pos < 4 + len {
+            break;
+        }
+        out.push(stream[pos + 4..pos + 4 + len].to_vec());
+        pos += 4 + len;
+    }
+    out
+}
+
+/// Drains every currently-complete frame out of the assembler.
+fn drain(asm: &mut FrameAssembler) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    while let Some(payload) = asm.next_frame().expect("valid stream never errors") {
+        out.push(payload);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn prop_assembler_agrees_with_the_one_shot_reader_under_random_splits(
+        stream in arb_stream(),
+        chunk_seed in any::<u64>(),
+    ) {
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let mut rng = chunk_seed | 1;
+        while pos < stream.len() {
+            rng = rng.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) | 1;
+            let take = 1 + (rng as usize) % 9;
+            let end = (pos + take).min(stream.len());
+            asm.feed(&stream[pos..end]);
+            pos = end;
+            got.extend(drain(&mut asm));
+        }
+        // A complete stream leaves the assembler clean at a boundary…
+        prop_assert!(asm.at_boundary());
+        prop_assert_eq!(asm.buffered(), 0);
+        // …having produced exactly what the blocking one-shot reader
+        // produces from the same bytes.
+        let mut cursor = std::io::Cursor::new(&stream[..]);
+        let mut want = Vec::new();
+        while let Some(payload) = read_frame(&mut cursor).expect("valid stream") {
+            want.push(payload);
+        }
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(&got, &whole_frames(&stream));
+        // And every payload decodes totally: Ok here (the stream was
+        // built from real frames), never a panic.
+        for payload in &got {
+            prop_assert!(decode_payload(payload).is_ok());
+        }
+    }
+
+    #[test]
+    fn prop_byte_at_a_time_yields_each_frame_exactly_at_its_last_byte(
+        stream in arb_stream(),
+    ) {
+        // Frame-end offsets within the stream: the only feed positions
+        // allowed to produce a frame.
+        let mut boundaries = Vec::new();
+        {
+            let mut pos = 0;
+            while pos < stream.len() {
+                let len = u32::from_be_bytes(stream[pos..pos + 4].try_into().unwrap()) as usize;
+                pos += 4 + len;
+                boundaries.push(pos);
+            }
+        }
+        let want = whole_frames(&stream);
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for (i, byte) in stream.iter().enumerate() {
+            asm.feed(std::slice::from_ref(byte));
+            let ready = drain(&mut asm);
+            if boundaries.contains(&(i + 1)) {
+                prop_assert_eq!(ready.len(), 1, "frame must complete at byte {}", i + 1);
+            } else {
+                prop_assert!(ready.is_empty(), "no frame may appear mid-frame at byte {}", i + 1);
+            }
+            got.extend(ready);
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prop_a_truncated_stream_yields_only_whole_frames_and_keeps_waiting(
+        stream in arb_stream(),
+        cut_seed in any::<u64>(),
+    ) {
+        let cut = (cut_seed as usize) % (stream.len() + 1);
+        let prefix = &stream[..cut];
+        let mut asm = FrameAssembler::new();
+        asm.feed(prefix);
+        let got = drain(&mut asm);
+        let want = whole_frames(prefix);
+        let consumed: usize = want.iter().map(|p| 4 + p.len()).sum();
+        prop_assert_eq!(got, want);
+        // Truncation is not an error — the assembler just waits, with
+        // exactly the unconsumed tail buffered.
+        prop_assert_eq!(asm.buffered(), cut - consumed);
+        prop_assert_eq!(asm.at_boundary(), cut == consumed);
+        prop_assert!(matches!(asm.next_frame(), Ok(None)));
+        // Feeding the remainder completes the stream losslessly.
+        asm.feed(&stream[cut..]);
+        let rest = drain(&mut asm);
+        let all = whole_frames(&stream);
+        prop_assert_eq!(rest, all[whole_frames(prefix).len()..].to_vec());
+        prop_assert!(asm.at_boundary());
+    }
+
+    #[test]
+    fn prop_an_oversized_length_prefix_poisons_the_assembler(
+        stream in arb_stream(),
+        oversize in (MAX_FRAME_LEN as u32 + 1)..=u32::MAX,
+        junk in proptest::collection::vec(any::<u8>(), 0..64),
+        split_seed in any::<u64>(),
+    ) {
+        let mut poisoned_stream = stream.clone();
+        poisoned_stream.extend_from_slice(&oversize.to_be_bytes());
+        poisoned_stream.extend_from_slice(&junk);
+        let split = (split_seed as usize) % (poisoned_stream.len() + 1);
+        let mut asm = FrameAssembler::new();
+        asm.feed(&poisoned_stream[..split]);
+        let mut got = Vec::new();
+        let err = loop {
+            match asm.next_frame() {
+                Ok(Some(p)) => got.push(p),
+                Ok(None) => {
+                    // The bad prefix hasn't fully arrived yet.
+                    asm.feed(&poisoned_stream[split..]);
+                    match asm.next_frame() {
+                        Ok(Some(p)) => {
+                            got.push(p);
+                            continue;
+                        }
+                        Ok(None) => unreachable!("bad prefix is fully fed"),
+                        Err(e) => break e,
+                    }
+                }
+                Err(e) => break e,
+            }
+        };
+        // The good frames all arrived before the poison…
+        prop_assert_eq!(got, whole_frames(&stream));
+        prop_assert_eq!(err, WireError::TooLarge { len: oversize as usize });
+        // …and the assembler stays poisoned: more bytes, same error,
+        // never a panic, never a frame conjured from junk.
+        asm.feed(&junk);
+        prop_assert_eq!(asm.next_frame(), Err(WireError::TooLarge { len: oversize as usize }));
+        prop_assert!(!asm.at_boundary());
+    }
+
+    #[test]
+    fn prop_payload_corruption_cannot_derail_framing(
+        stream in arb_stream(),
+        pos_seed in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        // Flip one byte anywhere *outside* the length prefixes: the
+        // assembler frames by length alone, so it must still produce
+        // the same frame boundaries, and decoding each payload must
+        // stay total (Ok or typed Err, never a panic).
+        let mut payload_positions = Vec::new();
+        let mut pos = 0;
+        while pos < stream.len() {
+            let len = u32::from_be_bytes(stream[pos..pos + 4].try_into().unwrap()) as usize;
+            payload_positions.extend(pos + 4..pos + 4 + len);
+            pos += 4 + len;
+        }
+        if payload_positions.is_empty() {
+            // An empty stream has nothing to corrupt.
+            return Ok(());
+        }
+        let flip = payload_positions[(pos_seed as usize) % payload_positions.len()];
+        let mut corrupt = stream.clone();
+        corrupt[flip] ^= xor;
+        let mut asm = FrameAssembler::new();
+        asm.feed(&corrupt);
+        let got = drain(&mut asm);
+        let want = whole_frames(&corrupt);
+        prop_assert_eq!(got.len(), whole_frames(&stream).len());
+        prop_assert_eq!(&got, &want);
+        prop_assert!(asm.at_boundary());
+        for payload in &got {
+            let _ = decode_payload(payload);
+        }
     }
 }

@@ -7,15 +7,23 @@
 //!   front end);
 //! * **a reader per client connection** — decodes request frames,
 //!   consistent-hashes the cache key ([`crate::ring::request_key`]),
-//!   and forwards the frame to the owning live backend over that
-//!   backend's pooled connection. Stats ops are answered in place by
-//!   fanning out op-4 `StatsFull` to every live backend and merging;
+//!   and forwards the frame to the owning live backend over one of
+//!   that backend's pooled connections. Stats ops are answered in
+//!   place by fanning out op-4 `StatsFull` to every live backend and
+//!   merging;
 //! * **a writer per client connection** — drains pre-encoded response
-//!   frames, exactly the `Outbound` contract from `net::server`:
+//!   frames, exactly the [`Outbound`] contract from `net::reactor`:
 //!   responses complete **out of order by id**;
-//! * **a reader per backend connection** — matches backend responses to
-//!   the pending table by router-assigned id, patches the client's id
-//!   back into the frame, and hands it to the right client writer;
+//! * **the backend pool** — under [`Io::Blocking`], one pooled
+//!   connection per backend with a dedicated reader thread (the
+//!   original shape). Under [`Io::Readiness`], `pool_size` pooled
+//!   connections per backend all multiplexed on a shared
+//!   [`net::reactor::Reactor`] — the same epoll engine that runs the
+//!   backend front end — so the router's backend-facing thread count
+//!   stays flat no matter how wide the pool gets. Responses are
+//!   matched to the pending table by router-assigned id, the client's
+//!   id is patched back into the frame, and the frame is handed to
+//!   the right client writer;
 //! * **one prober** — periodically pings `Down` backends (TCP connect +
 //!   op-3 stats) and re-admits them.
 //!
@@ -30,6 +38,20 @@
 //! bytes in the table is what makes **re-routing** one patch cheap:
 //! on a backend death the same bytes are resent to the ring successor.
 //!
+//! ## Stall detection
+//!
+//! A backend that holds the connection open but stops answering is
+//! dead for routing purposes. The detector is one watermark per
+//! backend — the last time a response arrived (reset when the backend
+//! goes from idle to owing work) — and one bound,
+//! [`RouterConfig::stall_bound`]: requests outstanding with no
+//! response for longer than the bound severs the pool and fails the
+//! pending work over. Blocking mode checks the watermark on every
+//! socket-read timeout; readiness mode checks it in the reactor's
+//! `on_tick` sweep. The prober deliberately has no such bound — its
+//! stats ping rides out a stall, which is exactly how a slow-but-alive
+//! backend gets re-admitted.
+//!
 //! ## Failure semantics
 //!
 //! Course requests are idempotent computations, so one re-route per
@@ -37,20 +59,23 @@
 //! second failure (or no live backend) synthesizes a `SHED` response
 //! with a retry hint and [`net::wire::ROUTER_BACKEND_ID`] as the
 //! answering backend, so clients can tell the router answered for a
-//! dead shard. The invariant the end-to-end tests assert: **every
-//! forwarded request produces exactly one client response** — relayed,
-//! re-routed-then-relayed, or shed — and the fleet's merged ledgers
-//! still balance.
+//! dead shard. Any pooled connection dying downs the whole backend —
+//! the pool is one fate-shared unit. The invariant the end-to-end
+//! tests assert: **every forwarded request produces exactly one client
+//! response** — relayed, re-routed-then-relayed, or shed — and the
+//! fleet's merged ledgers still balance.
 
 use crate::health::Health;
 use crate::ring::{request_key, Ring};
 use net::loadgen::{fetch_stats, fetch_stats_full};
+use net::reactor::{ConnHandle, ConnHandler, Outbound, Reactor, ReactorConfig, WriterStep};
+use net::server::Io;
 use net::wire::{
     decode_payload, encode_response, read_frame, write_frame, Frame, RespStatus, ResponseFrame,
-    ROUTER_BACKEND_ID,
+    WireError, ROUTER_BACKEND_ID,
 };
 use serve::server::SHED_BODY_PREFIX;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -73,17 +98,33 @@ pub struct RouterConfig {
     pub fail_threshold: u32,
     /// How often the prober re-checks `Down` backends.
     pub probe_interval: Duration,
-    /// Read bound on a pooled backend connection. A timeout with
-    /// requests outstanding is treated as a stall — the backend is
-    /// severed and its pending work re-routed; with nothing outstanding
-    /// it's just an idle tick.
+    /// Read bound on a pooled backend connection in blocking mode —
+    /// how often the reader wakes to run the stall check. Also the
+    /// default stall bound when [`RouterConfig::stall_timeout`] is
+    /// `None`.
     pub backend_read_timeout: Duration,
+    /// How long a backend may owe responses without delivering any
+    /// before its pool is severed and the pending work re-routed.
+    /// `None` inherits [`RouterConfig::backend_read_timeout`] (the
+    /// historical coupling); set it explicitly to let slow-but-alive
+    /// backends ride out pauses longer than the poll interval, or to
+    /// sever faster than it.
+    pub stall_timeout: Option<Duration>,
     /// Write bound on backend and client sockets.
     pub write_timeout: Duration,
     /// Read bound on client sockets (idle clients hold a thread pair).
     pub client_read_timeout: Duration,
     /// Retry hint stamped on router-synthesized `SHED` responses, ms.
     pub shed_retry_ms: u64,
+    /// I/O engine for the backend connection pool. `Io::Blocking` is
+    /// the thread-per-connection original; `Io::Readiness` runs every
+    /// pooled connection on one shared epoll reactor.
+    pub io: Io,
+    /// Pooled connections per backend under [`Io::Readiness`]
+    /// (blocking mode always uses exactly one). More connections mean
+    /// more frames in flight per backend without head-of-line blocking
+    /// on one socket's write queue.
+    pub pool_size: usize,
 }
 
 impl Default for RouterConfig {
@@ -93,9 +134,28 @@ impl Default for RouterConfig {
             fail_threshold: 2,
             probe_interval: Duration::from_millis(50),
             backend_read_timeout: Duration::from_secs(2),
+            stall_timeout: None,
             write_timeout: Duration::from_secs(5),
             client_read_timeout: Duration::from_secs(30),
             shed_retry_ms: 50,
+            io: Io::Blocking,
+            pool_size: 1,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// The effective stall bound: [`RouterConfig::stall_timeout`] when
+    /// set, otherwise [`RouterConfig::backend_read_timeout`].
+    pub fn stall_bound(&self) -> Duration {
+        self.stall_timeout.unwrap_or(self.backend_read_timeout)
+    }
+
+    /// Pooled connections per backend under the configured engine.
+    fn pool(&self) -> usize {
+        match self.io {
+            Io::Blocking => 1,
+            Io::Readiness { .. } => self.pool_size.max(1),
         }
     }
 }
@@ -170,94 +230,55 @@ struct Pending {
     sent_at: Instant,
 }
 
-/// One backend's pooled connection (writer half); the reader half lives
-/// in its own thread holding a clone of the stream.
-struct BackendConn {
-    stream: TcpStream,
-    writer: BufWriter<TcpStream>,
-    /// Monotonic per-slot counter so a stale reader can't sever the
-    /// connection the prober just re-established.
-    generation: u64,
+/// One pooled connection to a backend, in whichever engine the router
+/// was configured with.
+enum Link {
+    /// Thread-per-connection: the writer half lives here (behind the
+    /// slot lock), the reader half in a dedicated thread.
+    Blocking {
+        stream: TcpStream,
+        writer: BufWriter<TcpStream>,
+        /// Monotonic per-slot counter so a stale reader can't sever
+        /// the connection the prober just re-established.
+        generation: u64,
+    },
+    /// Reactor-registered: sends enqueue on the connection's shard;
+    /// inbound frames arrive via [`BackendLink::on_frame`].
+    Ready { handle: ConnHandle, generation: u64 },
+}
+
+impl Link {
+    fn generation(&self) -> u64 {
+        match self {
+            Link::Blocking { generation, .. } | Link::Ready { generation, .. } => *generation,
+        }
+    }
+
+    fn sever(self) {
+        match self {
+            Link::Blocking { stream, .. } => {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            Link::Ready { handle, .. } => handle.kill(),
+        }
+    }
 }
 
 struct BackendSlot {
     id: u32,
     addr: SocketAddr,
     health: Health,
-    conn: Mutex<Option<BackendConn>>,
+    /// The connection pool: one slot per pooled link (`pool()` long).
+    links: Vec<Mutex<Option<Link>>>,
     next_generation: AtomicU64,
+    /// Round-robin cursor for picking a pool link per forward.
+    next_link: AtomicU64,
     /// Outstanding forwards on this backend (approximate, for the
-    /// reader's stall check).
+    /// stall check).
     outstanding: AtomicU64,
-}
-
-/// The reader→writer handoff for one client connection — the same
-/// contract as the backend front end's `Outbound` (see `net::server`):
-/// `in_flight` counts forwards whose response (real or synthesized) has
-/// not yet been enqueued, and the writer only drains out when the
-/// reader is done and nothing is in flight.
-struct Outbound {
-    state: Mutex<OutState>,
-    wake: Condvar,
-}
-
-struct OutState {
-    queue: VecDeque<Vec<u8>>,
-    in_flight: usize,
-    reader_done: bool,
-    dead: bool,
-}
-
-impl Outbound {
-    fn new() -> Arc<Outbound> {
-        Arc::new(Outbound {
-            state: Mutex::new(OutState {
-                queue: VecDeque::new(),
-                in_flight: 0,
-                reader_done: false,
-                dead: false,
-            }),
-            wake: Condvar::new(),
-        })
-    }
-
-    fn push(&self, bytes: Vec<u8>, completes_in_flight: bool) {
-        let mut st = self.state.lock().expect("outbound mutex poisoned");
-        if completes_in_flight {
-            st.in_flight -= 1;
-        }
-        if !st.dead {
-            st.queue.push_back(bytes);
-        }
-        drop(st);
-        self.wake.notify_all();
-    }
-
-    fn open_in_flight(&self) {
-        self.state
-            .lock()
-            .expect("outbound mutex poisoned")
-            .in_flight += 1;
-    }
-
-    fn reader_done(&self) {
-        self.state
-            .lock()
-            .expect("outbound mutex poisoned")
-            .reader_done = true;
-        self.wake.notify_all();
-    }
-
-    fn mark_dead(&self) {
-        self.state.lock().expect("outbound mutex poisoned").dead = true;
-        self.wake.notify_all();
-    }
-}
-
-enum WriterStep {
-    Write(Vec<u8>),
-    Drained,
-    Dead,
+    /// Last response-progress time, reset when the backend goes from
+    /// idle to owing work: the stall detector's watermark.
+    last_progress: Mutex<Instant>,
 }
 
 struct Shared {
@@ -266,6 +287,9 @@ struct Shared {
     robs: RouterObs,
     backends: Vec<BackendSlot>,
     ring: Ring,
+    /// The shared epoll engine for the backend pool; `None` in
+    /// blocking mode.
+    reactor: Option<Reactor>,
     pending: Mutex<HashMap<u64, Pending>>,
     next_router_id: AtomicU64,
     accepting: AtomicBool,
@@ -318,7 +342,25 @@ impl Router {
         let local_addr = listener.local_addr()?;
         let registry = obs::Registry::new();
         let robs = RouterObs::new(&registry);
+        let reactor = match config.io {
+            Io::Blocking => None,
+            Io::Readiness { shards } => {
+                // Tick fast enough that the on_tick stall check adds at
+                // most ~25% latency to the configured bound.
+                let tick = (config.stall_bound() / 4)
+                    .clamp(Duration::from_millis(5), Duration::from_millis(200));
+                Some(Reactor::new(
+                    ReactorConfig {
+                        shards: shards.max(1),
+                        tick,
+                        ..ReactorConfig::default()
+                    },
+                    &registry,
+                )?)
+            }
+        };
         let ids: Vec<u32> = (0..backend_addrs.len() as u32).collect();
+        let pool = config.pool();
         let backends = backend_addrs
             .iter()
             .zip(&ids)
@@ -326,9 +368,11 @@ impl Router {
                 id,
                 addr,
                 health: Health::new(config.fail_threshold),
-                conn: Mutex::new(None),
+                links: (0..pool).map(|_| Mutex::new(None)).collect(),
                 next_generation: AtomicU64::new(0),
+                next_link: AtomicU64::new(0),
                 outstanding: AtomicU64::new(0),
+                last_progress: Mutex::new(Instant::now()),
             })
             .collect();
         let ring = Ring::new(&ids, config.vnodes);
@@ -338,6 +382,7 @@ impl Router {
             robs,
             backends,
             ring,
+            reactor,
             pending: Mutex::new(HashMap::new()),
             next_router_id: AtomicU64::new(1),
             accepting: AtomicBool::new(true),
@@ -426,7 +471,8 @@ impl Router {
     /// Graceful shutdown: stop accepting, half-close client reads, let
     /// in-flight forwards resolve (backend answers, re-routes, or
     /// synthesized sheds), flush client writers, then tear down backend
-    /// connections and the prober. Idempotent; also runs on drop.
+    /// connections, the prober, and the reactor. Idempotent; also runs
+    /// on drop.
     pub fn shutdown(&self) {
         if self.shut.swap(true, Ordering::SeqCst) {
             return;
@@ -453,12 +499,13 @@ impl Router {
         }
         drop(live);
         for slot in &self.shared.backends {
-            if let Some(gen) = current_generation(slot) {
-                sever_conn(slot, gen);
-            }
+            sever_all(slot);
         }
         if let Some(handle) = self.prober.lock().expect("prober poisoned").take() {
             let _ = handle.join();
+        }
+        if let Some(reactor) = &self.shared.reactor {
+            reactor.shutdown();
         }
     }
 }
@@ -469,59 +516,106 @@ impl Drop for Router {
     }
 }
 
-fn current_generation(slot: &BackendSlot) -> Option<u64> {
-    slot.conn
-        .lock()
-        .expect("backend conn poisoned")
-        .as_ref()
-        .map(|c| c.generation)
-}
-
-/// Establishes the pooled connection to backend `idx` and spawns its
-/// reader thread. Does not change health state.
+/// Establishes backend `idx`'s pooled connection(s). Blocking mode
+/// connects one socket and spawns its reader thread; readiness mode
+/// connects `pool_size` sockets and registers them all on the shared
+/// reactor. Does not change health state. A partial failure tears down
+/// whatever this call already established.
 fn connect_backend(shared: &Arc<Shared>, idx: usize) -> io::Result<()> {
     let slot = &shared.backends[idx];
-    let stream = TcpStream::connect(slot.addr)?;
-    let _ = stream.set_nodelay(true);
-    stream.set_read_timeout(Some(shared.config.backend_read_timeout))?;
-    stream.set_write_timeout(Some(shared.config.write_timeout))?;
-    let read_half = stream.try_clone()?;
-    let writer_half = stream.try_clone()?;
     let generation = slot.next_generation.fetch_add(1, Ordering::Relaxed);
-    *slot.conn.lock().expect("backend conn poisoned") = Some(BackendConn {
-        stream,
-        writer: BufWriter::new(writer_half),
-        generation,
-    });
-    let reader_shared = Arc::clone(shared);
-    let _ = std::thread::Builder::new()
-        .name(format!("router-backend-{idx}"))
-        .spawn(move || backend_reader(&reader_shared, idx, generation, read_half));
+    match &shared.reactor {
+        None => {
+            let stream = TcpStream::connect(slot.addr)?;
+            let _ = stream.set_nodelay(true);
+            // Wake at least once per stall bound so the watermark check
+            // can't be starved by a longer socket timeout.
+            let poll = shared
+                .config
+                .backend_read_timeout
+                .min(shared.config.stall_bound());
+            stream.set_read_timeout(Some(poll))?;
+            stream.set_write_timeout(Some(shared.config.write_timeout))?;
+            let read_half = stream.try_clone()?;
+            let writer_half = stream.try_clone()?;
+            *slot.links[0].lock().expect("backend link poisoned") = Some(Link::Blocking {
+                stream,
+                writer: BufWriter::new(writer_half),
+                generation,
+            });
+            let reader_shared = Arc::clone(shared);
+            let _ = std::thread::Builder::new()
+                .name(format!("router-backend-{idx}"))
+                .spawn(move || backend_reader(&reader_shared, idx, generation, read_half));
+        }
+        Some(reactor) => {
+            for li in 0..slot.links.len() {
+                let established = TcpStream::connect(slot.addr).and_then(|stream| {
+                    let _ = stream.set_nodelay(true);
+                    let handler = Box::new(BackendLink {
+                        shared: Arc::clone(shared),
+                        idx,
+                        li,
+                        generation,
+                    });
+                    reactor.register(stream, handler)
+                });
+                match established {
+                    Ok(handle) => {
+                        *slot.links[li].lock().expect("backend link poisoned") =
+                            Some(Link::Ready { handle, generation });
+                    }
+                    Err(e) => {
+                        sever_all(slot);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
     Ok(())
 }
 
-/// Tears down the slot's pooled connection iff it is still generation
+/// Tears down pool link `li` of `slot` iff it is still generation
 /// `generation`; returns whether *this call* severed it. The single
-/// point that decides which thread owns the backend-down cleanup.
-fn sever_conn(slot: &BackendSlot, generation: u64) -> bool {
-    let mut guard = slot.conn.lock().expect("backend conn poisoned");
+/// point that decides which thread owns a link's cleanup.
+fn sever_link(slot: &BackendSlot, li: usize, generation: u64) -> bool {
+    let mut guard = slot.links[li].lock().expect("backend link poisoned");
     match guard.as_ref() {
-        Some(conn) if conn.generation == generation => {
-            let conn = guard.take().expect("checked above");
+        Some(link) if link.generation() == generation => {
+            let link = guard.take().expect("checked above");
             drop(guard);
-            let _ = conn.stream.shutdown(Shutdown::Both);
+            link.sever();
             true
         }
         _ => false,
     }
 }
 
-/// Marks backend `idx` down and fails over everything it still owed:
-/// each pending entry re-routes once to a live ring successor or sheds
-/// honestly. Called only by the thread that actually severed the
-/// connection, so each outage is cleaned up exactly once.
+/// Severs every link `slot` still holds (pool fate-sharing and the
+/// shutdown path).
+fn sever_all(slot: &BackendSlot) {
+    for li in 0..slot.links.len() {
+        let generation = slot.links[li]
+            .lock()
+            .expect("backend link poisoned")
+            .as_ref()
+            .map(Link::generation);
+        if let Some(generation) = generation {
+            sever_link(slot, li, generation);
+        }
+    }
+}
+
+/// Marks backend `idx` down, severs whatever is left of its pool, and
+/// fails over everything it still owed: each pending entry re-routes
+/// once to a live ring successor or sheds honestly. Called only by the
+/// thread that actually severed a link, so each outage is cleaned up
+/// exactly once (a severed sibling link's close callback finds its
+/// slot already empty and does nothing).
 fn backend_down(shared: &Arc<Shared>, idx: usize) {
     let slot = &shared.backends[idx];
+    sever_all(slot);
     if slot.health.force_down() {
         shared.backend_downs.fetch_add(1, Ordering::Relaxed);
         shared.robs.backend_downs.inc();
@@ -574,9 +668,12 @@ fn resend(shared: &Arc<Shared>, p: Pending) {
         .lock()
         .expect("pending table poisoned")
         .insert(rid, p);
-    shared.backends[backend]
-        .outstanding
-        .fetch_add(1, Ordering::Relaxed);
+    let slot = &shared.backends[backend];
+    if slot.outstanding.fetch_add(1, Ordering::Relaxed) == 0 {
+        // Idle → owing work: the stall clock starts now, not at the
+        // last response before the idle stretch.
+        *slot.last_progress.lock().expect("progress poisoned") = Instant::now();
+    }
     if !send_to_backend(shared, backend, &bytes) {
         // The send severed the target (or it was already gone). Claim
         // the entry back if the cascade hasn't, and resolve it here.
@@ -618,39 +715,110 @@ fn router_id_of(bytes: &[u8]) -> u64 {
     )
 }
 
-/// Writes `bytes` on backend `idx`'s pooled connection. On failure the
-/// connection is severed and the backend's down-handling runs; returns
-/// whether the write succeeded.
+/// Writes `bytes` on one of backend `idx`'s pooled connections,
+/// round-robin over live links. On failure the pool is severed and the
+/// backend's down-handling runs; returns whether the send succeeded
+/// (for a reactor link, "succeeded" means enqueued on a live
+/// connection — a later write failure resolves through the pending
+/// table like any other sever).
 fn send_to_backend(shared: &Arc<Shared>, idx: usize, bytes: &[u8]) -> bool {
     let slot = &shared.backends[idx];
-    let mut guard = slot.conn.lock().expect("backend conn poisoned");
-    match guard.as_mut() {
-        Some(conn) => {
-            if write_frame(&mut conn.writer, bytes).is_ok() {
-                true
-            } else {
-                let conn = guard.take().expect("checked above");
+    let n = slot.links.len();
+    let start = slot.next_link.fetch_add(1, Ordering::Relaxed) as usize;
+    for k in 0..n {
+        let li = (start + k) % n;
+        let mut guard = slot.links[li].lock().expect("backend link poisoned");
+        match guard.as_mut() {
+            Some(Link::Blocking {
+                writer, generation, ..
+            }) => {
+                if write_frame(writer, bytes).is_ok() {
+                    return true;
+                }
+                let generation = *generation;
                 drop(guard);
-                let _ = conn.stream.shutdown(Shutdown::Both);
+                sever_link(slot, li, generation);
                 backend_down(shared, idx);
-                false
+                return false;
             }
-        }
-        None => {
-            drop(guard);
-            // No connection (racing a sever): make sure health agrees.
-            backend_down(shared, idx);
-            false
+            Some(Link::Ready { handle, generation }) => {
+                if handle.send(bytes.to_vec(), false) {
+                    return true;
+                }
+                let generation = *generation;
+                drop(guard);
+                sever_link(slot, li, generation);
+                backend_down(shared, idx);
+                return false;
+            }
+            None => continue,
         }
     }
+    // No link at all (racing a sever): make sure health agrees.
+    backend_down(shared, idx);
+    false
 }
 
-/// Per-backend response pump: matches responses to the pending table,
-/// patches client ids back in, and forwards. Exits — and triggers
-/// fail-over — on EOF, a hard error, a protocol violation, or a read
-/// stall with requests outstanding.
+/// One backend response, shared by both engines: match it to the
+/// pending table, patch the client id back in, and forward to the
+/// owning client writer. Returns `false` when the connection must be
+/// severed (protocol violation or a connection-level GoAway).
+fn handle_backend_payload(shared: &Arc<Shared>, idx: usize, payload: Vec<u8>) -> bool {
+    let slot = &shared.backends[idx];
+    let resp = match decode_payload(&payload) {
+        Ok(Frame::Response(resp)) => resp,
+        _ => return false, // protocol violation: sever
+    };
+    if resp.id == 0 {
+        // Connection-level frame (accept-time GoAway): the backend
+        // is refusing us; sever and fail over.
+        return false;
+    }
+    *slot.last_progress.lock().expect("progress poisoned") = Instant::now();
+    let entry = shared
+        .pending
+        .lock()
+        .expect("pending table poisoned")
+        .remove(&resp.id);
+    let Some(p) = entry else {
+        // Response for an entry another thread already failed over
+        // (e.g. after a stall-sever race). Drop it: the client got
+        // (or will get) its answer from the re-route path.
+        return true;
+    };
+    slot.outstanding.fetch_sub(1, Ordering::Relaxed);
+    if resp.status == RespStatus::GoAway {
+        // The backend is shutting down and refused this request;
+        // it counts toward the failure threshold and the request
+        // deserves a second chance elsewhere.
+        if slot.health.record_failure() {
+            shared.backend_downs.fetch_add(1, Ordering::Relaxed);
+            shared.robs.backend_downs.inc();
+            shared.robs.backends_live.add(-1);
+        }
+        fail_over(shared, p, slot.id);
+        return true;
+    }
+    let rtt = p.sent_at.elapsed();
+    slot.health.record_success(rtt.as_micros() as u64);
+    shared.robs.rtt_us.record_micros(rtt);
+    let mut out_payload = payload;
+    out_payload[ID_OFFSET..ID_OFFSET + 8].copy_from_slice(&p.client_id.to_be_bytes());
+    let mut bytes = Vec::with_capacity(4 + out_payload.len());
+    bytes.extend_from_slice(&(out_payload.len() as u32).to_be_bytes());
+    bytes.extend_from_slice(&out_payload);
+    shared.relayed.fetch_add(1, Ordering::Relaxed);
+    shared.robs.relayed.inc();
+    p.client_out.push(bytes, true);
+    true
+}
+
+/// Per-backend response pump for the blocking engine. Exits — and
+/// triggers fail-over — on EOF, a hard error, a protocol violation, or
+/// the stall watermark aging past the bound with requests outstanding.
 fn backend_reader(shared: &Arc<Shared>, idx: usize, generation: u64, read_half: TcpStream) {
     let slot = &shared.backends[idx];
+    let stall = shared.config.stall_bound();
     let mut reader = BufReader::new(read_half);
     loop {
         let payload = match read_frame(&mut reader) {
@@ -659,7 +827,14 @@ fn backend_reader(shared: &Arc<Shared>, idx: usize, generation: u64, read_half: 
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                if slot.outstanding.load(Ordering::Relaxed) > 0 {
+                let stalled = slot.outstanding.load(Ordering::Relaxed) > 0
+                    && slot
+                        .last_progress
+                        .lock()
+                        .expect("progress poisoned")
+                        .elapsed()
+                        >= stall;
+                if stalled {
                     // Stalled with work owed: that's a dead backend,
                     // not an idle one.
                     break;
@@ -668,53 +843,56 @@ fn backend_reader(shared: &Arc<Shared>, idx: usize, generation: u64, read_half: 
             }
             Err(_) => break,
         };
-        let resp = match decode_payload(&payload) {
-            Ok(Frame::Response(resp)) => resp,
-            _ => break, // protocol violation: sever
-        };
-        if resp.id == 0 {
-            // Connection-level frame (accept-time GoAway): the backend
-            // is refusing us; sever and fail over.
+        if !handle_backend_payload(shared, idx, payload) {
             break;
         }
-        let entry = shared
-            .pending
-            .lock()
-            .expect("pending table poisoned")
-            .remove(&resp.id);
-        let Some(p) = entry else {
-            // Response for an entry another thread already failed over
-            // (e.g. after a stall-sever race). Drop it: the client got
-            // (or will get) its answer from the re-route path.
-            continue;
-        };
-        slot.outstanding.fetch_sub(1, Ordering::Relaxed);
-        if resp.status == RespStatus::GoAway {
-            // The backend is shutting down and refused this request;
-            // it counts toward the failure threshold and the request
-            // deserves a second chance elsewhere.
-            if slot.health.record_failure() {
-                shared.backend_downs.fetch_add(1, Ordering::Relaxed);
-                shared.robs.backend_downs.inc();
-                shared.robs.backends_live.add(-1);
-            }
-            fail_over(shared, p, slot.id);
-            continue;
-        }
-        let rtt = p.sent_at.elapsed();
-        slot.health.record_success(rtt.as_micros() as u64);
-        shared.robs.rtt_us.record_micros(rtt);
-        let mut out_payload = payload;
-        out_payload[ID_OFFSET..ID_OFFSET + 8].copy_from_slice(&p.client_id.to_be_bytes());
-        let mut bytes = Vec::with_capacity(4 + out_payload.len());
-        bytes.extend_from_slice(&(out_payload.len() as u32).to_be_bytes());
-        bytes.extend_from_slice(&out_payload);
-        shared.relayed.fetch_add(1, Ordering::Relaxed);
-        shared.robs.relayed.inc();
-        p.client_out.push(bytes, true);
     }
-    if sever_conn(slot, generation) {
+    if sever_link(slot, 0, generation) {
         backend_down(shared, idx);
+    }
+}
+
+/// [`ConnHandler`] for one reactor-registered pool link: frames resolve
+/// through the shared pending-table path, `on_tick` runs the stall
+/// watermark check, and the close callback owns the backend-down
+/// cascade (once per outage — sibling links find their slot empty).
+struct BackendLink {
+    shared: Arc<Shared>,
+    idx: usize,
+    li: usize,
+    generation: u64,
+}
+
+impl ConnHandler for BackendLink {
+    fn on_frame(&mut self, payload: Result<Vec<u8>, WireError>, conn: &ConnHandle) {
+        let keep = match payload {
+            Ok(bytes) => handle_backend_payload(&self.shared, self.idx, bytes),
+            // Framing desync on a pooled connection: sever, fail over.
+            Err(_) => false,
+        };
+        if !keep {
+            conn.kill();
+        }
+    }
+
+    fn on_tick(&mut self, conn: &ConnHandle) {
+        let slot = &self.shared.backends[self.idx];
+        let stalled = slot.outstanding.load(Ordering::Relaxed) > 0
+            && slot
+                .last_progress
+                .lock()
+                .expect("progress poisoned")
+                .elapsed()
+                >= self.shared.config.stall_bound();
+        if stalled {
+            conn.kill();
+        }
+    }
+
+    fn on_close(&mut self, _graceful: bool) {
+        if sever_link(&self.shared.backends[self.idx], self.li, self.generation) {
+            backend_down(&self.shared, self.idx);
+        }
     }
 }
 
@@ -928,22 +1106,7 @@ fn client_writer(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>, out: &Ar
     {
         let mut writer = BufWriter::new(&stream);
         loop {
-            let step = {
-                let mut st = out.state.lock().expect("outbound mutex poisoned");
-                loop {
-                    if st.dead {
-                        break WriterStep::Dead;
-                    }
-                    if let Some(bytes) = st.queue.pop_front() {
-                        break WriterStep::Write(bytes);
-                    }
-                    if st.reader_done && st.in_flight == 0 {
-                        break WriterStep::Drained;
-                    }
-                    st = out.wake.wait(st).expect("outbound mutex poisoned");
-                }
-            };
-            match step {
+            match out.next_step() {
                 WriterStep::Dead => {
                     graceful = false;
                     break;

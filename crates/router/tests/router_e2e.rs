@@ -4,7 +4,7 @@
 //! ledgers), and probe-driven re-admission after a stall.
 
 use net::loadgen::{self, ClassLoad, LoadConfig, Mode, OpTemplate};
-use net::server::{NetConfig, NetServer};
+use net::server::{Io, NetConfig, NetServer};
 use net::wire::{
     decode_payload, encode_request, read_frame, write_frame, Frame, RequestFrame, RespStatus,
     ResponseFrame, ROUTER_BACKEND_ID,
@@ -226,12 +226,26 @@ fn stats_through_the_router_are_the_sum_of_the_fleet() {
 
 #[test]
 fn killing_a_backend_mid_run_loses_no_answers_and_balances_the_ledgers() {
+    kill_mid_run_under(Io::Blocking, 1);
+}
+
+#[test]
+fn killing_a_backend_mid_run_balances_under_readiness_pool() {
+    kill_mid_run_under(Io::Readiness { shards: 1 }, 2);
+}
+
+/// The ledger-balance invariant must hold identically whichever engine
+/// drives the backend pool — that's the contract that makes `io` a
+/// deployment knob instead of a semantic fork.
+fn kill_mid_run_under(io: Io, pool_size: usize) {
     let (mut backends, addrs) = fleet(3, 2048);
     let router = Router::bind(
         "127.0.0.1:0",
         &addrs,
         RouterConfig {
             backend_read_timeout: Duration::from_millis(500),
+            io,
+            pool_size,
             ..RouterConfig::default()
         },
     )
@@ -312,9 +326,18 @@ fn killing_a_backend_mid_run_loses_no_answers_and_balances_the_ledgers() {
 
 #[test]
 fn a_stalled_backend_is_shed_from_then_probed_back_in() {
+    stall_shed_then_readmit_under(Io::Blocking, 1);
+}
+
+#[test]
+fn a_stalled_backend_is_shed_from_then_probed_back_in_readiness() {
+    stall_shed_then_readmit_under(Io::Readiness { shards: 1 }, 2);
+}
+
+fn stall_shed_then_readmit_under(io: Io, pool_size: usize) {
     // The single backend stalls every read 400 ms — longer than the
-    // router's 100 ms read bound — so the first forwarded request
-    // times the pool connection out and gets an honest router shed.
+    // router's 100 ms stall bound — so the first forwarded request
+    // trips the watermark check and gets an honest router shed.
     let plan = FaultPlan::new(0x57A11).stall_at(
         FaultPoint::NetReadFrame,
         Duration::from_millis(400),
@@ -329,6 +352,8 @@ fn a_stalled_backend_is_shed_from_then_probed_back_in() {
             backend_read_timeout: Duration::from_millis(100),
             probe_interval: Duration::from_millis(25),
             fail_threshold: 1,
+            io,
+            pool_size,
             ..RouterConfig::default()
         },
     )
@@ -394,4 +419,107 @@ fn no_live_backend_sheds_immediately_with_an_honest_hint() {
     }
     assert!(router.totals().synthesized_shed >= 3);
     router.shutdown();
+}
+
+#[test]
+fn a_generous_stall_timeout_rides_out_a_pause() {
+    generous_stall_under(Io::Blocking, 1);
+}
+
+#[test]
+fn a_generous_stall_timeout_rides_out_a_pause_readiness() {
+    generous_stall_under(Io::Readiness { shards: 1 }, 2);
+}
+
+/// `stall_timeout` decoupled upward: the backend pauses 400 ms per
+/// read — far past the 50 ms poll bound, well inside the 2 s stall
+/// bound — and the router must wait for the answer instead of severing
+/// at the poll interval (which is exactly what the legacy coupling
+/// would have done).
+fn generous_stall_under(io: Io, pool_size: usize) {
+    let plan = FaultPlan::new(0x57A22).stall_at(
+        FaultPoint::NetReadFrame,
+        Duration::from_millis(400),
+        1,
+        1,
+    );
+    let srv = backend(0, 8, Some(plan));
+    let router = Router::bind(
+        "127.0.0.1:0",
+        &[srv.local_addr()],
+        RouterConfig {
+            backend_read_timeout: Duration::from_millis(50),
+            stall_timeout: Some(Duration::from_secs(2)),
+            fail_threshold: 1,
+            io,
+            pool_size,
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    let stream = TcpStream::connect(router.local_addr()).unwrap();
+    let mut writer = BufWriter::new(&stream);
+    let mut reader = BufReader::new(&stream);
+    write_frame(&mut writer, &reproduce(1, "exp/0")).unwrap();
+    let resp = next_response(&mut reader);
+    assert!(
+        matches!(resp.status, RespStatus::Ok | RespStatus::OkCached),
+        "a slow-but-alive backend inside the stall bound answers: {resp:?}"
+    );
+    assert_eq!(
+        router.totals().backend_downs,
+        0,
+        "the pause never counted as an outage: {:?}",
+        router.totals()
+    );
+    router.shutdown();
+    srv.shutdown();
+}
+
+#[test]
+fn a_tight_stall_timeout_severs_faster_than_the_read_bound() {
+    tight_stall_under(Io::Blocking, 1);
+}
+
+#[test]
+fn a_tight_stall_timeout_severs_faster_than_the_read_bound_readiness() {
+    tight_stall_under(Io::Readiness { shards: 1 }, 2);
+}
+
+/// `stall_timeout` decoupled downward: a 150 ms stall bound under a
+/// 10 s read bound must produce the shed in stall-bound time — proof
+/// the sever is driven by the watermark, not the socket timeout.
+fn tight_stall_under(io: Io, pool_size: usize) {
+    let plan =
+        FaultPlan::new(0x57A33).stall_at(FaultPoint::NetReadFrame, Duration::from_secs(2), 1, 1);
+    let srv = backend(0, 8, Some(plan));
+    let router = Router::bind(
+        "127.0.0.1:0",
+        &[srv.local_addr()],
+        RouterConfig {
+            backend_read_timeout: Duration::from_secs(10),
+            stall_timeout: Some(Duration::from_millis(150)),
+            fail_threshold: 1,
+            probe_interval: Duration::from_secs(30), // don't re-admit mid-test
+            io,
+            pool_size,
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    let stream = TcpStream::connect(router.local_addr()).unwrap();
+    let mut writer = BufWriter::new(&stream);
+    let mut reader = BufReader::new(&stream);
+    let start = Instant::now();
+    write_frame(&mut writer, &reproduce(1, "exp/0")).unwrap();
+    let resp = next_response(&mut reader);
+    let waited = start.elapsed();
+    assert_eq!(resp.status, RespStatus::Shed, "{resp:?}");
+    assert!(
+        waited < Duration::from_millis(1500),
+        "the shed arrived in stall-bound time, not read-bound time: {waited:?}"
+    );
+    assert!(router.totals().backend_downs >= 1);
+    router.shutdown();
+    srv.shutdown();
 }

@@ -639,10 +639,8 @@ mod tests {
                 w.push(pushed);
                 pushed += 1;
             }
-            if round % 3 == 0 {
-                if w.pop().is_some() {
-                    popped += 1;
-                }
+            if round % 3 == 0 && w.pop().is_some() {
+                popped += 1;
             }
             if let Steal::Success(_) = s.steal() {
                 stolen += 1;

@@ -49,4 +49,17 @@ cargo test -q -p router
 cargo run --release -q -p bench --bin reproduce -- e16 > /dev/null
 cargo run --release -q -p bench --bin serve_demo -- 4 24 router 2 > /dev/null
 
+# Reactor tier (E18): the net suite (reactor unit tests, the
+# FrameAssembler property suite, the E2E ledger/drain tests under
+# both Io engines — the 10x-connections-at-bounded-threads soak
+# assertion itself runs in the bench tests above), the E18 smoke
+# (the blocking-vs-readiness connection sweep plus the
+# 1000-idle-connection soak), and both demos with their socket
+# front ends on the epoll reactor (same ledger-balance and
+# zero-unanswered assertions as the blocking modes above).
+cargo test -q -p net
+cargo run --release -q -p bench --bin reproduce -- e18 > /dev/null
+cargo run --release -q -p bench --bin serve_demo -- 4 24 net-epoll > /dev/null
+cargo run --release -q -p bench --bin serve_demo -- 4 24 router-epoll 2 > /dev/null
+
 echo "tier1: all green"
