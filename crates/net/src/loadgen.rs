@@ -75,6 +75,21 @@ pub enum OpTemplate {
         /// Number of registered variants to cycle through.
         variants: u64,
     },
+    /// `Request::Life` over a small deterministic parameter space:
+    /// `dim x dim` grids, seeds cycling through `variants`, and a
+    /// three-tier step count (1×/4×/12× `base_steps`) — genuinely
+    /// heavy-tailed service times that are *cache-friendly*: with
+    /// `variants * 3` distinct keys, most samples repeat a tuple
+    /// already computed, exercising the result cache's hit path.
+    Life {
+        /// Grid dimension (width == height).
+        dim: u32,
+        /// Step count of the cheapest tier; the tiers are
+        /// `base_steps`, `4 * base_steps`, `12 * base_steps`.
+        base_steps: u32,
+        /// Number of distinct seeds to cycle through.
+        variants: u64,
+    },
 }
 
 /// One class's slice of the generated load.
@@ -113,6 +128,17 @@ impl ClassLoad {
                 deadline_budget_ms: Some(5_000),
                 op: OpTemplate::Homework {
                     generator: "binary_arithmetic".to_string(),
+                },
+            },
+            ClassLoad {
+                class: JobClass::Batch,
+                weight: 2,
+                priority: 112,
+                deadline_budget_ms: Some(5_000),
+                op: OpTemplate::Life {
+                    dim: 32,
+                    base_steps: 8,
+                    variants: 8,
                 },
             },
             ClassLoad {
@@ -756,6 +782,27 @@ fn mint_frame(
         OpTemplate::Reproduce { prefix, variants } => Request::Reproduce {
             id: format!("{prefix}/{}", rng.next() % (*variants).max(1)),
         },
+        OpTemplate::Life {
+            dim,
+            base_steps,
+            variants,
+        } => {
+            let seed = rng.next() % (*variants).max(1);
+            // Heavy tail: most requests take the cheap tier, a few the
+            // 12× one. The (seed, steps) tuple is the cache key, so
+            // the small key space keeps the mix cache-friendly.
+            let steps = match rng.next() % 8 {
+                0 => base_steps * 12,
+                1 | 2 => base_steps * 4,
+                _ => *base_steps,
+            };
+            Request::Life {
+                w: *dim,
+                h: *dim,
+                steps: steps.max(1),
+                seed,
+            }
+        }
     };
     RequestFrame {
         id,

@@ -18,6 +18,7 @@
 //!     op 2 Reproduce id:str
 //!     op 3 Stats     (no fields)
 //!     op 4 StatsFull (no fields)
+//!     op 5 Life      w:u32 h:u32 steps:u32 seed:u64
 //! response payload:  'R' id:u64 status:u8 retry_after_ms:u64
 //!                    backend:u32 body:str
 //! ```
@@ -315,6 +316,13 @@ pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
             payload.push(2);
             put_str(&mut payload, id);
         }
+        Request::Life { w, h, steps, seed } => {
+            payload.push(5);
+            payload.extend_from_slice(&w.to_be_bytes());
+            payload.extend_from_slice(&h.to_be_bytes());
+            payload.extend_from_slice(&steps.to_be_bytes());
+            payload.extend_from_slice(&seed.to_be_bytes());
+        }
     }
     finish_frame(payload)
 }
@@ -453,6 +461,13 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
                 4 => {
                     cur.finish()?;
                     return Ok(Frame::StatsFull { id });
+                }
+                5 => {
+                    let w = cur.u32()?;
+                    let h = cur.u32()?;
+                    let steps = cur.u32()?;
+                    let seed = cur.u64()?;
+                    Request::Life { w, h, steps, seed }
                 }
                 other => return Err(WireError::BadOp(other)),
             };

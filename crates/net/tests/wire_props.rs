@@ -39,6 +39,8 @@ fn arb_request_op() -> BoxedStrategy<Request> {
         (arb_string(), any::<u64>())
             .prop_map(|(generator, seed)| Request::Homework { generator, seed }),
         arb_string().prop_map(|id| Request::Reproduce { id }),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>())
+            .prop_map(|(w, h, steps, seed)| Request::Life { w, h, steps, seed }),
     ]
     .boxed()
 }

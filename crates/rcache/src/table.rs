@@ -1,0 +1,934 @@
+//! The unsafe core of the promise cache: a split-ordered-style bucket
+//! table of intrusively linked promise nodes, seqlock-validated
+//! lock-free reads, and epoch/pin-slot quiescence reclamation.
+//!
+//! This is the crate's **one** module allowed to use `unsafe` (the
+//! crate root carries `deny(unsafe_code)`, mirroring the discipline
+//! `serve::deque` established in DESIGN.md §12). Every `unsafe` block
+//! states the invariant it relies on; the full ordering and
+//! reclamation argument lives in DESIGN.md §14.
+//!
+//! # Shape
+//!
+//! Buckets live in power-of-two *segments* that are allocated once and
+//! never move (segment `s ≥ 1` holds bucket indices `[2^(s-1), 2^s)`),
+//! so growing the table is one `size` CAS — no stop-the-world rehash
+//! and no relocation of bucket memory a reader might hold a reference
+//! into. A bucket starts `FRESH` (its keys still live in the nearest
+//! initialized ancestor — the index with the top bit cleared,
+//! recursively) and is *split* from that parent on first locked touch.
+//!
+//! Each bucket heads a singly linked list of [`Node`]s — per-key
+//! promise slots (`Computing → Ready | Poisoned`). Nodes are allocated
+//! as `Arc<Node>` and the list holds one strong count as a raw pointer
+//! (`Arc::into_raw`), so waiter handles and the list share the usual
+//! refcount lifecycle; what the epoch scheme defers is only the *list's*
+//! decrement, keeping raw traversal sound.
+//!
+//! # Synchronization inventory (all TSan-visible)
+//!
+//! Cross-thread edges go through atomics declared in this module — the
+//! bucket spinlocks, seqlocks, `head`/`next` pointers, the node `state`
+//! byte, the pin slots and the retired-list spinlock. The only `std`
+//! primitives used are each node's `Mutex<()>`/`Condvar` pair, which
+//! carry **no data** (waiters re-check the atomic `state` after every
+//! wake and use timed waits, so even a dropped notification — see
+//! `FaultPoint::CachePromiseWake` — only costs latency). This is what
+//! lets `scripts/tsan.sh` run the stress suite meaningfully despite the
+//! uninstrumented standard library.
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::Ordering::{Relaxed, SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Promise-slot states (the `state` byte of a [`Node`]).
+const COMPUTING: u8 = 0;
+const READY: u8 = 1;
+const POISONED: u8 = 2;
+
+/// Bucket split states: `FRESH` buckets hold no list yet (their keys
+/// resolve to an ancestor); `SPLIT` buckets own their key range.
+const FRESH: u8 = 0;
+const SPLIT: u8 = 1;
+
+/// Pin-slot value meaning "no reader pinned here".
+const IDLE: u64 = u64::MAX;
+/// Number of reader pin slots. Readers probe from a per-thread hint, so
+/// this bounds concurrent *pinned* readers, not threads overall.
+const PIN_SLOTS: usize = 64;
+/// Segment directory size: bucket indices fit in `usize`; 33 segments
+/// cover sizes up to 2^32 buckets, far past any realistic capacity.
+const MAX_SEGMENTS: usize = 33;
+/// Traversal step bound per optimistic read attempt. A torn traversal
+/// can walk a cycle through relinked nodes; bounding the walk converts
+/// that into a seq-validated retry. Sized far above any legitimate
+/// chain (load factor is ≤ 2 once the table is grown).
+const STEP_LIMIT: usize = 512;
+/// Consecutive torn-window read attempts before the reader yields the
+/// CPU. The optimistic read never falls back to a lock — a resident
+/// key's found-fast-path returns without seq validation, so retrying
+/// always terminates once the interfering writer drains; the yield
+/// just stops a spinning reader from starving that writer of a core.
+const YIELD_INTERVAL: u32 = 16;
+
+/// A per-key promise slot, intrusively linked into its bucket's chain.
+struct Node<K, V> {
+    /// Full hash of `key`, cached so traversal compares cheaply and so
+    /// unlink/split never re-hash.
+    hash: u64,
+    key: K,
+    /// Next node in the bucket chain. Written under the bucket lock;
+    /// read by lock-free traversals.
+    next: AtomicPtr<Node<K, V>>,
+    /// `COMPUTING → READY | POISONED`. The `READY` store (SeqCst, which
+    /// includes release semantics) publishes `value`; readers load with
+    /// at-least-acquire before touching the cell.
+    state: AtomicU8,
+    /// Written exactly once, by the inserting owner, before the `READY`
+    /// state store. Never written again: `READY` is terminal.
+    value: UnsafeCell<Option<Arc<V>>>,
+    /// CLOCK second-chance bit: one relaxed store per hit, cleared (one
+    /// sweep pass of grace) before eviction.
+    referenced: AtomicBool,
+    /// Parking lot for waiters on a `COMPUTING` slot. Carries no data —
+    /// see the module docs' synchronization inventory.
+    gate: Mutex<()>,
+    ready: Condvar,
+}
+
+// SAFETY: a `Node` is shared across threads via `Arc` handles and via
+// raw bucket pointers. `key` and `hash` are written before publication
+// (the SeqCst `head`/`next` store that links the node) and immutable
+// after; `value` is guarded by the `state` acquire/release protocol
+// documented on the fields; everything else is atomics or std sync
+// types. `K: Send + Sync` / `V: Send + Sync` make the payloads safe to
+// drop and read from any thread.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for Node<K, V> {}
+// SAFETY: see the `Send` argument above.
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for Node<K, V> {}
+
+/// A counted handle to a promise slot, handed out by lookups so callers
+/// can wait on (or, for the owner, resolve) the slot without any table
+/// lock held. Wraps the same `Arc` the bucket list holds raw.
+pub(crate) struct NodeRef<K, V>(Arc<Node<K, V>>);
+
+/// What a waiter found when the slot left `COMPUTING`.
+pub(crate) enum Waited<V> {
+    /// The owner published a value.
+    Ready(Arc<V>),
+    /// The owner's closure panicked.
+    Poisoned,
+}
+
+/// Non-blocking view of a slot's current state.
+pub(crate) enum Peeked<V> {
+    /// Published: the cloned value.
+    Ready(Arc<V>),
+    /// Still computing; call [`NodeRef::wait`].
+    Computing,
+    /// The owner's closure panicked.
+    Poisoned,
+}
+
+impl<K, V> NodeRef<K, V> {
+    /// Records a CLOCK reference (one relaxed store — the entirety of
+    /// the hit path's recency bookkeeping).
+    pub(crate) fn touch(&self) {
+        self.0.referenced.store(true, Relaxed);
+    }
+
+    /// Non-blocking state read.
+    pub(crate) fn peek(&self) -> Peeked<V> {
+        match self.0.state.load(SeqCst) {
+            READY => {
+                // SAFETY: `READY` was stored after the owner's write to
+                // `value` (release/acquire on `state`), and `value` is
+                // never written again, so a shared read cannot race.
+                let v = unsafe { (*self.0.value.get()).clone() };
+                Peeked::Ready(v.expect("READY slot always holds a value"))
+            }
+            POISONED => Peeked::Poisoned,
+            _ => Peeked::Computing,
+        }
+    }
+
+    /// Blocks until the slot leaves `COMPUTING`. Uses a timed condvar
+    /// wait and re-checks the atomic state each lap, so a dropped
+    /// wakeup (fault injection or a racing eviction of the waker) costs
+    /// one timeout, never a hang.
+    pub(crate) fn wait(&self) -> Waited<V> {
+        loop {
+            match self.peek() {
+                Peeked::Ready(v) => return Waited::Ready(v),
+                Peeked::Poisoned => return Waited::Poisoned,
+                Peeked::Computing => {}
+            }
+            let guard = self.0.gate.lock().unwrap_or_else(|e| e.into_inner());
+            // Re-check with the gate held: the owner takes the gate
+            // before notifying, so a state change after this check
+            // cannot have already fired its notification.
+            if self.0.state.load(SeqCst) != COMPUTING {
+                continue;
+            }
+            let _ = self
+                .0
+                .ready
+                .wait_timeout(guard, std::time::Duration::from_millis(2));
+        }
+    }
+
+    /// Publishes the computed value and flips the slot to `READY`.
+    ///
+    /// Only the inserting owner may call this, exactly once; that
+    /// exclusivity is what makes the `value` write race-free.
+    pub(crate) fn publish(&self, v: Arc<V>) {
+        // SAFETY: sole writer (the owner that `Inserted` this node) and
+        // no reader dereferences the cell until it observes the `READY`
+        // store below.
+        unsafe {
+            *self.0.value.get() = Some(v);
+        }
+        self.0.state.store(READY, SeqCst);
+    }
+
+    /// Marks the slot poisoned (owner's closure panicked). `value`
+    /// stays `None`; waiters observe `POISONED` and re-panic.
+    pub(crate) fn poison(&self) {
+        self.0.state.store(POISONED, SeqCst);
+    }
+
+    /// Wakes waiters parked on this slot. With `deliver == false` the
+    /// notification is swallowed (the `CachePromiseWake` drop fault);
+    /// waiters still make progress off their timed waits.
+    pub(crate) fn wake(&self, deliver: bool) {
+        if deliver {
+            // Take and drop the gate so a waiter between its state
+            // re-check and its `wait_timeout` cannot miss this signal.
+            drop(self.0.gate.lock().unwrap_or_else(|e| e.into_inner()));
+            self.0.ready.notify_all();
+        }
+    }
+
+    fn as_ptr(&self) -> *const Node<K, V> {
+        Arc::as_ptr(&self.0)
+    }
+}
+
+/// One bucket: a spinlock serializing writers, a seqlock generation for
+/// lock-free readers, the chain head, and the split state.
+struct Bucket<K, V> {
+    /// Writer spinlock (0 free / 1 held). A raw atomic rather than
+    /// `std::sync::Mutex` so the edge is visible to ThreadSanitizer.
+    lock: AtomicU32,
+    /// Seqlock generation: even = stable, odd = a writer is mutating
+    /// the chain. Bumped around every structural change (insert,
+    /// unlink, split migration) — never for value publication, which
+    /// rides the node's own `state` protocol.
+    seq: AtomicU64,
+    head: AtomicPtr<Node<K, V>>,
+    /// `FRESH` until split from the parent bucket.
+    state: AtomicU8,
+}
+
+impl<K, V> Bucket<K, V> {
+    fn new() -> Self {
+        Bucket {
+            lock: AtomicU32::new(0),
+            seq: AtomicU64::new(0),
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            state: AtomicU8::new(FRESH),
+        }
+    }
+
+    fn lock(&self) {
+        let mut spins = 0u32;
+        while self
+            .lock
+            .compare_exchange_weak(0, 1, SeqCst, Relaxed)
+            .is_err()
+        {
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn unlock(&self) {
+        self.lock.store(0, SeqCst);
+    }
+
+    /// Enters the seqlock write window (seq becomes odd). Caller holds
+    /// the bucket lock.
+    fn begin_write(&self) {
+        self.seq.fetch_add(1, SeqCst);
+    }
+
+    /// Leaves the write window (seq becomes even again).
+    fn end_write(&self) {
+        self.seq.fetch_add(1, SeqCst);
+    }
+}
+
+/// A cache-line-padded pin slot, so concurrent readers pinning from
+/// different slots never false-share.
+#[repr(align(64))]
+struct PinSlot(AtomicU64);
+
+/// RAII pin: while alive, no node retired at `tag >= epoch-at-pin` is
+/// freed, so raw traversal pointers stay dereferenceable.
+struct Pin<'a> {
+    slot: &'a PinSlot,
+}
+
+impl Drop for Pin<'_> {
+    fn drop(&mut self) {
+        self.slot.0.store(IDLE, SeqCst);
+    }
+}
+
+std::thread_local! {
+    /// Per-thread starting slot for the pin probe, assigned round-robin
+    /// so unrelated readers land on distinct cache lines.
+    static PIN_HINT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+static NEXT_PIN_HINT: AtomicUsize = AtomicUsize::new(0);
+
+/// Result of a lock-free lookup.
+pub(crate) enum Read<K, V> {
+    /// Found, published: the value, plus retries spent getting it.
+    Ready(Arc<V>, u32),
+    /// Found, still computing (or poisoned): a handle to wait on.
+    InFlight(NodeRef<K, V>, u32),
+    /// Definitively absent in a validated window.
+    Absent {
+        /// Torn-window retries consumed before validation succeeded.
+        retries: u32,
+    },
+}
+
+/// Result of the locked find-or-insert slow path.
+pub(crate) enum FindOrInsert<K, V> {
+    /// Another thread owns the key's slot.
+    Found(NodeRef<K, V>),
+    /// The caller inserted a fresh `COMPUTING` slot and is now the
+    /// owner: it must `publish`/`poison` and `wake`.
+    Inserted(NodeRef<K, V>),
+}
+
+/// The bucket table. See the module docs for the overall shape and
+/// DESIGN.md §14 for the full correctness argument.
+pub(crate) struct Table<K, V> {
+    /// Segment directory. Entry `s` points at `seg_len(s)` buckets,
+    /// published by a null→ptr CAS (losers free their allocation).
+    segments: [AtomicPtr<Bucket<K, V>>; MAX_SEGMENTS],
+    /// Current bucket count (power of two). Grows by CAS-doubling;
+    /// never shrinks. Buckets split lazily afterwards.
+    size: AtomicUsize,
+    /// Growth ceiling (power of two derived from capacity).
+    max_size: usize,
+    /// Resident nodes (both `COMPUTING` and `READY`).
+    count: AtomicUsize,
+    /// CLOCK hand: a monotone bucket cursor shared by all sweepers.
+    hand: AtomicUsize,
+    /// Global retirement epoch (see DESIGN.md §14).
+    epoch: AtomicU64,
+    pins: [PinSlot; PIN_SLOTS],
+    /// Spinlock over `retired` — a raw atomic for TSan visibility.
+    retired_lock: AtomicU32,
+    /// Unlinked nodes awaiting quiescence: `(tag, list strong count)`.
+    retired: UnsafeCell<Vec<(u64, *const Node<K, V>)>>,
+}
+
+// SAFETY: all shared mutable state inside `Table` is either atomic or
+// guarded by the atomic spinlocks above (`retired` by `retired_lock`,
+// bucket chains by each bucket's `lock` for writers and the pin/seq
+// protocol for readers). Raw node pointers are only dereferenced under
+// a pin or the owning bucket's lock.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for Table<K, V> {}
+// SAFETY: see the `Send` argument above.
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for Table<K, V> {}
+
+/// Buckets held by segment `s`.
+fn seg_len(s: usize) -> usize {
+    if s == 0 {
+        1
+    } else {
+        1 << (s - 1)
+    }
+}
+
+/// Maps a bucket index to its `(segment, offset)` coordinates.
+fn seg_coords(b: usize) -> (usize, usize) {
+    if b == 0 {
+        (0, 0)
+    } else {
+        let s = (b.ilog2() + 1) as usize;
+        (s, b - seg_len(s))
+    }
+}
+
+/// The parent a `FRESH` bucket splits from: the index with its top bit
+/// cleared (recursive-split hashing).
+fn parent_of(b: usize) -> usize {
+    debug_assert!(b > 0);
+    b & !(1usize << b.ilog2())
+}
+
+impl<K, V> Table<K, V> {
+    /// Current resident-node count.
+    pub(crate) fn len(&self) -> usize {
+        self.count.load(SeqCst)
+    }
+
+    /// Current bucket count (for stats/tests).
+    pub(crate) fn buckets(&self) -> usize {
+        self.size.load(SeqCst)
+    }
+}
+
+impl<K, V> Table<K, V>
+where
+    K: Eq + Clone,
+{
+    pub(crate) fn new(initial_buckets: usize, capacity: usize) -> Self {
+        let initial = initial_buckets.max(1).next_power_of_two();
+        let max_size = capacity.max(initial).next_power_of_two();
+        let table = Table {
+            segments: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            size: AtomicUsize::new(initial),
+            max_size,
+            count: AtomicUsize::new(0),
+            hand: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            pins: std::array::from_fn(|_| PinSlot(AtomicU64::new(IDLE))),
+            retired_lock: AtomicU32::new(0),
+            retired: UnsafeCell::new(Vec::new()),
+        };
+        // Construction is single-threaded: allocate the initial
+        // segments and mark their buckets pre-split so lookups never
+        // chase ancestors below the initial size.
+        for b in 0..initial {
+            let bucket = table.ensure_segment(b);
+            bucket.state.store(SPLIT, SeqCst);
+        }
+        table
+    }
+
+    /// Returns the bucket at `b`, allocating its segment if needed.
+    fn ensure_segment(&self, b: usize) -> &Bucket<K, V> {
+        let (s, off) = seg_coords(b);
+        let mut ptr = self.segments[s].load(SeqCst);
+        if ptr.is_null() {
+            let len = seg_len(s);
+            let fresh: Box<[Bucket<K, V>]> = (0..len).map(|_| Bucket::new()).collect();
+            let raw = Box::into_raw(fresh) as *mut Bucket<K, V>;
+            match self.segments[s].compare_exchange(std::ptr::null_mut(), raw, SeqCst, SeqCst) {
+                Ok(_) => ptr = raw,
+                Err(winner) => {
+                    // SAFETY: we just created `raw` from a boxed slice
+                    // of exactly `len` buckets and lost the publication
+                    // race, so nobody else has seen it.
+                    unsafe {
+                        drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(raw, len)));
+                    }
+                    ptr = winner;
+                }
+            }
+        }
+        // SAFETY: `ptr` came from a published (or just-installed)
+        // segment of `seg_len(s)` buckets that is never freed before
+        // the table drops, and `off < seg_len(s)` by `seg_coords`.
+        unsafe { &*ptr.add(off) }
+    }
+
+    /// Returns the bucket at `b` only if its segment is allocated —
+    /// the allocation-free read-path variant of [`ensure_segment`].
+    fn try_bucket(&self, b: usize) -> Option<&Bucket<K, V>> {
+        let (s, off) = seg_coords(b);
+        let ptr = self.segments[s].load(SeqCst);
+        if ptr.is_null() {
+            None
+        } else {
+            // SAFETY: published segments are immutable arrays of
+            // `seg_len(s)` buckets, live until the table drops.
+            Some(unsafe { &*ptr.add(off) })
+        }
+    }
+
+    /// Walks from the home index down to the nearest `SPLIT` bucket —
+    /// where the key's chain actually lives right now. Allocation-free.
+    fn resolve(&self, mut b: usize) -> &Bucket<K, V> {
+        loop {
+            if b == 0 {
+                // Bucket 0 is allocated and pre-split in `new`.
+                return self.try_bucket(0).expect("bucket 0 always exists");
+            }
+            if let Some(bucket) = self.try_bucket(b) {
+                if bucket.state.load(SeqCst) == SPLIT {
+                    return bucket;
+                }
+            }
+            b = parent_of(b);
+        }
+    }
+
+    /// Acquires a reader pin: claims a slot with the current epoch,
+    /// then re-validates against the global epoch (re-publishing and
+    /// re-checking until stable) so a concurrent retirement cannot
+    /// miss this reader. Mirrors `serve::deque`'s pin loop (§12).
+    fn pin(&self) -> Pin<'_> {
+        let start = PIN_HINT.with(|h| {
+            if h.get() == usize::MAX {
+                h.set(NEXT_PIN_HINT.fetch_add(1, Relaxed));
+            }
+            h.get()
+        });
+        let mut e = self.epoch.load(SeqCst);
+        loop {
+            for i in 0..PIN_SLOTS {
+                let slot = &self.pins[(start + i) % PIN_SLOTS];
+                if slot.0.load(Relaxed) != IDLE {
+                    continue;
+                }
+                if slot.0.compare_exchange(IDLE, e, SeqCst, Relaxed).is_err() {
+                    continue;
+                }
+                // Validation loop: if the epoch moved between reading
+                // it and publishing our pin, a reclaimer may have
+                // scanned past us — re-publish at the new epoch.
+                loop {
+                    let now = self.epoch.load(SeqCst);
+                    if now == e {
+                        return Pin { slot };
+                    }
+                    e = now;
+                    slot.0.store(e, SeqCst);
+                }
+            }
+            // All slots busy (more than PIN_SLOTS concurrent pinned
+            // readers): yield and retry.
+            std::thread::yield_now();
+            e = self.epoch.load(SeqCst);
+        }
+    }
+
+    /// Lock-free lookup. See [`Read`] for the outcome space; `retries`
+    /// counts torn-window restarts for the `rcache.retries` mirror.
+    /// The loop is unbounded by design: a resident key's found path
+    /// returns without validation, so only an *absent* key under
+    /// concurrent bucket writes keeps retrying — and every
+    /// [`YIELD_INTERVAL`] failures the reader yields so the writer it
+    /// is waiting out can finish (standard seqlock reader discipline).
+    pub(crate) fn read(&self, hash: u64, key: &K) -> Read<K, V> {
+        let _pin = self.pin();
+        let mut retries = 0u32;
+        loop {
+            if retries > 0 && retries.is_multiple_of(YIELD_INTERVAL) {
+                std::thread::yield_now();
+            }
+            let size = self.size.load(SeqCst);
+            let bucket = self.resolve((hash as usize) & (size - 1));
+            // An odd `s1` means a writer is inside its window right
+            // now. We walk anyway: traversal is pin-safe regardless,
+            // and a *found* node is returned without any validation
+            // (its publication is monotone), so a resident key's hit
+            // never waits out the writer. Only the absence verdict
+            // below demands a stable even generation.
+            let s1 = bucket.seq.load(SeqCst);
+            let mut steps = 0usize;
+            let mut p = bucket.head.load(SeqCst);
+            let mut torn = false;
+            while !p.is_null() {
+                steps += 1;
+                if steps > STEP_LIMIT {
+                    // Possibly walking a cycle through relinked nodes;
+                    // treat as a torn window.
+                    torn = true;
+                    break;
+                }
+                // SAFETY: `p` was reachable from a bucket head after
+                // our pin was published. Any node retired at a tag
+                // lower than our pin epoch was unlinked before that
+                // epoch existed, and the SeqCst order of unlink →
+                // epoch-advance → pin-validate → traversal loads means
+                // we cannot reach it (DESIGN.md §14); nodes retired at
+                // our epoch or later are not freed while we are pinned.
+                let n = unsafe { &*p };
+                if n.hash == hash && n.key == *key {
+                    n.referenced.store(true, Relaxed);
+                    if n.state.load(SeqCst) == READY {
+                        // SAFETY: `READY` publication protocol — see
+                        // `NodeRef::peek`.
+                        let v = unsafe { (*n.value.get()).clone() };
+                        return Read::Ready(v.expect("READY slot always holds a value"), retries);
+                    }
+                    // COMPUTING or POISONED: take a counted handle and
+                    // let the caller wait (or observe the poison).
+                    // SAFETY: `p` came from `Arc::into_raw`, and the
+                    // strong count it represents is still unreleased —
+                    // either the node is linked (the list holds it) or
+                    // it is retired at `tag >= our pin epoch`, whose
+                    // `from_raw` happens only after we unpin.
+                    let arc = unsafe {
+                        Arc::increment_strong_count(p);
+                        Arc::from_raw(p as *const Node<K, V>)
+                    };
+                    return Read::InFlight(NodeRef(arc), retries);
+                }
+                p = n.next.load(SeqCst);
+            }
+            if !torn {
+                let s2 = bucket.seq.load(SeqCst);
+                // Same even generation across the whole walk and the
+                // table did not grow under us: the absence is real.
+                if s1 & 1 == 0 && s1 == s2 && self.size.load(SeqCst) == size {
+                    return Read::Absent { retries };
+                }
+            }
+            retries = retries.wrapping_add(1);
+        }
+    }
+
+    /// Splits bucket `b` from its ancestors so it owns its key range.
+    /// Idempotent; callers race freely. Writers only — the read path
+    /// never splits.
+    fn ensure_split(&self, b: usize) {
+        if b == 0 {
+            return;
+        }
+        let bucket = self.ensure_segment(b);
+        if bucket.state.load(SeqCst) == SPLIT {
+            return;
+        }
+        let parent_idx = parent_of(b);
+        self.ensure_split(parent_idx);
+        let parent = self.ensure_segment(parent_idx);
+        parent.lock();
+        if bucket.state.load(SeqCst) == SPLIT {
+            // Lost the race while taking the parent lock.
+            parent.unlock();
+            return;
+        }
+        // Before `SPLIT`, `b`'s lock is only ever taken here, under the
+        // parent's lock — so this nested acquire cannot deadlock.
+        bucket.lock();
+        parent.begin_write();
+        bucket.begin_write();
+        // Move every node whose low bits select `b` at the size that
+        // made `b` addressable (one bit above `b`'s top bit).
+        let mask = (1usize << (b.ilog2() + 1)) - 1;
+        let mut moved_head: *mut Node<K, V> = std::ptr::null_mut();
+        let mut pred: *const Node<K, V> = std::ptr::null();
+        let mut p = parent.head.load(SeqCst);
+        while !p.is_null() {
+            // SAFETY: traversal under the parent's bucket lock — no
+            // concurrent structural writer; nodes are live while
+            // linked.
+            let n = unsafe { &*p };
+            let next = n.next.load(SeqCst);
+            if (n.hash as usize) & mask == b {
+                // Unlink from the parent chain…
+                if pred.is_null() {
+                    parent.head.store(next, SeqCst);
+                } else {
+                    // SAFETY: `pred` is the still-linked predecessor,
+                    // protected by the same bucket lock.
+                    unsafe { (*pred).next.store(next, SeqCst) };
+                }
+                // …and push onto the child chain (order is irrelevant;
+                // chains are unordered).
+                n.next.store(moved_head, SeqCst);
+                moved_head = p;
+            } else {
+                pred = p;
+            }
+            p = next;
+        }
+        bucket.head.store(moved_head, SeqCst);
+        bucket.end_write();
+        parent.end_write();
+        bucket.state.store(SPLIT, SeqCst);
+        bucket.unlock();
+        parent.unlock();
+    }
+
+    /// Locked slow path: find the key's slot or insert a fresh
+    /// `COMPUTING` one. Splits and (possibly) grows the table on the
+    /// way.
+    pub(crate) fn find_or_insert(&self, hash: u64, key: &K) -> FindOrInsert<K, V> {
+        loop {
+            let size = self.size.load(SeqCst);
+            let b = (hash as usize) & (size - 1);
+            self.ensure_split(b);
+            let bucket = self.ensure_segment(b);
+            bucket.lock();
+            if self.size.load(SeqCst) != size {
+                // The table grew while we were locking; our home bucket
+                // may have changed. Start over.
+                bucket.unlock();
+                continue;
+            }
+            // With the lock held and the size re-validated, `b` is the
+            // definitive home: splitting any child of `b` requires this
+            // very lock, so no node can migrate out from under us.
+            let mut p = bucket.head.load(SeqCst);
+            while !p.is_null() {
+                // SAFETY: traversal under the bucket lock; see
+                // `ensure_split`.
+                let n = unsafe { &*p };
+                if n.hash == hash && n.key == *key {
+                    // SAFETY: the node is linked, so the list's strong
+                    // count is live; add one for the handle.
+                    let arc = unsafe {
+                        Arc::increment_strong_count(p as *const Node<K, V>);
+                        Arc::from_raw(p as *const Node<K, V>)
+                    };
+                    bucket.unlock();
+                    return FindOrInsert::Found(NodeRef(arc));
+                }
+                p = n.next.load(SeqCst);
+            }
+            let node = Arc::new(Node {
+                hash,
+                key: key.clone(),
+                next: AtomicPtr::new(bucket.head.load(SeqCst)),
+                state: AtomicU8::new(COMPUTING),
+                value: UnsafeCell::new(None),
+                referenced: AtomicBool::new(false),
+                gate: Mutex::new(()),
+                ready: Condvar::new(),
+            });
+            let raw = Arc::into_raw(Arc::clone(&node)) as *mut Node<K, V>;
+            bucket.begin_write();
+            bucket.head.store(raw, SeqCst);
+            bucket.end_write();
+            bucket.unlock();
+            self.count.fetch_add(1, SeqCst);
+            self.maybe_grow();
+            return FindOrInsert::Inserted(NodeRef(node));
+        }
+    }
+
+    /// CAS-doubles `size` when the load factor passes 2. Buckets split
+    /// lazily on their next locked touch — growth itself is O(1).
+    fn maybe_grow(&self) {
+        let size = self.size.load(SeqCst);
+        if size < self.max_size && self.count.load(SeqCst) > size * 2 {
+            // A failed CAS means someone else grew it — fine either way.
+            let _ = self.size.compare_exchange(size, size * 2, SeqCst, SeqCst);
+        }
+    }
+
+    /// Removes the owner's own (poisoned) node so the key can be
+    /// retried by a later call. No-op if the node is already gone.
+    pub(crate) fn unlink(&self, hash: u64, node: &NodeRef<K, V>) {
+        let target = node.as_ptr();
+        loop {
+            let size = self.size.load(SeqCst);
+            let b = (hash as usize) & (size - 1);
+            self.ensure_split(b);
+            let bucket = self.ensure_segment(b);
+            bucket.lock();
+            if self.size.load(SeqCst) != size {
+                bucket.unlock();
+                continue;
+            }
+            let mut pred: *const Node<K, V> = std::ptr::null();
+            let mut p = bucket.head.load(SeqCst);
+            while !p.is_null() {
+                // SAFETY: traversal under the bucket lock.
+                let n = unsafe { &*p };
+                let next = n.next.load(SeqCst);
+                if std::ptr::eq(p, target) {
+                    bucket.begin_write();
+                    if pred.is_null() {
+                        bucket.head.store(next, SeqCst);
+                    } else {
+                        // SAFETY: linked predecessor under the lock.
+                        unsafe { (*pred).next.store(next, SeqCst) };
+                    }
+                    bucket.end_write();
+                    bucket.unlock();
+                    self.count.fetch_sub(1, SeqCst);
+                    self.retire(&[p]);
+                    self.reclaim();
+                    return;
+                }
+                pred = p;
+                p = next;
+            }
+            bucket.unlock();
+            return;
+        }
+    }
+
+    /// CLOCK second-chance sweep: advances the shared hand over the
+    /// bucket array, clearing `referenced` bits and evicting
+    /// unreferenced `READY` nodes until the table is back under
+    /// `target` (or a two-full-revolution scan bound is hit).
+    /// `COMPUTING` slots are never evicted — waiters hold the promise,
+    /// and the PR 3 invariant (exactly one compute per resident key)
+    /// depends on it. Returns the number of evictions.
+    pub(crate) fn sweep(&self, target: usize) -> u64 {
+        let mut evicted = 0u64;
+        let size = self.size.load(SeqCst);
+        let mut scanned = 0usize;
+        let mut victims: Vec<*const Node<K, V>> = Vec::new();
+        while self.count.load(SeqCst) > target && scanned < 2 * size {
+            let b = self.hand.fetch_add(1, SeqCst) & (size - 1);
+            scanned += 1;
+            let Some(bucket) = self.try_bucket(b) else {
+                continue;
+            };
+            if bucket.state.load(SeqCst) != SPLIT {
+                continue;
+            }
+            bucket.lock();
+            let mut pred: *const Node<K, V> = std::ptr::null();
+            let mut p = bucket.head.load(SeqCst);
+            let mut mutated = false;
+            while !p.is_null() {
+                // SAFETY: traversal under the bucket lock.
+                let n = unsafe { &*p };
+                let next = n.next.load(SeqCst);
+                let evictable = n.state.load(SeqCst) == READY
+                    && !n.referenced.swap(false, Relaxed)
+                    && self.count.load(SeqCst) > target;
+                if evictable {
+                    if !mutated {
+                        bucket.begin_write();
+                        mutated = true;
+                    }
+                    if pred.is_null() {
+                        bucket.head.store(next, SeqCst);
+                    } else {
+                        // SAFETY: linked predecessor under the lock.
+                        unsafe { (*pred).next.store(next, SeqCst) };
+                    }
+                    self.count.fetch_sub(1, SeqCst);
+                    evicted += 1;
+                    victims.push(p);
+                } else {
+                    pred = p;
+                }
+                p = next;
+            }
+            if mutated {
+                bucket.end_write();
+            }
+            bucket.unlock();
+        }
+        if !victims.is_empty() {
+            self.retire(&victims);
+        }
+        self.reclaim();
+        evicted
+    }
+
+    fn lock_retired(&self) {
+        while self
+            .retired_lock
+            .compare_exchange_weak(0, 1, SeqCst, Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn unlock_retired(&self) {
+        self.retired_lock.store(0, SeqCst);
+    }
+
+    /// Retires unlinked nodes: tags them with the pre-advance epoch and
+    /// advances the epoch, exactly the `serve::deque` protocol — any
+    /// reader pinned from now on carries a larger epoch and can no
+    /// longer reach them.
+    fn retire(&self, ptrs: &[*const Node<K, V>]) {
+        let tag = self.epoch.fetch_add(1, SeqCst);
+        self.lock_retired();
+        // SAFETY: `retired` is only touched with `retired_lock` held.
+        let retired = unsafe { &mut *self.retired.get() };
+        for &p in ptrs {
+            retired.push((tag, p));
+        }
+        self.unlock_retired();
+    }
+
+    /// Frees retired nodes no pinned reader can still reach
+    /// (`tag < min(pinned epochs)`). Dropping happens outside the
+    /// spinlock so arbitrary `K`/`V` drop code never runs under it.
+    fn reclaim(&self) {
+        let mut min_pinned = self.epoch.load(SeqCst);
+        for slot in &self.pins {
+            let e = slot.0.load(SeqCst);
+            if e < min_pinned {
+                min_pinned = e;
+            }
+        }
+        let mut free: Vec<*const Node<K, V>> = Vec::new();
+        self.lock_retired();
+        // SAFETY: `retired` is only touched with `retired_lock` held.
+        let retired = unsafe { &mut *self.retired.get() };
+        retired.retain(|&(tag, p)| {
+            if tag < min_pinned {
+                free.push(p);
+                false
+            } else {
+                true
+            }
+        });
+        self.unlock_retired();
+        for p in free {
+            // SAFETY: `p` is the list's strong count from
+            // `Arc::into_raw`; quiescence (`tag < min_pinned`) means no
+            // raw traversal can still reach it, so releasing the count
+            // (and possibly freeing the node, if no waiter handle
+            // remains) cannot race a reader.
+            unsafe { drop(Arc::from_raw(p)) };
+        }
+    }
+}
+
+impl<K, V> Drop for Table<K, V> {
+    fn drop(&mut self) {
+        // `&mut self`: no concurrent readers or writers remain.
+        for (s, seg) in self.segments.iter().enumerate() {
+            let ptr = seg.load(SeqCst);
+            if ptr.is_null() {
+                continue;
+            }
+            let len = seg_len(s);
+            for off in 0..len {
+                // SAFETY: published segment of `len` buckets.
+                let bucket = unsafe { &*ptr.add(off) };
+                let mut p = bucket.head.load(SeqCst);
+                while !p.is_null() {
+                    // SAFETY: exclusive access; each linked node holds
+                    // one list strong count from `Arc::into_raw`.
+                    let next = unsafe { (*p).next.load(SeqCst) };
+                    unsafe { drop(Arc::from_raw(p as *const Node<K, V>)) };
+                    p = next;
+                }
+            }
+            // SAFETY: reconstructing the boxed slice allocated in
+            // `ensure_segment` with its exact length.
+            unsafe {
+                drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, len)));
+            }
+        }
+        // SAFETY: exclusive access to `retired`.
+        let retired = unsafe { &mut *self.retired.get() };
+        for (_, p) in retired.drain(..) {
+            // SAFETY: each retired entry still owns the list's strong
+            // count.
+            unsafe { drop(Arc::from_raw(p)) };
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Adversarial stress for the lock-free cache, sized by
+//! `RCACHE_STRESS_ITERS` so `scripts/tsan.sh` can run the same suite
+//! under ThreadSanitizer with a trimmed iteration budget. Every
+//! cross-thread edge these tests exercise goes through the crate's own
+//! atomics (see `rcache::table`'s synchronization inventory), so a
+//! TSan pass here is meaningful despite the uninstrumented std.
+
+use rcache::{Cache, Config, Hooks, WakeFate};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Barrier};
+
+fn iters(default: usize) -> usize {
+    std::env::var("RCACHE_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A cheap deterministic PRNG (SplitMix64), one per thread.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mixed readers and inserters over a key space larger than capacity:
+/// values must always be correct, occupancy must stay bounded, and the
+/// reclamation machinery must survive constant unlink/retire traffic.
+#[test]
+fn stress_churn_with_eviction() {
+    const THREADS: usize = 8;
+    const KEYS: u64 = 512;
+    let iters = iters(40_000);
+    let cache: Arc<Cache<u64, u64>> = Arc::new(Cache::with_config(Config {
+        capacity: 128,
+        initial_buckets: 2,
+        ..Config::default()
+    }));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let cache = Arc::clone(&cache);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut rng = t as u64 + 1;
+            for i in 0..iters {
+                rng = mix(rng);
+                // Readers hammer a hot subset; inserters roam the
+                // whole space and keep eviction churning.
+                let key = if t < THREADS / 2 {
+                    rng % 64
+                } else {
+                    rng % KEYS
+                };
+                let v = cache.get_or_insert_with(key, |k| k.wrapping_mul(0x5bd1_e995));
+                assert_eq!(*v, key.wrapping_mul(0x5bd1_e995), "iter {i}");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = cache.stats();
+    // Capacity plus transient in-flight computes bounds occupancy.
+    assert!(
+        stats.occupancy <= 128 + THREADS,
+        "occupancy unbounded: {stats:?}"
+    );
+    assert!(stats.evictions > 0, "churn never evicted: {stats:?}");
+}
+
+/// With capacity comfortably above the key space, the compute-once
+/// contract is exact: every closure runs exactly once per key no
+/// matter how many threads race the same misses.
+#[test]
+fn stress_exactly_one_compute_per_key() {
+    const THREADS: usize = 8;
+    const KEYS: usize = 64;
+    let rounds = iters(20_000) / 1_000;
+    for round in 0..rounds.max(4) {
+        let cache: Arc<Cache<u64, u64>> = Arc::new(Cache::new(4 * KEYS));
+        let computes: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..KEYS).map(|_| AtomicUsize::new(0)).collect());
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let mut rng = (round * THREADS + t) as u64 + 1;
+                for _ in 0..KEYS * 4 {
+                    rng = mix(rng);
+                    let key = rng % KEYS as u64;
+                    let v = cache.get_or_insert_with(key, |k| {
+                        computes[*k as usize].fetch_add(1, Relaxed);
+                        std::hint::spin_loop();
+                        k + 7
+                    });
+                    assert_eq!(*v, key + 7);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: usize = computes.iter().map(|c| c.load(Relaxed)).sum();
+        let touched = computes.iter().filter(|c| c.load(Relaxed) > 0).count();
+        assert_eq!(
+            total, touched,
+            "some key computed more than once (round {round})"
+        );
+        assert_eq!(cache.stats().misses as usize, touched);
+    }
+}
+
+/// Waiter pile-up on slow computes while every wakeup is dropped:
+/// progress must come from the timed re-check, and each key still
+/// computes exactly once.
+#[test]
+fn stress_waiters_with_dropped_wakeups() {
+    const THREADS: usize = 8;
+    let rounds = (iters(20_000) / 4_000).max(2);
+    for round in 0..rounds {
+        let computes = Arc::new(AtomicUsize::new(0));
+        let cache: Arc<Cache<u64, u64>> = Arc::new(Cache::with_config(Config {
+            capacity: 16,
+            hooks: Hooks {
+                before_publish: None,
+                before_wake: Some(Arc::new(|| WakeFate::Drop)),
+            },
+            ..Config::default()
+        }));
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let v = cache.get_or_insert_with(round as u64, |k| {
+                    computes.fetch_add(1, Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                    k * 11
+                });
+                assert_eq!(*v, round as u64 * 11);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(computes.load(Relaxed), 1, "round {round}");
+    }
+}
+
+/// Eviction sweeps forced while computes are in flight (the
+/// evict-during-compute adversarial schedule) must never evict a
+/// `Computing` slot: the owner's published value always comes back to
+/// every waiter, exactly once per key.
+#[test]
+fn stress_evict_during_compute_never_hits_computing() {
+    const THREADS: usize = 6;
+    let iters = iters(40_000) / 40;
+    let cache: Arc<Cache<u64, u64>> = Arc::new(Cache::with_config(Config {
+        capacity: 8,
+        hooks: Hooks {
+            // Forced sweep between compute and publish, every publish.
+            before_publish: Some(Arc::new(|| {})),
+            before_wake: None,
+        },
+        ..Config::default()
+    }));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let cache = Arc::clone(&cache);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut rng = t as u64 + 99;
+            for i in 0..iters {
+                rng = mix(rng);
+                let key = rng % 32;
+                let v = cache.get_or_insert_with(key, |k| k + 1);
+                assert_eq!(*v, key + 1, "iter {i}");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}

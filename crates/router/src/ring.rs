@@ -48,6 +48,10 @@ pub fn request_key(req: &Request) -> u64 {
             mix(hash_bytes(2, generator.as_bytes()) ^ mix(*seed))
         }
         Request::Reproduce { id } => hash_bytes(3, id.as_bytes()),
+        Request::Life { w, h, steps, seed } => mix(hash_bytes(4, &w.to_be_bytes())
+            ^ mix(u64::from(*h))
+            ^ mix(u64::from(*steps) | 0x10_0000)
+            ^ mix(*seed)),
     }
 }
 

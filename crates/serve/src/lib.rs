@@ -103,7 +103,7 @@ pub mod par;
 pub mod pool;
 pub mod server;
 
-pub use cache::Cache;
+pub use cache::{Cache, CacheImpl, ServerCache};
 pub use fault::{FaultPlan, FaultPoint};
 pub use pool::{JobClass, JobMeta, Scheduler, ThreadPool};
 pub use server::{

@@ -36,7 +36,7 @@
 //! deadline-missed) are kept on both the server and the pool, so the
 //! scheduling win is *measured*, not asserted — see experiment E13.
 
-use crate::cache::{Cache, CacheStats};
+use crate::cache::{CacheImpl, CacheStats, ServerCache};
 use crate::fault::{FaultPlan, FaultPoint};
 use crate::pool::{JobClass, JobMeta, PoolStats, Scheduler, ThreadPool};
 use cs31::autograde;
@@ -70,7 +70,28 @@ pub enum Request {
         /// Experiment id, e.g. `"e6"`.
         id: String,
     },
+    /// Run Game of Life generations (`crates/life`, the Lab 6/10
+    /// workload) — a real course compute with genuinely heavy-tailed,
+    /// cache-friendly service times: cost scales with `w * h * steps`
+    /// and the parameter tuple is the cache key, so repeated variants
+    /// hit. Dimensions and steps are bounded (≤ [`LIFE_MAX_DIM`],
+    /// ≤ [`LIFE_MAX_STEPS`]); out-of-range requests get `ok: false`.
+    Life {
+        /// Grid width (columns), `1..=LIFE_MAX_DIM`.
+        w: u32,
+        /// Grid height (rows), `1..=LIFE_MAX_DIM`.
+        h: u32,
+        /// Generations to run, `1..=LIFE_MAX_STEPS`.
+        steps: u32,
+        /// Seed for the random initial grid (35% density, toroidal).
+        seed: u64,
+    },
 }
+
+/// Largest grid dimension [`Request::Life`] accepts.
+pub const LIFE_MAX_DIM: u32 = 256;
+/// Largest generation count [`Request::Life`] accepts.
+pub const LIFE_MAX_STEPS: u32 = 512;
 
 /// What the server hands back for a completed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -164,6 +185,12 @@ impl AdmissionPolicy for ClassAwareAdmission {
                 .with_priority(160)
                 .with_deadline(Instant::now() + Duration::from_millis(500)),
             Request::Homework { .. } => JobMeta::for_class(JobClass::Batch)
+                .with_deadline(Instant::now() + Duration::from_secs(5)),
+            // Life shares Homework's class/budget: real batch compute,
+            // slightly below Homework so generated problem sets win
+            // ties.
+            Request::Life { .. } => JobMeta::for_class(JobClass::Batch)
+                .with_priority(112)
                 .with_deadline(Instant::now() + Duration::from_secs(5)),
             Request::Reproduce { .. } => JobMeta::for_class(JobClass::Bulk).with_priority(64),
         }
@@ -262,6 +289,7 @@ impl AdmissionPolicy for AdaptiveAdmission {
         let (class, priority) = match req {
             Request::Grade { .. } => (JobClass::Interactive, 160),
             Request::Homework { .. } => (JobClass::Batch, 128),
+            Request::Life { .. } => (JobClass::Batch, 112),
             Request::Reproduce { .. } => (JobClass::Bulk, 64),
         };
         let mut meta = JobMeta::for_class(class).with_priority(priority);
@@ -334,6 +362,12 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// LRU capacity per cache shard.
     pub cache_capacity_per_shard: usize,
+    /// Which compute-once cache implementation to run
+    /// ([`CacheImpl::ShardedMutex`], the default, or
+    /// [`CacheImpl::Promise`] for the lock-free-hit-path
+    /// `crates/rcache`). The `Promise` cache is sized to the same total
+    /// budget, `cache_shards * cache_capacity_per_shard`.
+    pub cache_impl: CacheImpl,
     /// Queue topology for the worker pool. Defaults to
     /// [`Scheduler::WorkStealing`]; use [`Scheduler::PriorityLanes`] to
     /// let the admission classes drive scheduling order, or
@@ -365,6 +399,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_shards: 8,
             cache_capacity_per_shard: 32,
+            cache_impl: CacheImpl::default(),
             scheduler: Scheduler::default(),
             admission: Arc::new(ClassAwareAdmission),
             fault_plan: None,
@@ -580,7 +615,7 @@ impl ServeObs {
 }
 
 struct ServerInner {
-    cache: Cache<Request, Response>,
+    cache: ServerCache<Request, Response>,
     experiments: Vec<(String, ExperimentFn)>,
     fault_plan: Option<FaultPlan>,
     policy: Arc<dyn AdmissionPolicy>,
@@ -655,6 +690,63 @@ impl ServerInner {
                     None => Response {
                         ok: false,
                         body: format!("unknown homework generator {generator:?}"),
+                        cached: false,
+                    },
+                }
+            }
+            Request::Life { w, h, steps, seed } => {
+                if *w == 0
+                    || *h == 0
+                    || *steps == 0
+                    || *w > LIFE_MAX_DIM
+                    || *h > LIFE_MAX_DIM
+                    || *steps > LIFE_MAX_STEPS
+                {
+                    return Response {
+                        ok: false,
+                        body: format!(
+                            "life parameters out of range: {w}x{h} steps {steps} \
+                             (limits {LIFE_MAX_DIM}x{LIFE_MAX_DIM}, {LIFE_MAX_STEPS} steps)"
+                        ),
+                        cached: false,
+                    };
+                }
+                match life::grid::Grid::random(
+                    *h as usize,
+                    *w as usize,
+                    0.35,
+                    *seed,
+                    life::grid::Boundary::Toroidal,
+                ) {
+                    Ok(grid) => {
+                        let (last, rounds) = life::serial::run(grid, *steps as usize);
+                        let (births, deaths) = rounds
+                            .iter()
+                            .fold((0u64, 0u64), |(b, d), r| (b + r.births, d + r.deaths));
+                        // A cheap order-sensitive digest of the final
+                        // board so clients (and parity tests) can
+                        // compare full outcomes, not just populations.
+                        let checksum = last.cells().iter().enumerate().fold(
+                            0xcbf2_9ce4_8422_2325u64,
+                            |acc, (i, &alive)| {
+                                (acc ^ ((i as u64) << 1 | u64::from(alive)))
+                                    .wrapping_mul(0x100_0000_01b3)
+                            },
+                        );
+                        Response {
+                            ok: true,
+                            body: format!(
+                                "life {w}x{h} seed {seed}: {steps} steps, \
+                                 population {}, births {births}, deaths {deaths}, \
+                                 checksum {checksum:016x}",
+                                last.population()
+                            ),
+                            cached: false,
+                        }
+                    }
+                    Err(e) => Response {
+                        ok: false,
+                        body: format!("life grid rejected: {e:?}"),
                         cached: false,
                     },
                 }
@@ -864,10 +956,12 @@ impl CourseServer {
             "server needs queue capacity >= 1"
         );
         let inner = Arc::new(ServerInner {
-            cache: Cache::with_fault_plan(
+            cache: ServerCache::build(
+                config.cache_impl,
                 config.cache_shards,
                 config.cache_capacity_per_shard,
                 config.fault_plan.clone(),
+                &config.registry,
             ),
             experiments,
             fault_plan: config.fault_plan,
@@ -1118,6 +1212,13 @@ impl CourseServer {
     /// responses, which carry no [`Rejected`] of their own.
     pub fn retry_hint(&self, meta: &JobMeta) -> u64 {
         self.inner.busy(meta).retry_after_ms
+    }
+
+    /// The promise cache's full counter set (waits, retries, and
+    /// `locked_hits` — the hit path's exclusive-lock counter), or
+    /// `None` when the server runs [`CacheImpl::ShardedMutex`].
+    pub fn promise_cache_stats(&self) -> Option<rcache::Stats> {
+        self.inner.cache.promise_stats()
     }
 
     /// A snapshot of request, cache, and pool counters.

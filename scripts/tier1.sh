@@ -62,4 +62,17 @@ cargo run --release -q -p bench --bin reproduce -- e18 > /dev/null
 cargo run --release -q -p bench --bin serve_demo -- 4 24 net-epoll > /dev/null
 cargo run --release -q -p bench --bin serve_demo -- 4 24 router-epoll 2 > /dev/null
 
+# Promise-cache tier (E19): the rcache suite (unit tests plus the
+# churn/compute-once/wake-drop stress file), the workspace parity and
+# fault-point tests (both cache impls x three schedulers agree;
+# Computing never evicted; dropped wakeups only delay), the E19 smoke
+# (hit p99 flat under eviction churn, locked-hit counter asserted
+# zero), and the live server on both implementations (serve_demo
+# prints the per-impl hit/miss table and asserts the promise cache
+# took zero bucket locks). scripts/tsan.sh adds the sanitizer pass.
+cargo test -q -p rcache
+cargo test -q --test rcache_subsystem
+cargo run --release -q -p bench --bin reproduce -- e19 > /dev/null
+cargo run --release -q -p bench --bin serve_demo -- 4 24 promise > /dev/null
+
 echo "tier1: all green"

@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# ThreadSanitizer gate for the lock-free Chase-Lev deque (PR 7).
+# ThreadSanitizer gate for the lock-free crates: the Chase-Lev deque
+# (PR 7, serve::deque) and the promise-slot cache (PR 9, rcache).
 #
 # Runs the serve crate's bare-deque stress tests — many thieves vs one
 # owner, the last-element pop-vs-steal race, buffer growth with
@@ -7,6 +8,15 @@
 # traffic is per-word atomic precisely so this build is meaningful: a
 # missing fence or a buffer freed under a pinned thief is loud here
 # and silent (usually) in a normal run.
+#
+# Then the rcache stress suite: concurrent readers racing eviction
+# churn, exactly-one-compute contention, dropped waiter wakeups, and
+# forced sweeps during computes. rcache was built for this gate the
+# same way: every cross-thread data edge (bucket chains, seqlock
+# generations, value publication, the retired list) goes through
+# in-crate atomics or spinlocks TSan can see; the only std sync is the
+# per-node Condvar gate, which carries no data (waiters re-check the
+# atomic state under 2ms timed waits).
 #
 # Scope and caveats:
 # * Needs a nightly toolchain (-Zsanitizer is unstable). Skips cleanly
@@ -36,6 +46,7 @@ fi
 export RUSTFLAGS="-Zsanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer ${RUSTFLAGS:-}"
 export CARGO_TARGET_DIR="target/tsan"
 export DEQUE_STRESS_ITERS="${DEQUE_STRESS_ITERS:-5000}"
+export RCACHE_STRESS_ITERS="${RCACHE_STRESS_ITERS:-64}"
 export TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp ${TSAN_OPTIONS:-}"
 
 rustup run nightly cargo test \
@@ -43,3 +54,9 @@ rustup run nightly cargo test \
     -p serve --test deque_stress -- --test-threads=1 --skip lockfree_pool
 
 echo "tsan: deque stress suite clean"
+
+rustup run nightly cargo test \
+    --target x86_64-unknown-linux-gnu \
+    -p rcache --test stress -- --test-threads=1
+
+echo "tsan: rcache stress suite clean"

@@ -1,0 +1,269 @@
+//! Integration: the `rcache` promise-slot cache behind the full serve
+//! stack — behavioral parity with the sharded-mutex cache under every
+//! scheduler, the compute-once guarantee under multi-threaded races,
+//! and the two cache fault points (`CacheEvictDuringCompute`,
+//! `CachePromiseWake`) exercised through the same `ServerCache` seam
+//! the server uses.
+
+use proptest::prelude::*;
+use serve::fault::{FaultPlan, FaultPoint};
+use serve::pool::Scheduler;
+use serve::server::Request;
+use serve::{CacheImpl, CourseServer, ServerCache, ServerConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const SCHEDULERS: [Scheduler; 3] = [
+    Scheduler::WorkStealing,
+    Scheduler::PriorityLanes,
+    Scheduler::LockFree,
+];
+
+/// The request pool the parity stream draws from: small deterministic
+/// key spaces across three request kinds, so streams repeat keys often
+/// enough that the caches' compute-once behavior is what's compared.
+fn request_from(code: u8) -> Request {
+    match code % 9 {
+        s @ 0..=3 => Request::Homework {
+            generator: "binary_arithmetic".into(),
+            seed: u64::from(s),
+        },
+        s @ 4..=6 => Request::Homework {
+            generator: "fork_puzzle".into(),
+            seed: u64::from(s - 4),
+        },
+        s => Request::Life {
+            w: 8,
+            h: 8,
+            steps: 4,
+            seed: u64::from(s - 7),
+        },
+    }
+}
+
+/// Runs one request stream against a fresh server and returns the
+/// response bodies (in stream order) plus the cache's (hits, misses).
+fn run_stream(
+    stream: &[u8],
+    scheduler: Scheduler,
+    cache_impl: CacheImpl,
+) -> (Vec<String>, u64, u64) {
+    let server = CourseServer::new(ServerConfig {
+        workers: 2,
+        queue_capacity: 256,
+        scheduler,
+        cache_impl,
+        ..ServerConfig::default()
+    });
+    let tickets: Vec<_> = stream
+        .iter()
+        .map(|&c| {
+            server
+                .submit(request_from(c))
+                .expect("queue sized for stream")
+        })
+        .collect();
+    let bodies: Vec<String> = tickets
+        .into_iter()
+        .map(|t| {
+            let resp = t.wait();
+            assert!(resp.ok, "{}", resp.body);
+            resp.body
+        })
+        .collect();
+    server.shutdown();
+    let st = server.stats();
+    (bodies, st.cache.hits, st.cache.misses)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Parity: for any request stream, both cache implementations
+    /// under all three schedulers produce identical response bodies,
+    /// identical compute-once counts (misses == distinct keys), and
+    /// identical hit counts.
+    #[test]
+    fn both_cache_impls_agree_under_every_scheduler(stream in prop::collection::vec(any::<u8>(), 1..24)) {
+        let distinct = {
+            let mut keys: Vec<Request> = stream.iter().map(|&c| request_from(c)).collect();
+            keys.sort_by_key(|r| format!("{r:?}"));
+            keys.dedup();
+            keys.len() as u64
+        };
+        let mut reference: Option<Vec<String>> = None;
+        for scheduler in SCHEDULERS {
+            for cache_impl in [CacheImpl::ShardedMutex, CacheImpl::Promise] {
+                let (bodies, hits, misses) = run_stream(&stream, scheduler, cache_impl);
+                prop_assert_eq!(
+                    misses, distinct,
+                    "{:?}/{:?}: each distinct request computes exactly once",
+                    scheduler, cache_impl
+                );
+                prop_assert_eq!(hits, stream.len() as u64 - distinct);
+                match &reference {
+                    None => reference = Some(bodies),
+                    Some(expect) => prop_assert_eq!(
+                        &bodies, expect,
+                        "{:?}/{:?} diverged from the reference bodies",
+                        scheduler, cache_impl
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn racing_threads_compute_each_key_exactly_once_on_both_impls() {
+    // 8 threads hammer the same 16 keys through the ServerCache seam;
+    // whatever the interleaving, each key's closure runs exactly once
+    // per implementation and every caller sees the right value.
+    for which in [CacheImpl::ShardedMutex, CacheImpl::Promise] {
+        let registry = obs::Registry::disabled();
+        let cache: Arc<ServerCache<u64, u64>> =
+            Arc::new(ServerCache::build(which, 4, 64, None, &registry));
+        let computes = Arc::new(AtomicU64::new(0));
+        thread::scope(|s| {
+            for t in 0..8u64 {
+                let cache = Arc::clone(&cache);
+                let computes = Arc::clone(&computes);
+                s.spawn(move || {
+                    for round in 0..64u64 {
+                        let key = (t + round) % 16;
+                        let v = cache.get_or_insert_with(key, |k| {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            k * 3 + 1
+                        });
+                        assert_eq!(v, key * 3 + 1, "{which:?}");
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            16,
+            "{which:?}: compute-once broke under the race"
+        );
+        let st = cache.stats();
+        assert_eq!(st.misses, 16, "{which:?}");
+        assert_eq!(st.hits, 8 * 64 - 16, "{which:?}");
+    }
+}
+
+#[test]
+fn forced_eviction_during_compute_never_evicts_computing_on_either_impl() {
+    // The PR 3 invariant, now demanded of both implementations through
+    // the same seam: key A computes slowly in a capacity-1 cache while
+    // churn keys publish and force eviction sweeps around it. The only
+    // legal victims are the Ready churn entries — A must keep its slot,
+    // its waiter must get A's one and only compute.
+    for which in [CacheImpl::ShardedMutex, CacheImpl::Promise] {
+        let plan = FaultPlan::new(0xE19).stall_at(
+            FaultPoint::CacheEvictDuringCompute,
+            Duration::from_millis(1),
+            1,
+            1,
+        );
+        let registry = obs::Registry::disabled();
+        let cache: Arc<ServerCache<u32, u64>> = Arc::new(ServerCache::build(
+            which,
+            1,
+            1,
+            Some(plan.clone()),
+            &registry,
+        ));
+        let computes_a = Arc::new(AtomicU64::new(0));
+
+        let owner = {
+            let cache = Arc::clone(&cache);
+            let computes_a = Arc::clone(&computes_a);
+            thread::spawn(move || {
+                cache.get_or_insert_with(1u32, |k| {
+                    computes_a.fetch_add(1, Ordering::SeqCst);
+                    thread::sleep(Duration::from_millis(60));
+                    u64::from(k) * 100
+                })
+            })
+        };
+        // Let A's owner claim its slot, then attach a waiter to A.
+        thread::sleep(Duration::from_millis(15));
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            let computes_a = Arc::clone(&computes_a);
+            thread::spawn(move || {
+                cache.get_or_insert_with(1u32, |k| {
+                    computes_a.fetch_add(1, Ordering::SeqCst);
+                    u64::from(k) * 100
+                })
+            })
+        };
+        // While A computes, churn keys through the over-capacity cache:
+        // each publication sweeps with A still Computing.
+        for key in 2u32..8 {
+            let v = cache.get_or_insert_with(key, |k| u64::from(k) * 100);
+            assert_eq!(v, u64::from(key) * 100, "{which:?}");
+        }
+        assert_eq!(owner.join().expect("owner thread"), 100, "{which:?}");
+        assert_eq!(waiter.join().expect("waiter thread"), 100, "{which:?}");
+        assert_eq!(
+            computes_a.load(Ordering::SeqCst),
+            1,
+            "{which:?}: the Computing entry was evicted out from under its waiter"
+        );
+        assert!(
+            cache.stats().evictions > 0,
+            "{which:?}: forced sweeps never evicted the Ready churn"
+        );
+    }
+}
+
+#[test]
+fn dropped_and_stalled_promise_wakeups_only_delay_waiters() {
+    // CachePromiseWake on the promise cache: the publisher's wakeup is
+    // stalled, then dropped outright, for every publication. Waiters
+    // must still return the published value (their timed re-check is
+    // the liveness backstop) and compute-once must hold throughout.
+    let plan = FaultPlan::new(0x3A3E)
+        .stall_at(FaultPoint::CachePromiseWake, Duration::from_millis(2), 1, 1)
+        .drop_at(FaultPoint::CachePromiseWake, 1, 1);
+    let registry = obs::Registry::disabled();
+    let cache: Arc<ServerCache<u64, u64>> = Arc::new(ServerCache::build(
+        CacheImpl::Promise,
+        4,
+        64,
+        Some(plan.clone()),
+        &registry,
+    ));
+    let computes = Arc::new(AtomicU64::new(0));
+    thread::scope(|s| {
+        for t in 0..6u64 {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            s.spawn(move || {
+                for key in 0..8u64 {
+                    let v = cache.get_or_insert_with(key, |k| {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // Slow enough that other threads park on the
+                        // promise slot and need the (dropped) wakeup.
+                        thread::sleep(Duration::from_millis(3 + t));
+                        k + 1000
+                    });
+                    assert_eq!(v, key + 1000);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        computes.load(Ordering::SeqCst),
+        8,
+        "dropped wakeups must not cause recomputes"
+    );
+    let stats = plan.stats();
+    assert!(stats.stalls > 0, "wake stall rule never fired");
+    assert!(stats.drops > 0, "wake drop rule never fired");
+    let ps = cache.promise_stats().expect("promise impl");
+    assert!(ps.waits > 0, "nobody ever parked on a promise slot");
+}
