@@ -14,7 +14,16 @@
 //! cargo run -p bench --bin serve_demo -- 4 100 router 3  # 3 backend *processes* + router
 //! cargo run -p bench --bin serve_demo -- 4 100 router 7401,7402  # explicit backend ports
 //! cargo run -p bench --bin serve_demo -- 4 100 router-epoll 3    # pooled reactor links
+//! cargo run -p bench --bin serve_demo -- 4 100 router 2 --ctl secret  # + live-resize loop
+//! cargo run -p bench --bin serve_demo -- ctl 127.0.0.1:7400 secret view  # one-shot admin op
 //! ```
+//!
+//! With `--ctl <token>` the router binds its admin surface and, after
+//! the burst, reads resize commands from stdin (`join <port>`,
+//! `drain <id>`, `remove <id>`, `view`, `load`, `quit`) — joins spawn
+//! fresh backend processes and drains retire them live, which is the
+//! E20 churn sequence driveable by hand (or a pipe). The `ctl` mode is
+//! the matching one-shot client for a router that is already running.
 //!
 //! Each client submits a deterministic mix of grade / homework /
 //! reproduce requests, honouring the server's backpressure (on a
@@ -48,9 +57,13 @@ done:
 
 const USAGE: &str = "usage: serve_demo [clients] [requests] \
                      [steal|fifo|priority|lockfree|promise|net|net-epoll|stats\
-                     |router|router-epoll [N|port,port,...]]\n\
+                     |router|router-epoll [N|port,port,...] [--ctl <token>]]\n\
                      net and net-epoll accept a connection-count sweep: \
-                     --conns a,b,c,... (strictly increasing)";
+                     --conns a,b,c,... (strictly increasing)\n\
+                     router modes with --ctl read resize commands from stdin: \
+                     join <port> | drain <id> | remove <id> | view | load | quit\n\
+                     or: serve_demo ctl <router-addr> <token> \
+                     view|join <addr>|drain <id>|remove <id>";
 
 fn bail(reason: &str) -> ! {
     eprintln!("serve_demo: {reason}\n{USAGE}");
@@ -440,6 +453,106 @@ fn backend_child(id: u32, port: u16) -> ! {
     std::process::exit(0);
 }
 
+/// Spawns one `__backend` child process and waits for its `READY`
+/// announcement. Used for the boot fleet and for live `join`s.
+fn spawn_backend_child(
+    exe: &std::path::Path,
+    id: u32,
+    port: u16,
+) -> Result<(std::process::Child, std::net::SocketAddr), String> {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(exe)
+        .arg("__backend")
+        .arg(id.to_string())
+        .arg(port.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn backend {id}: {e}"))?;
+    let stdout = child.stdout.take().expect("piped child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("backend {id} died before READY: {e}"))?;
+    match line
+        .strip_prefix("READY ")
+        .and_then(|a| a.trim().parse().ok())
+    {
+        Some(addr) => Ok((child, addr)),
+        None => Err(format!("backend {id} announced {line:?}, not READY")),
+    }
+}
+
+/// The `ctl` mode: a one-shot admin client for a router that is
+/// already running with `--ctl`. Prints the router's response body and
+/// exits 0 on success, 1 on a refused op — so shell scripts can branch
+/// on it. Argument mistakes (missing token, unknown subcommand, bad
+/// operands) are usage errors: exit 2.
+fn ctl_mode(args: &[String]) -> ! {
+    use net::loadgen::call_once;
+    use net::wire::{
+        encode_ctl_drain, encode_ctl_join, encode_ctl_remove, encode_ctl_view, RespStatus,
+    };
+
+    let addr_arg = args
+        .first()
+        .unwrap_or_else(|| bail("ctl needs a router address"));
+    let addr: std::net::SocketAddr = addr_arg
+        .parse()
+        .unwrap_or_else(|_| bail(&format!("invalid router address {addr_arg:?}")));
+    let token = args
+        .get(1)
+        .unwrap_or_else(|| bail("ctl needs the router's admin token"));
+    let cmd = args
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or_else(|| bail("ctl needs a subcommand: view | join | drain | remove"));
+    let operand = |what: &str| {
+        args.get(3)
+            .unwrap_or_else(|| bail(&format!("ctl {cmd} needs {what}")))
+    };
+    let frame = match cmd {
+        "view" => encode_ctl_view(1, token),
+        "join" => {
+            let backend = operand("a backend address");
+            let _: std::net::SocketAddr = backend
+                .parse()
+                .unwrap_or_else(|_| bail(&format!("invalid backend address {backend:?}")));
+            encode_ctl_join(1, token, backend)
+        }
+        "drain" | "remove" => {
+            let raw = operand("a backend id");
+            let id: u32 = raw
+                .parse()
+                .unwrap_or_else(|_| bail(&format!("backend id must be an integer, got {raw:?}")));
+            if cmd == "drain" {
+                encode_ctl_drain(1, token, id)
+            } else {
+                encode_ctl_remove(1, token, id)
+            }
+        }
+        other => bail(&format!("unknown ctl subcommand {other:?}")),
+    };
+    if args.len() > if cmd == "view" { 3 } else { 4 } {
+        bail("too many arguments");
+    }
+    match call_once(addr, &frame) {
+        Ok(resp) => {
+            print!("{}", resp.body);
+            if !resp.body.ends_with('\n') {
+                println!();
+            }
+            std::process::exit(u8::from(resp.status == RespStatus::Error).into());
+        }
+        Err(e) => {
+            eprintln!("serve_demo ctl: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Backend topology named on the router-mode command line: a fleet
 /// size (ephemeral ports) or an explicit port list.
 enum BackendSpec {
@@ -479,6 +592,36 @@ fn parse_backend_spec(arg: Option<&String>) -> BackendSpec {
     }
 }
 
+/// Parses everything after `router`/`router-epoll`: an optional
+/// backend spec, then an optional `--ctl <token>` enabling the admin
+/// surface and the stdin resize loop. Anything else is a usage error.
+fn parse_router_tail(tail: &[String]) -> (BackendSpec, Option<String>) {
+    let mut rest = tail;
+    let spec = match rest.first().map(String::as_str) {
+        Some("--ctl") | None => parse_backend_spec(None),
+        Some(_) => {
+            let s = parse_backend_spec(rest.first());
+            rest = &rest[1..];
+            s
+        }
+    };
+    let token = match rest.first().map(String::as_str) {
+        None => None,
+        Some("--ctl") => {
+            let t = rest
+                .get(1)
+                .unwrap_or_else(|| bail("--ctl needs an admin token"));
+            rest = &rest[2..];
+            Some(t.clone())
+        }
+        Some(other) => bail(&format!("unexpected router argument {other:?}")),
+    };
+    if !rest.is_empty() {
+        bail("too many arguments");
+    }
+    (spec, token)
+}
+
 /// The `router` mode: N backend *processes* (re-exec'd copies of this
 /// binary in the hidden `__backend` mode), a [`router::Router`]
 /// consistent-hashing the default class mix across them, and a loadgen
@@ -486,14 +629,25 @@ fn parse_backend_spec(arg: Option<&String>) -> BackendSpec {
 /// snapshot is fetched through the router and the fleet-wide admission
 /// ledgers are checked for balance. `router-epoll` runs the same
 /// topology with the router's backend links on the readiness reactor,
-/// two pooled connections per backend — same ledger assertions.
-fn router_mode(connections: u64, per_connection: u64, spec: BackendSpec, io: net::server::Io) {
-    use net::loadgen::{self, LoadConfig, Mode};
+/// two pooled connections per backend — same ledger assertions. With
+/// `ctl_token`, the burst is followed by a stdin resize loop driving
+/// the control plane live.
+fn router_mode(
+    connections: u64,
+    per_connection: u64,
+    spec: BackendSpec,
+    io: net::server::Io,
+    ctl_token: Option<String>,
+) {
+    use net::loadgen::{self, call_once, LoadConfig, Mode};
     use net::server::Io;
-    use net::wire::ROUTER_BACKEND_ID;
+    use net::wire::{
+        encode_ctl_drain, encode_ctl_join, encode_ctl_remove, encode_ctl_view, RespStatus,
+        ROUTER_BACKEND_ID,
+    };
     use router::{Router, RouterConfig};
-    use std::io::{BufRead, BufReader};
-    use std::process::{Child, Command, Stdio};
+    use std::io::BufRead;
+    use std::process::Child;
 
     let ports: Vec<u16> = match spec {
         BackendSpec::Count(n) => vec![0; n as usize],
@@ -504,23 +658,8 @@ fn router_mode(connections: u64, per_connection: u64, spec: BackendSpec, io: net
     let mut children: Vec<Child> = Vec::new();
     let mut addrs = Vec::new();
     for (id, port) in ports.iter().enumerate() {
-        let mut child = Command::new(&exe)
-            .arg("__backend")
-            .arg(id.to_string())
-            .arg(port.to_string())
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .spawn()
-            .unwrap_or_else(|e| bail(&format!("cannot spawn backend {id}: {e}")));
-        let stdout = child.stdout.take().expect("piped child stdout");
-        let mut line = String::new();
-        BufReader::new(stdout)
-            .read_line(&mut line)
-            .unwrap_or_else(|e| bail(&format!("backend {id} died before READY: {e}")));
-        let addr = line
-            .strip_prefix("READY ")
-            .and_then(|a| a.trim().parse().ok())
-            .unwrap_or_else(|| bail(&format!("backend {id} announced {line:?}, not READY")));
+        let (child, addr) = spawn_backend_child(&exe, id as u32, *port)
+            .unwrap_or_else(|e| bail(&format!("boot fleet: {e}")));
         addrs.push(addr);
         children.push(child);
     }
@@ -535,6 +674,7 @@ fn router_mode(connections: u64, per_connection: u64, spec: BackendSpec, io: net
         RouterConfig {
             io,
             pool_size,
+            ctl_token: ctl_token.clone(),
             ..RouterConfig::default()
         },
     )
@@ -600,6 +740,118 @@ fn router_mode(connections: u64, per_connection: u64, spec: BackendSpec, io: net
     }
     println!("\nfleet ledgers balanced: admitted == completed + shed across every backend.");
 
+    if let Some(token) = &ctl_token {
+        // The live-resize loop: each line is one control-plane op
+        // against the running fleet. `join` spawns a fresh backend
+        // process and hands its address to the router; `load` re-runs
+        // the burst so a resize's effect on throughput is visible.
+        // Input mistakes print and continue — only command-line
+        // arguments are usage errors.
+        println!(
+            "\nctl loop (epoch {}): join <port> | drain <id> | remove <id> | view | load | quit",
+            rt.membership().epoch
+        );
+        let send = |frame: &[u8]| match call_once(rt.local_addr(), frame) {
+            Ok(resp) => {
+                print!("{}", resp.body);
+                if !resp.body.ends_with('\n') {
+                    println!();
+                }
+                resp.status != RespStatus::Error
+            }
+            Err(e) => {
+                println!("ctl: {e}");
+                false
+            }
+        };
+        // Stamp joined backends with the ctl id the router will assign
+        // (next fresh id), so the routing spread stays labelled right.
+        let mut next_id = addrs.len() as u32;
+        let mut burst = 0u64;
+        for line in std::io::stdin().lock().lines() {
+            let line = line.unwrap_or_default();
+            let mut words = line.split_whitespace();
+            let Some(cmd) = words.next() else { continue };
+            match (cmd, words.next()) {
+                ("quit", _) => break,
+                ("view", _) => {
+                    send(&encode_ctl_view(1, token));
+                }
+                ("load", _) => {
+                    burst += 1;
+                    let report = loadgen::run(
+                        rt.local_addr(),
+                        &LoadConfig {
+                            connections: connections as usize,
+                            requests_per_connection: per_connection as usize,
+                            mode: Mode::Closed { pipeline: 4 },
+                            // Fresh keys per burst: resized capacity,
+                            // not a warm cache, is what load shows.
+                            seed: burst,
+                            ..LoadConfig::default()
+                        },
+                    );
+                    let done: u64 = report.per_class.iter().map(|c| c.ok + c.cached).sum();
+                    let unanswered: u64 = report.per_class.iter().map(|c| c.unanswered).sum();
+                    assert_eq!(unanswered, 0, "resize under load stranded a client");
+                    println!(
+                        "load: {done} answered in {:.2}s ({:.0} reqs/sec), 0 unanswered",
+                        report.elapsed.as_secs_f64(),
+                        done as f64 / report.elapsed.as_secs_f64(),
+                    );
+                }
+                ("join", Some(port)) => {
+                    let Ok(port) = port.parse::<u16>() else {
+                        println!("ctl: invalid port {port:?}");
+                        continue;
+                    };
+                    match spawn_backend_child(&exe, next_id, port) {
+                        Ok((mut child, addr)) => {
+                            if send(&encode_ctl_join(1, token, &addr.to_string())) {
+                                next_id += 1;
+                                children.push(child);
+                            } else {
+                                // The router refused the join; the
+                                // orphan exits when its pipe closes.
+                                drop(child.stdin.take());
+                                let _ = child.wait();
+                            }
+                        }
+                        Err(e) => println!("ctl: {e}"),
+                    }
+                }
+                (op @ ("drain" | "remove"), Some(id)) => {
+                    let Ok(id) = id.parse::<u32>() else {
+                        println!("ctl: invalid backend id {id:?}");
+                        continue;
+                    };
+                    send(&if op == "drain" {
+                        encode_ctl_drain(1, token, id)
+                    } else {
+                        encode_ctl_remove(1, token, id)
+                    });
+                }
+                (cmd, _) => println!(
+                    "ctl: unknown command {cmd:?} \
+                     (join <port> | drain <id> | remove <id> | view | load | quit)"
+                ),
+            }
+        }
+        let totals = rt.totals();
+        assert_eq!(
+            totals.forwarded,
+            totals.relayed + totals.synthesized_shed,
+            "router ledger must still balance after live resizes"
+        );
+        println!(
+            "\nfinal epoch {}: forwarded {} = relayed {} + synthesized sheds {}",
+            rt.membership().epoch,
+            totals.forwarded,
+            totals.relayed,
+            totals.synthesized_shed,
+        );
+    }
+
     rt.shutdown();
     for mut child in children {
         drop(child.stdin.take()); // closing the pipe tells it to exit
@@ -620,6 +872,9 @@ fn main() {
             .unwrap_or_else(|| bail("__backend needs a numeric port"));
         backend_child(id, port);
     }
+    if args.first().map(String::as_str) == Some("ctl") {
+        ctl_mode(&args[1..]);
+    }
     let sweep_conns: Option<Vec<usize>> = if args.get(3).map(String::as_str) == Some("--conns") {
         match args.get(2).map(String::as_str) {
             Some("net") | Some("net-epoll") => {}
@@ -632,13 +887,20 @@ fn main() {
     } else {
         None
     };
-    let max_args = if sweep_conns.is_some() { 5 } else { 4 };
-    if args.len() > max_args
-        || (sweep_conns.is_none()
-            && args.len() == 4
-            && args[2] != "router"
-            && args[2] != "router-epoll")
-    {
+    let is_router = matches!(
+        args.get(2).map(String::as_str),
+        Some("router") | Some("router-epoll")
+    );
+    // Router modes validate their own tail (spec + --ctl) in
+    // parse_router_tail; everything else is positional.
+    let max_args = if sweep_conns.is_some() {
+        5
+    } else if is_router {
+        6
+    } else {
+        3
+    };
+    if args.len() > max_args {
         bail("too many arguments");
     }
     let parse_count = |arg: Option<&String>, default: u64, what: &str| -> u64 {
@@ -680,20 +942,18 @@ fn main() {
         }
         Some("promise") => return promise_mode(clients, per_client),
         Some("router") => {
-            return router_mode(
-                clients,
-                per_client,
-                parse_backend_spec(args.get(3)),
-                net::server::Io::Blocking,
-            )
+            let (spec, token) = parse_router_tail(&args[3..]);
+            return router_mode(clients, per_client, spec, net::server::Io::Blocking, token);
         }
         Some("router-epoll") => {
+            let (spec, token) = parse_router_tail(&args[3..]);
             return router_mode(
                 clients,
                 per_client,
-                parse_backend_spec(args.get(3)),
+                spec,
                 net::server::Io::Readiness { shards: 1 },
-            )
+                token,
+            );
         }
         Some(other) => bail(&format!("unknown mode {other:?}")),
     };

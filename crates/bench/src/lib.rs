@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod ctl_exp;
 pub mod lockfree;
 pub mod obs;
 pub mod priority;
@@ -1042,6 +1043,22 @@ pub fn e19_rcache() -> String {
     out
 }
 
+/// E20 — live fleet resizing through the `ctl` control plane (PR 10).
+/// Under sustained closed-loop load, a backend joins over the admin
+/// wire surface (`CtlJoin` → probe admission → keyspace share) and
+/// another drains (`CtlDrain` → out of the ring immediately, in-flight
+/// resolved, retired once idle). `run_resize` asserts the exact
+/// invariants on every attempt — zero unanswered clients in all three
+/// phases, balanced router and fleet ledgers, the joined backend
+/// serving real traffic, and the membership epoch advanced exactly
+/// twice (`ctl.epoch` = 2: probe admission is a health event, not a
+/// revision). The timing claim — the join raises sustained throughput
+/// — is retried best-of-3 against host noise, like every timing
+/// experiment here.
+pub fn e20_ctl() -> String {
+    ctl_exp::render(&ctl_exp::ctl_resize_params())
+}
+
 /// An experiment id and its runner.
 pub type Experiment = (&'static str, fn() -> String);
 
@@ -1072,6 +1089,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e17", e17_lockfree),
         ("e18", e18_reactor),
         ("e19", e19_rcache),
+        ("e20", e20_ctl),
     ];
     v.extend(ablations::all_ablations());
     v
@@ -1377,6 +1395,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn e20_join_adds_capacity_and_drain_loses_nothing() {
+        // `run_resize` asserts every exact invariant internally (zero
+        // unanswered in all three phases, balanced ledgers, epoch
+        // advanced exactly twice, joined backend served traffic); here
+        // the run is sized down and the timing claim — the join raises
+        // sustained throughput — gets the best-of-5 discipline. The
+        // floor is deliberately below the structural 1.5x (4 → 6
+        // workers): the claim under test is "capacity rose", not a
+        // precise ratio.
+        let mut p = ctl_exp::ctl_resize_params();
+        p.requests_per_connection = 24;
+        let mut last = String::new();
+        for _ in 0..5 {
+            let o = ctl_exp::run_resize(&p);
+            assert_eq!(o.epoch, 3, "join + drain advance the epoch exactly twice");
+            assert_eq!(o.ctl_epoch_counter, 2, "ctl.epoch mirrors the revisions");
+            let ratio = ctl_exp::throughput(&o.after_join) / ctl_exp::throughput(&o.before);
+            if ratio >= 1.1 {
+                return;
+            }
+            last = format!("join only raised throughput {ratio:.2}x");
+        }
+        panic!("joined backend never raised sustained throughput: {last}");
     }
 
     #[test]

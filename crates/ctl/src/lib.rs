@@ -1,0 +1,36 @@
+//! `ctl` — the control plane for live fleet membership.
+//!
+//! The router's backend set used to be a constructor argument: scaling
+//! out, rolling a backend, or retiring a bad host meant restarting the
+//! proxy tier. This crate makes membership a first-class runtime
+//! object, versioned by a monotonically increasing **epoch**:
+//!
+//! - [`membership`]: the [`Membership`] state machine. Each backend is
+//!   a [`BackendSpec`] in one of three live states —
+//!   [`BackendState::Joining`] (announced, not yet admitted by the
+//!   health prober), [`BackendState::Live`] (taking traffic),
+//!   [`BackendState::Draining`] (excluded from new assignment, still
+//!   finishing in-flight work) — or the terminal
+//!   [`BackendState::Removed`] tombstone. Admin ops (`join`, `drain`,
+//!   `remove`) each advance the epoch; the probe-driven
+//!   `Joining → Live` admission republishes under the *same* epoch,
+//!   because the epoch numbers administered membership revisions, not
+//!   health flaps.
+//! - [`swap`]: [`ViewCell`], the publication primitive. Writers swap
+//!   in a new `Arc` view; data-path readers get the current view with
+//!   one atomic load and one refcount increment — no lock, no wait —
+//!   the same publish-then-read discipline as `obs::trace`, but with
+//!   every published view retained so the read side needs no
+//!   validation loop at all.
+//!
+//! The crate has no dependencies; the router layers rings, health, and
+//! obs mirrors on top (DESIGN.md §15 carries the ordering argument).
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod membership;
+pub mod swap;
+
+pub use membership::{BackendSpec, BackendState, CtlError, Membership, MembershipEpoch};
+pub use swap::ViewCell;

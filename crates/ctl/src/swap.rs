@@ -1,0 +1,140 @@
+//! [`ViewCell`]: lock-free publication of immutable views.
+//!
+//! A `ViewCell<T>` holds the *current* `Arc<T>`. Writers publish a new
+//! view with [`ViewCell::publish`]; readers fetch the current one with
+//! [`ViewCell::load`] — one `Acquire` pointer load plus one atomic
+//! refcount increment, never a lock, never a retry loop.
+//!
+//! The classic hazard of an unguarded `Arc` swap is the reader that
+//! loads the raw pointer just as the writer swaps and drops the last
+//! strong count — the reader would then bump a refcount inside freed
+//! memory. The usual cures (hazard pointers, epoch reclamation) buy
+//! prompt reclamation at the price of a validation protocol on every
+//! read. Membership views don't need prompt reclamation: they are tiny
+//! (an epoch number and a handful of backend specs) and a new one is
+//! published only on an **admin operation** — a handful per process
+//! lifetime, not per request. So the cell simply **retains every view
+//! it has ever published** until the cell itself drops. That single
+//! decision makes the read path trivially sound: the pointer in
+//! `current` always aims at an allocation the cell itself holds a
+//! strong count on, so it is live for as long as any `&ViewCell`
+//! borrow — which every `load` holds.
+//!
+//! Ordering: `publish` pushes the retaining `Arc` under the writer
+//! lock *before* the `Release` pointer store; `load`'s `Acquire` load
+//! therefore observes a pointer whose retainer is already in place.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cell holding the current `Arc<T>` view, readable lock-free.
+/// Memory cost is one retained `Arc<T>` per [`ViewCell::publish`] —
+/// bounded by the number of admin operations, by design.
+pub struct ViewCell<T> {
+    /// Raw pointer into the most recently published view. Always equal
+    /// to `Arc::as_ptr` of some element of `retained`.
+    current: AtomicPtr<T>,
+    /// Every view ever published, retained so `current` can never
+    /// dangle. Doubles as the writer-side publication lock.
+    retained: Mutex<Vec<Arc<T>>>,
+}
+
+impl<T> ViewCell<T> {
+    /// A cell whose current view is `initial`.
+    pub fn new(initial: Arc<T>) -> ViewCell<T> {
+        let ptr = Arc::as_ptr(&initial) as *mut T;
+        ViewCell {
+            current: AtomicPtr::new(ptr),
+            retained: Mutex::new(vec![initial]),
+        }
+    }
+
+    /// The current view. Lock-free: one `Acquire` load and one atomic
+    /// refcount increment.
+    #[allow(unsafe_code)]
+    pub fn load(&self) -> Arc<T> {
+        let ptr = self.current.load(Ordering::Acquire);
+        // SAFETY: `ptr` was produced by `Arc::as_ptr` on an `Arc`
+        // pushed into `retained` before the `Release` store that made
+        // it visible, and `retained` never shrinks while `self` is
+        // alive — our `&self` borrow guarantees that. The allocation
+        // is therefore live with a strong count ≥ 1, so incrementing
+        // the count and reconstructing an owned `Arc` is sound.
+        unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        }
+    }
+
+    /// Publishes `view` as the new current view. Writers serialize on
+    /// the internal lock; readers are never blocked.
+    pub fn publish(&self, view: Arc<T>) {
+        let ptr = Arc::as_ptr(&view) as *mut T;
+        let mut retained = self.retained.lock().expect("view cell poisoned");
+        retained.push(view);
+        // Release: the retaining Arc (and the view's contents) happen
+        // before any Acquire load that observes this pointer.
+        self.current.store(ptr, Ordering::Release);
+    }
+
+    /// How many views have been published over this cell's lifetime
+    /// (including the initial one) — i.e. how many it retains.
+    pub fn published(&self) -> usize {
+        self.retained.lock().expect("view cell poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_returns_the_latest_publish() {
+        let cell = ViewCell::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        cell.publish(Arc::new(2));
+        cell.publish(Arc::new(3));
+        assert_eq!(*cell.load(), 3);
+        assert_eq!(cell.published(), 3);
+    }
+
+    #[test]
+    fn readers_race_publishes_and_only_see_published_values() {
+        let cell = Arc::new(ViewCell::new(Arc::new(0u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = *cell.load();
+                        assert!(v >= last, "views must be observed in publish order");
+                        last = v;
+                    }
+                    last
+                })
+            })
+            .collect();
+        for i in 1..=1000u64 {
+            cell.publish(Arc::new(i));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            let last = r.join().expect("reader");
+            assert!(last <= 1000);
+        }
+        assert_eq!(*cell.load(), 1000);
+    }
+
+    #[test]
+    fn loaded_arcs_outlive_later_publishes() {
+        let cell = ViewCell::new(Arc::new(vec![1u8, 2, 3]));
+        let old = cell.load();
+        cell.publish(Arc::new(vec![9]));
+        assert_eq!(*old, vec![1, 2, 3], "old views stay valid after a swap");
+        assert_eq!(*cell.load(), vec![9]);
+    }
+}

@@ -30,7 +30,7 @@
 
 use crate::wire::{
     decode_payload, encode_request, encode_stats_full_request, encode_stats_request, read_frame,
-    write_frame, Frame, RequestFrame, RespStatus,
+    write_frame, Frame, RequestFrame, RespStatus, ResponseFrame,
 };
 use serve::pool::JobClass;
 use serve::server::Request;
@@ -90,6 +90,17 @@ pub enum OpTemplate {
         /// Number of distinct seeds to cycle through.
         variants: u64,
     },
+    /// `Request::MemTrace` cycling the access pattern through
+    /// `serve::server::MEMTRACE_PATTERNS` with seeds drawn from
+    /// `variants` — a CPU-bound cache-simulation op whose
+    /// `(pattern, accesses, seed)` tuple is the cache key, so a small
+    /// `variants` keeps the template cache-friendly like `Life`.
+    MemTrace {
+        /// Simulated memory accesses per request.
+        accesses: u32,
+        /// Number of distinct seeds to cycle through.
+        variants: u64,
+    },
 }
 
 /// One class's slice of the generated load.
@@ -138,6 +149,16 @@ impl ClassLoad {
                 op: OpTemplate::Life {
                     dim: 32,
                     base_steps: 8,
+                    variants: 8,
+                },
+            },
+            ClassLoad {
+                class: JobClass::Batch,
+                weight: 2,
+                priority: 120,
+                deadline_budget_ms: Some(5_000),
+                op: OpTemplate::MemTrace {
+                    accesses: 2048,
                     variants: 8,
                 },
             },
@@ -535,6 +556,31 @@ pub fn fetch_stats_full(addr: SocketAddr) -> std::io::Result<String> {
     fetch_stats_body(addr, encode_stats_full_request(1))
 }
 
+/// Opens a fresh connection to `addr`, writes one pre-encoded request
+/// frame, and returns the single decoded [`ResponseFrame`] — whatever
+/// its status. The one-shot primitive the admin (`ctl`) client and the
+/// control-plane tests are built on: unlike [`fetch_stats`] it does
+/// not insist on `Ok`, because an `Error` response (bad token, bad
+/// transition) is a meaningful answer there, not a transport failure.
+pub fn call_once(addr: SocketAddr, request: &[u8]) -> std::io::Result<ResponseFrame> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    {
+        let mut writer = BufWriter::new(&stream);
+        write_frame(&mut writer, request)?;
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut reader = BufReader::new(&stream);
+    let payload =
+        read_frame(&mut reader)?.ok_or_else(|| bad("connection closed before response"))?;
+    match decode_payload(&payload) {
+        Ok(Frame::Response(resp)) => Ok(resp),
+        Ok(_) => Err(bad("answered with a non-response frame")),
+        Err(e) => Err(bad(&format!("malformed response: {e}"))),
+    }
+}
+
 fn fetch_stats_body(addr: SocketAddr, request: Vec<u8>) -> std::io::Result<String> {
     let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
     let stream = TcpStream::connect(addr)?;
@@ -801,6 +847,15 @@ fn mint_frame(
                 h: *dim,
                 steps: steps.max(1),
                 seed,
+            }
+        }
+        OpTemplate::MemTrace { accesses, variants } => {
+            let patterns = serve::server::MEMTRACE_PATTERNS;
+            let roll = rng.next();
+            Request::MemTrace {
+                pattern: patterns[(roll % patterns.len() as u64) as usize].to_string(),
+                accesses: (*accesses).max(1),
+                seed: roll % (*variants).max(1),
             }
         }
     };

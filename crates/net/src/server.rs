@@ -103,6 +103,12 @@ pub struct NetConfig {
     /// Socket I/O engine: blocking thread pairs (default) or the
     /// N-shard epoll reactor.
     pub io: Io,
+    /// Shared admin token for the control-plane ops (7–10). `None`
+    /// disables them entirely. A plain backend never acts on ctl ops
+    /// regardless — membership is a router concept and the backend
+    /// answers them with an `Error` pointing there — but the router
+    /// reads this field from *its* config to authenticate operators.
+    pub ctl_token: Option<String>,
 }
 
 impl Default for NetConfig {
@@ -115,6 +121,7 @@ impl Default for NetConfig {
             backend_id: 0,
             fault_plan: None,
             io: Io::Blocking,
+            ctl_token: None,
         }
     }
 }
@@ -554,6 +561,15 @@ fn reader_loop(read_half: TcpStream, shared: &Arc<Shared>, out: &Arc<Outbound>) 
                 answer_stats(id, true, shared, out);
                 continue;
             }
+            Ok(
+                Frame::CtlJoin { id, .. }
+                | Frame::CtlDrain { id, .. }
+                | Frame::CtlRemove { id, .. }
+                | Frame::CtlView { id, .. },
+            ) => {
+                answer_ctl_misdirected(id, shared, out);
+                continue;
+            }
             Ok(Frame::Response(_)) | Err(_) => {
                 // A framing error desynchronizes the byte stream; an
                 // Error frame explains, then the connection closes.
@@ -609,6 +625,24 @@ fn answer_stats<S: RespSink>(id: u64, full: bool, shared: &Arc<Shared>, out: &S)
             retry_after_ms: 0,
             backend: shared.config.backend_id,
             body,
+        }),
+        false,
+    );
+}
+
+/// Answers a control-plane op (7–10) sent to a plain backend: an
+/// `Error` frame pointing at the router. Membership lives in the proxy
+/// tier; acting on a misdirected drain here would desynchronize the
+/// fleets. The connection stays open — this is a usage error, not a
+/// framing error.
+fn answer_ctl_misdirected<S: RespSink>(id: u64, shared: &Arc<Shared>, out: &S) {
+    out.push(
+        encode_response(&ResponseFrame {
+            id,
+            status: RespStatus::Error,
+            retry_after_ms: 0,
+            backend: shared.config.backend_id,
+            body: "ctl ops are handled by the router, not a backend".to_string(),
         }),
         false,
     );
@@ -828,6 +862,15 @@ impl ConnHandler for ServerConnHandler {
             }
             Ok(Frame::StatsFull { id }) => {
                 answer_stats(id, true, &self.shared, conn);
+                return;
+            }
+            Ok(
+                Frame::CtlJoin { id, .. }
+                | Frame::CtlDrain { id, .. }
+                | Frame::CtlRemove { id, .. }
+                | Frame::CtlView { id, .. },
+            ) => {
+                answer_ctl_misdirected(id, &self.shared, conn);
                 return;
             }
             Ok(Frame::Response(_)) | Err(_) => {

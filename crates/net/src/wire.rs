@@ -19,6 +19,11 @@
 //!     op 3 Stats     (no fields)
 //!     op 4 StatsFull (no fields)
 //!     op 5 Life      w:u32 h:u32 steps:u32 seed:u64
+//!     op 6 MemTrace  pattern:str accesses:u32 seed:u64
+//!     op 7 CtlJoin   token:str addr:str
+//!     op 8 CtlDrain  token:str backend:u32
+//!     op 9 CtlRemove token:str backend:u32
+//!     op 10 CtlView  token:str
 //! response payload:  'R' id:u64 status:u8 retry_after_ms:u64
 //!                    backend:u32 body:str
 //! ```
@@ -36,6 +41,17 @@
 //! router can `Snapshot::parse_text` each backend's reply and merge the
 //! histograms bucket-for-bucket. Percentiles of a rendered snapshot
 //! don't add across processes; sparse bucket counts do.
+//!
+//! Ops 7–10 are the **control plane**: fleet-membership commands a
+//! router accepts from an operator (`crates/ctl` holds the state
+//! machine). Each carries a shared admin token — compared against
+//! [`crate::server::NetConfig::ctl_token`] — so a loadgen typo cannot
+//! drain a backend; a missing or wrong token gets an `Error` response,
+//! never a state change. `CtlView` returns the encoded
+//! `ctl::MembershipEpoch` so polling clients can watch a join be
+//! admitted or a drain complete. Plain backends (`net::server`) answer
+//! all four with an `Error` body pointing at the router: membership is
+//! a proxy-tier concept.
 //!
 //! Every response carries a `backend` id — the serving process's
 //! [`crate::server::NetConfig::backend_id`] (0 for a single-process
@@ -268,6 +284,44 @@ pub enum Frame {
         /// Correlation id, echoed on the snapshot response.
         id: u64,
     },
+    /// Admin op 7: announce a new backend to the router's fleet.
+    CtlJoin {
+        /// Correlation id, echoed on the response.
+        id: u64,
+        /// Shared admin token; must match the server's `ctl_token`.
+        token: String,
+        /// Address the new backend listens on, e.g. `127.0.0.1:7411`.
+        addr: String,
+    },
+    /// Admin op 8: stop assigning new keys to a backend; in-flight
+    /// work keeps draining.
+    CtlDrain {
+        /// Correlation id, echoed on the response.
+        id: u64,
+        /// Shared admin token; must match the server's `ctl_token`.
+        token: String,
+        /// The backend id to drain.
+        backend: u32,
+    },
+    /// Admin op 9: remove a backend from the fleet (normally after a
+    /// drain; legal anytime — remaining in-flight entries fail over).
+    CtlRemove {
+        /// Correlation id, echoed on the response.
+        id: u64,
+        /// Shared admin token; must match the server's `ctl_token`.
+        token: String,
+        /// The backend id to remove.
+        backend: u32,
+    },
+    /// Admin op 10: fetch the current membership view. The response
+    /// body is `ctl::MembershipEpoch::encode_text()` plus per-backend
+    /// health/outstanding diagnostics.
+    CtlView {
+        /// Correlation id, echoed on the response.
+        id: u64,
+        /// Shared admin token; must match the server's `ctl_token`.
+        token: String,
+    },
 }
 
 fn class_code(class: JobClass) -> u8 {
@@ -323,8 +377,58 @@ pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
             payload.extend_from_slice(&steps.to_be_bytes());
             payload.extend_from_slice(&seed.to_be_bytes());
         }
+        Request::MemTrace {
+            pattern,
+            accesses,
+            seed,
+        } => {
+            payload.push(6);
+            put_str(&mut payload, pattern);
+            payload.extend_from_slice(&accesses.to_be_bytes());
+            payload.extend_from_slice(&seed.to_be_bytes());
+        }
     }
     finish_frame(payload)
+}
+
+/// Encodes an admin op (7–10) into complete on-wire bytes. Like the
+/// stats ops, the header's class/priority/deadline bytes are zeros —
+/// control frames never enter admission.
+fn encode_ctl_op(id: u64, op: u8, token: &str, rest: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32 + token.len());
+    payload.push(REQ_TAG);
+    payload.extend_from_slice(&id.to_be_bytes());
+    payload.push(0); // class (ignored)
+    payload.push(0); // priority (ignored)
+    payload.push(0); // no deadline
+    payload.push(op);
+    put_str(&mut payload, token);
+    rest(&mut payload);
+    finish_frame(payload)
+}
+
+/// Encodes a `CtlJoin` (op 7) request into complete on-wire bytes.
+pub fn encode_ctl_join(id: u64, token: &str, addr: &str) -> Vec<u8> {
+    encode_ctl_op(id, 7, token, |p| put_str(p, addr))
+}
+
+/// Encodes a `CtlDrain` (op 8) request into complete on-wire bytes.
+pub fn encode_ctl_drain(id: u64, token: &str, backend: u32) -> Vec<u8> {
+    encode_ctl_op(id, 8, token, |p| {
+        p.extend_from_slice(&backend.to_be_bytes())
+    })
+}
+
+/// Encodes a `CtlRemove` (op 9) request into complete on-wire bytes.
+pub fn encode_ctl_remove(id: u64, token: &str, backend: u32) -> Vec<u8> {
+    encode_ctl_op(id, 9, token, |p| {
+        p.extend_from_slice(&backend.to_be_bytes())
+    })
+}
+
+/// Encodes a `CtlView` (op 10) request into complete on-wire bytes.
+pub fn encode_ctl_view(id: u64, token: &str) -> Vec<u8> {
+    encode_ctl_op(id, 10, token, |_| {})
 }
 
 /// Encodes a stats (op 3) request into complete on-wire bytes. The
@@ -468,6 +572,39 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
                     let steps = cur.u32()?;
                     let seed = cur.u64()?;
                     Request::Life { w, h, steps, seed }
+                }
+                6 => {
+                    let pattern = cur.str()?.to_owned();
+                    let accesses = cur.u32()?;
+                    let seed = cur.u64()?;
+                    Request::MemTrace {
+                        pattern,
+                        accesses,
+                        seed,
+                    }
+                }
+                7 => {
+                    let token = cur.str()?.to_owned();
+                    let addr = cur.str()?.to_owned();
+                    cur.finish()?;
+                    return Ok(Frame::CtlJoin { id, token, addr });
+                }
+                8 => {
+                    let token = cur.str()?.to_owned();
+                    let backend = cur.u32()?;
+                    cur.finish()?;
+                    return Ok(Frame::CtlDrain { id, token, backend });
+                }
+                9 => {
+                    let token = cur.str()?.to_owned();
+                    let backend = cur.u32()?;
+                    cur.finish()?;
+                    return Ok(Frame::CtlRemove { id, token, backend });
+                }
+                10 => {
+                    let token = cur.str()?.to_owned();
+                    cur.finish()?;
+                    return Ok(Frame::CtlView { id, token });
                 }
                 other => return Err(WireError::BadOp(other)),
             };
@@ -685,6 +822,68 @@ mod tests {
         let op3 = encode_stats_request(77);
         assert_eq!(bytes.len(), op3.len());
         assert_eq!(&bytes[..bytes.len() - 1], &op3[..op3.len() - 1]);
+    }
+
+    #[test]
+    fn memtrace_request_round_trips_through_the_codec() {
+        let frame = RequestFrame {
+            id: 12,
+            class: JobClass::Batch,
+            priority: 120,
+            deadline_budget_ms: None,
+            req: Request::MemTrace {
+                pattern: "stride".to_string(),
+                accesses: 4096,
+                seed: 99,
+            },
+        };
+        let bytes = encode_request(&frame);
+        assert_eq!(decode_payload(&bytes[4..]), Ok(Frame::Request(frame)));
+    }
+
+    #[test]
+    fn ctl_ops_round_trip_through_the_codec() {
+        let cases: Vec<(Vec<u8>, Frame)> = vec![
+            (
+                encode_ctl_join(3, "hunter2", "127.0.0.1:7411"),
+                Frame::CtlJoin {
+                    id: 3,
+                    token: "hunter2".to_string(),
+                    addr: "127.0.0.1:7411".to_string(),
+                },
+            ),
+            (
+                encode_ctl_drain(4, "hunter2", 2),
+                Frame::CtlDrain {
+                    id: 4,
+                    token: "hunter2".to_string(),
+                    backend: 2,
+                },
+            ),
+            (
+                encode_ctl_remove(5, "", 7),
+                Frame::CtlRemove {
+                    id: 5,
+                    token: String::new(),
+                    backend: 7,
+                },
+            ),
+            (
+                encode_ctl_view(6, "hunter2"),
+                Frame::CtlView {
+                    id: 6,
+                    token: "hunter2".to_string(),
+                },
+            ),
+        ];
+        for (bytes, want) in cases {
+            assert_eq!(decode_payload(&bytes[4..]), Ok(want));
+        }
+        // Truncations of a ctl frame are typed errors, never panics.
+        let bytes = encode_ctl_join(3, "tok", "127.0.0.1:1");
+        for cut in 0..bytes.len() - 4 {
+            assert!(decode_payload(&bytes[4..4 + cut]).is_err());
+        }
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub fn request_key(req: &Request) -> u64 {
             ^ mix(u64::from(*h))
             ^ mix(u64::from(*steps) | 0x10_0000)
             ^ mix(*seed)),
+        Request::MemTrace {
+            pattern,
+            accesses,
+            seed,
+        } => mix(hash_bytes(5, pattern.as_bytes()) ^ mix(u64::from(*accesses)) ^ mix(*seed)),
     }
 }
 

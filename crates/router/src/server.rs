@@ -2,30 +2,80 @@
 //!
 //! ## Thread anatomy
 //!
-//! * **one acceptor** — accepts client sockets and spawns the
-//!   per-client reader/writer pair (same shape as the backend's own
-//!   front end);
-//! * **a reader per client connection** — decodes request frames,
-//!   consistent-hashes the cache key ([`crate::ring::request_key`]),
-//!   and forwards the frame to the owning live backend over one of
-//!   that backend's pooled connections. Stats ops are answered in
-//!   place by fanning out op-4 `StatsFull` to every live backend and
-//!   merging;
-//! * **a writer per client connection** — drains pre-encoded response
-//!   frames, exactly the [`Outbound`] contract from `net::reactor`:
-//!   responses complete **out of order by id**;
+//! * **one acceptor** — accepts client sockets. Under the default
+//!   blocking front door ([`RouterConfig::front_io`] =
+//!   `Io::Blocking`) it spawns the per-client reader/writer pair;
+//!   under `Io::Readiness` it registers the socket on a dedicated
+//!   front-door [`net::reactor::Reactor`] and the per-connection
+//!   protocol logic runs as shard callbacks — no per-client threads;
+//! * **a reader per client connection** (blocking front door) —
+//!   decodes request frames, consistent-hashes the cache key
+//!   ([`crate::ring::request_key`]), and forwards the frame to the
+//!   owning live backend over one of that backend's pooled
+//!   connections. Stats ops are answered in place by fanning out op-4
+//!   `StatsFull` to every live backend and merging; admin (`ctl`) ops
+//!   are answered in place from the membership state;
+//! * **a writer per client connection** (blocking front door) —
+//!   drains pre-encoded response frames, exactly the [`Outbound`]
+//!   contract from `net::reactor`: responses complete **out of order
+//!   by id**;
 //! * **the backend pool** — under [`Io::Blocking`], one pooled
 //!   connection per backend with a dedicated reader thread (the
 //!   original shape). Under [`Io::Readiness`], `pool_size` pooled
-//!   connections per backend all multiplexed on a shared
+//!   connections per backend all multiplexed on a shared backend
 //!   [`net::reactor::Reactor`] — the same epoll engine that runs the
 //!   backend front end — so the router's backend-facing thread count
 //!   stays flat no matter how wide the pool gets. Responses are
 //!   matched to the pending table by router-assigned id, the client's
 //!   id is patched back into the frame, and the frame is handed to
-//!   the right client writer;
+//!   the right client writer. The front-door and backend reactors are
+//!   deliberately **separate** engines: graceful shutdown read-severs
+//!   every front-door connection at once
+//!   ([`net::reactor::Reactor::sever_reads`] is reactor-global), and
+//!   that sweep must not touch the backend links still draining
+//!   in-flight responses;
 //! * **one prober** — periodically pings `Down` backends (TCP connect +
-//!   op-3 stats) and re-admits them.
+//!   op-3 stats) and re-admits them. The prober is also the control
+//!   plane's actuator: it admits `Joining` backends into the live set
+//!   after their first successful probe, and retires `Draining`
+//!   backends (severs their idle links) once their last in-flight
+//!   response has resolved.
+//!
+//! ## Live membership (the control plane)
+//!
+//! The backend fleet is no longer fixed at bind time. A
+//! [`ctl::Membership`] state machine owns the authoritative epoch
+//! ([`ctl::MembershipEpoch`]), and every routing decision reads an
+//! immutable [`RouterView`] — the ring over in-ring members plus the
+//! per-backend connection slots — published through a
+//! [`ctl::ViewCell`]: data-path threads load the current view
+//! lock-free (one atomic load + one refcount bump) and admin ops
+//! publish a fresh view under `ctl_lock`. Wire ops 7–10
+//! (`CtlJoin`/`CtlDrain`/`CtlRemove`/`CtlView`), authenticated by the
+//! shared [`RouterConfig::ctl_token`], drive the transitions:
+//!
+//! * **join** — the backend enters `Joining`: it holds its ring points
+//!   from the moment of the join (so its eventual keyspace is decided
+//!   immediately) but starts health-`Down`, so `route_live` skips it
+//!   and its keys spill to ring successors until the prober's
+//!   stats-ping proves the process is up. Admission then flips health
+//!   `Up` and marks the member `Live` **without** advancing the epoch
+//!   — a health event, not an administrative revision — and moves no
+//!   other backend's keys.
+//! * **drain** — the backend leaves the ring immediately (new keys
+//!   reassign to successors) but keeps its slot and links; in-flight
+//!   forwards resolve through the pending table as usual. The prober
+//!   severs the links (generation-guarded, like any other sever) once
+//!   `outstanding` hits zero.
+//! * **remove** — the slot leaves the view entirely; whatever it still
+//!   owed is failed over (one re-route or an honest shed), exactly the
+//!   backend-death path.
+//!
+//! The epoch advances by exactly one per successful admin op
+//! (join/drain/remove) and never otherwise, mirrored in the
+//! `ctl.epoch` registry counter — so "one join plus one drain"
+//! advances it exactly twice, regardless of when the probe admission
+//! lands.
 //!
 //! ## Id translation
 //!
@@ -33,7 +83,7 @@
 //! assigns every forwarded request a globally unique id from one
 //! counter and patches it into the frame bytes in place (the id sits at
 //! a fixed offset right after the tag). The pending table maps router
-//! id → `{client writer, client id, frame bytes, …}`; the response gets
+//! id → `{client sink, client id, frame bytes, …}`; the response gets
 //! the client id patched back before forwarding. Keeping the encoded
 //! bytes in the table is what makes **re-routing** one patch cheap:
 //! on a backend death the same bytes are resent to the ring successor.
@@ -59,14 +109,19 @@
 //! second failure (or no live backend) synthesizes a `SHED` response
 //! with a retry hint and [`net::wire::ROUTER_BACKEND_ID`] as the
 //! answering backend, so clients can tell the router answered for a
-//! dead shard. Any pooled connection dying downs the whole backend —
-//! the pool is one fate-shared unit. The invariant the end-to-end
-//! tests assert: **every forwarded request produces exactly one client
-//! response** — relayed, re-routed-then-relayed, or shed — and the
-//! fleet's merged ledgers still balance.
+//! dead shard. Re-routing is **epoch-aware** by construction: the
+//! fail-over consults the ring of the view current at fail-over time,
+//! so a request stranded by a drain or remove lands on the new
+//! epoch's owner, never back on the departing backend. Any pooled
+//! connection dying downs the whole backend — the pool is one
+//! fate-shared unit. The invariant the end-to-end tests assert:
+//! **every forwarded request produces exactly one client response** —
+//! relayed, re-routed-then-relayed, or shed — and the fleet's merged
+//! ledgers still balance.
 
 use crate::health::Health;
 use crate::ring::{request_key, Ring};
+use ctl::{BackendState, Membership, MembershipEpoch, ViewCell};
 use net::loadgen::{fetch_stats, fetch_stats_full};
 use net::reactor::{ConnHandle, ConnHandler, Outbound, Reactor, ReactorConfig, WriterStep};
 use net::server::Io;
@@ -112,7 +167,8 @@ pub struct RouterConfig {
     pub stall_timeout: Option<Duration>,
     /// Write bound on backend and client sockets.
     pub write_timeout: Duration,
-    /// Read bound on client sockets (idle clients hold a thread pair).
+    /// Read bound on client sockets (idle clients hold a thread pair;
+    /// blocking front door only).
     pub client_read_timeout: Duration,
     /// Retry hint stamped on router-synthesized `SHED` responses, ms.
     pub shed_retry_ms: u64,
@@ -120,11 +176,21 @@ pub struct RouterConfig {
     /// the thread-per-connection original; `Io::Readiness` runs every
     /// pooled connection on one shared epoll reactor.
     pub io: Io,
+    /// I/O engine for the client-facing front door. `Io::Blocking`
+    /// spawns a reader/writer thread pair per client; `Io::Readiness`
+    /// multiplexes every client connection on a dedicated front-door
+    /// reactor (separate from the backend-pool reactor — see the
+    /// module docs for why shutdown needs them apart).
+    pub front_io: Io,
     /// Pooled connections per backend under [`Io::Readiness`]
     /// (blocking mode always uses exactly one). More connections mean
     /// more frames in flight per backend without head-of-line blocking
     /// on one socket's write queue.
     pub pool_size: usize,
+    /// Shared secret authenticating admin wire ops 7–10. `None`
+    /// (default) disables the control surface entirely: every ctl op
+    /// is answered with an error and the fleet stays fixed.
+    pub ctl_token: Option<String>,
 }
 
 impl Default for RouterConfig {
@@ -139,7 +205,9 @@ impl Default for RouterConfig {
             client_read_timeout: Duration::from_secs(30),
             shed_retry_ms: 50,
             io: Io::Blocking,
+            front_io: Io::Blocking,
             pool_size: 1,
+            ctl_token: None,
         }
     }
 }
@@ -178,7 +246,7 @@ pub struct RouterTotals {
     pub no_backend_shed: u64,
     /// `Up` → `Down` transitions observed.
     pub backend_downs: u64,
-    /// Probe-driven `Down` → `Up` re-admissions.
+    /// Probe-driven `Down` → `Up` (re-)admissions, joins included.
     pub backend_readmits: u64,
 }
 
@@ -193,6 +261,9 @@ struct RouterObs {
     backend_downs: obs::Counter,
     backend_readmits: obs::Counter,
     backends_live: obs::Gauge,
+    /// Administrative membership revisions applied (`ctl.epoch`):
+    /// equals `MembershipEpoch::epoch - 1` (the boot view is epoch 1).
+    ctl_epoch: obs::Counter,
     rtt_us: obs::HistogramHandle,
 }
 
@@ -206,15 +277,49 @@ impl RouterObs {
             backend_downs: registry.counter("router.backend.downs"),
             backend_readmits: registry.counter("router.backend.readmits"),
             backends_live: registry.gauge("router.backends.live"),
+            ctl_epoch: registry.counter("ctl.epoch"),
             rtt_us: registry.histogram("router.backend.rtt_us"),
+        }
+    }
+}
+
+/// Where a client's response frames go — the front-door abstraction
+/// that lets every downstream path (relay, re-route, shed, stats, ctl)
+/// ignore which engine accepted the connection.
+#[derive(Clone)]
+enum ClientSink {
+    /// Blocking front door: the per-connection writer-thread queue.
+    Queue(Arc<Outbound>),
+    /// Readiness front door: the reactor connection's send queue.
+    Conn(ConnHandle),
+}
+
+impl ClientSink {
+    /// Enqueues one encoded response frame. A dead connection
+    /// discards — same contract in both engines.
+    fn push(&self, bytes: Vec<u8>, completes_in_flight: bool) {
+        match self {
+            ClientSink::Queue(out) => out.push(bytes, completes_in_flight),
+            ClientSink::Conn(handle) => {
+                let _ = handle.send(bytes, completes_in_flight);
+            }
+        }
+    }
+
+    /// Registers an in-flight completion (a forward whose response
+    /// arrives later) so drain/FIN waits for it.
+    fn open_in_flight(&self) {
+        match self {
+            ClientSink::Queue(out) => out.open_in_flight(),
+            ClientSink::Conn(handle) => handle.open_in_flight(),
         }
     }
 }
 
 /// A forwarded request awaiting its backend response.
 struct Pending {
-    /// The client connection's outbound queue.
-    client_out: Arc<Outbound>,
+    /// The client connection's response sink.
+    client_out: ClientSink,
     /// The id the client knows this request by.
     client_id: u64,
     /// Which backend currently holds the request.
@@ -264,6 +369,10 @@ impl Link {
     }
 }
 
+/// One backend's connection pool, health, and stall watermark. Slots
+/// are shared via `Arc` between the published [`RouterView`]s and the
+/// per-link reader threads/handlers, so a view swap never invalidates
+/// a thread's slot reference.
 struct BackendSlot {
     id: u32,
     addr: SocketAddr,
@@ -274,22 +383,77 @@ struct BackendSlot {
     /// Round-robin cursor for picking a pool link per forward.
     next_link: AtomicU64,
     /// Outstanding forwards on this backend (approximate, for the
-    /// stall check).
+    /// stall check and the drain-retirement decision).
     outstanding: AtomicU64,
     /// Last response-progress time, reset when the backend goes from
     /// idle to owing work: the stall detector's watermark.
     last_progress: Mutex<Instant>,
 }
 
+impl BackendSlot {
+    fn new(id: u32, addr: SocketAddr, pool: usize, fail_threshold: u32) -> BackendSlot {
+        BackendSlot {
+            id,
+            addr,
+            health: Health::new(fail_threshold),
+            links: (0..pool).map(|_| Mutex::new(None)).collect(),
+            next_generation: AtomicU64::new(0),
+            next_link: AtomicU64::new(0),
+            outstanding: AtomicU64::new(0),
+            last_progress: Mutex::new(Instant::now()),
+        }
+    }
+
+    fn has_links(&self) -> bool {
+        self.links
+            .iter()
+            .any(|l| l.lock().expect("backend link poisoned").is_some())
+    }
+}
+
+/// One immutable epoch of the router's data path: the consistent-hash
+/// ring over in-ring members and the backend slots still owning
+/// connections. Published through a [`ctl::ViewCell`]; every routing
+/// decision loads the view once and works against that snapshot.
+struct RouterView {
+    /// The membership epoch this view was built from.
+    epoch: u64,
+    /// Ring over `Joining ∪ Live` member ids; `None` when the fleet
+    /// has no in-ring member (everything draining/removed).
+    ring: Option<Ring>,
+    /// Slots for every non-removed member, sorted by id.
+    slots: Vec<Arc<BackendSlot>>,
+}
+
+impl RouterView {
+    /// The slot for backend `id`, if it is still in the fleet.
+    fn slot(&self, id: u32) -> Option<&Arc<BackendSlot>> {
+        self.slots
+            .binary_search_by_key(&id, |s| s.id)
+            .ok()
+            .map(|i| &self.slots[i])
+    }
+}
+
 struct Shared {
     config: RouterConfig,
     registry: obs::Registry,
     robs: RouterObs,
-    backends: Vec<BackendSlot>,
-    ring: Ring,
+    /// Authoritative membership state machine (epochs, states).
+    membership: Membership,
+    /// The current data-path view; lock-free loads, see [`RouterView`].
+    view: ViewCell<RouterView>,
+    /// Serializes admin ops: membership transition → view rebuild →
+    /// publish happen atomically with respect to other admin ops
+    /// (data-path readers never take this).
+    ctl_lock: Mutex<()>,
     /// The shared epoll engine for the backend pool; `None` in
     /// blocking mode.
     reactor: Option<Reactor>,
+    /// The front-door epoll engine; `None` when the front door is
+    /// blocking. Kept separate from `reactor` so shutdown's global
+    /// read-sever touches only client connections.
+    front_reactor: Option<Reactor>,
     pending: Mutex<HashMap<u64, Pending>>,
     next_router_id: AtomicU64,
     accepting: AtomicBool,
@@ -310,8 +474,8 @@ struct Shared {
     backend_readmits: AtomicU64,
 }
 
-/// A running router. See the module docs for the thread anatomy and
-/// failure semantics.
+/// A running router. See the module docs for the thread anatomy,
+/// membership semantics, and failure semantics.
 pub struct Router {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
@@ -322,10 +486,12 @@ pub struct Router {
 
 impl Router {
     /// Binds `addr` (port 0 for ephemeral) in front of `backend_addrs`
-    /// and starts the acceptor and prober. Backends are identified by
-    /// their index in `backend_addrs` — the same id each backend should
-    /// stamp via `NetConfig::backend_id`. Backends unreachable at bind
-    /// time start `Down` and enter rotation when a probe succeeds.
+    /// and starts the acceptor and prober. The initial backends are
+    /// identified by their index in `backend_addrs` — the same id each
+    /// backend should stamp via `NetConfig::backend_id`; backends
+    /// joined later via `CtlJoin` get fresh, never-reused ids.
+    /// Backends unreachable at bind time start `Down` and enter
+    /// rotation when a probe succeeds.
     ///
     /// # Panics
     /// If `backend_addrs` is empty.
@@ -359,30 +525,42 @@ impl Router {
                 )?)
             }
         };
-        let ids: Vec<u32> = (0..backend_addrs.len() as u32).collect();
-        let pool = config.pool();
-        let backends = backend_addrs
+        let front_reactor = match config.front_io {
+            Io::Blocking => None,
+            Io::Readiness { shards } => Some(Reactor::new(
+                ReactorConfig {
+                    shards: shards.max(1),
+                    ..ReactorConfig::default()
+                },
+                &registry,
+            )?),
+        };
+        let initial: Vec<(u32, SocketAddr)> = backend_addrs
             .iter()
-            .zip(&ids)
-            .map(|(&addr, &id)| BackendSlot {
-                id,
-                addr,
-                health: Health::new(config.fail_threshold),
-                links: (0..pool).map(|_| Mutex::new(None)).collect(),
-                next_generation: AtomicU64::new(0),
-                next_link: AtomicU64::new(0),
-                outstanding: AtomicU64::new(0),
-                last_progress: Mutex::new(Instant::now()),
-            })
+            .enumerate()
+            .map(|(i, &addr)| (i as u32, addr))
             .collect();
-        let ring = Ring::new(&ids, config.vnodes);
+        let membership = Membership::new(&initial);
+        let pool = config.pool();
+        let slots: Vec<Arc<BackendSlot>> = initial
+            .iter()
+            .map(|&(id, addr)| Arc::new(BackendSlot::new(id, addr, pool, config.fail_threshold)))
+            .collect();
+        let boot = membership.view();
+        let view = ViewCell::new(Arc::new(RouterView {
+            epoch: boot.epoch,
+            ring: Some(Ring::new(&boot.ring_members(), config.vnodes)),
+            slots,
+        }));
         let shared = Arc::new(Shared {
             config,
             registry,
             robs,
-            backends,
-            ring,
+            membership,
+            view,
+            ctl_lock: Mutex::new(()),
             reactor,
+            front_reactor,
             pending: Mutex::new(HashMap::new()),
             next_router_id: AtomicU64::new(1),
             accepting: AtomicBool::new(true),
@@ -400,12 +578,15 @@ impl Router {
             backend_downs: AtomicU64::new(0),
             backend_readmits: AtomicU64::new(0),
         });
-        for idx in 0..shared.backends.len() {
-            if connect_backend(&shared, idx).is_ok() {
-                shared.robs.backends_live.add(1);
-            } else {
-                // Not reachable yet: start down, let the prober admit.
-                shared.backends[idx].health.force_down();
+        {
+            let boot_view = shared.view.load();
+            for slot in &boot_view.slots {
+                if connect_backend(&shared, slot).is_ok() {
+                    shared.robs.backends_live.add(1);
+                } else {
+                    // Not reachable yet: start down, let the prober admit.
+                    slot.health.force_down();
+                }
             }
         }
         let accept_shared = Arc::clone(&shared);
@@ -450,14 +631,36 @@ impl Router {
         }
     }
 
-    /// Whether backend `idx` is currently in rotation.
-    pub fn backend_is_up(&self, idx: usize) -> bool {
-        self.shared.backends[idx].health.is_up()
+    /// The current membership epoch — state per backend, epoch number.
+    /// This is the same view `CtlView` encodes over the wire.
+    pub fn membership(&self) -> Arc<MembershipEpoch> {
+        self.shared.membership.view()
     }
 
-    /// Latency EWMA for backend `idx` in µs (0 until a sample lands).
-    pub fn backend_ewma_us(&self, idx: usize) -> u64 {
-        self.shared.backends[idx].health.ewma_us()
+    /// The epoch of the data-path view routing decisions currently
+    /// read — equal to [`Router::membership`]'s epoch once the publish
+    /// in an admin op completes.
+    pub fn view_epoch(&self) -> u64 {
+        self.shared.view.load().epoch
+    }
+
+    /// Whether backend `id` is currently in rotation.
+    pub fn backend_is_up(&self, id: usize) -> bool {
+        self.shared
+            .view
+            .load()
+            .slot(id as u32)
+            .is_some_and(|s| s.health.is_up())
+    }
+
+    /// Latency EWMA for backend `id` in µs (0 until a sample lands, or
+    /// if the backend has left the fleet).
+    pub fn backend_ewma_us(&self, id: usize) -> u64 {
+        self.shared
+            .view
+            .load()
+            .slot(id as u32)
+            .map_or(0, |s| s.health.ewma_us())
     }
 
     /// The fleet-wide merged snapshot: every live backend's op-4
@@ -468,10 +671,11 @@ impl Router {
         merged_snapshot(&self.shared)
     }
 
-    /// Graceful shutdown: stop accepting, half-close client reads, let
+    /// Graceful shutdown: stop accepting, half-close client reads
+    /// (thread pairs and front-reactor connections alike), let
     /// in-flight forwards resolve (backend answers, re-routes, or
     /// synthesized sheds), flush client writers, then tear down backend
-    /// connections, the prober, and the reactor. Idempotent; also runs
+    /// connections, the prober, and the reactors. Idempotent; also runs
     /// on drop.
     pub fn shutdown(&self) {
         if self.shut.swap(true, Ordering::SeqCst) {
@@ -489,6 +693,9 @@ impl Router {
                 let _ = stream.shutdown(Shutdown::Read);
             }
         }
+        if let Some(front) = &self.shared.front_reactor {
+            front.sever_reads();
+        }
         let mut live = self.shared.live.lock().expect("live counter poisoned");
         while *live > 0 {
             live = self
@@ -498,14 +705,25 @@ impl Router {
                 .expect("live counter poisoned");
         }
         drop(live);
-        for slot in &self.shared.backends {
-            sever_all(slot);
+        if let Some(front) = &self.shared.front_reactor {
+            // Client drain needs the backend links still up: every
+            // front connection FINs once its in-flight responses land.
+            front.wait_drained();
+        }
+        {
+            let view = self.shared.view.load();
+            for slot in &view.slots {
+                sever_all(slot);
+            }
         }
         if let Some(handle) = self.prober.lock().expect("prober poisoned").take() {
             let _ = handle.join();
         }
         if let Some(reactor) = &self.shared.reactor {
             reactor.shutdown();
+        }
+        if let Some(front) = &self.shared.front_reactor {
+            front.shutdown();
         }
     }
 }
@@ -516,13 +734,12 @@ impl Drop for Router {
     }
 }
 
-/// Establishes backend `idx`'s pooled connection(s). Blocking mode
-/// connects one socket and spawns its reader thread; readiness mode
-/// connects `pool_size` sockets and registers them all on the shared
+/// Establishes `slot`'s pooled connection(s). Blocking mode connects
+/// one socket and spawns its reader thread; readiness mode connects
+/// `pool_size` sockets and registers them all on the shared backend
 /// reactor. Does not change health state. A partial failure tears down
 /// whatever this call already established.
-fn connect_backend(shared: &Arc<Shared>, idx: usize) -> io::Result<()> {
-    let slot = &shared.backends[idx];
+fn connect_backend(shared: &Arc<Shared>, slot: &Arc<BackendSlot>) -> io::Result<()> {
     let generation = slot.next_generation.fetch_add(1, Ordering::Relaxed);
     match &shared.reactor {
         None => {
@@ -544,9 +761,10 @@ fn connect_backend(shared: &Arc<Shared>, idx: usize) -> io::Result<()> {
                 generation,
             });
             let reader_shared = Arc::clone(shared);
+            let reader_slot = Arc::clone(slot);
             let _ = std::thread::Builder::new()
-                .name(format!("router-backend-{idx}"))
-                .spawn(move || backend_reader(&reader_shared, idx, generation, read_half));
+                .name(format!("router-backend-{}", slot.id))
+                .spawn(move || backend_reader(&reader_shared, &reader_slot, generation, read_half));
         }
         Some(reactor) => {
             for li in 0..slot.links.len() {
@@ -554,7 +772,7 @@ fn connect_backend(shared: &Arc<Shared>, idx: usize) -> io::Result<()> {
                     let _ = stream.set_nodelay(true);
                     let handler = Box::new(BackendLink {
                         shared: Arc::clone(shared),
-                        idx,
+                        slot: Arc::clone(slot),
                         li,
                         generation,
                     });
@@ -592,8 +810,8 @@ fn sever_link(slot: &BackendSlot, li: usize, generation: u64) -> bool {
     }
 }
 
-/// Severs every link `slot` still holds (pool fate-sharing and the
-/// shutdown path).
+/// Severs every link `slot` still holds (pool fate-sharing, drain
+/// retirement, and the shutdown path).
 fn sever_all(slot: &BackendSlot) {
     for li in 0..slot.links.len() {
         let generation = slot.links[li]
@@ -607,14 +825,13 @@ fn sever_all(slot: &BackendSlot) {
     }
 }
 
-/// Marks backend `idx` down, severs whatever is left of its pool, and
-/// fails over everything it still owed: each pending entry re-routes
-/// once to a live ring successor or sheds honestly. Called only by the
-/// thread that actually severed a link, so each outage is cleaned up
-/// exactly once (a severed sibling link's close callback finds its
-/// slot already empty and does nothing).
-fn backend_down(shared: &Arc<Shared>, idx: usize) {
-    let slot = &shared.backends[idx];
+/// Marks `slot` down, severs whatever is left of its pool, and fails
+/// over everything it still owed: each pending entry re-routes once to
+/// a live ring successor or sheds honestly. Called only by the thread
+/// that actually severed a link, so each outage is cleaned up exactly
+/// once (a severed sibling link's close callback finds its slot
+/// already empty and does nothing).
+fn backend_down(shared: &Arc<Shared>, slot: &Arc<BackendSlot>) {
     sever_all(slot);
     if slot.health.force_down() {
         shared.backend_downs.fetch_add(1, Ordering::Relaxed);
@@ -637,11 +854,17 @@ fn backend_down(shared: &Arc<Shared>, idx: usize) {
     }
 }
 
-/// Second chance or honest shed for a request whose backend died.
+/// Second chance or honest shed for a request whose backend died (or
+/// left the fleet). The re-route consults the *current* view's ring,
+/// so it is epoch-aware: keys stranded by a drain or remove land on
+/// the new epoch's owner.
 fn fail_over(shared: &Arc<Shared>, mut p: Pending, dead: u32) {
     if !p.rerouted {
-        let next = shared.ring.route_live(p.key_hash, |b| {
-            b != dead && shared.backends[b as usize].health.is_up()
+        let view = shared.view.load();
+        let next = view.ring.as_ref().and_then(|ring| {
+            ring.route_live(p.key_hash, |b| {
+                b != dead && view.slot(b).is_some_and(|s| s.health.is_up())
+            })
         });
         if let Some(next) = next {
             p.backend = next;
@@ -656,25 +879,31 @@ fn fail_over(shared: &Arc<Shared>, mut p: Pending, dead: u32) {
     synthesize_shed(shared, p, dead);
 }
 
-/// Re-inserts `p` (already retargeted) into the pending table and
-/// sends its bytes to the new backend. A send failure cascades into
-/// that backend's own down-handling, which will claim the entry again.
+/// Inserts `p` (already targeted at `p.backend`) into the pending
+/// table and sends its bytes — the shared path under fresh forwards
+/// and re-routes alike. A send failure cascades into that backend's
+/// own down-handling, which claims the entry back and resolves it.
 fn resend(shared: &Arc<Shared>, p: Pending) {
-    let backend = p.backend as usize;
+    let backend = p.backend;
     let rid = router_id_of(&p.bytes);
     let bytes = p.bytes.clone();
+    let view = shared.view.load();
+    let Some(slot) = view.slot(backend).map(Arc::clone) else {
+        // The target left the fleet between routing and sending.
+        fail_over(shared, p, backend);
+        return;
+    };
     shared
         .pending
         .lock()
         .expect("pending table poisoned")
         .insert(rid, p);
-    let slot = &shared.backends[backend];
     if slot.outstanding.fetch_add(1, Ordering::Relaxed) == 0 {
         // Idle → owing work: the stall clock starts now, not at the
         // last response before the idle stretch.
         *slot.last_progress.lock().expect("progress poisoned") = Instant::now();
     }
-    if !send_to_backend(shared, backend, &bytes) {
+    if !send_to_backend(shared, &slot, &bytes) {
         // The send severed the target (or it was already gone). Claim
         // the entry back if the cascade hasn't, and resolve it here.
         let claimed = shared
@@ -683,10 +912,8 @@ fn resend(shared: &Arc<Shared>, p: Pending) {
             .expect("pending table poisoned")
             .remove(&rid);
         if let Some(p) = claimed {
-            shared.backends[backend]
-                .outstanding
-                .fetch_sub(1, Ordering::Relaxed);
-            fail_over(shared, p, backend as u32);
+            slot.outstanding.fetch_sub(1, Ordering::Relaxed);
+            fail_over(shared, p, backend);
         }
     }
 }
@@ -715,14 +942,13 @@ fn router_id_of(bytes: &[u8]) -> u64 {
     )
 }
 
-/// Writes `bytes` on one of backend `idx`'s pooled connections,
-/// round-robin over live links. On failure the pool is severed and the
-/// backend's down-handling runs; returns whether the send succeeded
-/// (for a reactor link, "succeeded" means enqueued on a live
-/// connection — a later write failure resolves through the pending
-/// table like any other sever).
-fn send_to_backend(shared: &Arc<Shared>, idx: usize, bytes: &[u8]) -> bool {
-    let slot = &shared.backends[idx];
+/// Writes `bytes` on one of `slot`'s pooled connections, round-robin
+/// over live links. On failure the pool is severed and the backend's
+/// down-handling runs; returns whether the send succeeded (for a
+/// reactor link, "succeeded" means enqueued on a live connection — a
+/// later write failure resolves through the pending table like any
+/// other sever).
+fn send_to_backend(shared: &Arc<Shared>, slot: &Arc<BackendSlot>, bytes: &[u8]) -> bool {
     let n = slot.links.len();
     let start = slot.next_link.fetch_add(1, Ordering::Relaxed) as usize;
     for k in 0..n {
@@ -738,7 +964,7 @@ fn send_to_backend(shared: &Arc<Shared>, idx: usize, bytes: &[u8]) -> bool {
                 let generation = *generation;
                 drop(guard);
                 sever_link(slot, li, generation);
-                backend_down(shared, idx);
+                backend_down(shared, slot);
                 return false;
             }
             Some(Link::Ready { handle, generation }) => {
@@ -748,14 +974,14 @@ fn send_to_backend(shared: &Arc<Shared>, idx: usize, bytes: &[u8]) -> bool {
                 let generation = *generation;
                 drop(guard);
                 sever_link(slot, li, generation);
-                backend_down(shared, idx);
+                backend_down(shared, slot);
                 return false;
             }
             None => continue,
         }
     }
     // No link at all (racing a sever): make sure health agrees.
-    backend_down(shared, idx);
+    backend_down(shared, slot);
     false
 }
 
@@ -763,8 +989,7 @@ fn send_to_backend(shared: &Arc<Shared>, idx: usize, bytes: &[u8]) -> bool {
 /// pending table, patch the client id back in, and forward to the
 /// owning client writer. Returns `false` when the connection must be
 /// severed (protocol violation or a connection-level GoAway).
-fn handle_backend_payload(shared: &Arc<Shared>, idx: usize, payload: Vec<u8>) -> bool {
-    let slot = &shared.backends[idx];
+fn handle_backend_payload(shared: &Arc<Shared>, slot: &Arc<BackendSlot>, payload: Vec<u8>) -> bool {
     let resp = match decode_payload(&payload) {
         Ok(Frame::Response(resp)) => resp,
         _ => return false, // protocol violation: sever
@@ -816,8 +1041,12 @@ fn handle_backend_payload(shared: &Arc<Shared>, idx: usize, payload: Vec<u8>) ->
 /// Per-backend response pump for the blocking engine. Exits — and
 /// triggers fail-over — on EOF, a hard error, a protocol violation, or
 /// the stall watermark aging past the bound with requests outstanding.
-fn backend_reader(shared: &Arc<Shared>, idx: usize, generation: u64, read_half: TcpStream) {
-    let slot = &shared.backends[idx];
+fn backend_reader(
+    shared: &Arc<Shared>,
+    slot: &Arc<BackendSlot>,
+    generation: u64,
+    read_half: TcpStream,
+) {
     let stall = shared.config.stall_bound();
     let mut reader = BufReader::new(read_half);
     loop {
@@ -843,12 +1072,12 @@ fn backend_reader(shared: &Arc<Shared>, idx: usize, generation: u64, read_half: 
             }
             Err(_) => break,
         };
-        if !handle_backend_payload(shared, idx, payload) {
+        if !handle_backend_payload(shared, slot, payload) {
             break;
         }
     }
     if sever_link(slot, 0, generation) {
-        backend_down(shared, idx);
+        backend_down(shared, slot);
     }
 }
 
@@ -858,7 +1087,7 @@ fn backend_reader(shared: &Arc<Shared>, idx: usize, generation: u64, read_half: 
 /// cascade (once per outage — sibling links find their slot empty).
 struct BackendLink {
     shared: Arc<Shared>,
-    idx: usize,
+    slot: Arc<BackendSlot>,
     li: usize,
     generation: u64,
 }
@@ -866,7 +1095,7 @@ struct BackendLink {
 impl ConnHandler for BackendLink {
     fn on_frame(&mut self, payload: Result<Vec<u8>, WireError>, conn: &ConnHandle) {
         let keep = match payload {
-            Ok(bytes) => handle_backend_payload(&self.shared, self.idx, bytes),
+            Ok(bytes) => handle_backend_payload(&self.shared, &self.slot, bytes),
             // Framing desync on a pooled connection: sever, fail over.
             Err(_) => false,
         };
@@ -876,9 +1105,9 @@ impl ConnHandler for BackendLink {
     }
 
     fn on_tick(&mut self, conn: &ConnHandle) {
-        let slot = &self.shared.backends[self.idx];
-        let stalled = slot.outstanding.load(Ordering::Relaxed) > 0
-            && slot
+        let stalled = self.slot.outstanding.load(Ordering::Relaxed) > 0
+            && self
+                .slot
                 .last_progress
                 .lock()
                 .expect("progress poisoned")
@@ -890,28 +1119,62 @@ impl ConnHandler for BackendLink {
     }
 
     fn on_close(&mut self, _graceful: bool) {
-        if sever_link(&self.shared.backends[self.idx], self.li, self.generation) {
-            backend_down(&self.shared, self.idx);
+        if sever_link(&self.slot, self.li, self.generation) {
+            backend_down(&self.shared, &self.slot);
         }
     }
 }
 
-/// Periodically re-checks `Down` backends: a TCP connect plus an op-3
-/// stats ping proves the process is back and answering, and only then
-/// is the pooled connection re-established and the backend re-admitted.
+/// Periodically walks the membership: `Down` in-ring backends get a
+/// TCP connect plus an op-3 stats ping, and only on success is the
+/// pooled connection re-established and the backend (re-)admitted —
+/// for a `Joining` member this is the admission that marks it `Live`
+/// (same epoch: a health event, not a revision). `Draining` members
+/// whose outstanding count has hit zero are retired: links severed,
+/// health forced down, never probed again.
 fn probe_loop(shared: &Arc<Shared>) {
     while !shared.shutting_down.load(Ordering::SeqCst) {
         std::thread::sleep(shared.config.probe_interval);
-        for idx in 0..shared.backends.len() {
-            let slot = &shared.backends[idx];
-            if slot.health.is_up() || shared.shutting_down.load(Ordering::SeqCst) {
-                continue;
+        let membership = shared.membership.view();
+        let view = shared.view.load();
+        for spec in &membership.backends {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break;
             }
-            if fetch_stats(slot.addr).is_ok() && connect_backend(shared, idx).is_ok() {
-                slot.health.mark_up();
-                shared.backend_readmits.fetch_add(1, Ordering::Relaxed);
-                shared.robs.backend_readmits.inc();
-                shared.robs.backends_live.add(1);
+            let Some(slot) = view.slot(spec.id) else {
+                continue;
+            };
+            match spec.state {
+                BackendState::Joining | BackendState::Live => {
+                    if slot.health.is_up() {
+                        continue;
+                    }
+                    if fetch_stats(slot.addr).is_ok() && connect_backend(shared, slot).is_ok() {
+                        slot.health.mark_up();
+                        shared.backend_readmits.fetch_add(1, Ordering::Relaxed);
+                        shared.robs.backend_readmits.inc();
+                        shared.robs.backends_live.add(1);
+                        if spec.state == BackendState::Joining {
+                            let _guard = shared.ctl_lock.lock().expect("ctl lock poisoned");
+                            // The member may have been drained/removed
+                            // since this sweep loaded its view; a
+                            // rejected admission is then correct.
+                            let _ = shared.membership.mark_live(spec.id);
+                        }
+                    }
+                }
+                BackendState::Draining => {
+                    if slot.outstanding.load(Ordering::Relaxed) == 0 && slot.has_links() {
+                        // Last in-flight response resolved: retire the
+                        // idle links. New work can't arrive — the ring
+                        // stopped assigning at drain time.
+                        sever_all(slot);
+                        if slot.health.force_down() {
+                            shared.robs.backends_live.add(-1);
+                        }
+                    }
+                }
+                BackendState::Removed => {}
             }
         }
     }
@@ -923,7 +1186,8 @@ fn probe_loop(shared: &Arc<Shared>) {
 /// outages, they just cover the live fleet.
 fn merged_snapshot(shared: &Arc<Shared>) -> obs::Snapshot {
     let mut merged = shared.registry.snapshot();
-    for slot in &shared.backends {
+    let view = shared.view.load();
+    for slot in &view.slots {
         if !slot.health.is_up() {
             continue;
         }
@@ -934,6 +1198,177 @@ fn merged_snapshot(shared: &Arc<Shared>) -> obs::Snapshot {
         }
     }
     merged
+}
+
+/// One decoded admin operation, dispatched by [`ctl_dispatch`].
+enum CtlOp {
+    Join(String),
+    Drain(u32),
+    Remove(u32),
+    View,
+}
+
+/// Rebuilds the data-path view from the current membership and the
+/// given slot set, publishes it, and returns the epoch it carries.
+/// Callers must hold `ctl_lock`.
+fn publish_view(shared: &Shared, slots: Vec<Arc<BackendSlot>>) -> u64 {
+    let membership = shared.membership.view();
+    let members = membership.ring_members();
+    let ring = if members.is_empty() {
+        None
+    } else {
+        Some(Ring::new(&members, shared.config.vnodes))
+    };
+    shared.view.publish(Arc::new(RouterView {
+        epoch: membership.epoch,
+        ring,
+        slots,
+    }));
+    membership.epoch
+}
+
+/// Authenticates and executes one admin op, answering on `sink`.
+/// Always answers — an unauthenticated or failed op gets an `Error`
+/// response, never silence — and never severs the connection: admin
+/// clients are allowed to issue several ops on one socket.
+fn ctl_dispatch(shared: &Arc<Shared>, id: u64, token: &str, op: CtlOp, sink: &ClientSink) {
+    let error = |body: String| ResponseFrame {
+        id,
+        status: RespStatus::Error,
+        retry_after_ms: 0,
+        backend: ROUTER_BACKEND_ID,
+        body,
+    };
+    let ok = |body: String| ResponseFrame {
+        id,
+        status: RespStatus::Ok,
+        retry_after_ms: 0,
+        backend: ROUTER_BACKEND_ID,
+        body,
+    };
+    let resp = match &shared.config.ctl_token {
+        None => error("ctl: no admin token configured on this router".to_string()),
+        Some(expected) if expected != token => error("ctl: bad token".to_string()),
+        Some(_) => match op {
+            CtlOp::Join(addr) => match ctl_join(shared, &addr) {
+                Ok((backend, epoch)) => ok(format!(
+                    "joined backend {backend} addr {addr} epoch {epoch}"
+                )),
+                Err(e) => error(e),
+            },
+            CtlOp::Drain(backend) => match ctl_drain(shared, backend) {
+                Ok(epoch) => ok(format!("draining backend {backend} epoch {epoch}")),
+                Err(e) => error(e),
+            },
+            CtlOp::Remove(backend) => match ctl_remove(shared, backend) {
+                Ok(epoch) => ok(format!("removed backend {backend} epoch {epoch}")),
+                Err(e) => error(e),
+            },
+            CtlOp::View => ok(ctl_view_body(shared)),
+        },
+    };
+    sink.push(encode_response(&resp), false);
+}
+
+/// Admits a new backend address into the fleet as `Joining`: ring
+/// points now, traffic only after the prober's stats-ping succeeds.
+fn ctl_join(shared: &Arc<Shared>, addr: &str) -> Result<(u32, u64), String> {
+    let addr: SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("ctl: invalid backend address {addr:?}"))?;
+    let _guard = shared.ctl_lock.lock().expect("ctl lock poisoned");
+    let (id, _) = shared
+        .membership
+        .join(addr)
+        .map_err(|e| format!("ctl: {e}"))?;
+    let slot = Arc::new(BackendSlot::new(
+        id,
+        addr,
+        shared.config.pool(),
+        shared.config.fail_threshold,
+    ));
+    // Joining starts out of rotation; the prober admits it.
+    slot.health.force_down();
+    let old = shared.view.load();
+    let mut slots = old.slots.clone();
+    slots.push(slot);
+    let epoch = publish_view(shared, slots);
+    shared.robs.ctl_epoch.inc();
+    Ok((id, epoch))
+}
+
+/// Takes a backend out of the ring; its in-flight work drains and the
+/// prober retires the idle links afterwards.
+fn ctl_drain(shared: &Arc<Shared>, backend: u32) -> Result<u64, String> {
+    let _guard = shared.ctl_lock.lock().expect("ctl lock poisoned");
+    shared
+        .membership
+        .drain(backend)
+        .map_err(|e| format!("ctl: {e}"))?;
+    let old = shared.view.load();
+    let epoch = publish_view(shared, old.slots.clone());
+    shared.robs.ctl_epoch.inc();
+    Ok(epoch)
+}
+
+/// Removes a backend from the fleet entirely: slot dropped from the
+/// view, links severed, and whatever it still owed failed over.
+fn ctl_remove(shared: &Arc<Shared>, backend: u32) -> Result<u64, String> {
+    let removed;
+    let epoch;
+    {
+        let _guard = shared.ctl_lock.lock().expect("ctl lock poisoned");
+        shared
+            .membership
+            .remove(backend)
+            .map_err(|e| format!("ctl: {e}"))?;
+        let old = shared.view.load();
+        removed = old.slot(backend).map(Arc::clone);
+        let slots: Vec<Arc<BackendSlot>> = old
+            .slots
+            .iter()
+            .filter(|s| s.id != backend)
+            .map(Arc::clone)
+            .collect();
+        epoch = publish_view(shared, slots);
+        shared.robs.ctl_epoch.inc();
+    }
+    if let Some(slot) = removed {
+        // The removed slot is gone from the published view; resolve
+        // its leftovers exactly like a backend death (re-route against
+        // the new epoch's ring, or shed honestly).
+        backend_down(shared, &slot);
+    }
+    Ok(epoch)
+}
+
+/// The `CtlView` response body: the membership encoding
+/// ([`MembershipEpoch::encode_text`]-compatible — `parse_text`
+/// tolerates the extra columns) with per-backend health and
+/// outstanding-forward diagnostics appended.
+fn ctl_view_body(shared: &Arc<Shared>) -> String {
+    let membership = shared.membership.view();
+    let view = shared.view.load();
+    let mut out = format!("epoch {}\n", membership.epoch);
+    for spec in &membership.backends {
+        if spec.state == BackendState::Removed {
+            continue;
+        }
+        let (health, outstanding) = view
+            .slot(spec.id)
+            .map(|s| {
+                (
+                    if s.health.is_up() { "up" } else { "down" },
+                    s.outstanding.load(Ordering::Relaxed),
+                )
+            })
+            .unwrap_or(("gone", 0));
+        out.push_str(&format!(
+            "backend {} {} {} {} {}\n",
+            spec.id, spec.addr, spec.state, health, outstanding
+        ));
+    }
+    out
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
@@ -951,13 +1386,23 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             return;
         }
         let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(shared.config.client_read_timeout));
-        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-        {
-            let mut live = shared.live.lock().expect("live counter poisoned");
-            *live += 1;
+        match &shared.front_reactor {
+            None => {
+                let _ = stream.set_read_timeout(Some(shared.config.client_read_timeout));
+                let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+                {
+                    let mut live = shared.live.lock().expect("live counter poisoned");
+                    *live += 1;
+                }
+                spawn_client(stream, shared);
+            }
+            Some(reactor) => {
+                let handler = Box::new(RouterClient {
+                    shared: Arc::clone(shared),
+                });
+                let _ = reactor.register(stream, handler);
+            }
         }
-        spawn_client(stream, shared);
     }
 }
 
@@ -992,43 +1437,104 @@ fn spawn_client(stream: TcpStream, shared: &Arc<Shared>) {
         .spawn(move || client_writer(stream, conn_id, &writer_shared, &outbound));
 }
 
-/// Decodes client frames and forwards them; stats ops are answered in
-/// place from the merged fleet snapshot.
+/// Decodes client frames and forwards them; stats and ctl ops are
+/// answered in place. The blocking front door's read loop.
 fn client_reader(read_half: TcpStream, shared: &Arc<Shared>, out: &Arc<Outbound>) {
     let mut reader = BufReader::new(&read_half);
+    let sink = ClientSink::Queue(Arc::clone(out));
     while let Ok(Some(payload)) = read_frame(&mut reader) {
-        match decode_payload(&payload) {
-            Ok(Frame::Request(frame)) => {
-                forward(shared, frame.id, &frame.req, payload, out);
-            }
-            Ok(Frame::Stats { id }) => {
-                let body = merged_snapshot(shared).render();
-                out.push(stats_response(id, body), false);
-            }
-            Ok(Frame::StatsFull { id }) => {
-                let body = merged_snapshot(shared).encode_text();
-                out.push(stats_response(id, body), false);
-            }
-            Ok(Frame::Response(_)) | Err(_) => {
-                let reason = match decode_payload(&payload) {
-                    Err(e) => format!("malformed frame: {e}"),
-                    _ => "protocol error: response frame sent to router".to_string(),
-                };
-                out.push(
-                    encode_response(&ResponseFrame {
-                        id: 0,
-                        status: RespStatus::Error,
-                        retry_after_ms: 0,
-                        backend: ROUTER_BACKEND_ID,
-                        body: reason,
-                    }),
-                    false,
-                );
-                break;
-            }
+        if !dispatch_client(shared, payload, &sink) {
+            break;
         }
     }
     out.reader_done();
+}
+
+/// One decoded client payload, shared by both front-door engines:
+/// route requests, answer stats and admin ops in place. Returns
+/// `false` when the connection should stop reading (protocol
+/// violation).
+fn dispatch_client(shared: &Arc<Shared>, payload: Vec<u8>, sink: &ClientSink) -> bool {
+    match decode_payload(&payload) {
+        Ok(Frame::Request(frame)) => {
+            forward(shared, frame.id, &frame.req, payload, sink);
+            true
+        }
+        Ok(Frame::Stats { id }) => {
+            answer_stats(shared, id, false, sink);
+            true
+        }
+        Ok(Frame::StatsFull { id }) => {
+            answer_stats(shared, id, true, sink);
+            true
+        }
+        Ok(Frame::CtlJoin { id, token, addr }) => {
+            ctl_dispatch(shared, id, &token, CtlOp::Join(addr), sink);
+            true
+        }
+        Ok(Frame::CtlDrain { id, token, backend }) => {
+            ctl_dispatch(shared, id, &token, CtlOp::Drain(backend), sink);
+            true
+        }
+        Ok(Frame::CtlRemove { id, token, backend }) => {
+            ctl_dispatch(shared, id, &token, CtlOp::Remove(backend), sink);
+            true
+        }
+        Ok(Frame::CtlView { id, token }) => {
+            ctl_dispatch(shared, id, &token, CtlOp::View, sink);
+            true
+        }
+        Ok(Frame::Response(_)) | Err(_) => {
+            let reason = match decode_payload(&payload) {
+                Err(e) => format!("malformed frame: {e}"),
+                _ => "protocol error: response frame sent to router".to_string(),
+            };
+            sink.push(
+                encode_response(&ResponseFrame {
+                    id: 0,
+                    status: RespStatus::Error,
+                    retry_after_ms: 0,
+                    backend: ROUTER_BACKEND_ID,
+                    body: reason,
+                }),
+                false,
+            );
+            false
+        }
+    }
+}
+
+/// Answers a stats op from the merged fleet snapshot. The snapshot
+/// fan-out does blocking socket I/O to every live backend, so on the
+/// readiness front door it runs on a short-lived thread — a shard
+/// callback must never block on the network.
+fn answer_stats(shared: &Arc<Shared>, id: u64, full: bool, sink: &ClientSink) {
+    // The response lands after this dispatch returns (possibly from
+    // another thread), so it must hold the connection open as an
+    // in-flight completion — otherwise a client that writes one stats
+    // op and half-closes would see the FIN before the answer.
+    sink.open_in_flight();
+    let render = {
+        let shared = Arc::clone(shared);
+        let sink = sink.clone();
+        move || {
+            let snap = merged_snapshot(&shared);
+            let body = if full {
+                snap.encode_text()
+            } else {
+                snap.render()
+            };
+            sink.push(stats_response(id, body), true);
+        }
+    };
+    match sink {
+        ClientSink::Queue(_) => render(),
+        ClientSink::Conn(_) => {
+            let _ = std::thread::Builder::new()
+                .name("router-stats".to_string())
+                .spawn(render);
+        }
+    }
 }
 
 fn stats_response(id: u64, body: String) -> Vec<u8> {
@@ -1041,26 +1547,69 @@ fn stats_response(id: u64, body: String) -> Vec<u8> {
     })
 }
 
+/// [`ConnHandler`] for one readiness-front-door client connection:
+/// the same decode → route pipeline as [`client_reader`], run as shard
+/// callbacks, with responses flowing back through the connection's
+/// own send queue.
+struct RouterClient {
+    shared: Arc<Shared>,
+}
+
+impl ConnHandler for RouterClient {
+    fn on_frame(&mut self, payload: Result<Vec<u8>, WireError>, conn: &ConnHandle) {
+        let sink = ClientSink::Conn(conn.clone());
+        let keep = match payload {
+            Ok(bytes) => dispatch_client(&self.shared, bytes, &sink),
+            Err(e) => {
+                sink.push(
+                    encode_response(&ResponseFrame {
+                        id: 0,
+                        status: RespStatus::Error,
+                        retry_after_ms: 0,
+                        backend: ROUTER_BACKEND_ID,
+                        body: format!("malformed frame: {e}"),
+                    }),
+                    false,
+                );
+                false
+            }
+        };
+        if !keep {
+            conn.close_after_flush();
+        }
+    }
+
+    fn on_close(&mut self, _graceful: bool) {
+        // Responses for this connection's in-flight forwards resolve
+        // through the pending table and are discarded by the dead
+        // handle — nothing to tear down here.
+    }
+}
+
 /// Routes one client request: hash the cache key, pick the owning live
-/// backend — unless its forward-RTT EWMA says it is drowning (more
-/// than twice the EWMA of its ring successor), in which case every
-/// other request spills to that successor, the same backend failover
-/// would pick (see [`Ring::route_balanced`] for the hedge rationale).
-/// No live backend sheds immediately and honestly.
+/// backend from the **current view** — unless its forward-RTT EWMA
+/// says it is drowning (more than twice the EWMA of its ring
+/// successor), in which case every other request spills to that
+/// successor, the same backend failover would pick (see
+/// [`Ring::route_balanced`] for the hedge rationale). No live backend
+/// sheds immediately and honestly.
 fn forward(
     shared: &Arc<Shared>,
     client_id: u64,
     req: &serve::server::Request,
     payload: Vec<u8>,
-    out: &Arc<Outbound>,
+    out: &ClientSink,
 ) {
     let key = request_key(req);
-    let target = shared.ring.route_balanced(
-        key,
-        |b| shared.backends[b as usize].health.is_up(),
-        |b| shared.backends[b as usize].health.ewma_us(),
-        shared.spill_tick.fetch_add(1, Ordering::Relaxed),
-    );
+    let view = shared.view.load();
+    let target = view.ring.as_ref().and_then(|ring| {
+        ring.route_balanced(
+            key,
+            |b| view.slot(b).is_some_and(|s| s.health.is_up()),
+            |b| view.slot(b).map_or(0, |s| s.health.ewma_us()),
+            shared.spill_tick.fetch_add(1, Ordering::Relaxed),
+        )
+    });
     let Some(backend) = target else {
         shared.no_backend_shed.fetch_add(1, Ordering::Relaxed);
         shared.synthesized_shed.fetch_add(1, Ordering::Relaxed);
@@ -1086,7 +1635,7 @@ fn forward(
     shared.forwarded.fetch_add(1, Ordering::Relaxed);
     shared.robs.forwarded.inc();
     let p = Pending {
-        client_out: Arc::clone(out),
+        client_out: out.clone(),
         client_id,
         backend,
         key_hash: key,

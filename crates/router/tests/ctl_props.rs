@@ -1,0 +1,212 @@
+//! Control-plane properties: any interleaving of admin ops leaves the
+//! membership — and the ring the router would rebuild from it — exactly
+//! where a simple reference model says it should be.
+//!
+//! The property that matters for live resizing: the ring is a pure
+//! function of the final membership. However joins, drains, removes,
+//! and probe admissions interleave (including rejected ops), rebuilding
+//! the ring from the end-state membership gives the same assignments as
+//! having rebuilt it after every step — there is no path dependence for
+//! keys to get lost in.
+
+use ctl::{BackendState, Membership};
+use proptest::prelude::*;
+use router::ring::Ring;
+use std::net::SocketAddr;
+
+const VNODES: usize = 64;
+
+fn addr(port: u16) -> SocketAddr {
+    format!("127.0.0.1:{port}").parse().unwrap()
+}
+
+/// One scripted admin op; operands are drawn wide so sequences hit
+/// both legal transitions and typed rejections.
+#[derive(Debug, Clone)]
+enum Op {
+    Join(u16),
+    Drain(u16),
+    Remove(u16),
+    MarkLive(u16),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u16..24).prop_map(Op::Join),
+            (0u16..12).prop_map(Op::Drain),
+            (0u16..12).prop_map(Op::Remove),
+            (0u16..12).prop_map(Op::MarkLive),
+        ],
+        0..48,
+    )
+}
+
+/// The reference model: a plain vector of `(id, addr, state)` plus the
+/// epoch counter, applying the documented rules directly.
+struct Model {
+    backends: Vec<(u32, SocketAddr, BackendState)>,
+    epoch: u64,
+}
+
+impl Model {
+    fn boot(n: u32) -> Model {
+        Model {
+            backends: (0..n)
+                .map(|i| (i, addr(9000 + i as u16), BackendState::Live))
+                .collect(),
+            epoch: 1,
+        }
+    }
+
+    fn join(&mut self, a: SocketAddr) -> bool {
+        if self
+            .backends
+            .iter()
+            .any(|&(_, b, s)| b == a && s != BackendState::Removed)
+        {
+            return false;
+        }
+        let id = self
+            .backends
+            .iter()
+            .map(|&(i, _, _)| i + 1)
+            .max()
+            .unwrap_or(0);
+        self.backends.push((id, a, BackendState::Joining));
+        self.epoch += 1;
+        true
+    }
+
+    fn transition(
+        &mut self,
+        id: u32,
+        advance: bool,
+        legal: impl Fn(BackendState) -> Option<BackendState>,
+    ) -> bool {
+        let Some(entry) = self.backends.iter_mut().find(|(i, _, _)| *i == id) else {
+            return false;
+        };
+        let Some(next) = legal(entry.2) else {
+            return false;
+        };
+        entry.2 = next;
+        self.epoch += u64::from(advance);
+        true
+    }
+
+    fn in_ring(&self) -> Vec<u32> {
+        self.backends
+            .iter()
+            .filter(|&&(_, _, s)| s.in_ring())
+            .map(|&(i, _, _)| i)
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every interleaving — legal ops, rejected ops, and same-epoch
+    /// admissions mixed freely — converges to the model: same accepted
+    /// set, same epoch, same ring membership, and a ring rebuilt from
+    /// the final membership assigns every key identically to the
+    /// model's ring. Epochs never regress mid-sequence.
+    #[test]
+    fn prop_any_interleaving_converges_to_the_final_membership_ring(
+        ops in arb_ops(),
+        keys in proptest::collection::vec(any::<u64>(), 16..64),
+    ) {
+        let m = Membership::new(&[
+            (0, addr(9000)),
+            (1, addr(9001)),
+            (2, addr(9002)),
+        ]);
+        let mut model = Model::boot(3);
+        let mut last_epoch = m.view().epoch;
+        for op in &ops {
+            let (actual_ok, model_ok) = match *op {
+                Op::Join(port) => {
+                    let a = addr(9100 + port);
+                    (m.join(a).is_ok(), model.join(a))
+                }
+                Op::Drain(id) => (
+                    m.drain(u32::from(id)).is_ok(),
+                    model.transition(u32::from(id), true, |s| match s {
+                        BackendState::Joining | BackendState::Live => {
+                            Some(BackendState::Draining)
+                        }
+                        _ => None,
+                    }),
+                ),
+                Op::Remove(id) => (
+                    m.remove(u32::from(id)).is_ok(),
+                    model.transition(u32::from(id), true, |s| match s {
+                        BackendState::Removed => None,
+                        _ => Some(BackendState::Removed),
+                    }),
+                ),
+                Op::MarkLive(id) => (
+                    m.mark_live(u32::from(id)).is_ok(),
+                    model.transition(u32::from(id), false, |s| match s {
+                        BackendState::Joining => Some(BackendState::Live),
+                        _ => None,
+                    }),
+                ),
+            };
+            prop_assert_eq!(
+                actual_ok, model_ok,
+                "acceptance diverged from the model on {:?}", op
+            );
+            let epoch = m.view().epoch;
+            prop_assert!(epoch >= last_epoch, "epoch regressed");
+            last_epoch = epoch;
+        }
+
+        let final_view = m.view();
+        prop_assert_eq!(final_view.epoch, model.epoch, "epoch accounting");
+        let members = final_view.ring_members();
+        prop_assert_eq!(&members, &model.in_ring(), "ring membership");
+        // Ids are never reused: every id is unique across tombstones.
+        let mut ids: Vec<u32> = final_view.backends.iter().map(|b| b.id).collect();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), final_view.backends.len());
+
+        // The ring the router publishes is a pure function of the
+        // final membership: rebuilding from the model's set assigns
+        // every key to the same backend.
+        if !members.is_empty() {
+            let from_membership = Ring::new(&members, VNODES);
+            let from_model = Ring::new(&model.in_ring(), VNODES);
+            for &key in &keys {
+                prop_assert_eq!(from_membership.assign(key), from_model.assign(key));
+            }
+        }
+    }
+
+    /// Wire round-trip under churn: whatever state a sequence leaves
+    /// the membership in, `encode_text` → `parse_text` reproduces it
+    /// exactly minus tombstones (which the wire deliberately omits).
+    #[test]
+    fn prop_view_encoding_round_trips_after_any_churn(ops in arb_ops()) {
+        let m = Membership::new(&[(0, addr(9000)), (1, addr(9001))]);
+        for op in &ops {
+            match *op {
+                Op::Join(port) => drop(m.join(addr(9100 + port))),
+                Op::Drain(id) => drop(m.drain(u32::from(id))),
+                Op::Remove(id) => drop(m.remove(u32::from(id))),
+                Op::MarkLive(id) => drop(m.mark_live(u32::from(id))),
+            }
+        }
+        let v = m.view();
+        let parsed = ctl::MembershipEpoch::parse_text(&v.encode_text()).unwrap();
+        prop_assert_eq!(parsed.epoch, v.epoch);
+        let visible: Vec<_> = v
+            .backends
+            .iter()
+            .filter(|b| b.state != BackendState::Removed)
+            .cloned()
+            .collect();
+        prop_assert_eq!(parsed.backends, visible);
+    }
+}

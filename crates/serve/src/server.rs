@@ -86,12 +86,33 @@ pub enum Request {
         /// Seed for the random initial grid (35% density, toroidal).
         seed: u64,
     },
+    /// Run a memory-hierarchy cache simulation (`crates/memsim`, the
+    /// Lab 5 workload): replay a named access pattern against an
+    /// 8 KiB 2-way cache and report hits, misses, AMAT, and cycles.
+    /// Like [`Request::Life`], the parameter tuple is the cache key,
+    /// so repeated variants hit. Access counts are bounded
+    /// (≤ [`MEMTRACE_MAX_ACCESSES`]); unknown patterns and
+    /// out-of-range counts get `ok: false`.
+    MemTrace {
+        /// Access pattern: one of [`MEMTRACE_PATTERNS`]
+        /// (`seq`, `stride`, `random`, `ws`, `rmw`).
+        pattern: String,
+        /// Memory accesses to replay, `1..=MEMTRACE_MAX_ACCESSES`.
+        accesses: u32,
+        /// Varies the base address (and, for `random`, the address
+        /// sequence) without changing the work size.
+        seed: u64,
+    },
 }
 
 /// Largest grid dimension [`Request::Life`] accepts.
 pub const LIFE_MAX_DIM: u32 = 256;
 /// Largest generation count [`Request::Life`] accepts.
 pub const LIFE_MAX_STEPS: u32 = 512;
+/// Largest access count [`Request::MemTrace`] accepts.
+pub const MEMTRACE_MAX_ACCESSES: u32 = 1 << 16;
+/// Patterns [`Request::MemTrace`] understands.
+pub const MEMTRACE_PATTERNS: [&str; 5] = ["seq", "stride", "random", "ws", "rmw"];
 
 /// What the server hands back for a completed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,6 +213,11 @@ impl AdmissionPolicy for ClassAwareAdmission {
             Request::Life { .. } => JobMeta::for_class(JobClass::Batch)
                 .with_priority(112)
                 .with_deadline(Instant::now() + Duration::from_secs(5)),
+            // MemTrace is batch compute like Life: real simulation
+            // work, priority between Homework and Life.
+            Request::MemTrace { .. } => JobMeta::for_class(JobClass::Batch)
+                .with_priority(120)
+                .with_deadline(Instant::now() + Duration::from_secs(5)),
             Request::Reproduce { .. } => JobMeta::for_class(JobClass::Bulk).with_priority(64),
         }
     }
@@ -290,6 +316,7 @@ impl AdmissionPolicy for AdaptiveAdmission {
             Request::Grade { .. } => (JobClass::Interactive, 160),
             Request::Homework { .. } => (JobClass::Batch, 128),
             Request::Life { .. } => (JobClass::Batch, 112),
+            Request::MemTrace { .. } => (JobClass::Batch, 120),
             Request::Reproduce { .. } => (JobClass::Bulk, 64),
         };
         let mut meta = JobMeta::for_class(class).with_priority(priority);
@@ -749,6 +776,64 @@ impl ServerInner {
                         body: format!("life grid rejected: {e:?}"),
                         cached: false,
                     },
+                }
+            }
+            Request::MemTrace {
+                pattern,
+                accesses,
+                seed,
+            } => {
+                if *accesses == 0 || *accesses > MEMTRACE_MAX_ACCESSES {
+                    return Response {
+                        ok: false,
+                        body: format!(
+                            "memtrace accesses out of range: {accesses} \
+                             (limit {MEMTRACE_MAX_ACCESSES})"
+                        ),
+                        cached: false,
+                    };
+                }
+                // The seed shifts the base address (cache-line aligned)
+                // so distinct seeds are distinct cache keys without
+                // changing the work size.
+                let base = (seed & 0xFFFF) * 64;
+                let n = *accesses as usize;
+                let trace = match pattern.as_str() {
+                    "seq" => memsim::patterns::strided_trace(base, n, 4),
+                    "stride" => memsim::patterns::strided_trace(base, n, 64),
+                    "random" => memsim::patterns::random_trace(base, 1 << 20, n, *seed),
+                    // 8 KiB working set = exactly the simulated cache's
+                    // capacity; reps sized so the event count ≈ n.
+                    "ws" => memsim::patterns::working_set_trace(base, 8192, 64, (n / 128).max(1)),
+                    "rmw" => memsim::patterns::rmw_trace(base, n.div_ceil(2), 64),
+                    other => {
+                        return Response {
+                            ok: false,
+                            body: format!(
+                                "unknown memtrace pattern {other:?} \
+                                 (expected one of {MEMTRACE_PATTERNS:?})"
+                            ),
+                            cached: false,
+                        }
+                    }
+                };
+                let config = memsim::cache::CacheConfig::set_associative(64, 2, 64);
+                let mut cache = memsim::cache::Cache::new(config).expect("valid static config");
+                cache.run_trace(&trace);
+                let stats = cache.stats();
+                Response {
+                    ok: true,
+                    body: format!(
+                        "memtrace {pattern} seed {seed}: {} accesses, \
+                         {} hits, {} misses, hit rate {:.3}, amat {:.2}, cycles {}",
+                        trace.len(),
+                        stats.hits,
+                        stats.misses,
+                        stats.hit_rate(),
+                        cache.amat(),
+                        cache.total_cycles()
+                    ),
+                    cached: false,
                 }
             }
             Request::Reproduce { id } => match self.experiments.iter().find(|(eid, _)| eid == id) {

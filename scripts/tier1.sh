@@ -75,4 +75,17 @@ cargo test -q --test rcache_subsystem
 cargo run --release -q -p bench --bin reproduce -- e19 > /dev/null
 cargo run --release -q -p bench --bin serve_demo -- 4 24 promise > /dev/null
 
+# Control-plane tier (E20): the ctl crate's membership state machine,
+# the router's churn E2E + interleaving proptests (already inside
+# `cargo test -p router` above, run here for the ctl crate's own
+# units), the E20 smoke (join raises throughput, drain strands
+# nobody, epoch advances exactly twice — all assert!ed inside the
+# experiment), and a piped join-then-drain session through the live
+# demo (real backend processes; the loop asserts zero unanswered and
+# an exact router ledger at quit).
+cargo test -q -p ctl
+cargo run --release -q -p bench --bin reproduce -- e20 > /dev/null
+printf 'view\njoin 0\ndrain 0\nload\nquit\n' | \
+    cargo run --release -q -p bench --bin serve_demo -- 4 24 router 2 --ctl tier1 > /dev/null
+
 echo "tier1: all green"
